@@ -1,0 +1,82 @@
+//===- bench/BenchAnalyzerSpeed.cpp - Analyzer performance ----------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E7 (DESIGN.md): the paper reports that "the automatic
+/// stack-bound analysis runs very efficiently and needs less than a
+/// second for every example file". This google-benchmark harness times
+/// the analyzer (call-graph construction, backward derivation building,
+/// proof checking) per corpus file, plus the full compilation pipeline
+/// for scale.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "driver/Compiler.h"
+#include "frontend/Frontend.h"
+#include "programs/Corpus.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace qcc;
+
+namespace {
+
+const programs::CorpusProgram &corpusAt(size_t I) {
+  return programs::table1Corpus()[I];
+}
+
+void BM_AutomaticAnalyzer(benchmark::State &State) {
+  const programs::CorpusProgram &P = corpusAt(State.range(0));
+  DiagnosticEngine D;
+  auto CL = frontend::parseProgram(P.Source, D);
+  if (!CL) {
+    State.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : State) {
+    DiagnosticEngine AD;
+    auto R = analysis::analyzeProgram(*CL, AD);
+    benchmark::DoNotOptimize(R.Bounds.size());
+  }
+  State.SetLabel(P.Id);
+}
+
+void BM_FullCompilation(benchmark::State &State) {
+  const programs::CorpusProgram &P = corpusAt(State.range(0));
+  for (auto _ : State) {
+    DiagnosticEngine D;
+    driver::CompilerOptions Opt;
+    Opt.ValidateTranslation = false;
+    auto C = driver::compile(P.Source, D, std::move(Opt));
+    benchmark::DoNotOptimize(C.has_value());
+  }
+  State.SetLabel(P.Id);
+}
+
+void BM_TranslationValidation(benchmark::State &State) {
+  const programs::CorpusProgram &P = corpusAt(State.range(0));
+  for (auto _ : State) {
+    DiagnosticEngine D;
+    driver::CompilerOptions Opt;
+    Opt.ValidateTranslation = true; // The paper's "proof" replayed per run.
+    Opt.AnalyzeBounds = false;
+    auto C = driver::compile(P.Source, D, std::move(Opt));
+    benchmark::DoNotOptimize(C.has_value());
+  }
+  State.SetLabel(P.Id);
+}
+
+} // namespace
+
+BENCHMARK(BM_AutomaticAnalyzer)->DenseRange(0, 8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullCompilation)->DenseRange(0, 8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TranslationValidation)
+    ->DenseRange(0, 8)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+//===- bench/BenchInlining.cpp - The section 3.3 inlining ablation --------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper disables function inlining because naive source-level bounds
+/// lose tightness under it (section 3.3, deferred to the TR). This
+/// ablation quantifies the trade on the corpus: with inlining the
+/// *measured* consumption drops (fewer frames) while the *bound* still
+/// budgets the inlined callees, so the bound-measured gap opens beyond
+/// the plain pipeline's uniform 4 bytes — yet soundness never breaks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "programs/Corpus.h"
+
+#include <cstdio>
+
+using namespace qcc;
+
+int main() {
+  printf("==== Ablation: function inlining vs bound tightness ====\n\n");
+  printf("%-28s | %9s %9s %5s | %9s %9s %5s\n", "", "plain", "", "",
+         "inlined", "", "");
+  printf("%-28s | %9s %9s %5s | %9s %9s %5s\n", "Program", "bound",
+         "measured", "gap", "bound", "measured", "gap");
+
+  bool AllSound = true;
+  for (const programs::CorpusProgram &P : programs::table1Corpus()) {
+    struct Result {
+      uint64_t Bound = 0;
+      uint32_t Measured = 0;
+      bool Ok = false;
+    };
+    Result R[2];
+    for (int WithInline = 0; WithInline != 2; ++WithInline) {
+      DiagnosticEngine D;
+      driver::CompilerOptions Opt;
+      Opt.Inline = WithInline != 0;
+      Opt.ValidateTranslation = false;
+      auto C = driver::compile(P.Source, D, std::move(Opt));
+      if (!C)
+        continue;
+      auto Bound = driver::concreteCallBound(*C, "main");
+      measure::Measurement M = driver::measureStack(*C);
+      if (!Bound || !M.Ok)
+        continue;
+      R[WithInline] = {*Bound, M.StackBytes, true};
+      AllSound &= *Bound >= M.StackBytes;
+    }
+    if (!R[0].Ok || !R[1].Ok) {
+      printf("%-28s | failed\n", P.Id.c_str());
+      continue;
+    }
+    printf("%-28s | %7llu b %7u b %5lld | %7llu b %7u b %5lld\n",
+           P.Id.c_str(), static_cast<unsigned long long>(R[0].Bound),
+           R[0].Measured,
+           static_cast<long long>(R[0].Bound) - R[0].Measured,
+           static_cast<unsigned long long>(R[1].Bound), R[1].Measured,
+           static_cast<long long>(R[1].Bound) - R[1].Measured);
+  }
+
+  printf("\nInlining removes frames at run time (measured drops) while the\n"
+         "source-level bound still budgets the inlined callees: sound, but\n"
+         "no longer 4-byte tight — the paper's reason for deferring it.\n");
+  printf("soundness: %s\n", AllSound ? "preserved everywhere"
+                                     : "VIOLATED");
+  return AllSound ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+//===- bench/BenchSection2.cpp - The Section 2 walkthrough ----------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E6 (DESIGN.md): the paper's illustrative example, end to
+/// end. Reproduces, with this compiler's metric in place of CompCert's:
+///
+///   * the automatic triple {M(init)+M(random)} init() {M(init)+M(random)},
+///   * the interactive logarithmic bound for search (the paper's L),
+///   * the combined main bound M(main) + max(M(init)+M(random), L(ALEN)),
+///   * the concrete byte bounds after metric instantiation (the paper got
+///     32 bytes for init and 112 + 40 log2(ALEN) for main),
+///   * the Theorem 1 run at the computed stack size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "programs/Corpus.h"
+
+#include <cstdio>
+
+using namespace qcc;
+using namespace qcc::logic;
+
+int main() {
+  printf("==== Section 2: an illustrative example ====\n\n");
+
+  for (uint32_t Alen : {64u, 256u, 1024u, 4096u}) {
+    driver::CompilerOptions Opt;
+    Opt.SeededSpecs = programs::section2Specs();
+    Opt.Defines = {{"ALEN", Alen}};
+    Opt.ValidateTranslation = false;
+    DiagnosticEngine D;
+    auto C = driver::compile(programs::section2Source(), D, std::move(Opt));
+    if (!C) {
+      printf("compile error: %s\n", D.str().c_str());
+      return 1;
+    }
+
+    if (Alen == 64) {
+      printf("compiler metric M(f) = SF(f) + 4:\n  %s\n\n",
+             C->Metric.str().c_str());
+      printf("symbolic bounds (instantiate with any metric):\n");
+      for (const char *F : {"random", "init", "search", "main"}) {
+        if (!C->Bounds.Gamma.count(F))
+          continue;
+        BoundExpr CallBound = C->Bounds.callBound(F);
+        printf("  %-8s %s\n", F, CallBound->str().c_str());
+      }
+      printf("\n");
+    }
+
+    auto InitBound = driver::concreteCallBound(*C, "init");
+    auto SearchBound = driver::concreteCallBound(
+        *C, "search", {{"elem", 0}, {"beg", 0}, {"end", Alen}});
+    auto MainBound = driver::concreteCallBound(*C, "main");
+    measure::Measurement M = driver::measureStack(*C);
+    printf("ALEN = %-5u  init: %llu b   search(0,ALEN): %llu b   "
+           "main: %llu b   measured: %u b\n",
+           Alen,
+           static_cast<unsigned long long>(InitBound.value_or(0)),
+           static_cast<unsigned long long>(SearchBound.value_or(0)),
+           static_cast<unsigned long long>(MainBound.value_or(0)),
+           M.Ok ? M.StackBytes : 0);
+
+    // Theorem 1 at the bound.
+    if (MainBound) {
+      measure::Measurement AtBound = driver::runWithStackSize(
+          *C, static_cast<uint32_t>(*MainBound) - 4);
+      printf("             theorem 1 at sz = bound-4: %s\n",
+             AtBound.Ok ? "runs without overflow" : AtBound.Error.c_str());
+    }
+  }
+
+  printf("\nThe main bound grows by one M(search) frame per doubling of "
+         "ALEN —\nthe paper's 112 + 40 log2(ALEN) shape.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- bench/BenchTailcalls.cpp - The section 3.3 tail-call ablation ------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second optimization the paper's section 3.3 defers: tail-call
+/// recognition. With it on, a tail-recursive loop runs in *constant*
+/// stack while the quantitative logic's bound — derived against the
+/// conventional frame-per-call model — stays linear: sound, spectacularly
+/// untight. The sweep prints measured usage under both pipelines against
+/// the interactively derived bound, the crossover the paper's metric
+/// design would have to address to support the optimization (their TR's
+/// subject).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace qcc;
+using namespace qcc::logic;
+
+int main() {
+  printf("==== Ablation: tail-call recognition vs bound tightness ====\n\n");
+
+  // sum_acc(n): tail recursion of depth n, plus the spec M * n derived
+  // interactively (recursion: the analyzer alone refuses it).
+  const char *Template = "u32 sum_acc(u32 n, u32 acc) {\n"
+                         "  if (n == 0) return acc;\n"
+                         "  return sum_acc(n - 1, acc + n);\n"
+                         "}\n"
+                         "int main() { return (int)sum_acc(%u, 0); }\n";
+  FunctionSpec Spec = FunctionSpec::balanced(
+      bMul(bMetric("sum_acc"), bNatTerm(IntTermNode::var("n"))));
+
+  printf("%8s %16s %16s %16s\n", "n", "bound", "plain measured",
+         "tail-call measured");
+  for (uint32_t N : {8u, 32u, 128u, 512u, 2048u, 8192u}) {
+    char Src[512];
+    snprintf(Src, sizeof(Src), Template, N);
+
+    uint64_t Bound = 0;
+    uint32_t Measured[2] = {0, 0};
+    for (int Tail = 0; Tail != 2; ++Tail) {
+      DiagnosticEngine D;
+      driver::CompilerOptions Opt;
+      Opt.TailCalls = Tail != 0;
+      Opt.ValidateTranslation = false;
+      Opt.SeededSpecs = {{"sum_acc", Spec}};
+      auto C = driver::compile(Src, D, std::move(Opt));
+      if (!C) {
+        printf("compile error: %s\n", D.str().c_str());
+        return 1;
+      }
+      if (!Tail) {
+        auto B = driver::concreteCallBound(*C, "main", {{"n", N}});
+        Bound = B.value_or(0);
+      }
+      measure::Measurement M = driver::measureStack(*C);
+      if (!M.Ok) {
+        printf("n=%u: %s\n", N, M.Error.c_str());
+        return 1;
+      }
+      Measured[Tail] = M.StackBytes;
+    }
+    printf("%8u %14llu b %14u b %14u b\n", N,
+           static_cast<unsigned long long>(Bound), Measured[0],
+           Measured[1]);
+  }
+
+  printf("\nWith tail calls the measured column is flat; the verified "
+         "bound\n(and the plain pipeline) stay linear in n. Both "
+         "directions of\nTheorem 1 still hold — the bound is an "
+         "over-approximation — but\nthe 4-byte tightness of the "
+         "conventional pipeline is gone, which\nis why the paper ships "
+         "with the optimization disabled.\n");
+  return 0;
+}

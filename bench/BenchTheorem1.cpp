@@ -1,0 +1,85 @@
+//===- bench/BenchTheorem1.cpp - Theorem 1 stack-size sweep ---------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E8 (DESIGN.md): Theorem 1 exercised as a parameter sweep.
+/// For each corpus program, run the compiled code in ASM_sz for sz around
+/// the verified bound: every sz >= bound - 4 must run to completion, and
+/// (for these worst-case-realizing workloads) sizes below the measured
+/// consumption must trap with the machine's stack-overflow fault.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "programs/Corpus.h"
+
+#include <cstdio>
+
+using namespace qcc;
+
+int main() {
+  printf("==== Theorem 1: execution under finite stacks ====\n\n");
+  bool AllConsistent = true;
+
+  for (const programs::CorpusProgram &P : programs::table1Corpus()) {
+    DiagnosticEngine D;
+    driver::CompilerOptions Opt;
+    Opt.ValidateTranslation = false;
+    auto C = driver::compile(P.Source, D, std::move(Opt));
+    if (!C) {
+      printf("%-28s compile error\n", P.Id.c_str());
+      continue;
+    }
+    auto Bound = driver::concreteCallBound(*C, "main");
+    measure::Measurement M = driver::measureStack(*C);
+    if (!Bound || !M.Ok) {
+      printf("%-28s measurement failed\n", P.Id.c_str());
+      continue;
+    }
+    uint32_t B = static_cast<uint32_t>(*Bound);
+
+    printf("%-28s bound %u b, measured %u b\n", P.Id.c_str(), B,
+           M.StackBytes);
+    struct Point {
+      const char *Label;
+      int64_t Sz;
+      bool MustRun;
+    };
+    const Point Sweep[] = {
+        {"  sz = bound + 64", B + 60, true},
+        {"  sz = bound - 4 (theorem)", B - 4, true},
+        {"  sz = measured", M.StackBytes, true},
+        {"  sz = measured - 4", static_cast<int64_t>(M.StackBytes) - 4,
+         false},
+        {"  sz = measured / 2",
+         static_cast<int64_t>(M.StackBytes) / 2 & ~3, false},
+    };
+    for (const Point &Pt : Sweep) {
+      if (Pt.Sz < 0)
+        continue;
+      measure::Measurement R =
+          driver::runWithStackSize(*C, static_cast<uint32_t>(Pt.Sz));
+      const char *Outcome = R.Ok               ? "runs"
+                            : R.StackOverflow  ? "stack overflow"
+                                               : R.Error.c_str();
+      bool Consistent = R.Ok == Pt.MustRun;
+      if (!Consistent)
+        AllConsistent = false;
+      printf("%-30s (%6lld b): %-16s %s\n", Pt.Label,
+             static_cast<long long>(Pt.Sz), Outcome,
+             Consistent ? "" : "<-- INCONSISTENT");
+    }
+    printf("\n");
+  }
+
+  printf("verdict: %s\n",
+         AllConsistent
+             ? "every program runs at its verified bound and traps below "
+               "its measured consumption"
+             : "INCONSISTENCIES FOUND");
+  return AllConsistent ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+//===- analysis/Analyzer.cpp - Automatic stack analyzer -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+
+using namespace qcc;
+using namespace qcc::analysis;
+using namespace qcc::logic;
+
+BoundExpr AnalysisResult::callBound(const std::string &Function) const {
+  auto It = Gamma.find(Function);
+  if (It == Gamma.end())
+    return nullptr;
+  return bAdd(bMetric(Function), It->second.Pre);
+}
+
+AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
+                                             DiagnosticEngine &Diags,
+                                             FunctionContext SeededSpecs) {
+  AnalysisResult Result;
+  Result.Gamma = std::move(SeededSpecs);
+
+  CallGraph CG(P);
+  EntailOptions Opt;
+  Opt.SymbolicOnly = true; // Auto derivations carry symbolic certificates.
+
+  for (const std::string &Name : CG.topologicalOrder()) {
+    if (Result.Gamma.count(Name))
+      continue; // Seeded (e.g. interactively derived) specification.
+    if (CG.isRecursive(Name)) {
+      Result.SkippedRecursive.push_back(Name);
+      Diags.warning(SourceLoc(),
+                    "function '" + Name +
+                        "' is recursive; the automatic analyzer only "
+                        "handles non-recursive functions (derive its "
+                        "bound interactively and seed it)");
+      continue;
+    }
+    const clight::Function *F = P.findFunction(Name);
+    if (!F)
+      continue;
+
+    // A callee without a specification (skipped recursive function in the
+    // call chain) blocks this function too.
+    bool Blocked = false;
+    for (const std::string &Callee : CG.callees(Name)) {
+      if (!Result.Gamma.count(Callee)) {
+        Diags.warning(F->Loc, "function '" + Name +
+                                  "' calls unanalyzed '" + Callee +
+                                  "'; skipping");
+        Result.SkippedRecursive.push_back(Name);
+        Blocked = true;
+        break;
+      }
+    }
+    if (Blocked)
+      continue;
+
+    DerivationBuilder Builder(P, Result.Gamma, Opt);
+
+    // Pass 1: the peak requirement of the body (nothing demanded after).
+    PostCondition Q0{bZero(), bBottom(), bZero()};
+    DerivationPtr Probe = Builder.buildStmt(F->Body.get(), Q0, *F, Diags);
+    if (!Probe) {
+      Diags.error(F->Loc, "automatic analysis failed for '" + Name + "'");
+      continue;
+    }
+    BoundExpr Peak = Probe->Pre;
+
+    // Pass 2: rebuild against the balanced specification {Peak} f {Peak}.
+    DiagnosticEngine BuildDiags;
+    auto FB = Builder.buildFunctionBound(Name, FunctionSpec::balanced(Peak),
+                                         BuildDiags);
+    if (!FB) {
+      Diags.error(F->Loc, "automatic analysis failed for '" + Name +
+                              "': " + BuildDiags.str());
+      continue;
+    }
+
+    // Every automatic bound is validated by the proof checker before it
+    // is reported (the paper's derivation-generation guarantee).
+    ProofChecker Checker(P, Builder.context(), Opt);
+    DiagnosticEngine CheckDiags;
+    if (!Checker.checkFunctionBound(*FB, CheckDiags)) {
+      Diags.error(F->Loc, "proof checker rejected the automatic "
+                          "derivation for '" +
+                              Name + "': " + CheckDiags.str());
+      continue;
+    }
+
+    Result.Gamma[Name] = FB->Spec;
+    Result.Bounds.emplace(Name, std::move(*FB));
+  }
+
+  return Result;
+}

@@ -1,0 +1,69 @@
+//===- analysis/Analyzer.h - Automatic stack analyzer -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The automatic stack analyzer (Paper section 5): walks the call graph in
+/// callee-first topological order and, for every non-recursive function,
+/// derives a balanced constant specification {B_f} f {B_f} where B_f is
+/// the peak metric-parametric stack requirement of the body. Every bound
+/// comes with a derivation in the quantitative Hoare logic, validated by
+/// the proof checker in symbolic-only entailment mode — "not only does
+/// this simplify the verification, but it also allows interoperability
+/// with stack bounds that have been interactively developed" (Paper
+/// section 5): pre-seeded specifications (e.g. an interactively proved
+/// logarithmic bound for a recursive callee) compose transparently.
+///
+/// Guarantee mirrored from the paper: the analyzer succeeds on every
+/// well-formed program without recursion (function pointers cannot occur
+/// in the subset at all).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_ANALYSIS_ANALYZER_H
+#define QCC_ANALYSIS_ANALYZER_H
+
+#include "analysis/CallGraph.h"
+#include "logic/Builder.h"
+#include "logic/Checker.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace analysis {
+
+/// The outcome of one analyzer run.
+struct AnalysisResult {
+  /// Specifications for every analyzed function (seeded specs included).
+  logic::FunctionContext Gamma;
+  /// Checked derivations, one per automatically analyzed function.
+  std::map<std::string, logic::FunctionBound> Bounds;
+  /// Functions skipped because they participate in recursion and had no
+  /// seeded specification.
+  std::vector<std::string> SkippedRecursive;
+
+  /// The verified *call bound* of \p Function: M(f) + B_f, the stack
+  /// needed to call it (what Table 1 reports). Null when unknown.
+  logic::BoundExpr callBound(const std::string &Function) const;
+};
+
+/// Runs the automatic analyzer over \p P.
+///
+/// \p SeededSpecs are trusted-by-derivation specifications for functions
+/// the analyzer should not process itself (typically recursive functions
+/// whose bounds were derived interactively); their derivations must have
+/// been checked by the caller.
+AnalysisResult analyzeProgram(const clight::Program &P,
+                              DiagnosticEngine &Diags,
+                              logic::FunctionContext SeededSpecs = {});
+
+} // namespace analysis
+} // namespace qcc
+
+#endif // QCC_ANALYSIS_ANALYZER_H

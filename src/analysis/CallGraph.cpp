@@ -1,0 +1,102 @@
+//===- analysis/CallGraph.cpp - Call graphs over Clight -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+using namespace qcc;
+using namespace qcc::analysis;
+namespace cl = qcc::clight;
+
+namespace {
+
+void collectCalls(const cl::Stmt &S, const cl::Program &P,
+                  std::set<std::string> &Out) {
+  if (S.Kind == cl::StmtKind::Call && P.findFunction(S.Callee))
+    Out.insert(S.Callee);
+  if (S.First)
+    collectCalls(*S.First, P, Out);
+  if (S.Second)
+    collectCalls(*S.Second, P, Out);
+}
+
+} // namespace
+
+CallGraph::CallGraph(const cl::Program &P) {
+  for (const cl::Function &F : P.Functions) {
+    std::set<std::string> Callees;
+    if (F.Body)
+      collectCalls(*F.Body, P, Callees);
+    Edges[F.Name] = std::move(Callees);
+  }
+
+  // Iterative three-color DFS: gray-hit means a cycle; every node on the
+  // stack from the gray node down is recursive.
+  enum Color : uint8_t { White, Gray, Black };
+  std::map<std::string, Color> Colors;
+  for (const auto &[F, _] : Edges)
+    Colors[F] = White;
+
+  // Any function reaching a recursive component is NOT itself recursive;
+  // only members of cycles are. Find cycle members: a node is recursive
+  // iff it can reach itself. With corpus-sized graphs the simple
+  // quadratic reachability check is plenty.
+  auto Reaches = [this](const std::string &From,
+                        const std::string &Target) {
+    std::set<std::string> Seen;
+    std::vector<const std::string *> Work;
+    for (const std::string &C : Edges[From])
+      Work.push_back(&C);
+    while (!Work.empty()) {
+      const std::string &N = *Work.back();
+      Work.pop_back();
+      if (N == Target)
+        return true;
+      if (!Seen.insert(N).second)
+        continue;
+      auto It = Edges.find(N);
+      if (It == Edges.end())
+        continue;
+      for (const std::string &C : It->second)
+        Work.push_back(&C);
+    }
+    return false;
+  };
+  for (const auto &[F, _] : Edges)
+    if (Reaches(F, F))
+      Recursive.insert(F);
+
+  // Callee-first topological order via post-order DFS (cycles are cut at
+  // recursive back edges; order among cycle members is name order, which
+  // the map iteration already provides).
+  std::set<std::string> Visited;
+  std::vector<std::pair<std::string, bool>> Stack;
+  for (const auto &[Root, _] : Edges) {
+    if (Visited.count(Root))
+      continue;
+    Stack.push_back({Root, false});
+    while (!Stack.empty()) {
+      auto [Name, Expanded] = Stack.back();
+      Stack.pop_back();
+      if (Expanded) {
+        Topo.push_back(Name);
+        continue;
+      }
+      if (!Visited.insert(Name).second)
+        continue;
+      Stack.push_back({Name, true});
+      for (const std::string &C : Edges[Name])
+        if (!Visited.count(C))
+          Stack.push_back({C, false});
+    }
+  }
+}
+
+const std::set<std::string> &
+CallGraph::callees(const std::string &Function) const {
+  auto It = Edges.find(Function);
+  return It == Edges.end() ? EmptySet : It->second;
+}

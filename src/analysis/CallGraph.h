@@ -1,0 +1,63 @@
+//===- analysis/CallGraph.h - Call graphs over Clight -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call graph of a Clight program, with recursion detection and a
+/// callee-first topological order — the traversal skeleton of the
+/// automatic stack analyzer (Paper section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_ANALYSIS_CALLGRAPH_H
+#define QCC_ANALYSIS_CALLGRAPH_H
+
+#include "clight/Clight.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace analysis {
+
+/// The static call graph: internal functions only (externals consume no
+/// stack under stack metrics and are leaves by definition).
+class CallGraph {
+public:
+  explicit CallGraph(const clight::Program &P);
+
+  /// Direct internal callees of \p Function.
+  const std::set<std::string> &callees(const std::string &Function) const;
+
+  /// True if \p Function can reach itself (participates in recursion,
+  /// directly or mutually).
+  bool isRecursive(const std::string &Function) const {
+    return Recursive.count(Function) != 0;
+  }
+
+  /// All functions on recursive cycles.
+  const std::set<std::string> &recursiveFunctions() const {
+    return Recursive;
+  }
+
+  /// Callee-first topological order of the non-recursive part; recursive
+  /// functions appear after all their non-recursive (transitive) callees,
+  /// in name order, so the analyzer can report them deterministically.
+  const std::vector<std::string> &topologicalOrder() const { return Topo; }
+
+private:
+  std::map<std::string, std::set<std::string>> Edges;
+  std::set<std::string> Recursive;
+  std::vector<std::string> Topo;
+  std::set<std::string> EmptySet;
+};
+
+} // namespace analysis
+} // namespace qcc
+
+#endif // QCC_ANALYSIS_CALLGRAPH_H

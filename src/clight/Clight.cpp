@@ -1,0 +1,390 @@
+//===- clight/Clight.cpp - Clight core IR ---------------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "clight/Clight.h"
+
+#include <cassert>
+
+using namespace qcc;
+using namespace qcc::clight;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const char *qcc::clight::binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add: return "+";
+  case BinOp::Sub: return "-";
+  case BinOp::Mul: return "*";
+  case BinOp::DivS: return "/s";
+  case BinOp::DivU: return "/u";
+  case BinOp::ModS: return "%s";
+  case BinOp::ModU: return "%u";
+  case BinOp::And: return "&";
+  case BinOp::Or: return "|";
+  case BinOp::Xor: return "^";
+  case BinOp::Shl: return "<<";
+  case BinOp::ShrS: return ">>s";
+  case BinOp::ShrU: return ">>u";
+  case BinOp::Eq: return "==";
+  case BinOp::Ne: return "!=";
+  case BinOp::LtS: return "<s";
+  case BinOp::LtU: return "<u";
+  case BinOp::LeS: return "<=s";
+  case BinOp::LeU: return "<=u";
+  case BinOp::GtS: return ">s";
+  case BinOp::GtU: return ">u";
+  case BinOp::GeS: return ">=s";
+  case BinOp::GeU: return ">=u";
+  }
+  return "?";
+}
+
+ExprPtr Expr::intConst(uint32_t V, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::IntConst;
+  E->IntValue = V;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::localRead(std::string Name, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::LocalRead;
+  E->Name = std::move(Name);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::globalRead(std::string Name, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::GlobalRead;
+  E->Name = std::move(Name);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::arrayRead(std::string Name, ExprPtr Index, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::ArrayRead;
+  E->Name = std::move(Name);
+  E->Lhs = std::move(Index);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::unary(UnOp Op, ExprPtr Operand, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Unary;
+  E->UOp = Op;
+  E->Lhs = std::move(Operand);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::binary(BinOp Op, ExprPtr L, ExprPtr R, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Binary;
+  E->BOp = Op;
+  E->Lhs = std::move(L);
+  E->Rhs = std::move(R);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::cond(ExprPtr C, ExprPtr T, ExprPtr F, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Cond;
+  E->Lhs = std::move(C);
+  E->Rhs = std::move(T);
+  E->Third = std::move(F);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::clone() const {
+  auto E = std::make_unique<Expr>();
+  E->Kind = Kind;
+  E->Loc = Loc;
+  E->IntValue = IntValue;
+  E->Name = Name;
+  E->UOp = UOp;
+  E->BOp = BOp;
+  if (Lhs)
+    E->Lhs = Lhs->clone();
+  if (Rhs)
+    E->Rhs = Rhs->clone();
+  if (Third)
+    E->Third = Third->clone();
+  return E;
+}
+
+std::string Expr::str() const {
+  switch (Kind) {
+  case ExprKind::IntConst:
+    return std::to_string(IntValue);
+  case ExprKind::LocalRead:
+  case ExprKind::GlobalRead:
+    return Name;
+  case ExprKind::ArrayRead:
+    return Name + "[" + Lhs->str() + "]";
+  case ExprKind::Unary: {
+    const char *Sp = UOp == UnOp::Neg ? "-" : UOp == UnOp::BoolNot ? "!" : "~";
+    return std::string(Sp) + "(" + Lhs->str() + ")";
+  }
+  case ExprKind::Binary:
+    return "(" + Lhs->str() + " " + binOpSpelling(BOp) + " " + Rhs->str() +
+           ")";
+  case ExprKind::Cond:
+    return "(" + Lhs->str() + " ? " + Rhs->str() + " : " + Third->str() + ")";
+  }
+  return "<bad expr>";
+}
+
+//===----------------------------------------------------------------------===//
+// LValues
+//===----------------------------------------------------------------------===//
+
+LValue LValue::local(std::string Name) {
+  return LValue{Kind::Local, std::move(Name), nullptr};
+}
+LValue LValue::global(std::string Name) {
+  return LValue{Kind::Global, std::move(Name), nullptr};
+}
+LValue LValue::arrayElem(std::string Name, ExprPtr Index) {
+  return LValue{Kind::ArrayElem, std::move(Name), std::move(Index)};
+}
+
+LValue LValue::clone() const {
+  return LValue{K, Name, Index ? Index->clone() : nullptr};
+}
+
+std::string LValue::str() const {
+  if (K == Kind::ArrayElem)
+    return Name + "[" + Index->str() + "]";
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Stmt::skip(SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Skip;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::assign(LValue Dest, ExprPtr Value, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Assign;
+  S->HasDest = true;
+  S->Dest = std::move(Dest);
+  S->Value = std::move(Value);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::call(std::string Callee, std::vector<ExprPtr> Args,
+                   SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Call;
+  S->Callee = std::move(Callee);
+  S->Args = std::move(Args);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::callAssign(LValue Dest, std::string Callee,
+                         std::vector<ExprPtr> Args, SourceLoc Loc) {
+  StmtPtr S = call(std::move(Callee), std::move(Args), Loc);
+  S->HasDest = true;
+  S->Dest = std::move(Dest);
+  return S;
+}
+
+StmtPtr Stmt::seq(StmtPtr S1, StmtPtr S2, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Seq;
+  S->First = std::move(S1);
+  S->Second = std::move(S2);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::ifThenElse(ExprPtr Cond, StmtPtr Then, StmtPtr Else,
+                         SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::If;
+  S->Value = std::move(Cond);
+  S->First = std::move(Then);
+  S->Second = std::move(Else);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::loop(StmtPtr Body, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Loop;
+  S->First = std::move(Body);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::brk(SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Break;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::retVoid(SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Return;
+  S->HasValue = false;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::ret(ExprPtr Value, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Return;
+  S->HasValue = true;
+  S->Value = std::move(Value);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::clone() const {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = Kind;
+  S->Loc = Loc;
+  S->HasDest = HasDest;
+  S->Dest = Dest.clone();
+  if (Value)
+    S->Value = Value->clone();
+  S->HasValue = HasValue;
+  S->Callee = Callee;
+  for (const ExprPtr &A : Args)
+    S->Args.push_back(A->clone());
+  if (First)
+    S->First = First->clone();
+  if (Second)
+    S->Second = Second->clone();
+  return S;
+}
+
+std::string Stmt::str(unsigned Indent) const {
+  std::string Pad(Indent * 2, ' ');
+  switch (Kind) {
+  case StmtKind::Skip:
+    return Pad + "skip;\n";
+  case StmtKind::Assign:
+    return Pad + Dest.str() + " = " + Value->str() + ";\n";
+  case StmtKind::Call: {
+    std::string Out = Pad;
+    if (HasDest)
+      Out += Dest.str() + " = ";
+    Out += Callee + "(";
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Args[I]->str();
+    }
+    Out += ");\n";
+    return Out;
+  }
+  case StmtKind::Seq:
+    return First->str(Indent) + Second->str(Indent);
+  case StmtKind::If:
+    return Pad + "if (" + Value->str() + ") {\n" + First->str(Indent + 1) +
+           Pad + "} else {\n" + Second->str(Indent + 1) + Pad + "}\n";
+  case StmtKind::Loop:
+    return Pad + "loop {\n" + First->str(Indent + 1) + Pad + "}\n";
+  case StmtKind::Break:
+    return Pad + "break;\n";
+  case StmtKind::Return:
+    return Pad + (HasValue ? "return " + Value->str() + ";\n" : "return;\n");
+  }
+  return Pad + "<bad stmt>\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Programs
+//===----------------------------------------------------------------------===//
+
+Function Function::clone() const {
+  Function F;
+  F.Name = Name;
+  F.Params = Params;
+  F.Locals = Locals;
+  F.VarSigns = VarSigns;
+  F.ReturnsValue = ReturnsValue;
+  F.Body = Body ? Body->clone() : nullptr;
+  F.Loc = Loc;
+  return F;
+}
+
+Program Program::clone() const {
+  Program P;
+  P.Globals = Globals;
+  P.Externals = Externals;
+  for (const Function &F : Functions)
+    P.Functions.push_back(F.clone());
+  P.EntryPoint = EntryPoint;
+  return P;
+}
+
+const Function *Program::findFunction(const std::string &Name) const {
+  for (const Function &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const GlobalVar *Program::findGlobal(const std::string &Name) const {
+  for (const GlobalVar &G : Globals)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}
+
+const ExternalDecl *Program::findExternal(const std::string &Name) const {
+  for (const ExternalDecl &E : Externals)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+std::string Program::str() const {
+  std::string Out;
+  for (const GlobalVar &G : Globals) {
+    Out += (G.Sign == Signedness::Signed ? "int " : "u32 ") + G.Name;
+    if (G.IsArray)
+      Out += "[" + std::to_string(G.Size) + "]";
+    Out += ";\n";
+  }
+  for (const ExternalDecl &E : Externals)
+    Out += "extern " + std::string(E.HasResult ? "u32 " : "void ") + E.Name +
+           "(/*arity " + std::to_string(E.Arity) + "*/);\n";
+  for (const Function &F : Functions) {
+    Out += (F.ReturnsValue ? "u32 " : "void ") + F.Name + "(";
+    for (size_t I = 0; I != F.Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "u32 " + F.Params[I];
+    }
+    Out += ") {\n";
+    for (const std::string &L : F.Locals)
+      Out += "  u32 " + L + ";\n";
+    Out += F.Body->str(1);
+    Out += "}\n";
+  }
+  return Out;
+}

@@ -1,0 +1,246 @@
+//===- clight/Clight.h - Clight core IR -------------------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Clight core IR, following the statement grammar of Paper section 4.1:
+///
+///   S ::= skip | x = E | x = f(E*) | S1; S2 | loop S
+///       | if (E) then S1 else S2 | break | return E
+///
+/// extended with stores to global scalars and global arrays (the paper's
+/// Clight has general memory; our subset confines addressable data to
+/// globals, which is all the evaluation corpus needs). Expressions are free
+/// of side effects; loops are infinite unless exited by break or return;
+/// `while` and `for` are desugared by the frontend.
+///
+/// Values are 32-bit machine words. Signedness lives in the *operators*
+/// (DivS vs DivU etc.), chosen by the elaborator from the static C types,
+/// exactly as CompCert's Clight does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_CLIGHT_CLIGHT_H
+#define QCC_CLIGHT_CLIGHT_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace clight {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntConst,  ///< 32-bit literal.
+  LocalRead, ///< Read a local variable or parameter.
+  GlobalRead,///< Read a global scalar.
+  ArrayRead, ///< Read element of a global array.
+  Unary,     ///< Unary operator.
+  Binary,    ///< Binary operator.
+  Cond       ///< c ? t : f; gives && and || their short-circuit semantics.
+};
+
+enum class UnOp : uint8_t {
+  Neg,    ///< Two's-complement negation.
+  BoolNot,///< !e: 1 if e == 0 else 0.
+  BitNot  ///< ~e.
+};
+
+/// Binary operators. Signed/unsigned variants are distinct operators; the
+/// elaborator picks the variant from the static types.
+enum class BinOp : uint8_t {
+  Add, Sub, Mul,
+  DivS, DivU, ModS, ModU,
+  And, Or, Xor,
+  Shl, ShrS, ShrU,
+  Eq, Ne,
+  LtS, LtU, LeS, LeU, GtS, GtU, GeS, GeU
+};
+
+/// Returns a C-like spelling such as "+", "/s", "<u".
+const char *binOpSpelling(BinOp Op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One expression node; \c Kind selects which fields are meaningful.
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+
+  uint32_t IntValue = 0;        ///< IntConst.
+  std::string Name;             ///< LocalRead/GlobalRead/ArrayRead.
+  UnOp UOp = UnOp::Neg;         ///< Unary.
+  BinOp BOp = BinOp::Add;       ///< Binary.
+  ExprPtr Lhs;                  ///< Unary operand / Binary lhs / Cond cond /
+                                ///< ArrayRead index.
+  ExprPtr Rhs;                  ///< Binary rhs / Cond then.
+  ExprPtr Third;                ///< Cond else.
+
+  static ExprPtr intConst(uint32_t V, SourceLoc Loc = {});
+  static ExprPtr localRead(std::string Name, SourceLoc Loc = {});
+  static ExprPtr globalRead(std::string Name, SourceLoc Loc = {});
+  static ExprPtr arrayRead(std::string Name, ExprPtr Index,
+                           SourceLoc Loc = {});
+  static ExprPtr unary(UnOp Op, ExprPtr E, SourceLoc Loc = {});
+  static ExprPtr binary(BinOp Op, ExprPtr L, ExprPtr R, SourceLoc Loc = {});
+  static ExprPtr cond(ExprPtr C, ExprPtr T, ExprPtr F, SourceLoc Loc = {});
+
+  /// Deep copy.
+  ExprPtr clone() const;
+
+  /// Renders as a parenthesized C-like expression.
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// The target of an assignment or of a call result.
+struct LValue {
+  enum class Kind : uint8_t { Local, Global, ArrayElem } K;
+  std::string Name;
+  ExprPtr Index; ///< ArrayElem only.
+
+  static LValue local(std::string Name);
+  static LValue global(std::string Name);
+  static LValue arrayElem(std::string Name, ExprPtr Index);
+
+  LValue clone() const;
+  std::string str() const;
+};
+
+enum class StmtKind : uint8_t {
+  Skip,
+  Assign, ///< lv = E
+  Call,   ///< [lv =] f(E*)
+  Seq,    ///< S1; S2
+  If,     ///< if (E) S1 else S2
+  Loop,   ///< loop S  (infinite unless break/return)
+  Break,
+  Return  ///< return [E]
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One statement node; \c Kind selects which fields are meaningful.
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+
+  // Assign / Call destination.
+  bool HasDest = false;
+  LValue Dest{LValue::Kind::Local, "", nullptr};
+
+  ExprPtr Value;                 ///< Assign rhs / If condition / Return value.
+  bool HasValue = false;         ///< Return: carries a value?
+  std::string Callee;            ///< Call.
+  std::vector<ExprPtr> Args;     ///< Call.
+  StmtPtr First;                 ///< Seq S1 / If then / Loop body.
+  StmtPtr Second;                ///< Seq S2 / If else.
+
+  static StmtPtr skip(SourceLoc Loc = {});
+  static StmtPtr assign(LValue Dest, ExprPtr Value, SourceLoc Loc = {});
+  static StmtPtr call(std::string Callee, std::vector<ExprPtr> Args,
+                      SourceLoc Loc = {});
+  static StmtPtr callAssign(LValue Dest, std::string Callee,
+                            std::vector<ExprPtr> Args, SourceLoc Loc = {});
+  static StmtPtr seq(StmtPtr S1, StmtPtr S2, SourceLoc Loc = {});
+  static StmtPtr ifThenElse(ExprPtr Cond, StmtPtr Then, StmtPtr Else,
+                            SourceLoc Loc = {});
+  static StmtPtr loop(StmtPtr Body, SourceLoc Loc = {});
+  static StmtPtr brk(SourceLoc Loc = {});
+  static StmtPtr retVoid(SourceLoc Loc = {});
+  static StmtPtr ret(ExprPtr Value, SourceLoc Loc = {});
+
+  StmtPtr clone() const;
+
+  /// Renders as indented C-like pseudocode.
+  std::string str(unsigned Indent = 0) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Programs
+//===----------------------------------------------------------------------===//
+
+/// Static scalar type: word signedness. Arrays are arrays of words.
+enum class Signedness : uint8_t { Signed, Unsigned };
+
+/// A global variable: a scalar (Size == 1, IsArray == false) or an array of
+/// 32-bit words.
+struct GlobalVar {
+  std::string Name;
+  bool IsArray = false;
+  uint32_t Size = 1; ///< Element count.
+  Signedness Sign = Signedness::Unsigned;
+  std::vector<uint32_t> Init; ///< Padded with zeros to Size.
+  SourceLoc Loc;
+};
+
+/// A declared external function (I/O): calls emit external events and
+/// consume no stack by the paper's stack-metric convention.
+struct ExternalDecl {
+  std::string Name;
+  unsigned Arity = 0;
+  bool HasResult = false;
+  SourceLoc Loc;
+};
+
+/// An internal function definition.
+struct Function {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<std::string> Locals;
+  /// Static signedness of each parameter and local (the quantitative
+  /// logic's term language reads 32-bit values through this lens).
+  std::map<std::string, Signedness> VarSigns;
+  bool ReturnsValue = false;
+  StmtPtr Body;
+  SourceLoc Loc;
+
+  Function() = default;
+  Function(Function &&) = default;
+  Function &operator=(Function &&) = default;
+
+  Function clone() const;
+};
+
+/// A whole Clight program: globals, externals, functions, and the entry
+/// point (always "main" in the corpus).
+struct Program {
+  std::vector<GlobalVar> Globals;
+  std::vector<ExternalDecl> Externals;
+  std::vector<Function> Functions;
+  std::string EntryPoint = "main";
+
+  Program() = default;
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+
+  Program clone() const;
+
+  const Function *findFunction(const std::string &Name) const;
+  const GlobalVar *findGlobal(const std::string &Name) const;
+  const ExternalDecl *findExternal(const std::string &Name) const;
+
+  /// Renders the whole program as C-like pseudocode.
+  std::string str() const;
+};
+
+} // namespace clight
+} // namespace qcc
+
+#endif // QCC_CLIGHT_CLIGHT_H

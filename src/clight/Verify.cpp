@@ -1,0 +1,212 @@
+//===- clight/Verify.cpp - Clight well-formedness checks ------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "clight/Verify.h"
+
+#include <set>
+
+using namespace qcc;
+using namespace qcc::clight;
+
+namespace {
+
+/// Walks one function checking names, arities, and structural rules.
+class Verifier {
+public:
+  Verifier(const Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  void run() {
+    std::set<std::string> Seen;
+    for (const GlobalVar &G : P.Globals)
+      if (!Seen.insert(G.Name).second)
+        Diags.error(G.Loc, "duplicate global '" + G.Name + "'");
+    for (const ExternalDecl &E : P.Externals)
+      if (!Seen.insert(E.Name).second)
+        Diags.error(E.Loc, "duplicate declaration '" + E.Name + "'");
+    for (const Function &F : P.Functions)
+      if (!Seen.insert(F.Name).second)
+        Diags.error(F.Loc, "duplicate function '" + F.Name + "'");
+
+    const Function *Main = P.findFunction(P.EntryPoint);
+    if (!Main)
+      Diags.error(SourceLoc(), "entry point '" + P.EntryPoint +
+                                   "' is not defined");
+    else if (!Main->Params.empty())
+      Diags.error(Main->Loc, "entry point must take no parameters");
+
+    for (const Function &F : P.Functions)
+      verifyFunction(F);
+  }
+
+private:
+  void verifyFunction(const Function &F) {
+    Scope.clear();
+    std::set<std::string> Dup;
+    for (const std::string &N : F.Params) {
+      Scope.insert(N);
+      if (!Dup.insert(N).second)
+        Diags.error(F.Loc, "duplicate parameter '" + N + "' in '" + F.Name +
+                               "'");
+    }
+    for (const std::string &N : F.Locals) {
+      Scope.insert(N);
+      if (!Dup.insert(N).second)
+        Diags.error(F.Loc, "duplicate local '" + N + "' in '" + F.Name + "'");
+    }
+    CurrentFunction = &F;
+    if (!F.Body) {
+      Diags.error(F.Loc, "function '" + F.Name + "' has no body");
+      return;
+    }
+    verifyStmt(*F.Body, /*InLoop=*/false);
+  }
+
+  void verifyLValue(const LValue &LV, SourceLoc Loc) {
+    switch (LV.K) {
+    case LValue::Kind::Local:
+      if (!Scope.count(LV.Name))
+        Diags.error(Loc, "unknown local '" + LV.Name + "'");
+      break;
+    case LValue::Kind::Global: {
+      const GlobalVar *G = P.findGlobal(LV.Name);
+      if (!G)
+        Diags.error(Loc, "unknown global '" + LV.Name + "'");
+      else if (G->IsArray)
+        Diags.error(Loc, "global array '" + LV.Name +
+                             "' assigned without subscript");
+      break;
+    }
+    case LValue::Kind::ArrayElem: {
+      const GlobalVar *G = P.findGlobal(LV.Name);
+      if (!G)
+        Diags.error(Loc, "unknown global array '" + LV.Name + "'");
+      else if (!G->IsArray)
+        Diags.error(Loc, "subscript applied to scalar '" + LV.Name + "'");
+      verifyExpr(*LV.Index);
+      break;
+    }
+    }
+  }
+
+  void verifyExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntConst:
+      break;
+    case ExprKind::LocalRead:
+      if (!Scope.count(E.Name))
+        Diags.error(E.Loc, "unknown local '" + E.Name + "'");
+      break;
+    case ExprKind::GlobalRead: {
+      const GlobalVar *G = P.findGlobal(E.Name);
+      if (!G)
+        Diags.error(E.Loc, "unknown global '" + E.Name + "'");
+      else if (G->IsArray)
+        Diags.error(E.Loc, "global array '" + E.Name +
+                               "' read without subscript");
+      break;
+    }
+    case ExprKind::ArrayRead: {
+      const GlobalVar *G = P.findGlobal(E.Name);
+      if (!G)
+        Diags.error(E.Loc, "unknown global array '" + E.Name + "'");
+      else if (!G->IsArray)
+        Diags.error(E.Loc, "subscript applied to scalar '" + E.Name + "'");
+      verifyExpr(*E.Lhs);
+      break;
+    }
+    case ExprKind::Unary:
+      verifyExpr(*E.Lhs);
+      break;
+    case ExprKind::Binary:
+      verifyExpr(*E.Lhs);
+      verifyExpr(*E.Rhs);
+      break;
+    case ExprKind::Cond:
+      verifyExpr(*E.Lhs);
+      verifyExpr(*E.Rhs);
+      verifyExpr(*E.Third);
+      break;
+    }
+  }
+
+  void verifyStmt(const Stmt &S, bool InLoop) {
+    switch (S.Kind) {
+    case StmtKind::Skip:
+      break;
+    case StmtKind::Assign:
+      verifyLValue(S.Dest, S.Loc);
+      verifyExpr(*S.Value);
+      break;
+    case StmtKind::Call: {
+      unsigned Arity = 0;
+      bool HasResult = false;
+      if (const Function *F = P.findFunction(S.Callee)) {
+        Arity = F->Params.size();
+        HasResult = F->ReturnsValue;
+      } else if (const ExternalDecl *E = P.findExternal(S.Callee)) {
+        Arity = E->Arity;
+        HasResult = E->HasResult;
+      } else {
+        Diags.error(S.Loc, "call to undefined function '" + S.Callee + "'");
+        break;
+      }
+      if (S.Args.size() != Arity)
+        Diags.error(S.Loc, "call to '" + S.Callee + "' passes " +
+                               std::to_string(S.Args.size()) +
+                               " arguments, expected " +
+                               std::to_string(Arity));
+      if (S.HasDest && !HasResult)
+        Diags.error(S.Loc, "void function '" + S.Callee +
+                               "' used in assignment");
+      if (S.HasDest)
+        verifyLValue(S.Dest, S.Loc);
+      for (const ExprPtr &A : S.Args)
+        verifyExpr(*A);
+      break;
+    }
+    case StmtKind::Seq:
+      verifyStmt(*S.First, InLoop);
+      verifyStmt(*S.Second, InLoop);
+      break;
+    case StmtKind::If:
+      verifyExpr(*S.Value);
+      verifyStmt(*S.First, InLoop);
+      verifyStmt(*S.Second, InLoop);
+      break;
+    case StmtKind::Loop:
+      verifyStmt(*S.First, /*InLoop=*/true);
+      break;
+    case StmtKind::Break:
+      if (!InLoop)
+        Diags.error(S.Loc, "'break' outside of a loop");
+      break;
+    case StmtKind::Return:
+      if (S.HasValue && !CurrentFunction->ReturnsValue)
+        Diags.error(S.Loc, "void function '" + CurrentFunction->Name +
+                               "' returns a value");
+      if (!S.HasValue && CurrentFunction->ReturnsValue)
+        Diags.error(S.Loc, "non-void function '" + CurrentFunction->Name +
+                               "' returns no value");
+      if (S.HasValue)
+        verifyExpr(*S.Value);
+      break;
+    }
+  }
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+  const Function *CurrentFunction = nullptr;
+  std::set<std::string> Scope;
+};
+
+} // namespace
+
+bool qcc::clight::verify(const Program &P, DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  Verifier(P, Diags).run();
+  return Diags.errorCount() == Before;
+}

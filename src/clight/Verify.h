@@ -1,0 +1,33 @@
+//===- clight/Verify.h - Clight well-formedness checks ----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness of Clight core programs: every name resolves,
+/// call arities match, call results go where results exist, `break` only
+/// occurs inside `loop`, and array/scalar accesses agree with declarations.
+/// Every consumer of Clight core (interpreter, logic, analyzer, lowering)
+/// may assume a verified program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_CLIGHT_VERIFY_H
+#define QCC_CLIGHT_VERIFY_H
+
+#include "clight/Clight.h"
+#include "support/Diagnostics.h"
+
+namespace qcc {
+namespace clight {
+
+/// Checks \p P; reports problems to \p Diags. Returns true when no errors
+/// were found.
+bool verify(const Program &P, DiagnosticEngine &Diags);
+
+} // namespace clight
+} // namespace qcc
+
+#endif // QCC_CLIGHT_VERIFY_H

@@ -1,0 +1,274 @@
+//===- cminor/Cminor.cpp - Cminor intermediate language -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cminor/Cminor.h"
+
+using namespace qcc;
+using namespace qcc::cminor;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Expr::constant(uint32_t V) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Const;
+  E->IntValue = V;
+  return E;
+}
+
+ExprPtr Expr::temp(uint32_t Index) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Temp;
+  E->TempIndex = Index;
+  return E;
+}
+
+ExprPtr Expr::globalLoad(std::string Name) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::GlobalLoad;
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprPtr Expr::arrayLoad(std::string Name, ExprPtr Index) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::ArrayLoad;
+  E->Name = std::move(Name);
+  E->Lhs = std::move(Index);
+  return E;
+}
+
+ExprPtr Expr::unary(UnOp Op, ExprPtr Operand) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Unary;
+  E->UOp = Op;
+  E->Lhs = std::move(Operand);
+  return E;
+}
+
+ExprPtr Expr::binary(BinOp Op, ExprPtr L, ExprPtr R) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Binary;
+  E->BOp = Op;
+  E->Lhs = std::move(L);
+  E->Rhs = std::move(R);
+  return E;
+}
+
+std::string Expr::str() const {
+  switch (Kind) {
+  case ExprKind::Const:
+    return std::to_string(IntValue);
+  case ExprKind::Temp:
+    return "t" + std::to_string(TempIndex);
+  case ExprKind::GlobalLoad:
+    return Name;
+  case ExprKind::ArrayLoad:
+    return Name + "[" + Lhs->str() + "]";
+  case ExprKind::Unary: {
+    const char *Sp =
+        UOp == UnOp::Neg ? "-" : UOp == UnOp::BoolNot ? "!" : "~";
+    return std::string(Sp) + "(" + Lhs->str() + ")";
+  }
+  case ExprKind::Binary:
+    return "(" + Lhs->str() + " " + clight::binOpSpelling(BOp) + " " +
+           Rhs->str() + ")";
+  }
+  return "<bad expr>";
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Stmt::skip(SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Skip;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::assign(uint32_t Temp, ExprPtr Value, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Assign;
+  S->TempIndex = Temp;
+  S->Value = std::move(Value);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::globStore(std::string Name, ExprPtr Value, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::GlobStore;
+  S->Name = std::move(Name);
+  S->Value = std::move(Value);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::arrayStore(std::string Name, ExprPtr Index, ExprPtr Value,
+                         SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::ArrayStore;
+  S->Name = std::move(Name);
+  S->Addr = std::move(Index);
+  S->Value = std::move(Value);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::call(bool HasDest, uint32_t DestTemp, std::string Callee,
+                   std::vector<ExprPtr> Args, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Call;
+  S->HasDest = HasDest;
+  S->TempIndex = DestTemp;
+  S->Name = std::move(Callee);
+  S->Args = std::move(Args);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::seq(StmtPtr S1, StmtPtr S2, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Seq;
+  S->First = std::move(S1);
+  S->Second = std::move(S2);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::ifThenElse(ExprPtr Cond, StmtPtr Then, StmtPtr Else,
+                         SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::If;
+  S->Value = std::move(Cond);
+  S->First = std::move(Then);
+  S->Second = std::move(Else);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::loop(StmtPtr Body, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Loop;
+  S->First = std::move(Body);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::block(StmtPtr Body, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Block;
+  S->First = std::move(Body);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::exit(uint32_t Depth, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Exit;
+  S->ExitDepth = Depth;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::retVoid(SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Return;
+  S->HasValue = false;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::ret(ExprPtr Value, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Return;
+  S->HasValue = true;
+  S->Value = std::move(Value);
+  S->Loc = Loc;
+  return S;
+}
+
+std::string Stmt::str(unsigned Indent) const {
+  std::string Pad(Indent * 2, ' ');
+  switch (Kind) {
+  case StmtKind::Skip:
+    return Pad + "skip;\n";
+  case StmtKind::Assign:
+    return Pad + "t" + std::to_string(TempIndex) + " = " + Value->str() +
+           ";\n";
+  case StmtKind::GlobStore:
+    return Pad + Name + " = " + Value->str() + ";\n";
+  case StmtKind::ArrayStore:
+    return Pad + Name + "[" + Addr->str() + "] = " + Value->str() + ";\n";
+  case StmtKind::Call: {
+    std::string Out = Pad;
+    if (HasDest)
+      Out += "t" + std::to_string(TempIndex) + " = ";
+    Out += Name + "(";
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Args[I]->str();
+    }
+    return Out + ");\n";
+  }
+  case StmtKind::Seq:
+    return First->str(Indent) + Second->str(Indent);
+  case StmtKind::If:
+    return Pad + "if (" + Value->str() + ") {\n" + First->str(Indent + 1) +
+           Pad + "} else {\n" + Second->str(Indent + 1) + Pad + "}\n";
+  case StmtKind::Loop:
+    return Pad + "loop {\n" + First->str(Indent + 1) + Pad + "}\n";
+  case StmtKind::Block:
+    return Pad + "block {\n" + First->str(Indent + 1) + Pad + "}\n";
+  case StmtKind::Exit:
+    return Pad + "exit " + std::to_string(ExitDepth) + ";\n";
+  case StmtKind::Return:
+    return Pad + (HasValue ? "return " + Value->str() + ";\n" : "return;\n");
+  }
+  return Pad + "<bad stmt>\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Programs
+//===----------------------------------------------------------------------===//
+
+const Function *Program::findFunction(const std::string &Name) const {
+  for (const Function &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const GlobalVar *Program::findGlobal(const std::string &Name) const {
+  for (const GlobalVar &G : Globals)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}
+
+const ExternalDecl *Program::findExternal(const std::string &Name) const {
+  for (const ExternalDecl &E : Externals)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+std::string Program::str() const {
+  std::string Out;
+  for (const Function &F : Functions) {
+    Out += "function " + F.Name + "(params " +
+           std::to_string(F.NumParams) + ", temps " +
+           std::to_string(F.NumTemps) + ") {\n";
+    Out += F.Body->str(1);
+    Out += "}\n";
+  }
+  return Out;
+}

@@ -1,0 +1,165 @@
+//===- cminor/Cminor.h - Cminor intermediate language -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cminor, the first intermediate language of the pipeline (mirroring
+/// CompCert's Cminor in the respects that matter here):
+///
+///   * named variables become numbered temporaries,
+///   * conditional expressions are gone (lowered to control flow),
+///   * structured non-local exits use CompCert's block/exit discipline:
+///     `exit n` terminates n+1 enclosing blocks; loops are transparent
+///     to exits, which is how `break` compiles.
+///
+/// The operational semantics (cminor/Interp) emits the same call/return
+/// events as Clight: the Clight -> Cminor pass preserves memory events
+/// exactly, which is its quantitative-refinement certificate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_CMINOR_CMINOR_H
+#define QCC_CMINOR_CMINOR_H
+
+#include "clight/Clight.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace cminor {
+
+/// Cminor reuses Clight's operator vocabulary (the elaborator has already
+/// resolved signedness).
+using clight::BinOp;
+using clight::UnOp;
+using clight::ExternalDecl;
+using clight::GlobalVar;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  Const,
+  Temp,      ///< Read temporary #N.
+  GlobalLoad,///< Load a global scalar.
+  ArrayLoad, ///< Load element of a global array.
+  Unary,
+  Binary
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind Kind;
+  uint32_t IntValue = 0; ///< Const.
+  uint32_t TempIndex = 0;///< Temp.
+  std::string Name;      ///< GlobalLoad / ArrayLoad.
+  UnOp UOp = UnOp::Neg;
+  BinOp BOp = BinOp::Add;
+  ExprPtr Lhs, Rhs;
+
+  static ExprPtr constant(uint32_t V);
+  static ExprPtr temp(uint32_t Index);
+  static ExprPtr globalLoad(std::string Name);
+  static ExprPtr arrayLoad(std::string Name, ExprPtr Index);
+  static ExprPtr unary(UnOp Op, ExprPtr E);
+  static ExprPtr binary(BinOp Op, ExprPtr L, ExprPtr R);
+
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Skip,
+  Assign,     ///< tN = expr
+  GlobStore,  ///< glob = expr
+  ArrayStore, ///< arr[expr] = expr
+  Call,       ///< [tN =] f(args)
+  Seq,
+  If,
+  Loop,       ///< Infinite; left via exit or return.
+  Block,      ///< Exit target.
+  Exit,       ///< exit n: terminates n+1 enclosing blocks.
+  Return
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+
+  uint32_t TempIndex = 0;      ///< Assign / Call destination.
+  bool HasDest = false;        ///< Call.
+  std::string Name;            ///< GlobStore/ArrayStore global, Call callee.
+  ExprPtr Addr;                ///< ArrayStore index.
+  ExprPtr Value;               ///< Assign/Store value, If condition,
+                               ///< Return value.
+  bool HasValue = false;       ///< Return.
+  std::vector<ExprPtr> Args;   ///< Call.
+  uint32_t ExitDepth = 0;      ///< Exit.
+  StmtPtr First, Second;       ///< Seq / If branches / Loop / Block body.
+
+  static StmtPtr skip(SourceLoc Loc = {});
+  static StmtPtr assign(uint32_t Temp, ExprPtr Value, SourceLoc Loc = {});
+  static StmtPtr globStore(std::string Name, ExprPtr Value,
+                           SourceLoc Loc = {});
+  static StmtPtr arrayStore(std::string Name, ExprPtr Index, ExprPtr Value,
+                            SourceLoc Loc = {});
+  static StmtPtr call(bool HasDest, uint32_t DestTemp, std::string Callee,
+                      std::vector<ExprPtr> Args, SourceLoc Loc = {});
+  static StmtPtr seq(StmtPtr S1, StmtPtr S2, SourceLoc Loc = {});
+  static StmtPtr ifThenElse(ExprPtr Cond, StmtPtr Then, StmtPtr Else,
+                            SourceLoc Loc = {});
+  static StmtPtr loop(StmtPtr Body, SourceLoc Loc = {});
+  static StmtPtr block(StmtPtr Body, SourceLoc Loc = {});
+  static StmtPtr exit(uint32_t Depth, SourceLoc Loc = {});
+  static StmtPtr retVoid(SourceLoc Loc = {});
+  static StmtPtr ret(ExprPtr Value, SourceLoc Loc = {});
+
+  std::string str(unsigned Indent = 0) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Programs
+//===----------------------------------------------------------------------===//
+
+struct Function {
+  std::string Name;
+  uint32_t NumParams = 0; ///< Temps 0 .. NumParams-1 receive arguments.
+  uint32_t NumTemps = 0;  ///< Total temporaries (params included).
+  bool ReturnsValue = false;
+  StmtPtr Body;
+  SourceLoc Loc;
+};
+
+struct Program {
+  std::vector<GlobalVar> Globals;
+  std::vector<ExternalDecl> Externals;
+  std::vector<Function> Functions;
+  std::string EntryPoint = "main";
+
+  const Function *findFunction(const std::string &Name) const;
+  const GlobalVar *findGlobal(const std::string &Name) const;
+  const ExternalDecl *findExternal(const std::string &Name) const;
+
+  std::string str() const;
+};
+
+} // namespace cminor
+} // namespace qcc
+
+#endif // QCC_CMINOR_CMINOR_H

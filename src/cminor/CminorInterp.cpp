@@ -1,0 +1,393 @@
+//===- cminor/CminorInterp.cpp - Cminor interpreter -----------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cminor/CminorInterp.h"
+
+#include <cassert>
+#include <limits>
+#include <map>
+
+using namespace qcc;
+using namespace qcc::cminor;
+
+namespace {
+
+struct EvalResult {
+  bool Ok;
+  uint32_t Value;
+  std::string Fault;
+
+  static EvalResult ok(uint32_t V) { return {true, V, ""}; }
+  static EvalResult fault(std::string Reason) {
+    return {false, 0, std::move(Reason)};
+  }
+};
+
+/// The whole-run interpreter state.
+class Machine {
+public:
+  Machine(const Program &P, uint64_t Fuel) : P(P), Fuel(Fuel) {
+    for (const GlobalVar &G : P.Globals) {
+      std::vector<uint32_t> Cells = G.Init;
+      Cells.resize(G.Size, 0);
+      Globals[G.Name] = std::move(Cells);
+    }
+  }
+
+  Behavior run() {
+    const Function *Entry = P.findFunction(P.EntryPoint);
+    if (!Entry)
+      return Behavior::fails({}, "entry point is not defined");
+    Events.push_back(Event::call(Entry->Name));
+    Temps.assign(Entry->NumTemps, 0);
+    return exec(Entry);
+  }
+
+private:
+  /// One continuation frame.
+  struct Cont {
+    enum class Kind : uint8_t { Seq, Loop, Block, Call } K;
+    const Stmt *Next = nullptr; ///< Seq: S2; Loop: body.
+    // Call frames:
+    bool HasDest = false;
+    uint32_t DestTemp = 0;
+    std::string Function;
+    std::vector<uint32_t> SavedTemps;
+  };
+
+  EvalResult eval(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::Const:
+      return EvalResult::ok(E.IntValue);
+    case ExprKind::Temp:
+      if (E.TempIndex >= Temps.size())
+        return EvalResult::fault("temp out of range");
+      return EvalResult::ok(Temps[E.TempIndex]);
+    case ExprKind::GlobalLoad: {
+      auto It = Globals.find(E.Name);
+      if (It == Globals.end())
+        return EvalResult::fault("unbound global '" + E.Name + "'");
+      return EvalResult::ok(It->second[0]);
+    }
+    case ExprKind::ArrayLoad: {
+      auto It = Globals.find(E.Name);
+      if (It == Globals.end())
+        return EvalResult::fault("unbound array '" + E.Name + "'");
+      EvalResult Idx = eval(*E.Lhs);
+      if (!Idx.Ok)
+        return Idx;
+      if (Idx.Value >= It->second.size())
+        return EvalResult::fault("index out of bounds for '" + E.Name +
+                                 "'");
+      return EvalResult::ok(It->second[Idx.Value]);
+    }
+    case ExprKind::Unary: {
+      EvalResult V = eval(*E.Lhs);
+      if (!V.Ok)
+        return V;
+      switch (E.UOp) {
+      case UnOp::Neg: return EvalResult::ok(0u - V.Value);
+      case UnOp::BoolNot: return EvalResult::ok(V.Value == 0 ? 1u : 0u);
+      case UnOp::BitNot: return EvalResult::ok(~V.Value);
+      }
+      return EvalResult::fault("bad unary op");
+    }
+    case ExprKind::Binary: {
+      EvalResult L = eval(*E.Lhs);
+      if (!L.Ok)
+        return L;
+      EvalResult R = eval(*E.Rhs);
+      if (!R.Ok)
+        return R;
+      return evalBinOp(E.BOp, L.Value, R.Value);
+    }
+    }
+    return EvalResult::fault("bad expression");
+  }
+
+  static EvalResult evalBinOp(BinOp Op, uint32_t A, uint32_t B) {
+    int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+    switch (Op) {
+    case BinOp::Add: return EvalResult::ok(A + B);
+    case BinOp::Sub: return EvalResult::ok(A - B);
+    case BinOp::Mul: return EvalResult::ok(A * B);
+    case BinOp::DivU:
+      if (B == 0)
+        return EvalResult::fault("unsigned division by zero");
+      return EvalResult::ok(A / B);
+    case BinOp::ModU:
+      if (B == 0)
+        return EvalResult::fault("unsigned remainder by zero");
+      return EvalResult::ok(A % B);
+    case BinOp::DivS:
+      if (SB == 0)
+        return EvalResult::fault("signed division by zero");
+      if (SA == std::numeric_limits<int32_t>::min() && SB == -1)
+        return EvalResult::fault("signed division overflow");
+      return EvalResult::ok(static_cast<uint32_t>(SA / SB));
+    case BinOp::ModS:
+      if (SB == 0)
+        return EvalResult::fault("signed remainder by zero");
+      if (SA == std::numeric_limits<int32_t>::min() && SB == -1)
+        return EvalResult::fault("signed remainder overflow");
+      return EvalResult::ok(static_cast<uint32_t>(SA % SB));
+    case BinOp::And: return EvalResult::ok(A & B);
+    case BinOp::Or: return EvalResult::ok(A | B);
+    case BinOp::Xor: return EvalResult::ok(A ^ B);
+    case BinOp::Shl: return EvalResult::ok(A << (B & 31));
+    case BinOp::ShrU: return EvalResult::ok(A >> (B & 31));
+    case BinOp::ShrS:
+      return EvalResult::ok(static_cast<uint32_t>(SA >> (B & 31)));
+    case BinOp::Eq: return EvalResult::ok(A == B);
+    case BinOp::Ne: return EvalResult::ok(A != B);
+    case BinOp::LtU: return EvalResult::ok(A < B);
+    case BinOp::LeU: return EvalResult::ok(A <= B);
+    case BinOp::GtU: return EvalResult::ok(A > B);
+    case BinOp::GeU: return EvalResult::ok(A >= B);
+    case BinOp::LtS: return EvalResult::ok(SA < SB);
+    case BinOp::LeS: return EvalResult::ok(SA <= SB);
+    case BinOp::GtS: return EvalResult::ok(SA > SB);
+    case BinOp::GeS: return EvalResult::ok(SA >= SB);
+    }
+    return EvalResult::fault("bad binary op");
+  }
+
+  Behavior exec(const Function *Entry) {
+    enum class Mode : uint8_t { Exec, FallThrough, Exiting, Returning };
+    Mode M = Mode::Exec;
+    const Stmt *Cur = Entry->Body.get();
+    uint32_t ExitDepth = 0;
+    uint32_t ReturnValue = 0;
+    std::vector<std::string> Chain = {Entry->Name};
+    uint64_t Steps = 0;
+
+    auto Fail = [&](const std::string &Reason) {
+      return Behavior::fails(Events, Reason);
+    };
+
+    for (;;) {
+      if (++Steps > Fuel)
+        return Behavior::diverges(Events);
+
+      if (M == Mode::Exec) {
+        switch (Cur->Kind) {
+        case StmtKind::Skip:
+          M = Mode::FallThrough;
+          break;
+        case StmtKind::Assign: {
+          EvalResult V = eval(*Cur->Value);
+          if (!V.Ok)
+            return Fail(V.Fault);
+          Temps[Cur->TempIndex] = V.Value;
+          M = Mode::FallThrough;
+          break;
+        }
+        case StmtKind::GlobStore: {
+          EvalResult V = eval(*Cur->Value);
+          if (!V.Ok)
+            return Fail(V.Fault);
+          auto It = Globals.find(Cur->Name);
+          if (It == Globals.end())
+            return Fail("unbound global '" + Cur->Name + "'");
+          It->second[0] = V.Value;
+          M = Mode::FallThrough;
+          break;
+        }
+        case StmtKind::ArrayStore: {
+          EvalResult V = eval(*Cur->Value);
+          if (!V.Ok)
+            return Fail(V.Fault);
+          auto It = Globals.find(Cur->Name);
+          if (It == Globals.end())
+            return Fail("unbound array '" + Cur->Name + "'");
+          EvalResult Idx = eval(*Cur->Addr);
+          if (!Idx.Ok)
+            return Fail(Idx.Fault);
+          if (Idx.Value >= It->second.size())
+            return Fail("index out of bounds for '" + Cur->Name + "'");
+          It->second[Idx.Value] = V.Value;
+          M = Mode::FallThrough;
+          break;
+        }
+        case StmtKind::Call: {
+          std::vector<uint32_t> ArgValues;
+          for (const ExprPtr &A : Cur->Args) {
+            EvalResult V = eval(*A);
+            if (!V.Ok)
+              return Fail(V.Fault);
+            ArgValues.push_back(V.Value);
+          }
+          if (const Function *Callee = P.findFunction(Cur->Name)) {
+            Events.push_back(Event::call(Callee->Name));
+            Cont C;
+            C.K = Cont::Kind::Call;
+            C.HasDest = Cur->HasDest;
+            C.DestTemp = Cur->TempIndex;
+            C.Function = Callee->Name;
+            C.SavedTemps = std::move(Temps);
+            Stack.push_back(std::move(C));
+            Chain.push_back(Callee->Name);
+            Temps.assign(Callee->NumTemps, 0);
+            for (size_t I = 0; I < ArgValues.size() &&
+                               I < Callee->NumParams;
+                 ++I)
+              Temps[I] = ArgValues[I];
+            Cur = Callee->Body.get();
+            break;
+          }
+          std::vector<int32_t> IOArgs(ArgValues.begin(), ArgValues.end());
+          Events.push_back(Event::external(Cur->Name, std::move(IOArgs), 0));
+          if (Cur->HasDest)
+            Temps[Cur->TempIndex] = 0;
+          M = Mode::FallThrough;
+          break;
+        }
+        case StmtKind::Seq: {
+          Cont C;
+          C.K = Cont::Kind::Seq;
+          C.Next = Cur->Second.get();
+          Stack.push_back(std::move(C));
+          Cur = Cur->First.get();
+          break;
+        }
+        case StmtKind::If: {
+          EvalResult C = eval(*Cur->Value);
+          if (!C.Ok)
+            return Fail(C.Fault);
+          Cur = C.Value != 0 ? Cur->First.get() : Cur->Second.get();
+          break;
+        }
+        case StmtKind::Loop: {
+          Cont C;
+          C.K = Cont::Kind::Loop;
+          C.Next = Cur->First.get();
+          Stack.push_back(std::move(C));
+          Cur = Cur->First.get();
+          break;
+        }
+        case StmtKind::Block: {
+          Cont C;
+          C.K = Cont::Kind::Block;
+          Stack.push_back(std::move(C));
+          Cur = Cur->First.get();
+          break;
+        }
+        case StmtKind::Exit:
+          ExitDepth = Cur->ExitDepth;
+          M = Mode::Exiting;
+          break;
+        case StmtKind::Return: {
+          if (Cur->HasValue) {
+            EvalResult V = eval(*Cur->Value);
+            if (!V.Ok)
+              return Fail(V.Fault);
+            ReturnValue = V.Value;
+          } else {
+            ReturnValue = 0;
+          }
+          M = Mode::Returning;
+          break;
+        }
+        }
+        continue;
+      }
+
+      if (Stack.empty()) {
+        if (M == Mode::FallThrough || M == Mode::Returning) {
+          Events.push_back(Event::ret(Chain.back()));
+          return Behavior::converges(Events,
+                                     static_cast<int32_t>(ReturnValue));
+        }
+        return Fail("exit escaped the function body");
+      }
+
+      Cont &Top = Stack.back();
+      switch (M) {
+      case Mode::FallThrough:
+        switch (Top.K) {
+        case Cont::Kind::Seq:
+          Cur = Top.Next;
+          Stack.pop_back();
+          M = Mode::Exec;
+          break;
+        case Cont::Kind::Loop:
+          Cur = Top.Next; // Loop again.
+          M = Mode::Exec;
+          break;
+        case Cont::Kind::Block:
+          Stack.pop_back(); // Fall out of the block.
+          break;
+        case Cont::Kind::Call: {
+          Events.push_back(Event::ret(Top.Function));
+          Temps = std::move(Top.SavedTemps);
+          if (Top.HasDest)
+            Temps[Top.DestTemp] = 0; // Void fall-through result.
+          Stack.pop_back();
+          Chain.pop_back();
+          break;
+        }
+        }
+        break;
+
+      case Mode::Exiting:
+        switch (Top.K) {
+        case Cont::Kind::Seq:
+        case Cont::Kind::Loop:
+          Stack.pop_back(); // Exits cross sequences and loops.
+          break;
+        case Cont::Kind::Block:
+          Stack.pop_back();
+          if (ExitDepth == 0)
+            M = Mode::FallThrough;
+          else
+            --ExitDepth;
+          break;
+        case Cont::Kind::Call:
+          return Fail("exit escaped a function body");
+        }
+        break;
+
+      case Mode::Returning:
+        switch (Top.K) {
+        case Cont::Kind::Seq:
+        case Cont::Kind::Loop:
+        case Cont::Kind::Block:
+          Stack.pop_back();
+          break;
+        case Cont::Kind::Call: {
+          Events.push_back(Event::ret(Top.Function));
+          Temps = std::move(Top.SavedTemps);
+          if (Top.HasDest)
+            Temps[Top.DestTemp] = ReturnValue;
+          Stack.pop_back();
+          Chain.pop_back();
+          M = Mode::FallThrough;
+          break;
+        }
+        }
+        break;
+
+      case Mode::Exec:
+        assert(false && "handled above");
+        break;
+      }
+    }
+  }
+
+  const Program &P;
+  uint64_t Fuel;
+  std::map<std::string, std::vector<uint32_t>> Globals;
+  std::vector<uint32_t> Temps;
+  std::vector<Cont> Stack;
+  Trace Events;
+};
+
+} // namespace
+
+Behavior qcc::cminor::runProgram(const Program &P, uint64_t Fuel) {
+  return Machine(P, Fuel).run();
+}

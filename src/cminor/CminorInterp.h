@@ -1,0 +1,32 @@
+//===- cminor/CminorInterp.h - Cminor interpreter ---------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small-step semantics of Cminor, emitting the same call/return and
+/// I/O events as Clight. Used by the translation-validation harness to
+/// certify the Clight -> Cminor pass on each compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_CMINOR_CMINORINTERP_H
+#define QCC_CMINOR_CMINORINTERP_H
+
+#include "cminor/Cminor.h"
+#include "events/Trace.h"
+
+#include <cstdint>
+
+namespace qcc {
+namespace cminor {
+
+/// Runs the entry point of \p P with the given small-step fuel.
+Behavior runProgram(const Program &P, uint64_t Fuel = 50'000'000);
+
+} // namespace cminor
+} // namespace qcc
+
+#endif // QCC_CMINOR_CMINORINTERP_H

@@ -1,0 +1,217 @@
+//===- cminor/Lower.cpp - Clight to Cminor lowering -----------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cminor/Lower.h"
+
+#include <cassert>
+#include <map>
+
+using namespace qcc;
+using namespace qcc::cminor;
+namespace cl = qcc::clight;
+
+namespace {
+
+/// Per-function lowering state.
+class FunctionLowering {
+public:
+  explicit FunctionLowering(const cl::Function &F) : Source(F) {
+    for (const std::string &P : F.Params)
+      TempOf[P] = NextTemp++;
+    NumParams = NextTemp;
+    for (const std::string &L : F.Locals)
+      TempOf[L] = NextTemp++;
+  }
+
+  Function run() {
+    Function Out;
+    Out.Name = Source.Name;
+    Out.NumParams = NumParams;
+    Out.ReturnsValue = Source.ReturnsValue;
+    Out.Loc = Source.Loc;
+
+    StmtPtr Body = lowerStmt(*Source.Body);
+    // Locals start at zero at every pipeline level (determinism choice).
+    for (uint32_t T = NumParams; T < NextTempAfterLocals(); ++T)
+      Body = Stmt::seq(Stmt::assign(T, Expr::constant(0)), std::move(Body));
+    Out.Body = std::move(Body);
+    Out.NumTemps = NextTemp;
+    return Out;
+  }
+
+private:
+  uint32_t NextTempAfterLocals() const {
+    return NumParams + static_cast<uint32_t>(Source.Locals.size());
+  }
+
+  uint32_t freshTemp() { return NextTemp++; }
+
+  uint32_t tempOf(const std::string &Name) const {
+    auto It = TempOf.find(Name);
+    assert(It != TempOf.end() && "verifier guarantees bound names");
+    return It->second;
+  }
+
+  /// Lowers a pure Clight expression. Conditional expressions produce
+  /// prelude statements appended to \p Prelude.
+  ExprPtr lowerExpr(const cl::Expr &E, std::vector<StmtPtr> &Prelude) {
+    switch (E.Kind) {
+    case cl::ExprKind::IntConst:
+      return Expr::constant(E.IntValue);
+    case cl::ExprKind::LocalRead:
+      return Expr::temp(tempOf(E.Name));
+    case cl::ExprKind::GlobalRead:
+      return Expr::globalLoad(E.Name);
+    case cl::ExprKind::ArrayRead:
+      return Expr::arrayLoad(E.Name, lowerExpr(*E.Lhs, Prelude));
+    case cl::ExprKind::Unary:
+      return Expr::unary(E.UOp, lowerExpr(*E.Lhs, Prelude));
+    case cl::ExprKind::Binary: {
+      ExprPtr L = lowerExpr(*E.Lhs, Prelude);
+      ExprPtr R = lowerExpr(*E.Rhs, Prelude);
+      return Expr::binary(E.BOp, std::move(L), std::move(R));
+    }
+    case cl::ExprKind::Cond: {
+      // t = cond ? a : b  ~>  if (cond) t = a; else t = b;  ... t
+      // Lazy-branch evaluation is preserved: each arm's prelude lives in
+      // its own branch.
+      uint32_t T = freshTemp();
+      ExprPtr C = lowerExpr(*E.Lhs, Prelude);
+      std::vector<StmtPtr> ThenPre, ElsePre;
+      ExprPtr A = lowerExpr(*E.Rhs, ThenPre);
+      ExprPtr B = lowerExpr(*E.Third, ElsePre);
+      StmtPtr ThenS = chain(std::move(ThenPre),
+                            Stmt::assign(T, std::move(A), E.Loc));
+      StmtPtr ElseS = chain(std::move(ElsePre),
+                            Stmt::assign(T, std::move(B), E.Loc));
+      Prelude.push_back(Stmt::ifThenElse(std::move(C), std::move(ThenS),
+                                         std::move(ElseS), E.Loc));
+      return Expr::temp(T);
+    }
+    }
+    assert(false && "bad expression kind");
+    return Expr::constant(0);
+  }
+
+  static StmtPtr chain(std::vector<StmtPtr> Prelude, StmtPtr Last) {
+    StmtPtr Out = std::move(Last);
+    for (auto It = Prelude.rbegin(); It != Prelude.rend(); ++It)
+      Out = Stmt::seq(std::move(*It), std::move(Out), Out->Loc);
+    return Out;
+  }
+
+  StmtPtr lowerStmt(const cl::Stmt &S) {
+    switch (S.Kind) {
+    case cl::StmtKind::Skip:
+      return Stmt::skip(S.Loc);
+
+    case cl::StmtKind::Assign: {
+      std::vector<StmtPtr> Prelude;
+      ExprPtr V = lowerExpr(*S.Value, Prelude);
+      StmtPtr Store;
+      switch (S.Dest.K) {
+      case cl::LValue::Kind::Local:
+        Store = Stmt::assign(tempOf(S.Dest.Name), std::move(V), S.Loc);
+        break;
+      case cl::LValue::Kind::Global:
+        Store = Stmt::globStore(S.Dest.Name, std::move(V), S.Loc);
+        break;
+      case cl::LValue::Kind::ArrayElem: {
+        ExprPtr Idx = lowerExpr(*S.Dest.Index, Prelude);
+        Store = Stmt::arrayStore(S.Dest.Name, std::move(Idx), std::move(V),
+                                 S.Loc);
+        break;
+      }
+      }
+      return chain(std::move(Prelude), std::move(Store));
+    }
+
+    case cl::StmtKind::Call: {
+      std::vector<StmtPtr> Prelude;
+      std::vector<ExprPtr> Args;
+      for (const cl::ExprPtr &A : S.Args)
+        Args.push_back(lowerExpr(*A, Prelude));
+      bool HasDest = S.HasDest;
+      uint32_t DestTemp = 0;
+      StmtPtr Post;
+      if (HasDest) {
+        if (S.Dest.K == cl::LValue::Kind::Local) {
+          DestTemp = tempOf(S.Dest.Name);
+        } else {
+          // Result into memory: route through a fresh temp.
+          DestTemp = freshTemp();
+          ExprPtr V = Expr::temp(DestTemp);
+          if (S.Dest.K == cl::LValue::Kind::Global) {
+            Post = Stmt::globStore(S.Dest.Name, std::move(V), S.Loc);
+          } else {
+            std::vector<StmtPtr> IdxPre;
+            ExprPtr Idx = lowerExpr(*S.Dest.Index, IdxPre);
+            // Index evaluation happens after the call in Clight's
+            // assign-result step; preserve that order.
+            Post = chain(std::move(IdxPre),
+                         Stmt::arrayStore(S.Dest.Name, std::move(Idx),
+                                          std::move(V), S.Loc));
+          }
+        }
+      }
+      StmtPtr CallS = Stmt::call(HasDest, DestTemp, S.Callee,
+                                 std::move(Args), S.Loc);
+      if (Post)
+        CallS = Stmt::seq(std::move(CallS), std::move(Post), S.Loc);
+      return chain(std::move(Prelude), std::move(CallS));
+    }
+
+    case cl::StmtKind::Seq:
+      return Stmt::seq(lowerStmt(*S.First), lowerStmt(*S.Second), S.Loc);
+
+    case cl::StmtKind::If: {
+      std::vector<StmtPtr> Prelude;
+      ExprPtr C = lowerExpr(*S.Value, Prelude);
+      StmtPtr T = lowerStmt(*S.First);
+      StmtPtr E = lowerStmt(*S.Second);
+      return chain(std::move(Prelude),
+                   Stmt::ifThenElse(std::move(C), std::move(T),
+                                    std::move(E), S.Loc));
+    }
+
+    case cl::StmtKind::Loop:
+      // loop S ~> block { loop { S' } }; break inside becomes exit 0,
+      // crossing any loops transparently up to this block.
+      return Stmt::block(Stmt::loop(lowerStmt(*S.First), S.Loc), S.Loc);
+
+    case cl::StmtKind::Break:
+      return Stmt::exit(0, S.Loc);
+
+    case cl::StmtKind::Return: {
+      if (!S.HasValue)
+        return Stmt::retVoid(S.Loc);
+      std::vector<StmtPtr> Prelude;
+      ExprPtr V = lowerExpr(*S.Value, Prelude);
+      return chain(std::move(Prelude), Stmt::ret(std::move(V), S.Loc));
+    }
+    }
+    assert(false && "bad statement kind");
+    return Stmt::skip(S.Loc);
+  }
+
+  const cl::Function &Source;
+  std::map<std::string, uint32_t> TempOf;
+  uint32_t NextTemp = 0;
+  uint32_t NumParams = 0;
+};
+
+} // namespace
+
+Program qcc::cminor::lowerFromClight(const cl::Program &P) {
+  Program Out;
+  Out.Globals = P.Globals;
+  Out.Externals = P.Externals;
+  Out.EntryPoint = P.EntryPoint;
+  for (const cl::Function &F : P.Functions)
+    Out.Functions.push_back(FunctionLowering(F).run());
+  return Out;
+}

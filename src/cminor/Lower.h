@@ -1,0 +1,31 @@
+//===- cminor/Lower.h - Clight to Cminor lowering ---------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Clight -> Cminor pass: named variables become numbered temporaries,
+/// conditional expressions become control flow, `loop`/`break` become
+/// CompCert's block/loop/exit discipline. Function call and return events
+/// are preserved exactly (the pass's quantitative-refinement certificate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_CMINOR_LOWER_H
+#define QCC_CMINOR_LOWER_H
+
+#include "cminor/Cminor.h"
+#include "clight/Clight.h"
+
+namespace qcc {
+namespace cminor {
+
+/// Lowers a verified Clight program. Never fails on verified input.
+Program lowerFromClight(const clight::Program &P);
+
+} // namespace cminor
+} // namespace qcc
+
+#endif // QCC_CMINOR_LOWER_H

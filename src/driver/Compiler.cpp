@@ -1,0 +1,107 @@
+//===- driver/Compiler.cpp - The Quantitative CompCert driver -------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "cminor/CminorInterp.h"
+#include "cminor/Lower.h"
+#include "events/Refinement.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "rtl/Inline.h"
+#include "rtl/Opt.h"
+#include "x86/Machine.h"
+
+using namespace qcc;
+using namespace qcc::driver;
+
+namespace {
+
+/// Validates one pass by replaying both levels and checking quantitative
+/// refinement (classic refinement for the final Mach -> Asm step, whose
+/// target has no memory events by design — dropping them is covered by
+/// the profile-domination certificate).
+bool validatePair(const Behavior &Target, const Behavior &Source,
+                  const char *Pass, DiagnosticEngine &Diags) {
+  RefinementResult R = checkQuantitativeRefinement(Target, Source);
+  if (!R.Ok) {
+    Diags.error(SourceLoc(), std::string("translation validation failed (") +
+                                 Pass + "): " + R.Reason);
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<Compilation> qcc::driver::compile(const std::string &Source,
+                                                DiagnosticEngine &Diags,
+                                                CompilerOptions Options) {
+  auto CL = frontend::parseProgram(Source, Diags, Options.Defines);
+  if (!CL)
+    return std::nullopt;
+
+  Compilation C;
+  C.Clight = std::move(*CL);
+  C.Cminor = cminor::lowerFromClight(C.Clight);
+  C.Rtl = rtl::lowerFromCminor(C.Cminor);
+  if (Options.Inline)
+    rtl::inlineFunctions(C.Rtl);
+  if (Options.Optimize)
+    rtl::optimizeProgram(C.Rtl);
+  mach::LowerOptions MachOpts;
+  MachOpts.TailCalls = Options.TailCalls;
+  C.Mach = mach::lowerFromRtl(C.Rtl, MachOpts);
+  C.Asm = x86::emitFromMach(C.Mach);
+  C.Metric = C.Mach.costMetric();
+
+  if (Options.ValidateTranslation) {
+    Behavior BClight = interp::runProgram(C.Clight, Options.ValidationFuel);
+    Behavior BCminor = cminor::runProgram(C.Cminor, Options.ValidationFuel);
+    Behavior BRtl = rtl::runProgram(C.Rtl, Options.ValidationFuel);
+    Behavior BMach = mach::runProgram(C.Mach, Options.ValidationFuel * 4);
+    bool Ok = validatePair(BCminor, BClight, "Clight->Cminor", Diags);
+    Ok &= validatePair(BRtl, BCminor, "Cminor->RTL(+opt)", Diags);
+    Ok &= validatePair(BMach, BRtl, "RTL->Mach", Diags);
+    // Mach -> Asm: replay the machine with ample stack; memory events
+    // vanish at this level, which profile domination covers.
+    x86::Machine M(C.Asm, measure::MeasureStackSize);
+    Behavior BAsm = M.run(Options.ValidationFuel * 4);
+    Ok &= validatePair(BAsm, BMach, "Mach->Asm", Diags);
+    if (!Ok)
+      return std::nullopt;
+  }
+
+  if (Options.AnalyzeBounds)
+    C.Bounds = analysis::analyzeProgram(C.Clight, Diags,
+                                        std::move(Options.SeededSpecs));
+  return C;
+}
+
+std::optional<uint64_t>
+qcc::driver::concreteCallBound(const Compilation &C,
+                               const std::string &Function,
+                               const logic::VarEnv &Args) {
+  logic::BoundExpr Bound = C.Bounds.callBound(Function);
+  if (!Bound)
+    return std::nullopt;
+  ExtNat V = logic::evalBound(Bound, C.Metric, Args);
+  if (V.isInfinite())
+    return std::nullopt;
+  return V.finiteValue();
+}
+
+measure::Measurement qcc::driver::runWithStackSize(const Compilation &C,
+                                                   uint32_t StackSize,
+                                                   uint64_t Fuel) {
+  return measure::measureProgram(C.Asm, StackSize, Fuel);
+}
+
+measure::Measurement qcc::driver::measureStack(const Compilation &C,
+                                          uint64_t Fuel) {
+  return measure::measureProgram(C.Asm, measure::MeasureStackSize, Fuel);
+}

@@ -1,0 +1,116 @@
+//===- driver/Compiler.h - The Quantitative CompCert driver -----*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end driver (Paper Figure 3): parse -> Clight -> Cminor ->
+/// RTL (-> optimized RTL) -> Mach -> x86 ASM_sz, producing
+///
+///   * the assembled program,
+///   * the compiler cost metric M(f) = SF(f) + 4 (from the Mach frames),
+///   * automatically derived, checker-validated stack bounds for every
+///     non-recursive function, composed with any seeded (interactively
+///     derived) specifications,
+///   * optional per-pass translation validation: each adjacent pair of
+///     levels is replayed and checked for quantitative refinement — the
+///     executable counterpart of the paper's pass-by-pass Coq proofs.
+///
+/// `concreteCallBound` instantiates a symbolic bound with the produced
+/// metric: the number the paper's Tables 1/2 report. `runWithStackSize`
+/// exercises Theorem 1: with sz at least bound - 4, the compiled program
+/// runs without stack overflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_DRIVER_COMPILER_H
+#define QCC_DRIVER_COMPILER_H
+
+#include "analysis/Analyzer.h"
+#include "cminor/Cminor.h"
+#include "clight/Clight.h"
+#include "logic/Logic.h"
+#include "mach/Mach.h"
+#include "measure/StackMeter.h"
+#include "rtl/Rtl.h"
+#include "support/Diagnostics.h"
+#include "x86/Asm.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace qcc {
+namespace driver {
+
+/// Options controlling one compilation.
+struct CompilerOptions {
+  /// -D equivalents; override #defines in the source.
+  std::map<std::string, uint32_t> Defines;
+  /// Run the RTL optimization pipeline.
+  bool Optimize = true;
+  /// Inline small non-recursive functions at RTL (paper section 3.3's
+  /// deferred optimization). Sound — weights only decrease — but bounds
+  /// lose tightness at inlined call sites; off by default.
+  bool Inline = false;
+  /// Recognize tail calls at the RTL -> Mach boundary (the other
+  /// section 3.3 optimization): frames are released before the jump, so
+  /// e.g. tail-recursive functions run in constant stack while their
+  /// bounds stay as derived; off by default.
+  bool TailCalls = false;
+  /// Replay all levels and check quantitative refinement per pass.
+  bool ValidateTranslation = true;
+  /// Fuel for validation runs.
+  uint64_t ValidationFuel = 50'000'000;
+  /// Interactively derived specifications (e.g. for recursive functions);
+  /// composed into the automatic analysis.
+  logic::FunctionContext SeededSpecs;
+  /// Run the automatic stack analyzer.
+  bool AnalyzeBounds = true;
+};
+
+/// Everything one compilation produces.
+struct Compilation {
+  clight::Program Clight;
+  cminor::Program Cminor;
+  rtl::Program Rtl; ///< Post-optimization when Optimize was set.
+  mach::Program Mach;
+  x86::Program Asm;
+  /// The produced cost metric: M(f) = SF(f) + 4.
+  StackMetric Metric;
+  /// Analyzer output (specs and checked derivations).
+  analysis::AnalysisResult Bounds;
+};
+
+/// Compiles \p Source end to end. Returns nullopt and reports through
+/// \p Diags on frontend errors or validation failures.
+std::optional<Compilation> compile(const std::string &Source,
+                                   DiagnosticEngine &Diags,
+                                   CompilerOptions Options = {});
+
+/// The concrete verified bound, in bytes, for calling \p Function —
+/// symbolic call bound instantiated with the compilation's metric and
+/// \p Args (values for the function's parameters, needed by parametric
+/// bounds). Nullopt when the function has no specification; infinity
+/// surfaces as nullopt too (no finite bound).
+std::optional<uint64_t> concreteCallBound(const Compilation &C,
+                                          const std::string &Function,
+                                          const logic::VarEnv &Args = {});
+
+/// Runs the assembled program on a stack of exactly \p StackSize bytes
+/// (Theorem 1's sz; the machine block is sz + 4).
+measure::Measurement runWithStackSize(const Compilation &C,
+                                      uint32_t StackSize,
+                                      uint64_t Fuel = x86::DefaultFuel);
+
+/// Measures actual stack consumption on a large stack (the ptrace-analog
+/// experiment of Paper section 6).
+measure::Measurement measureStack(const Compilation &C,
+                             uint64_t Fuel = x86::DefaultFuel);
+
+} // namespace driver
+} // namespace qcc
+
+#endif // QCC_DRIVER_COMPILER_H

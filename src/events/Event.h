@@ -1,0 +1,67 @@
+//===- events/Event.h - Call/return and I/O events --------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Events as defined in Paper section 3.1. CompCert's observable events are
+/// external-function (I/O) events; the paper adds *memory events* call(f)
+/// and ret(f) for internal function calls so that stack usage becomes a
+/// function of the trace. Memory events need not be preserved exactly by
+/// compilation; only the trace weight must not increase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_EVENTS_EVENT_H
+#define QCC_EVENTS_EVENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcc {
+
+/// Discriminates the three event forms of the extended trace grammar:
+///   mu ::= call(f) | ret(f)        (memory events)
+///   nu ::= f(vs |-> v)             (I/O / external-call events)
+enum class EventKind : uint8_t { Call, Return, External };
+
+/// One trace event.
+///
+/// For Call/Return events only \c Function is meaningful. External events
+/// carry the argument and result values of the external call, mirroring
+/// CompCert's I/O events.
+struct Event {
+  EventKind Kind;
+  std::string Function;
+  std::vector<int32_t> Args;   ///< External events only.
+  int32_t Result = 0;          ///< External events only.
+
+  static Event call(std::string F) {
+    return Event{EventKind::Call, std::move(F), {}, 0};
+  }
+  static Event ret(std::string F) {
+    return Event{EventKind::Return, std::move(F), {}, 0};
+  }
+  static Event external(std::string F, std::vector<int32_t> Args,
+                        int32_t Result) {
+    return Event{EventKind::External, std::move(F), std::move(Args), Result};
+  }
+
+  bool isMemoryEvent() const { return Kind != EventKind::External; }
+
+  bool operator==(const Event &O) const {
+    return Kind == O.Kind && Function == O.Function && Args == O.Args &&
+           (Kind != EventKind::External || Result == O.Result);
+  }
+  bool operator!=(const Event &O) const { return !(*this == O); }
+
+  /// Renders as "call(f)", "ret(f)" or "f(1,2 -> 3)".
+  std::string str() const;
+};
+
+} // namespace qcc
+
+#endif // QCC_EVENTS_EVENT_H

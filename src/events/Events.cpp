@@ -1,0 +1,297 @@
+//===- events/Events.cpp - Traces, metrics, weights, refinement -----------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/Event.h"
+#include "events/Metric.h"
+#include "events/Refinement.h"
+#include "events/Trace.h"
+#include "events/Weight.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace qcc;
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+std::string Event::str() const {
+  switch (Kind) {
+  case EventKind::Call:
+    return "call(" + Function + ")";
+  case EventKind::Return:
+    return "ret(" + Function + ")";
+  case EventKind::External: {
+    std::string Out = Function + "(";
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += std::to_string(Args[I]);
+    }
+    Out += " -> " + std::to_string(Result) + ")";
+    return Out;
+  }
+  }
+  return "<bad event>";
+}
+
+std::string qcc::traceToString(const Trace &T) {
+  if (T.empty())
+    return "eps";
+  std::string Out;
+  for (size_t I = 0; I != T.size(); ++I) {
+    if (I)
+      Out += ".";
+    Out += T[I].str();
+  }
+  return Out;
+}
+
+std::string Behavior::str() const {
+  switch (Kind) {
+  case BehaviorKind::Converges:
+    return "conv(" + traceToString(Events) + ", " +
+           std::to_string(ReturnCode) + ")";
+  case BehaviorKind::Diverges:
+    return "div(" + traceToString(Events) + "...)";
+  case BehaviorKind::Fails:
+    return "fail(" + traceToString(Events) + "; " + FailureReason + ")";
+  }
+  return "<bad behavior>";
+}
+
+std::string StackMetric::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[F, C] : Costs) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += F + ": " + std::to_string(C);
+  }
+  Out += "}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace structure
+//===----------------------------------------------------------------------===//
+
+Trace qcc::pruneMemoryEvents(const Trace &T) {
+  Trace Out;
+  for (const Event &E : T)
+    if (!E.isMemoryEvent())
+      Out.push_back(E);
+  return Out;
+}
+
+bool qcc::isWellBracketed(const Trace &T) {
+  std::vector<const std::string *> Open;
+  for (const Event &E : T) {
+    switch (E.Kind) {
+    case EventKind::Call:
+      Open.push_back(&E.Function);
+      break;
+    case EventKind::Return:
+      if (Open.empty() || *Open.back() != E.Function)
+        return false;
+      Open.pop_back();
+      break;
+    case EventKind::External:
+      break;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Valuation and weight
+//===----------------------------------------------------------------------===//
+
+int64_t qcc::valuation(const StackMetric &M, const Trace &T) {
+  int64_t Sum = 0;
+  for (const Event &E : T)
+    Sum += M.value(E);
+  return Sum;
+}
+
+uint64_t qcc::weight(const StackMetric &M, const Trace &T) {
+  int64_t Sum = 0;
+  int64_t Max = 0; // The empty prefix has valuation 0.
+  for (const Event &E : T) {
+    Sum += M.value(E);
+    Max = std::max(Max, Sum);
+  }
+  assert(Max >= 0 && "prefix maximum below the empty prefix");
+  return static_cast<uint64_t>(Max);
+}
+
+uint64_t qcc::weight(const StackMetric &M, const Behavior &B) {
+  return weight(M, B.Events);
+}
+
+std::vector<CallDepthVector> qcc::callDepthProfile(const Trace &T) {
+  std::vector<CallDepthVector> Profile;
+  CallDepthVector Current;
+  Profile.push_back(Current); // Empty prefix.
+  for (const Event &E : T) {
+    switch (E.Kind) {
+    case EventKind::Call:
+      ++Current[E.Function];
+      Profile.push_back(Current);
+      break;
+    case EventKind::Return:
+      if (--Current[E.Function] == 0)
+        Current.erase(E.Function);
+      Profile.push_back(Current);
+      break;
+    case EventKind::External:
+      break; // Counts unchanged; no new profile point needed.
+    }
+  }
+  return Profile;
+}
+
+/// Returns true if A(f) <= B(f) for every f, treating absent entries as 0.
+static bool depthVectorLE(const CallDepthVector &A, const CallDepthVector &B) {
+  for (const auto &[F, C] : A) {
+    if (C <= 0)
+      continue;
+    auto It = B.find(F);
+    if (It == B.end() || It->second < C)
+      return false;
+  }
+  return true;
+}
+
+bool qcc::pointwiseDominated(const std::vector<CallDepthVector> &Profile,
+                             const std::vector<CallDepthVector> &Dominating) {
+  for (const CallDepthVector &C : Profile) {
+    bool Found = false;
+    for (const CallDepthVector &D : Dominating) {
+      if (depthVectorLE(C, D)) {
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Refinement
+//===----------------------------------------------------------------------===//
+
+RefinementResult qcc::checkClassicRefinement(const Behavior &Target,
+                                             const Behavior &Source) {
+  if (Target.Kind != Source.Kind)
+    return RefinementResult::fail("behavior kinds differ: target " +
+                                  Target.str() + " vs source " + Source.str());
+  if (Target.converged() && Target.ReturnCode != Source.ReturnCode)
+    return RefinementResult::fail(
+        "return codes differ: target " + std::to_string(Target.ReturnCode) +
+        " vs source " + std::to_string(Source.ReturnCode));
+  Trace PT = pruneMemoryEvents(Target.Events);
+  Trace PS = pruneMemoryEvents(Source.Events);
+  if (PT != PS)
+    return RefinementResult::fail("pruned traces differ: target " +
+                                  traceToString(PT) + " vs source " +
+                                  traceToString(PS));
+  return RefinementResult::ok();
+}
+
+/// Extracts just the memory events of a trace.
+static Trace memoryEvents(const Trace &T) {
+  Trace Out;
+  for (const Event &E : T)
+    if (E.isMemoryEvent())
+      Out.push_back(E);
+  return Out;
+}
+
+RefinementResult qcc::checkQuantitativeRefinement(const Behavior &Target,
+                                                  const Behavior &Source) {
+  RefinementResult Classic = checkClassicRefinement(Target, Source);
+  if (!Classic.Ok)
+    return Classic;
+
+  // Certificate 1: the pass preserved memory events exactly.
+  if (memoryEvents(Target.Events) == memoryEvents(Source.Events))
+    return RefinementResult::ok();
+
+  // Certificate 2: pointwise domination of open-call-count profiles, which
+  // implies W_M(target) <= W_M(source) for every non-negative metric M.
+  if (pointwiseDominated(callDepthProfile(Target.Events),
+                         callDepthProfile(Source.Events)))
+    return RefinementResult::ok();
+
+  return RefinementResult::fail(
+      "no all-metrics weight certificate: memory events differ and the "
+      "target call-depth profile is not pointwise dominated");
+}
+
+RefinementResult qcc::falsifyWeightDominance(const Behavior &Target,
+                                             const Behavior &Source,
+                                             unsigned Samples, uint64_t Seed) {
+  // Collect the function alphabet from both traces.
+  std::vector<std::string> Functions;
+  auto Collect = [&Functions](const Trace &T) {
+    for (const Event &E : T) {
+      if (!E.isMemoryEvent())
+        continue;
+      if (std::find(Functions.begin(), Functions.end(), E.Function) ==
+          Functions.end())
+        Functions.push_back(E.Function);
+    }
+  };
+  Collect(Target.Events);
+  Collect(Source.Events);
+
+  auto Check = [&](const StackMetric &M) -> RefinementResult {
+    uint64_t WT = weight(M, Target.Events);
+    uint64_t WS = weight(M, Source.Events);
+    if (WT > WS)
+      return RefinementResult::fail(
+          "W_M(target)=" + std::to_string(WT) + " > W_M(source)=" +
+          std::to_string(WS) + " under metric " + M.str());
+    return RefinementResult::ok();
+  };
+
+  // The uniform metric and every one-hot metric.
+  StackMetric Uniform;
+  for (const std::string &F : Functions)
+    Uniform.setCost(F, 1);
+  if (RefinementResult R = Check(Uniform); !R.Ok)
+    return R;
+  for (const std::string &F : Functions) {
+    StackMetric OneHot;
+    OneHot.setCost(F, 1);
+    if (RefinementResult R = Check(OneHot); !R.Ok)
+      return R;
+  }
+
+  // Randomized metrics (deterministic splitmix64 stream).
+  uint64_t State = Seed;
+  auto Next = [&State]() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  };
+  for (unsigned I = 0; I != Samples; ++I) {
+    StackMetric M;
+    for (const std::string &F : Functions)
+      M.setCost(F, static_cast<uint32_t>(Next() % 1024));
+    if (RefinementResult R = Check(M); !R.Ok)
+      return R;
+  }
+  return RefinementResult::ok();
+}

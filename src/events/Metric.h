@@ -1,0 +1,82 @@
+//===- events/Metric.h - Stack resource metrics -----------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource metrics M : E -> Z (Paper section 3.1). A *stack metric*
+/// satisfies, for all internal functions f and external functions g,
+///
+///   0 <= M(call(f)) = -M(ret(f))     and     M(g(vs |-> v)) = 0.
+///
+/// So a stack metric is determined by a map from function names to
+/// non-negative per-call costs (the stack-frame size plus the return
+/// address). Quantitative CompCert produces such a metric from the Mach
+/// frame layout: M(f) = SF(f) + 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_EVENTS_METRIC_H
+#define QCC_EVENTS_METRIC_H
+
+#include "events/Event.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace qcc {
+
+/// A stack metric: per-function call costs in bytes. Functions absent from
+/// the map cost \c DefaultCost (0 unless configured otherwise), which also
+/// covers external functions per the paper's convention.
+class StackMetric {
+public:
+  StackMetric() = default;
+  explicit StackMetric(std::map<std::string, uint32_t> Costs)
+      : Costs(std::move(Costs)) {}
+
+  /// Sets the cost of one function.
+  void setCost(const std::string &Function, uint32_t Bytes) {
+    Costs[Function] = Bytes;
+  }
+
+  /// Per-call cost of \p Function in bytes.
+  uint32_t cost(const std::string &Function) const {
+    auto It = Costs.find(Function);
+    return It == Costs.end() ? DefaultCost : It->second;
+  }
+
+  bool hasCost(const std::string &Function) const {
+    return Costs.count(Function) != 0;
+  }
+
+  /// The signed value M(e) of one event: +cost for call, -cost for ret,
+  /// 0 for external events.
+  int64_t value(const Event &E) const {
+    switch (E.Kind) {
+    case EventKind::Call:
+      return static_cast<int64_t>(cost(E.Function));
+    case EventKind::Return:
+      return -static_cast<int64_t>(cost(E.Function));
+    case EventKind::External:
+      return 0;
+    }
+    return 0;
+  }
+
+  const std::map<std::string, uint32_t> &costs() const { return Costs; }
+
+  /// Renders as "{f: 40, g: 24}".
+  std::string str() const;
+
+private:
+  std::map<std::string, uint32_t> Costs;
+  uint32_t DefaultCost = 0;
+};
+
+} // namespace qcc
+
+#endif // QCC_EVENTS_METRIC_H

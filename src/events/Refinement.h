@@ -1,0 +1,80 @@
+//===- events/Refinement.h - Quantitative refinement checking ---*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic and quantitative refinement between observed behaviors (Paper
+/// section 3.1). A target behavior B' quantitatively refines a source
+/// behavior B when
+///
+///   pruned(B') == pruned(B)   and   W_M(B') <= W_M(B) for all stack
+///   metrics M.
+///
+/// The paper proves this in Coq once and for all; here each compiler pass
+/// is *translation validated*: the checker replays both semantics and
+/// certifies the pair of traces. The all-metrics condition is established
+/// by one of two certificates:
+///
+///   1. memory-event equality (the pass preserved call/ret events exactly,
+///      which is what our Clight -> Mach passes do, like the paper's); or
+///   2. pointwise domination of open-call-count profiles, which implies
+///      weight domination for every non-negative metric.
+///
+/// A randomized-metric falsification pass backs the certificates up in
+/// tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_EVENTS_REFINEMENT_H
+#define QCC_EVENTS_REFINEMENT_H
+
+#include "events/Trace.h"
+#include "events/Weight.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcc {
+
+/// Result of a refinement check: success, or an explanation of the
+/// violation for diagnostics.
+struct RefinementResult {
+  bool Ok;
+  std::string Reason;
+
+  static RefinementResult ok() { return {true, ""}; }
+  static RefinementResult fail(std::string Reason) {
+    return {false, std::move(Reason)};
+  }
+};
+
+/// Classic CompCert refinement on one behavior pair: pruned traces must
+/// match, outcome kinds must match, and return codes must agree on
+/// converging runs. (A failing source behavior discharges any target
+/// behavior, per the definition; callers encode that case by not invoking
+/// the checker.)
+RefinementResult checkClassicRefinement(const Behavior &Target,
+                                        const Behavior &Source);
+
+/// Quantitative refinement: classic refinement plus the all-metrics weight
+/// condition established via memory-event equality or pointwise profile
+/// domination.
+RefinementResult checkQuantitativeRefinement(const Behavior &Target,
+                                             const Behavior &Source);
+
+/// Testing aid: samples \p Samples randomized stack metrics over the
+/// functions mentioned in either trace (plus the uniform metric and each
+/// one-hot metric) and reports the first metric under which
+/// W_M(Target) > W_M(Source). Deterministic for a fixed \p Seed.
+RefinementResult falsifyWeightDominance(const Behavior &Target,
+                                        const Behavior &Source,
+                                        unsigned Samples = 64,
+                                        uint64_t Seed = 0x9e3779b97f4a7c15ull);
+
+} // namespace qcc
+
+#endif // QCC_EVENTS_REFINEMENT_H

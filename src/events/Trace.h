@@ -1,0 +1,82 @@
+//===- events/Trace.h - Event traces and program behaviors ------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finite event traces and program behaviors (Paper section 3.1):
+///
+///   B ::= conv(t, n) | div(T) | fail(t)
+///
+/// The paper's coinductive traces T of diverging computations are observed
+/// here through fuel-bounded execution, so a diverging behavior carries the
+/// finite prefix produced before fuel ran out. All weight and refinement
+/// machinery only ever inspects finite prefixes, matching the paper's
+/// definition W_M(B) = sup { V_M(t) | t in prefs(B) }.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_EVENTS_TRACE_H
+#define QCC_EVENTS_TRACE_H
+
+#include "events/Event.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcc {
+
+/// A finite sequence of events.
+using Trace = std::vector<Event>;
+
+/// Renders a trace as "call(f).ret(f)" style dot-separated events.
+std::string traceToString(const Trace &T);
+
+/// Removes all memory events (call/ret) from \p T, keeping I/O events.
+/// This is the pruning operation B-bar used by classic CompCert refinement.
+Trace pruneMemoryEvents(const Trace &T);
+
+/// Returns true if the memory events of \p T are properly bracketed:
+/// every ret(f) closes the most recent open call(f), and the nesting depth
+/// never goes negative. Traces of executions stopped mid-run may leave
+/// calls open; that is still well-bracketed.
+bool isWellBracketed(const Trace &T);
+
+/// How an observed execution ended.
+enum class BehaviorKind : uint8_t {
+  Converges, ///< conv(t, n): terminated normally with return code n.
+  Diverges,  ///< div(T): ran out of fuel; trace is the produced prefix.
+  Fails      ///< fail(t): went wrong (undefined behavior, trap, overflow).
+};
+
+/// A program behavior: an outcome, its (prefix) trace, and for converging
+/// runs the return code. For failing runs \c FailureReason says why.
+struct Behavior {
+  BehaviorKind Kind;
+  Trace Events;
+  int32_t ReturnCode = 0;
+  std::string FailureReason;
+
+  static Behavior converges(Trace T, int32_t Code) {
+    return Behavior{BehaviorKind::Converges, std::move(T), Code, ""};
+  }
+  static Behavior diverges(Trace T) {
+    return Behavior{BehaviorKind::Diverges, std::move(T), 0, ""};
+  }
+  static Behavior fails(Trace T, std::string Reason) {
+    return Behavior{BehaviorKind::Fails, std::move(T), 0, std::move(Reason)};
+  }
+
+  bool converged() const { return Kind == BehaviorKind::Converges; }
+  bool failed() const { return Kind == BehaviorKind::Fails; }
+
+  /// Renders as e.g. "conv(call(main).ret(main), 0)".
+  std::string str() const;
+};
+
+} // namespace qcc
+
+#endif // QCC_EVENTS_TRACE_H

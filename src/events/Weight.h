@@ -1,0 +1,66 @@
+//===- events/Weight.h - Trace valuations and weights -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Valuation and weight of traces (Paper section 3.1):
+///
+///   V_M(eps) = 0,   V_M(a.t) = V_M(t) + M(a)
+///   W_M(t)   = sup { V_M(t') | t' prefix of t }
+///   W_M(B)   = sup { V_M(t) | t in prefs(B) }
+///
+/// For a stack metric, V_M of a prefix is the number of stack bytes live
+/// after that prefix, and W_M is the high-water mark of the execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_EVENTS_WEIGHT_H
+#define QCC_EVENTS_WEIGHT_H
+
+#include "events/Metric.h"
+#include "events/Trace.h"
+#include "support/ExtNat.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace qcc {
+
+/// V_M(t): the sum of event values over the whole trace. For well-bracketed
+/// complete executions of a stack metric this is 0; mid-execution prefixes
+/// yield the currently live stack bytes.
+int64_t valuation(const StackMetric &M, const Trace &T);
+
+/// W_M(t): the maximum prefix valuation (never negative since the empty
+/// prefix has valuation 0). This is the stack high-water mark in bytes.
+uint64_t weight(const StackMetric &M, const Trace &T);
+
+/// W_M(B): behaviors are weighed through their trace prefix. (Failing
+/// behaviors are weighed like any other: the paper's W_M(fail(t)) weighs
+/// the produced trace; Theorem 1 separately requires the source not to
+/// fail.)
+uint64_t weight(const StackMetric &M, const Behavior &B);
+
+/// The per-function open-call counts c_p(f) = #call(f) - #ret(f) of one
+/// trace prefix. For well-bracketed traces all counts are non-negative;
+/// the weight under M is then max over prefixes p of sum_f c_p(f) * M(f).
+using CallDepthVector = std::map<std::string, int64_t>;
+
+/// Returns the sequence of open-call count vectors after each event of
+/// \p T that changes some count (i.e. after each memory event), starting
+/// from the empty vector. Used by the all-metrics refinement check.
+std::vector<CallDepthVector> callDepthProfile(const Trace &T);
+
+/// True if for every vector c' in \p Profile there is a vector c in
+/// \p Dominating with c'(f) <= c(f) for every function f. This pointwise
+/// domination implies W_M(t') <= W_M(t) for *all* stack metrics M.
+bool pointwiseDominated(const std::vector<CallDepthVector> &Profile,
+                        const std::vector<CallDepthVector> &Dominating);
+
+} // namespace qcc
+
+#endif // QCC_EVENTS_WEIGHT_H

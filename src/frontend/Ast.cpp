@@ -1,0 +1,194 @@
+//===- frontend/Ast.cpp - Parsed C-subset AST -----------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Ast.h"
+
+using namespace qcc::frontend::ast;
+
+ExprPtr Expr::number(uint32_t V, bool ForcedUnsigned, qcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Number;
+  E->Value = V;
+  E->ForcedUnsigned = ForcedUnsigned;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::var(std::string Name, qcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Var;
+  E->Name = std::move(Name);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::index(std::string Name, ExprPtr Subscript, qcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Index;
+  E->Name = std::move(Name);
+  E->Lhs = std::move(Subscript);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::unary(UnaryOp Op, ExprPtr Operand, qcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Unary;
+  E->UOp = Op;
+  E->Lhs = std::move(Operand);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::binary(BinaryOp Op, ExprPtr L, ExprPtr R, qcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Binary;
+  E->BOp = Op;
+  E->Lhs = std::move(L);
+  E->Rhs = std::move(R);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::cond(ExprPtr C, ExprPtr T, ExprPtr F, qcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Cond;
+  E->Lhs = std::move(C);
+  E->Rhs = std::move(T);
+  E->Third = std::move(F);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr Expr::callExpr(std::string Callee, std::vector<ExprPtr> Args,
+                       qcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Call;
+  E->Name = std::move(Callee);
+  E->Args = std::move(Args);
+  E->Loc = Loc;
+  return E;
+}
+
+bool Expr::containsCall() const {
+  if (Kind == ExprKind::Call)
+    return true;
+  if (Lhs && Lhs->containsCall())
+    return true;
+  if (Rhs && Rhs->containsCall())
+    return true;
+  if (Third && Third->containsCall())
+    return true;
+  for (const ExprPtr &A : Args)
+    if (A->containsCall())
+      return true;
+  return false;
+}
+
+StmtPtr Stmt::block(std::vector<StmtPtr> Body, qcc::SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Block;
+  S->Body = std::move(Body);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::decl(Type Ty, std::string Name, ExprPtr Init,
+                   qcc::SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Decl;
+  S->DeclType = Ty;
+  S->Name = std::move(Name);
+  S->Rhs = std::move(Init);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::assign(ExprPtr Lhs, AssignOp Op, ExprPtr Rhs,
+                     qcc::SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Assign;
+  S->AOp = Op;
+  S->Lhs = std::move(Lhs);
+  S->Rhs = std::move(Rhs);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::incDec(ExprPtr Lhs, bool Increment, qcc::SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::IncDec;
+  S->Increment = Increment;
+  S->Lhs = std::move(Lhs);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::exprStmt(ExprPtr E, qcc::SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::ExprStmt;
+  S->Rhs = std::move(E);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::ifStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else,
+                     qcc::SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::If;
+  S->Lhs = std::move(Cond);
+  S->First = std::move(Then);
+  S->Second = std::move(Else);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::whileStmt(ExprPtr Cond, StmtPtr BodyStmt, qcc::SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::While;
+  S->Lhs = std::move(Cond);
+  S->First = std::move(BodyStmt);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::doWhileStmt(StmtPtr BodyStmt, ExprPtr Cond,
+                          qcc::SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::DoWhile;
+  S->Lhs = std::move(Cond);
+  S->First = std::move(BodyStmt);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::forStmt(StmtPtr Init, ExprPtr Cond, StmtPtr Step,
+                      StmtPtr BodyStmt, qcc::SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::For;
+  S->First = std::move(Init);
+  S->Lhs = std::move(Cond);
+  S->Second = std::move(Step);
+  S->Third = std::move(BodyStmt);
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::breakStmt(qcc::SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Break;
+  S->Loc = Loc;
+  return S;
+}
+
+StmtPtr Stmt::returnStmt(ExprPtr Value, qcc::SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Return;
+  S->Rhs = std::move(Value);
+  S->Loc = Loc;
+  return S;
+}

@@ -1,0 +1,191 @@
+//===- frontend/Ast.h - Parsed C-subset AST ---------------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The surface AST produced by the parser. Unlike Clight core, this level
+/// still has `while`/`for`/`do`, compound assignment, ++/--, short-circuit
+/// operators, and *calls inside expressions*; the elaborator desugars all
+/// of that (the analogue of CompCert's SimplExpr pass from C to Clight).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FRONTEND_AST_H
+#define QCC_FRONTEND_AST_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace frontend {
+namespace ast {
+
+/// Static types of the subset. Arrays are declared forms, not first-class
+/// values.
+enum class Type : uint8_t { Void, I32, U32 };
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  Number,
+  Var,
+  Index, ///< name[e]
+  Unary,
+  Binary,
+  Cond, ///< c ? t : f
+  Call  ///< f(args) in expression position; hoisted by the elaborator.
+};
+
+enum class UnaryOp : uint8_t { Neg, Not, BitNot, Plus };
+
+enum class BinaryOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  BitAnd, BitOr, BitXor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LAnd, LOr
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+
+  uint32_t Value = 0;          ///< Number.
+  bool ForcedUnsigned = false; ///< Number.
+  std::string Name;            ///< Var / Index base / Call callee.
+  UnaryOp UOp = UnaryOp::Neg;
+  BinaryOp BOp = BinaryOp::Add;
+  ExprPtr Lhs;                 ///< Unary operand / Binary lhs / Cond cond /
+                               ///< Index subscript.
+  ExprPtr Rhs;                 ///< Binary rhs / Cond then.
+  ExprPtr Third;               ///< Cond else.
+  std::vector<ExprPtr> Args;   ///< Call.
+
+  static ExprPtr number(uint32_t V, bool ForcedUnsigned, SourceLoc Loc);
+  static ExprPtr var(std::string Name, SourceLoc Loc);
+  static ExprPtr index(std::string Name, ExprPtr Subscript, SourceLoc Loc);
+  static ExprPtr unary(UnaryOp Op, ExprPtr E, SourceLoc Loc);
+  static ExprPtr binary(BinaryOp Op, ExprPtr L, ExprPtr R, SourceLoc Loc);
+  static ExprPtr cond(ExprPtr C, ExprPtr T, ExprPtr F, SourceLoc Loc);
+  static ExprPtr callExpr(std::string Callee, std::vector<ExprPtr> Args,
+                          SourceLoc Loc);
+
+  /// True if this subtree contains a Call node.
+  bool containsCall() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  Decl,     ///< type name [= init];
+  Assign,   ///< lhs op= rhs (op may be plain =)
+  IncDec,   ///< lhs++ / lhs--
+  ExprStmt, ///< call-for-effect
+  If,
+  While,
+  DoWhile,
+  For,
+  Break,
+  Return
+};
+
+/// Compound-assignment operator discriminator; None means plain '='.
+enum class AssignOp : uint8_t {
+  None, Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+
+  std::vector<StmtPtr> Body; ///< Block.
+  Type DeclType = Type::U32; ///< Decl.
+  std::string Name;          ///< Decl.
+  AssignOp AOp = AssignOp::None; ///< Assign.
+  bool Increment = true;     ///< IncDec: ++ or --.
+  ExprPtr Lhs;               ///< Assign/IncDec target (Var or Index);
+                             ///< If/While/DoWhile/For condition.
+  ExprPtr Rhs;               ///< Assign rhs / Decl init / Return value /
+                             ///< ExprStmt expression.
+  StmtPtr First;             ///< If then / loop body / For init.
+  StmtPtr Second;            ///< If else / For step.
+  StmtPtr Third;             ///< For body.
+
+  static StmtPtr block(std::vector<StmtPtr> Body, SourceLoc Loc);
+  static StmtPtr decl(Type Ty, std::string Name, ExprPtr Init, SourceLoc Loc);
+  static StmtPtr assign(ExprPtr Lhs, AssignOp Op, ExprPtr Rhs, SourceLoc Loc);
+  static StmtPtr incDec(ExprPtr Lhs, bool Increment, SourceLoc Loc);
+  static StmtPtr exprStmt(ExprPtr E, SourceLoc Loc);
+  static StmtPtr ifStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else,
+                        SourceLoc Loc);
+  static StmtPtr whileStmt(ExprPtr Cond, StmtPtr BodyStmt, SourceLoc Loc);
+  static StmtPtr doWhileStmt(StmtPtr BodyStmt, ExprPtr Cond, SourceLoc Loc);
+  static StmtPtr forStmt(StmtPtr Init, ExprPtr Cond, StmtPtr Step,
+                         StmtPtr BodyStmt, SourceLoc Loc);
+  static StmtPtr breakStmt(SourceLoc Loc);
+  static StmtPtr returnStmt(ExprPtr Value, SourceLoc Loc);
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  Type Ty;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+struct FunctionDecl {
+  Type ReturnType;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body;
+  SourceLoc Loc;
+};
+
+struct GlobalDecl {
+  Type Ty;
+  std::string Name;
+  bool IsArray = false;
+  ExprPtr ArraySize;             ///< Must fold to a constant.
+  std::vector<ExprPtr> Init;     ///< Scalar: one element; array: any prefix.
+  SourceLoc Loc;
+};
+
+struct ExternDecl {
+  Type ReturnType;
+  std::string Name;
+  std::vector<Type> ParamTypes;
+  SourceLoc Loc;
+};
+
+/// A parsed translation unit.
+struct TranslationUnit {
+  std::vector<GlobalDecl> Globals;
+  std::vector<ExternDecl> Externs;
+  std::vector<FunctionDecl> Functions;
+};
+
+} // namespace ast
+} // namespace frontend
+} // namespace qcc
+
+#endif // QCC_FRONTEND_AST_H

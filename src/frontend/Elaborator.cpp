@@ -1,0 +1,688 @@
+//===- frontend/Elaborator.cpp - AST to Clight core -----------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Elaborator.h"
+
+#include <cassert>
+
+using namespace qcc;
+using namespace qcc::frontend;
+namespace cl = qcc::clight;
+
+//===----------------------------------------------------------------------===//
+// Constant expressions
+//===----------------------------------------------------------------------===//
+
+std::optional<uint32_t> Elaborator::evalConst(const ast::Expr &E) {
+  using ast::ExprKind;
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return E.Value;
+  case ExprKind::Unary: {
+    auto V = evalConst(*E.Lhs);
+    if (!V)
+      return std::nullopt;
+    switch (E.UOp) {
+    case ast::UnaryOp::Neg: return static_cast<uint32_t>(0) - *V;
+    case ast::UnaryOp::Plus: return *V;
+    case ast::UnaryOp::Not: return *V == 0 ? 1u : 0u;
+    case ast::UnaryOp::BitNot: return ~*V;
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Binary: {
+    auto L = evalConst(*E.Lhs);
+    auto R = evalConst(*E.Rhs);
+    if (!L || !R)
+      return std::nullopt;
+    // Constant expressions are evaluated with unsigned 32-bit semantics
+    // (sufficient for the corpus' sizes and initializers).
+    switch (E.BOp) {
+    case ast::BinaryOp::Add: return *L + *R;
+    case ast::BinaryOp::Sub: return *L - *R;
+    case ast::BinaryOp::Mul: return *L * *R;
+    case ast::BinaryOp::Div:
+      if (*R == 0) {
+        Diags.error(E.Loc, "division by zero in constant expression");
+        return std::nullopt;
+      }
+      return *L / *R;
+    case ast::BinaryOp::Rem:
+      if (*R == 0) {
+        Diags.error(E.Loc, "remainder by zero in constant expression");
+        return std::nullopt;
+      }
+      return *L % *R;
+    case ast::BinaryOp::BitAnd: return *L & *R;
+    case ast::BinaryOp::BitOr: return *L | *R;
+    case ast::BinaryOp::BitXor: return *L ^ *R;
+    case ast::BinaryOp::Shl: return *L << (*R & 31);
+    case ast::BinaryOp::Shr: return *L >> (*R & 31);
+    case ast::BinaryOp::Lt: return *L < *R;
+    case ast::BinaryOp::Le: return *L <= *R;
+    case ast::BinaryOp::Gt: return *L > *R;
+    case ast::BinaryOp::Ge: return *L >= *R;
+    case ast::BinaryOp::Eq: return *L == *R;
+    case ast::BinaryOp::Ne: return *L != *R;
+    case ast::BinaryOp::LAnd: return (*L && *R) ? 1u : 0u;
+    case ast::BinaryOp::LOr: return (*L || *R) ? 1u : 0u;
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Cond: {
+    auto C = evalConst(*E.Lhs);
+    if (!C)
+      return std::nullopt;
+    return *C ? evalConst(*E.Rhs) : evalConst(*E.Third);
+  }
+  default:
+    Diags.error(E.Loc, "expression is not constant");
+    return std::nullopt;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Program assembly
+//===----------------------------------------------------------------------===//
+
+cl::Program Elaborator::run(const ast::TranslationUnit &TU) {
+  cl::Program P;
+  CurrentProgram = &P;
+
+  // Globals.
+  for (const ast::GlobalDecl &G : TU.Globals) {
+    cl::GlobalVar GV;
+    GV.Name = G.Name;
+    GV.Loc = G.Loc;
+    GV.Sign = G.Ty == ast::Type::I32 ? cl::Signedness::Signed
+                                     : cl::Signedness::Unsigned;
+    if (G.IsArray) {
+      GV.IsArray = true;
+      uint32_t Size = 0;
+      if (G.ArraySize) {
+        if (auto V = evalConst(*G.ArraySize))
+          Size = *V;
+      } else if (!G.Init.empty()) {
+        Size = static_cast<uint32_t>(G.Init.size());
+      } else {
+        Diags.error(G.Loc, "array '" + G.Name + "' has no size");
+      }
+      if (Size == 0 && G.ArraySize)
+        Diags.error(G.Loc, "array '" + G.Name + "' has zero size");
+      GV.Size = Size;
+      ArrayElemTypes[G.Name] = G.Ty;
+    } else {
+      GV.Size = 1;
+      GlobalTypes[G.Name] = G.Ty;
+    }
+    for (const ast::ExprPtr &I : G.Init) {
+      if (auto V = evalConst(*I))
+        GV.Init.push_back(*V);
+      else
+        GV.Init.push_back(0);
+    }
+    if (GV.Init.size() > GV.Size)
+      Diags.error(G.Loc, "too many initializers for '" + G.Name + "'");
+    GV.Init.resize(GV.Size, 0);
+    P.Globals.push_back(std::move(GV));
+  }
+
+  // Externals.
+  for (const ast::ExternDecl &E : TU.Externs) {
+    cl::ExternalDecl ED;
+    ED.Name = E.Name;
+    ED.Arity = static_cast<unsigned>(E.ParamTypes.size());
+    ED.HasResult = E.ReturnType != ast::Type::Void;
+    ED.Loc = E.Loc;
+    P.Externals.push_back(std::move(ED));
+    Signatures[E.Name] = {/*IsExternal=*/true, ED.Arity, E.ReturnType};
+  }
+
+  // Function signatures first so forward calls resolve.
+  for (const ast::FunctionDecl &F : TU.Functions) {
+    if (Signatures.count(F.Name))
+      Diags.error(F.Loc, "redefinition of '" + F.Name + "'");
+    Signatures[F.Name] = {/*IsExternal=*/false,
+                          static_cast<unsigned>(F.Params.size()),
+                          F.ReturnType};
+  }
+
+  for (const ast::FunctionDecl &F : TU.Functions)
+    elabFunction(F, P);
+
+  CurrentProgram = nullptr;
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Functions
+//===----------------------------------------------------------------------===//
+
+std::string Elaborator::freshTemp() {
+  return "$t" + std::to_string(TempCounter++);
+}
+
+void Elaborator::declareLocal(const std::string &Name, ast::Type Ty,
+                              SourceLoc Loc) {
+  if (LocalTypes.count(Name)) {
+    Diags.error(Loc, "redeclaration of '" + Name +
+                         "' (one scope per function in the subset)");
+    return;
+  }
+  LocalTypes[Name] = Ty;
+  CurrentFunction->Locals.push_back(Name);
+  CurrentFunction->VarSigns[Name] = Ty == ast::Type::I32
+                                        ? cl::Signedness::Signed
+                                        : cl::Signedness::Unsigned;
+}
+
+void Elaborator::elabFunction(const ast::FunctionDecl &F, cl::Program &P) {
+  cl::Function CF;
+  CF.Name = F.Name;
+  CF.ReturnsValue = F.ReturnType != ast::Type::Void;
+  CF.Loc = F.Loc;
+
+  LocalTypes.clear();
+  TempCounter = 0;
+  CurrentFunction = &CF;
+  CurrentReturnType = F.ReturnType;
+
+  for (const ast::ParamDecl &Param : F.Params) {
+    if (LocalTypes.count(Param.Name))
+      Diags.error(Param.Loc, "duplicate parameter '" + Param.Name + "'");
+    LocalTypes[Param.Name] = Param.Ty;
+    CF.Params.push_back(Param.Name);
+    CF.VarSigns[Param.Name] = Param.Ty == ast::Type::I32
+                                  ? cl::Signedness::Signed
+                                  : cl::Signedness::Unsigned;
+  }
+
+  cl::StmtPtr Body = elabStmt(*F.Body);
+
+  // Functions fall off the end with an implicit `return` (value-returning
+  // functions get a defined 0, CompCert-style for main).
+  cl::StmtPtr Epilogue = CF.ReturnsValue
+                             ? cl::Stmt::ret(cl::Expr::intConst(0), F.Loc)
+                             : cl::Stmt::retVoid(F.Loc);
+  CF.Body = cl::Stmt::seq(std::move(Body), std::move(Epilogue), F.Loc);
+
+  CurrentFunction = nullptr;
+  P.Functions.push_back(std::move(CF));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+cl::StmtPtr Elaborator::sequence(std::vector<cl::StmtPtr> Stmts,
+                                 cl::StmtPtr Last) {
+  cl::StmtPtr Out = std::move(Last);
+  for (auto It = Stmts.rbegin(); It != Stmts.rend(); ++It)
+    Out = cl::Stmt::seq(std::move(*It), std::move(Out), Out->Loc);
+  return Out;
+}
+
+/// Chooses the unsigned variant when either operand is unsigned (the usual
+/// arithmetic conversions on 32-bit operands).
+static bool isUnsignedJoin(ast::Type A, ast::Type B) {
+  return A == ast::Type::U32 || B == ast::Type::U32;
+}
+
+cl::StmtPtr Elaborator::elabCallInto(const ast::Expr &Call,
+                                     std::optional<cl::LValue> Dest,
+                                     std::vector<cl::StmtPtr> &Hoisted) {
+  assert(Call.Kind == ast::ExprKind::Call && "not a call");
+  auto SigIt = Signatures.find(Call.Name);
+  if (SigIt == Signatures.end()) {
+    Diags.error(Call.Loc, "call to undefined function '" + Call.Name + "'");
+    return cl::Stmt::skip(Call.Loc);
+  }
+  const Signature &Sig = SigIt->second;
+  if (Call.Args.size() != Sig.Arity)
+    Diags.error(Call.Loc, "call to '" + Call.Name + "' passes " +
+                              std::to_string(Call.Args.size()) +
+                              " arguments, expected " +
+                              std::to_string(Sig.Arity));
+  if (Dest && Sig.ReturnType == ast::Type::Void)
+    Diags.error(Call.Loc, "void function '" + Call.Name +
+                              "' used as a value");
+
+  std::vector<cl::ExprPtr> Args;
+  for (const ast::ExprPtr &A : Call.Args)
+    Args.push_back(elabExpr(*A, Hoisted).E);
+
+  if (Dest)
+    return cl::Stmt::callAssign(std::move(*Dest), Call.Name, std::move(Args),
+                                Call.Loc);
+  return cl::Stmt::call(Call.Name, std::move(Args), Call.Loc);
+}
+
+Elaborator::Elaborated
+Elaborator::elabShortCircuit(const ast::Expr &E,
+                             std::vector<cl::StmtPtr> &Hoisted) {
+  bool IsAnd = E.BOp == ast::BinaryOp::LAnd;
+
+  // Pure operands keep the expression form: a && b  ~>  a ? (b != 0) : 0.
+  if (!E.Rhs->containsCall()) {
+    Elaborated L = elabExpr(*E.Lhs, Hoisted);
+    Elaborated R = elabExpr(*E.Rhs, Hoisted);
+    cl::ExprPtr RBool = cl::Expr::binary(cl::BinOp::Ne, std::move(R.E),
+                                         cl::Expr::intConst(0), E.Loc);
+    cl::ExprPtr Out =
+        IsAnd ? cl::Expr::cond(std::move(L.E), std::move(RBool),
+                               cl::Expr::intConst(0), E.Loc)
+              : cl::Expr::cond(std::move(L.E), cl::Expr::intConst(1),
+                               std::move(RBool), E.Loc);
+    return {std::move(Out), ast::Type::I32};
+  }
+
+  // The lazily evaluated side performs calls: materialize control flow.
+  //   t = (a != 0); if (t) { t = (b != 0); }        for &&
+  //   t = (a != 0); if (t) {} else { t = (b != 0); } for ||
+  std::string Temp = freshTemp();
+  declareLocal(Temp, ast::Type::I32, E.Loc);
+  Elaborated L = elabExpr(*E.Lhs, Hoisted);
+  Hoisted.push_back(cl::Stmt::assign(
+      cl::LValue::local(Temp),
+      cl::Expr::binary(cl::BinOp::Ne, std::move(L.E), cl::Expr::intConst(0),
+                       E.Loc),
+      E.Loc));
+  std::vector<cl::StmtPtr> RhsHoisted;
+  Elaborated R = elabExpr(*E.Rhs, RhsHoisted);
+  cl::StmtPtr SetFromRhs = sequence(
+      std::move(RhsHoisted),
+      cl::Stmt::assign(cl::LValue::local(Temp),
+                       cl::Expr::binary(cl::BinOp::Ne, std::move(R.E),
+                                        cl::Expr::intConst(0), E.Loc),
+                       E.Loc));
+  cl::ExprPtr Guard = cl::Expr::localRead(Temp, E.Loc);
+  if (IsAnd)
+    Hoisted.push_back(cl::Stmt::ifThenElse(std::move(Guard),
+                                           std::move(SetFromRhs),
+                                           cl::Stmt::skip(E.Loc), E.Loc));
+  else
+    Hoisted.push_back(cl::Stmt::ifThenElse(std::move(Guard),
+                                           cl::Stmt::skip(E.Loc),
+                                           std::move(SetFromRhs), E.Loc));
+  return {cl::Expr::localRead(Temp, E.Loc), ast::Type::I32};
+}
+
+Elaborator::Elaborated Elaborator::elabExpr(const ast::Expr &E,
+                                            std::vector<cl::StmtPtr> &Hoisted) {
+  using ast::ExprKind;
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return {cl::Expr::intConst(E.Value, E.Loc),
+            E.ForcedUnsigned ? ast::Type::U32 : ast::Type::I32};
+
+  case ExprKind::Var: {
+    if (auto It = LocalTypes.find(E.Name); It != LocalTypes.end())
+      return {cl::Expr::localRead(E.Name, E.Loc), It->second};
+    if (auto It = GlobalTypes.find(E.Name); It != GlobalTypes.end())
+      return {cl::Expr::globalRead(E.Name, E.Loc), It->second};
+    if (ArrayElemTypes.count(E.Name))
+      Diags.error(E.Loc, "array '" + E.Name + "' used without subscript");
+    else
+      Diags.error(E.Loc, "unknown identifier '" + E.Name + "'");
+    return {cl::Expr::intConst(0, E.Loc), ast::Type::I32};
+  }
+
+  case ExprKind::Index: {
+    auto It = ArrayElemTypes.find(E.Name);
+    if (It == ArrayElemTypes.end()) {
+      Diags.error(E.Loc, "unknown array '" + E.Name + "'");
+      return {cl::Expr::intConst(0, E.Loc), ast::Type::I32};
+    }
+    Elaborated Idx = elabExpr(*E.Lhs, Hoisted);
+    return {cl::Expr::arrayRead(E.Name, std::move(Idx.E), E.Loc), It->second};
+  }
+
+  case ExprKind::Unary: {
+    Elaborated Operand = elabExpr(*E.Lhs, Hoisted);
+    switch (E.UOp) {
+    case ast::UnaryOp::Plus:
+      return Operand;
+    case ast::UnaryOp::Neg:
+      return {cl::Expr::unary(cl::UnOp::Neg, std::move(Operand.E), E.Loc),
+              Operand.Ty};
+    case ast::UnaryOp::Not:
+      return {cl::Expr::unary(cl::UnOp::BoolNot, std::move(Operand.E), E.Loc),
+              ast::Type::I32};
+    case ast::UnaryOp::BitNot:
+      return {cl::Expr::unary(cl::UnOp::BitNot, std::move(Operand.E), E.Loc),
+              Operand.Ty};
+    }
+    return {cl::Expr::intConst(0, E.Loc), ast::Type::I32};
+  }
+
+  case ExprKind::Binary: {
+    if (E.BOp == ast::BinaryOp::LAnd || E.BOp == ast::BinaryOp::LOr)
+      return elabShortCircuit(E, Hoisted);
+    Elaborated L = elabExpr(*E.Lhs, Hoisted);
+    Elaborated R = elabExpr(*E.Rhs, Hoisted);
+    bool Uns = isUnsignedJoin(L.Ty, R.Ty);
+    ast::Type Join = Uns ? ast::Type::U32 : ast::Type::I32;
+    cl::BinOp Op;
+    ast::Type ResultTy = Join;
+    switch (E.BOp) {
+    case ast::BinaryOp::Add: Op = cl::BinOp::Add; break;
+    case ast::BinaryOp::Sub: Op = cl::BinOp::Sub; break;
+    case ast::BinaryOp::Mul: Op = cl::BinOp::Mul; break;
+    case ast::BinaryOp::Div: Op = Uns ? cl::BinOp::DivU : cl::BinOp::DivS; break;
+    case ast::BinaryOp::Rem: Op = Uns ? cl::BinOp::ModU : cl::BinOp::ModS; break;
+    case ast::BinaryOp::BitAnd: Op = cl::BinOp::And; break;
+    case ast::BinaryOp::BitOr: Op = cl::BinOp::Or; break;
+    case ast::BinaryOp::BitXor: Op = cl::BinOp::Xor; break;
+    case ast::BinaryOp::Shl:
+      Op = cl::BinOp::Shl;
+      ResultTy = L.Ty;
+      break;
+    case ast::BinaryOp::Shr:
+      Op = L.Ty == ast::Type::U32 ? cl::BinOp::ShrU : cl::BinOp::ShrS;
+      ResultTy = L.Ty;
+      break;
+    case ast::BinaryOp::Lt:
+      Op = Uns ? cl::BinOp::LtU : cl::BinOp::LtS;
+      ResultTy = ast::Type::I32;
+      break;
+    case ast::BinaryOp::Le:
+      Op = Uns ? cl::BinOp::LeU : cl::BinOp::LeS;
+      ResultTy = ast::Type::I32;
+      break;
+    case ast::BinaryOp::Gt:
+      Op = Uns ? cl::BinOp::GtU : cl::BinOp::GtS;
+      ResultTy = ast::Type::I32;
+      break;
+    case ast::BinaryOp::Ge:
+      Op = Uns ? cl::BinOp::GeU : cl::BinOp::GeS;
+      ResultTy = ast::Type::I32;
+      break;
+    case ast::BinaryOp::Eq:
+      Op = cl::BinOp::Eq;
+      ResultTy = ast::Type::I32;
+      break;
+    case ast::BinaryOp::Ne:
+      Op = cl::BinOp::Ne;
+      ResultTy = ast::Type::I32;
+      break;
+    default:
+      Op = cl::BinOp::Add;
+      break;
+    }
+    return {cl::Expr::binary(Op, std::move(L.E), std::move(R.E), E.Loc),
+            ResultTy};
+  }
+
+  case ExprKind::Cond: {
+    Elaborated C = elabExpr(*E.Lhs, Hoisted);
+    if (!E.Rhs->containsCall() && !E.Third->containsCall()) {
+      Elaborated T = elabExpr(*E.Rhs, Hoisted);
+      Elaborated F = elabExpr(*E.Third, Hoisted);
+      ast::Type Join = isUnsignedJoin(T.Ty, F.Ty) ? ast::Type::U32
+                                                  : ast::Type::I32;
+      return {cl::Expr::cond(std::move(C.E), std::move(T.E), std::move(F.E),
+                             E.Loc),
+              Join};
+    }
+    // A lazily evaluated arm performs calls: materialize an if-statement.
+    std::string Temp = freshTemp();
+    declareLocal(Temp, ast::Type::U32, E.Loc);
+    std::vector<cl::StmtPtr> ThenHoisted, ElseHoisted;
+    Elaborated T = elabExpr(*E.Rhs, ThenHoisted);
+    Elaborated F = elabExpr(*E.Third, ElseHoisted);
+    ast::Type Join =
+        isUnsignedJoin(T.Ty, F.Ty) ? ast::Type::U32 : ast::Type::I32;
+    cl::StmtPtr ThenS = sequence(
+        std::move(ThenHoisted),
+        cl::Stmt::assign(cl::LValue::local(Temp), std::move(T.E), E.Loc));
+    cl::StmtPtr ElseS = sequence(
+        std::move(ElseHoisted),
+        cl::Stmt::assign(cl::LValue::local(Temp), std::move(F.E), E.Loc));
+    Hoisted.push_back(cl::Stmt::ifThenElse(std::move(C.E), std::move(ThenS),
+                                           std::move(ElseS), E.Loc));
+    return {cl::Expr::localRead(Temp, E.Loc), Join};
+  }
+
+  case ExprKind::Call: {
+    auto SigIt = Signatures.find(E.Name);
+    ast::Type RetTy =
+        SigIt != Signatures.end() ? SigIt->second.ReturnType : ast::Type::U32;
+    std::string Temp = freshTemp();
+    declareLocal(Temp, RetTy == ast::Type::Void ? ast::Type::U32 : RetTy,
+                 E.Loc);
+    Hoisted.push_back(elabCallInto(E, cl::LValue::local(Temp), Hoisted));
+    return {cl::Expr::localRead(Temp, E.Loc),
+            RetTy == ast::Type::Void ? ast::Type::U32 : RetTy};
+  }
+  }
+  return {cl::Expr::intConst(0, E.Loc), ast::Type::I32};
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+cl::LValue Elaborator::elabLValue(const ast::Expr &E,
+                                  std::vector<cl::StmtPtr> &Hoisted,
+                                  ast::Type &TyOut) {
+  if (E.Kind == ast::ExprKind::Var) {
+    if (auto It = LocalTypes.find(E.Name); It != LocalTypes.end()) {
+      TyOut = It->second;
+      return cl::LValue::local(E.Name);
+    }
+    if (auto It = GlobalTypes.find(E.Name); It != GlobalTypes.end()) {
+      TyOut = It->second;
+      return cl::LValue::global(E.Name);
+    }
+    Diags.error(E.Loc, "unknown identifier '" + E.Name + "'");
+    TyOut = ast::Type::I32;
+    return cl::LValue::local(E.Name);
+  }
+  if (E.Kind == ast::ExprKind::Index) {
+    auto It = ArrayElemTypes.find(E.Name);
+    if (It == ArrayElemTypes.end()) {
+      Diags.error(E.Loc, "unknown array '" + E.Name + "'");
+      TyOut = ast::Type::I32;
+      return cl::LValue::arrayElem(E.Name, cl::Expr::intConst(0, E.Loc));
+    }
+    TyOut = It->second;
+    Elaborated Idx = elabExpr(*E.Lhs, Hoisted);
+    return cl::LValue::arrayElem(E.Name, std::move(Idx.E));
+  }
+  Diags.error(E.Loc, "assignment target must be a variable or array element");
+  TyOut = ast::Type::I32;
+  return cl::LValue::local("<bad>");
+}
+
+/// Builds the read-back expression for an lvalue (for compound assignment).
+static cl::ExprPtr readOf(const cl::LValue &LV, SourceLoc Loc) {
+  switch (LV.K) {
+  case cl::LValue::Kind::Local:
+    return cl::Expr::localRead(LV.Name, Loc);
+  case cl::LValue::Kind::Global:
+    return cl::Expr::globalRead(LV.Name, Loc);
+  case cl::LValue::Kind::ArrayElem:
+    return cl::Expr::arrayRead(LV.Name, LV.Index->clone(), Loc);
+  }
+  return cl::Expr::intConst(0, Loc);
+}
+
+cl::StmtPtr Elaborator::elabAssign(const ast::Stmt &S) {
+  std::vector<cl::StmtPtr> Hoisted;
+  ast::Type LhsTy;
+  cl::LValue Dest = elabLValue(*S.Lhs, Hoisted, LhsTy);
+
+  // Direct `x = f(...)` keeps the Clight call-assign form.
+  if (S.AOp == ast::AssignOp::None && S.Rhs->Kind == ast::ExprKind::Call) {
+    cl::StmtPtr Call = elabCallInto(*S.Rhs, Dest.clone(), Hoisted);
+    return sequence(std::move(Hoisted), std::move(Call));
+  }
+
+  Elaborated R = elabExpr(*S.Rhs, Hoisted);
+  cl::ExprPtr Value;
+  if (S.AOp == ast::AssignOp::None) {
+    Value = std::move(R.E);
+  } else {
+    bool Uns = isUnsignedJoin(LhsTy, R.Ty);
+    cl::BinOp Op = cl::BinOp::Add;
+    switch (S.AOp) {
+    case ast::AssignOp::Add: Op = cl::BinOp::Add; break;
+    case ast::AssignOp::Sub: Op = cl::BinOp::Sub; break;
+    case ast::AssignOp::Mul: Op = cl::BinOp::Mul; break;
+    case ast::AssignOp::Div: Op = Uns ? cl::BinOp::DivU : cl::BinOp::DivS; break;
+    case ast::AssignOp::Rem: Op = Uns ? cl::BinOp::ModU : cl::BinOp::ModS; break;
+    case ast::AssignOp::And: Op = cl::BinOp::And; break;
+    case ast::AssignOp::Or: Op = cl::BinOp::Or; break;
+    case ast::AssignOp::Xor: Op = cl::BinOp::Xor; break;
+    case ast::AssignOp::Shl: Op = cl::BinOp::Shl; break;
+    case ast::AssignOp::Shr:
+      Op = LhsTy == ast::Type::U32 ? cl::BinOp::ShrU : cl::BinOp::ShrS;
+      break;
+    case ast::AssignOp::None:
+      Op = cl::BinOp::Add;
+      break;
+    }
+    Value = cl::Expr::binary(Op, readOf(Dest, S.Loc), std::move(R.E), S.Loc);
+  }
+  return sequence(std::move(Hoisted),
+                  cl::Stmt::assign(std::move(Dest), std::move(Value), S.Loc));
+}
+
+cl::StmtPtr Elaborator::elabLoopish(const ast::Stmt &S) {
+  using ast::StmtKind;
+  switch (S.Kind) {
+  case StmtKind::While: {
+    // while (c) body  ~>  loop { [hoist c]; if (c) body else break; }
+    std::vector<cl::StmtPtr> Hoisted;
+    Elaborated C = elabExpr(*S.Lhs, Hoisted);
+    cl::StmtPtr Body = elabStmt(*S.First);
+    cl::StmtPtr Guarded = cl::Stmt::ifThenElse(
+        std::move(C.E), std::move(Body), cl::Stmt::brk(S.Loc), S.Loc);
+    return cl::Stmt::loop(sequence(std::move(Hoisted), std::move(Guarded)),
+                          S.Loc);
+  }
+  case StmtKind::DoWhile: {
+    // do body while (c)  ~>  loop { body; [hoist c]; if (c) skip else break; }
+    cl::StmtPtr Body = elabStmt(*S.First);
+    std::vector<cl::StmtPtr> Hoisted;
+    Elaborated C = elabExpr(*S.Lhs, Hoisted);
+    cl::StmtPtr Guard = cl::Stmt::ifThenElse(
+        std::move(C.E), cl::Stmt::skip(S.Loc), cl::Stmt::brk(S.Loc), S.Loc);
+    cl::StmtPtr Tail = sequence(std::move(Hoisted), std::move(Guard));
+    return cl::Stmt::loop(
+        cl::Stmt::seq(std::move(Body), std::move(Tail), S.Loc), S.Loc);
+  }
+  case StmtKind::For: {
+    // for (i; c; s) body ~> i; loop { [hoist c]; if (c) { body; s } else
+    // break; }
+    cl::StmtPtr Init =
+        S.First ? elabStmt(*S.First) : cl::Stmt::skip(S.Loc);
+    std::vector<cl::StmtPtr> Hoisted;
+    cl::ExprPtr Cond;
+    if (S.Lhs) {
+      Elaborated C = elabExpr(*S.Lhs, Hoisted);
+      Cond = std::move(C.E);
+    } else {
+      Cond = cl::Expr::intConst(1, S.Loc);
+    }
+    cl::StmtPtr Body = elabStmt(*S.Third);
+    cl::StmtPtr Step = S.Second ? elabStmt(*S.Second) : cl::Stmt::skip(S.Loc);
+    cl::StmtPtr Iter =
+        cl::Stmt::seq(std::move(Body), std::move(Step), S.Loc);
+    cl::StmtPtr Guarded = cl::Stmt::ifThenElse(
+        std::move(Cond), std::move(Iter), cl::Stmt::brk(S.Loc), S.Loc);
+    cl::StmtPtr Loop = cl::Stmt::loop(
+        sequence(std::move(Hoisted), std::move(Guarded)), S.Loc);
+    return cl::Stmt::seq(std::move(Init), std::move(Loop), S.Loc);
+  }
+  default:
+    assert(false && "not a loop statement");
+    return cl::Stmt::skip(S.Loc);
+  }
+}
+
+cl::StmtPtr Elaborator::elabStmt(const ast::Stmt &S) {
+  using ast::StmtKind;
+  switch (S.Kind) {
+  case StmtKind::Block: {
+    if (S.Body.empty())
+      return cl::Stmt::skip(S.Loc);
+    cl::StmtPtr Out;
+    for (const ast::StmtPtr &Child : S.Body) {
+      cl::StmtPtr C = elabStmt(*Child);
+      Out = Out ? cl::Stmt::seq(std::move(Out), std::move(C), S.Loc)
+                : std::move(C);
+    }
+    return Out;
+  }
+  case StmtKind::Decl: {
+    declareLocal(S.Name, S.DeclType, S.Loc);
+    if (!S.Rhs)
+      return cl::Stmt::skip(S.Loc);
+    if (S.Rhs->Kind == ast::ExprKind::Call) {
+      std::vector<cl::StmtPtr> Hoisted;
+      cl::StmtPtr Call =
+          elabCallInto(*S.Rhs, cl::LValue::local(S.Name), Hoisted);
+      return sequence(std::move(Hoisted), std::move(Call));
+    }
+    std::vector<cl::StmtPtr> Hoisted;
+    Elaborated Init = elabExpr(*S.Rhs, Hoisted);
+    return sequence(std::move(Hoisted),
+                    cl::Stmt::assign(cl::LValue::local(S.Name),
+                                     std::move(Init.E), S.Loc));
+  }
+  case StmtKind::Assign:
+    return elabAssign(S);
+  case StmtKind::IncDec: {
+    std::vector<cl::StmtPtr> Hoisted;
+    ast::Type LhsTy;
+    cl::LValue Dest = elabLValue(*S.Lhs, Hoisted, LhsTy);
+    cl::ExprPtr Value = cl::Expr::binary(
+        S.Increment ? cl::BinOp::Add : cl::BinOp::Sub, readOf(Dest, S.Loc),
+        cl::Expr::intConst(1, S.Loc), S.Loc);
+    return sequence(std::move(Hoisted),
+                    cl::Stmt::assign(std::move(Dest), std::move(Value),
+                                     S.Loc));
+  }
+  case StmtKind::ExprStmt: {
+    if (S.Rhs->Kind != ast::ExprKind::Call)
+      return cl::Stmt::skip(S.Loc); // Parser already diagnosed.
+    std::vector<cl::StmtPtr> Hoisted;
+    cl::StmtPtr Call = elabCallInto(*S.Rhs, std::nullopt, Hoisted);
+    return sequence(std::move(Hoisted), std::move(Call));
+  }
+  case StmtKind::If: {
+    std::vector<cl::StmtPtr> Hoisted;
+    Elaborated C = elabExpr(*S.Lhs, Hoisted);
+    cl::StmtPtr Then = elabStmt(*S.First);
+    cl::StmtPtr Else =
+        S.Second ? elabStmt(*S.Second) : cl::Stmt::skip(S.Loc);
+    return sequence(std::move(Hoisted),
+                    cl::Stmt::ifThenElse(std::move(C.E), std::move(Then),
+                                         std::move(Else), S.Loc));
+  }
+  case StmtKind::While:
+  case StmtKind::DoWhile:
+  case StmtKind::For:
+    return elabLoopish(S);
+  case StmtKind::Break:
+    return cl::Stmt::brk(S.Loc);
+  case StmtKind::Return: {
+    if (!S.Rhs) {
+      if (CurrentReturnType != ast::Type::Void)
+        Diags.error(S.Loc, "non-void function returns no value");
+      return cl::Stmt::retVoid(S.Loc);
+    }
+    if (CurrentReturnType == ast::Type::Void)
+      Diags.error(S.Loc, "void function returns a value");
+    std::vector<cl::StmtPtr> Hoisted;
+    Elaborated V = elabExpr(*S.Rhs, Hoisted);
+    return sequence(std::move(Hoisted), cl::Stmt::ret(std::move(V.E), S.Loc));
+  }
+  }
+  return cl::Stmt::skip(S.Loc);
+}

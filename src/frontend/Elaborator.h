@@ -1,0 +1,99 @@
+//===- frontend/Elaborator.h - AST to Clight core ---------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Elaboration from the parsed C-subset AST to Clight core — the analogue
+/// of CompCert's SimplExpr/SimplLocals passes from CompCert C to Clight:
+///
+///   * type checking and signedness resolution (DivS vs DivU, ...),
+///   * hoisting of calls out of expressions into temporaries, preserving
+///     evaluation order and short-circuit conditionality,
+///   * desugaring of while/for/do-while into `loop` + `break`,
+///   * desugaring of compound assignment and ++/--,
+///   * constant folding of global sizes and initializers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FRONTEND_ELABORATOR_H
+#define QCC_FRONTEND_ELABORATOR_H
+
+#include "clight/Clight.h"
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace qcc {
+namespace frontend {
+
+/// Elaborates one translation unit into a Clight core program.
+class Elaborator {
+public:
+  Elaborator(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  /// Returns the elaborated program; on errors a partial program is
+  /// returned and the diagnostics engine carries the details.
+  clight::Program run(const ast::TranslationUnit &TU);
+
+private:
+  struct Signature {
+    bool IsExternal = false;
+    unsigned Arity = 0;
+    ast::Type ReturnType = ast::Type::Void;
+  };
+
+  // Constant expressions (global sizes and initializers).
+  std::optional<uint32_t> evalConst(const ast::Expr &E);
+
+  // Per-function state.
+  void elabFunction(const ast::FunctionDecl &F, clight::Program &P);
+  std::string freshTemp();
+  void declareLocal(const std::string &Name, ast::Type Ty, SourceLoc Loc);
+
+  // Expression elaboration. Calls found inside \p E are appended to
+  // \p Hoisted as Clight call statements targeting fresh temporaries.
+  struct Elaborated {
+    clight::ExprPtr E;
+    ast::Type Ty;
+  };
+  Elaborated elabExpr(const ast::Expr &E, std::vector<clight::StmtPtr> &Hoisted);
+  Elaborated elabShortCircuit(const ast::Expr &E,
+                              std::vector<clight::StmtPtr> &Hoisted);
+  clight::StmtPtr elabCallInto(const ast::Expr &Call,
+                               std::optional<clight::LValue> Dest,
+                               std::vector<clight::StmtPtr> &Hoisted);
+
+  // Statement elaboration.
+  clight::StmtPtr elabStmt(const ast::Stmt &S);
+  clight::StmtPtr elabAssign(const ast::Stmt &S);
+  clight::StmtPtr elabLoopish(const ast::Stmt &S);
+  clight::LValue elabLValue(const ast::Expr &E,
+                            std::vector<clight::StmtPtr> &Hoisted,
+                            ast::Type &TyOut);
+
+  /// Wraps hoisted statements and a final statement into a Seq chain.
+  static clight::StmtPtr sequence(std::vector<clight::StmtPtr> Stmts,
+                                  clight::StmtPtr Last);
+
+  DiagnosticEngine &Diags;
+  const clight::Program *CurrentProgram = nullptr;
+
+  std::map<std::string, Signature> Signatures;
+  std::map<std::string, ast::Type> GlobalTypes;   ///< Scalars only.
+  std::map<std::string, ast::Type> ArrayElemTypes;
+  std::map<std::string, ast::Type> LocalTypes;    ///< Per function.
+  clight::Function *CurrentFunction = nullptr;
+  ast::Type CurrentReturnType = ast::Type::Void;
+  unsigned TempCounter = 0;
+};
+
+} // namespace frontend
+} // namespace qcc
+
+#endif // QCC_FRONTEND_ELABORATOR_H

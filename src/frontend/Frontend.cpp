@@ -1,0 +1,39 @@
+//===- frontend/Frontend.cpp - One-call parse facade ----------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "clight/Verify.h"
+#include "frontend/Elaborator.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+using namespace qcc;
+using namespace qcc::frontend;
+
+std::optional<clight::Program>
+qcc::frontend::parseProgram(const std::string &Source, DiagnosticEngine &Diags,
+                            std::map<std::string, uint32_t> Defines) {
+  Lexer Lex(Source, Diags, std::move(Defines));
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return std::nullopt;
+
+  Parser P(std::move(Tokens), Diags);
+  ast::TranslationUnit TU = P.parseTranslationUnit();
+  if (Diags.hasErrors())
+    return std::nullopt;
+
+  Elaborator E(Diags);
+  clight::Program Program = E.run(TU);
+  if (Diags.hasErrors())
+    return std::nullopt;
+
+  if (!clight::verify(Program, Diags))
+    return std::nullopt;
+  return Program;
+}

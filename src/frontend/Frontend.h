@@ -1,0 +1,37 @@
+//===- frontend/Frontend.h - One-call parse facade --------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry point: source text (plus optional -D style defines)
+/// straight to a verified Clight core program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FRONTEND_FRONTEND_H
+#define QCC_FRONTEND_FRONTEND_H
+
+#include "clight/Clight.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace qcc {
+namespace frontend {
+
+/// Lexes, parses, elaborates, and verifies \p Source. Returns the Clight
+/// program, or std::nullopt when \p Diags received errors. \p Defines
+/// overrides `#define`s in the source (Figure 7's parameter sweeps).
+std::optional<clight::Program>
+parseProgram(const std::string &Source, DiagnosticEngine &Diags,
+             std::map<std::string, uint32_t> Defines = {});
+
+} // namespace frontend
+} // namespace qcc
+
+#endif // QCC_FRONTEND_FRONTEND_H

@@ -1,0 +1,422 @@
+//===- frontend/Lexer.cpp - Lexer with a #define mini-preprocessor --------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <limits>
+
+using namespace qcc;
+using namespace qcc::frontend;
+
+const char *qcc::frontend::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile: return "end of file";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::Number: return "number";
+  case TokenKind::KwInt: return "'int'";
+  case TokenKind::KwU32: return "'u32'";
+  case TokenKind::KwUnsigned: return "'unsigned'";
+  case TokenKind::KwVoid: return "'void'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwDo: return "'do'";
+  case TokenKind::KwBreak: return "'break'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::KwGoto: return "'goto'";
+  case TokenKind::KwSwitch: return "'switch'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwExtern: return "'extern'";
+  case TokenKind::KwTypedef: return "'typedef'";
+  case TokenKind::KwConst: return "'const'";
+  case TokenKind::KwStatic: return "'static'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Semicolon: return "';'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Question: return "'?'";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Assign: return "'='";
+  case TokenKind::PlusAssign: return "'+='";
+  case TokenKind::MinusAssign: return "'-='";
+  case TokenKind::StarAssign: return "'*='";
+  case TokenKind::SlashAssign: return "'/='";
+  case TokenKind::PercentAssign: return "'%='";
+  case TokenKind::AmpAssign: return "'&='";
+  case TokenKind::PipeAssign: return "'|='";
+  case TokenKind::CaretAssign: return "'^='";
+  case TokenKind::ShlAssign: return "'<<='";
+  case TokenKind::ShrAssign: return "'>>='";
+  case TokenKind::PlusPlus: return "'++'";
+  case TokenKind::MinusMinus: return "'--'";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::Bang: return "'!'";
+  case TokenKind::Tilde: return "'~'";
+  case TokenKind::Amp: return "'&'";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::Pipe: return "'|'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::Caret: return "'^'";
+  case TokenKind::Shl: return "'<<'";
+  case TokenKind::Shr: return "'>>'";
+  case TokenKind::Lt: return "'<'";
+  case TokenKind::Le: return "'<='";
+  case TokenKind::Gt: return "'>'";
+  case TokenKind::Ge: return "'>='";
+  case TokenKind::EqEq: return "'=='";
+  case TokenKind::NotEq: return "'!='";
+  }
+  return "<bad token>";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags,
+             std::map<std::string, uint32_t> Defines)
+    : Source(std::move(Source)), Diags(Diags),
+      Overrides(std::move(Defines)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    if (C == '#') {
+      lexDirective();
+      continue;
+    }
+    return;
+  }
+}
+
+void Lexer::lexDirective() {
+  SourceLoc Start = here();
+  std::string LineText;
+  while (peek() != '\n' && peek() != '\0')
+    LineText += advance();
+
+  // Strip trailing comments from the directive line.
+  if (size_t C = LineText.find("//"); C != std::string::npos)
+    LineText.resize(C);
+  if (size_t C = LineText.find("/*"); C != std::string::npos)
+    LineText.resize(C);
+
+  // Parse "#define NAME <number>". Anything else is skipped with a warning
+  // ("#include" lines in adapted corpus files are harmless).
+  size_t I = 1; // Past '#'.
+  auto SkipSpace = [&] {
+    while (I < LineText.size() && (LineText[I] == ' ' || LineText[I] == '\t'))
+      ++I;
+  };
+  auto ReadWord = [&] {
+    std::string W;
+    while (I < LineText.size() &&
+           (std::isalnum(static_cast<unsigned char>(LineText[I])) ||
+            LineText[I] == '_'))
+      W += LineText[I++];
+    return W;
+  };
+  SkipSpace();
+  std::string Keyword = ReadWord();
+  if (Keyword != "define") {
+    if (Keyword != "include")
+      Diags.warning(Start, "ignoring unsupported directive '#" + Keyword +
+                               "'");
+    return;
+  }
+  SkipSpace();
+  std::string Name = ReadWord();
+  if (Name.empty()) {
+    Diags.error(Start, "expected macro name after '#define'");
+    return;
+  }
+  SkipSpace();
+  std::string Body = LineText.substr(I);
+  while (!Body.empty() && (Body.back() == ' ' || Body.back() == '\t'))
+    Body.pop_back();
+  // Strip one level of parentheses: "#define N (17)".
+  if (Body.size() >= 2 && Body.front() == '(' && Body.back() == ')')
+    Body = Body.substr(1, Body.size() - 2);
+  if (Body.empty()) {
+    Diags.warning(Start, "ignoring valueless macro '" + Name + "'");
+    return;
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = strtoull(Body.c_str(), &End, 0);
+  // Allow a trailing u/U/l/L suffix.
+  while (End && (*End == 'u' || *End == 'U' || *End == 'l' || *End == 'L'))
+    ++End;
+  if (!End || *End != '\0' ||
+      V > std::numeric_limits<uint32_t>::max()) {
+    Diags.error(Start, "macro '" + Name +
+                           "' is not a 32-bit integer literal: '" + Body +
+                           "'");
+    return;
+  }
+  if (!Overrides.count(Name))
+    Macros[Name] = static_cast<uint32_t>(V);
+}
+
+Token Lexer::makeToken(TokenKind Kind) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = here();
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  Token T = makeToken(TokenKind::Number);
+  uint64_t Value = 0;
+  bool Hex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    Hex = true;
+    if (!std::isxdigit(static_cast<unsigned char>(peek())))
+      Diags.error(T.Loc, "expected hexadecimal digits after '0x'");
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      unsigned D = C <= '9' ? C - '0' : (C | 0x20) - 'a' + 10;
+      Value = Value * 16 + D;
+      if (Value > std::numeric_limits<uint32_t>::max()) {
+        Diags.error(T.Loc, "integer literal exceeds 32 bits");
+        Value &= 0xffffffffull;
+      }
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      Value = Value * 10 + (advance() - '0');
+      if (Value > std::numeric_limits<uint32_t>::max()) {
+        Diags.error(T.Loc, "integer literal exceeds 32 bits");
+        Value %= 1ull << 32;
+      }
+    }
+  }
+  bool Suffixed = false;
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') {
+    if (peek() == 'u' || peek() == 'U')
+      Suffixed = true;
+    advance();
+  }
+  T.Value = static_cast<uint32_t>(Value);
+  T.ForcedUnsigned =
+      Suffixed || Hex || Value > 0x7fffffffull;
+  return T;
+}
+
+Token Lexer::lexCharLiteral() {
+  Token T = makeToken(TokenKind::Number);
+  advance(); // Opening quote.
+  char C = advance();
+  if (C == '\\') {
+    char E = advance();
+    switch (E) {
+    case 'n': C = '\n'; break;
+    case 't': C = '\t'; break;
+    case 'r': C = '\r'; break;
+    case '0': C = '\0'; break;
+    case '\\': C = '\\'; break;
+    case '\'': C = '\''; break;
+    default:
+      Diags.error(T.Loc, std::string("unsupported escape '\\") + E + "'");
+      C = E;
+    }
+  }
+  if (!match('\''))
+    Diags.error(T.Loc, "unterminated character literal");
+  T.Value = static_cast<uint32_t>(static_cast<unsigned char>(C));
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  Token T = makeToken(TokenKind::Identifier);
+  std::string Word;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Word += advance();
+
+  static const std::map<std::string, TokenKind> Keywords = {
+      {"int", TokenKind::KwInt},         {"u32", TokenKind::KwU32},
+      {"unsigned", TokenKind::KwUnsigned}, {"void", TokenKind::KwVoid},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"for", TokenKind::KwFor},
+      {"do", TokenKind::KwDo},           {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"goto", TokenKind::KwGoto},
+      {"switch", TokenKind::KwSwitch},   {"return", TokenKind::KwReturn},
+      {"extern", TokenKind::KwExtern},   {"typedef", TokenKind::KwTypedef},
+      {"const", TokenKind::KwConst},     {"static", TokenKind::KwStatic}};
+  if (auto It = Keywords.find(Word); It != Keywords.end()) {
+    T.Kind = It->second;
+    return T;
+  }
+
+  // Macro substitution (caller overrides win).
+  if (auto It = Overrides.find(Word); It != Overrides.end()) {
+    T.Kind = TokenKind::Number;
+    T.Value = It->second;
+    T.ForcedUnsigned = It->second > 0x7fffffffu;
+    return T;
+  }
+  if (auto It = Macros.find(Word); It != Macros.end()) {
+    T.Kind = TokenKind::Number;
+    T.Value = It->second;
+    T.ForcedUnsigned = It->second > 0x7fffffffu;
+    return T;
+  }
+
+  T.Text = std::move(Word);
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    skipWhitespaceAndComments();
+    char C = peek();
+    if (C == '\0') {
+      Tokens.push_back(makeToken(TokenKind::EndOfFile));
+      return Tokens;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      Tokens.push_back(lexNumber());
+      continue;
+    }
+    if (C == '\'') {
+      Tokens.push_back(lexCharLiteral());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      Tokens.push_back(lexIdentifierOrKeyword());
+      continue;
+    }
+
+    Token T = makeToken(TokenKind::EndOfFile);
+    advance();
+    switch (C) {
+    case '(': T.Kind = TokenKind::LParen; break;
+    case ')': T.Kind = TokenKind::RParen; break;
+    case '{': T.Kind = TokenKind::LBrace; break;
+    case '}': T.Kind = TokenKind::RBrace; break;
+    case '[': T.Kind = TokenKind::LBracket; break;
+    case ']': T.Kind = TokenKind::RBracket; break;
+    case ';': T.Kind = TokenKind::Semicolon; break;
+    case ',': T.Kind = TokenKind::Comma; break;
+    case '?': T.Kind = TokenKind::Question; break;
+    case ':': T.Kind = TokenKind::Colon; break;
+    case '+':
+      T.Kind = match('+')   ? TokenKind::PlusPlus
+               : match('=') ? TokenKind::PlusAssign
+                            : TokenKind::Plus;
+      break;
+    case '-':
+      T.Kind = match('-')   ? TokenKind::MinusMinus
+               : match('=') ? TokenKind::MinusAssign
+                            : TokenKind::Minus;
+      break;
+    case '*':
+      T.Kind = match('=') ? TokenKind::StarAssign : TokenKind::Star;
+      break;
+    case '/':
+      T.Kind = match('=') ? TokenKind::SlashAssign : TokenKind::Slash;
+      break;
+    case '%':
+      T.Kind = match('=') ? TokenKind::PercentAssign : TokenKind::Percent;
+      break;
+    case '!':
+      T.Kind = match('=') ? TokenKind::NotEq : TokenKind::Bang;
+      break;
+    case '~': T.Kind = TokenKind::Tilde; break;
+    case '&':
+      T.Kind = match('&')   ? TokenKind::AmpAmp
+               : match('=') ? TokenKind::AmpAssign
+                            : TokenKind::Amp;
+      break;
+    case '|':
+      T.Kind = match('|')   ? TokenKind::PipePipe
+               : match('=') ? TokenKind::PipeAssign
+                            : TokenKind::Pipe;
+      break;
+    case '^':
+      T.Kind = match('=') ? TokenKind::CaretAssign : TokenKind::Caret;
+      break;
+    case '<':
+      if (match('<'))
+        T.Kind = match('=') ? TokenKind::ShlAssign : TokenKind::Shl;
+      else
+        T.Kind = match('=') ? TokenKind::Le : TokenKind::Lt;
+      break;
+    case '>':
+      if (match('>'))
+        T.Kind = match('=') ? TokenKind::ShrAssign : TokenKind::Shr;
+      else
+        T.Kind = match('=') ? TokenKind::Ge : TokenKind::Gt;
+      break;
+    case '=':
+      T.Kind = match('=') ? TokenKind::EqEq : TokenKind::Assign;
+      break;
+    default:
+      Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+      continue; // Skip the bad character and keep lexing.
+    }
+    Tokens.push_back(T);
+  }
+}

@@ -1,0 +1,70 @@
+//===- frontend/Lexer.h - Lexer with a #define mini-preprocessor *- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lexer for the C subset. A tiny preprocessor supports the corpus'
+/// parameter style (`#define ALEN 4096`): object-like macros bound to
+/// integer literals are substituted for matching identifiers. Caller
+/// overrides (the driver's -D equivalents) take precedence, which is how
+/// Figure 7's sweeps instantiate `ALEN` without editing source text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FRONTEND_LEXER_H
+#define QCC_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace frontend {
+
+/// Lexes a whole buffer into a token vector.
+class Lexer {
+public:
+  /// \p Defines overrides any `#define` of the same name found in the
+  /// source text.
+  Lexer(std::string Source, DiagnosticEngine &Diags,
+        std::map<std::string, uint32_t> Defines = {});
+
+  /// Lexes all tokens. Always ends with an EndOfFile token, even after
+  /// errors.
+  std::vector<Token> lexAll();
+
+  /// The macro table in effect after lexing (source defines overridden by
+  /// caller-provided ones).
+  const std::map<std::string, uint32_t> &defines() const { return Macros; }
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  void skipWhitespaceAndComments();
+  void lexDirective();
+  Token lexNumber();
+  Token lexCharLiteral();
+  Token lexIdentifierOrKeyword();
+  Token makeToken(TokenKind Kind);
+  SourceLoc here() const { return SourceLoc(Line, Column); }
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  std::map<std::string, uint32_t> Macros;
+  std::map<std::string, uint32_t> Overrides;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace frontend
+} // namespace qcc
+
+#endif // QCC_FRONTEND_LEXER_H

@@ -1,0 +1,681 @@
+//===- frontend/Parser.cpp - Recursive-descent parser ---------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace qcc;
+using namespace qcc::frontend;
+using namespace qcc::frontend::ast;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::EndOfFile) &&
+         "token stream must be EndOfFile-terminated");
+}
+
+//===----------------------------------------------------------------------===//
+// Token helpers
+//===----------------------------------------------------------------------===//
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // The trailing EndOfFile.
+  return Tokens[I];
+}
+
+Token Parser::advance() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(Kind) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+void Parser::syncToStatementBoundary() {
+  while (!check(TokenKind::EndOfFile)) {
+    if (accept(TokenKind::Semicolon))
+      return;
+    if (check(TokenKind::RBrace) || check(TokenKind::LBrace))
+      return;
+    advance();
+  }
+}
+
+void Parser::syncToTopLevel() {
+  unsigned Depth = 0;
+  while (!check(TokenKind::EndOfFile)) {
+    if (check(TokenKind::LBrace)) {
+      ++Depth;
+    } else if (check(TokenKind::RBrace)) {
+      if (Depth == 0) {
+        advance();
+        return;
+      }
+      --Depth;
+    } else if (check(TokenKind::Semicolon) && Depth == 0) {
+      advance();
+      return;
+    }
+    advance();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+bool Parser::startsType() const {
+  switch (current().Kind) {
+  case TokenKind::KwInt:
+  case TokenKind::KwU32:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwVoid:
+  case TokenKind::KwConst:
+  case TokenKind::KwStatic:
+    return true;
+  case TokenKind::Identifier:
+    return TypeAliases.count(current().Text) != 0;
+  default:
+    return false;
+  }
+}
+
+Type Parser::parseType(const char *Context) {
+  // `const` and `static` are accepted and ignored (they do not affect
+  // stack bounds; const-ness is not enforced).
+  while (accept(TokenKind::KwConst) || accept(TokenKind::KwStatic))
+    ;
+  switch (current().Kind) {
+  case TokenKind::KwInt:
+    advance();
+    return Type::I32;
+  case TokenKind::KwU32:
+    advance();
+    return Type::U32;
+  case TokenKind::KwUnsigned:
+    advance();
+    accept(TokenKind::KwInt); // "unsigned int" == "unsigned".
+    return Type::U32;
+  case TokenKind::KwVoid:
+    advance();
+    return Type::Void;
+  case TokenKind::Identifier:
+    if (auto It = TypeAliases.find(current().Text); It != TypeAliases.end()) {
+      advance();
+      return It->second;
+    }
+    [[fallthrough]];
+  default:
+    Diags.error(current().Loc, std::string("expected a type ") + Context +
+                                   ", found " +
+                                   tokenKindName(current().Kind));
+    return Type::I32;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+TranslationUnit Parser::parseTranslationUnit() {
+  TranslationUnit TU;
+  while (!check(TokenKind::EndOfFile)) {
+    if (check(TokenKind::KwTypedef)) {
+      parseTypedef(TU);
+      continue;
+    }
+    if (check(TokenKind::KwExtern)) {
+      parseExtern(TU);
+      continue;
+    }
+    if (startsType()) {
+      parseGlobalOrFunction(TU);
+      continue;
+    }
+    Diags.error(current().Loc, "expected a declaration at top level, found " +
+                                   std::string(tokenKindName(current().Kind)));
+    syncToTopLevel();
+  }
+  return TU;
+}
+
+void Parser::parseTypedef(TranslationUnit &) {
+  SourceLoc Loc = current().Loc;
+  advance(); // typedef
+  Type Underlying = parseType("after 'typedef'");
+  if (Underlying == Type::Void)
+    Diags.error(Loc, "cannot typedef 'void'");
+  // `typedef unsigned int u32;` names an existing builtin; accept type
+  // keywords here as a harmless no-op alias.
+  if (check(TokenKind::KwU32) || check(TokenKind::KwInt) ||
+      check(TokenKind::KwUnsigned)) {
+    advance();
+    expect(TokenKind::Semicolon, "after typedef");
+    return;
+  }
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected name in typedef");
+    syncToStatementBoundary();
+    return;
+  }
+  std::string Name = advance().Text;
+  TypeAliases[Name] = Underlying;
+  expect(TokenKind::Semicolon, "after typedef");
+}
+
+void Parser::parseExtern(TranslationUnit &TU) {
+  advance(); // extern
+  ExternDecl D;
+  D.Loc = current().Loc;
+  D.ReturnType = parseType("in extern declaration");
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected function name in extern declaration");
+    syncToStatementBoundary();
+    return;
+  }
+  D.Name = advance().Text;
+  expect(TokenKind::LParen, "in extern declaration");
+  if (!accept(TokenKind::RParen)) {
+    if (check(TokenKind::KwVoid) && peek(1).is(TokenKind::RParen)) {
+      advance();
+    } else {
+      do {
+        Type T = parseType("in extern parameter list");
+        if (T == Type::Void)
+          Diags.error(current().Loc, "'void' parameter type");
+        D.ParamTypes.push_back(T);
+        // Parameter names are optional in declarations.
+        if (check(TokenKind::Identifier))
+          advance();
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "in extern declaration");
+  }
+  expect(TokenKind::Semicolon, "after extern declaration");
+  TU.Externs.push_back(std::move(D));
+}
+
+void Parser::parseGlobalOrFunction(TranslationUnit &TU) {
+  SourceLoc Loc = current().Loc;
+  Type Ty = parseType("at top level");
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected a name after type");
+    syncToTopLevel();
+    return;
+  }
+  std::string Name = advance().Text;
+
+  if (check(TokenKind::LParen)) {
+    // Function definition.
+    advance();
+    FunctionDecl F;
+    F.ReturnType = Ty;
+    F.Name = std::move(Name);
+    F.Loc = Loc;
+    if (!accept(TokenKind::RParen)) {
+      if (check(TokenKind::KwVoid) && peek(1).is(TokenKind::RParen)) {
+        advance();
+      } else {
+        do {
+          ParamDecl P;
+          P.Loc = current().Loc;
+          P.Ty = parseType("in parameter list");
+          if (P.Ty == Type::Void)
+            Diags.error(P.Loc, "'void' parameter type");
+          if (!check(TokenKind::Identifier)) {
+            Diags.error(current().Loc, "expected parameter name");
+            break;
+          }
+          P.Name = advance().Text;
+          F.Params.push_back(std::move(P));
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "after parameter list");
+    }
+    if (accept(TokenKind::Semicolon)) {
+      // A forward declaration of an internal function: remember nothing;
+      // the elaborator resolves calls against definitions.
+      return;
+    }
+    if (!check(TokenKind::LBrace)) {
+      Diags.error(current().Loc, "expected function body");
+      syncToTopLevel();
+      return;
+    }
+    F.Body = parseBlock();
+    TU.Functions.push_back(std::move(F));
+    return;
+  }
+
+  // Global variable(s): one or more declarators.
+  for (;;) {
+    GlobalDecl G;
+    G.Ty = Ty;
+    G.Name = Name;
+    G.Loc = Loc;
+    if (Ty == Type::Void)
+      Diags.error(Loc, "'void' global variable");
+    if (accept(TokenKind::LBracket)) {
+      G.IsArray = true;
+      if (!check(TokenKind::RBracket))
+        G.ArraySize = parseExpr();
+      expect(TokenKind::RBracket, "after array size");
+    }
+    if (accept(TokenKind::Assign)) {
+      if (accept(TokenKind::LBrace)) {
+        if (!check(TokenKind::RBrace)) {
+          do {
+            G.Init.push_back(parseExpr());
+          } while (accept(TokenKind::Comma) && !check(TokenKind::RBrace));
+        }
+        expect(TokenKind::RBrace, "after initializer list");
+        if (!G.IsArray)
+          Diags.error(G.Loc, "brace initializer on scalar global");
+      } else {
+        G.Init.push_back(parseExpr());
+      }
+    }
+    TU.Globals.push_back(std::move(G));
+    if (!accept(TokenKind::Comma))
+      break;
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected declarator after ','");
+      break;
+    }
+    Loc = current().Loc;
+    Name = advance().Text;
+  }
+  expect(TokenKind::Semicolon, "after global declaration");
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::LBrace, "to open block");
+  std::vector<StmtPtr> Body;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (startsType()) {
+      parseLocalDecls(Body);
+      continue;
+    }
+    Body.push_back(parseStatement());
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return Stmt::block(std::move(Body), Loc);
+}
+
+void Parser::parseLocalDecls(std::vector<StmtPtr> &Out) {
+  SourceLoc Loc = current().Loc;
+  Type Ty = parseType("in declaration");
+  if (Ty == Type::Void) {
+    Diags.error(Loc, "'void' local variable");
+    syncToStatementBoundary();
+    return;
+  }
+  do {
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected variable name in declaration");
+      syncToStatementBoundary();
+      return;
+    }
+    SourceLoc NameLoc = current().Loc;
+    std::string Name = advance().Text;
+    if (check(TokenKind::LBracket)) {
+      Diags.error(NameLoc,
+                  "local arrays are not supported; use a global array "
+                  "(the subset keeps frame sizes constant)");
+      syncToStatementBoundary();
+      return;
+    }
+    ExprPtr Init;
+    if (accept(TokenKind::Assign))
+      Init = parseExpr();
+    Out.push_back(Stmt::decl(Ty, std::move(Name), std::move(Init), NameLoc));
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::Semicolon, "after declaration");
+}
+
+StmtPtr Parser::parseStatement() {
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwBreak: {
+    SourceLoc Loc = advance().Loc;
+    expect(TokenKind::Semicolon, "after 'break'");
+    return Stmt::breakStmt(Loc);
+  }
+  case TokenKind::KwReturn: {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Value;
+    if (!check(TokenKind::Semicolon))
+      Value = parseExpr();
+    expect(TokenKind::Semicolon, "after 'return'");
+    return Stmt::returnStmt(std::move(Value), Loc);
+  }
+  case TokenKind::KwContinue:
+  case TokenKind::KwGoto:
+  case TokenKind::KwSwitch: {
+    Diags.error(current().Loc,
+                std::string(tokenKindName(current().Kind)) +
+                    " is outside the verified subset (paper section 4.4)");
+    syncToStatementBoundary();
+    return Stmt::block({}, current().Loc);
+  }
+  case TokenKind::Semicolon: {
+    SourceLoc Loc = advance().Loc;
+    return Stmt::block({}, Loc); // Empty statement.
+  }
+  default: {
+    StmtPtr S = parseSimpleStatement();
+    expect(TokenKind::Semicolon, "after statement");
+    return S;
+  }
+  }
+}
+
+StmtPtr Parser::parseSimpleStatement() {
+  SourceLoc Loc = current().Loc;
+
+  // Prefix increment/decrement.
+  if (check(TokenKind::PlusPlus) || check(TokenKind::MinusMinus)) {
+    bool Inc = advance().is(TokenKind::PlusPlus);
+    ExprPtr Target = parsePostfix();
+    if (Target->Kind != ExprKind::Var && Target->Kind != ExprKind::Index)
+      Diags.error(Loc, "increment target must be a variable or array element");
+    return Stmt::incDec(std::move(Target), Inc, Loc);
+  }
+
+  ExprPtr E = parseExpr();
+
+  // Postfix increment/decrement.
+  if (check(TokenKind::PlusPlus) || check(TokenKind::MinusMinus)) {
+    bool Inc = advance().is(TokenKind::PlusPlus);
+    if (E->Kind != ExprKind::Var && E->Kind != ExprKind::Index)
+      Diags.error(Loc, "increment target must be a variable or array element");
+    return Stmt::incDec(std::move(E), Inc, Loc);
+  }
+
+  // Assignment forms.
+  AssignOp Op;
+  switch (current().Kind) {
+  case TokenKind::Assign: Op = AssignOp::None; break;
+  case TokenKind::PlusAssign: Op = AssignOp::Add; break;
+  case TokenKind::MinusAssign: Op = AssignOp::Sub; break;
+  case TokenKind::StarAssign: Op = AssignOp::Mul; break;
+  case TokenKind::SlashAssign: Op = AssignOp::Div; break;
+  case TokenKind::PercentAssign: Op = AssignOp::Rem; break;
+  case TokenKind::AmpAssign: Op = AssignOp::And; break;
+  case TokenKind::PipeAssign: Op = AssignOp::Or; break;
+  case TokenKind::CaretAssign: Op = AssignOp::Xor; break;
+  case TokenKind::ShlAssign: Op = AssignOp::Shl; break;
+  case TokenKind::ShrAssign: Op = AssignOp::Shr; break;
+  default:
+    // A bare expression statement: only calls make sense (expressions have
+    // no side effects).
+    if (E->Kind != ExprKind::Call)
+      Diags.error(Loc, "expression statement has no effect (only calls are "
+                       "allowed here)");
+    return Stmt::exprStmt(std::move(E), Loc);
+  }
+  advance();
+  if (E->Kind != ExprKind::Var && E->Kind != ExprKind::Index)
+    Diags.error(Loc, "assignment target must be a variable or array element");
+  ExprPtr Rhs = parseExpr();
+  return Stmt::assign(std::move(E), Op, std::move(Rhs), Loc);
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = advance().Loc; // if
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after condition");
+  StmtPtr Then = parseStatement();
+  StmtPtr Else;
+  if (accept(TokenKind::KwElse))
+    Else = parseStatement();
+  return Stmt::ifStmt(std::move(Cond), std::move(Then), std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = advance().Loc; // while
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after condition");
+  StmtPtr Body = parseStatement();
+  return Stmt::whileStmt(std::move(Cond), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseDoWhile() {
+  SourceLoc Loc = advance().Loc; // do
+  StmtPtr Body = parseStatement();
+  expect(TokenKind::KwWhile, "after do-body");
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after condition");
+  expect(TokenKind::Semicolon, "after do-while");
+  return Stmt::doWhileStmt(std::move(Body), std::move(Cond), Loc);
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = advance().Loc; // for
+  expect(TokenKind::LParen, "after 'for'");
+  StmtPtr Init;
+  if (!check(TokenKind::Semicolon)) {
+    if (startsType()) {
+      std::vector<StmtPtr> Decls;
+      // parseLocalDecls consumes the ';'.
+      parseLocalDecls(Decls);
+      Init = Stmt::block(std::move(Decls), Loc);
+    } else {
+      Init = parseSimpleStatement();
+      expect(TokenKind::Semicolon, "after for-initializer");
+    }
+  } else {
+    advance();
+  }
+  ExprPtr Cond;
+  if (!check(TokenKind::Semicolon))
+    Cond = parseExpr();
+  expect(TokenKind::Semicolon, "after for-condition");
+  StmtPtr Step;
+  if (!check(TokenKind::RParen))
+    Step = parseSimpleStatement();
+  expect(TokenKind::RParen, "after for-step");
+  StmtPtr Body = parseStatement();
+  return Stmt::forStmt(std::move(Init), std::move(Cond), std::move(Step),
+                       std::move(Body), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::errorExpr(SourceLoc Loc) {
+  return Expr::number(0, false, Loc);
+}
+
+ExprPtr Parser::parseExpr() { return parseTernary(); }
+
+ExprPtr Parser::parseTernary() {
+  ExprPtr Cond = parseBinary(0);
+  if (!accept(TokenKind::Question))
+    return Cond;
+  SourceLoc Loc = Cond->Loc;
+  ExprPtr Then = parseTernary();
+  expect(TokenKind::Colon, "in conditional expression");
+  ExprPtr Else = parseTernary();
+  return Expr::cond(std::move(Cond), std::move(Then), std::move(Else), Loc);
+}
+
+namespace {
+/// Binary operator precedence, C-style. Returns -1 for non-operators.
+int precedenceOf(TokenKind Kind, BinaryOp &Op) {
+  switch (Kind) {
+  case TokenKind::PipePipe: Op = BinaryOp::LOr; return 1;
+  case TokenKind::AmpAmp: Op = BinaryOp::LAnd; return 2;
+  case TokenKind::Pipe: Op = BinaryOp::BitOr; return 3;
+  case TokenKind::Caret: Op = BinaryOp::BitXor; return 4;
+  case TokenKind::Amp: Op = BinaryOp::BitAnd; return 5;
+  case TokenKind::EqEq: Op = BinaryOp::Eq; return 6;
+  case TokenKind::NotEq: Op = BinaryOp::Ne; return 6;
+  case TokenKind::Lt: Op = BinaryOp::Lt; return 7;
+  case TokenKind::Le: Op = BinaryOp::Le; return 7;
+  case TokenKind::Gt: Op = BinaryOp::Gt; return 7;
+  case TokenKind::Ge: Op = BinaryOp::Ge; return 7;
+  case TokenKind::Shl: Op = BinaryOp::Shl; return 8;
+  case TokenKind::Shr: Op = BinaryOp::Shr; return 8;
+  case TokenKind::Plus: Op = BinaryOp::Add; return 9;
+  case TokenKind::Minus: Op = BinaryOp::Sub; return 9;
+  case TokenKind::Star: Op = BinaryOp::Mul; return 10;
+  case TokenKind::Slash: Op = BinaryOp::Div; return 10;
+  case TokenKind::Percent: Op = BinaryOp::Rem; return 10;
+  default: return -1;
+  }
+}
+} // namespace
+
+ExprPtr Parser::parseBinary(int MinPrecedence) {
+  ExprPtr Lhs = parseUnary();
+  for (;;) {
+    BinaryOp Op;
+    int Prec = precedenceOf(current().Kind, Op);
+    if (Prec < 0 || Prec < MinPrecedence)
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseBinary(Prec + 1); // All our binaries left-associate.
+    Lhs = Expr::binary(Op, std::move(Lhs), std::move(Rhs), Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::Minus:
+    advance();
+    return Expr::unary(UnaryOp::Neg, parseUnary(), Loc);
+  case TokenKind::Plus:
+    advance();
+    return Expr::unary(UnaryOp::Plus, parseUnary(), Loc);
+  case TokenKind::Bang:
+    advance();
+    return Expr::unary(UnaryOp::Not, parseUnary(), Loc);
+  case TokenKind::Tilde:
+    advance();
+    return Expr::unary(UnaryOp::BitNot, parseUnary(), Loc);
+  case TokenKind::PlusPlus:
+  case TokenKind::MinusMinus:
+    Diags.error(Loc, "increment/decrement is only supported as a statement");
+    advance();
+    return parseUnary();
+  case TokenKind::Star:
+  case TokenKind::Amp:
+    Diags.error(Loc, "pointers are outside the verified subset");
+    advance();
+    return parseUnary();
+  default:
+    return parsePostfix();
+  }
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  for (;;) {
+    if (check(TokenKind::LBracket)) {
+      SourceLoc Loc = advance().Loc;
+      if (E->Kind != ExprKind::Var) {
+        Diags.error(Loc, "subscript base must be a named array");
+        parseExpr();
+        expect(TokenKind::RBracket, "after subscript");
+        return errorExpr(Loc);
+      }
+      ExprPtr Subscript = parseExpr();
+      expect(TokenKind::RBracket, "after subscript");
+      E = Expr::index(E->Name, std::move(Subscript), Loc);
+      continue;
+    }
+    if (check(TokenKind::LParen)) {
+      SourceLoc Loc = advance().Loc;
+      if (E->Kind != ExprKind::Var) {
+        Diags.error(Loc, "call target must be a function name (function "
+                         "pointers are outside the verified subset)");
+      }
+      std::vector<ExprPtr> Args;
+      if (!check(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseExpr());
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      E = Expr::callExpr(E->Kind == ExprKind::Var ? E->Name : "<bad>",
+                         std::move(Args), Loc);
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::Number: {
+    Token T = advance();
+    return Expr::number(T.Value, T.ForcedUnsigned, Loc);
+  }
+  case TokenKind::Identifier: {
+    Token T = advance();
+    return Expr::var(T.Text, Loc);
+  }
+  case TokenKind::LParen: {
+    advance();
+    // A parenthesized cast like "(u32) x" is accepted and ignored: all
+    // values are 32-bit words.
+    if (startsType()) {
+      parseType("in cast");
+      expect(TokenKind::RParen, "after cast");
+      return parseUnary();
+    }
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "after expression");
+    return E;
+  }
+  default:
+    Diags.error(Loc, "expected an expression, found " +
+                         std::string(tokenKindName(current().Kind)));
+    advance();
+    return errorExpr(Loc);
+  }
+}

@@ -1,0 +1,88 @@
+//===- frontend/Parser.h - Recursive-descent parser -------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser for the C subset. `continue`, `goto` and
+/// `switch` are recognized and rejected with targeted messages, mirroring
+/// the paper's subset restrictions (section 4.4). `typedef` of integer
+/// types is supported so the corpus' `typedef unsigned int u32;` works.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FRONTEND_PARSER_H
+#define QCC_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <vector>
+
+namespace qcc {
+namespace frontend {
+
+/// Parses a token stream into a TranslationUnit.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses the whole unit. On errors a partial unit is returned and the
+  /// diagnostics engine carries the details.
+  ast::TranslationUnit parseTranslationUnit();
+
+private:
+  // Token helpers.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token advance();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void syncToStatementBoundary();
+  void syncToTopLevel();
+
+  // Types.
+  bool startsType() const;
+  ast::Type parseType(const char *Context);
+
+  // Declarations.
+  void parseTypedef(ast::TranslationUnit &TU);
+  void parseExtern(ast::TranslationUnit &TU);
+  void parseGlobalOrFunction(ast::TranslationUnit &TU);
+  ast::StmtPtr parseBlock();
+  void parseLocalDecls(std::vector<ast::StmtPtr> &Out);
+
+  // Statements.
+  ast::StmtPtr parseStatement();
+  ast::StmtPtr parseSimpleStatement(); ///< assignment / call / inc-dec.
+  ast::StmtPtr parseIf();
+  ast::StmtPtr parseWhile();
+  ast::StmtPtr parseDoWhile();
+  ast::StmtPtr parseFor();
+
+  // Expressions, by precedence.
+  ast::ExprPtr parseExpr();
+  ast::ExprPtr parseTernary();
+  ast::ExprPtr parseBinary(int MinPrecedence);
+  ast::ExprPtr parseUnary();
+  ast::ExprPtr parsePostfix();
+  ast::ExprPtr parsePrimary();
+
+  ast::ExprPtr errorExpr(SourceLoc Loc);
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  /// typedef aliases: name -> underlying scalar type.
+  std::map<std::string, ast::Type> TypeAliases;
+};
+
+} // namespace frontend
+} // namespace qcc
+
+#endif // QCC_FRONTEND_PARSER_H

@@ -1,0 +1,113 @@
+//===- frontend/Token.h - Token definitions ---------------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of the C subset accepted by the frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FRONTEND_TOKEN_H
+#define QCC_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace qcc {
+namespace frontend {
+
+enum class TokenKind : uint8_t {
+  EndOfFile,
+  Identifier,
+  Number,
+
+  // Keywords.
+  KwInt,
+  KwU32,
+  KwUnsigned,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwBreak,
+  KwContinue, // Recognized so it can be rejected with a clear message.
+  KwGoto,     // Likewise.
+  KwSwitch,   // Likewise.
+  KwReturn,
+  KwExtern,
+  KwTypedef,
+  KwConst,
+  KwStatic,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Question,
+  Colon,
+  Assign,        // =
+  PlusAssign,    // +=
+  MinusAssign,   // -=
+  StarAssign,    // *=
+  SlashAssign,   // /=
+  PercentAssign, // %=
+  AmpAssign,     // &=
+  PipeAssign,    // |=
+  CaretAssign,   // ^=
+  ShlAssign,     // <<=
+  ShrAssign,     // >>=
+  PlusPlus,      // ++
+  MinusMinus,    // --
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,
+  Tilde,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq
+};
+
+/// Returns a human-readable spelling for diagnostics ("'<<='", "number").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Numbers carry their 32-bit value and a flag telling
+/// whether a `u`/`U` suffix or out-of-int-range magnitude forces unsigned.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLoc Loc;
+  std::string Text;        ///< Identifier spelling.
+  uint32_t Value = 0;      ///< Number value.
+  bool ForcedUnsigned = false;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace frontend
+} // namespace qcc
+
+#endif // QCC_FRONTEND_TOKEN_H

@@ -1,0 +1,471 @@
+//===- interp/Interp.cpp - Clight small-step interpreter ------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace qcc;
+using namespace qcc::interp;
+namespace cl = qcc::clight;
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation (big-step; expressions are side-effect-free)
+//===----------------------------------------------------------------------===//
+
+EvalResult Interpreter::evalExpr(const cl::Expr &E) {
+  using cl::ExprKind;
+  switch (E.Kind) {
+  case ExprKind::IntConst:
+    return EvalResult::ok(E.IntValue);
+
+  case ExprKind::LocalRead: {
+    auto It = Locals.find(E.Name);
+    if (It == Locals.end())
+      return EvalResult::fault("read of unbound local '" + E.Name + "'");
+    return EvalResult::ok(It->second);
+  }
+
+  case ExprKind::GlobalRead: {
+    auto It = Globals.find(E.Name);
+    if (It == Globals.end())
+      return EvalResult::fault("read of unbound global '" + E.Name + "'");
+    return EvalResult::ok(It->second[0]);
+  }
+
+  case ExprKind::ArrayRead: {
+    auto It = Globals.find(E.Name);
+    if (It == Globals.end())
+      return EvalResult::fault("read of unbound array '" + E.Name + "'");
+    EvalResult Idx = evalExpr(*E.Lhs);
+    if (!Idx.Ok)
+      return Idx;
+    if (Idx.Value >= It->second.size())
+      return EvalResult::fault("index " + std::to_string(Idx.Value) +
+                               " out of bounds for '" + E.Name + "[" +
+                               std::to_string(It->second.size()) + "]'");
+    return EvalResult::ok(It->second[Idx.Value]);
+  }
+
+  case ExprKind::Unary: {
+    EvalResult V = evalExpr(*E.Lhs);
+    if (!V.Ok)
+      return V;
+    switch (E.UOp) {
+    case cl::UnOp::Neg:
+      return EvalResult::ok(0u - V.Value);
+    case cl::UnOp::BoolNot:
+      return EvalResult::ok(V.Value == 0 ? 1u : 0u);
+    case cl::UnOp::BitNot:
+      return EvalResult::ok(~V.Value);
+    }
+    return EvalResult::fault("bad unary operator");
+  }
+
+  case ExprKind::Binary: {
+    EvalResult L = evalExpr(*E.Lhs);
+    if (!L.Ok)
+      return L;
+    EvalResult R = evalExpr(*E.Rhs);
+    if (!R.Ok)
+      return R;
+    uint32_t A = L.Value, B = R.Value;
+    int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+    switch (E.BOp) {
+    case cl::BinOp::Add: return EvalResult::ok(A + B);
+    case cl::BinOp::Sub: return EvalResult::ok(A - B);
+    case cl::BinOp::Mul: return EvalResult::ok(A * B);
+    case cl::BinOp::DivU:
+      if (B == 0)
+        return EvalResult::fault("unsigned division by zero");
+      return EvalResult::ok(A / B);
+    case cl::BinOp::ModU:
+      if (B == 0)
+        return EvalResult::fault("unsigned remainder by zero");
+      return EvalResult::ok(A % B);
+    case cl::BinOp::DivS:
+      if (SB == 0)
+        return EvalResult::fault("signed division by zero");
+      if (SA == std::numeric_limits<int32_t>::min() && SB == -1)
+        return EvalResult::fault("signed division overflow");
+      return EvalResult::ok(static_cast<uint32_t>(SA / SB));
+    case cl::BinOp::ModS:
+      if (SB == 0)
+        return EvalResult::fault("signed remainder by zero");
+      if (SA == std::numeric_limits<int32_t>::min() && SB == -1)
+        return EvalResult::fault("signed remainder overflow");
+      return EvalResult::ok(static_cast<uint32_t>(SA % SB));
+    case cl::BinOp::And: return EvalResult::ok(A & B);
+    case cl::BinOp::Or: return EvalResult::ok(A | B);
+    case cl::BinOp::Xor: return EvalResult::ok(A ^ B);
+    case cl::BinOp::Shl: return EvalResult::ok(A << (B & 31));
+    case cl::BinOp::ShrU: return EvalResult::ok(A >> (B & 31));
+    case cl::BinOp::ShrS:
+      return EvalResult::ok(static_cast<uint32_t>(SA >> (B & 31)));
+    case cl::BinOp::Eq: return EvalResult::ok(A == B);
+    case cl::BinOp::Ne: return EvalResult::ok(A != B);
+    case cl::BinOp::LtU: return EvalResult::ok(A < B);
+    case cl::BinOp::LeU: return EvalResult::ok(A <= B);
+    case cl::BinOp::GtU: return EvalResult::ok(A > B);
+    case cl::BinOp::GeU: return EvalResult::ok(A >= B);
+    case cl::BinOp::LtS: return EvalResult::ok(SA < SB);
+    case cl::BinOp::LeS: return EvalResult::ok(SA <= SB);
+    case cl::BinOp::GtS: return EvalResult::ok(SA > SB);
+    case cl::BinOp::GeS: return EvalResult::ok(SA >= SB);
+    }
+    return EvalResult::fault("bad binary operator");
+  }
+
+  case ExprKind::Cond: {
+    EvalResult C = evalExpr(*E.Lhs);
+    if (!C.Ok)
+      return C;
+    return C.Value != 0 ? evalExpr(*E.Rhs) : evalExpr(*E.Third);
+  }
+  }
+  return EvalResult::fault("bad expression kind");
+}
+
+EvalResult Interpreter::readLValue(const cl::LValue &LV) {
+  switch (LV.K) {
+  case cl::LValue::Kind::Local: {
+    auto It = Locals.find(LV.Name);
+    if (It == Locals.end())
+      return EvalResult::fault("read of unbound local '" + LV.Name + "'");
+    return EvalResult::ok(It->second);
+  }
+  case cl::LValue::Kind::Global: {
+    auto It = Globals.find(LV.Name);
+    if (It == Globals.end())
+      return EvalResult::fault("read of unbound global '" + LV.Name + "'");
+    return EvalResult::ok(It->second[0]);
+  }
+  case cl::LValue::Kind::ArrayElem: {
+    auto It = Globals.find(LV.Name);
+    if (It == Globals.end())
+      return EvalResult::fault("read of unbound array '" + LV.Name + "'");
+    EvalResult Idx = evalExpr(*LV.Index);
+    if (!Idx.Ok)
+      return Idx;
+    if (Idx.Value >= It->second.size())
+      return EvalResult::fault("index out of bounds for '" + LV.Name + "'");
+    return EvalResult::ok(It->second[Idx.Value]);
+  }
+  }
+  return EvalResult::fault("bad lvalue kind");
+}
+
+bool Interpreter::writeLValue(const cl::LValue &LV, uint32_t Value,
+                              std::string &Fault) {
+  switch (LV.K) {
+  case cl::LValue::Kind::Local:
+    // Locals are pre-bound at frame construction; writing an unknown name
+    // would be a verifier bug, but stay defensive.
+    Locals[LV.Name] = Value;
+    return true;
+  case cl::LValue::Kind::Global: {
+    auto It = Globals.find(LV.Name);
+    if (It == Globals.end()) {
+      Fault = "write to unbound global '" + LV.Name + "'";
+      return false;
+    }
+    It->second[0] = Value;
+    return true;
+  }
+  case cl::LValue::Kind::ArrayElem: {
+    auto It = Globals.find(LV.Name);
+    if (It == Globals.end()) {
+      Fault = "write to unbound array '" + LV.Name + "'";
+      return false;
+    }
+    EvalResult Idx = evalExpr(*LV.Index);
+    if (!Idx.Ok) {
+      Fault = Idx.Fault;
+      return false;
+    }
+    if (Idx.Value >= It->second.size()) {
+      Fault = "index " + std::to_string(Idx.Value) + " out of bounds for '" +
+              LV.Name + "[" + std::to_string(It->second.size()) + "]'";
+      return false;
+    }
+    It->second[Idx.Value] = Value;
+    return true;
+  }
+  }
+  Fault = "bad lvalue kind";
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Program execution
+//===----------------------------------------------------------------------===//
+
+void Interpreter::initGlobals() {
+  Globals.clear();
+  for (const cl::GlobalVar &G : P.Globals) {
+    std::vector<uint32_t> Cells = G.Init;
+    Cells.resize(G.Size, 0);
+    Globals[G.Name] = std::move(Cells);
+  }
+}
+
+Interpreter::Env Interpreter::makeFrame(const cl::Function &F,
+                                        const std::vector<uint32_t> &Args) {
+  assert(Args.size() == F.Params.size() && "arity checked by verifier");
+  Env Frame;
+  for (size_t I = 0; I != F.Params.size(); ++I)
+    Frame[F.Params[I]] = Args[I];
+  for (const std::string &L : F.Locals)
+    Frame[L] = 0; // Determinism choice shared by all pipeline levels.
+  return Frame;
+}
+
+Behavior Interpreter::run() {
+  const cl::Function *Entry = P.findFunction(P.EntryPoint);
+  if (!Entry)
+    return Behavior::fails({}, "entry point '" + P.EntryPoint +
+                                   "' is not defined");
+  return execute(*Entry, {});
+}
+
+Behavior Interpreter::runFunctionCall(const std::string &Function,
+                                      const std::vector<uint32_t> &Args) {
+  const cl::Function *F = P.findFunction(Function);
+  if (!F)
+    return Behavior::fails({}, "function '" + Function + "' is not defined");
+  if (F->Params.size() != Args.size())
+    return Behavior::fails({}, "bad argument count for '" + Function + "'");
+  return execute(*F, Args);
+}
+
+Behavior Interpreter::execute(const cl::Function &Entry,
+                              const std::vector<uint32_t> &Args) {
+  initGlobals();
+  Stack.clear();
+  Events.clear();
+  Steps = 0;
+
+  Events.push_back(Event::call(Entry.Name));
+  Locals = makeFrame(Entry, Args);
+
+  // The execution mode: either about to execute Cur, or propagating a
+  // completion (fall-through / break / return) up the continuation stack.
+  enum class Mode : uint8_t { Exec, FallThrough, Breaking, Returning };
+  Mode M = Mode::Exec;
+  const cl::Stmt *Cur = Entry.Body.get();
+  uint32_t ReturnValue = 0;
+  // Names of the call chain, innermost last; used to emit ret events.
+  std::vector<std::string> CallChain = {Entry.Name};
+
+  auto Fail = [&](const std::string &Reason) {
+    return Behavior::fails(Events, Reason);
+  };
+
+  for (;;) {
+    if (++Steps > Fuel)
+      return Behavior::diverges(Events);
+
+    if (M == Mode::Exec) {
+      switch (Cur->Kind) {
+      case cl::StmtKind::Skip:
+        M = Mode::FallThrough;
+        break;
+
+      case cl::StmtKind::Assign: {
+        EvalResult V = evalExpr(*Cur->Value);
+        if (!V.Ok)
+          return Fail(V.Fault);
+        std::string Fault;
+        if (!writeLValue(Cur->Dest, V.Value, Fault))
+          return Fail(Fault);
+        M = Mode::FallThrough;
+        break;
+      }
+
+      case cl::StmtKind::Call: {
+        std::vector<uint32_t> ArgValues;
+        ArgValues.reserve(Cur->Args.size());
+        for (const cl::ExprPtr &A : Cur->Args) {
+          EvalResult V = evalExpr(*A);
+          if (!V.Ok)
+            return Fail(V.Fault);
+          ArgValues.push_back(V.Value);
+        }
+        if (const cl::Function *Callee = P.findFunction(Cur->Callee)) {
+          // Internal call: push a Kcall frame, emit call(f), switch frames.
+          Events.push_back(Event::call(Callee->Name));
+          Cont C;
+          C.K = Cont::Kind::Call;
+          C.HasDest = Cur->HasDest;
+          C.Dest = Cur->HasDest ? &Cur->Dest : nullptr;
+          C.Function = Callee->Name;
+          C.SavedLocals = std::move(Locals);
+          Stack.push_back(std::move(C));
+          CallChain.push_back(Callee->Name);
+          Locals = makeFrame(*Callee, ArgValues);
+          Cur = Callee->Body.get();
+          // Stay in Exec mode.
+          break;
+        }
+        // External call: one I/O event, result 0 by convention.
+        std::vector<int32_t> IOArgs(ArgValues.begin(), ArgValues.end());
+        Events.push_back(
+            Event::external(Cur->Callee, std::move(IOArgs), /*Result=*/0));
+        if (Cur->HasDest) {
+          std::string Fault;
+          if (!writeLValue(Cur->Dest, 0, Fault))
+            return Fail(Fault);
+        }
+        M = Mode::FallThrough;
+        break;
+      }
+
+      case cl::StmtKind::Seq: {
+        Cont C;
+        C.K = Cont::Kind::Seq;
+        C.Next = Cur->Second.get();
+        Stack.push_back(std::move(C));
+        Cur = Cur->First.get();
+        break;
+      }
+
+      case cl::StmtKind::If: {
+        EvalResult C = evalExpr(*Cur->Value);
+        if (!C.Ok)
+          return Fail(C.Fault);
+        Cur = C.Value != 0 ? Cur->First.get() : Cur->Second.get();
+        break;
+      }
+
+      case cl::StmtKind::Loop: {
+        Cont C;
+        C.K = Cont::Kind::Loop;
+        C.Next = Cur->First.get(); // Body, for re-entry.
+        Stack.push_back(std::move(C));
+        Cur = Cur->First.get();
+        break;
+      }
+
+      case cl::StmtKind::Break:
+        M = Mode::Breaking;
+        break;
+
+      case cl::StmtKind::Return: {
+        if (Cur->HasValue) {
+          EvalResult V = evalExpr(*Cur->Value);
+          if (!V.Ok)
+            return Fail(V.Fault);
+          ReturnValue = V.Value;
+        } else {
+          ReturnValue = 0;
+        }
+        M = Mode::Returning;
+        break;
+      }
+      }
+      continue;
+    }
+
+    // Completion propagation.
+    if (Stack.empty()) {
+      switch (M) {
+      case Mode::FallThrough:
+        // The entry function body always ends in an explicit return
+        // (elaborator invariant), but tolerate a bare fall-through.
+        [[fallthrough]];
+      case Mode::Returning: {
+        assert(!CallChain.empty());
+        Events.push_back(Event::ret(CallChain.back()));
+        return Behavior::converges(Events,
+                                   static_cast<int32_t>(ReturnValue));
+      }
+      case Mode::Breaking:
+        return Fail("'break' escaped the function body");
+      case Mode::Exec:
+        break;
+      }
+      assert(false && "unreachable completion state");
+    }
+
+    Cont &Top = Stack.back();
+    switch (M) {
+    case Mode::FallThrough:
+      switch (Top.K) {
+      case Cont::Kind::Seq:
+        Cur = Top.Next;
+        Stack.pop_back();
+        M = Mode::Exec;
+        break;
+      case Cont::Kind::Loop:
+        Cur = Top.Next; // Re-enter the body; keep the Kloop frame.
+        M = Mode::Exec;
+        break;
+      case Cont::Kind::Call: {
+        // Fall-through out of a function body: void return.
+        Events.push_back(Event::ret(Top.Function));
+        Locals = std::move(Top.SavedLocals);
+        if (Top.HasDest) {
+          std::string Fault;
+          if (!writeLValue(*Top.Dest, 0, Fault))
+            return Fail(Fault);
+        }
+        Stack.pop_back();
+        CallChain.pop_back();
+        M = Mode::FallThrough;
+        break;
+      }
+      }
+      break;
+
+    case Mode::Breaking:
+      switch (Top.K) {
+      case Cont::Kind::Seq:
+        Stack.pop_back();
+        break; // Keep unwinding.
+      case Cont::Kind::Loop:
+        Stack.pop_back();
+        M = Mode::FallThrough; // The loop is done.
+        break;
+      case Cont::Kind::Call:
+        return Fail("'break' escaped a function body");
+      }
+      break;
+
+    case Mode::Returning:
+      switch (Top.K) {
+      case Cont::Kind::Seq:
+      case Cont::Kind::Loop:
+        Stack.pop_back();
+        break; // Keep unwinding to the call frame.
+      case Cont::Kind::Call: {
+        Events.push_back(Event::ret(Top.Function));
+        Locals = std::move(Top.SavedLocals);
+        if (Top.HasDest) {
+          std::string Fault;
+          if (!writeLValue(*Top.Dest, ReturnValue, Fault))
+            return Fail(Fault);
+        }
+        Stack.pop_back();
+        CallChain.pop_back();
+        M = Mode::FallThrough;
+        break;
+      }
+      }
+      break;
+
+    case Mode::Exec:
+      assert(false && "Exec handled above");
+      break;
+    }
+  }
+}
+
+Behavior qcc::interp::runProgram(const cl::Program &P, uint64_t Fuel) {
+  Interpreter I(P, Fuel);
+  return I.run();
+}

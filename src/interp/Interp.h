@@ -1,0 +1,117 @@
+//===- interp/Interp.h - Clight small-step interpreter ----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The continuation-based small-step semantics of Clight core (Paper
+/// section 4.2). Continuations follow the paper's grammar
+///
+///   K ::= Kstop | Kseq S K | Kloop S K | Kcall x f theta K
+///
+/// and transitions emit memory events call(f)/ret(f) on internal calls and
+/// external events on calls to declared externals. The produced behavior's
+/// trace is exactly what the weight machinery of `events` consumes; the
+/// per-configuration weight W_{sigma,M}(S, K) of the paper is obtained by
+/// running from that configuration and weighing the trace.
+///
+/// Determinism choices shared by every level of the pipeline (documented
+/// in DESIGN.md): locals start at 0, shift counts are masked to 5 bits,
+/// external functions return 0. Genuine undefined behavior — division by
+/// zero, signed-division overflow, out-of-bounds array access — yields a
+/// fail(t) behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_INTERP_INTERP_H
+#define QCC_INTERP_INTERP_H
+
+#include "clight/Clight.h"
+#include "events/Trace.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace interp {
+
+/// Default small-step fuel; enough for every corpus benchmark.
+inline constexpr uint64_t DefaultFuel = 50'000'000;
+
+/// Result of evaluating a pure expression: a value or a fault description.
+struct EvalResult {
+  bool Ok;
+  uint32_t Value;
+  std::string Fault;
+
+  static EvalResult ok(uint32_t V) { return {true, V, ""}; }
+  static EvalResult fault(std::string Reason) {
+    return {false, 0, std::move(Reason)};
+  }
+};
+
+/// Executes Clight core programs with the paper's continuation semantics.
+class Interpreter {
+public:
+  /// \p Fuel bounds the number of small steps; exhausting it yields a
+  /// diverging behavior carrying the trace prefix.
+  explicit Interpreter(const clight::Program &P, uint64_t Fuel = DefaultFuel)
+      : P(P), Fuel(Fuel) {}
+
+  /// Runs the entry point (main). Globals are (re)initialized first.
+  Behavior run();
+
+  /// Runs a single function call f(Args) from freshly initialized globals.
+  /// The trace starts with call(f) and, on normal termination, ends with
+  /// ret(f); the behavior's return code is f's result (0 for void).
+  Behavior runFunctionCall(const std::string &Function,
+                           const std::vector<uint32_t> &Args);
+
+  /// Number of small steps taken by the last run.
+  uint64_t stepsTaken() const { return Steps; }
+
+private:
+  using Env = std::map<std::string, uint32_t>;
+
+  /// One continuation frame (the paper's K, linearized into a stack).
+  struct Cont {
+    enum class Kind : uint8_t { Seq, Loop, Call } K;
+    const clight::Stmt *Next = nullptr; ///< Seq: S2. Loop: the body.
+    // Call frames:
+    bool HasDest = false;
+    const clight::LValue *Dest = nullptr;
+    std::string Function;
+    Env SavedLocals;
+  };
+
+  EvalResult evalExpr(const clight::Expr &E);
+  EvalResult readLValue(const clight::LValue &LV);
+  bool writeLValue(const clight::LValue &LV, uint32_t Value,
+                   std::string &Fault);
+  void initGlobals();
+  Env makeFrame(const clight::Function &F,
+                const std::vector<uint32_t> &Args);
+  Behavior execute(const clight::Function &Entry,
+                   const std::vector<uint32_t> &Args);
+
+  const clight::Program &P;
+  uint64_t Fuel;
+  uint64_t Steps = 0;
+
+  std::map<std::string, std::vector<uint32_t>> Globals;
+  Env Locals;
+  std::vector<Cont> Stack;
+  Trace Events;
+};
+
+/// Convenience: runs \p P's entry point with \p Fuel.
+Behavior runProgram(const clight::Program &P, uint64_t Fuel = DefaultFuel);
+
+} // namespace interp
+} // namespace qcc
+
+#endif // QCC_INTERP_INTERP_H

@@ -1,0 +1,608 @@
+//===- logic/Bound.cpp - Symbolic quantitative assertions -----------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Bound.h"
+
+#include <cassert>
+
+using namespace qcc;
+using namespace qcc::logic;
+
+//===----------------------------------------------------------------------===//
+// Integer terms
+//===----------------------------------------------------------------------===//
+
+IntTerm IntTermNode::constant(int64_t V) {
+  auto N = std::make_shared<IntTermNode>();
+  N->K = Kind::Const;
+  N->Value = V;
+  return N;
+}
+
+IntTerm IntTermNode::var(std::string Name, VarSign Sign) {
+  auto N = std::make_shared<IntTermNode>();
+  N->K = Kind::Var;
+  N->Name = std::move(Name);
+  N->Sign = Sign;
+  return N;
+}
+
+IntTerm IntTermNode::add(IntTerm L, IntTerm R) {
+  if (L->K == Kind::Const && R->K == Kind::Const)
+    return constant(L->Value + R->Value);
+  auto N = std::make_shared<IntTermNode>();
+  N->K = Kind::Add;
+  N->Lhs = std::move(L);
+  N->Rhs = std::move(R);
+  return N;
+}
+
+IntTerm IntTermNode::sub(IntTerm L, IntTerm R) {
+  if (L->K == Kind::Const && R->K == Kind::Const)
+    return constant(L->Value - R->Value);
+  auto N = std::make_shared<IntTermNode>();
+  N->K = Kind::Sub;
+  N->Lhs = std::move(L);
+  N->Rhs = std::move(R);
+  return N;
+}
+
+IntTerm IntTermNode::mul(IntTerm L, IntTerm R) {
+  if (L->K == Kind::Const && R->K == Kind::Const)
+    return constant(L->Value * R->Value);
+  auto N = std::make_shared<IntTermNode>();
+  N->K = Kind::Mul;
+  N->Lhs = std::move(L);
+  N->Rhs = std::move(R);
+  return N;
+}
+
+IntTerm IntTermNode::divC(IntTerm L, int64_t Divisor) {
+  assert(Divisor > 0 && "divC needs a positive constant divisor");
+  if (L->K == Kind::Const)
+    return constant(L->Value / Divisor);
+  auto N = std::make_shared<IntTermNode>();
+  N->K = Kind::DivC;
+  N->Lhs = std::move(L);
+  N->Value = Divisor;
+  return N;
+}
+
+std::string IntTermNode::str() const {
+  switch (K) {
+  case Kind::Const:
+    return std::to_string(Value);
+  case Kind::Var:
+    return Name;
+  case Kind::Add:
+    return "(" + Lhs->str() + " + " + Rhs->str() + ")";
+  case Kind::Sub:
+    return "(" + Lhs->str() + " - " + Rhs->str() + ")";
+  case Kind::Mul:
+    return "(" + Lhs->str() + " * " + Rhs->str() + ")";
+  case Kind::DivC:
+    return "(" + Lhs->str() + " / " + std::to_string(Value) + ")";
+  }
+  return "<bad term>";
+}
+
+std::optional<int64_t> qcc::logic::evalIntTerm(const IntTerm &T,
+                                               const VarEnv &Env) {
+  switch (T->K) {
+  case IntTermNode::Kind::Const:
+    return T->Value;
+  case IntTermNode::Kind::Var: {
+    auto It = Env.find(T->Name);
+    if (It == Env.end())
+      return std::nullopt;
+    uint32_t Raw = It->second;
+    return T->Sign == VarSign::Signed
+               ? static_cast<int64_t>(static_cast<int32_t>(Raw))
+               : static_cast<int64_t>(Raw);
+  }
+  case IntTermNode::Kind::Add: {
+    auto L = evalIntTerm(T->Lhs, Env), R = evalIntTerm(T->Rhs, Env);
+    if (!L || !R)
+      return std::nullopt;
+    return *L + *R;
+  }
+  case IntTermNode::Kind::Sub: {
+    auto L = evalIntTerm(T->Lhs, Env), R = evalIntTerm(T->Rhs, Env);
+    if (!L || !R)
+      return std::nullopt;
+    return *L - *R;
+  }
+  case IntTermNode::Kind::Mul: {
+    auto L = evalIntTerm(T->Lhs, Env), R = evalIntTerm(T->Rhs, Env);
+    if (!L || !R)
+      return std::nullopt;
+    return *L * *R;
+  }
+  case IntTermNode::Kind::DivC: {
+    auto L = evalIntTerm(T->Lhs, Env);
+    if (!L)
+      return std::nullopt;
+    return *L / T->Value;
+  }
+  }
+  return std::nullopt;
+}
+
+void qcc::logic::collectIntTermVars(const IntTerm &T,
+                                    std::set<std::string> &Out) {
+  if (!T)
+    return;
+  if (T->K == IntTermNode::Kind::Var)
+    Out.insert(T->Name);
+  collectIntTermVars(T->Lhs, Out);
+  collectIntTermVars(T->Rhs, Out);
+}
+
+IntTerm qcc::logic::substIntTerm(const IntTerm &T, const std::string &Name,
+                                 const IntTerm &Replacement) {
+  switch (T->K) {
+  case IntTermNode::Kind::Const:
+    return T;
+  case IntTermNode::Kind::Var:
+    return T->Name == Name ? Replacement : T;
+  case IntTermNode::Kind::Add:
+    return IntTermNode::add(substIntTerm(T->Lhs, Name, Replacement),
+                            substIntTerm(T->Rhs, Name, Replacement));
+  case IntTermNode::Kind::Sub:
+    return IntTermNode::sub(substIntTerm(T->Lhs, Name, Replacement),
+                            substIntTerm(T->Rhs, Name, Replacement));
+  case IntTermNode::Kind::Mul:
+    return IntTermNode::mul(substIntTerm(T->Lhs, Name, Replacement),
+                            substIntTerm(T->Rhs, Name, Replacement));
+  case IntTermNode::Kind::DivC:
+    return IntTermNode::divC(substIntTerm(T->Lhs, Name, Replacement),
+                             T->Value);
+  }
+  return T;
+}
+
+std::string Cmp::str() const {
+  const char *R = "";
+  switch (Rel) {
+  case CmpRel::Lt: R = "<"; break;
+  case CmpRel::Le: R = "<="; break;
+  case CmpRel::Gt: R = ">"; break;
+  case CmpRel::Ge: R = ">="; break;
+  case CmpRel::Eq: R = "=="; break;
+  case CmpRel::Ne: R = "!="; break;
+  }
+  return Lhs->str() + " " + R + " " + Rhs->str();
+}
+
+std::optional<bool> qcc::logic::evalCmp(const Cmp &C, const VarEnv &Env) {
+  auto L = evalIntTerm(C.Lhs, Env), R = evalIntTerm(C.Rhs, Env);
+  if (!L || !R)
+    return std::nullopt;
+  switch (C.Rel) {
+  case CmpRel::Lt: return *L < *R;
+  case CmpRel::Le: return *L <= *R;
+  case CmpRel::Gt: return *L > *R;
+  case CmpRel::Ge: return *L >= *R;
+  case CmpRel::Eq: return *L == *R;
+  case CmpRel::Ne: return *L != *R;
+  }
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Bound expressions
+//===----------------------------------------------------------------------===//
+
+static BoundExpr makeNode(BoundExprNode N) {
+  return std::make_shared<BoundExprNode>(std::move(N));
+}
+
+BoundExpr qcc::logic::bConst(ExtNat V) {
+  BoundExprNode N;
+  N.K = BoundExprNode::Kind::Const;
+  N.Value = V;
+  return makeNode(std::move(N));
+}
+
+BoundExpr qcc::logic::bZero() { return bConst(ExtNat(0)); }
+
+BoundExpr qcc::logic::bBottom() { return bConst(ExtNat::infinity()); }
+
+BoundExpr qcc::logic::bMetric(std::string Function) {
+  BoundExprNode N;
+  N.K = BoundExprNode::Kind::MetricVar;
+  N.Func = std::move(Function);
+  return makeNode(std::move(N));
+}
+
+static bool isConstZero(const BoundExpr &E) {
+  return E->K == BoundExprNode::Kind::Const && E->Value == ExtNat(0);
+}
+
+static bool isConstInf(const BoundExpr &E) {
+  return E->K == BoundExprNode::Kind::Const && E->Value.isInfinite();
+}
+
+BoundExpr qcc::logic::bAdd(BoundExpr L, BoundExpr R) {
+  if (isConstZero(L))
+    return R;
+  if (isConstZero(R))
+    return L;
+  if (isConstInf(L) || isConstInf(R))
+    return bBottom();
+  if (L->K == BoundExprNode::Kind::Const &&
+      R->K == BoundExprNode::Kind::Const)
+    return bConst(L->Value + R->Value);
+  BoundExprNode N;
+  N.K = BoundExprNode::Kind::Add;
+  N.Lhs = std::move(L);
+  N.Rhs = std::move(R);
+  return makeNode(std::move(N));
+}
+
+BoundExpr qcc::logic::bMax(BoundExpr L, BoundExpr R) {
+  if (isConstZero(L))
+    return R;
+  if (isConstZero(R))
+    return L;
+  if (isConstInf(L) || isConstInf(R))
+    return bBottom();
+  if (L->K == BoundExprNode::Kind::Const &&
+      R->K == BoundExprNode::Kind::Const)
+    return bConst(max(L->Value, R->Value));
+  if (structurallyEqual(L, R))
+    return L;
+  BoundExprNode N;
+  N.K = BoundExprNode::Kind::Max;
+  N.Lhs = std::move(L);
+  N.Rhs = std::move(R);
+  return makeNode(std::move(N));
+}
+
+BoundExpr qcc::logic::bMul(BoundExpr L, BoundExpr R) {
+  if (isConstZero(L) || isConstZero(R))
+    return bZero();
+  if (L->K == BoundExprNode::Kind::Const && L->Value == ExtNat(1))
+    return R;
+  if (R->K == BoundExprNode::Kind::Const && R->Value == ExtNat(1))
+    return L;
+  if (L->K == BoundExprNode::Kind::Const &&
+      R->K == BoundExprNode::Kind::Const)
+    return bConst(L->Value * R->Value);
+  // A finite constant factor becomes a Scale, keeping the expression in
+  // the symbolically checkable fragment.
+  if (L->K == BoundExprNode::Kind::Const && L->Value.isFinite())
+    return bScale(L->Value.finiteValue(), std::move(R));
+  if (R->K == BoundExprNode::Kind::Const && R->Value.isFinite())
+    return bScale(R->Value.finiteValue(), std::move(L));
+  BoundExprNode N;
+  N.K = BoundExprNode::Kind::Mul;
+  N.Lhs = std::move(L);
+  N.Rhs = std::move(R);
+  return makeNode(std::move(N));
+}
+
+BoundExpr qcc::logic::bScale(uint64_t K, BoundExpr E) {
+  if (K == 0)
+    return bZero();
+  if (K == 1)
+    return E;
+  if (E->K == BoundExprNode::Kind::Const)
+    return bConst(ExtNat(K) * E->Value);
+  BoundExprNode N;
+  N.K = BoundExprNode::Kind::Scale;
+  N.Factor = K;
+  N.Lhs = std::move(E);
+  return makeNode(std::move(N));
+}
+
+BoundExpr qcc::logic::bLog2W(IntTerm T) {
+  if (T->K == IntTermNode::Kind::Const) {
+    if (T->Value < 0)
+      return bBottom();
+    if (T->Value <= 1)
+      return bZero();
+    return bConst(ExtNat(floorLog2(static_cast<uint64_t>(T->Value))));
+  }
+  BoundExprNode N;
+  N.K = BoundExprNode::Kind::Log2W;
+  N.Term = std::move(T);
+  return makeNode(std::move(N));
+}
+
+BoundExpr qcc::logic::bLog2C(IntTerm T) {
+  if (T->K == IntTermNode::Kind::Const) {
+    if (T->Value < 0)
+      return bBottom();
+    if (T->Value <= 1)
+      return bZero();
+    return bConst(ExtNat(ceilLog2(static_cast<uint64_t>(T->Value))));
+  }
+  BoundExprNode N;
+  N.K = BoundExprNode::Kind::Log2C;
+  N.Term = std::move(T);
+  return makeNode(std::move(N));
+}
+
+BoundExpr qcc::logic::bNatTerm(IntTerm T) {
+  if (T->K == IntTermNode::Kind::Const)
+    return T->Value < 0 ? bBottom()
+                        : bConst(ExtNat(static_cast<uint64_t>(T->Value)));
+  BoundExprNode N;
+  N.K = BoundExprNode::Kind::NatTerm;
+  N.Term = std::move(T);
+  return makeNode(std::move(N));
+}
+
+/// Evaluates a comparison whose two sides are constants.
+static std::optional<bool> constCmp(const Cmp &C) {
+  if (C.Lhs->K != IntTermNode::Kind::Const ||
+      C.Rhs->K != IntTermNode::Kind::Const)
+    return std::nullopt;
+  return evalCmp(C, {});
+}
+
+BoundExpr qcc::logic::bGuard(Cmp C, BoundExpr E) {
+  if (auto B = constCmp(C))
+    return *B ? E : bBottom();
+  BoundExprNode N;
+  N.K = BoundExprNode::Kind::Guard;
+  N.Condition = std::move(C);
+  N.Lhs = std::move(E);
+  return makeNode(std::move(N));
+}
+
+BoundExpr qcc::logic::bIte(Cmp C, BoundExpr Then, BoundExpr Else) {
+  if (auto B = constCmp(C))
+    return *B ? Then : Else;
+  if (structurallyEqual(Then, Else))
+    return Then;
+  BoundExprNode N;
+  N.K = BoundExprNode::Kind::Ite;
+  N.Condition = std::move(C);
+  N.Lhs = std::move(Then);
+  N.Rhs = std::move(Else);
+  return makeNode(std::move(N));
+}
+
+std::string BoundExprNode::str() const {
+  switch (K) {
+  case Kind::Const:
+    return Value.str();
+  case Kind::MetricVar:
+    return "M(" + Func + ")";
+  case Kind::Add:
+    return Lhs->str() + " + " + Rhs->str();
+  case Kind::Max:
+    return "max(" + Lhs->str() + ", " + Rhs->str() + ")";
+  case Kind::Mul: {
+    auto Wrap = [](const BoundExpr &E) {
+      bool NeedsParens = E->K == Kind::Add || E->K == Kind::Max;
+      return NeedsParens ? "(" + E->str() + ")" : E->str();
+    };
+    return Wrap(Lhs) + " * " + Wrap(Rhs);
+  }
+  case Kind::Scale: {
+    bool NeedsParens = Lhs->K == Kind::Add;
+    return std::to_string(Factor) + " * " +
+           (NeedsParens ? "(" + Lhs->str() + ")" : Lhs->str());
+  }
+  case Kind::Log2W:
+    return "log2(" + Term->str() + ")";
+  case Kind::Log2C:
+    return "clog2(" + Term->str() + ")";
+  case Kind::NatTerm:
+    return "[" + Term->str() + "]";
+  case Kind::Guard:
+    return "(" + Condition->str() + " ? " + Lhs->str() + " : oo)";
+  case Kind::Ite:
+    return "(" + Condition->str() + " ? " + Lhs->str() + " : " +
+           Rhs->str() + ")";
+  }
+  return "<bad bound>";
+}
+
+ExtNat qcc::logic::evalBound(const BoundExpr &E, const StackMetric &M,
+                             const VarEnv &Env) {
+  switch (E->K) {
+  case BoundExprNode::Kind::Const:
+    return E->Value;
+  case BoundExprNode::Kind::MetricVar:
+    return ExtNat(M.cost(E->Func));
+  case BoundExprNode::Kind::Add:
+    return evalBound(E->Lhs, M, Env) + evalBound(E->Rhs, M, Env);
+  case BoundExprNode::Kind::Max:
+    return max(evalBound(E->Lhs, M, Env), evalBound(E->Rhs, M, Env));
+  case BoundExprNode::Kind::Mul:
+    return evalBound(E->Lhs, M, Env) * evalBound(E->Rhs, M, Env);
+  case BoundExprNode::Kind::Scale:
+    return ExtNat(E->Factor) * evalBound(E->Lhs, M, Env);
+  case BoundExprNode::Kind::Log2W: {
+    auto V = evalIntTerm(E->Term, Env);
+    if (!V)
+      return ExtNat::infinity(); // Unbound variable: no guarantee.
+    if (*V < 0)
+      return ExtNat::infinity(); // Paper convention: log2(<0) = +oo.
+    if (*V <= 1)
+      return ExtNat(0); // Paper convention: log2(0) = 0 (and log2(1) = 0).
+    return ExtNat(floorLog2(static_cast<uint64_t>(*V)));
+  }
+  case BoundExprNode::Kind::Log2C: {
+    auto V = evalIntTerm(E->Term, Env);
+    if (!V)
+      return ExtNat::infinity();
+    if (*V < 0)
+      return ExtNat::infinity();
+    if (*V <= 1)
+      return ExtNat(0);
+    return ExtNat(ceilLog2(static_cast<uint64_t>(*V)));
+  }
+  case BoundExprNode::Kind::NatTerm: {
+    auto V = evalIntTerm(E->Term, Env);
+    if (!V || *V < 0)
+      return ExtNat::infinity();
+    return ExtNat(static_cast<uint64_t>(*V));
+  }
+  case BoundExprNode::Kind::Guard: {
+    auto C = evalCmp(*E->Condition, Env);
+    if (!C || !*C)
+      return ExtNat::infinity();
+    return evalBound(E->Lhs, M, Env);
+  }
+  case BoundExprNode::Kind::Ite: {
+    auto C = evalCmp(*E->Condition, Env);
+    if (!C)
+      return ExtNat::infinity();
+    return *C ? evalBound(E->Lhs, M, Env) : evalBound(E->Rhs, M, Env);
+  }
+  }
+  return ExtNat::infinity();
+}
+
+void qcc::logic::collectBoundVars(const BoundExpr &E,
+                                  std::set<std::string> &Out) {
+  if (!E)
+    return;
+  if (E->Term)
+    collectIntTermVars(E->Term, Out);
+  if (E->Condition) {
+    collectIntTermVars(E->Condition->Lhs, Out);
+    collectIntTermVars(E->Condition->Rhs, Out);
+  }
+  collectBoundVars(E->Lhs, Out);
+  collectBoundVars(E->Rhs, Out);
+}
+
+void qcc::logic::collectBoundMetricVars(const BoundExpr &E,
+                                        std::set<std::string> &Out) {
+  if (!E)
+    return;
+  if (E->K == BoundExprNode::Kind::MetricVar)
+    Out.insert(E->Func);
+  collectBoundMetricVars(E->Lhs, Out);
+  collectBoundMetricVars(E->Rhs, Out);
+}
+
+BoundExpr qcc::logic::substBound(const BoundExpr &E, const std::string &Name,
+                                 const IntTerm &Replacement) {
+  return substBoundAll(E, {{Name, Replacement}});
+}
+
+IntTerm qcc::logic::substIntTermAll(const IntTerm &T,
+                                    const std::map<std::string, IntTerm> &Sub) {
+  switch (T->K) {
+  case IntTermNode::Kind::Const:
+    return T;
+  case IntTermNode::Kind::Var: {
+    auto It = Sub.find(T->Name);
+    return It == Sub.end() ? T : It->second;
+  }
+  case IntTermNode::Kind::Add:
+    return IntTermNode::add(substIntTermAll(T->Lhs, Sub),
+                            substIntTermAll(T->Rhs, Sub));
+  case IntTermNode::Kind::Sub:
+    return IntTermNode::sub(substIntTermAll(T->Lhs, Sub),
+                            substIntTermAll(T->Rhs, Sub));
+  case IntTermNode::Kind::Mul:
+    return IntTermNode::mul(substIntTermAll(T->Lhs, Sub),
+                            substIntTermAll(T->Rhs, Sub));
+  case IntTermNode::Kind::DivC:
+    return IntTermNode::divC(substIntTermAll(T->Lhs, Sub), T->Value);
+  }
+  return T;
+}
+
+BoundExpr
+qcc::logic::substBoundAll(const BoundExpr &E,
+                          const std::map<std::string, IntTerm> &Sub) {
+  if (Sub.empty())
+    return E;
+  switch (E->K) {
+  case BoundExprNode::Kind::Const:
+  case BoundExprNode::Kind::MetricVar:
+    return E;
+  case BoundExprNode::Kind::Add:
+    return bAdd(substBoundAll(E->Lhs, Sub), substBoundAll(E->Rhs, Sub));
+  case BoundExprNode::Kind::Max:
+    return bMax(substBoundAll(E->Lhs, Sub), substBoundAll(E->Rhs, Sub));
+  case BoundExprNode::Kind::Mul:
+    return bMul(substBoundAll(E->Lhs, Sub), substBoundAll(E->Rhs, Sub));
+  case BoundExprNode::Kind::Scale:
+    return bScale(E->Factor, substBoundAll(E->Lhs, Sub));
+  case BoundExprNode::Kind::Log2W:
+    return bLog2W(substIntTermAll(E->Term, Sub));
+  case BoundExprNode::Kind::Log2C:
+    return bLog2C(substIntTermAll(E->Term, Sub));
+  case BoundExprNode::Kind::NatTerm:
+    return bNatTerm(substIntTermAll(E->Term, Sub));
+  case BoundExprNode::Kind::Guard: {
+    Cmp C{substIntTermAll(E->Condition->Lhs, Sub), E->Condition->Rel,
+          substIntTermAll(E->Condition->Rhs, Sub)};
+    return bGuard(std::move(C), substBoundAll(E->Lhs, Sub));
+  }
+  case BoundExprNode::Kind::Ite: {
+    Cmp C{substIntTermAll(E->Condition->Lhs, Sub), E->Condition->Rel,
+          substIntTermAll(E->Condition->Rhs, Sub)};
+    return bIte(std::move(C), substBoundAll(E->Lhs, Sub),
+                substBoundAll(E->Rhs, Sub));
+  }
+  }
+  return E;
+}
+
+static bool termEqual(const IntTerm &A, const IntTerm &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->K != B->K)
+    return false;
+  switch (A->K) {
+  case IntTermNode::Kind::Const:
+    return A->Value == B->Value;
+  case IntTermNode::Kind::Var:
+    return A->Name == B->Name && A->Sign == B->Sign;
+  case IntTermNode::Kind::DivC:
+    return A->Value == B->Value && termEqual(A->Lhs, B->Lhs);
+  default:
+    return termEqual(A->Lhs, B->Lhs) && termEqual(A->Rhs, B->Rhs);
+  }
+}
+
+bool qcc::logic::structurallyEqual(const BoundExpr &A, const BoundExpr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->K != B->K)
+    return false;
+  switch (A->K) {
+  case BoundExprNode::Kind::Const:
+    return A->Value == B->Value;
+  case BoundExprNode::Kind::MetricVar:
+    return A->Func == B->Func;
+  case BoundExprNode::Kind::Add:
+  case BoundExprNode::Kind::Max:
+  case BoundExprNode::Kind::Mul:
+    return structurallyEqual(A->Lhs, B->Lhs) &&
+           structurallyEqual(A->Rhs, B->Rhs);
+  case BoundExprNode::Kind::Scale:
+    return A->Factor == B->Factor && structurallyEqual(A->Lhs, B->Lhs);
+  case BoundExprNode::Kind::Log2W:
+  case BoundExprNode::Kind::Log2C:
+  case BoundExprNode::Kind::NatTerm:
+    return termEqual(A->Term, B->Term);
+  case BoundExprNode::Kind::Guard:
+    return A->Condition->Rel == B->Condition->Rel &&
+           termEqual(A->Condition->Lhs, B->Condition->Lhs) &&
+           termEqual(A->Condition->Rhs, B->Condition->Rhs) &&
+           structurallyEqual(A->Lhs, B->Lhs);
+  case BoundExprNode::Kind::Ite:
+    return A->Condition->Rel == B->Condition->Rel &&
+           termEqual(A->Condition->Lhs, B->Condition->Lhs) &&
+           termEqual(A->Condition->Rhs, B->Condition->Rhs) &&
+           structurallyEqual(A->Lhs, B->Lhs) &&
+           structurallyEqual(A->Rhs, B->Rhs);
+  }
+  return false;
+}

@@ -1,0 +1,191 @@
+//===- logic/Bound.h - Symbolic quantitative assertions ---------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The assertion language of the quantitative Hoare logic (Paper section
+/// 4.3). An assertion maps a program state to N U {oo}; the infinite
+/// element refines the classical `false`. Assertions here are *symbolic*
+/// expressions over
+///
+///   * metric variables M(f) — instantiated by the compiler-produced cost
+///     metric (Paper section 3.1),
+///   * program variables (function parameters / locals), read from the
+///     state at evaluation time,
+///
+/// closed under +, max, scaling by a constant, the paper's log2 convention
+/// (log2 of a negative width is +oo, log2 of 0 or 1 is 0), and guards
+/// `cmp ? e : oo` which encode logical preconditions like `beg <= end`
+/// quantitatively (Paper section 2's L(Delta) trick).
+///
+/// Keeping assertions symbolic is what makes derivations checkable data:
+/// the proof checker compares expressions, and the compiler instantiates
+/// the same expression with its concrete metric to obtain byte bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_LOGIC_BOUND_H
+#define QCC_LOGIC_BOUND_H
+
+#include "events/Metric.h"
+#include "support/ExtNat.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace logic {
+
+//===----------------------------------------------------------------------===//
+// Integer terms over program variables
+//===----------------------------------------------------------------------===//
+
+/// Signedness with which a 32-bit program value is read into a term.
+enum class VarSign : uint8_t { Signed, Unsigned };
+
+struct IntTermNode;
+using IntTerm = std::shared_ptr<const IntTermNode>;
+
+/// A small integer expression over program variables, evaluated to a
+/// mathematical (64-bit) integer — wide enough that no corpus bound
+/// overflows.
+struct IntTermNode {
+  enum class Kind : uint8_t { Const, Var, Add, Sub, Mul, DivC } K;
+  int64_t Value = 0;          ///< Const; DivC divisor.
+  std::string Name;           ///< Var.
+  VarSign Sign = VarSign::Unsigned;
+  IntTerm Lhs, Rhs;
+
+  static IntTerm constant(int64_t V);
+  static IntTerm var(std::string Name, VarSign Sign = VarSign::Unsigned);
+  static IntTerm add(IntTerm L, IntTerm R);
+  static IntTerm sub(IntTerm L, IntTerm R);
+  static IntTerm mul(IntTerm L, IntTerm R);
+  /// Truncated division by a positive constant (for (h+l)/2 style terms).
+  static IntTerm divC(IntTerm L, int64_t Divisor);
+
+  std::string str() const;
+};
+
+/// The variable environment an assertion is evaluated against: program
+/// variables (parameters and locals) to 32-bit values.
+using VarEnv = std::map<std::string, uint32_t>;
+
+/// Evaluates \p T under \p Env; std::nullopt if a variable is unbound.
+std::optional<int64_t> evalIntTerm(const IntTerm &T, const VarEnv &Env);
+
+/// Collects the free variables of \p T into \p Out.
+void collectIntTermVars(const IntTerm &T, std::set<std::string> &Out);
+
+/// Substitutes \p Replacement for variable \p Name in \p T.
+IntTerm substIntTerm(const IntTerm &T, const std::string &Name,
+                     const IntTerm &Replacement);
+
+/// Substitutes several variables simultaneously in an integer term.
+IntTerm substIntTermAll(const IntTerm &T,
+                        const std::map<std::string, IntTerm> &Substitution);
+
+/// Comparison relations for guards.
+enum class CmpRel : uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// A comparison of two integer terms.
+struct Cmp {
+  IntTerm Lhs;
+  CmpRel Rel;
+  IntTerm Rhs;
+
+  std::string str() const;
+};
+
+/// Evaluates \p C under \p Env; std::nullopt if a variable is unbound.
+std::optional<bool> evalCmp(const Cmp &C, const VarEnv &Env);
+
+//===----------------------------------------------------------------------===//
+// Bound expressions (assertions)
+//===----------------------------------------------------------------------===//
+
+struct BoundExprNode;
+using BoundExpr = std::shared_ptr<const BoundExprNode>;
+
+/// A symbolic assertion State -> N U {oo}, parametric in a stack metric.
+struct BoundExprNode {
+  enum class Kind : uint8_t {
+    Const,     ///< A fixed extended natural (Const(oo) is bottom).
+    MetricVar, ///< M(f) for a function name f.
+    Add,       ///< e1 + e2.
+    Max,       ///< max(e1, e2).
+    Mul,       ///< e1 * e2 (both non-negative; 0 * oo = 0). Needed for
+               ///< metric-times-depth bounds like M(f) * (1 + log2(w)).
+    Scale,     ///< k * e for a finite constant k.
+    Log2W,     ///< log2 of a term with the paper's conventions:
+               ///< negative -> oo, 0 and 1 -> 0, else floor(log2).
+    Log2C,     ///< Ceiling variant: negative -> oo, 0 and 1 -> 0, else
+               ///< ceil(log2). The inductive invariant of binary search
+               ///< (Paper Figure 6) needs the ceiling to be preserved by
+               ///< the upper-half recursion.
+    NatTerm,   ///< A term coerced to N: negative -> oo (implicit
+               ///< precondition "term >= 0").
+    Guard,     ///< cmp ? e : oo.
+    Ite        ///< cmp ? e1 : e2 (path-sensitive join at conditionals).
+  } K;
+
+  ExtNat Value;       ///< Const.
+  std::string Func;   ///< MetricVar.
+  uint64_t Factor = 1;///< Scale.
+  IntTerm Term;       ///< Log2W / NatTerm.
+  std::optional<Cmp> Condition; ///< Guard.
+  BoundExpr Lhs, Rhs;
+
+  std::string str() const;
+};
+
+/// Factory functions; they perform light peephole normalization (adding
+/// zero, scaling by one, folding constants) so printed bounds read well.
+BoundExpr bConst(ExtNat V);
+BoundExpr bZero();
+BoundExpr bBottom(); ///< The quantitative `false` (oo).
+BoundExpr bMetric(std::string Function);
+BoundExpr bAdd(BoundExpr L, BoundExpr R);
+BoundExpr bMax(BoundExpr L, BoundExpr R);
+BoundExpr bMul(BoundExpr L, BoundExpr R);
+BoundExpr bScale(uint64_t K, BoundExpr E);
+BoundExpr bLog2W(IntTerm T);
+BoundExpr bLog2C(IntTerm T);
+BoundExpr bNatTerm(IntTerm T);
+BoundExpr bGuard(Cmp C, BoundExpr E);
+BoundExpr bIte(Cmp C, BoundExpr Then, BoundExpr Else);
+
+/// Evaluates an assertion under a metric and a variable environment.
+/// Unbound variables make the assertion oo (no guarantee can be given).
+ExtNat evalBound(const BoundExpr &E, const StackMetric &M, const VarEnv &Env);
+
+/// Collects the free program variables of \p E.
+void collectBoundVars(const BoundExpr &E, std::set<std::string> &Out);
+
+/// Collects the metric variables (function names) of \p E.
+void collectBoundMetricVars(const BoundExpr &E, std::set<std::string> &Out);
+
+/// Substitutes \p Replacement for program variable \p Name everywhere.
+BoundExpr substBound(const BoundExpr &E, const std::string &Name,
+                     const IntTerm &Replacement);
+
+/// Substitutes several variables simultaneously (for instantiating a
+/// function specification's parameters with call-site argument terms).
+BoundExpr substBoundAll(const BoundExpr &E,
+                        const std::map<std::string, IntTerm> &Substitution);
+
+/// True if the two expressions are structurally identical.
+bool structurallyEqual(const BoundExpr &A, const BoundExpr &B);
+
+} // namespace logic
+} // namespace qcc
+
+#endif // QCC_LOGIC_BOUND_H

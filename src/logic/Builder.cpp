@@ -1,0 +1,285 @@
+//===- logic/Builder.cpp - Backward derivation builder --------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Builder.h"
+
+#include "logic/Convert.h"
+
+using namespace qcc;
+using namespace qcc::logic;
+namespace cl = qcc::clight;
+
+namespace {
+
+DerivationPtr makeLeaf(Rule R, const cl::Stmt *S, BoundExpr Pre,
+                       PostCondition Q) {
+  auto D = std::make_unique<Derivation>();
+  D->R = R;
+  D->S = S;
+  D->Pre = std::move(Pre);
+  D->Post = std::move(Q);
+  return D;
+}
+
+bool mentionsVar(const BoundExpr &E, const std::string &Name) {
+  std::set<std::string> Vars;
+  collectBoundVars(E, Vars);
+  return Vars.count(Name) != 0;
+}
+
+} // namespace
+
+DerivationPtr DerivationBuilder::buildCall(const cl::Stmt *S, PostCondition Q,
+                                           const cl::Function &F,
+                                           DiagnosticEngine &Diags) {
+  bool DestObserved = S->HasDest &&
+                      S->Dest.K == cl::LValue::Kind::Local &&
+                      mentionsVar(Q.OnSkip, S->Dest.Name);
+  if (DestObserved && !CallResultHints.count(S->Callee)) {
+    Diags.error(S->Loc, "required postcondition depends on call result '" +
+                            S->Dest.Name +
+                            "' and no Q:CALL-HAVOC majorant was supplied");
+    return nullptr;
+  }
+
+  if (P.findExternal(S->Callee)) {
+    if (DestObserved) {
+      Diags.error(S->Loc, "postcondition depends on an external call's "
+                          "result");
+      return nullptr;
+    }
+    BoundExpr Pre = Q.OnSkip;
+    return makeLeaf(Rule::ExternalCall, S, std::move(Pre), std::move(Q));
+  }
+
+  auto SpecIt = Gamma.find(S->Callee);
+  if (SpecIt == Gamma.end()) {
+    Diags.error(S->Loc, "no specification for '" + S->Callee +
+                            "' in the context (recursion without a "
+                            "declared spec?)");
+    return nullptr;
+  }
+  const FunctionSpec &Spec = SpecIt->second;
+  const cl::Function *Callee = P.findFunction(S->Callee);
+  if (!Callee) {
+    Diags.error(S->Loc, "call to undefined function '" + S->Callee + "'");
+    return nullptr;
+  }
+
+  std::set<std::string> SpecVars;
+  collectBoundVars(Spec.Pre, SpecVars);
+  collectBoundVars(Spec.Post, SpecVars);
+  std::map<std::string, IntTerm> Sub;
+  for (size_t I = 0; I < Callee->Params.size() && I < S->Args.size(); ++I) {
+    const std::string &Param = Callee->Params[I];
+    if (auto T = convertExprToTerm(*S->Args[I], F)) {
+      Sub[Param] = *T;
+    } else if (SpecVars.count(Param)) {
+      Diags.error(S->Loc, "argument for '" + Param +
+                              "' of '" + S->Callee +
+                              "' has no term form but the spec needs it");
+      return nullptr;
+    }
+  }
+  BoundExpr CalleePre = bAdd(substBoundAll(Spec.Pre, Sub), bMetric(S->Callee));
+
+  if (DestObserved) {
+    // Q:CALL-HAVOC: the continuation observes the result; join with the
+    // caller-supplied result-free majorant instead of the continuation
+    // itself. The checker verifies the majorant against ResultFacts.
+    if (!Spec.isBalanced()) {
+      Diags.error(S->Loc, "Q:CALL-HAVOC needs a balanced callee spec");
+      return nullptr;
+    }
+    if (Spec.ResultFacts.empty()) {
+      Diags.error(S->Loc, "Q:CALL-HAVOC needs ResultFacts on '" +
+                              S->Callee + "'");
+      return nullptr;
+    }
+    BoundExpr Hint = CallResultHints.at(S->Callee);
+    BoundExpr Pre = bMax(CalleePre, Hint);
+    DerivationPtr D =
+        makeLeaf(Rule::CallHavoc, S, std::move(Pre), std::move(Q));
+    D->SupHint = std::move(Hint);
+    return D;
+  }
+
+  if (Spec.isBalanced()) {
+    BoundExpr Pre = bMax(CalleePre, Q.OnSkip);
+    return makeLeaf(Rule::CallBalanced, S, std::move(Pre), std::move(Q));
+  }
+
+  // Unbalanced specs use the primitive rule; the checker verifies that the
+  // callee's post covers the continuation.
+  return makeLeaf(Rule::Call, S, std::move(CalleePre), std::move(Q));
+}
+
+DerivationPtr DerivationBuilder::buildLoop(const cl::Stmt *S, PostCondition Q,
+                                           const cl::Function &F,
+                                           DiagnosticEngine &Diags) {
+  // Ascending fixpoint iteration for the invariant: the body is rebuilt
+  // with its own previous precondition as the fall-through target until
+  // the precondition stabilizes.
+  constexpr unsigned MaxIterations = 8;
+  BoundExpr Invariant = bZero();
+  DerivationPtr Body;
+  for (unsigned Iter = 0; Iter != MaxIterations; ++Iter) {
+    DiagnosticEngine Scratch; // Errors only surface on the final attempt.
+    PostCondition BodyQ{Invariant, Q.OnSkip, Q.OnReturn};
+    Body = buildStmt(S->First.get(), BodyQ, F, Scratch);
+    if (!Body) {
+      // Re-run against the real engine to surface the message.
+      buildStmt(S->First.get(), BodyQ, F, Diags);
+      return nullptr;
+    }
+    if (entails(Invariant, Body->Pre, {}, Options)) {
+      auto D = std::make_unique<Derivation>();
+      D->R = Rule::Loop;
+      D->S = S;
+      D->Pre = Invariant;
+      D->Post = std::move(Q);
+      D->Children.push_back(std::move(Body));
+      return D;
+    }
+    Invariant = bMax(Invariant, Body->Pre);
+  }
+  Diags.error(S->Loc, "loop invariant did not stabilize after " +
+                          std::to_string(MaxIterations) + " iterations");
+  return nullptr;
+}
+
+DerivationPtr DerivationBuilder::buildStmt(const cl::Stmt *S, PostCondition Q,
+                                           const cl::Function &F,
+                                           DiagnosticEngine &Diags) {
+  switch (S->Kind) {
+  case cl::StmtKind::Skip: {
+    BoundExpr Pre = Q.OnSkip;
+    return makeLeaf(Rule::Skip, S, std::move(Pre), std::move(Q));
+  }
+
+  case cl::StmtKind::Break: {
+    BoundExpr Pre = Q.OnBreak;
+    return makeLeaf(Rule::Break, S, std::move(Pre), std::move(Q));
+  }
+
+  case cl::StmtKind::Return: {
+    BoundExpr Pre = Q.OnReturn;
+    return makeLeaf(Rule::Return, S, std::move(Pre), std::move(Q));
+  }
+
+  case cl::StmtKind::Assign: {
+    if (S->Dest.K == cl::LValue::Kind::Local) {
+      if (auto T = convertExprToTerm(*S->Value, F)) {
+        BoundExpr Pre = substBound(Q.OnSkip, S->Dest.Name, *T);
+        return makeLeaf(Rule::Assign, S, std::move(Pre), std::move(Q));
+      }
+      if (mentionsVar(Q.OnSkip, S->Dest.Name)) {
+        Diags.error(S->Loc,
+                    "assignment to '" + S->Dest.Name +
+                        "' has no term form but the required "
+                        "postcondition depends on it");
+        return nullptr;
+      }
+    }
+    BoundExpr Pre = Q.OnSkip;
+    return makeLeaf(Rule::Assign, S, std::move(Pre), std::move(Q));
+  }
+
+  case cl::StmtKind::Call:
+    return buildCall(S, std::move(Q), F, Diags);
+
+  case cl::StmtKind::Seq: {
+    DerivationPtr D2 = buildStmt(S->Second.get(), Q, F, Diags);
+    if (!D2)
+      return nullptr;
+    PostCondition Q1{D2->Pre, Q.OnBreak, Q.OnReturn};
+    DerivationPtr D1 = buildStmt(S->First.get(), std::move(Q1), F, Diags);
+    if (!D1)
+      return nullptr;
+    auto D = std::make_unique<Derivation>();
+    D->R = Rule::Seq;
+    D->S = S;
+    D->Pre = D1->Pre;
+    D->Post = std::move(Q);
+    D->Children.push_back(std::move(D1));
+    D->Children.push_back(std::move(D2));
+    return D;
+  }
+
+  case cl::StmtKind::If: {
+    DerivationPtr DT = buildStmt(S->First.get(), Q, F, Diags);
+    DerivationPtr DE = buildStmt(S->Second.get(), Q, F, Diags);
+    if (!DT || !DE)
+      return nullptr;
+    // State-independent branch requirements join with max, which keeps
+    // the derivation in the symbolically checkable fragment; parametric
+    // requirements need the path-sensitive if-then-else join.
+    std::set<std::string> BranchVars;
+    collectBoundVars(DT->Pre, BranchVars);
+    collectBoundVars(DE->Pre, BranchVars);
+    BoundExpr Pre;
+    std::optional<Cmp> C;
+    if (!BranchVars.empty() && (C = convertCondToCmp(*S->Value, F)))
+      Pre = bIte(*C, DT->Pre, DE->Pre);
+    else
+      Pre = bMax(DT->Pre, DE->Pre);
+    auto D = std::make_unique<Derivation>();
+    D->R = Rule::If;
+    D->S = S;
+    D->Pre = std::move(Pre);
+    D->Post = std::move(Q);
+    D->Children.push_back(std::move(DT));
+    D->Children.push_back(std::move(DE));
+    return D;
+  }
+
+  case cl::StmtKind::Loop:
+    return buildLoop(S, std::move(Q), F, Diags);
+  }
+  Diags.error(S->Loc, "unknown statement kind in derivation builder");
+  return nullptr;
+}
+
+std::optional<FunctionBound>
+DerivationBuilder::buildFunctionBound(const std::string &Name,
+                                      FunctionSpec Spec,
+                                      DiagnosticEngine &Diags) {
+  const cl::Function *F = P.findFunction(Name);
+  if (!F) {
+    Diags.error(SourceLoc(), "no function '" + Name + "'");
+    return std::nullopt;
+  }
+
+  // The spec joins the context before we descend — recursive calls in the
+  // body resolve against it, exactly as the paper handles recursion
+  // through the derivation context.
+  Gamma[Name] = Spec;
+
+  // The spec's postcondition speaks about the frozen entry values. Only
+  // parameters the body can assign need ghost names; the rest read their
+  // entry values directly, keeping assertions connected to the current
+  // state (which the path-sensitive rules can reason about).
+  std::set<std::string> Assigned = assignedLocals(*F->Body);
+  std::map<std::string, IntTerm> ParamToGhost;
+  for (const std::string &Param : F->Params) {
+    if (!Assigned.count(Param))
+      continue;
+    VarSign Sign = F->VarSigns.count(Param) &&
+                           F->VarSigns.at(Param) == cl::Signedness::Signed
+                       ? VarSign::Signed
+                       : VarSign::Unsigned;
+    ParamToGhost[Param] = IntTermNode::var(ghostName(Param), Sign);
+  }
+  BoundExpr PostGhost = substBoundAll(Spec.Post, ParamToGhost);
+
+  PostCondition Q{PostGhost, bBottom(), PostGhost};
+  DerivationPtr Body = buildStmt(F->Body.get(), std::move(Q), *F, Diags);
+  if (!Body)
+    return std::nullopt;
+
+  return FunctionBound{Name, std::move(Spec), std::move(Body)};
+}

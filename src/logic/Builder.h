@@ -1,0 +1,86 @@
+//===- logic/Builder.h - Backward derivation builder ------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mechanically constructs derivations in the quantitative Hoare logic by
+/// a backward (weakest-precondition style) pass over a function body:
+///
+///   * Q:ASSIGN is discharged by substitution,
+///   * Q:CALL* joins the callee requirement with the continuation via max,
+///   * Q:IF joins branches path-sensitively with an if-then-else assertion
+///     when the guard has a comparison form,
+///   * Q:LOOP invariants are found by ascending fixpoint iteration.
+///
+/// Given a *specification* for a (possibly recursive) function — the
+/// creative step the paper performs interactively in Coq — the builder
+/// produces the full derivation tree, which `ProofChecker` then validates.
+/// The automatic stack analyzer (Paper section 5) is this same machinery
+/// run with automatically computed constant specifications in call-graph
+/// topological order (see analysis/Analyzer.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_LOGIC_BUILDER_H
+#define QCC_LOGIC_BUILDER_H
+
+#include "logic/Checker.h"
+#include "logic/Logic.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace qcc {
+namespace logic {
+
+/// Builds derivations backward from postconditions.
+class DerivationBuilder {
+public:
+  DerivationBuilder(const clight::Program &P, FunctionContext Gamma,
+                    EntailOptions Options = {})
+      : P(P), Gamma(std::move(Gamma)), Options(Options) {}
+
+  /// Builds the body derivation proving \p Spec for function \p Name.
+  /// For recursive functions, \p Spec itself is added to the context
+  /// before descending into the body (the paper's derivation-context
+  /// treatment). Returns nullopt and reports to \p Diags on failure.
+  std::optional<FunctionBound> buildFunctionBound(const std::string &Name,
+                                                  FunctionSpec Spec,
+                                                  DiagnosticEngine &Diags);
+
+  /// Builds a derivation for one statement given its postcondition.
+  /// Exposed for tests and for the analyzer's peak computation.
+  DerivationPtr buildStmt(const clight::Stmt *S, PostCondition Q,
+                          const clight::Function &F,
+                          DiagnosticEngine &Diags);
+
+  /// Registers the result-free majorant for calls to \p Callee whose
+  /// result the continuation's bound observes (the Q:CALL-HAVOC rule).
+  /// \p Hint is an expression over the caller's variables; the checker
+  /// verifies it dominates the continuation for every result value the
+  /// callee's ResultFacts allow.
+  void setCallResultHint(const std::string &Callee, BoundExpr Hint) {
+    CallResultHints[Callee] = std::move(Hint);
+  }
+
+  const FunctionContext &context() const { return Gamma; }
+
+private:
+  DerivationPtr buildLoop(const clight::Stmt *S, PostCondition Q,
+                          const clight::Function &F, DiagnosticEngine &Diags);
+  DerivationPtr buildCall(const clight::Stmt *S, PostCondition Q,
+                          const clight::Function &F, DiagnosticEngine &Diags);
+
+  const clight::Program &P;
+  FunctionContext Gamma;
+  EntailOptions Options;
+  std::map<std::string, BoundExpr> CallResultHints;
+};
+
+} // namespace logic
+} // namespace qcc
+
+#endif // QCC_LOGIC_BUILDER_H

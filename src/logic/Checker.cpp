@@ -1,0 +1,420 @@
+//===- logic/Checker.cpp - Proof checker for the quantitative logic -------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Checker.h"
+
+#include "logic/Convert.h"
+
+using namespace qcc;
+using namespace qcc::logic;
+namespace cl = qcc::clight;
+
+bool ProofChecker::require(bool Cond, const Derivation &D,
+                           const std::string &Message,
+                           DiagnosticEngine &Diags) {
+  if (!Cond)
+    Diags.error(D.S ? D.S->Loc : SourceLoc(),
+                std::string(ruleName(D.R)) + ": " + Message);
+  return Cond;
+}
+
+bool ProofChecker::requireEntails(const BoundExpr &Stronger,
+                                  const BoundExpr &Weaker,
+                                  const std::vector<Cmp> &Assumptions,
+                                  const Derivation &D, const std::string &What,
+                                  DiagnosticEngine &Diags) {
+  EntailResult R = entails(Stronger, Weaker, Assumptions, Options);
+  if (!R.Holds)
+    Diags.error(D.S ? D.S->Loc : SourceLoc(),
+                std::string(ruleName(D.R)) + ": " + What +
+                    ": cannot establish " + Stronger->str() +
+                    "  >=  " + Weaker->str() +
+                    (R.Counterexample.empty() ? ""
+                                              : " (" + R.Counterexample + ")"));
+  return R.Holds;
+}
+
+/// True if \p Name occurs free in \p E.
+static bool mentionsVar(const BoundExpr &E, const std::string &Name) {
+  std::set<std::string> Vars;
+  collectBoundVars(E, Vars);
+  return Vars.count(Name) != 0;
+}
+
+bool ProofChecker::check(const Derivation &D, const cl::Function &F,
+                         DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  checkNode(D, F, Diags);
+  return Diags.errorCount() == Before;
+}
+
+bool ProofChecker::checkCall(const Derivation &D, const cl::Function &F,
+                             DiagnosticEngine &Diags) {
+  const cl::Stmt *S = D.S;
+  if (!require(S->Kind == cl::StmtKind::Call, D, "statement is not a call",
+               Diags))
+    return false;
+
+  // The call result clobbers its destination, so the claimed skip-part
+  // must not observe it — except under Q:CALL-HAVOC, which handles the
+  // observation through ResultFacts.
+  if (D.R != Rule::CallHavoc && S->HasDest &&
+      S->Dest.K == cl::LValue::Kind::Local &&
+      !require(!mentionsVar(D.Post.OnSkip, S->Dest.Name), D,
+               "postcondition mentions the call destination '" +
+                   S->Dest.Name + "'",
+               Diags))
+    return false;
+
+  if (P.findExternal(S->Callee)) {
+    require(D.R == Rule::ExternalCall, D,
+            "external call must use Q:EXT", Diags);
+    // Externals cost nothing under stack metrics: {P} ext() {P}.
+    return requireEntails(D.Pre, D.Post.OnSkip, {}, D, "external frame",
+                          Diags);
+  }
+
+  auto SpecIt = Gamma.find(S->Callee);
+  if (!require(SpecIt != Gamma.end(), D,
+               "no specification for callee '" + S->Callee + "' in Gamma",
+               Diags))
+    return false;
+  const FunctionSpec &Spec = SpecIt->second;
+  const cl::Function *Callee = P.findFunction(S->Callee);
+  if (!require(Callee != nullptr, D, "unknown callee", Diags))
+    return false;
+
+  // Instantiate the spec's parameters with the argument terms.
+  std::map<std::string, IntTerm> Sub;
+  std::set<std::string> SpecVars;
+  collectBoundVars(Spec.Pre, SpecVars);
+  collectBoundVars(Spec.Post, SpecVars);
+  for (size_t I = 0; I != Callee->Params.size() && I != S->Args.size(); ++I) {
+    const std::string &Param = Callee->Params[I];
+    if (auto T = convertExprToTerm(*S->Args[I], F)) {
+      Sub[Param] = *T;
+    } else if (SpecVars.count(Param)) {
+      require(false, D,
+              "argument for parameter '" + Param +
+                  "' has no term form but the spec depends on it",
+              Diags);
+      return false;
+    }
+  }
+  BoundExpr CalleePre =
+      bAdd(substBoundAll(Spec.Pre, Sub), bMetric(S->Callee));
+  BoundExpr CalleePost =
+      bAdd(substBoundAll(Spec.Post, Sub), bMetric(S->Callee));
+
+  if (D.R == Rule::Call) {
+    // Primitive Q:CALL: {spec.Pre o args + M(f)} call {spec.Post o args +
+    // M(f), bot, bot}.
+    return requireEntails(D.Pre, CalleePre, {}, D, "call precondition",
+                          Diags) &
+           requireEntails(CalleePost, D.Post.OnSkip, {}, D,
+                          "call postcondition", Diags);
+  }
+
+  if (D.R == Rule::CallHavoc) {
+    // Q:CALL-HAVOC: the continuation R observes the result r := dest.
+    // Soundness: let H be the result-free majorant. Q:CALL + Q:FRAME with
+    // c = max(0, H - CalleePost) (state-independent because H and the
+    // balanced spec only read caller state the callee cannot write)
+    // give {max(CalleePre, H)} call {max(CalleePost, H) >= H}. Since the
+    // callee guarantees its ResultFacts about r, and H >= R under those
+    // facts for *every* r (checked below by sampling r as a free
+    // variable), Q:CONSEQ closes with post R.
+    if (!require(Spec.isBalanced(), D,
+                 "Q:CALL-HAVOC needs a balanced callee specification",
+                 Diags) ||
+        !require(!Spec.ResultFacts.empty(), D,
+                 "Q:CALL-HAVOC needs ResultFacts on the callee", Diags) ||
+        !require(D.SupHint != nullptr, D, "missing result-free majorant",
+                 Diags) ||
+        !require(S->HasDest && S->Dest.K == cl::LValue::Kind::Local, D,
+                 "Q:CALL-HAVOC needs a local call destination", Diags))
+      return false;
+    if (!require(!mentionsVar(D.SupHint, S->Dest.Name), D,
+                 "the majorant must not observe the call result", Diags))
+      return false;
+    // Instantiate the facts: parameters by argument terms, $result by the
+    // destination variable.
+    std::map<std::string, IntTerm> FactSub = Sub;
+    VarSign DestSign =
+        F.VarSigns.count(S->Dest.Name) &&
+                F.VarSigns.at(S->Dest.Name) == cl::Signedness::Signed
+            ? VarSign::Signed
+            : VarSign::Unsigned;
+    FactSub[resultVarName()] = IntTermNode::var(S->Dest.Name, DestSign);
+    std::vector<Cmp> Facts;
+    for (const Cmp &FactCmp : Spec.ResultFacts)
+      Facts.push_back(Cmp{substIntTermAll(FactCmp.Lhs, FactSub),
+                          FactCmp.Rel,
+                          substIntTermAll(FactCmp.Rhs, FactSub)});
+    bool Ok = requireEntails(D.SupHint, D.Post.OnSkip, Facts, D,
+                             "majorant vs continuation under ResultFacts",
+                             Diags);
+    Ok &= requireEntails(D.Pre, bMax(CalleePre, D.SupHint), {}, D,
+                         "havoc-call precondition", Diags);
+    return Ok;
+  }
+
+  // Q:CALL* (admissible; Figure 5 composition). Soundness: Q:CALL gives
+  // {CalleePre} call {CalleePost}; Q:FRAME with the metric-dependent,
+  // state-independent amount c = max(0, R - CalleePost) (legitimate since
+  // the spec is balanced, so CalleePre + c = max(CalleePre, R) pointwise)
+  // gives {max(CalleePre, R)} call {CalleePost + c >= R}; Q:CONSEQ closes.
+  if (!require(Spec.isBalanced(), D,
+               "Q:CALL* needs a balanced callee specification", Diags))
+    return false;
+  // The frame amount must not depend on state the call can change: the
+  // skip-part may only mention caller variables, which the callee cannot
+  // write (no address-taken locals in the subset), except the destination
+  // (checked above).
+  return requireEntails(D.Pre, bMax(CalleePre, D.Post.OnSkip), {}, D,
+                        "balanced-call precondition", Diags);
+}
+
+bool ProofChecker::checkNode(const Derivation &D, const cl::Function &F,
+                             DiagnosticEngine &Diags) {
+  if (!require(D.S != nullptr, D, "derivation proves no statement", Diags))
+    return false;
+  const cl::Stmt *S = D.S;
+
+  switch (D.R) {
+  case Rule::Skip:
+    return require(S->Kind == cl::StmtKind::Skip, D, "not a skip", Diags) &&
+           requireEntails(D.Pre, D.Post.OnSkip, {}, D, "skip part", Diags);
+
+  case Rule::Break:
+    return require(S->Kind == cl::StmtKind::Break, D, "not a break", Diags) &&
+           requireEntails(D.Pre, D.Post.OnBreak, {}, D, "break part", Diags);
+
+  case Rule::Return:
+    return require(S->Kind == cl::StmtKind::Return, D, "not a return",
+                   Diags) &&
+           requireEntails(D.Pre, D.Post.OnReturn, {}, D, "return part",
+                          Diags);
+
+  case Rule::Assign: {
+    if (!require(S->Kind == cl::StmtKind::Assign, D, "not an assignment",
+                 Diags))
+      return false;
+    if (S->Dest.K == cl::LValue::Kind::Local) {
+      if (auto T = convertExprToTerm(*S->Value, F))
+        return requireEntails(D.Pre,
+                              substBound(D.Post.OnSkip, S->Dest.Name, *T), {},
+                              D, "substituted skip part", Diags);
+      // No faithful term for the right-hand side: sound only when the
+      // postcondition does not observe the destination.
+      return require(!mentionsVar(D.Post.OnSkip, S->Dest.Name), D,
+                     "assignment to '" + S->Dest.Name +
+                         "' has no term form but the postcondition "
+                         "depends on it",
+                     Diags) &&
+             requireEntails(D.Pre, D.Post.OnSkip, {}, D, "skip part", Diags);
+    }
+    // Global or array store: assertions range over function-local
+    // variables only, so the state the bound observes is unchanged.
+    return requireEntails(D.Pre, D.Post.OnSkip, {}, D, "skip part", Diags);
+  }
+
+  case Rule::Call:
+  case Rule::CallBalanced:
+  case Rule::CallHavoc:
+  case Rule::ExternalCall:
+    return checkCall(D, F, Diags);
+
+  case Rule::Seq: {
+    if (!require(S->Kind == cl::StmtKind::Seq, D, "not a sequence", Diags) ||
+        !require(D.Children.size() == 2, D, "Q:SEQ needs two children",
+                 Diags))
+      return false;
+    const Derivation &D1 = *D.Children[0], &D2 = *D.Children[1];
+    bool Ok = require(D1.S == S->First.get() && D2.S == S->Second.get(), D,
+                      "children prove the wrong statements", Diags);
+    Ok &= checkNode(D1, F, Diags);
+    Ok &= checkNode(D2, F, Diags);
+    Ok &= requireEntails(D.Pre, D1.Pre, {}, D, "precondition", Diags);
+    Ok &= requireEntails(D1.Post.OnSkip, D2.Pre, {}, D,
+                         "sequencing (S1 skip to S2 pre)", Diags);
+    Ok &= requireEntails(D2.Post.OnSkip, D.Post.OnSkip, {}, D, "skip part",
+                         Diags);
+    Ok &= requireEntails(D1.Post.OnBreak, D.Post.OnBreak, {}, D,
+                         "S1 break part", Diags);
+    Ok &= requireEntails(D2.Post.OnBreak, D.Post.OnBreak, {}, D,
+                         "S2 break part", Diags);
+    Ok &= requireEntails(D1.Post.OnReturn, D.Post.OnReturn, {}, D,
+                         "S1 return part", Diags);
+    Ok &= requireEntails(D2.Post.OnReturn, D.Post.OnReturn, {}, D,
+                         "S2 return part", Diags);
+    return Ok;
+  }
+
+  case Rule::If: {
+    if (!require(S->Kind == cl::StmtKind::If, D, "not a conditional",
+                 Diags) ||
+        !require(D.Children.size() == 2, D, "Q:IF needs two children", Diags))
+      return false;
+    const Derivation &DT = *D.Children[0], &DE = *D.Children[1];
+    bool Ok = require(DT.S == S->First.get() && DE.S == S->Second.get(), D,
+                      "children prove the wrong statements", Diags);
+    Ok &= checkNode(DT, F, Diags);
+    Ok &= checkNode(DE, F, Diags);
+    // Path sensitivity: the guard (when it has a comparison form) may be
+    // assumed on the respective side.
+    std::vector<Cmp> ThenAssume, ElseAssume;
+    if (auto C = convertCondToCmp(*S->Value, F)) {
+      ThenAssume.push_back(*C);
+      ElseAssume.push_back(negateCmp(*C));
+    }
+    Ok &= requireEntails(D.Pre, DT.Pre, ThenAssume, D, "then precondition",
+                         Diags);
+    Ok &= requireEntails(D.Pre, DE.Pre, ElseAssume, D, "else precondition",
+                         Diags);
+    for (const Derivation *Child : {&DT, &DE}) {
+      Ok &= requireEntails(Child->Post.OnSkip, D.Post.OnSkip, {}, D,
+                           "skip part", Diags);
+      Ok &= requireEntails(Child->Post.OnBreak, D.Post.OnBreak, {}, D,
+                           "break part", Diags);
+      Ok &= requireEntails(Child->Post.OnReturn, D.Post.OnReturn, {}, D,
+                           "return part", Diags);
+    }
+    return Ok;
+  }
+
+  case Rule::Loop: {
+    if (!require(S->Kind == cl::StmtKind::Loop, D, "not a loop", Diags) ||
+        !require(D.Children.size() == 1, D, "Q:LOOP needs one child", Diags))
+      return false;
+    const Derivation &DB = *D.Children[0];
+    bool Ok = require(DB.S == S->First.get(), D,
+                      "child proves the wrong statement", Diags);
+    Ok &= checkNode(DB, F, Diags);
+    // The invariant: entering the body and falling through re-establishes
+    // the body's precondition.
+    Ok &= requireEntails(D.Pre, DB.Pre, {}, D, "loop entry", Diags);
+    Ok &= requireEntails(DB.Post.OnSkip, DB.Pre, {}, D,
+                         "invariant preservation", Diags);
+    // Break exits the loop normally; return propagates. The loop node's
+    // own break part is unreachable (a break inside belongs to this loop).
+    Ok &= requireEntails(DB.Post.OnBreak, D.Post.OnSkip, {}, D,
+                         "break-to-skip", Diags);
+    Ok &= requireEntails(DB.Post.OnReturn, D.Post.OnReturn, {}, D,
+                         "return part", Diags);
+    return Ok;
+  }
+
+  case Rule::Frame: {
+    if (!require(D.Children.size() == 1, D, "Q:FRAME needs one child",
+                 Diags) ||
+        !require(D.FrameAmount != nullptr, D, "missing frame amount", Diags))
+      return false;
+    const Derivation &DC = *D.Children[0];
+    bool Ok = require(DC.S == S, D, "child proves a different statement",
+                      Diags);
+    // The framed-in potential must be state-independent (metric variables
+    // and constants only), matching the paper's constant c.
+    std::set<std::string> FrameVars;
+    collectBoundVars(D.FrameAmount, FrameVars);
+    Ok &= require(FrameVars.empty(), D,
+                  "frame amount depends on program variables", Diags);
+    Ok &= checkNode(DC, F, Diags);
+    Ok &= requireEntails(D.Pre, bAdd(DC.Pre, D.FrameAmount), {}, D,
+                         "framed precondition", Diags);
+    Ok &= requireEntails(bAdd(DC.Post.OnSkip, D.FrameAmount), D.Post.OnSkip,
+                         {}, D, "framed skip part", Diags);
+    Ok &= requireEntails(bAdd(DC.Post.OnBreak, D.FrameAmount),
+                         D.Post.OnBreak, {}, D, "framed break part", Diags);
+    Ok &= requireEntails(bAdd(DC.Post.OnReturn, D.FrameAmount),
+                         D.Post.OnReturn, {}, D, "framed return part", Diags);
+    return Ok;
+  }
+
+  case Rule::Conseq: {
+    if (!require(D.Children.size() == 1, D, "Q:CONSEQ needs one child",
+                 Diags))
+      return false;
+    const Derivation &DC = *D.Children[0];
+    bool Ok = require(DC.S == S, D, "child proves a different statement",
+                      Diags);
+    Ok &= checkNode(DC, F, Diags);
+    Ok &= requireEntails(D.Pre, DC.Pre, {}, D, "weakened precondition",
+                         Diags);
+    Ok &= requireEntails(DC.Post.OnSkip, D.Post.OnSkip, {}, D, "skip part",
+                         Diags);
+    Ok &= requireEntails(DC.Post.OnBreak, D.Post.OnBreak, {}, D,
+                         "break part", Diags);
+    Ok &= requireEntails(DC.Post.OnReturn, D.Post.OnReturn, {}, D,
+                         "return part", Diags);
+    return Ok;
+  }
+  }
+  return require(false, D, "unknown rule", Diags);
+}
+
+bool ProofChecker::checkFunctionBound(const FunctionBound &FB,
+                                      DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  const cl::Function *F = P.findFunction(FB.Function);
+  if (!F) {
+    Diags.error(SourceLoc(), "no function '" + FB.Function + "'");
+    return false;
+  }
+  if (!FB.Body) {
+    Diags.error(F->Loc, "missing body derivation for '" + FB.Function + "'");
+    return false;
+  }
+  if (FB.Body->S != F->Body.get()) {
+    Diags.error(F->Loc, "body derivation proves the wrong statement");
+    return false;
+  }
+
+  // At entry the ghosts equal the parameters; substituting ghost -> param
+  // applies those equalities. Matching the builder, only parameters the
+  // body can assign carry ghosts.
+  std::set<std::string> Assigned = assignedLocals(*F->Body);
+  std::map<std::string, IntTerm> GhostToParam, ParamToGhost;
+  for (const std::string &Param : F->Params) {
+    if (!Assigned.count(Param))
+      continue;
+    VarSign Sign = F->VarSigns.count(Param) &&
+                           F->VarSigns.at(Param) == cl::Signedness::Signed
+                       ? VarSign::Signed
+                       : VarSign::Unsigned;
+    GhostToParam[ghostName(Param)] = IntTermNode::var(Param, Sign);
+    ParamToGhost[Param] = IntTermNode::var(ghostName(Param), Sign);
+  }
+
+  BoundExpr BodyPreAtEntry = substBoundAll(FB.Body->Pre, GhostToParam);
+  EntailResult PreOk =
+      entails(FB.Spec.Pre, BodyPreAtEntry, {}, Options);
+  if (!PreOk.Holds)
+    Diags.error(F->Loc, "spec precondition " + FB.Spec.Pre->str() +
+                            " does not cover the body's requirement " +
+                            BodyPreAtEntry->str() +
+                            (PreOk.Counterexample.empty()
+                                 ? ""
+                                 : " (" + PreOk.Counterexample + ")"));
+
+  // The spec's postcondition speaks about entry values (ghosts).
+  BoundExpr SpecPostGhost = substBoundAll(FB.Spec.Post, ParamToGhost);
+  EntailResult RetOk =
+      entails(FB.Body->Post.OnReturn, SpecPostGhost, {}, Options);
+  if (!RetOk.Holds)
+    Diags.error(F->Loc, "body return part " + FB.Body->Post.OnReturn->str() +
+                            " does not establish the spec postcondition " +
+                            SpecPostGhost->str());
+  EntailResult FallOk =
+      entails(FB.Body->Post.OnSkip, SpecPostGhost, {}, Options);
+  if (!FallOk.Holds)
+    Diags.error(F->Loc, "body fall-through part does not establish the "
+                        "spec postcondition");
+
+  checkNode(*FB.Body, *F, Diags);
+  return Diags.errorCount() == Before;
+}

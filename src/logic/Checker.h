@@ -1,0 +1,69 @@
+//===- logic/Checker.h - Proof checker for the quantitative logic *- C++-*===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates derivations of the quantitative Hoare logic rule by rule.
+/// This is the trusted core that stands in for the paper's Coq soundness
+/// proof (DESIGN.md section 1): a bound is only reported once its
+/// derivation passes this checker. The automatic analyzer's derivations
+/// check in symbolic-only entailment mode; interactively built derivations
+/// for recursive functions may rely on the sampled mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_LOGIC_CHECKER_H
+#define QCC_LOGIC_CHECKER_H
+
+#include "logic/Entail.h"
+#include "logic/Logic.h"
+#include "support/Diagnostics.h"
+
+namespace qcc {
+namespace logic {
+
+/// Checks derivations against a program and a function context.
+class ProofChecker {
+public:
+  ProofChecker(const clight::Program &P, FunctionContext Gamma,
+               EntailOptions Options = {})
+      : P(P), Gamma(std::move(Gamma)), Options(Options) {}
+
+  /// Validates one derivation for a statement of function \p F. Reports
+  /// each violated side condition to \p Diags; returns true when clean.
+  bool check(const Derivation &D, const clight::Function &F,
+             DiagnosticEngine &Diags);
+
+  /// Validates a complete function bound: the body derivation must prove
+  /// the function's specification under Gamma (which must already contain
+  /// the specification itself when \p FB is recursive — the paper's
+  /// derivation-context treatment of recursion).
+  bool checkFunctionBound(const FunctionBound &FB, DiagnosticEngine &Diags);
+
+  const FunctionContext &context() const { return Gamma; }
+
+private:
+  bool require(bool Cond, const Derivation &D, const std::string &Message,
+               DiagnosticEngine &Diags);
+  bool requireEntails(const BoundExpr &Stronger, const BoundExpr &Weaker,
+                      const std::vector<Cmp> &Assumptions,
+                      const Derivation &D, const std::string &What,
+                      DiagnosticEngine &Diags);
+
+  bool checkNode(const Derivation &D, const clight::Function &F,
+                 DiagnosticEngine &Diags);
+  bool checkCall(const Derivation &D, const clight::Function &F,
+                 DiagnosticEngine &Diags);
+
+  const clight::Program &P;
+  FunctionContext Gamma;
+  EntailOptions Options;
+};
+
+} // namespace logic
+} // namespace qcc
+
+#endif // QCC_LOGIC_CHECKER_H

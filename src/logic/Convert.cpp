@@ -1,0 +1,123 @@
+//===- logic/Convert.cpp - Clight expressions to logic terms --------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Convert.h"
+
+using namespace qcc;
+using namespace qcc::logic;
+namespace cl = qcc::clight;
+
+std::optional<IntTerm>
+qcc::logic::convertExprToTerm(const cl::Expr &E, const cl::Function &F) {
+  switch (E.Kind) {
+  case cl::ExprKind::IntConst:
+    // Constants above INT32_MAX read differently as signed and unsigned;
+    // reject them rather than guess.
+    if (E.IntValue > 0x7fffffffu)
+      return std::nullopt;
+    return IntTermNode::constant(static_cast<int64_t>(E.IntValue));
+
+  case cl::ExprKind::LocalRead: {
+    auto It = F.VarSigns.find(E.Name);
+    VarSign Sign = (It != F.VarSigns.end() &&
+                    It->second == cl::Signedness::Signed)
+                       ? VarSign::Signed
+                       : VarSign::Unsigned;
+    return IntTermNode::var(E.Name, Sign);
+  }
+
+  case cl::ExprKind::Unary: {
+    if (E.UOp != cl::UnOp::Neg)
+      return std::nullopt;
+    auto T = convertExprToTerm(*E.Lhs, F);
+    if (!T)
+      return std::nullopt;
+    return IntTermNode::sub(IntTermNode::constant(0), *T);
+  }
+
+  case cl::ExprKind::Binary: {
+    auto L = convertExprToTerm(*E.Lhs, F);
+    if (!L)
+      return std::nullopt;
+    auto R = convertExprToTerm(*E.Rhs, F);
+    if (!R)
+      return std::nullopt;
+    switch (E.BOp) {
+    case cl::BinOp::Add:
+      return IntTermNode::add(*L, *R);
+    case cl::BinOp::Sub:
+      return IntTermNode::sub(*L, *R);
+    case cl::BinOp::Mul:
+      return IntTermNode::mul(*L, *R);
+    case cl::BinOp::DivU:
+    case cl::BinOp::DivS:
+      // Division only by a positive constant (truncation toward zero
+      // agrees between the term language and the machine for the
+      // non-wrapping values the guards confine us to).
+      if ((*R)->K == IntTermNode::Kind::Const && (*R)->Value > 0)
+        return IntTermNode::divC(*L, (*R)->Value);
+      return std::nullopt;
+    case cl::BinOp::Shl:
+      // A left shift by a small constant is a power-of-two scaling.
+      if ((*R)->K == IntTermNode::Kind::Const && (*R)->Value >= 0 &&
+          (*R)->Value < 31)
+        return IntTermNode::mul(
+            *L, IntTermNode::constant(int64_t(1) << (*R)->Value));
+      return std::nullopt;
+    case cl::BinOp::ShrU:
+    case cl::BinOp::ShrS:
+      if ((*R)->K == IntTermNode::Kind::Const && (*R)->Value >= 0 &&
+          (*R)->Value < 31)
+        return IntTermNode::divC(*L, int64_t(1) << (*R)->Value);
+      return std::nullopt;
+    default:
+      return std::nullopt; // Bitwise and comparisons are not terms.
+    }
+  }
+
+  default:
+    return std::nullopt; // Globals, array reads, conditionals.
+  }
+}
+
+std::optional<Cmp> qcc::logic::convertCondToCmp(const cl::Expr &E,
+                                                const cl::Function &F) {
+  if (E.Kind != cl::ExprKind::Binary)
+    return std::nullopt;
+  CmpRel Rel;
+  switch (E.BOp) {
+  case cl::BinOp::Eq: Rel = CmpRel::Eq; break;
+  case cl::BinOp::Ne: Rel = CmpRel::Ne; break;
+  case cl::BinOp::LtS: case cl::BinOp::LtU: Rel = CmpRel::Lt; break;
+  case cl::BinOp::LeS: case cl::BinOp::LeU: Rel = CmpRel::Le; break;
+  case cl::BinOp::GtS: case cl::BinOp::GtU: Rel = CmpRel::Gt; break;
+  case cl::BinOp::GeS: case cl::BinOp::GeU: Rel = CmpRel::Ge; break;
+  default:
+    return std::nullopt;
+  }
+  auto L = convertExprToTerm(*E.Lhs, F);
+  if (!L)
+    return std::nullopt;
+  auto R = convertExprToTerm(*E.Rhs, F);
+  if (!R)
+    return std::nullopt;
+  return Cmp{*L, Rel, *R};
+}
+
+Cmp qcc::logic::negateCmp(const Cmp &C) {
+  CmpRel Rel;
+  switch (C.Rel) {
+  case CmpRel::Lt: Rel = CmpRel::Ge; break;
+  case CmpRel::Le: Rel = CmpRel::Gt; break;
+  case CmpRel::Gt: Rel = CmpRel::Le; break;
+  case CmpRel::Ge: Rel = CmpRel::Lt; break;
+  case CmpRel::Eq: Rel = CmpRel::Ne; break;
+  case CmpRel::Ne: Rel = CmpRel::Eq; break;
+  default: Rel = C.Rel; break;
+  }
+  return Cmp{C.Lhs, Rel, C.Rhs};
+}

@@ -1,0 +1,46 @@
+//===- logic/Convert.h - Clight expressions to logic terms ------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative conversion of (pure) Clight expressions into the logic's
+/// integer-term and comparison languages, used by the Q:ASSIGN
+/// substitution, by call-site argument instantiation, and by the Q:IF
+/// rule's path assumptions. The conversion is *partial*: anything whose
+/// mathematical reading could diverge from its 32-bit runtime value (large
+/// constants, bitwise operators, wrapped arithmetic) is rejected, and the
+/// caller falls back to a weaker but sound treatment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_LOGIC_CONVERT_H
+#define QCC_LOGIC_CONVERT_H
+
+#include "clight/Clight.h"
+#include "logic/Bound.h"
+
+#include <optional>
+
+namespace qcc {
+namespace logic {
+
+/// Converts \p E into an integer term over the enclosing function's
+/// variables. \p F supplies per-variable signedness. Returns nullopt when
+/// the expression has no faithful term reading.
+std::optional<IntTerm> convertExprToTerm(const clight::Expr &E,
+                                         const clight::Function &F);
+
+/// Converts a boolean condition into a comparison, when it is one.
+std::optional<Cmp> convertCondToCmp(const clight::Expr &E,
+                                    const clight::Function &F);
+
+/// The negation of a comparison (used for else-branch assumptions).
+Cmp negateCmp(const Cmp &C);
+
+} // namespace logic
+} // namespace qcc
+
+#endif // QCC_LOGIC_CONVERT_H

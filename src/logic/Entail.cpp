@@ -1,0 +1,335 @@
+//===- logic/Entail.cpp - Entailment between assertions -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Entail.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+using namespace qcc;
+using namespace qcc::logic;
+
+//===----------------------------------------------------------------------===//
+// Symbolic method: max-of-monomials over metric variables
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One monomial: a constant plus non-negative integer coefficients on
+/// metric variables. The value under a metric M is
+/// Constant + sum_f Coeffs[f] * M(f).
+struct Monomial {
+  uint64_t Constant = 0;
+  std::map<std::string, uint64_t> Coeffs;
+
+  Monomial scaled(uint64_t K) const {
+    Monomial Out;
+    Out.Constant = Constant * K;
+    for (const auto &[F, C] : Coeffs)
+      Out.Coeffs[F] = C * K;
+    return Out;
+  }
+
+  Monomial plus(const Monomial &O) const {
+    Monomial Out = *this;
+    Out.Constant += O.Constant;
+    for (const auto &[F, C] : O.Coeffs)
+      Out.Coeffs[F] += C;
+    return Out;
+  }
+
+  /// True if this monomial's value dominates \p O under every metric,
+  /// i.e. coefficient-wise (including the constant).
+  bool dominates(const Monomial &O) const {
+    if (Constant < O.Constant)
+      return false;
+    for (const auto &[F, C] : O.Coeffs) {
+      auto It = Coeffs.find(F);
+      if ((It == Coeffs.end() ? 0 : It->second) < C)
+        return false;
+    }
+    return true;
+  }
+};
+
+/// A normalized tropical form: the pointwise maximum of monomials.
+/// Nullopt signals "not normalizable" (program variables present).
+using MaxOfMonomials = std::optional<std::vector<Monomial>>;
+
+/// Keeps only monomials not dominated by another (small sets here).
+void pruneDominated(std::vector<Monomial> &Ms) {
+  std::vector<Monomial> Out;
+  for (size_t I = 0; I != Ms.size(); ++I) {
+    bool Dominated = false;
+    for (size_t J = 0; J != Ms.size() && !Dominated; ++J)
+      if (I != J && Ms[J].dominates(Ms[I]) &&
+          !(Ms[I].dominates(Ms[J]) && I < J))
+        Dominated = true;
+    if (!Dominated)
+      Out.push_back(Ms[I]);
+  }
+  Ms = std::move(Out);
+}
+
+MaxOfMonomials normalize(const BoundExpr &E) {
+  switch (E->K) {
+  case BoundExprNode::Kind::Const: {
+    if (E->Value.isInfinite())
+      return std::nullopt; // Infinity has no finite monomial form.
+    Monomial M;
+    M.Constant = E->Value.finiteValue();
+    return std::vector<Monomial>{M};
+  }
+  case BoundExprNode::Kind::MetricVar: {
+    Monomial M;
+    M.Coeffs[E->Func] = 1;
+    return std::vector<Monomial>{M};
+  }
+  case BoundExprNode::Kind::Add: {
+    MaxOfMonomials L = normalize(E->Lhs), R = normalize(E->Rhs);
+    if (!L || !R)
+      return std::nullopt;
+    std::vector<Monomial> Out;
+    for (const Monomial &A : *L)
+      for (const Monomial &B : *R)
+        Out.push_back(A.plus(B));
+    pruneDominated(Out);
+    return Out;
+  }
+  case BoundExprNode::Kind::Max: {
+    MaxOfMonomials L = normalize(E->Lhs), R = normalize(E->Rhs);
+    if (!L || !R)
+      return std::nullopt;
+    std::vector<Monomial> Out = *L;
+    Out.insert(Out.end(), R->begin(), R->end());
+    pruneDominated(Out);
+    return Out;
+  }
+  case BoundExprNode::Kind::Scale: {
+    MaxOfMonomials L = normalize(E->Lhs);
+    if (!L)
+      return std::nullopt;
+    std::vector<Monomial> Out;
+    for (const Monomial &A : *L)
+      Out.push_back(A.scaled(E->Factor));
+    return Out;
+  }
+  default:
+    return std::nullopt; // Program-variable-dependent forms.
+  }
+}
+
+/// Sufficient symbolic check: every Q monomial is dominated by some P
+/// monomial. (Complete for the single-monomial Q case; conservative in
+/// general, which only ever rejects, never wrongly accepts.)
+bool dominatesSymbolically(const std::vector<Monomial> &P,
+                           const std::vector<Monomial> &Q) {
+  for (const Monomial &MQ : Q) {
+    bool Found = false;
+    for (const Monomial &MP : P) {
+      if (MP.dominates(MQ)) {
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Sampled method
+//===----------------------------------------------------------------------===//
+
+/// Deterministic splitmix64 stream.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// The grid of interesting 32-bit values: boundaries, small counts, and
+/// mid-sized values that exercise log plateaus.
+const uint32_t ValueGrid[] = {0,  1,   2,   3,    4,    5,     7,         8,
+                              9,  15,  16,  17,   31,   33,    63,        64,
+                              65, 100, 128, 1000, 4096, 65535, 0x7fffffff};
+
+std::string envToString(const VarEnv &Env, const StackMetric &M) {
+  std::string Out = "env {";
+  bool First = true;
+  for (const auto &[K, V] : Env) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += K + "=" + std::to_string(V);
+  }
+  Out += "} metric " + M.str();
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+EntailResult qcc::logic::entails(const BoundExpr &P, const BoundExpr &Q,
+                                 const std::vector<Cmp> &Assumptions,
+                                 const EntailOptions &Options) {
+  // Method 1: syntactic.
+  if (structurallyEqual(P, Q))
+    return {true, EntailMethod::Syntactic, ""};
+
+  // Method 2: symbolic tropical domination (assumption-free language).
+  if (MaxOfMonomials NP = normalize(P)) {
+    if (MaxOfMonomials NQ = normalize(Q)) {
+      if (dominatesSymbolically(*NP, *NQ))
+        return {true, EntailMethod::Symbolic, ""};
+      // P and Q are both variable-free: symbolic rejection here is NOT
+      // conclusive (domination is only sufficient), so fall through to
+      // sampling unless symbolic-only mode is on.
+    }
+  }
+  // Q = bottom is only entailed by P = bottom.
+  if (Q->K == BoundExprNode::Kind::Const && Q->Value.isInfinite())
+    return {P->K == BoundExprNode::Kind::Const && P->Value.isInfinite(),
+            EntailMethod::Symbolic, "only bottom entails bottom"};
+
+  if (Options.SymbolicOnly)
+    return {false, EntailMethod::Refuted,
+            "not established symbolically (symbolic-only mode)"};
+
+  // Method 3: sampled refutation.
+  std::set<std::string> VarSet;
+  collectBoundVars(P, VarSet);
+  collectBoundVars(Q, VarSet);
+  for (const Cmp &A : Assumptions) {
+    collectIntTermVars(A.Lhs, VarSet);
+    collectIntTermVars(A.Rhs, VarSet);
+  }
+  std::vector<std::string> Vars(VarSet.begin(), VarSet.end());
+
+  std::set<std::string> MetricSet;
+  collectBoundMetricVars(P, MetricSet);
+  collectBoundMetricVars(Q, MetricSet);
+  std::vector<std::string> MetricVars(MetricSet.begin(), MetricSet.end());
+
+  Rng R(Options.Seed);
+
+  // Pre-build the metric family: zero, uniform, one-hots, randoms.
+  std::vector<StackMetric> Metrics;
+  Metrics.emplace_back();
+  {
+    StackMetric Uniform;
+    for (const std::string &F : MetricVars)
+      Uniform.setCost(F, 8);
+    Metrics.push_back(std::move(Uniform));
+    for (const std::string &F : MetricVars) {
+      StackMetric OneHot;
+      OneHot.setCost(F, 40);
+      Metrics.push_back(std::move(OneHot));
+    }
+    for (unsigned I = 0; I < Options.MetricSamples; ++I) {
+      StackMetric Rand;
+      for (const std::string &F : MetricVars)
+        Rand.setCost(F, static_cast<uint32_t>(R.next() % 256));
+      Metrics.push_back(std::move(Rand));
+    }
+  }
+
+  // Equality assumptions of the shape `var == term` (either side) are
+  // solved constructively after the free draw so that they are actually
+  // exercised rather than filtered to nothing.
+  auto Solve = [&Assumptions](VarEnv &Env) -> bool {
+    for (unsigned Round = 0; Round < 2; ++Round) {
+      for (const Cmp &A : Assumptions) {
+        if (A.Rel != CmpRel::Eq)
+          continue;
+        const IntTerm &L = A.Lhs, &Rt = A.Rhs;
+        if (L->K == IntTermNode::Kind::Var) {
+          if (auto V = evalIntTerm(Rt, Env))
+            Env[L->Name] = static_cast<uint32_t>(*V);
+        } else if (Rt->K == IntTermNode::Kind::Var) {
+          if (auto V = evalIntTerm(L, Env))
+            Env[Rt->Name] = static_cast<uint32_t>(*V);
+        }
+      }
+    }
+    // All assumptions (equalities included) must now hold.
+    for (const Cmp &A : Assumptions) {
+      auto H = evalCmp(A, Env);
+      if (!H || !*H)
+        return false;
+    }
+    return true;
+  };
+
+  auto CheckEnv = [&](const VarEnv &Env) -> EntailResult {
+    for (const StackMetric &M : Metrics) {
+      ExtNat VP = evalBound(P, M, Env);
+      ExtNat VQ = evalBound(Q, M, Env);
+      if (VP < VQ)
+        return {false, EntailMethod::Refuted,
+                "P=" + VP.str() + " < Q=" + VQ.str() + " at " +
+                    envToString(Env, M)};
+    }
+    return {true, EntailMethod::Sampled, ""};
+  };
+
+  // Exhaustive small grids for up to 3 variables, then random tuples.
+  size_t GridLimit = sizeof(ValueGrid) / sizeof(ValueGrid[0]);
+  auto EnumerateGrid = [&](auto &&Self, size_t VarIdx,
+                           VarEnv &Env) -> EntailResult {
+    if (VarIdx == Vars.size() || VarIdx >= 3) {
+      // Remaining variables (if any) get grid-free random values.
+      VarEnv Full = Env;
+      for (size_t I = VarIdx; I < Vars.size(); ++I)
+        Full[Vars[I]] = static_cast<uint32_t>(R.next());
+      if (!Solve(Full))
+        return {true, EntailMethod::Sampled, ""}; // Vacuous under assumptions.
+      return CheckEnv(Full);
+    }
+    for (size_t G = 0; G != GridLimit; ++G) {
+      Env[Vars[VarIdx]] = ValueGrid[G];
+      EntailResult Res = Self(Self, VarIdx + 1, Env);
+      if (!Res.Holds)
+        return Res;
+    }
+    return {true, EntailMethod::Sampled, ""};
+  };
+
+  VarEnv Scratch;
+  if (EntailResult Res = EnumerateGrid(EnumerateGrid, 0, Scratch); !Res.Holds)
+    return Res;
+
+  // Random tuples (values drawn from the grid and the full range).
+  for (unsigned S = 0; S != Options.RandomSamples; ++S) {
+    VarEnv Env;
+    for (const std::string &V : Vars) {
+      uint64_t Draw = R.next();
+      Env[V] = (Draw & 1) ? ValueGrid[Draw % GridLimit]
+                          : static_cast<uint32_t>(Draw >> 16);
+    }
+    if (!Solve(Env))
+      continue;
+    if (EntailResult Res = CheckEnv(Env); !Res.Holds)
+      return Res;
+  }
+
+  return {true, EntailMethod::Sampled, ""};
+}

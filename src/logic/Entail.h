@@ -1,0 +1,77 @@
+//===- logic/Entail.h - Entailment between assertions -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides the quantitative consequence relation P >= Q used by the
+/// Q:CONSEQ rule and, folded in, by every other rule of the logic. The
+/// relation means: for every stack metric M and every variable environment
+/// Env, evalBound(P, M, Env) >= evalBound(Q, M, Env).
+///
+/// Three methods, tried in order:
+///
+///   1. Syntactic — structural equality.
+///   2. Symbolic  — complete normalization to max-of-monomials for
+///      expressions over constants and metric variables only (the whole
+///      language the automatic analyzer emits), decided by monomial
+///      domination. Sound; conservative on the general language.
+///   3. Sampled   — deterministic exhaustive-grid plus pseudo-random
+///      evaluation over program variables and metrics. This is the
+///      unverified-analyzer substitution for Coq's proof checking
+///      (DESIGN.md section 1); it never accepts an entailment the samples
+///      refute and records a concrete counterexample when it finds one.
+///
+/// The per-derivation soundness harness (`logic/Soundness.h`) backs the
+/// sampled method with end-to-end weight measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_LOGIC_ENTAIL_H
+#define QCC_LOGIC_ENTAIL_H
+
+#include "logic/Bound.h"
+
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace logic {
+
+/// How an entailment was established (or why not).
+enum class EntailMethod : uint8_t { Syntactic, Symbolic, Sampled, Refuted };
+
+/// The result of an entailment query.
+struct EntailResult {
+  bool Holds;
+  EntailMethod Method;
+  std::string Counterexample; ///< When refuted: the offending env/metric.
+
+  explicit operator bool() const { return Holds; }
+};
+
+/// Tuning knobs for the sampled method.
+struct EntailOptions {
+  unsigned RandomSamples = 400;
+  unsigned MetricSamples = 12;
+  uint64_t Seed = 0x2545f4914f6cdd1dull;
+  /// Restrict to methods 1 and 2; queries needing sampling are rejected.
+  /// The automatic stack analyzer runs with this set so that its
+  /// derivations carry fully symbolic certificates.
+  bool SymbolicOnly = false;
+};
+
+/// Checks P >= Q pointwise over all metrics and environments.
+/// \p Assumptions restrict the environments considered (used by the If
+/// rule for path sensitivity); equality assumptions between two variables
+/// or a variable and a term are solved constructively during sampling.
+EntailResult entails(const BoundExpr &P, const BoundExpr &Q,
+                     const std::vector<Cmp> &Assumptions = {},
+                     const EntailOptions &Options = {});
+
+} // namespace logic
+} // namespace qcc
+
+#endif // QCC_LOGIC_ENTAIL_H

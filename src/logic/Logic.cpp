@@ -1,0 +1,93 @@
+//===- logic/Logic.cpp - Quantitative Hoare logic derivations -------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Logic.h"
+
+using namespace qcc;
+using namespace qcc::logic;
+
+const char *qcc::logic::ruleName(Rule R) {
+  switch (R) {
+  case Rule::Skip: return "Q:SKIP";
+  case Rule::Break: return "Q:BREAK";
+  case Rule::Return: return "Q:RETURN";
+  case Rule::Assign: return "Q:ASSIGN";
+  case Rule::Call: return "Q:CALL";
+  case Rule::CallBalanced: return "Q:CALL*";
+  case Rule::CallHavoc: return "Q:CALL-HAVOC";
+  case Rule::ExternalCall: return "Q:EXT";
+  case Rule::Seq: return "Q:SEQ";
+  case Rule::If: return "Q:IF";
+  case Rule::Loop: return "Q:LOOP";
+  case Rule::Frame: return "Q:FRAME";
+  case Rule::Conseq: return "Q:CONSEQ";
+  }
+  return "<bad rule>";
+}
+
+std::set<std::string> qcc::logic::assignedLocals(const clight::Stmt &S) {
+  std::set<std::string> Out;
+  std::vector<const clight::Stmt *> Work{&S};
+  while (!Work.empty()) {
+    const clight::Stmt *Cur = Work.back();
+    Work.pop_back();
+    if (Cur->HasDest && Cur->Dest.K == clight::LValue::Kind::Local)
+      Out.insert(Cur->Dest.Name);
+    if (Cur->First)
+      Work.push_back(Cur->First.get());
+    if (Cur->Second)
+      Work.push_back(Cur->Second.get());
+  }
+  return Out;
+}
+
+std::string PostCondition::str() const {
+  return "(" + OnSkip->str() + ", " + OnBreak->str() + ", " +
+         OnReturn->str() + ")";
+}
+
+std::string Derivation::str(unsigned Indent) const {
+  std::string Pad(Indent * 2, ' ');
+  std::string Out = Pad + ruleName(R) + ": {" + Pre->str() + "} ... {" +
+                    Post.str() + "}\n";
+  for (const DerivationPtr &C : Children)
+    Out += C->str(Indent + 1);
+  return Out;
+}
+
+size_t Derivation::size() const {
+  size_t N = 1;
+  for (const DerivationPtr &C : Children)
+    N += C->size();
+  return N;
+}
+
+DerivationPtr Derivation::clone() const {
+  auto D = std::make_unique<Derivation>();
+  D->R = R;
+  D->S = S;
+  D->Pre = Pre;
+  D->Post = Post;
+  D->FrameAmount = FrameAmount;
+  D->SupHint = SupHint;
+  for (const DerivationPtr &C : Children)
+    D->Children.push_back(C->clone());
+  return D;
+}
+
+Derivation *Derivation::nodeAt(size_t Index) {
+  if (Index == 0)
+    return this;
+  size_t Offset = 1;
+  for (DerivationPtr &C : Children) {
+    size_t Sub = C->size();
+    if (Index < Offset + Sub)
+      return C->nodeAt(Index - Offset);
+    Offset += Sub;
+  }
+  return nullptr;
+}

@@ -1,0 +1,171 @@
+//===- logic/Logic.h - Quantitative Hoare logic derivations -----*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derivations of the quantitative Hoare logic (Paper section 4.3, Figure
+/// 4) as explicit, checkable trees. A triple
+///
+///   Gamma |- {P} S {Q}      with Q = (Q_skip, Q_break, Q_return)
+///
+/// is represented by a Derivation node recording the rule used, the
+/// pre/postconditions, and sub-derivations. The paper proves the rules
+/// sound in Coq; here `ProofChecker` (logic/Checker.h) re-validates every
+/// node, which is what lets the automatic analyzer (Paper section 5)
+/// "generate a derivation in the quantitative Hoare logic" whose
+/// correctness does not rest on the analyzer's own code.
+///
+/// Two presentation conveniences relative to Figure 4, both documented in
+/// DESIGN.md:
+///
+///   * The consequence rule is folded into every rule: each side
+///     condition is an entailment rather than an equality. An explicit
+///     Conseq node still exists.
+///   * `CallBalanced` is the admissible rule obtained by composing
+///     Q:CALL, Q:FRAME and Q:CONSEQ exactly as the paper's Figure 5
+///     derivation does, for callees with balanced specifications
+///     ({B} f {B}): from {B' + M(f)} x=f(E) {B' + M(f)} one derives
+///     {max(B' + M(f), R)} x=f(E) {R} by framing with the pointwise
+///     difference. It is what both the automatic analyzer and the
+///     backward derivation builder emit.
+///
+/// Function specifications follow the paper's auxiliary-state treatment:
+/// Pre and Post are expressions over the *entry* values of the parameters
+/// (the frozen auxiliary state); inside a body derivation the frozen value
+/// of parameter `p` is referred to as `p'` (ghost name), never assigned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_LOGIC_LOGIC_H
+#define QCC_LOGIC_LOGIC_H
+
+#include "clight/Clight.h"
+#include "logic/Bound.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace logic {
+
+/// The three-part postcondition (Q_skip, Q_break, Q_return). The return
+/// part abstracts over the returned value (stack bounds in the corpus
+/// never depend on it).
+struct PostCondition {
+  BoundExpr OnSkip;
+  BoundExpr OnBreak;
+  BoundExpr OnReturn;
+
+  static PostCondition all(BoundExpr Q) { return {Q, Q, Q}; }
+  static PostCondition onSkip(BoundExpr Q) {
+    return {std::move(Q), bBottom(), bBottom()};
+  }
+  static PostCondition onReturn(BoundExpr Q) {
+    return {bBottom(), bBottom(), std::move(Q)};
+  }
+
+  std::string str() const;
+};
+
+/// A function specification: pre- and postcondition over the entry values
+/// of the parameters. {Pre} f(args) {Post}.
+///
+/// ResultFacts are *assumed* functional facts about the return value
+/// (variable "$result") in terms of the parameters — e.g. partition's
+/// `lo <= $result` and `$result < hi`. The quantitative logic takes them
+/// as given, exactly as the paper assumes memory safety is proved by a
+/// separate (separation-logic) development; they feed the Q:CALL-HAVOC
+/// rule when a continuation's bound depends on a call result.
+struct FunctionSpec {
+  BoundExpr Pre;
+  BoundExpr Post;
+  std::vector<Cmp> ResultFacts;
+
+  /// A balanced specification {B} f {B}.
+  static FunctionSpec balanced(BoundExpr B) { return {B, B, {}}; }
+
+  bool isBalanced() const { return structurallyEqual(Pre, Post); }
+};
+
+/// The function context Gamma mapping function names to specifications.
+using FunctionContext = std::map<std::string, FunctionSpec>;
+
+/// The ghost (auxiliary-state) name for parameter \p Param: its frozen
+/// entry value, never assigned inside the body.
+inline std::string ghostName(const std::string &Param) { return Param + "'"; }
+
+/// The variable naming the return value inside a spec's ResultFacts.
+inline const char *resultVarName() { return "$result"; }
+
+/// The local variables (including parameters) that \p S may assign —
+/// directly or as a call destination. Parameters *not* in this set keep
+/// their entry values throughout the body, so their ghosts are
+/// unnecessary (builder and checker both rely on this).
+std::set<std::string> assignedLocals(const clight::Stmt &S);
+
+/// Rules of the logic (Figure 4 plus the admissible CallBalanced).
+enum class Rule : uint8_t {
+  Skip,
+  Break,
+  Return,
+  Assign,
+  Call,         ///< Primitive Q:CALL (pre/post are spec + M(f) exactly).
+  CallBalanced, ///< Admissible Call+Frame+Conseq composition (Figure 5).
+  CallHavoc,    ///< CallBalanced when the continuation observes the call
+                ///< result: a caller-supplied result-independent majorant
+                ///< dominates the continuation for every result value
+                ///< permitted by the callee's ResultFacts.
+  ExternalCall, ///< Externals cost nothing under stack metrics.
+  Seq,
+  If,
+  Loop,
+  Frame,
+  Conseq
+};
+
+const char *ruleName(Rule R);
+
+struct Derivation;
+using DerivationPtr = std::unique_ptr<Derivation>;
+
+/// One derivation node proving Gamma |- {Pre} S {Post}.
+struct Derivation {
+  Rule R;
+  const clight::Stmt *S = nullptr; ///< The statement this node proves.
+  BoundExpr Pre;
+  PostCondition Post;
+  std::vector<DerivationPtr> Children;
+  BoundExpr FrameAmount; ///< Frame only: the framed-in potential c >= 0.
+  BoundExpr SupHint;     ///< CallHavoc only: the result-free majorant.
+
+  /// Renders the derivation tree with rule names and triples.
+  std::string str(unsigned Indent = 0) const;
+
+  /// Number of nodes in this (sub)tree.
+  size_t size() const;
+
+  /// Deep copy (bound expressions are shared; they are immutable).
+  DerivationPtr clone() const;
+
+  /// The \p Index-th node of a preorder walk (for mutation testing).
+  Derivation *nodeAt(size_t Index);
+};
+
+/// A checked bound for one function: its spec, the body derivation, and
+/// the context it was derived under.
+struct FunctionBound {
+  std::string Function;
+  FunctionSpec Spec;
+  DerivationPtr Body;
+};
+
+} // namespace logic
+} // namespace qcc
+
+#endif // QCC_LOGIC_LOGIC_H

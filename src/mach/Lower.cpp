@@ -1,0 +1,535 @@
+//===- mach/Lower.cpp - RTL to Mach: regalloc and frame layout ------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register allocation and stack-frame layout:
+///
+///   * the RTL graph is linearized in reverse postorder,
+///   * live intervals are computed from the liveness fixpoint,
+///   * intervals crossing a call are spilled outright (every register is
+///     caller-saved in this convention),
+///   * the rest go through linear scan over {EBX, ECX, ESI, EDI}; EAX and
+///     EDX are reserved as operand-staging scratch registers.
+///
+/// The resulting spill-slot count plus the widest outgoing-argument area
+/// determine SF(f) — this file is, indirectly, where every number in
+/// Table 1 comes from.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mach/Mach.h"
+
+#include "rtl/Liveness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace qcc;
+using namespace qcc::mach;
+namespace r = qcc::rtl;
+
+namespace {
+
+/// Where a virtual register lives after allocation.
+struct Location {
+  enum class Kind : uint8_t { None, Register, Spill } K = Kind::None;
+  PReg R = PReg::EAX;
+  uint32_t Slot = 0;
+};
+
+struct Interval {
+  r::Reg VReg;
+  uint32_t Start;
+  uint32_t End;
+  bool CrossesCall = false;
+};
+
+class FunctionLowering {
+public:
+  FunctionLowering(const r::Function &F, const r::Program &P,
+                   LowerOptions Options)
+      : Source(F), Prog(P), Options(Options) {}
+
+  Function run() {
+    linearize();
+    allocate();
+    emit();
+
+    Function Out;
+    Out.Name = Source.Name;
+    Out.NumParams = Source.NumParams;
+    Out.ReturnsValue = Source.ReturnsValue;
+    Out.SpillSlots = NextSlot;
+    Out.MaxOutgoing = MaxOutgoing;
+    Out.Code = std::move(Code);
+    Out.Loc = Source.Loc;
+    return Out;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Linearization
+  //===--------------------------------------------------------------------===//
+
+  void linearize() {
+    // Reverse postorder via the classic two-phase iterative DFS; a node
+    // pushed twice by two predecessors is skipped on its second visit.
+    std::vector<bool> Visited(Source.Nodes.size(), false);
+    std::vector<std::pair<r::Node, bool>> Stack;
+    Stack.push_back({Source.Entry, false});
+    std::vector<r::Node> Post;
+    while (!Stack.empty()) {
+      auto [N, Expanded] = Stack.back();
+      Stack.pop_back();
+      if (Expanded) {
+        Post.push_back(N);
+        continue;
+      }
+      if (Visited[N])
+        continue;
+      Visited[N] = true;
+      Stack.push_back({N, true});
+      for (r::Node S : Source.successors(N))
+        if (!Visited[S])
+          Stack.push_back({S, false});
+    }
+    Order.assign(Post.rbegin(), Post.rend());
+    PosOf.assign(Source.Nodes.size(), UINT32_MAX);
+    for (uint32_t P = 0; P != Order.size(); ++P)
+      PosOf[Order[P]] = P;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Allocation
+  //===--------------------------------------------------------------------===//
+
+  void allocate() {
+    r::LivenessInfo L = r::computeLiveness(Source);
+
+    std::map<r::Reg, Interval> Ranges;
+    auto Touch = [&Ranges](r::Reg R, uint32_t P) {
+      auto [It, New] = Ranges.try_emplace(R, Interval{R, P, P, false});
+      if (!New) {
+        It->second.Start = std::min(It->second.Start, P);
+        It->second.End = std::max(It->second.End, P);
+      }
+    };
+
+    for (uint32_t P = 0; P != Order.size(); ++P) {
+      r::Node N = Order[P];
+      const r::Instr &I = Source.Nodes[N];
+      for (r::Reg R : L.LiveIn[N])
+        Touch(R, P);
+      for (r::Reg R : L.LiveOut[N])
+        Touch(R, P);
+      for (r::Reg R : r::instrUses(I))
+        Touch(R, P);
+      if (auto D = r::instrDef(I))
+        Touch(*D, P);
+    }
+    // Parameters are live from position 0 (the entry moves read them).
+    for (r::Reg R = 0; R != Source.NumParams; ++R)
+      if (Ranges.count(R))
+        Touch(R, 0);
+
+    // Spill anything live across a call: all registers are caller-saved.
+    // The precise condition is liveness-based: a value live *out* of a
+    // call node survives the callee's register clobbering unless it is
+    // the call's own result.
+    for (r::Node N = 0; N != Source.Nodes.size(); ++N) {
+      const r::Instr &I = Source.Nodes[N];
+      if (I.K != r::InstrKind::Call)
+        continue;
+      for (r::Reg R : L.LiveOut[N]) {
+        if (I.HasDest && R == I.Dst)
+          continue;
+        if (auto It = Ranges.find(R); It != Ranges.end())
+          It->second.CrossesCall = true;
+      }
+    }
+
+    Locations.assign(Source.NumRegs, Location{});
+    std::vector<Interval> Work;
+    for (auto &[R, IV] : Ranges) {
+      if (IV.CrossesCall)
+        Locations[R] = spillLocation(R);
+      else
+        Work.push_back(IV);
+    }
+
+    // Linear scan.
+    std::sort(Work.begin(), Work.end(), [](const Interval &A,
+                                           const Interval &B) {
+      return A.Start < B.Start || (A.Start == B.Start && A.VReg < B.VReg);
+    });
+    const PReg Allocatable[] = {PReg::EBX, PReg::ECX, PReg::ESI, PReg::EDI};
+    std::vector<Interval> Active; // Sorted by End.
+    std::map<PReg, bool> Free;
+    for (PReg R : Allocatable)
+      Free[R] = true;
+
+    for (const Interval &IV : Work) {
+      // Expire intervals that ended strictly before this one starts.
+      // Note: an interval ending at IV.Start may share its position with
+      // IV's definition; keep both apart to stay conservative.
+      Active.erase(std::remove_if(Active.begin(), Active.end(),
+                                  [&](const Interval &A) {
+                                    if (A.End < IV.Start) {
+                                      Free[Locations[A.VReg].R] = true;
+                                      return true;
+                                    }
+                                    return false;
+                                  }),
+                   Active.end());
+
+      PReg Chosen = PReg::EAX;
+      bool Found = false;
+      for (PReg R : Allocatable) {
+        if (Free[R]) {
+          Chosen = R;
+          Found = true;
+          break;
+        }
+      }
+      if (Found) {
+        Free[Chosen] = false;
+        Locations[IV.VReg] = Location{Location::Kind::Register, Chosen, 0};
+        Active.push_back(IV);
+        continue;
+      }
+      // Spill the active interval with the furthest end if it outlives
+      // this one; otherwise spill this one.
+      auto Furthest = std::max_element(
+          Active.begin(), Active.end(),
+          [](const Interval &A, const Interval &B) { return A.End < B.End; });
+      if (Furthest != Active.end() && Furthest->End > IV.End) {
+        PReg R = Locations[Furthest->VReg].R;
+        Locations[Furthest->VReg] = spillLocation(Furthest->VReg);
+        Locations[IV.VReg] = Location{Location::Kind::Register, R, 0};
+        Active.erase(Furthest);
+        Active.push_back(IV);
+      } else {
+        Locations[IV.VReg] = spillLocation(IV.VReg);
+      }
+    }
+  }
+
+  Location spillLocation(r::Reg) {
+    return Location{Location::Kind::Spill, PReg::EAX, NextSlot++};
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Emission
+  //===--------------------------------------------------------------------===//
+
+  void push(Instr I) { Code.push_back(std::move(I)); }
+
+  /// Materializes \p VReg into a register: its own if allocated, else
+  /// \p Scratch via a stack reload. Unallocated (dead) registers read as
+  /// the scratch register's current garbage — they are never actually
+  /// observed.
+  PReg fetch(r::Reg VReg, PReg Scratch) {
+    const Location &Loc = Locations[VReg];
+    switch (Loc.K) {
+    case Location::Kind::Register:
+      return Loc.R;
+    case Location::Kind::Spill: {
+      Instr I;
+      I.K = InstrKind::GetStack;
+      I.Dst = Scratch;
+      I.Index = Loc.Slot;
+      push(std::move(I));
+      return Scratch;
+    }
+    case Location::Kind::None:
+      return Scratch;
+    }
+    return Scratch;
+  }
+
+  /// Returns the register a result for \p VReg should be computed into.
+  PReg destFor(r::Reg VReg) {
+    const Location &Loc = Locations[VReg];
+    return Loc.K == Location::Kind::Register ? Loc.R : PReg::EAX;
+  }
+
+  /// Stores the value computed in \p From into \p VReg's home, if any.
+  void commit(r::Reg VReg, PReg From) {
+    const Location &Loc = Locations[VReg];
+    switch (Loc.K) {
+    case Location::Kind::Register:
+      if (Loc.R != From) {
+        Instr I;
+        I.K = InstrKind::Mov;
+        I.Dst = Loc.R;
+        I.Src1 = From;
+        push(std::move(I));
+      }
+      return;
+    case Location::Kind::Spill: {
+      Instr I;
+      I.K = InstrKind::SetStack;
+      I.Index = Loc.Slot;
+      I.Src1 = From;
+      push(std::move(I));
+      return;
+    }
+    case Location::Kind::None:
+      return; // Dead destination.
+    }
+  }
+
+  void emit() {
+    // Entry moves: parameters to their allocated homes.
+    for (uint32_t P = 0; P != Source.NumParams; ++P) {
+      if (Locations[P].K == Location::Kind::None)
+        continue;
+      Instr I;
+      I.K = InstrKind::GetParam;
+      I.Dst = PReg::EAX;
+      I.Index = P;
+      push(std::move(I));
+      commit(P, PReg::EAX);
+    }
+
+    for (uint32_t P = 0; P != Order.size(); ++P) {
+      r::Node N = Order[P];
+      // Every node gets a label named after it; branches resolve to them.
+      {
+        Instr L;
+        L.K = InstrKind::Label;
+        L.Index = N;
+        push(std::move(L));
+      }
+      emitNode(N, P);
+    }
+  }
+
+  void gotoNode(r::Node Target, uint32_t CurrentPos) {
+    if (CurrentPos + 1 < Order.size() && Order[CurrentPos + 1] == Target)
+      return; // Falls through.
+    Instr I;
+    I.K = InstrKind::Goto;
+    I.Index = Target;
+    push(std::move(I));
+  }
+
+  void emitNode(r::Node N, uint32_t Pos) {
+    const r::Instr &I = Source.Nodes[N];
+    switch (I.K) {
+    case r::InstrKind::Nop:
+      break;
+    case r::InstrKind::Const: {
+      PReg D = destFor(I.Dst);
+      Instr M;
+      M.K = InstrKind::MovImm;
+      M.Dst = D;
+      M.Imm = I.Imm;
+      push(std::move(M));
+      commit(I.Dst, D);
+      break;
+    }
+    case r::InstrKind::Move: {
+      PReg S = fetch(I.Src1, PReg::EAX);
+      commit(I.Dst, S);
+      break;
+    }
+    case r::InstrKind::Unary: {
+      PReg S = fetch(I.Src1, PReg::EAX);
+      PReg D = destFor(I.Dst);
+      Instr M;
+      M.K = InstrKind::Unary;
+      M.U = I.U;
+      M.Dst = D;
+      M.Src1 = S;
+      push(std::move(M));
+      commit(I.Dst, D);
+      break;
+    }
+    case r::InstrKind::Binary: {
+      PReg A = fetch(I.Src1, PReg::EAX);
+      PReg B = fetch(I.Src2, PReg::EDX);
+      PReg D = destFor(I.Dst);
+      Instr M;
+      M.K = InstrKind::Binary;
+      M.B = I.B;
+      M.Dst = D;
+      M.Src1 = A;
+      M.Src2 = B;
+      push(std::move(M));
+      commit(I.Dst, D);
+      break;
+    }
+    case r::InstrKind::GlobLoad: {
+      PReg D = destFor(I.Dst);
+      Instr M;
+      M.K = InstrKind::GlobLoad;
+      M.Dst = D;
+      M.Name = I.Name;
+      push(std::move(M));
+      commit(I.Dst, D);
+      break;
+    }
+    case r::InstrKind::GlobStore: {
+      PReg S = fetch(I.Src1, PReg::EAX);
+      Instr M;
+      M.K = InstrKind::GlobStore;
+      M.Name = I.Name;
+      M.Src1 = S;
+      push(std::move(M));
+      break;
+    }
+    case r::InstrKind::ArrayLoad: {
+      PReg Idx = fetch(I.Src1, PReg::EAX);
+      PReg D = destFor(I.Dst);
+      Instr M;
+      M.K = InstrKind::ArrayLoad;
+      M.Dst = D;
+      M.Name = I.Name;
+      M.Src1 = Idx;
+      push(std::move(M));
+      commit(I.Dst, D);
+      break;
+    }
+    case r::InstrKind::ArrayStore: {
+      PReg Idx = fetch(I.Src1, PReg::EAX);
+      PReg V = fetch(I.Src2, PReg::EDX);
+      Instr M;
+      M.K = InstrKind::ArrayStore;
+      M.Name = I.Name;
+      M.Src1 = Idx;
+      M.Src2 = V;
+      push(std::move(M));
+      break;
+    }
+    case r::InstrKind::Call: {
+      MaxOutgoing =
+          std::max(MaxOutgoing, static_cast<uint32_t>(I.Args.size()));
+      for (uint32_t A = 0; A != I.Args.size(); ++A) {
+        PReg S = fetch(I.Args[A], PReg::EAX);
+        Instr M;
+        M.K = InstrKind::SetOutgoing;
+        M.Index = A;
+        M.Src1 = S;
+        push(std::move(M));
+      }
+      if (isTailCall(I)) {
+        Instr T;
+        T.K = InstrKind::TailCall;
+        T.Name = I.Name;
+        T.NArgs = static_cast<uint32_t>(I.Args.size());
+        push(std::move(T));
+        return; // The following Return node is subsumed by the jump.
+      }
+      Instr C;
+      C.K = InstrKind::Call;
+      C.Name = I.Name;
+      C.NArgs = static_cast<uint32_t>(I.Args.size());
+      push(std::move(C));
+      if (I.HasDest)
+        commit(I.Dst, PReg::EAX);
+      break;
+    }
+    case r::InstrKind::Cond: {
+      PReg S = fetch(I.Src1, PReg::EAX);
+      Instr B;
+      B.K = InstrKind::Brnz;
+      B.Src1 = S;
+      B.Index = I.Succ;
+      push(std::move(B));
+      gotoNode(I.Succ2, Pos);
+      return;
+    }
+    case r::InstrKind::Return: {
+      if (I.HasValue) {
+        PReg S = fetch(I.Src1, PReg::EAX);
+        if (S != PReg::EAX) {
+          Instr M;
+          M.K = InstrKind::Mov;
+          M.Dst = PReg::EAX;
+          M.Src1 = S;
+          push(std::move(M));
+        }
+      }
+      Instr R;
+      R.K = InstrKind::Return;
+      push(std::move(R));
+      return;
+    }
+    }
+    // Unconditional successor.
+    gotoNode(I.Succ, Pos);
+  }
+
+  /// True when the call's continuation is nothing but `return` of the
+  /// call's own result (or a bare `return` for a void pair) and the
+  /// callee's arguments fit the caller's incoming parameter area — the
+  /// conditions under which the frame can be released before the jump.
+  bool isTailCall(const r::Instr &Call) const {
+    if (!Options.TailCalls)
+      return false;
+    if (!Prog.findFunction(Call.Name))
+      return false; // External calls keep the event-emitting stub.
+    if (Call.Args.size() > Source.NumParams)
+      return false; // No room above the return address for the arguments.
+    // Walk the continuation through nops and copy chains of the result
+    // register; a `return` of the (possibly renamed) result is a tail
+    // position.
+    r::Reg Result = Call.HasDest ? Call.Dst : r::Reg(UINT32_MAX);
+    r::Node Cur = Call.Succ;
+    for (unsigned Steps = 0; Steps != 8 && Cur != r::NoNode; ++Steps) {
+      const r::Instr &Next = Source.Nodes[Cur];
+      switch (Next.K) {
+      case r::InstrKind::Nop:
+        Cur = Next.Succ;
+        continue;
+      case r::InstrKind::Move:
+        if (Call.HasDest && Next.Src1 == Result) {
+          Result = Next.Dst;
+          Cur = Next.Succ;
+          continue;
+        }
+        return false;
+      case r::InstrKind::Return:
+        if (Next.HasValue)
+          return Call.HasDest && Next.Src1 == Result;
+        return true; // Void tail position (EAX is ignored).
+      default:
+        return false;
+      }
+    }
+    return false;
+  }
+
+  const r::Function &Source;
+  const r::Program &Prog;
+  LowerOptions Options;
+  std::vector<r::Node> Order;
+  std::vector<uint32_t> PosOf;
+  std::vector<Location> Locations;
+  uint32_t NextSlot = 0;
+  uint32_t MaxOutgoing = 0;
+  std::vector<Instr> Code;
+};
+
+} // namespace
+
+Program qcc::mach::lowerFromRtl(const r::Program &P, LowerOptions Options) {
+  Program Out;
+  Out.Globals = P.Globals;
+  Out.Externals = P.Externals;
+  Out.EntryPoint = P.EntryPoint;
+  LowerOptions PerFunction = Options;
+  for (const r::Function &F : P.Functions) {
+    // The entry function's "caller" is the startup stub: keep its return
+    // conventional.
+    PerFunction.TailCalls = Options.TailCalls && F.Name != P.EntryPoint;
+    Out.Functions.push_back(FunctionLowering(F, P, PerFunction).run());
+  }
+  return Out;
+}

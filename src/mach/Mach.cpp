@@ -1,0 +1,109 @@
+//===- mach/Mach.cpp - Mach intermediate language -------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mach/Mach.h"
+
+using namespace qcc;
+using namespace qcc::mach;
+
+const char *qcc::mach::pregName(PReg R) {
+  switch (R) {
+  case PReg::EAX: return "eax";
+  case PReg::EBX: return "ebx";
+  case PReg::ECX: return "ecx";
+  case PReg::EDX: return "edx";
+  case PReg::ESI: return "esi";
+  case PReg::EDI: return "edi";
+  }
+  return "?";
+}
+
+std::string Instr::str() const {
+  auto R = [](PReg P) { return std::string(pregName(P)); };
+  switch (K) {
+  case InstrKind::MovImm:
+    return R(Dst) + " = " + std::to_string(Imm);
+  case InstrKind::Mov:
+    return R(Dst) + " = " + R(Src1);
+  case InstrKind::Unary: {
+    const char *Sp = U == UnOp::Neg ? "-" : U == UnOp::BoolNot ? "!" : "~";
+    return R(Dst) + " = " + Sp + R(Src1);
+  }
+  case InstrKind::Binary:
+    return R(Dst) + " = " + R(Src1) + " " + clight::binOpSpelling(B) + " " +
+           R(Src2);
+  case InstrKind::GlobLoad:
+    return R(Dst) + " = [" + Name + "]";
+  case InstrKind::GlobStore:
+    return "[" + Name + "] = " + R(Src1);
+  case InstrKind::ArrayLoad:
+    return R(Dst) + " = " + Name + "[" + R(Src1) + "]";
+  case InstrKind::ArrayStore:
+    return Name + "[" + R(Src1) + "] = " + R(Src2);
+  case InstrKind::GetStack:
+    return R(Dst) + " = stack[" + std::to_string(Index) + "]";
+  case InstrKind::SetStack:
+    return "stack[" + std::to_string(Index) + "] = " + R(Src1);
+  case InstrKind::GetParam:
+    return R(Dst) + " = param[" + std::to_string(Index) + "]";
+  case InstrKind::SetOutgoing:
+    return "out[" + std::to_string(Index) + "] = " + R(Src1);
+  case InstrKind::Call:
+    return "call " + Name + " (" + std::to_string(NArgs) + " args)";
+  case InstrKind::TailCall:
+    return "tailcall " + Name + " (" + std::to_string(NArgs) + " args)";
+  case InstrKind::Label:
+    return "L" + std::to_string(Index) + ":";
+  case InstrKind::Goto:
+    return "goto L" + std::to_string(Index);
+  case InstrKind::Brnz:
+    return "brnz " + R(Src1) + ", L" + std::to_string(Index);
+  case InstrKind::Return:
+    return "return";
+  }
+  return "<bad instr>";
+}
+
+const Function *Program::findFunction(const std::string &Name) const {
+  for (const Function &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const GlobalVar *Program::findGlobal(const std::string &Name) const {
+  for (const GlobalVar &G : Globals)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}
+
+const ExternalDecl *Program::findExternal(const std::string &Name) const {
+  for (const ExternalDecl &E : Externals)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+StackMetric Program::costMetric() const {
+  StackMetric M;
+  for (const Function &F : Functions)
+    M.setCost(F.Name, F.frameSize() + 4);
+  return M;
+}
+
+std::string Program::str() const {
+  std::string Out;
+  for (const Function &F : Functions) {
+    Out += F.Name + ": (frame " + std::to_string(F.frameSize()) +
+           " bytes: " + std::to_string(F.MaxOutgoing) + " out + " +
+           std::to_string(F.SpillSlots) + " spill)\n";
+    for (const Instr &I : F.Code)
+      Out += (I.K == InstrKind::Label ? "  " : "    ") + I.str() + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,143 @@
+//===- mach/Mach.h - Mach intermediate language -----------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mach, the last language before assembly generation. Virtual registers
+/// are gone: values live in six x86-32 physical registers or in stack
+/// slots, and each function's *stack frame is completely laid out*:
+///
+///   frame = [outgoing argument area][spill slots]      (4-byte words)
+///   SF(f) = 4 * (MaxOutgoing + SpillSlots)
+///
+/// As in the paper (section 3.2, "Generation of Target Cost Metric"),
+/// SF(f) is a static constant per function, and the compiler's cost
+/// metric is M(f) = SF(f) + 4, the +4 paying for the return address the
+/// caller's `call` pushes.
+///
+/// Calling convention (cdecl-like, matching the stack-merged assembly):
+/// arguments are stored by the caller into its outgoing area (reachable
+/// at [esp + 4*i] right before `call`); the callee reads parameter i at
+/// [esp + SF(f) + 4 + 4*i] — plain pointer arithmetic, no back link
+/// (paper section 3.2). Results return in EAX.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_MACH_MACH_H
+#define QCC_MACH_MACH_H
+
+#include "events/Metric.h"
+#include "events/Trace.h"
+#include "rtl/Rtl.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace mach {
+
+using clight::BinOp;
+using clight::UnOp;
+using clight::ExternalDecl;
+using clight::GlobalVar;
+
+/// The six allocatable/scratch x86-32 registers (ESP is the stack
+/// pointer; EBP is reserved as an assembly-emission scratch).
+enum class PReg : uint8_t { EAX, EBX, ECX, EDX, ESI, EDI };
+
+const char *pregName(PReg R);
+
+using LabelId = uint32_t;
+
+enum class InstrKind : uint8_t {
+  MovImm,     ///< Dst = Imm.
+  Mov,        ///< Dst = Src1.
+  Unary,      ///< Dst = U(Src1).
+  Binary,     ///< Dst = Src1 B Src2 (three-address; expanded at emission).
+  GlobLoad,   ///< Dst = global Name.
+  GlobStore,  ///< global Name = Src1.
+  ArrayLoad,  ///< Dst = Name[Src1].
+  ArrayStore, ///< Name[Src1] = Src2.
+  GetStack,   ///< Dst = spill slot Index.
+  SetStack,   ///< spill slot Index = Src1.
+  GetParam,   ///< Dst = incoming parameter Index.
+  SetOutgoing,///< outgoing argument Index = Src1.
+  Call,       ///< Call Name with NArgs outgoing args; result in EAX.
+  TailCall,   ///< Tail call: copy NArgs outgoing args over the incoming
+              ///< parameter area, release this frame, and jump to Name;
+              ///< the callee returns directly to this frame's caller.
+              ///< (Section 3.3's second deferred optimization.)
+  Label,      ///< Branch target Index.
+  Goto,       ///< Jump to label Index.
+  Brnz,       ///< If Src1 != 0 jump to label Index.
+  Return      ///< Leave; result (if any) already in EAX.
+};
+
+struct Instr {
+  InstrKind K;
+  PReg Dst = PReg::EAX;
+  PReg Src1 = PReg::EAX;
+  PReg Src2 = PReg::EAX;
+  uint32_t Imm = 0;
+  uint32_t Index = 0; ///< Slot / parameter / outgoing / label id.
+  uint32_t NArgs = 0; ///< Call.
+  UnOp U = UnOp::Neg;
+  BinOp B = BinOp::Add;
+  std::string Name;   ///< Global / array / callee.
+
+  std::string str() const;
+};
+
+struct Function {
+  std::string Name;
+  uint32_t NumParams = 0;
+  bool ReturnsValue = false;
+  uint32_t SpillSlots = 0;
+  uint32_t MaxOutgoing = 0;
+  std::vector<Instr> Code;
+  SourceLoc Loc;
+
+  /// The laid-out frame size in bytes (excludes the return address).
+  uint32_t frameSize() const { return 4 * (MaxOutgoing + SpillSlots); }
+};
+
+struct Program {
+  std::vector<GlobalVar> Globals;
+  std::vector<ExternalDecl> Externals;
+  std::vector<Function> Functions;
+  std::string EntryPoint = "main";
+
+  const Function *findFunction(const std::string &Name) const;
+  const GlobalVar *findGlobal(const std::string &Name) const;
+  const ExternalDecl *findExternal(const std::string &Name) const;
+
+  /// The compiler-produced cost metric: M(f) = SF(f) + 4 for every
+  /// function (Paper Theorem 1, hypothesis 2).
+  StackMetric costMetric() const;
+
+  std::string str() const;
+};
+
+/// Options for the RTL -> Mach lowering.
+struct LowerOptions {
+  /// Recognize `x = call f; return x` (and the void analogue) and emit
+  /// TailCall when the callee is internal and its argument count fits the
+  /// caller's incoming parameter area. Off by default: tail calls keep
+  /// bounds sound but break their 4-byte tightness (Paper section 3.3).
+  bool TailCalls = false;
+};
+
+/// Lowers RTL to Mach: register allocation + frame layout.
+Program lowerFromRtl(const rtl::Program &P, LowerOptions Options = {});
+
+/// Runs the entry point; emits the same events as the upper levels.
+Behavior runProgram(const Program &P, uint64_t Fuel = 200'000'000);
+
+} // namespace mach
+} // namespace qcc
+
+#endif // QCC_MACH_MACH_H

@@ -1,0 +1,319 @@
+//===- mach/MachInterp.cpp - Mach interpreter -----------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mach/Mach.h"
+
+#include <limits>
+#include <map>
+#include <optional>
+
+using namespace qcc;
+using namespace qcc::mach;
+
+namespace {
+
+struct Activation {
+  const Function *F;
+  uint32_t Regs[6] = {0, 0, 0, 0, 0, 0};
+  std::vector<uint32_t> Spill;
+  std::vector<uint32_t> Outgoing;
+  std::vector<uint32_t> Params;
+  size_t Pc = 0;
+};
+
+class Machine {
+public:
+  Machine(const Program &P, uint64_t Fuel) : P(P), Fuel(Fuel) {
+    for (const GlobalVar &G : P.Globals) {
+      std::vector<uint32_t> Cells = G.Init;
+      Cells.resize(G.Size, 0);
+      Globals[G.Name] = std::move(Cells);
+    }
+    for (const Function &F : P.Functions) {
+      std::map<uint32_t, size_t> &Labels = LabelMap[F.Name];
+      for (size_t I = 0; I != F.Code.size(); ++I)
+        if (F.Code[I].K == InstrKind::Label)
+          Labels[F.Code[I].Index] = I;
+    }
+  }
+
+  Behavior run() {
+    const Function *Entry = P.findFunction(P.EntryPoint);
+    if (!Entry)
+      return Behavior::fails({}, "entry point is not defined");
+    Events.push_back(Event::call(Entry->Name));
+    Current = makeActivation(Entry, {});
+
+    uint64_t Steps = 0;
+    for (;;) {
+      if (++Steps > Fuel)
+        return Behavior::diverges(Events);
+      if (Current.Pc >= Current.F->Code.size()) {
+        // Fall off the end of a function: void return.
+        if (auto B = doReturn())
+          return *B;
+        continue;
+      }
+      std::string Fault;
+      if (!step(Fault)) {
+        if (Fault == "$halt")
+          return Behavior::converges(Events,
+                                     static_cast<int32_t>(ReturnValue));
+        return Behavior::fails(Events, Fault);
+      }
+    }
+  }
+
+private:
+  static Activation makeActivation(const Function *F,
+                                   std::vector<uint32_t> Args) {
+    Activation A;
+    A.F = F;
+    A.Spill.assign(F->SpillSlots, 0);
+    A.Outgoing.assign(F->MaxOutgoing, 0);
+    A.Params = std::move(Args);
+    A.Params.resize(F->NumParams, 0);
+    return A;
+  }
+
+  uint32_t &reg(PReg R) { return Current.Regs[static_cast<unsigned>(R)]; }
+
+  /// Returns nullopt to continue execution, or the final behavior when
+  /// the entry function returns.
+  std::optional<Behavior> doReturn() {
+    uint32_t V = reg(PReg::EAX);
+    Events.push_back(Event::ret(Current.F->Name));
+    if (Stack.empty()) {
+      return Behavior::converges(Events, static_cast<int32_t>(V));
+    }
+    Current = std::move(Stack.back());
+    Stack.pop_back();
+    reg(PReg::EAX) = V; // Results travel in EAX.
+    return std::nullopt;
+  }
+
+  bool binOp(BinOp Op, uint32_t A, uint32_t B, uint32_t &Out,
+             std::string &Fault) {
+    int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+    switch (Op) {
+    case BinOp::Add: Out = A + B; return true;
+    case BinOp::Sub: Out = A - B; return true;
+    case BinOp::Mul: Out = A * B; return true;
+    case BinOp::DivU:
+      if (B == 0) { Fault = "division trap"; return false; }
+      Out = A / B;
+      return true;
+    case BinOp::ModU:
+      if (B == 0) { Fault = "division trap"; return false; }
+      Out = A % B;
+      return true;
+    case BinOp::DivS:
+      if (SB == 0 ||
+          (SA == std::numeric_limits<int32_t>::min() && SB == -1)) {
+        Fault = "division trap";
+        return false;
+      }
+      Out = static_cast<uint32_t>(SA / SB);
+      return true;
+    case BinOp::ModS:
+      if (SB == 0 ||
+          (SA == std::numeric_limits<int32_t>::min() && SB == -1)) {
+        Fault = "division trap";
+        return false;
+      }
+      Out = static_cast<uint32_t>(SA % SB);
+      return true;
+    case BinOp::And: Out = A & B; return true;
+    case BinOp::Or: Out = A | B; return true;
+    case BinOp::Xor: Out = A ^ B; return true;
+    case BinOp::Shl: Out = A << (B & 31); return true;
+    case BinOp::ShrU: Out = A >> (B & 31); return true;
+    case BinOp::ShrS: Out = static_cast<uint32_t>(SA >> (B & 31)); return true;
+    case BinOp::Eq: Out = A == B; return true;
+    case BinOp::Ne: Out = A != B; return true;
+    case BinOp::LtU: Out = A < B; return true;
+    case BinOp::LeU: Out = A <= B; return true;
+    case BinOp::GtU: Out = A > B; return true;
+    case BinOp::GeU: Out = A >= B; return true;
+    case BinOp::LtS: Out = SA < SB; return true;
+    case BinOp::LeS: Out = SA <= SB; return true;
+    case BinOp::GtS: Out = SA > SB; return true;
+    case BinOp::GeS: Out = SA >= SB; return true;
+    }
+    Fault = "bad binary op";
+    return false;
+  }
+
+  bool step(std::string &Fault) {
+    const Instr &I = Current.F->Code[Current.Pc];
+    ++Current.Pc;
+    switch (I.K) {
+    case InstrKind::Label:
+      return true;
+    case InstrKind::MovImm:
+      reg(I.Dst) = I.Imm;
+      return true;
+    case InstrKind::Mov:
+      reg(I.Dst) = reg(I.Src1);
+      return true;
+    case InstrKind::Unary: {
+      uint32_t V = reg(I.Src1);
+      switch (I.U) {
+      case UnOp::Neg: reg(I.Dst) = 0u - V; break;
+      case UnOp::BoolNot: reg(I.Dst) = V == 0 ? 1u : 0u; break;
+      case UnOp::BitNot: reg(I.Dst) = ~V; break;
+      }
+      return true;
+    }
+    case InstrKind::Binary: {
+      uint32_t Out;
+      if (!binOp(I.B, reg(I.Src1), reg(I.Src2), Out, Fault))
+        return false;
+      reg(I.Dst) = Out;
+      return true;
+    }
+    case InstrKind::GlobLoad: {
+      auto It = Globals.find(I.Name);
+      if (It == Globals.end()) {
+        Fault = "unbound global";
+        return false;
+      }
+      reg(I.Dst) = It->second[0];
+      return true;
+    }
+    case InstrKind::GlobStore: {
+      auto It = Globals.find(I.Name);
+      if (It == Globals.end()) {
+        Fault = "unbound global";
+        return false;
+      }
+      It->second[0] = reg(I.Src1);
+      return true;
+    }
+    case InstrKind::ArrayLoad: {
+      auto It = Globals.find(I.Name);
+      if (It == Globals.end()) {
+        Fault = "unbound array";
+        return false;
+      }
+      uint32_t Idx = reg(I.Src1);
+      if (Idx >= It->second.size()) {
+        Fault = "memory trap";
+        return false;
+      }
+      reg(I.Dst) = It->second[Idx];
+      return true;
+    }
+    case InstrKind::ArrayStore: {
+      auto It = Globals.find(I.Name);
+      if (It == Globals.end()) {
+        Fault = "unbound array";
+        return false;
+      }
+      uint32_t Idx = reg(I.Src1);
+      if (Idx >= It->second.size()) {
+        Fault = "memory trap";
+        return false;
+      }
+      It->second[Idx] = reg(I.Src2);
+      return true;
+    }
+    case InstrKind::GetStack:
+      reg(I.Dst) = Current.Spill[I.Index];
+      return true;
+    case InstrKind::SetStack:
+      Current.Spill[I.Index] = reg(I.Src1);
+      return true;
+    case InstrKind::GetParam:
+      reg(I.Dst) = Current.Params[I.Index];
+      return true;
+    case InstrKind::SetOutgoing:
+      Current.Outgoing[I.Index] = reg(I.Src1);
+      return true;
+    case InstrKind::Call: {
+      std::vector<uint32_t> Args(Current.Outgoing.begin(),
+                                 Current.Outgoing.begin() + I.NArgs);
+      if (const Function *Callee = P.findFunction(I.Name)) {
+        Events.push_back(Event::call(Callee->Name));
+        Stack.push_back(std::move(Current));
+        Current = makeActivation(Callee, std::move(Args));
+        return true;
+      }
+      std::vector<int32_t> IOArgs(Args.begin(), Args.end());
+      Events.push_back(Event::external(I.Name, std::move(IOArgs), 0));
+      reg(PReg::EAX) = 0;
+      return true;
+    }
+    case InstrKind::TailCall: {
+      // The frame is released before the jump: semantically the caller
+      // has returned, so its ret event precedes the callee's call event.
+      // Quantitative refinement accepts the reordering (the open-call
+      // profile is pointwise dominated by the conventional one).
+      std::vector<uint32_t> Args(Current.Outgoing.begin(),
+                                 Current.Outgoing.begin() + I.NArgs);
+      const Function *Callee = P.findFunction(I.Name);
+      if (!Callee) {
+        Fault = "tail call to unknown function";
+        return false;
+      }
+      Events.push_back(Event::ret(Current.F->Name));
+      Events.push_back(Event::call(Callee->Name));
+      uint32_t Result = reg(PReg::EAX);
+      Current = makeActivation(Callee, std::move(Args));
+      reg(PReg::EAX) = Result;
+      return true;
+    }
+    case InstrKind::Goto: {
+      auto &Labels = LabelMap[Current.F->Name];
+      auto It = Labels.find(I.Index);
+      if (It == Labels.end()) {
+        Fault = "unknown label";
+        return false;
+      }
+      Current.Pc = It->second;
+      return true;
+    }
+    case InstrKind::Brnz: {
+      if (reg(I.Src1) == 0)
+        return true;
+      auto &Labels = LabelMap[Current.F->Name];
+      auto It = Labels.find(I.Index);
+      if (It == Labels.end()) {
+        Fault = "unknown label";
+        return false;
+      }
+      Current.Pc = It->second;
+      return true;
+    }
+    case InstrKind::Return: {
+      if (auto B = doReturn()) {
+        ReturnValue = static_cast<uint32_t>(B->ReturnCode);
+        Fault = "$halt";
+        return false;
+      }
+      return true;
+    }
+    }
+    Fault = "bad instruction";
+    return false;
+  }
+
+  const Program &P;
+  uint64_t Fuel;
+  std::map<std::string, std::vector<uint32_t>> Globals;
+  std::map<std::string, std::map<uint32_t, size_t>> LabelMap;
+  Activation Current;
+  std::vector<Activation> Stack;
+  Trace Events;
+  uint32_t ReturnValue = 0;
+};
+
+} // namespace
+
+Behavior qcc::mach::runProgram(const Program &P, uint64_t Fuel) {
+  return Machine(P, Fuel).run();
+}

@@ -1,0 +1,35 @@
+//===- measure/StackMeter.cpp - Stack-usage measurement -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "measure/StackMeter.h"
+
+using namespace qcc;
+using namespace qcc::measure;
+
+Measurement qcc::measure::measureProgram(const x86::Program &P,
+                                         uint32_t StackSize, uint64_t Fuel) {
+  x86::Machine M(P, StackSize);
+  Behavior B = M.run(Fuel);
+
+  Measurement Out;
+  Out.IOEvents = B.Events;
+  switch (B.Kind) {
+  case BehaviorKind::Converges:
+    Out.Ok = true;
+    Out.ExitCode = B.ReturnCode;
+    Out.StackBytes = M.measuredStackBytes();
+    return Out;
+  case BehaviorKind::Diverges:
+    Out.Error = "fuel exhausted";
+    return Out;
+  case BehaviorKind::Fails:
+    Out.Error = B.FailureReason;
+    Out.StackOverflow = M.stackOverflowed();
+    return Out;
+  }
+  return Out;
+}

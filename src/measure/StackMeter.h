@@ -1,0 +1,54 @@
+//===- measure/StackMeter.h - Stack-usage measurement -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement harness standing in for the paper's ptrace-based tool
+/// (section 6): "our tool forks the monitored process as a child then
+/// executes it step by step while keeping track of its stack
+/// consumption". Here the ASM_sz machine plays the processor, and the
+/// meter reports ESP-at-main-entry minus the observed ESP low-water mark.
+/// The baseline excludes main's own return address — which is precisely
+/// why verified bounds exceed measurements by exactly 4 bytes on
+/// worst-case runs (paper section 6, Figure 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_MEASURE_STACKMETER_H
+#define QCC_MEASURE_STACKMETER_H
+
+#include "x86/Asm.h"
+#include "x86/Machine.h"
+
+#include <cstdint>
+#include <string>
+
+namespace qcc {
+namespace measure {
+
+/// The outcome of one measured run.
+struct Measurement {
+  bool Ok = false;            ///< Converged normally.
+  bool StackOverflow = false; ///< Trapped on stack exhaustion.
+  uint32_t StackBytes = 0;    ///< Measured consumption (valid when Ok).
+  int32_t ExitCode = 0;
+  std::string Error;
+  Trace IOEvents;
+};
+
+/// A comfortably large stack for measurement runs (the paper measures on
+/// Linux with the default 8 MiB; the corpus needs far less).
+inline constexpr uint32_t MeasureStackSize = 1u << 22;
+
+/// Runs \p P on a stack of \p StackSize bytes and measures consumption.
+Measurement measureProgram(const x86::Program &P,
+                           uint32_t StackSize = MeasureStackSize,
+                           uint64_t Fuel = x86::DefaultFuel);
+
+} // namespace measure
+} // namespace qcc
+
+#endif // QCC_MEASURE_STACKMETER_H

@@ -1,0 +1,272 @@
+//===- programs/Certikos.cpp - CertiKOS-style kernel modules --------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two CertiKOS-style modules of Table 1: virtual memory management
+/// (vmm.c: physical page allocator + per-process page tables) and process
+/// management (proc.c: thread descriptors, ready queues, scheduler
+/// bootstrap). The paper's simplified development version of CertiKOS is
+/// closed source; these modules reproduce the function inventory and call
+/// structure Table 1 reports bounds for.
+///
+//===----------------------------------------------------------------------===//
+
+#include "programs/Corpus.h"
+
+namespace qcc {
+namespace programs {
+
+//===----------------------------------------------------------------------===//
+// certikos/vmm.c — physical page allocator over a free list plus
+// one-level page tables per process.
+//===----------------------------------------------------------------------===//
+
+const char *VmmSource = R"(
+#define NPAGES 256
+#define NPROC 8
+#define PTSIZE 64
+#define PG_INVALID 0xffffffffu
+
+typedef unsigned int u32;
+
+u32 pg_next[NPAGES];   /* free-list links */
+u32 pg_refcnt[NPAGES];
+u32 pg_free_head;
+u32 pg_nfree;
+
+u32 pt[NPROC * PTSIZE]; /* page-table entries: physical page or invalid */
+u32 pt_kern[PTSIZE];    /* the shared kernel mapping */
+
+void mem_init() {
+  u32 i;
+  for (i = 0; i < NPAGES; i++) {
+    pg_refcnt[i] = 0;
+    if (i + 1 < NPAGES) pg_next[i] = i + 1;
+    else pg_next[i] = PG_INVALID;
+  }
+  pg_free_head = 0;
+  pg_nfree = NPAGES;
+}
+
+u32 palloc() {
+  u32 pg;
+  if (pg_nfree == 0) return PG_INVALID;
+  pg = pg_free_head;
+  pg_free_head = pg_next[pg];
+  pg_nfree = pg_nfree - 1;
+  pg_refcnt[pg] = 1;
+  return pg;
+}
+
+void pfree(u32 pg) {
+  if (pg >= NPAGES) return;
+  if (pg_refcnt[pg] == 0) return;
+  pg_refcnt[pg] = pg_refcnt[pg] - 1;
+  if (pg_refcnt[pg] == 0) {
+    pg_next[pg] = pg_free_head;
+    pg_free_head = pg;
+    pg_nfree = pg_nfree + 1;
+  }
+}
+
+void pt_init_kern() {
+  u32 i;
+  for (i = 0; i < PTSIZE; i++) {
+    /* Identity-map the kernel window. */
+    pt_kern[i] = i;
+  }
+}
+
+void pt_init(u32 proc) {
+  u32 i;
+  for (i = 0; i < PTSIZE; i++) {
+    pt[proc * PTSIZE + i] = PG_INVALID;
+  }
+}
+
+void pmap_init() {
+  u32 p;
+  pt_init_kern();
+  for (p = 0; p < NPROC; p++) {
+    pt_init(p);
+  }
+}
+
+u32 pt_insert(u32 proc, u32 vpage, u32 ppage) {
+  u32 old = pt[proc * PTSIZE + vpage];
+  if (old != PG_INVALID) {
+    pfree(old);
+  }
+  pt[proc * PTSIZE + vpage] = ppage;
+  return 0;
+}
+
+u32 pt_read(u32 proc, u32 vpage) {
+  return pt[proc * PTSIZE + vpage];
+}
+
+u32 pt_resv(u32 proc, u32 vpage) {
+  u32 pg = palloc();
+  if (pg == PG_INVALID) return 1;
+  pt_insert(proc, vpage, pg);
+  return 0;
+}
+
+void pt_free(u32 proc) {
+  u32 i, entry;
+  for (i = 0; i < PTSIZE; i++) {
+    entry = pt[proc * PTSIZE + i];
+    if (entry != PG_INVALID) {
+      pfree(entry);
+      pt[proc * PTSIZE + i] = PG_INVALID;
+    }
+  }
+}
+
+int main() {
+  u32 p, v, failed, probe;
+  mem_init();
+  pmap_init();
+  failed = 0;
+  for (p = 0; p < NPROC; p++) {
+    for (v = 0; v < 16; v++) {
+      failed = failed + pt_resv(p, v);
+    }
+  }
+  /* Remap process 0: exercises the pfree path inside pt_insert. */
+  for (v = 0; v < 16; v++) {
+    failed = failed + pt_resv(0, v);
+  }
+  probe = pt_read(3, 5);
+  for (p = 0; p < NPROC; p++) {
+    pt_free(p);
+  }
+  if (pg_nfree != NPAGES) return -1;
+  return (int)(failed + (probe != PG_INVALID));
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// certikos/proc.c — thread descriptors, per-priority ready queues, kernel
+// context creation, scheduler bootstrap, and thread spawning.
+//===----------------------------------------------------------------------===//
+
+const char *ProcSource = R"(
+#define NTHREAD 16
+#define NQUEUE 4
+#define TD_FREE 0
+#define TD_READY 1
+#define TD_RUNNING 2
+#define NIL 0xffffffffu
+
+typedef unsigned int u32;
+
+u32 td_state[NTHREAD];
+u32 td_next[NTHREAD];
+u32 td_prio[NTHREAD];
+u32 td_entry[NTHREAD];
+u32 kctxt_esp[NTHREAD];
+u32 kctxt_eip[NTHREAD];
+u32 tq_head[NQUEUE];
+u32 tq_tail[NQUEUE];
+u32 nspawned;
+
+void enqueue(u32 q, u32 td) {
+  td_next[td] = NIL;
+  if (tq_tail[q] == NIL) {
+    tq_head[q] = td;
+  } else {
+    td_next[tq_tail[q]] = td;
+  }
+  tq_tail[q] = td;
+}
+
+u32 dequeue(u32 q) {
+  u32 td = tq_head[q];
+  if (td == NIL) return NIL;
+  tq_head[q] = td_next[td];
+  if (tq_head[q] == NIL) {
+    tq_tail[q] = NIL;
+  }
+  td_next[td] = NIL;
+  return td;
+}
+
+void tdqueue_init() {
+  u32 q;
+  for (q = 0; q < NQUEUE; q++) {
+    tq_head[q] = NIL;
+    tq_tail[q] = NIL;
+  }
+}
+
+void thread_init() {
+  u32 td;
+  for (td = 0; td < NTHREAD; td++) {
+    td_state[td] = TD_FREE;
+    td_next[td] = NIL;
+    td_prio[td] = 0;
+    td_entry[td] = 0;
+  }
+  nspawned = 0;
+}
+
+void kctxt_new(u32 td, u32 entry) {
+  /* A fresh kernel context: a fake stack top and entry point. */
+  kctxt_esp[td] = 0x80000000u - td * 0x1000u;
+  kctxt_eip[td] = entry;
+}
+
+void sched_init() {
+  tdqueue_init();
+  thread_init();
+}
+
+u32 thread_spawn(u32 entry, u32 prio) {
+  u32 td;
+  for (td = 0; td < NTHREAD; td++) {
+    if (td_state[td] == TD_FREE) break;
+  }
+  if (td == NTHREAD) return NIL;
+  td_state[td] = TD_READY;
+  td_prio[td] = prio;
+  td_entry[td] = entry;
+  kctxt_new(td, entry);
+  enqueue(prio % NQUEUE, td);
+  nspawned = nspawned + 1;
+  return td;
+}
+
+u32 sched_pick() {
+  u32 q, td;
+  for (q = 0; q < NQUEUE; q++) {
+    td = dequeue(q);
+    if (td != NIL) {
+      td_state[td] = TD_RUNNING;
+      return td;
+    }
+  }
+  return NIL;
+}
+
+int main() {
+  u32 i, td, picked;
+  sched_init();
+  for (i = 0; i < 12; i++) {
+    thread_spawn(0x1000u + i, i);
+  }
+  picked = 0;
+  for (i = 0; i < 12; i++) {
+    td = sched_pick();
+    if (td != NIL) picked = picked + 1;
+  }
+  return (int)(picked + nspawned);
+}
+)";
+
+} // namespace programs
+} // namespace qcc

@@ -1,0 +1,204 @@
+//===- programs/Compcert.cpp - CompCert test-suite corpus files -----------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two CompCert-test-suite files of Table 1: mandelbrot.c (escape-time
+/// iteration over the complex plane) and nbody.c (the n-body simulation of
+/// part of the solar system: advance / energy / offset_momentum /
+/// setup_bodies). Both originals compute in double precision; these
+/// versions use 16.16 / scaled-integer fixed point, preserving every
+/// function and call site of the originals.
+///
+//===----------------------------------------------------------------------===//
+
+#include "programs/Corpus.h"
+
+namespace qcc {
+namespace programs {
+
+//===----------------------------------------------------------------------===//
+// compcert/mandelbrot.c
+//===----------------------------------------------------------------------===//
+
+const char *MandelbrotSource = R"(
+#define WIDTH 24
+#define HEIGHT 24
+#define MAXITER 40
+#define ONE 4096 /* 20.12 fixed point */
+
+typedef unsigned int u32;
+
+u32 bitmap[HEIGHT];
+
+u32 mb_iters(int cr, int ci) {
+  int zr = 0;
+  int zi = 0;
+  int zr2, zi2, t;
+  u32 n;
+  for (n = 0; n < MAXITER; n++) {
+    zr2 = (zr * zr) / ONE;
+    zi2 = (zi * zi) / ONE;
+    if (zr2 + zi2 > 4 * ONE) break;
+    t = zr2 - zi2 + cr;
+    zi = (2 * zr * zi) / ONE + ci;
+    zr = t;
+  }
+  return n;
+}
+
+int main() {
+  u32 x, y, inside;
+  int cr, ci;
+  inside = 0;
+  for (y = 0; y < HEIGHT; y++) {
+    bitmap[y] = 0;
+    for (x = 0; x < WIDTH; x++) {
+      /* Map the pixel grid onto [-2, 0.5] x [-1.25, 1.25]. */
+      cr = ((int)x * 5 * ONE / 2) / WIDTH - 2 * ONE;
+      ci = ((int)y * 5 * ONE / 2) / HEIGHT - (5 * ONE / 4);
+      if (mb_iters(cr, ci) == MAXITER) {
+        bitmap[y] = bitmap[y] | (1u << x);
+        inside = inside + 1;
+      }
+    }
+  }
+  return (int)inside;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// compcert/nbody.c
+//===----------------------------------------------------------------------===//
+
+const char *NbodySource = R"(
+#define NBODIES 5
+#define STEPS 12
+#define FP 1024 /* fixed-point unit */
+
+typedef unsigned int u32;
+
+int bx[NBODIES];
+int by[NBODIES];
+int bz[NBODIES];
+int vx[NBODIES];
+int vy[NBODIES];
+int vz[NBODIES];
+int mass[NBODIES];
+
+u32 seed = 42;
+
+u32 nrand() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 0x7fff;
+}
+
+int isqrt(int v) {
+  /* Integer Newton iteration; v >= 0. */
+  int x, next;
+  if (v < 2) return v;
+  x = v / 2;
+  while (1) {
+    next = (x + v / x) / 2;
+    if (next >= x) break;
+    x = next;
+  }
+  return x;
+}
+
+void offset_momentum() {
+  int px = 0;
+  int py = 0;
+  int pz = 0;
+  u32 i;
+  for (i = 0; i < NBODIES; i++) {
+    px = px + vx[i] * mass[i] / FP;
+    py = py + vy[i] * mass[i] / FP;
+    pz = pz + vz[i] * mass[i] / FP;
+  }
+  vx[0] = vx[0] - px * FP / mass[0];
+  vy[0] = vy[0] - py * FP / mass[0];
+  vz[0] = vz[0] - pz * FP / mass[0];
+}
+
+void advance(int dt) {
+  u32 i, j;
+  int dx, dy, dz, d2, d, mag;
+  for (i = 0; i < NBODIES; i++) {
+    for (j = i + 1; j < NBODIES; j++) {
+      dx = bx[i] - bx[j];
+      dy = by[i] - by[j];
+      dz = bz[i] - bz[j];
+      d2 = (dx * dx + dy * dy + dz * dz) / FP;
+      if (d2 < 1) d2 = 1;
+      d = isqrt(d2 * FP);
+      if (d < 1) d = 1;
+      mag = dt * FP / (d2 / FP * d + 1);
+      vx[i] = vx[i] - dx * mass[j] / FP * mag / FP;
+      vy[i] = vy[i] - dy * mass[j] / FP * mag / FP;
+      vz[i] = vz[i] - dz * mass[j] / FP * mag / FP;
+      vx[j] = vx[j] + dx * mass[i] / FP * mag / FP;
+      vy[j] = vy[j] + dy * mass[i] / FP * mag / FP;
+      vz[j] = vz[j] + dz * mass[i] / FP * mag / FP;
+    }
+  }
+  for (i = 0; i < NBODIES; i++) {
+    bx[i] = bx[i] + dt * vx[i] / FP;
+    by[i] = by[i] + dt * vy[i] / FP;
+    bz[i] = bz[i] + dt * vz[i] / FP;
+  }
+}
+
+int energy() {
+  int e = 0;
+  int dx, dy, dz, d2, d;
+  u32 i, j;
+  for (i = 0; i < NBODIES; i++) {
+    e = e + mass[i] *
+            ((vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]) / FP) / FP / 2;
+    for (j = i + 1; j < NBODIES; j++) {
+      dx = bx[i] - bx[j];
+      dy = by[i] - by[j];
+      dz = bz[i] - bz[j];
+      d2 = (dx * dx + dy * dy + dz * dz) / FP;
+      if (d2 < 1) d2 = 1;
+      d = isqrt(d2 * FP);
+      if (d < 1) d = 1;
+      e = e - mass[i] * mass[j] / d;
+    }
+  }
+  return e;
+}
+
+void setup_bodies() {
+  u32 i;
+  for (i = 0; i < NBODIES; i++) {
+    bx[i] = (int)(nrand() % (8 * FP)) - 4 * FP;
+    by[i] = (int)(nrand() % (8 * FP)) - 4 * FP;
+    bz[i] = (int)(nrand() % (8 * FP)) - 4 * FP;
+    vx[i] = (int)(nrand() % FP) - FP / 2;
+    vy[i] = (int)(nrand() % FP) - FP / 2;
+    vz[i] = (int)(nrand() % FP) - FP / 2;
+    mass[i] = FP + (int)(nrand() % (4 * FP));
+  }
+}
+
+int main() {
+  int e0, e1;
+  u32 s;
+  setup_bodies();
+  offset_momentum();
+  e0 = energy();
+  for (s = 0; s < STEPS; s++) {
+    advance(FP / 100);
+  }
+  e1 = energy();
+  return (e0 - e1) & 0x7fffffff;
+}
+)";
+
+} // namespace programs
+} // namespace qcc

@@ -1,0 +1,119 @@
+//===- programs/Corpus.cpp - Corpus registry ------------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Corpus.h"
+
+using namespace qcc::logic;
+
+namespace qcc {
+namespace programs {
+
+// Defined in Mibench.cpp / Certikos.cpp / Compcert.cpp.
+extern const char *DijkstraSource;
+extern const char *BitcountSource;
+extern const char *BlowfishSource;
+extern const char *Md5Source;
+extern const char *FftSource;
+extern const char *VmmSource;
+extern const char *ProcSource;
+extern const char *MandelbrotSource;
+extern const char *NbodySource;
+
+const std::vector<CorpusProgram> &table1Corpus() {
+  static const std::vector<CorpusProgram> Corpus = {
+      {"mibench/net/dijkstra.c",
+       DijkstraSource,
+       {"enqueue", "dequeue", "dijkstra"}},
+      {"mibench/auto/bitcount.c",
+       BitcountSource,
+       {"bitcount", "bitstring"}},
+      {"mibench/sec/blowfish.c",
+       BlowfishSource,
+       {"BF_encrypt", "BF_options", "BF_ecb_encrypt"}},
+      {"mibench/sec/pgp/md5.c",
+       Md5Source,
+       {"MD5Init", "MD5Update", "MD5Final", "MD5Transform"}},
+      {"mibench/tele/fft.c",
+       FftSource,
+       {"IsPowerOfTwo", "NumberOfBitsNeeded", "ReverseBits", "fft_fixed"}},
+      {"certikos/vmm.c",
+       VmmSource,
+       {"palloc", "pfree", "mem_init", "pmap_init", "pt_free", "pt_init",
+        "pt_init_kern", "pt_insert", "pt_read", "pt_resv"}},
+      {"certikos/proc.c",
+       ProcSource,
+       {"enqueue", "dequeue", "kctxt_new", "sched_init", "tdqueue_init",
+        "thread_init", "thread_spawn", "main"}},
+      {"compcert/mandelbrot.c", MandelbrotSource, {"mb_iters", "main"}},
+      {"compcert/nbody.c",
+       NbodySource,
+       {"advance", "energy", "offset_momentum", "setup_bodies", "main"}},
+  };
+  return Corpus;
+}
+
+//===----------------------------------------------------------------------===//
+// The Section 2 illustrative program
+//===----------------------------------------------------------------------===//
+
+const char *Section2SourceText = R"(
+#define ALEN 64
+#define SEED 1
+
+typedef unsigned int u32;
+
+u32 a[ALEN];
+u32 seed = SEED;
+
+u32 search(u32 elem, u32 beg, u32 end) {
+  u32 mid = beg + (end - beg) / 2;
+  if (end - beg <= 1) return beg;
+  if (a[mid] > elem) end = mid; else beg = mid;
+  return search(elem, beg, end);
+}
+
+u32 random() {
+  seed = (seed * 1664525) + 1013904223;
+  return seed;
+}
+
+void init() {
+  u32 i, rnd, prev = 0;
+  for (i = 0; i < ALEN; i++) {
+    rnd = random();
+    a[i] = prev + rnd % 17;
+    prev = a[i];
+  }
+}
+
+int main() {
+  u32 idx, elem;
+  init();
+  elem = random() % (17 * ALEN);
+  idx = search(elem, 0, ALEN);
+  return a[idx] == elem;
+}
+)";
+
+const std::string &section2Source() {
+  static const std::string Source = Section2SourceText;
+  return Source;
+}
+
+FunctionContext section2Specs() {
+  FunctionContext Specs;
+  // The paper's L(Delta) for search, in the tight ceiling-log form: the
+  // halving chain below search(beg, end) holds clog2(end - beg) frames.
+  Specs["search"] = FunctionSpec::balanced(
+      bMul(bMetric("search"),
+           bLog2C(IntTermNode::sub(IntTermNode::var("end"),
+                                   IntTermNode::var("beg")))));
+  return Specs;
+}
+
+} // namespace programs
+} // namespace qcc

@@ -1,0 +1,510 @@
+//===- programs/Mibench.cpp - MiBench-derived corpus files ----------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five MiBench-derived files of Table 1, adapted to the verified C
+/// subset. Call graphs and per-function local pressure mirror the
+/// originals; pointer-based data structures are re-expressed over global
+/// arrays and floating-point kernels in fixed point (DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include "programs/Corpus.h"
+
+namespace qcc {
+namespace programs {
+
+//===----------------------------------------------------------------------===//
+// mibench/net/dijkstra.c — single-source shortest paths with an explicit
+// work queue (the original's malloc'd queue nodes become a ring buffer).
+//===----------------------------------------------------------------------===//
+
+const char *DijkstraSource = R"(
+#define NUM_NODES 16
+#define QSIZE 256
+#define NONE 9999
+
+typedef unsigned int u32;
+
+u32 adj[NUM_NODES * NUM_NODES];
+u32 dist[NUM_NODES];
+u32 prev[NUM_NODES];
+
+u32 q_node[QSIZE];
+u32 q_dist[QSIZE];
+u32 q_prev[QSIZE];
+u32 q_head;
+u32 q_tail;
+u32 q_count;
+
+u32 rand_state = 1;
+
+u32 next_rand() {
+  rand_state = rand_state * 1103515245 + 12345;
+  return (rand_state >> 16) & 0x7fff;
+}
+
+void enqueue(u32 node, u32 d, u32 p) {
+  q_node[q_tail] = node;
+  q_dist[q_tail] = d;
+  q_prev[q_tail] = p;
+  q_tail = (q_tail + 1) % QSIZE;
+  q_count = q_count + 1;
+}
+
+u32 deq_node;
+u32 deq_dist;
+u32 deq_prev;
+
+void dequeue() {
+  deq_node = q_node[q_head];
+  deq_dist = q_dist[q_head];
+  deq_prev = q_prev[q_head];
+  q_head = (q_head + 1) % QSIZE;
+  q_count = q_count - 1;
+}
+
+u32 qcount() {
+  return q_count;
+}
+
+u32 dijkstra(u32 chStart, u32 chEnd) {
+  u32 v, d, w;
+  u32 i;
+  for (i = 0; i < NUM_NODES; i++) {
+    dist[i] = NONE;
+    prev[i] = NONE;
+  }
+  q_head = 0; q_tail = 0; q_count = 0;
+  dist[chStart] = 0;
+  enqueue(chStart, 0, NONE);
+  while (qcount() > 0) {
+    dequeue();
+    v = deq_node;
+    d = deq_dist;
+    if (dist[v] >= d) {
+      for (w = 0; w < NUM_NODES; w++) {
+        u32 cost = adj[v * NUM_NODES + w];
+        if (cost != NONE) {
+          if (d + cost < dist[w]) {
+            dist[w] = d + cost;
+            prev[w] = v;
+            if (q_count < QSIZE - 1) {
+              enqueue(w, d + cost, v);
+            }
+          }
+        }
+      }
+    }
+  }
+  return dist[chEnd];
+}
+
+int main() {
+  u32 i, j, total;
+  for (i = 0; i < NUM_NODES; i++) {
+    for (j = 0; j < NUM_NODES; j++) {
+      if (i == j) adj[i * NUM_NODES + j] = 0;
+      else adj[i * NUM_NODES + j] = next_rand() % 100 + 1;
+    }
+  }
+  total = 0;
+  for (i = 0; i < 8; i++) {
+    total = total + dijkstra(i, NUM_NODES - 1 - i);
+  }
+  return total & 0x7fffffff;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// mibench/auto/bitcount.c — the bit-counting shoot-out (loop counter,
+// shift counter, nibble-table lookup) plus the binary-string renderer.
+//===----------------------------------------------------------------------===//
+
+const char *BitcountSource = R"(
+#define ITERATIONS 256
+
+typedef unsigned int u32;
+
+u32 ntbl[16] = {0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4};
+u32 strbuf[32];
+u32 rand_state = 7;
+
+u32 next_rand() {
+  rand_state = rand_state * 1664525 + 1013904223;
+  return rand_state;
+}
+
+u32 bitcount(u32 x) {
+  u32 n = 0;
+  while (x != 0) {
+    x = x & (x - 1);
+    n = n + 1;
+  }
+  return n;
+}
+
+u32 bit_shifter(u32 x) {
+  u32 n = 0;
+  u32 i;
+  for (i = 0; i < 32; i++) {
+    n = n + ((x >> i) & 1);
+  }
+  return n;
+}
+
+u32 ntbl_bitcount(u32 x) {
+  return ntbl[x & 0xf] + ntbl[(x >> 4) & 0xf] + ntbl[(x >> 8) & 0xf] +
+         ntbl[(x >> 12) & 0xf] + ntbl[(x >> 16) & 0xf] +
+         ntbl[(x >> 20) & 0xf] + ntbl[(x >> 24) & 0xf] +
+         ntbl[(x >> 28) & 0xf];
+}
+
+u32 bitstring(u32 x) {
+  u32 i;
+  u32 ones = 0;
+  for (i = 0; i < 32; i++) {
+    strbuf[31 - i] = x & 1;
+    ones = ones + (x & 1);
+    x = x >> 1;
+  }
+  return ones;
+}
+
+int main() {
+  u32 i, x, total;
+  total = 0;
+  for (i = 0; i < ITERATIONS; i++) {
+    x = next_rand();
+    total = total + bitcount(x);
+    total = total + bit_shifter(x);
+    total = total + ntbl_bitcount(x);
+    total = total + bitstring(x);
+  }
+  return (total / 4) & 0xff;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// mibench/sec/blowfish.c — the Blowfish Feistel core. The P-array and
+// S-boxes are seeded by a generator instead of the digits of pi; the
+// 16-round structure, key mixing and ECB driver match the original.
+//===----------------------------------------------------------------------===//
+
+const char *BlowfishSource = R"(
+#define NBLOCKS 32
+
+typedef unsigned int u32;
+
+u32 P[18];
+u32 S[1024]; /* 4 x 256 */
+u32 bf_xl;
+u32 bf_xr;
+u32 inbuf[2 * NBLOCKS];
+u32 outbuf[2 * NBLOCKS];
+u32 key[4] = {0x13570246u, 0x89abcdefu, 0xdeadbeefu, 0xcafebabeu};
+u32 gen_state = 0x243f6a88u;
+
+u32 gen() {
+  gen_state = gen_state * 0x9e3779b1u + 0x7f4a7c15u;
+  return gen_state;
+}
+
+u32 bf_f(u32 x) {
+  u32 a = (x >> 24) & 0xff;
+  u32 b = (x >> 16) & 0xff;
+  u32 c = (x >> 8) & 0xff;
+  u32 d = x & 0xff;
+  return ((S[a] + S[256 + b]) ^ S[512 + c]) + S[768 + d];
+}
+
+void BF_encrypt() {
+  u32 i;
+  u32 l = bf_xl;
+  u32 r = bf_xr;
+  u32 t;
+  for (i = 0; i < 16; i++) {
+    l = l ^ P[i];
+    r = bf_f(l) ^ r;
+    t = l; l = r; r = t;
+  }
+  t = l; l = r; r = t;
+  r = r ^ P[16];
+  l = l ^ P[17];
+  bf_xl = l;
+  bf_xr = r;
+}
+
+u32 BF_options() {
+  return 16; /* rounds */
+}
+
+void BF_set_key() {
+  u32 i;
+  for (i = 0; i < 18; i++) {
+    P[i] = gen() ^ key[i % 4];
+  }
+  for (i = 0; i < 1024; i++) {
+    S[i] = gen();
+  }
+  /* Key-schedule mixing: run the cipher over the zero block and fold the
+     results back into P, as the original does. */
+  bf_xl = 0; bf_xr = 0;
+  for (i = 0; i < 9; i++) {
+    BF_encrypt();
+    P[2 * i] = bf_xl;
+    P[2 * i + 1] = bf_xr;
+  }
+}
+
+void BF_ecb_encrypt(u32 blk) {
+  bf_xl = inbuf[2 * blk];
+  bf_xr = inbuf[2 * blk + 1];
+  BF_encrypt();
+  outbuf[2 * blk] = bf_xl;
+  outbuf[2 * blk + 1] = bf_xr;
+}
+
+int main() {
+  u32 i, acc;
+  for (i = 0; i < 2 * NBLOCKS; i++) {
+    inbuf[i] = gen();
+  }
+  BF_set_key();
+  for (i = 0; i < NBLOCKS; i++) {
+    BF_ecb_encrypt(i);
+  }
+  acc = BF_options();
+  for (i = 0; i < 2 * NBLOCKS; i++) {
+    acc = acc ^ outbuf[i];
+  }
+  return acc & 0x7fffffff;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// mibench/sec/pgp/md5.c — the MD5 driver structure (Init / Update /
+// Final / Transform) over word-granular input. The 64-step transform
+// keeps the original's four-round shape with table-driven rotation
+// amounts; the sine-derived constants come from a generator.
+//===----------------------------------------------------------------------===//
+
+const char *Md5Source = R"(
+#define MSG_WORDS 64
+
+typedef unsigned int u32;
+
+u32 md5_state[4];
+u32 md5_count;
+u32 md5_block[16];
+u32 md5_fill;
+u32 Ttab[64];
+u32 Rtab[64];
+u32 message[MSG_WORDS];
+u32 t_state = 0x67452301u;
+
+u32 t_gen() {
+  t_state = t_state * 0x41c64e6du + 0x3039u;
+  return t_state;
+}
+
+u32 rotl(u32 x, u32 c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+void MD5Transform() {
+  u32 a = md5_state[0];
+  u32 b = md5_state[1];
+  u32 c = md5_state[2];
+  u32 d = md5_state[3];
+  u32 i, f, g, tmp;
+  for (i = 0; i < 64; i++) {
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl(a + f + Ttab[i] + md5_block[g], Rtab[i]);
+    a = tmp;
+  }
+  md5_state[0] = md5_state[0] + a;
+  md5_state[1] = md5_state[1] + b;
+  md5_state[2] = md5_state[2] + c;
+  md5_state[3] = md5_state[3] + d;
+}
+
+void MD5Init() {
+  u32 i;
+  md5_state[0] = 0x67452301u;
+  md5_state[1] = 0xefcdab89u;
+  md5_state[2] = 0x98badcfeu;
+  md5_state[3] = 0x10325476u;
+  md5_count = 0;
+  md5_fill = 0;
+  for (i = 0; i < 64; i++) {
+    Ttab[i] = t_gen();
+    Rtab[i] = 1 + (t_gen() % 31);
+  }
+}
+
+void MD5Update(u32 word) {
+  md5_block[md5_fill] = word;
+  md5_fill = md5_fill + 1;
+  md5_count = md5_count + 1;
+  if (md5_fill == 16) {
+    MD5Transform();
+    md5_fill = 0;
+  }
+}
+
+u32 MD5Final() {
+  /* Pad with 0x80000000 then zeros, appending the word count. */
+  MD5Update(0x80000000u);
+  while (md5_fill != 15) {
+    MD5Update(0);
+  }
+  MD5Update(md5_count);
+  return md5_state[0] ^ md5_state[1] ^ md5_state[2] ^ md5_state[3];
+}
+
+int main() {
+  u32 i, digest;
+  for (i = 0; i < MSG_WORDS; i++) {
+    message[i] = t_gen();
+  }
+  MD5Init();
+  for (i = 0; i < MSG_WORDS; i++) {
+    MD5Update(message[i]);
+  }
+  digest = MD5Final();
+  return digest & 0x7fffffff;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// mibench/tele/fft.c — the FFT helpers and a fixed-point butterfly pass
+// (the original's double-precision fft_float; twiddle factors come from
+// quarter-wave integer tables).
+//===----------------------------------------------------------------------===//
+
+const char *FftSource = R"(
+#define NPOINTS 64
+#define SCALE 4096
+
+typedef unsigned int u32;
+
+int re[NPOINTS];
+int im[NPOINTS];
+int re2[NPOINTS];
+int im2[NPOINTS];
+int sin_t[NPOINTS];
+int cos_t[NPOINTS];
+u32 w_state = 0x2545f491u;
+
+u32 w_gen() {
+  w_state = w_state * 0x9e3779b1u + 0x85ebca6bu;
+  return w_state;
+}
+
+u32 IsPowerOfTwo(u32 x) {
+  if (x < 2) return 0;
+  if ((x & (x - 1)) != 0) return 0;
+  return 1;
+}
+
+u32 NumberOfBitsNeeded(u32 n) {
+  u32 i = 0;
+  while ((n & 1) == 0) {
+    n = n >> 1;
+    i = i + 1;
+  }
+  return i;
+}
+
+u32 ReverseBits(u32 index, u32 bits) {
+  u32 i, rev;
+  rev = 0;
+  for (i = 0; i < bits; i++) {
+    rev = (rev << 1) | (index & 1);
+    index = index >> 1;
+  }
+  return rev;
+}
+
+void init_tables() {
+  u32 i;
+  for (i = 0; i < NPOINTS; i++) {
+    /* Quarter-wave-folded pseudo twiddles in [-SCALE, SCALE]. */
+    sin_t[i] = (int)(w_gen() % (2 * SCALE + 1)) - SCALE;
+    cos_t[i] = (int)(w_gen() % (2 * SCALE + 1)) - SCALE;
+  }
+}
+
+u32 fft_fixed(u32 size) {
+  u32 bits, i, j, blockEnd, blockSize, k, n;
+  int tr, ti;
+  if (IsPowerOfTwo(size) == 0) return 1;
+  bits = NumberOfBitsNeeded(size);
+  for (i = 0; i < size; i++) {
+    j = ReverseBits(i, bits);
+    re2[j] = re[i];
+    im2[j] = im[i];
+  }
+  blockEnd = 1;
+  blockSize = 2;
+  while (blockSize <= size) {
+    for (i = 0; i < size; i = i + blockSize) {
+      for (n = 0; n < blockEnd; n++) {
+        k = (n * size) / blockSize;
+        j = i + n;
+        tr = (cos_t[k] * re2[j + blockEnd] - sin_t[k] * im2[j + blockEnd])
+             / SCALE;
+        ti = (sin_t[k] * re2[j + blockEnd] + cos_t[k] * im2[j + blockEnd])
+             / SCALE;
+        re2[j + blockEnd] = re2[j] - tr;
+        im2[j + blockEnd] = im2[j] - ti;
+        re2[j] = re2[j] + tr;
+        im2[j] = im2[j] + ti;
+      }
+    }
+    blockEnd = blockSize;
+    blockSize = blockSize << 1;
+  }
+  return 0;
+}
+
+int main() {
+  u32 i, bad;
+  int acc;
+  init_tables();
+  for (i = 0; i < NPOINTS; i++) {
+    re[i] = (int)(w_gen() % 2001) - 1000;
+    im[i] = 0;
+  }
+  bad = fft_fixed(NPOINTS);
+  if (bad != 0) return -1;
+  acc = 0;
+  for (i = 0; i < NPOINTS; i++) {
+    acc = acc ^ re2[i] ^ im2[i];
+  }
+  return acc & 0x7fffffff;
+}
+)";
+
+} // namespace programs
+} // namespace qcc

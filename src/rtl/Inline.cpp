@@ -1,0 +1,199 @@
+//===- rtl/Inline.cpp - Function inlining ---------------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rtl/Inline.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace qcc;
+using namespace qcc::rtl;
+
+namespace {
+
+/// Call sites of internal functions in \p F.
+std::set<std::string> internalCallees(const Function &F, const Program &P) {
+  std::set<std::string> Out;
+  for (const Instr &I : F.Nodes)
+    if (I.K == InstrKind::Call && P.findFunction(I.Name))
+      Out.insert(I.Name);
+  return Out;
+}
+
+/// True if \p Name can reach itself through internal calls.
+bool isRecursive(const Program &P, const std::string &Name) {
+  std::set<std::string> Seen;
+  std::vector<std::string> Work;
+  const Function *F = P.findFunction(Name);
+  if (!F)
+    return false;
+  for (const std::string &C : internalCallees(*F, P))
+    Work.push_back(C);
+  while (!Work.empty()) {
+    std::string Cur = Work.back();
+    Work.pop_back();
+    if (Cur == Name)
+      return true;
+    if (!Seen.insert(Cur).second)
+      continue;
+    if (const Function *G = P.findFunction(Cur))
+      for (const std::string &C : internalCallees(*G, P))
+        Work.push_back(C);
+  }
+  return false;
+}
+
+/// Splices a copy of \p Callee into \p Caller, replacing the call at node
+/// \p CallNode. Registers and node indices of the copy are offset; the
+/// callee's parameter registers receive the argument registers through
+/// moves, and every Return becomes a move-to-dest plus a jump to the
+/// call's continuation.
+void inlineOneSite(Function &Caller, Node CallNode, const Function &Callee) {
+  Instr Call = Caller.Nodes[CallNode]; // Copy: we overwrite the node.
+  assert(Call.K == InstrKind::Call && "not a call site");
+
+  Reg RegBase = Caller.NumRegs;
+  Node NodeBase = static_cast<Node>(Caller.Nodes.size());
+  Caller.NumRegs += Callee.NumRegs;
+
+  // The callee copy: registers and successors shifted.
+  for (const Instr &I : Callee.Nodes) {
+    Instr Copy = I;
+    auto Shift = [RegBase](Reg &R) { R += RegBase; };
+    switch (Copy.K) {
+    case InstrKind::Nop:
+      break;
+    case InstrKind::Const:
+      Shift(Copy.Dst);
+      break;
+    case InstrKind::Move:
+    case InstrKind::Unary:
+      Shift(Copy.Dst);
+      Shift(Copy.Src1);
+      break;
+    case InstrKind::Binary:
+      Shift(Copy.Dst);
+      Shift(Copy.Src1);
+      Shift(Copy.Src2);
+      break;
+    case InstrKind::GlobLoad:
+      Shift(Copy.Dst);
+      break;
+    case InstrKind::GlobStore:
+      Shift(Copy.Src1);
+      break;
+    case InstrKind::ArrayLoad:
+      Shift(Copy.Dst);
+      Shift(Copy.Src1);
+      break;
+    case InstrKind::ArrayStore:
+      Shift(Copy.Src1);
+      Shift(Copy.Src2);
+      break;
+    case InstrKind::Call:
+      for (Reg &A : Copy.Args)
+        Shift(A);
+      if (Copy.HasDest)
+        Shift(Copy.Dst);
+      break;
+    case InstrKind::Cond:
+      Shift(Copy.Src1);
+      break;
+    case InstrKind::Return:
+      if (Copy.HasValue)
+        Shift(Copy.Src1);
+      break;
+    }
+    if (Copy.K == InstrKind::Return) {
+      // return [r]  ~>  [dest = r;] goto continuation.
+      Instr Bridge;
+      if (Call.HasDest && Copy.HasValue) {
+        Bridge.K = InstrKind::Move;
+        Bridge.Dst = Call.Dst;
+        Bridge.Src1 = Copy.Src1;
+      } else if (Call.HasDest) {
+        // Void callee result used: defined-zero, matching the
+        // interpreters' fall-through convention.
+        Bridge.K = InstrKind::Const;
+        Bridge.Dst = Call.Dst;
+        Bridge.Imm = 0;
+      } else {
+        Bridge.K = InstrKind::Nop;
+      }
+      Bridge.Succ = Call.Succ;
+      Copy = std::move(Bridge);
+    } else {
+      if (Copy.Succ != NoNode)
+        Copy.Succ += NodeBase;
+      if (Copy.K == InstrKind::Cond && Copy.Succ2 != NoNode)
+        Copy.Succ2 += NodeBase;
+    }
+    Caller.Nodes.push_back(std::move(Copy));
+  }
+
+  // Parameter moves: arg registers into the copy's parameter registers,
+  // then jump to the copy's entry. The chain replaces the call node.
+  Node Next = Callee.Entry + NodeBase;
+  // Build the moves backward so each node knows its successor.
+  for (size_t A = Call.Args.size(); A-- > 0;) {
+    if (A >= Callee.NumParams)
+      continue;
+    Instr MoveI;
+    MoveI.K = InstrKind::Move;
+    MoveI.Dst = RegBase + static_cast<Reg>(A);
+    MoveI.Src1 = Call.Args[A];
+    MoveI.Succ = Next;
+    Caller.Nodes.push_back(std::move(MoveI));
+    Next = static_cast<Node>(Caller.Nodes.size() - 1);
+  }
+  // Parameters beyond the provided arguments (cannot happen on verified
+  // input) and missing params default to 0 via fresh Consts.
+  for (Reg Param = static_cast<Reg>(Call.Args.size());
+       Param < Callee.NumParams; ++Param) {
+    Instr ConstI;
+    ConstI.K = InstrKind::Const;
+    ConstI.Dst = RegBase + Param;
+    ConstI.Imm = 0;
+    ConstI.Succ = Next;
+    Caller.Nodes.push_back(std::move(ConstI));
+    Next = static_cast<Node>(Caller.Nodes.size() - 1);
+  }
+
+  Instr Entry;
+  Entry.K = InstrKind::Nop;
+  Entry.Succ = Next;
+  Caller.Nodes[CallNode] = std::move(Entry);
+}
+
+} // namespace
+
+unsigned qcc::rtl::inlineFunctions(Program &P, unsigned Threshold) {
+  // Candidates: small, non-recursive, internal.
+  std::set<std::string> Candidates;
+  for (const Function &F : P.Functions)
+    if (F.Nodes.size() <= Threshold && !isRecursive(P, F.Name))
+      Candidates.insert(F.Name);
+
+  unsigned Inlined = 0;
+  for (Function &Caller : P.Functions) {
+    // One round per caller: sites present before splicing (the spliced
+    // copy may itself contain calls; leaving them for a later compile
+    // keeps growth bounded).
+    size_t OriginalSize = Caller.Nodes.size();
+    for (Node N = 0; N < OriginalSize; ++N) {
+      const Instr &I = Caller.Nodes[N];
+      if (I.K != InstrKind::Call || !Candidates.count(I.Name) ||
+          I.Name == Caller.Name)
+        continue;
+      const Function *Callee = P.findFunction(I.Name);
+      inlineOneSite(Caller, N, *Callee);
+      ++Inlined;
+    }
+  }
+  return Inlined;
+}

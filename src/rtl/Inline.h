@@ -1,0 +1,44 @@
+//===- rtl/Inline.h - Function inlining -------------------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function inlining at the RTL level — one of the two optional CompCert
+/// optimizations the paper disables and defers to its technical report
+/// (section 3.3). Inlining *deletes* the call/return memory events of the
+/// inlined site, which quantitative refinement permits (the weight only
+/// decreases; the pointwise profile-domination certificate covers it),
+/// and migrates the callee's register pressure into the caller's frame,
+/// which the frame-derived cost metric picks up automatically.
+///
+/// Source-level bounds stay sound — the Mach trace weight they dominate
+/// only shrank — but lose tightness at inlined sites: the bound still
+/// budgets M(callee) for a call that no longer happens. The ablation in
+/// bench_inlining quantifies exactly that effect, the paper TR's topic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_RTL_INLINE_H
+#define QCC_RTL_INLINE_H
+
+#include "rtl/Rtl.h"
+
+namespace qcc {
+namespace rtl {
+
+/// Tuning: callees at most this many instructions get inlined.
+inline constexpr unsigned DefaultInlineThreshold = 24;
+
+/// Inlines small, non-recursive internal callees into their call sites.
+/// Returns the number of call sites inlined. Run before
+/// `optimizeProgram` so the cleanup passes tidy the spliced code.
+unsigned inlineFunctions(Program &P,
+                         unsigned Threshold = DefaultInlineThreshold);
+
+} // namespace rtl
+} // namespace qcc
+
+#endif // QCC_RTL_INLINE_H

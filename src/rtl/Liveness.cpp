@@ -1,0 +1,121 @@
+//===- rtl/Liveness.cpp - Liveness dataflow analysis ----------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rtl/Liveness.h"
+
+using namespace qcc;
+using namespace qcc::rtl;
+
+std::vector<Reg> qcc::rtl::instrUses(const Instr &I) {
+  switch (I.K) {
+  case InstrKind::Nop:
+  case InstrKind::Const:
+  case InstrKind::GlobLoad:
+    return {};
+  case InstrKind::Move:
+  case InstrKind::Unary:
+  case InstrKind::GlobStore:
+  case InstrKind::ArrayLoad:
+  case InstrKind::Cond:
+    return {I.Src1};
+  case InstrKind::Binary:
+  case InstrKind::ArrayStore:
+    return {I.Src1, I.Src2};
+  case InstrKind::Call:
+    return I.Args;
+  case InstrKind::Return:
+    return I.HasValue ? std::vector<Reg>{I.Src1} : std::vector<Reg>{};
+  }
+  return {};
+}
+
+std::optional<Reg> qcc::rtl::instrDef(const Instr &I) {
+  switch (I.K) {
+  case InstrKind::Const:
+  case InstrKind::Move:
+  case InstrKind::Unary:
+  case InstrKind::Binary:
+  case InstrKind::GlobLoad:
+  case InstrKind::ArrayLoad:
+    return I.Dst;
+  case InstrKind::Call:
+    return I.HasDest ? std::optional<Reg>(I.Dst) : std::nullopt;
+  default:
+    return std::nullopt;
+  }
+}
+
+bool qcc::rtl::instrIsPure(const Instr &I) {
+  switch (I.K) {
+  case InstrKind::Const:
+  case InstrKind::Move:
+  case InstrKind::Unary:
+  case InstrKind::GlobLoad:
+    return true;
+  case InstrKind::Binary:
+    // Division and remainder can fault; their removal would erase a trap.
+    switch (I.B) {
+    case BinOp::DivS:
+    case BinOp::DivU:
+    case BinOp::ModS:
+    case BinOp::ModU:
+      return false;
+    default:
+      return true;
+    }
+  default:
+    // Array accesses can fault; stores, calls and control flow have
+    // effects.
+    return false;
+  }
+}
+
+LivenessInfo qcc::rtl::computeLiveness(const Function &F) {
+  size_t N = F.Nodes.size();
+  LivenessInfo Info;
+  Info.LiveIn.resize(N);
+  Info.LiveOut.resize(N);
+
+  // Predecessor lists for a fast backward fixpoint.
+  std::vector<std::vector<Node>> Preds(N);
+  for (Node I = 0; I != N; ++I)
+    for (Node S : F.successors(I))
+      Preds[S].push_back(I);
+
+  // Worklist initialized with all nodes.
+  std::vector<Node> Work;
+  std::vector<bool> InWork(N, true);
+  for (Node I = 0; I != N; ++I)
+    Work.push_back(I);
+
+  while (!Work.empty()) {
+    Node I = Work.back();
+    Work.pop_back();
+    InWork[I] = false;
+
+    std::set<Reg> Out;
+    for (Node S : F.successors(I))
+      Out.insert(Info.LiveIn[S].begin(), Info.LiveIn[S].end());
+
+    std::set<Reg> In = Out;
+    if (auto D = instrDef(F.Nodes[I]))
+      In.erase(*D);
+    for (Reg U : instrUses(F.Nodes[I]))
+      In.insert(U);
+
+    bool Changed = Out != Info.LiveOut[I] || In != Info.LiveIn[I];
+    Info.LiveOut[I] = std::move(Out);
+    Info.LiveIn[I] = std::move(In);
+    if (Changed)
+      for (Node Pred : Preds[I])
+        if (!InWork[Pred]) {
+          InWork[Pred] = true;
+          Work.push_back(Pred);
+        }
+  }
+  return Info;
+}

@@ -1,0 +1,49 @@
+//===- rtl/Liveness.h - Liveness dataflow analysis --------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward liveness analysis on RTL, shared by dead-code elimination and
+/// the register allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_RTL_LIVENESS_H
+#define QCC_RTL_LIVENESS_H
+
+#include "rtl/Rtl.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace qcc {
+namespace rtl {
+
+/// Registers read by \p I.
+std::vector<Reg> instrUses(const Instr &I);
+
+/// The register written by \p I, if any.
+std::optional<Reg> instrDef(const Instr &I);
+
+/// True if \p I has no side effect beyond writing its destination —
+/// removable when the destination is dead. Faulting operations (division,
+/// array accesses) and stores/calls are not pure.
+bool instrIsPure(const Instr &I);
+
+/// Per-node live-in and live-out register sets.
+struct LivenessInfo {
+  std::vector<std::set<Reg>> LiveIn;
+  std::vector<std::set<Reg>> LiveOut;
+};
+
+/// Runs the backward fixpoint.
+LivenessInfo computeLiveness(const Function &F);
+
+} // namespace rtl
+} // namespace qcc
+
+#endif // QCC_RTL_LIVENESS_H

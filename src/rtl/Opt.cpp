@@ -1,0 +1,338 @@
+//===- rtl/Opt.cpp - RTL optimization passes ------------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rtl/Opt.h"
+
+#include "rtl/Liveness.h"
+
+#include <limits>
+#include <map>
+
+using namespace qcc;
+using namespace qcc::rtl;
+
+//===----------------------------------------------------------------------===//
+// Constant propagation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The constant lattice: Undef (unreached) < Const(c) < NotAConstant.
+struct Lattice {
+  enum class Kind : uint8_t { Undef, Const, NAC } K = Kind::Undef;
+  uint32_t Value = 0;
+
+  static Lattice undef() { return {}; }
+  static Lattice constant(uint32_t V) {
+    return {Kind::Const, V};
+  }
+  static Lattice nac() { return {Kind::NAC, 0}; }
+
+  bool operator==(const Lattice &O) const {
+    return K == O.K && (K != Kind::Const || Value == O.Value);
+  }
+};
+
+Lattice meet(const Lattice &A, const Lattice &B) {
+  if (A.K == Lattice::Kind::Undef)
+    return B;
+  if (B.K == Lattice::Kind::Undef)
+    return A;
+  if (A.K == Lattice::Kind::Const && B.K == Lattice::Kind::Const &&
+      A.Value == B.Value)
+    return A;
+  return Lattice::nac();
+}
+
+using RegState = std::map<Reg, Lattice>;
+
+Lattice lookup(const RegState &S, Reg R) {
+  auto It = S.find(R);
+  return It == S.end() ? Lattice::undef() : It->second;
+}
+
+/// Folds a binary op over constants; refuses to fold faulting cases so
+/// traps are preserved (the optimizer must not erase undefined behavior).
+std::optional<uint32_t> foldBinOp(BinOp Op, uint32_t A, uint32_t B) {
+  int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+  switch (Op) {
+  case BinOp::Add: return A + B;
+  case BinOp::Sub: return A - B;
+  case BinOp::Mul: return A * B;
+  case BinOp::DivU:
+    if (B == 0)
+      return std::nullopt;
+    return A / B;
+  case BinOp::ModU:
+    if (B == 0)
+      return std::nullopt;
+    return A % B;
+  case BinOp::DivS:
+    if (SB == 0 ||
+        (SA == std::numeric_limits<int32_t>::min() && SB == -1))
+      return std::nullopt;
+    return static_cast<uint32_t>(SA / SB);
+  case BinOp::ModS:
+    if (SB == 0 ||
+        (SA == std::numeric_limits<int32_t>::min() && SB == -1))
+      return std::nullopt;
+    return static_cast<uint32_t>(SA % SB);
+  case BinOp::And: return A & B;
+  case BinOp::Or: return A | B;
+  case BinOp::Xor: return A ^ B;
+  case BinOp::Shl: return A << (B & 31);
+  case BinOp::ShrU: return A >> (B & 31);
+  case BinOp::ShrS: return static_cast<uint32_t>(SA >> (B & 31));
+  case BinOp::Eq: return A == B;
+  case BinOp::Ne: return A != B;
+  case BinOp::LtU: return A < B;
+  case BinOp::LeU: return A <= B;
+  case BinOp::GtU: return A > B;
+  case BinOp::GeU: return A >= B;
+  case BinOp::LtS: return SA < SB;
+  case BinOp::LeS: return SA <= SB;
+  case BinOp::GtS: return SA > SB;
+  case BinOp::GeS: return SA >= SB;
+  }
+  return std::nullopt;
+}
+
+uint32_t foldUnOp(UnOp Op, uint32_t V) {
+  switch (Op) {
+  case UnOp::Neg: return 0u - V;
+  case UnOp::BoolNot: return V == 0 ? 1u : 0u;
+  case UnOp::BitNot: return ~V;
+  }
+  return 0;
+}
+
+/// The dataflow value of the instruction's destination given input state.
+Lattice transfer(const Instr &I, const RegState &In) {
+  switch (I.K) {
+  case InstrKind::Const:
+    return Lattice::constant(I.Imm);
+  case InstrKind::Move:
+    return lookup(In, I.Src1);
+  case InstrKind::Unary: {
+    Lattice V = lookup(In, I.Src1);
+    if (V.K == Lattice::Kind::Const)
+      return Lattice::constant(foldUnOp(I.U, V.Value));
+    return V.K == Lattice::Kind::Undef ? Lattice::undef() : Lattice::nac();
+  }
+  case InstrKind::Binary: {
+    Lattice A = lookup(In, I.Src1), B = lookup(In, I.Src2);
+    if (A.K == Lattice::Kind::Const && B.K == Lattice::Kind::Const) {
+      if (auto V = foldBinOp(I.B, A.Value, B.Value))
+        return Lattice::constant(*V);
+      return Lattice::nac(); // Would fault: never fold.
+    }
+    if (A.K == Lattice::Kind::Undef && B.K == Lattice::Kind::Undef)
+      return Lattice::undef();
+    return Lattice::nac();
+  }
+  default:
+    return Lattice::nac(); // Loads and call results are unknown.
+  }
+}
+
+} // namespace
+
+unsigned qcc::rtl::constantPropagation(Function &F) {
+  size_t N = F.Nodes.size();
+  std::vector<RegState> In(N);
+  std::vector<bool> Reached(N, false);
+
+  // Parameters are unknown at entry.
+  RegState EntryState;
+  for (Reg R = 0; R != F.NumParams; ++R)
+    EntryState[R] = Lattice::nac();
+
+  // Forward worklist fixpoint.
+  std::vector<Node> Work{F.Entry};
+  In[F.Entry] = EntryState;
+  Reached[F.Entry] = true;
+  while (!Work.empty()) {
+    Node NodeId = Work.back();
+    Work.pop_back();
+    const Instr &I = F.Nodes[NodeId];
+    RegState Out = In[NodeId];
+    if (auto D = instrDef(I))
+      Out[*D] = transfer(I, In[NodeId]);
+    for (Node S : F.successors(NodeId)) {
+      RegState Merged = Reached[S] ? In[S] : Out;
+      if (Reached[S])
+        for (const auto &[R, V] : Out) {
+          Lattice M = meet(lookup(In[S], R), V);
+          Merged[R] = M;
+        }
+      // Registers present in In[S] but absent from Out stay (absent means
+      // Undef in Out, and meet(x, Undef) = x).
+      if (!Reached[S] || !(Merged == In[S])) {
+        In[S] = std::move(Merged);
+        Reached[S] = true;
+        Work.push_back(S);
+      }
+    }
+  }
+
+  // Rewrite.
+  unsigned Rewritten = 0;
+  for (Node NodeId = 0; NodeId != N; ++NodeId) {
+    if (!Reached[NodeId])
+      continue;
+    Instr &I = F.Nodes[NodeId];
+    switch (I.K) {
+    case InstrKind::Move:
+    case InstrKind::Unary:
+    case InstrKind::Binary: {
+      Lattice V = transfer(I, In[NodeId]);
+      if (V.K == Lattice::Kind::Const) {
+        Instr NewI;
+        NewI.K = InstrKind::Const;
+        NewI.Dst = I.Dst;
+        NewI.Imm = V.Value;
+        NewI.Succ = I.Succ;
+        I = std::move(NewI);
+        ++Rewritten;
+      }
+      break;
+    }
+    case InstrKind::Cond: {
+      Lattice C = lookup(In[NodeId], I.Src1);
+      if (C.K == Lattice::Kind::Const) {
+        Node Taken = C.Value != 0 ? I.Succ : I.Succ2;
+        Instr NewI;
+        NewI.K = InstrKind::Nop;
+        NewI.Succ = Taken;
+        I = std::move(NewI);
+        ++Rewritten;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return Rewritten;
+}
+
+//===----------------------------------------------------------------------===//
+// Dead-code elimination
+//===----------------------------------------------------------------------===//
+
+unsigned qcc::rtl::deadCodeElimination(Function &F) {
+  unsigned Removed = 0;
+  for (;;) {
+    LivenessInfo L = computeLiveness(F);
+    unsigned RoundRemoved = 0;
+    for (Node NodeId = 0; NodeId != F.Nodes.size(); ++NodeId) {
+      Instr &I = F.Nodes[NodeId];
+      auto D = instrDef(I);
+      if (!D || !instrIsPure(I))
+        continue;
+      if (L.LiveOut[NodeId].count(*D))
+        continue;
+      Instr NewI;
+      NewI.K = InstrKind::Nop;
+      NewI.Succ = I.Succ;
+      I = std::move(NewI);
+      ++RoundRemoved;
+    }
+    Removed += RoundRemoved;
+    if (RoundRemoved == 0)
+      return Removed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Control-flow cleanup
+//===----------------------------------------------------------------------===//
+
+void qcc::rtl::cleanupControlFlow(Function &F) {
+  size_t N = F.Nodes.size();
+
+  // Resolve Nop chains; cycles of Nops (empty infinite loops) keep one
+  // representative to preserve divergence.
+  std::vector<Node> Resolved(N, NoNode);
+  auto Resolve = [&](Node Start) {
+    if (Resolved[Start] != NoNode)
+      return Resolved[Start];
+    std::vector<Node> Path;
+    Node Cur = Start;
+    std::set<Node> OnPath;
+    while (Cur != NoNode && F.Nodes[Cur].K == InstrKind::Nop &&
+           Resolved[Cur] == NoNode && !OnPath.count(Cur)) {
+      Path.push_back(Cur);
+      OnPath.insert(Cur);
+      Cur = F.Nodes[Cur].Succ;
+    }
+    Node Target;
+    if (Cur == NoNode) {
+      Target = Start; // Malformed; keep as is.
+    } else if (F.Nodes[Cur].K == InstrKind::Nop && Resolved[Cur] == NoNode) {
+      Target = Cur; // A Nop cycle: point at the cycle entry.
+    } else if (F.Nodes[Cur].K == InstrKind::Nop) {
+      Target = Resolved[Cur];
+    } else {
+      Target = Cur;
+    }
+    for (Node P : Path)
+      Resolved[P] = Target;
+    Resolved[Start] = Target; // Non-Nop starts resolve to themselves.
+    return Target;
+  };
+
+  for (Node I = 0; I != N; ++I)
+    Resolve(I);
+  auto Redirect = [&](Node S) { return S == NoNode ? NoNode : Resolved[S]; };
+  for (Node I = 0; I != N; ++I) {
+    F.Nodes[I].Succ = Redirect(F.Nodes[I].Succ);
+    if (F.Nodes[I].K == InstrKind::Cond)
+      F.Nodes[I].Succ2 = Redirect(F.Nodes[I].Succ2);
+  }
+  F.Entry = Redirect(F.Entry);
+
+  // Drop unreachable nodes and renumber.
+  std::vector<bool> Reached(N, false);
+  std::vector<Node> Work{F.Entry};
+  Reached[F.Entry] = true;
+  while (!Work.empty()) {
+    Node I = Work.back();
+    Work.pop_back();
+    for (Node S : F.successors(I))
+      if (S != NoNode && !Reached[S]) {
+        Reached[S] = true;
+        Work.push_back(S);
+      }
+  }
+  std::vector<Node> NewIndex(N, NoNode);
+  std::vector<Instr> NewNodes;
+  for (Node I = 0; I != N; ++I) {
+    if (!Reached[I])
+      continue;
+    NewIndex[I] = static_cast<Node>(NewNodes.size());
+    NewNodes.push_back(std::move(F.Nodes[I]));
+  }
+  for (Instr &I : NewNodes) {
+    if (I.Succ != NoNode)
+      I.Succ = NewIndex[I.Succ];
+    if (I.K == InstrKind::Cond && I.Succ2 != NoNode)
+      I.Succ2 = NewIndex[I.Succ2];
+  }
+  F.Nodes = std::move(NewNodes);
+  F.Entry = NewIndex[F.Entry];
+}
+
+void qcc::rtl::optimizeProgram(Program &P) {
+  for (Function &F : P.Functions) {
+    for (int Round = 0; Round != 2; ++Round) {
+      constantPropagation(F);
+      deadCodeElimination(F);
+      cleanupControlFlow(F);
+    }
+  }
+}

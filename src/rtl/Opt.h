@@ -1,0 +1,46 @@
+//===- rtl/Opt.h - RTL optimization passes ----------------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RTL optimization pipeline: sparse conditional constant propagation
+/// (without the conditional part — all edges are assumed executable, which
+/// only loses precision), dead-code elimination, branch folding, and
+/// control-flow cleanup. Like the paper's supported CompCert passes, each
+/// preserves call/return events exactly; the driver's translation
+/// validation replays optimized and unoptimized RTL to certify each run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_RTL_OPT_H
+#define QCC_RTL_OPT_H
+
+#include "rtl/Rtl.h"
+
+namespace qcc {
+namespace rtl {
+
+/// Forward constant propagation and folding; folds constant conditions
+/// into unconditional edges. Returns the number of rewritten
+/// instructions.
+unsigned constantPropagation(Function &F);
+
+/// Removes pure instructions whose destination is dead. Returns the
+/// number of removed (nop-ified) instructions.
+unsigned deadCodeElimination(Function &F);
+
+/// Compresses Nop chains and drops unreachable nodes, renumbering the
+/// graph. Run last; invalidates node numbers.
+void cleanupControlFlow(Function &F);
+
+/// The standard pipeline over a whole program:
+/// constprop -> dce -> cleanup, iterated twice.
+void optimizeProgram(Program &P);
+
+} // namespace rtl
+} // namespace qcc
+
+#endif // QCC_RTL_OPT_H

@@ -1,0 +1,101 @@
+//===- rtl/Rtl.cpp - Register transfer language ---------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rtl/Rtl.h"
+
+using namespace qcc;
+using namespace qcc::rtl;
+
+std::string Instr::str() const {
+  auto R = [](Reg V) { return "r" + std::to_string(V); };
+  auto N = [](Node V) {
+    return V == NoNode ? std::string("-") : std::to_string(V);
+  };
+  switch (K) {
+  case InstrKind::Nop:
+    return "nop -> " + N(Succ);
+  case InstrKind::Const:
+    return R(Dst) + " = " + std::to_string(Imm) + " -> " + N(Succ);
+  case InstrKind::Move:
+    return R(Dst) + " = " + R(Src1) + " -> " + N(Succ);
+  case InstrKind::Unary: {
+    const char *Sp = U == UnOp::Neg ? "-" : U == UnOp::BoolNot ? "!" : "~";
+    return R(Dst) + " = " + Sp + R(Src1) + " -> " + N(Succ);
+  }
+  case InstrKind::Binary:
+    return R(Dst) + " = " + R(Src1) + " " + clight::binOpSpelling(B) + " " +
+           R(Src2) + " -> " + N(Succ);
+  case InstrKind::GlobLoad:
+    return R(Dst) + " = [" + Name + "] -> " + N(Succ);
+  case InstrKind::GlobStore:
+    return "[" + Name + "] = " + R(Src1) + " -> " + N(Succ);
+  case InstrKind::ArrayLoad:
+    return R(Dst) + " = " + Name + "[" + R(Src1) + "] -> " + N(Succ);
+  case InstrKind::ArrayStore:
+    return Name + "[" + R(Src1) + "] = " + R(Src2) + " -> " + N(Succ);
+  case InstrKind::Call: {
+    std::string Out = HasDest ? R(Dst) + " = " : "";
+    Out += Name + "(";
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += R(Args[I]);
+    }
+    return Out + ") -> " + N(Succ);
+  }
+  case InstrKind::Cond:
+    return "if " + R(Src1) + " goto " + N(Succ) + " else " + N(Succ2);
+  case InstrKind::Return:
+    return HasValue ? "return " + R(Src1) : "return";
+  }
+  return "<bad instr>";
+}
+
+std::vector<Node> Function::successors(Node N) const {
+  const Instr &I = Nodes[N];
+  switch (I.K) {
+  case InstrKind::Return:
+    return {};
+  case InstrKind::Cond:
+    return {I.Succ, I.Succ2};
+  default:
+    return {I.Succ};
+  }
+}
+
+const Function *Program::findFunction(const std::string &Name) const {
+  for (const Function &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const GlobalVar *Program::findGlobal(const std::string &Name) const {
+  for (const GlobalVar &G : Globals)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}
+
+const ExternalDecl *Program::findExternal(const std::string &Name) const {
+  for (const ExternalDecl &E : Externals)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+std::string Program::str() const {
+  std::string Out;
+  for (const Function &F : Functions) {
+    Out += "function " + F.Name + " (entry " + std::to_string(F.Entry) +
+           ", params " + std::to_string(F.NumParams) + ", regs " +
+           std::to_string(F.NumRegs) + ")\n";
+    for (Node N = 0; N != F.Nodes.size(); ++N)
+      Out += "  " + std::to_string(N) + ": " + F.Nodes[N].str() + "\n";
+  }
+  return Out;
+}

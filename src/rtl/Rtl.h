@@ -1,0 +1,112 @@
+//===- rtl/Rtl.h - Register transfer language -------------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RTL: a control-flow graph of three-address instructions over unlimited
+/// virtual registers, mirroring CompCert's RTL. This is where the
+/// optimization passes run (constant propagation, dead-code elimination,
+/// branch folding) and the input to register allocation.
+///
+/// Function parameters arrive in virtual registers 0 .. NumParams-1.
+/// Instructions are graph nodes with explicit successors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_RTL_RTL_H
+#define QCC_RTL_RTL_H
+
+#include "cminor/Cminor.h"
+#include "events/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace rtl {
+
+using clight::BinOp;
+using clight::UnOp;
+using clight::ExternalDecl;
+using clight::GlobalVar;
+
+using Reg = uint32_t;
+using Node = uint32_t;
+
+/// A sentinel successor for instructions that leave the function.
+inline constexpr Node NoNode = 0xffffffffu;
+
+enum class InstrKind : uint8_t {
+  Nop,        ///< Fall through to Succ.
+  Const,      ///< Dst = Imm.
+  Move,       ///< Dst = Src1.
+  Unary,      ///< Dst = U(Src1).
+  Binary,     ///< Dst = Src1 B Src2.
+  GlobLoad,   ///< Dst = global Name.
+  GlobStore,  ///< global Name = Src1.
+  ArrayLoad,  ///< Dst = Name[Src1].
+  ArrayStore, ///< Name[Src1] = Src2.
+  Call,       ///< [Dst =] Name(Args).
+  Cond,       ///< if Src1 != 0 goto Succ else Succ2.
+  Return      ///< return [Src1].
+};
+
+/// One RTL instruction (a CFG node).
+struct Instr {
+  InstrKind K = InstrKind::Nop;
+  Reg Dst = 0;
+  Reg Src1 = 0;
+  Reg Src2 = 0;
+  uint32_t Imm = 0;
+  UnOp U = UnOp::Neg;
+  BinOp B = BinOp::Add;
+  std::string Name;         ///< Global / array / callee.
+  std::vector<Reg> Args;    ///< Call.
+  bool HasDest = false;     ///< Call.
+  bool HasValue = false;    ///< Return.
+  Node Succ = NoNode;
+  Node Succ2 = NoNode;      ///< Cond false edge.
+
+  std::string str() const;
+};
+
+struct Function {
+  std::string Name;
+  uint32_t NumParams = 0;
+  uint32_t NumRegs = 0;
+  bool ReturnsValue = false;
+  Node Entry = 0;
+  std::vector<Instr> Nodes;
+  SourceLoc Loc;
+
+  /// The successors of node \p N (0, 1 or 2 entries).
+  std::vector<Node> successors(Node N) const;
+};
+
+struct Program {
+  std::vector<GlobalVar> Globals;
+  std::vector<ExternalDecl> Externals;
+  std::vector<Function> Functions;
+  std::string EntryPoint = "main";
+
+  const Function *findFunction(const std::string &Name) const;
+  const GlobalVar *findGlobal(const std::string &Name) const;
+  const ExternalDecl *findExternal(const std::string &Name) const;
+
+  std::string str() const;
+};
+
+/// Lowers Cminor to RTL.
+Program lowerFromCminor(const cminor::Program &P);
+
+/// Runs the entry point; same event/trace conventions as the other levels.
+Behavior runProgram(const Program &P, uint64_t Fuel = 50'000'000);
+
+} // namespace rtl
+} // namespace qcc
+
+#endif // QCC_RTL_RTL_H

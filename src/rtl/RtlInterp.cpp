@@ -1,0 +1,259 @@
+//===- rtl/RtlInterp.cpp - RTL interpreter --------------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rtl/Rtl.h"
+
+#include <limits>
+#include <map>
+
+using namespace qcc;
+using namespace qcc::rtl;
+
+namespace {
+
+struct Activation {
+  const Function *F;
+  std::vector<uint32_t> Regs;
+  Node Pc;
+  bool HasDest;
+  Reg Dest;
+};
+
+class Machine {
+public:
+  Machine(const Program &P, uint64_t Fuel) : P(P), Fuel(Fuel) {
+    for (const GlobalVar &G : P.Globals) {
+      std::vector<uint32_t> Cells = G.Init;
+      Cells.resize(G.Size, 0);
+      Globals[G.Name] = std::move(Cells);
+    }
+  }
+
+  Behavior run() {
+    const Function *Entry = P.findFunction(P.EntryPoint);
+    if (!Entry)
+      return Behavior::fails({}, "entry point is not defined");
+    Events.push_back(Event::call(Entry->Name));
+    Current = {Entry, std::vector<uint32_t>(Entry->NumRegs, 0),
+               Entry->Entry, false, 0};
+
+    uint64_t Steps = 0;
+    for (;;) {
+      if (++Steps > Fuel)
+        return Behavior::diverges(Events);
+      const Instr &I = Current.F->Nodes[Current.Pc];
+      std::string Fault;
+      if (!step(I, Fault)) {
+        if (Fault == "$halt")
+          return Behavior::converges(Events,
+                                     static_cast<int32_t>(ReturnValue));
+        return Behavior::fails(Events, Fault);
+      }
+    }
+  }
+
+private:
+  uint32_t &reg(Reg R) { return Current.Regs[R]; }
+
+  bool binOp(BinOp Op, uint32_t A, uint32_t B, uint32_t &Out,
+             std::string &Fault) {
+    int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+    switch (Op) {
+    case BinOp::Add: Out = A + B; return true;
+    case BinOp::Sub: Out = A - B; return true;
+    case BinOp::Mul: Out = A * B; return true;
+    case BinOp::DivU:
+      if (B == 0) { Fault = "unsigned division by zero"; return false; }
+      Out = A / B;
+      return true;
+    case BinOp::ModU:
+      if (B == 0) { Fault = "unsigned remainder by zero"; return false; }
+      Out = A % B;
+      return true;
+    case BinOp::DivS:
+      if (SB == 0) { Fault = "signed division by zero"; return false; }
+      if (SA == std::numeric_limits<int32_t>::min() && SB == -1) {
+        Fault = "signed division overflow";
+        return false;
+      }
+      Out = static_cast<uint32_t>(SA / SB);
+      return true;
+    case BinOp::ModS:
+      if (SB == 0) { Fault = "signed remainder by zero"; return false; }
+      if (SA == std::numeric_limits<int32_t>::min() && SB == -1) {
+        Fault = "signed remainder overflow";
+        return false;
+      }
+      Out = static_cast<uint32_t>(SA % SB);
+      return true;
+    case BinOp::And: Out = A & B; return true;
+    case BinOp::Or: Out = A | B; return true;
+    case BinOp::Xor: Out = A ^ B; return true;
+    case BinOp::Shl: Out = A << (B & 31); return true;
+    case BinOp::ShrU: Out = A >> (B & 31); return true;
+    case BinOp::ShrS: Out = static_cast<uint32_t>(SA >> (B & 31)); return true;
+    case BinOp::Eq: Out = A == B; return true;
+    case BinOp::Ne: Out = A != B; return true;
+    case BinOp::LtU: Out = A < B; return true;
+    case BinOp::LeU: Out = A <= B; return true;
+    case BinOp::GtU: Out = A > B; return true;
+    case BinOp::GeU: Out = A >= B; return true;
+    case BinOp::LtS: Out = SA < SB; return true;
+    case BinOp::LeS: Out = SA <= SB; return true;
+    case BinOp::GtS: Out = SA > SB; return true;
+    case BinOp::GeS: Out = SA >= SB; return true;
+    }
+    Fault = "bad binary op";
+    return false;
+  }
+
+  /// Executes one instruction. Returns false with Fault set on traps; the
+  /// pseudo-fault "$halt" signals normal program termination.
+  bool step(const Instr &I, std::string &Fault) {
+    switch (I.K) {
+    case InstrKind::Nop:
+      Current.Pc = I.Succ;
+      return true;
+    case InstrKind::Const:
+      reg(I.Dst) = I.Imm;
+      Current.Pc = I.Succ;
+      return true;
+    case InstrKind::Move:
+      reg(I.Dst) = reg(I.Src1);
+      Current.Pc = I.Succ;
+      return true;
+    case InstrKind::Unary: {
+      uint32_t V = reg(I.Src1);
+      switch (I.U) {
+      case UnOp::Neg: reg(I.Dst) = 0u - V; break;
+      case UnOp::BoolNot: reg(I.Dst) = V == 0 ? 1u : 0u; break;
+      case UnOp::BitNot: reg(I.Dst) = ~V; break;
+      }
+      Current.Pc = I.Succ;
+      return true;
+    }
+    case InstrKind::Binary: {
+      uint32_t Out;
+      if (!binOp(I.B, reg(I.Src1), reg(I.Src2), Out, Fault))
+        return false;
+      reg(I.Dst) = Out;
+      Current.Pc = I.Succ;
+      return true;
+    }
+    case InstrKind::GlobLoad: {
+      auto It = Globals.find(I.Name);
+      if (It == Globals.end()) {
+        Fault = "unbound global '" + I.Name + "'";
+        return false;
+      }
+      reg(I.Dst) = It->second[0];
+      Current.Pc = I.Succ;
+      return true;
+    }
+    case InstrKind::GlobStore: {
+      auto It = Globals.find(I.Name);
+      if (It == Globals.end()) {
+        Fault = "unbound global '" + I.Name + "'";
+        return false;
+      }
+      It->second[0] = reg(I.Src1);
+      Current.Pc = I.Succ;
+      return true;
+    }
+    case InstrKind::ArrayLoad: {
+      auto It = Globals.find(I.Name);
+      if (It == Globals.end()) {
+        Fault = "unbound array '" + I.Name + "'";
+        return false;
+      }
+      uint32_t Idx = reg(I.Src1);
+      if (Idx >= It->second.size()) {
+        Fault = "index out of bounds for '" + I.Name + "'";
+        return false;
+      }
+      reg(I.Dst) = It->second[Idx];
+      Current.Pc = I.Succ;
+      return true;
+    }
+    case InstrKind::ArrayStore: {
+      auto It = Globals.find(I.Name);
+      if (It == Globals.end()) {
+        Fault = "unbound array '" + I.Name + "'";
+        return false;
+      }
+      uint32_t Idx = reg(I.Src1);
+      if (Idx >= It->second.size()) {
+        Fault = "index out of bounds for '" + I.Name + "'";
+        return false;
+      }
+      It->second[Idx] = reg(I.Src2);
+      Current.Pc = I.Succ;
+      return true;
+    }
+    case InstrKind::Call: {
+      std::vector<uint32_t> ArgValues;
+      for (Reg A : I.Args)
+        ArgValues.push_back(reg(A));
+      if (const Function *Callee = P.findFunction(I.Name)) {
+        Events.push_back(Event::call(Callee->Name));
+        Activation Saved = std::move(Current);
+        Saved.Pc = I.Succ; // Resume after the call.
+        Saved.HasDest = I.HasDest;
+        Saved.Dest = I.Dst;
+        Stack.push_back(std::move(Saved));
+        Current.F = Callee;
+        Current.Regs.assign(Callee->NumRegs, 0);
+        for (size_t J = 0; J < ArgValues.size() && J < Callee->NumParams;
+             ++J)
+          Current.Regs[J] = ArgValues[J];
+        Current.Pc = Callee->Entry;
+        return true;
+      }
+      std::vector<int32_t> IOArgs(ArgValues.begin(), ArgValues.end());
+      Events.push_back(Event::external(I.Name, std::move(IOArgs), 0));
+      if (I.HasDest)
+        reg(I.Dst) = 0;
+      Current.Pc = I.Succ;
+      return true;
+    }
+    case InstrKind::Cond:
+      Current.Pc = reg(I.Src1) != 0 ? I.Succ : I.Succ2;
+      return true;
+    case InstrKind::Return: {
+      uint32_t V = I.HasValue ? reg(I.Src1) : 0;
+      Events.push_back(Event::ret(Current.F->Name));
+      if (Stack.empty()) {
+        ReturnValue = V;
+        Fault = "$halt";
+        return false;
+      }
+      Activation Caller = std::move(Stack.back());
+      Stack.pop_back();
+      Current = std::move(Caller);
+      if (Current.HasDest)
+        reg(Current.Dest) = V;
+      return true;
+    }
+    }
+    Fault = "bad instruction";
+    return false;
+  }
+
+  const Program &P;
+  uint64_t Fuel;
+  std::map<std::string, std::vector<uint32_t>> Globals;
+  Activation Current{nullptr, {}, 0, false, 0};
+  std::vector<Activation> Stack;
+  Trace Events;
+  uint32_t ReturnValue = 0;
+};
+
+} // namespace
+
+Behavior qcc::rtl::runProgram(const Program &P, uint64_t Fuel) {
+  return Machine(P, Fuel).run();
+}

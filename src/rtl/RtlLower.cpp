@@ -1,0 +1,262 @@
+//===- rtl/RtlLower.cpp - Cminor to RTL lowering --------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured Cminor statements become an explicit control-flow graph.
+/// Translation proceeds backward: every construct is translated against
+/// the node that follows it, so successors are always known. Loops use a
+/// placeholder node patched after their body is translated; `exit n`
+/// jumps to the recorded continuation of the (n+1)-th enclosing block.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rtl/Rtl.h"
+
+#include <cassert>
+
+using namespace qcc;
+using namespace qcc::rtl;
+namespace cm = qcc::cminor;
+
+namespace {
+
+class FunctionLowering {
+public:
+  explicit FunctionLowering(const cm::Function &F) : Source(F) {
+    NextReg = F.NumTemps; // Temps map to like-numbered registers.
+  }
+
+  Function run() {
+    Function Out;
+    Out.Name = Source.Name;
+    Out.NumParams = Source.NumParams;
+    Out.ReturnsValue = Source.ReturnsValue;
+    Out.Loc = Source.Loc;
+
+    // The fall-off-the-end continuation returns (void functions only; the
+    // frontend guarantees value functions end in an explicit return).
+    Node FallOff = append([] {
+      Instr I;
+      I.K = InstrKind::Return;
+      I.HasValue = false;
+      return I;
+    }());
+    Node Entry = transStmt(*Source.Body, FallOff);
+    Out.Entry = Entry;
+    Out.Nodes = std::move(Nodes);
+    Out.NumRegs = NextReg;
+    return Out;
+  }
+
+private:
+  Node append(Instr I) {
+    Nodes.push_back(std::move(I));
+    return static_cast<Node>(Nodes.size() - 1);
+  }
+
+  Reg freshReg() { return NextReg++; }
+
+  /// Translates \p E into instructions computing it into \p Dst, placed
+  /// before \p Follow. Returns the entry node of the computation.
+  Node transExpr(const cm::Expr &E, Reg Dst, Node Follow) {
+    switch (E.Kind) {
+    case cm::ExprKind::Const: {
+      Instr I;
+      I.K = InstrKind::Const;
+      I.Dst = Dst;
+      I.Imm = E.IntValue;
+      I.Succ = Follow;
+      return append(std::move(I));
+    }
+    case cm::ExprKind::Temp: {
+      Instr I;
+      I.K = InstrKind::Move;
+      I.Dst = Dst;
+      I.Src1 = E.TempIndex;
+      I.Succ = Follow;
+      return append(std::move(I));
+    }
+    case cm::ExprKind::GlobalLoad: {
+      Instr I;
+      I.K = InstrKind::GlobLoad;
+      I.Dst = Dst;
+      I.Name = E.Name;
+      I.Succ = Follow;
+      return append(std::move(I));
+    }
+    case cm::ExprKind::ArrayLoad: {
+      Reg Idx = freshReg();
+      Instr I;
+      I.K = InstrKind::ArrayLoad;
+      I.Dst = Dst;
+      I.Src1 = Idx;
+      I.Name = E.Name;
+      I.Succ = Follow;
+      Node LoadN = append(std::move(I));
+      return transExpr(*E.Lhs, Idx, LoadN);
+    }
+    case cm::ExprKind::Unary: {
+      Reg Src = freshReg();
+      Instr I;
+      I.K = InstrKind::Unary;
+      I.Dst = Dst;
+      I.Src1 = Src;
+      I.U = E.UOp;
+      I.Succ = Follow;
+      Node OpN = append(std::move(I));
+      return transExpr(*E.Lhs, Src, OpN);
+    }
+    case cm::ExprKind::Binary: {
+      Reg L = freshReg(), R = freshReg();
+      Instr I;
+      I.K = InstrKind::Binary;
+      I.Dst = Dst;
+      I.Src1 = L;
+      I.Src2 = R;
+      I.B = E.BOp;
+      I.Succ = Follow;
+      Node OpN = append(std::move(I));
+      Node RhsN = transExpr(*E.Rhs, R, OpN);
+      return transExpr(*E.Lhs, L, RhsN);
+    }
+    }
+    assert(false && "bad expression kind");
+    return Follow;
+  }
+
+  Node transStmt(const cm::Stmt &S, Node Follow) {
+    switch (S.Kind) {
+    case cm::StmtKind::Skip:
+      return Follow;
+
+    case cm::StmtKind::Assign:
+      return transExpr(*S.Value, S.TempIndex, Follow);
+
+    case cm::StmtKind::GlobStore: {
+      Reg V = freshReg();
+      Instr I;
+      I.K = InstrKind::GlobStore;
+      I.Src1 = V;
+      I.Name = S.Name;
+      I.Succ = Follow;
+      Node StoreN = append(std::move(I));
+      return transExpr(*S.Value, V, StoreN);
+    }
+
+    case cm::StmtKind::ArrayStore: {
+      Reg Idx = freshReg(), V = freshReg();
+      Instr I;
+      I.K = InstrKind::ArrayStore;
+      I.Src1 = Idx;
+      I.Src2 = V;
+      I.Name = S.Name;
+      I.Succ = Follow;
+      Node StoreN = append(std::move(I));
+      // Cminor evaluates the value first, then the index.
+      Node IdxN = transExpr(*S.Addr, Idx, StoreN);
+      return transExpr(*S.Value, V, IdxN);
+    }
+
+    case cm::StmtKind::Call: {
+      std::vector<Reg> ArgRegs;
+      for (size_t I = 0; I != S.Args.size(); ++I)
+        ArgRegs.push_back(freshReg());
+      Instr I;
+      I.K = InstrKind::Call;
+      I.Name = S.Name;
+      I.Args = ArgRegs;
+      I.HasDest = S.HasDest;
+      I.Dst = S.TempIndex;
+      I.Succ = Follow;
+      Node CallN = append(std::move(I));
+      // Arguments evaluate left to right; build the chain backward.
+      Node Next = CallN;
+      for (size_t J = S.Args.size(); J-- > 0;)
+        Next = transExpr(*S.Args[J], ArgRegs[J], Next);
+      return Next;
+    }
+
+    case cm::StmtKind::Seq: {
+      Node SecondN = transStmt(*S.Second, Follow);
+      return transStmt(*S.First, SecondN);
+    }
+
+    case cm::StmtKind::If: {
+      Node ThenN = transStmt(*S.First, Follow);
+      Node ElseN = transStmt(*S.Second, Follow);
+      Reg C = freshReg();
+      Instr I;
+      I.K = InstrKind::Cond;
+      I.Src1 = C;
+      I.Succ = ThenN;
+      I.Succ2 = ElseN;
+      Node CondN = append(std::move(I));
+      return transExpr(*S.Value, C, CondN);
+    }
+
+    case cm::StmtKind::Loop: {
+      // Placeholder header patched to the body entry so the back edge has
+      // somewhere to point before the body exists.
+      Node Header = append([] {
+        Instr I;
+        I.K = InstrKind::Nop;
+        return I;
+      }());
+      Node BodyN = transStmt(*S.First, Header);
+      Nodes[Header].Succ = BodyN;
+      return Header;
+    }
+
+    case cm::StmtKind::Block: {
+      BlockExits.push_back(Follow);
+      Node BodyN = transStmt(*S.First, Follow);
+      BlockExits.pop_back();
+      return BodyN;
+    }
+
+    case cm::StmtKind::Exit: {
+      assert(S.ExitDepth < BlockExits.size() && "exit without block");
+      Node Target = BlockExits[BlockExits.size() - 1 - S.ExitDepth];
+      Instr I;
+      I.K = InstrKind::Nop;
+      I.Succ = Target;
+      return append(std::move(I));
+    }
+
+    case cm::StmtKind::Return: {
+      Instr I;
+      I.K = InstrKind::Return;
+      I.HasValue = S.HasValue;
+      if (!S.HasValue)
+        return append(std::move(I));
+      Reg V = freshReg();
+      I.Src1 = V;
+      Node RetN = append(std::move(I));
+      return transExpr(*S.Value, V, RetN);
+    }
+    }
+    assert(false && "bad statement kind");
+    return Follow;
+  }
+
+  const cm::Function &Source;
+  std::vector<Instr> Nodes;
+  std::vector<Node> BlockExits;
+  Reg NextReg;
+};
+
+} // namespace
+
+Program qcc::rtl::lowerFromCminor(const cm::Program &P) {
+  Program Out;
+  Out.Globals = P.Globals;
+  Out.Externals = P.Externals;
+  Out.EntryPoint = P.EntryPoint;
+  for (const cm::Function &F : P.Functions)
+    Out.Functions.push_back(FunctionLowering(F).run());
+  return Out;
+}

@@ -1,0 +1,38 @@
+//===- support/Diagnostics.cpp - Diagnostic collection --------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace qcc;
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  switch (Kind) {
+  case DiagKind::Error:
+    Out = "error: ";
+    break;
+  case DiagKind::Warning:
+    Out = "warning: ";
+    break;
+  case DiagKind::Note:
+    Out = "note: ";
+    break;
+  }
+  if (Loc.isValid())
+    Out += Loc.str() + ": ";
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

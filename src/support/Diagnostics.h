@@ -1,0 +1,73 @@
+//===- support/Diagnostics.h - Diagnostic collection ------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A diagnostics engine that collects errors and warnings produced while
+/// parsing, type checking, analyzing, or compiling a program. Library code
+/// never prints or aborts on user-input errors; it reports here and lets
+/// the driver decide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_SUPPORT_DIAGNOSTICS_H
+#define QCC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace qcc {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported issue: severity, position, and message text.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "error: 3:7: message" in the lowercase-first style.
+  std::string str() const;
+};
+
+/// Accumulates diagnostics for one compilation or analysis run.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic on its own line.
+  std::string str() const;
+
+  /// Drops all collected diagnostics.
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace qcc
+
+#endif // QCC_SUPPORT_DIAGNOSTICS_H

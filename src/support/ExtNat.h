@@ -1,0 +1,136 @@
+//===- support/ExtNat.h - Extended naturals N + infinity --------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExtNat models the codomain N U {oo} of quantitative Hoare assertions
+/// (Paper section 4.3). The classic boolean `false` is represented by the
+/// infinite element, `true` is refined into a concrete number of bytes.
+/// All arithmetic saturates at infinity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_SUPPORT_EXTNAT_H
+#define QCC_SUPPORT_EXTNAT_H
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace qcc {
+
+/// A natural number extended with a single infinite element.
+///
+/// Addition, multiplication, max and min saturate: anything involving
+/// infinity is infinity (except multiplication by a finite zero, which is
+/// defined as zero so that scaling an empty bound stays empty). Subtraction
+/// is truncated at zero, and infinity minus a finite value stays infinite.
+class ExtNat {
+public:
+  /// Constructs zero.
+  ExtNat() : Value(0), Inf(false) {}
+
+  /// Constructs a finite value.
+  ExtNat(uint64_t V) : Value(V), Inf(false) {} // NOLINT: implicit by design.
+
+  /// Returns the infinite element (the quantitative `false`).
+  static ExtNat infinity() {
+    ExtNat N;
+    N.Inf = true;
+    N.Value = 0;
+    return N;
+  }
+
+  bool isInfinite() const { return Inf; }
+  bool isFinite() const { return !Inf; }
+
+  /// Returns the finite payload; must not be called on infinity.
+  uint64_t finiteValue() const {
+    assert(!Inf && "finiteValue() on the infinite element");
+    return Value;
+  }
+
+  ExtNat operator+(ExtNat O) const {
+    if (Inf || O.Inf)
+      return infinity();
+    assert(Value <= std::numeric_limits<uint64_t>::max() - O.Value &&
+           "ExtNat addition overflow");
+    return ExtNat(Value + O.Value);
+  }
+
+  /// Truncated subtraction: max(0, a - b); oo - finite = oo. Subtracting
+  /// infinity from anything yields zero (there is nothing left to pay).
+  ExtNat monus(ExtNat O) const {
+    if (O.Inf)
+      return ExtNat(0);
+    if (Inf)
+      return infinity();
+    return ExtNat(Value > O.Value ? Value - O.Value : 0);
+  }
+
+  ExtNat operator*(ExtNat O) const {
+    if ((isFinite() && Value == 0) || (O.isFinite() && O.Value == 0))
+      return ExtNat(0);
+    if (Inf || O.Inf)
+      return infinity();
+    assert((O.Value == 0 ||
+            Value <= std::numeric_limits<uint64_t>::max() / O.Value) &&
+           "ExtNat multiplication overflow");
+    return ExtNat(Value * O.Value);
+  }
+
+  friend ExtNat max(ExtNat A, ExtNat B) { return A < B ? B : A; }
+  friend ExtNat min(ExtNat A, ExtNat B) { return A < B ? A : B; }
+
+  bool operator==(const ExtNat &O) const {
+    return Inf == O.Inf && (Inf || Value == O.Value);
+  }
+  bool operator!=(const ExtNat &O) const { return !(*this == O); }
+
+  /// Total order with infinity as the top element.
+  bool operator<(const ExtNat &O) const {
+    if (Inf)
+      return false;
+    if (O.Inf)
+      return true;
+    return Value < O.Value;
+  }
+  bool operator<=(const ExtNat &O) const { return *this < O || *this == O; }
+  bool operator>(const ExtNat &O) const { return O < *this; }
+  bool operator>=(const ExtNat &O) const { return O <= *this; }
+
+  /// Renders as a decimal numeral or the string "oo".
+  std::string str() const { return Inf ? "oo" : std::to_string(Value); }
+
+private:
+  uint64_t Value;
+  bool Inf;
+};
+
+/// Floor of log2 with the paper's conventions (Paper section 2): values
+/// below 1 map to 0, and callers encode the "undefined on negatives" case
+/// as infinity before reaching this helper.
+inline uint64_t floorLog2(uint64_t V) {
+  uint64_t R = 0;
+  while (V > 1) {
+    V >>= 1;
+    ++R;
+  }
+  return R;
+}
+
+/// Ceiling of log2: the number of halvings needed to reach 1, which is the
+/// recursion depth of binary search over an interval of width V.
+inline uint64_t ceilLog2(uint64_t V) {
+  if (V <= 1)
+    return 0;
+  return floorLog2(V - 1) + 1;
+}
+
+} // namespace qcc
+
+#endif // QCC_SUPPORT_EXTNAT_H

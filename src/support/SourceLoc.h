@@ -1,0 +1,47 @@
+//===- support/SourceLoc.h - Source locations -------------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal 1-based line/column source position used by the frontend and
+/// the diagnostics engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_SUPPORT_SOURCELOC_H
+#define QCC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace qcc {
+
+/// A position in a source buffer. Line and column are 1-based; the value
+/// {0, 0} denotes "unknown location".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &O) const {
+    return Line == O.Line && Column == O.Column;
+  }
+
+  /// Renders as "line:column" or "<unknown>".
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+} // namespace qcc
+
+#endif // QCC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,180 @@
+//===- x86/Asm.cpp - x86-32 subset assembly -------------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/Asm.h"
+
+using namespace qcc;
+using namespace qcc::x86;
+
+const char *qcc::x86::regName(Reg R) {
+  switch (R) {
+  case Reg::EAX: return "eax";
+  case Reg::EBX: return "ebx";
+  case Reg::ECX: return "ecx";
+  case Reg::EDX: return "edx";
+  case Reg::ESI: return "esi";
+  case Reg::EDI: return "edi";
+  case Reg::ESP: return "esp";
+  case Reg::EBP: return "ebp";
+  }
+  return "?";
+}
+
+namespace {
+
+const char *aluName(AluOp Op) {
+  switch (Op) {
+  case AluOp::Add: return "add";
+  case AluOp::Sub: return "sub";
+  case AluOp::Imul: return "imul";
+  case AluOp::And: return "and";
+  case AluOp::Or: return "or";
+  case AluOp::Xor: return "xor";
+  }
+  return "?";
+}
+
+const char *shiftName(ShiftOp Op) {
+  switch (Op) {
+  case ShiftOp::Shl: return "shl";
+  case ShiftOp::Shr: return "shr";
+  case ShiftOp::Sar: return "sar";
+  }
+  return "?";
+}
+
+const char *divName(DivOp Op) {
+  switch (Op) {
+  case DivOp::Udiv: return "udiv";
+  case DivOp::Sdiv: return "sdiv";
+  case DivOp::Urem: return "urem";
+  case DivOp::Srem: return "srem";
+  }
+  return "?";
+}
+
+const char *ccName(Cc C) {
+  switch (C) {
+  case Cc::E: return "e";
+  case Cc::Ne: return "ne";
+  case Cc::B: return "b";
+  case Cc::Be: return "be";
+  case Cc::A: return "a";
+  case Cc::Ae: return "ae";
+  case Cc::L: return "l";
+  case Cc::Le: return "le";
+  case Cc::G: return "g";
+  case Cc::Ge: return "ge";
+  }
+  return "?";
+}
+
+std::string hex(uint32_t V) {
+  char Buf[16];
+  snprintf(Buf, sizeof(Buf), "0x%x", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string Instr::str() const {
+  auto R = [](Reg X) { return std::string(regName(X)); };
+  switch (K) {
+  case InstrKind::MovImm:
+    return "mov " + R(Dst) + ", " + std::to_string(Imm);
+  case InstrKind::MovRR:
+    return "mov " + R(Dst) + ", " + R(Src);
+  case InstrKind::LoadAbs:
+    return "mov " + R(Dst) + ", dword [" + hex(Imm) + "]";
+  case InstrKind::StoreAbs:
+    return "mov dword [" + hex(Imm) + "], " + R(Src);
+  case InstrKind::LoadIdx:
+    return "mov " + R(Dst) + ", dword [" + hex(Imm) + " + " + R(Src) +
+           "*4]";
+  case InstrKind::StoreIdx:
+    return "mov dword [" + hex(Imm) + " + " + R(Src) + "*4], " + R(Src2);
+  case InstrKind::LoadEsp:
+    return "mov " + R(Dst) + ", dword [esp + " + std::to_string(Imm) + "]";
+  case InstrKind::StoreEsp:
+    return "mov dword [esp + " + std::to_string(Imm) + "], " + R(Src);
+  case InstrKind::Alu:
+    return std::string(aluName(A)) + " " + R(Dst) + ", " + R(Src);
+  case InstrKind::Shift:
+    return std::string(shiftName(Sh)) + " " + R(Dst) + ", " + R(Src);
+  case InstrKind::Div:
+    return std::string(divName(D)) + " " + R(Dst) + ", " + R(Src);
+  case InstrKind::Neg:
+    return "neg " + R(Dst);
+  case InstrKind::Not:
+    return "not " + R(Dst);
+  case InstrKind::SetZ:
+    return "setz " + R(Dst) + ", " + R(Src);
+  case InstrKind::CmpSet:
+    return std::string("set") + ccName(C) + " " + R(Dst) + ", " + R(Src) +
+           ", " + R(Src2);
+  case InstrKind::TestJnz:
+    return "test " + R(Src) + ", " + R(Src) + "; jnz .L" +
+           std::to_string(Imm);
+  case InstrKind::Jmp:
+    return "jmp .L" + std::to_string(Imm);
+  case InstrKind::Label:
+    return ".L" + std::to_string(Imm) + ":";
+  case InstrKind::CallDirect:
+    return "call " + Name;
+  case InstrKind::TailJmp:
+    return "jmp " + Name + "  ; tail call";
+  case InstrKind::CallExternal:
+    return "call " + Name + "@ext";
+  case InstrKind::SubEsp:
+    return "sub esp, " + std::to_string(Imm);
+  case InstrKind::AddEsp:
+    return "add esp, " + std::to_string(Imm);
+  case InstrKind::Ret:
+    return "ret";
+  case InstrKind::Halt:
+    return "hlt";
+  }
+  return "<bad instr>";
+}
+
+const AsmFunction *Program::findFunction(const std::string &Name) const {
+  for (const AsmFunction &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+StackMetric Program::costMetric() const {
+  StackMetric M;
+  for (const AsmFunction &F : Functions)
+    M.setCost(F.Name, F.FrameSize + 4);
+  return M;
+}
+
+std::string Program::str() const {
+  std::string Out;
+  Out += "; qcc assembled program, entry " + EntryPoint + "\n";
+  Out += "section .data  ; base " + hex(GlobalBase) + "\n";
+  for (const GlobalLayout &G : Globals) {
+    Out += G.Name + ":  ; " + hex(G.Address) + ", " +
+           std::to_string(G.SizeBytes) + " bytes\n";
+    Out += "  dd";
+    for (size_t I = 0; I != G.Init.size(); ++I)
+      Out += (I ? ", " : " ") + std::to_string(G.Init[I]);
+    Out += "\n";
+  }
+  Out += "section .text\n";
+  for (const AsmFunction &F : Functions) {
+    Out += F.Name + ":  ; frame " + std::to_string(F.FrameSize) +
+           " bytes\n";
+    for (const Instr &I : F.Code) {
+      Out += I.K == InstrKind::Label ? "" : "  ";
+      Out += I.str() + "\n";
+    }
+  }
+  return Out;
+}

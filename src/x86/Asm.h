@@ -1,0 +1,151 @@
+//===- x86/Asm.h - x86-32 subset assembly -----------------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target assembly language: a subset of x86-32 with the *stack-merged*
+/// memory discipline of the paper's ASM_sz (section 3.2):
+///
+///   * one contiguous stack block of sz + 4 bytes is preallocated; ESP
+///     always points into it; there are no Pallocframe/Pfreeframe pseudo
+///     instructions — frames are allocated by `sub esp, SF(f)` and freed
+///     by `add esp, SF(f)` (pure pointer arithmetic),
+///   * `call` pushes a 4-byte return address, `ret` pops it,
+///   * any access below the stack block traps: stack overflow is real,
+///   * function arguments are read at [esp + SF(f) + 4 + 4*i] — directly
+///     in the caller's frame, no back link (paper section 3.2).
+///
+/// Fidelity notes (documented deviations, DESIGN.md): ALU instructions
+/// use a liberal encoding — three-operand compare-and-set (`cmp`+`setcc`+
+/// `movzx` fused), shift counts in any register, and division as a
+/// trapping two-operand macro — because the paper's claims concern the
+/// stack discipline, not instruction encodings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_X86_ASM_H
+#define QCC_X86_ASM_H
+
+#include "events/Metric.h"
+#include "events/Trace.h"
+#include "mach/Mach.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace x86 {
+
+/// The eight 32-bit registers. EBP serves as the emission scratch (no
+/// frame pointer is needed in the stack-merged discipline).
+enum class Reg : uint8_t { EAX, EBX, ECX, EDX, ESI, EDI, ESP, EBP };
+
+const char *regName(Reg R);
+
+/// Two-address ALU operations (dst = dst op src).
+enum class AluOp : uint8_t { Add, Sub, Imul, And, Or, Xor };
+
+/// Shift operations (dst = dst shift count).
+enum class ShiftOp : uint8_t { Shl, Shr, Sar };
+
+/// Trapping division macro-ops (dst = dst op src).
+enum class DivOp : uint8_t { Udiv, Sdiv, Urem, Srem };
+
+/// Condition codes for the fused compare-and-set macro.
+enum class Cc : uint8_t { E, Ne, B, Be, A, Ae, L, Le, G, Ge };
+
+enum class InstrKind : uint8_t {
+  MovImm,      ///< mov Dst, Imm
+  MovRR,       ///< mov Dst, Src
+  LoadAbs,     ///< mov Dst, [Imm]
+  StoreAbs,    ///< mov [Imm], Src
+  LoadIdx,     ///< mov Dst, [Imm + Src*4]
+  StoreIdx,    ///< mov [Imm + Src*4], Src2
+  LoadEsp,     ///< mov Dst, [esp + Imm]
+  StoreEsp,    ///< mov [esp + Imm], Src
+  Alu,         ///< AluOp Dst, Src
+  Shift,       ///< ShiftOp Dst, Src (count)
+  Div,         ///< DivOp Dst, Src (traps)
+  Neg,         ///< neg Dst
+  Not,         ///< not Dst
+  SetZ,        ///< test Src, Src; sete Dst; movzx (Dst = Src == 0)
+  CmpSet,      ///< cmp Src, Src2; setCC Dst; movzx
+  TestJnz,     ///< test Src, Src; jnz Label
+  Jmp,         ///< jmp Label
+  Label,       ///< local label (Imm = id)
+  CallDirect,  ///< call Name (pushes return address)
+  TailJmp,     ///< jmp Name: tail call — the caller's frame is already
+               ///< released and its return address is reused
+  CallExternal,///< call to a runtime I/O stub: emits an external event
+               ///< with NArgs arguments read from [esp+0..]
+  SubEsp,      ///< sub esp, Imm (frame allocation)
+  AddEsp,      ///< add esp, Imm (frame release)
+  Ret,         ///< pop return address and jump
+  Halt         ///< stop the machine; exit code in EAX
+};
+
+struct Instr {
+  InstrKind K;
+  Reg Dst = Reg::EAX;
+  Reg Src = Reg::EAX;
+  Reg Src2 = Reg::EAX;
+  uint32_t Imm = 0;   ///< Immediate / absolute address / label id / disp.
+  uint32_t NArgs = 0; ///< CallExternal.
+  AluOp A = AluOp::Add;
+  ShiftOp Sh = ShiftOp::Shl;
+  DivOp D = DivOp::Udiv;
+  Cc C = Cc::E;
+  std::string Name;   ///< Call target.
+
+  /// Renders in Intel-ish syntax.
+  std::string str() const;
+};
+
+/// One assembled function.
+struct AsmFunction {
+  std::string Name;
+  uint32_t FrameSize = 0; ///< SF(f) in bytes.
+  std::vector<Instr> Code;
+};
+
+/// A laid-out global.
+struct GlobalLayout {
+  std::string Name;
+  uint32_t Address = 0;
+  uint32_t SizeBytes = 0;
+  std::vector<uint32_t> Init;
+};
+
+/// The assembled program: globals with concrete addresses, functions, and
+/// the metadata the driver needs (entry point, frame sizes).
+struct Program {
+  std::vector<GlobalLayout> Globals;
+  std::vector<AsmFunction> Functions;
+  std::vector<std::string> Externals;
+  std::string EntryPoint = "main";
+  uint32_t GlobalBase = 0x10000000;
+  uint32_t GlobalSize = 0;
+
+  const AsmFunction *findFunction(const std::string &Name) const;
+
+  /// The frame-size metric of the assembled code: M(f) = SF(f) + 4. By
+  /// construction it equals the Mach metric — asserted by the driver.
+  StackMetric costMetric() const;
+
+  /// Full assembly listing.
+  std::string str() const;
+};
+
+/// Assembly generation from Mach (the paper's reimplemented last pass).
+/// Mach-level TailCall instructions become frame-releasing jumps.
+Program emitFromMach(const mach::Program &P);
+
+} // namespace x86
+} // namespace qcc
+
+#endif // QCC_X86_ASM_H

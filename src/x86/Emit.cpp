@@ -1,0 +1,323 @@
+//===- x86/Emit.cpp - Assembly generation from Mach -----------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reimplemented assembly-generation pass (paper section 3.2): Mach's
+/// per-function frames are merged into the single preallocated stack
+/// block. Frame layout within [esp, esp + SF(f)):
+///
+///   [esp + 0        .. 4*MaxOut)   outgoing argument area
+///   [esp + 4*MaxOut .. SF(f))      spill slots
+///   [esp + SF(f)]                  return address (pushed by `call`)
+///   [esp + SF(f)+4 + 4*i]          incoming parameter i
+///
+/// Three-address Mach operations are expanded into two-address x86 form,
+/// using EBP as the scratch for the dst == src2 hazard.
+///
+//===----------------------------------------------------------------------===//
+
+#include "x86/Asm.h"
+
+#include <cassert>
+
+using namespace qcc;
+using namespace qcc::x86;
+namespace m = qcc::mach;
+
+namespace {
+
+Reg fromPReg(m::PReg R) { return static_cast<Reg>(static_cast<unsigned>(R)); }
+
+class FunctionEmitter {
+public:
+  FunctionEmitter(const m::Function &F,
+                  const std::map<std::string, uint32_t> &GlobalAddr,
+                  const std::map<std::string, bool> &IsInternal)
+      : F(F), GlobalAddr(GlobalAddr), IsInternal(IsInternal) {}
+
+  AsmFunction run() {
+    AsmFunction Out;
+    Out.Name = F.Name;
+    Out.FrameSize = F.frameSize();
+
+    if (Out.FrameSize > 0)
+      push({.K = InstrKind::SubEsp, .Imm = Out.FrameSize});
+    for (const m::Instr &I : F.Code)
+      emit(I);
+    Out.Code = std::move(Code);
+    return Out;
+  }
+
+private:
+  void push(Instr I) { Code.push_back(std::move(I)); }
+
+  uint32_t spillOffset(uint32_t Slot) const {
+    return 4 * F.MaxOutgoing + 4 * Slot;
+  }
+  uint32_t paramOffset(uint32_t Index) const {
+    return F.frameSize() + 4 + 4 * Index;
+  }
+  uint32_t addrOf(const std::string &Name) const {
+    auto It = GlobalAddr.find(Name);
+    assert(It != GlobalAddr.end() && "verifier guarantees bound globals");
+    return It->second;
+  }
+
+  void movRR(Reg Dst, Reg Src) {
+    if (Dst != Src)
+      push({.K = InstrKind::MovRR, .Dst = Dst, .Src = Src});
+  }
+
+  /// Expands dst = s1 op s2 into two-address form. \p Commutative allows
+  /// operand swapping for the dst == s2 case; otherwise EBP stages s2.
+  template <typename EmitOp>
+  void twoAddress(Reg Dst, Reg S1, Reg S2, bool Commutative, EmitOp Op) {
+    if (Dst == S1) {
+      Op(Dst, S2);
+      return;
+    }
+    if (Dst == S2) {
+      if (Commutative) {
+        Op(Dst, S1);
+        return;
+      }
+      movRR(Reg::EBP, S2);
+      movRR(Dst, S1);
+      Op(Dst, Reg::EBP);
+      return;
+    }
+    movRR(Dst, S1);
+    Op(Dst, S2);
+  }
+
+  void emitBinary(const m::Instr &I) {
+    Reg D = fromPReg(I.Dst), A = fromPReg(I.Src1), B = fromPReg(I.Src2);
+    using m::BinOp;
+    switch (I.B) {
+    case BinOp::Add:
+    case BinOp::Mul:
+    case BinOp::And:
+    case BinOp::Or:
+    case BinOp::Xor:
+    case BinOp::Sub: {
+      AluOp Op;
+      bool Comm = true;
+      switch (I.B) {
+      case BinOp::Add: Op = AluOp::Add; break;
+      case BinOp::Mul: Op = AluOp::Imul; break;
+      case BinOp::And: Op = AluOp::And; break;
+      case BinOp::Or: Op = AluOp::Or; break;
+      case BinOp::Xor: Op = AluOp::Xor; break;
+      default:
+        Op = AluOp::Sub;
+        Comm = false;
+        break;
+      }
+      twoAddress(D, A, B, Comm, [this, Op](Reg Dst, Reg Src) {
+        push({.K = InstrKind::Alu, .Dst = Dst, .Src = Src, .A = Op});
+      });
+      return;
+    }
+    case BinOp::Shl:
+    case BinOp::ShrU:
+    case BinOp::ShrS: {
+      ShiftOp Op = I.B == BinOp::Shl    ? ShiftOp::Shl
+                   : I.B == BinOp::ShrU ? ShiftOp::Shr
+                                        : ShiftOp::Sar;
+      twoAddress(D, A, B, /*Commutative=*/false,
+                 [this, Op](Reg Dst, Reg Src) {
+                   push({.K = InstrKind::Shift, .Dst = Dst, .Src = Src,
+                         .Sh = Op});
+                 });
+      return;
+    }
+    case BinOp::DivU:
+    case BinOp::DivS:
+    case BinOp::ModU:
+    case BinOp::ModS: {
+      DivOp Op = I.B == BinOp::DivU   ? DivOp::Udiv
+                 : I.B == BinOp::DivS ? DivOp::Sdiv
+                 : I.B == BinOp::ModU ? DivOp::Urem
+                                      : DivOp::Srem;
+      twoAddress(D, A, B, /*Commutative=*/false,
+                 [this, Op](Reg Dst, Reg Src) {
+                   push({.K = InstrKind::Div, .Dst = Dst, .Src = Src,
+                         .D = Op});
+                 });
+      return;
+    }
+    case BinOp::Eq: case BinOp::Ne:
+    case BinOp::LtU: case BinOp::LeU: case BinOp::GtU: case BinOp::GeU:
+    case BinOp::LtS: case BinOp::LeS: case BinOp::GtS: case BinOp::GeS: {
+      Cc C;
+      switch (I.B) {
+      case BinOp::Eq: C = Cc::E; break;
+      case BinOp::Ne: C = Cc::Ne; break;
+      case BinOp::LtU: C = Cc::B; break;
+      case BinOp::LeU: C = Cc::Be; break;
+      case BinOp::GtU: C = Cc::A; break;
+      case BinOp::GeU: C = Cc::Ae; break;
+      case BinOp::LtS: C = Cc::L; break;
+      case BinOp::LeS: C = Cc::Le; break;
+      case BinOp::GtS: C = Cc::G; break;
+      default: C = Cc::Ge; break;
+      }
+      // The fused compare-and-set reads both sources before writing.
+      push({.K = InstrKind::CmpSet, .Dst = D, .Src = A, .Src2 = B, .C = C});
+      return;
+    }
+    }
+  }
+
+  void emit(const m::Instr &I) {
+    switch (I.K) {
+    case m::InstrKind::MovImm:
+      push({.K = InstrKind::MovImm, .Dst = fromPReg(I.Dst), .Imm = I.Imm});
+      return;
+    case m::InstrKind::Mov:
+      movRR(fromPReg(I.Dst), fromPReg(I.Src1));
+      return;
+    case m::InstrKind::Unary: {
+      Reg D = fromPReg(I.Dst), S = fromPReg(I.Src1);
+      switch (I.U) {
+      case m::UnOp::Neg:
+        movRR(D, S);
+        push({.K = InstrKind::Neg, .Dst = D});
+        return;
+      case m::UnOp::BitNot:
+        movRR(D, S);
+        push({.K = InstrKind::Not, .Dst = D});
+        return;
+      case m::UnOp::BoolNot:
+        push({.K = InstrKind::SetZ, .Dst = D, .Src = S});
+        return;
+      }
+      return;
+    }
+    case m::InstrKind::Binary:
+      emitBinary(I);
+      return;
+    case m::InstrKind::GlobLoad:
+      push({.K = InstrKind::LoadAbs, .Dst = fromPReg(I.Dst),
+            .Imm = addrOf(I.Name)});
+      return;
+    case m::InstrKind::GlobStore:
+      push({.K = InstrKind::StoreAbs, .Src = fromPReg(I.Src1),
+            .Imm = addrOf(I.Name)});
+      return;
+    case m::InstrKind::ArrayLoad:
+      push({.K = InstrKind::LoadIdx, .Dst = fromPReg(I.Dst),
+            .Src = fromPReg(I.Src1), .Imm = addrOf(I.Name)});
+      return;
+    case m::InstrKind::ArrayStore:
+      push({.K = InstrKind::StoreIdx, .Src = fromPReg(I.Src1),
+            .Src2 = fromPReg(I.Src2), .Imm = addrOf(I.Name)});
+      return;
+    case m::InstrKind::GetStack:
+      push({.K = InstrKind::LoadEsp, .Dst = fromPReg(I.Dst),
+            .Imm = spillOffset(I.Index)});
+      return;
+    case m::InstrKind::SetStack:
+      push({.K = InstrKind::StoreEsp, .Src = fromPReg(I.Src1),
+            .Imm = spillOffset(I.Index)});
+      return;
+    case m::InstrKind::GetParam:
+      push({.K = InstrKind::LoadEsp, .Dst = fromPReg(I.Dst),
+            .Imm = paramOffset(I.Index)});
+      return;
+    case m::InstrKind::SetOutgoing:
+      push({.K = InstrKind::StoreEsp, .Src = fromPReg(I.Src1),
+            .Imm = 4 * I.Index});
+      return;
+    case m::InstrKind::TailCall: {
+      // Copy the outgoing arguments over this frame's incoming parameter
+      // area (disjoint regions: the destination sits above the return
+      // address), release the frame, and jump. The callee will return
+      // straight to this frame's caller.
+      for (uint32_t A = 0; A != I.NArgs; ++A) {
+        push({.K = InstrKind::LoadEsp, .Dst = Reg::EBP, .Imm = 4 * A});
+        push({.K = InstrKind::StoreEsp, .Src = Reg::EBP,
+              .Imm = paramOffset(A)});
+      }
+      if (F.frameSize() > 0)
+        push({.K = InstrKind::AddEsp, .Imm = F.frameSize()});
+      Instr J;
+      J.K = InstrKind::TailJmp;
+      J.Name = I.Name;
+      push(std::move(J));
+      return;
+    }
+    case m::InstrKind::Call: {
+      auto It = IsInternal.find(I.Name);
+      bool Internal = It != IsInternal.end() && It->second;
+      Instr C;
+      C.K = Internal ? InstrKind::CallDirect : InstrKind::CallExternal;
+      C.Name = I.Name;
+      C.NArgs = I.NArgs;
+      push(std::move(C));
+      return;
+    }
+    case m::InstrKind::Label:
+      push({.K = InstrKind::Label, .Imm = I.Index});
+      return;
+    case m::InstrKind::Goto:
+      push({.K = InstrKind::Jmp, .Imm = I.Index});
+      return;
+    case m::InstrKind::Brnz:
+      push({.K = InstrKind::TestJnz, .Src = fromPReg(I.Src1),
+            .Imm = I.Index});
+      return;
+    case m::InstrKind::Return:
+      if (F.frameSize() > 0)
+        push({.K = InstrKind::AddEsp, .Imm = F.frameSize()});
+      push({.K = InstrKind::Ret});
+      return;
+    }
+  }
+
+  const m::Function &F;
+  const std::map<std::string, uint32_t> &GlobalAddr;
+  const std::map<std::string, bool> &IsInternal;
+  std::vector<Instr> Code;
+};
+
+} // namespace
+
+Program qcc::x86::emitFromMach(const m::Program &P) {
+  Program Out;
+  Out.EntryPoint = P.EntryPoint;
+
+  // Lay out globals contiguously, 4-byte aligned (all data is words).
+  uint32_t Offset = 0;
+  for (const m::GlobalVar &G : P.Globals) {
+    GlobalLayout L;
+    L.Name = G.Name;
+    L.Address = Out.GlobalBase + Offset;
+    L.SizeBytes = 4 * G.Size;
+    L.Init = G.Init;
+    L.Init.resize(G.Size, 0);
+    Offset += L.SizeBytes;
+    Out.Globals.push_back(std::move(L));
+  }
+  Out.GlobalSize = Offset;
+
+  std::map<std::string, uint32_t> GlobalAddr;
+  for (const GlobalLayout &G : Out.Globals)
+    GlobalAddr[G.Name] = G.Address;
+  std::map<std::string, bool> IsInternal;
+  for (const m::Function &F : P.Functions)
+    IsInternal[F.Name] = true;
+  for (const m::ExternalDecl &E : P.Externals) {
+    IsInternal[E.Name] = false;
+    Out.Externals.push_back(E.Name);
+  }
+
+  for (const m::Function &F : P.Functions)
+    Out.Functions.push_back(
+        FunctionEmitter(F, GlobalAddr, IsInternal).run());
+  return Out;
+}

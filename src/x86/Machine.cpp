@@ -1,0 +1,353 @@
+//===- x86/Machine.cpp - The ASM_sz finite-stack machine ------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/Machine.h"
+
+#include <cassert>
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+using namespace qcc;
+using namespace qcc::x86;
+
+namespace {
+/// The sentinel "return address of the caller of main".
+constexpr uint32_t HaltAddress = 0xfffffff0u;
+} // namespace
+
+Machine::Machine(const Program &P, uint32_t StackSize)
+    : P(P), StackSize(StackSize) {
+  StackTop = 0x7fff0000u;
+  StackBase = StackTop - (StackSize + 4);
+  GlobalMem.assign(P.GlobalSize, 0);
+  for (const GlobalLayout &G : P.Globals) {
+    uint32_t Off = G.Address - P.GlobalBase;
+    for (size_t I = 0; I != G.Init.size(); ++I)
+      std::memcpy(&GlobalMem[Off + 4 * I], &G.Init[I], 4);
+  }
+  StackMem.assign(StackSize + 4, 0);
+  link();
+}
+
+void Machine::link() {
+  // First pass: function start offsets.
+  uint32_t Offset = 0;
+  for (const AsmFunction &F : P.Functions) {
+    Image.FunctionStart[F.Name] = Offset;
+    Offset += static_cast<uint32_t>(F.Code.size());
+  }
+  // Second pass: copy code, resolving local labels and call targets to
+  // absolute instruction indices (kept in Imm).
+  for (const AsmFunction &F : P.Functions) {
+    uint32_t Start = Image.FunctionStart[F.Name];
+    std::map<uint32_t, uint32_t> Local;
+    for (uint32_t I = 0; I != F.Code.size(); ++I)
+      if (F.Code[I].K == InstrKind::Label)
+        Local[F.Code[I].Imm] = Start + I;
+    for (const Instr &I : F.Code) {
+      Instr Copy = I;
+      if (I.K == InstrKind::Jmp || I.K == InstrKind::TestJnz) {
+        auto It = Local.find(I.Imm);
+        assert(It != Local.end() && "unresolved local label");
+        Copy.Imm = It->second;
+      } else if (I.K == InstrKind::CallDirect ||
+                 I.K == InstrKind::TailJmp) {
+        auto It = Image.FunctionStart.find(I.Name);
+        assert(It != Image.FunctionStart.end() && "unresolved call target");
+        Copy.Imm = It->second;
+      }
+      Image.Code.push_back(std::move(Copy));
+    }
+  }
+}
+
+bool Machine::read32(uint32_t Addr, uint32_t &Out, std::string &Fault) {
+  if (Addr % 4 != 0) {
+    Fault = "unaligned access";
+    return false;
+  }
+  if (Addr >= P.GlobalBase && Addr + 4 <= P.GlobalBase + P.GlobalSize) {
+    std::memcpy(&Out, &GlobalMem[Addr - P.GlobalBase], 4);
+    return true;
+  }
+  if (Addr >= StackBase && Addr + 4 <= StackTop) {
+    std::memcpy(&Out, &StackMem[Addr - StackBase], 4);
+    return true;
+  }
+  if (Addr < StackBase && StackBase - Addr <= 65536) {
+    Overflowed = true;
+    Fault = "stack overflow";
+    return false;
+  }
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "segmentation fault (read 0x%x)", Addr);
+  Fault = Buf;
+  return false;
+}
+
+bool Machine::write32(uint32_t Addr, uint32_t Value, std::string &Fault) {
+  if (Addr % 4 != 0) {
+    Fault = "unaligned access";
+    return false;
+  }
+  if (Addr >= P.GlobalBase && Addr + 4 <= P.GlobalBase + P.GlobalSize) {
+    std::memcpy(&GlobalMem[Addr - P.GlobalBase], &Value, 4);
+    return true;
+  }
+  if (Addr >= StackBase && Addr + 4 <= StackTop) {
+    std::memcpy(&StackMem[Addr - StackBase], &Value, 4);
+    return true;
+  }
+  if (Addr < StackBase && StackBase - Addr <= 65536) {
+    Overflowed = true;
+    Fault = "stack overflow";
+    return false;
+  }
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "segmentation fault (write 0x%x)", Addr);
+  Fault = Buf;
+  return false;
+}
+
+bool Machine::setEsp(uint32_t NewEsp, std::string &Fault) {
+  // Moving ESP below the preallocated block is the overflow trap: the
+  // frame being reserved does not fit in the remaining sz bytes.
+  if (NewEsp < StackBase) {
+    Overflowed = true;
+    Fault = "stack overflow";
+    return false;
+  }
+  if (NewEsp > StackTop) {
+    Fault = "stack underflow";
+    return false;
+  }
+  Regs[static_cast<unsigned>(Reg::ESP)] = NewEsp;
+  MinEsp = std::min(MinEsp, NewEsp);
+  return true;
+}
+
+Behavior Machine::run(uint64_t Fuel) {
+  Events.clear();
+  Overflowed = false;
+  for (uint32_t &R : Regs)
+    R = 0;
+  // Re-image memory so repeated runs are independent.
+  std::fill(GlobalMem.begin(), GlobalMem.end(), 0);
+  for (const GlobalLayout &G : P.Globals) {
+    uint32_t Off = G.Address - P.GlobalBase;
+    for (size_t I = 0; I != G.Init.size(); ++I)
+      std::memcpy(&GlobalMem[Off + 4 * I], &G.Init[I], 4);
+  }
+  std::fill(StackMem.begin(), StackMem.end(), 0);
+
+  auto RegRef = [this](Reg R) -> uint32_t & {
+    return Regs[static_cast<unsigned>(R)];
+  };
+  uint32_t &Esp = RegRef(Reg::ESP);
+  Esp = StackTop;
+  MinEsp = StackTop;
+
+  auto Fail = [this](const std::string &Reason) {
+    return Behavior::fails(Events, Reason + " [pc " + std::to_string(Pc) +
+                                       ": " + Image.Code[std::min<size_t>(
+                                                             Pc,
+                                                             Image.Code.size() -
+                                                                 1)]
+                                                 .str() +
+                                       "]");
+  };
+
+  // Startup: call the entry point with the sentinel return address.
+  auto EntryIt = Image.FunctionStart.find(P.EntryPoint);
+  if (EntryIt == Image.FunctionStart.end())
+    return Fail("entry point is not defined");
+  {
+    std::string Fault;
+    if (!setEsp(Esp - 4, Fault))
+      return Fail(Fault);
+    if (!write32(Esp, HaltAddress, Fault))
+      return Fail(Fault);
+  }
+  Pc = EntryIt->second;
+
+  uint64_t Steps = 0;
+  for (;;) {
+    if (++Steps > Fuel)
+      return Behavior::diverges(Events);
+    if (Pc >= Image.Code.size())
+      return Fail("instruction pointer out of range");
+    const Instr &I = Image.Code[Pc];
+    std::string Fault;
+
+    switch (I.K) {
+    case InstrKind::MovImm:
+      RegRef(I.Dst) = I.Imm;
+      break;
+    case InstrKind::MovRR:
+      RegRef(I.Dst) = RegRef(I.Src);
+      break;
+    case InstrKind::LoadAbs:
+      if (!read32(I.Imm, RegRef(I.Dst), Fault))
+        return Fail(Fault);
+      break;
+    case InstrKind::StoreAbs:
+      if (!write32(I.Imm, RegRef(I.Src), Fault))
+        return Fail(Fault);
+      break;
+    case InstrKind::LoadIdx:
+      if (!read32(I.Imm + RegRef(I.Src) * 4, RegRef(I.Dst), Fault))
+        return Fail(Fault);
+      break;
+    case InstrKind::StoreIdx:
+      if (!write32(I.Imm + RegRef(I.Src) * 4, RegRef(I.Src2), Fault))
+        return Fail(Fault);
+      break;
+    case InstrKind::LoadEsp:
+      if (!read32(Esp + I.Imm, RegRef(I.Dst), Fault))
+        return Fail(Fault);
+      break;
+    case InstrKind::StoreEsp:
+      if (!write32(Esp + I.Imm, RegRef(I.Src), Fault))
+        return Fail(Fault);
+      break;
+    case InstrKind::Alu: {
+      uint32_t &D = RegRef(I.Dst);
+      uint32_t S = RegRef(I.Src);
+      switch (I.A) {
+      case AluOp::Add: D += S; break;
+      case AluOp::Sub: D -= S; break;
+      case AluOp::Imul: D *= S; break;
+      case AluOp::And: D &= S; break;
+      case AluOp::Or: D |= S; break;
+      case AluOp::Xor: D ^= S; break;
+      }
+      break;
+    }
+    case InstrKind::Shift: {
+      uint32_t &D = RegRef(I.Dst);
+      uint32_t C = RegRef(I.Src) & 31;
+      switch (I.Sh) {
+      case ShiftOp::Shl: D <<= C; break;
+      case ShiftOp::Shr: D >>= C; break;
+      case ShiftOp::Sar:
+        D = static_cast<uint32_t>(static_cast<int32_t>(D) >> C);
+        break;
+      }
+      break;
+    }
+    case InstrKind::Div: {
+      uint32_t &D = RegRef(I.Dst);
+      uint32_t S = RegRef(I.Src);
+      int32_t SD = static_cast<int32_t>(D), SS = static_cast<int32_t>(S);
+      bool SignedOp = I.D == DivOp::Sdiv || I.D == DivOp::Srem;
+      if (S == 0 ||
+          (SignedOp && SD == std::numeric_limits<int32_t>::min() &&
+           SS == -1))
+        return Fail("division trap");
+      switch (I.D) {
+      case DivOp::Udiv: D = D / S; break;
+      case DivOp::Urem: D = D % S; break;
+      case DivOp::Sdiv: D = static_cast<uint32_t>(SD / SS); break;
+      case DivOp::Srem: D = static_cast<uint32_t>(SD % SS); break;
+      }
+      break;
+    }
+    case InstrKind::Neg:
+      RegRef(I.Dst) = 0u - RegRef(I.Dst);
+      break;
+    case InstrKind::Not:
+      RegRef(I.Dst) = ~RegRef(I.Dst);
+      break;
+    case InstrKind::SetZ:
+      RegRef(I.Dst) = RegRef(I.Src) == 0 ? 1u : 0u;
+      break;
+    case InstrKind::CmpSet: {
+      uint32_t A = RegRef(I.Src), B = RegRef(I.Src2);
+      int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+      bool R = false;
+      switch (I.C) {
+      case Cc::E: R = A == B; break;
+      case Cc::Ne: R = A != B; break;
+      case Cc::B: R = A < B; break;
+      case Cc::Be: R = A <= B; break;
+      case Cc::A: R = A > B; break;
+      case Cc::Ae: R = A >= B; break;
+      case Cc::L: R = SA < SB; break;
+      case Cc::Le: R = SA <= SB; break;
+      case Cc::G: R = SA > SB; break;
+      case Cc::Ge: R = SA >= SB; break;
+      }
+      RegRef(I.Dst) = R ? 1u : 0u;
+      break;
+    }
+    case InstrKind::TestJnz:
+      if (RegRef(I.Src) != 0) {
+        Pc = I.Imm;
+        continue;
+      }
+      break;
+    case InstrKind::Jmp:
+      Pc = I.Imm;
+      continue;
+    case InstrKind::Label:
+      break;
+    case InstrKind::CallDirect: {
+      if (!setEsp(Esp - 4, Fault))
+        return Fail(Fault);
+      if (!write32(Esp, Pc + 1, Fault))
+        return Fail(Fault);
+      Pc = I.Imm;
+      continue;
+    }
+    case InstrKind::TailJmp:
+      // The frame was already released; the return address on top of the
+      // stack belongs to the original caller.
+      Pc = I.Imm;
+      continue;
+    case InstrKind::CallExternal: {
+      // The runtime stub reads its arguments from the outgoing area and
+      // produces the I/O event; result 0 in EAX by convention.
+      std::vector<int32_t> Args;
+      for (uint32_t A = 0; A != I.NArgs; ++A) {
+        uint32_t V;
+        if (!read32(Esp + 4 * A, V, Fault))
+          return Fail(Fault);
+        Args.push_back(static_cast<int32_t>(V));
+      }
+      Events.push_back(Event::external(I.Name, std::move(Args), 0));
+      RegRef(Reg::EAX) = 0;
+      break;
+    }
+    case InstrKind::SubEsp:
+      if (!setEsp(Esp - I.Imm, Fault))
+        return Fail(Fault);
+      break;
+    case InstrKind::AddEsp:
+      if (!setEsp(Esp + I.Imm, Fault))
+        return Fail(Fault);
+      break;
+    case InstrKind::Ret: {
+      uint32_t Target;
+      if (!read32(Esp, Target, Fault))
+        return Fail(Fault);
+      if (!setEsp(Esp + 4, Fault))
+        return Fail(Fault);
+      if (Target == HaltAddress)
+        return Behavior::converges(
+            Events, static_cast<int32_t>(RegRef(Reg::EAX)));
+      Pc = Target;
+      continue;
+    }
+    case InstrKind::Halt:
+      return Behavior::converges(Events,
+                                 static_cast<int32_t>(RegRef(Reg::EAX)));
+    }
+    ++Pc;
+  }
+}

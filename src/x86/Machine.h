@@ -1,0 +1,93 @@
+//===- x86/Machine.h - The ASM_sz finite-stack machine ----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable model of ASM_sz (paper section 3.2): the semantics is
+/// parameterized by the stack size sz; the machine preallocates one
+/// contiguous block of sz + 4 bytes (the +4 holds the return address of
+/// the "caller" of main), runs the program with ESP confined to it, and
+/// *goes wrong* — with a distinguished stack-overflow trap — if execution
+/// needs more stack. Internal calls and returns are invisible here (no
+/// call/return events exist at this level); I/O events remain observable,
+/// which is what the end-to-end refinement statement (Theorem 1) is
+/// phrased in.
+///
+/// The machine also keeps an ESP low-water mark. Reading it through
+/// measure::StackMeter is this repo's substitute for the paper's
+/// ptrace-based measurement tool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_X86_MACHINE_H
+#define QCC_X86_MACHINE_H
+
+#include "events/Trace.h"
+#include "x86/Asm.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace qcc {
+namespace x86 {
+
+/// Default fuel for whole-program runs.
+inline constexpr uint64_t DefaultFuel = 500'000'000;
+
+/// Executes an assembled program against a finite stack of a given size.
+class Machine {
+public:
+  /// \p StackSize is the paper's sz: the block is sz + 4 bytes.
+  Machine(const Program &P, uint32_t StackSize);
+
+  /// Runs from the entry point until halt, trap, or fuel exhaustion.
+  Behavior run(uint64_t Fuel = DefaultFuel);
+
+  /// True if the last run trapped specifically on stack exhaustion.
+  bool stackOverflowed() const { return Overflowed; }
+
+  /// ESP at the entry of the entry function (stack top minus the pushed
+  /// return address) — the measurement baseline.
+  uint32_t baselineEsp() const { return StackTop - 4; }
+
+  /// The lowest ESP observed during the last run.
+  uint32_t minEsp() const { return MinEsp; }
+
+  /// baselineEsp() - minEsp(): the measured stack consumption in bytes,
+  /// exactly what the paper's ptrace tool reports.
+  uint32_t measuredStackBytes() const { return baselineEsp() - MinEsp; }
+
+private:
+  struct Linked {
+    std::vector<Instr> Code;
+    std::map<std::string, uint32_t> FunctionStart;
+  };
+
+  void link();
+  bool read32(uint32_t Addr, uint32_t &Out, std::string &Fault);
+  bool write32(uint32_t Addr, uint32_t Value, std::string &Fault);
+  bool setEsp(uint32_t NewEsp, std::string &Fault);
+
+  const Program &P;
+  uint32_t StackSize;
+  uint32_t StackBase;
+  uint32_t StackTop;
+
+  Linked Image;
+  std::vector<uint8_t> GlobalMem;
+  std::vector<uint8_t> StackMem;
+  uint32_t Regs[8] = {0};
+  uint32_t Pc = 0;
+  uint32_t MinEsp = 0;
+  bool Overflowed = false;
+  Trace Events;
+};
+
+} // namespace x86
+} // namespace qcc
+
+#endif // QCC_X86_MACHINE_H

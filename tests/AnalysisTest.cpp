@@ -1,0 +1,288 @@
+//===- tests/AnalysisTest.cpp - Unit tests for qcc_analysis ---------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "analysis/CallGraph.h"
+#include "events/Weight.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+using namespace qcc::logic;
+
+namespace {
+
+clight::Program mustParse(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = frontend::parseProgram(Src, D);
+  EXPECT_TRUE(P) << D.str();
+  return P ? std::move(*P) : clight::Program{};
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraph, EdgesAndTopoOrder) {
+  clight::Program P = mustParse(R"(
+void h() { }
+void g() { h(); }
+void f() { g(); h(); }
+int main() { f(); return 0; }
+)");
+  analysis::CallGraph CG(P);
+  EXPECT_EQ(CG.callees("f"), (std::set<std::string>{"g", "h"}));
+  EXPECT_EQ(CG.callees("main"), (std::set<std::string>{"f"}));
+  EXPECT_TRUE(CG.callees("h").empty());
+  EXPECT_TRUE(CG.recursiveFunctions().empty());
+
+  // Callee-first: h before g before f before main.
+  const auto &Topo = CG.topologicalOrder();
+  auto Pos = [&Topo](const std::string &N) {
+    return std::find(Topo.begin(), Topo.end(), N) - Topo.begin();
+  };
+  EXPECT_LT(Pos("h"), Pos("g"));
+  EXPECT_LT(Pos("g"), Pos("f"));
+  EXPECT_LT(Pos("f"), Pos("main"));
+}
+
+TEST(CallGraph, DirectRecursionDetected) {
+  clight::Program P = mustParse(R"(
+u32 f(u32 n) { if (n == 0) return 0; return f(n - 1); }
+int main() { return f(3); }
+)");
+  analysis::CallGraph CG(P);
+  EXPECT_TRUE(CG.isRecursive("f"));
+  EXPECT_FALSE(CG.isRecursive("main"));
+}
+
+TEST(CallGraph, MutualRecursionDetected) {
+  clight::Program P = mustParse(R"(
+u32 odd(u32 n);
+u32 even(u32 n) { if (n == 0) return 1; return odd(n - 1); }
+u32 odd(u32 n) { if (n == 0) return 0; return even(n - 1); }
+int main() { return even(4); }
+)");
+  analysis::CallGraph CG(P);
+  EXPECT_TRUE(CG.isRecursive("even"));
+  EXPECT_TRUE(CG.isRecursive("odd"));
+  EXPECT_FALSE(CG.isRecursive("main"));
+}
+
+//===----------------------------------------------------------------------===//
+// Automatic analyzer
+//===----------------------------------------------------------------------===//
+
+TEST(Analyzer, LeafFunctionBoundIsZero) {
+  clight::Program P = mustParse("void f() { }\nint main() { f(); return 0; }");
+  DiagnosticEngine D;
+  auto R = analysis::analyzeProgram(P, D);
+  ASSERT_TRUE(R.Gamma.count("f"));
+  StackMetric M;
+  M.setCost("f", 40);
+  EXPECT_EQ(evalBound(R.Gamma.at("f").Pre, M, {}), ExtNat(0));
+  // The call bound M(f) + 0 is what Table 1 reports.
+  EXPECT_EQ(evalBound(R.callBound("f"), M, {}), ExtNat(40));
+}
+
+TEST(Analyzer, SequentialCallsTakeMax) {
+  clight::Program P = mustParse(R"(
+void f() { }
+void g() { }
+int main() { f(); g(); return 0; }
+)");
+  DiagnosticEngine D;
+  auto R = analysis::analyzeProgram(P, D);
+  ASSERT_TRUE(R.Gamma.count("main"));
+  StackMetric M;
+  M.setCost("main", 8);
+  M.setCost("f", 100);
+  M.setCost("g", 40);
+  // B_main = max(M(f), M(g)); call bound adds M(main).
+  EXPECT_EQ(evalBound(R.callBound("main"), M, {}), ExtNat(108));
+}
+
+TEST(Analyzer, NestedCallsSum) {
+  clight::Program P = mustParse(R"(
+void h() { }
+void g() { h(); }
+int main() { g(); return 0; }
+)");
+  DiagnosticEngine D;
+  auto R = analysis::analyzeProgram(P, D);
+  StackMetric M;
+  M.setCost("main", 8);
+  M.setCost("g", 16);
+  M.setCost("h", 32);
+  EXPECT_EQ(evalBound(R.callBound("main"), M, {}), ExtNat(56));
+}
+
+TEST(Analyzer, BranchesTakeMax) {
+  clight::Program P = mustParse(R"(
+void cheap() { }
+void deep2() { }
+void deep1() { deep2(); }
+u32 flag;
+int main() { if (flag) deep1(); else cheap(); return 0; }
+)");
+  DiagnosticEngine D;
+  auto R = analysis::analyzeProgram(P, D);
+  StackMetric M;
+  M.setCost("main", 4);
+  M.setCost("cheap", 100);
+  M.setCost("deep1", 30);
+  M.setCost("deep2", 50);
+  // max(M(cheap), M(deep1)+M(deep2)) = max(100, 80) = 100.
+  EXPECT_EQ(evalBound(R.callBound("main"), M, {}), ExtNat(104));
+  M.setCost("cheap", 10);
+  EXPECT_EQ(evalBound(R.callBound("main"), M, {}), ExtNat(84));
+}
+
+TEST(Analyzer, LoopBodyBoundIsLoopBound) {
+  clight::Program P = mustParse(R"(
+void work() { }
+int main() { u32 i; for (i = 0; i < 100; i++) work(); return 0; }
+)");
+  DiagnosticEngine D;
+  auto R = analysis::analyzeProgram(P, D);
+  StackMetric M;
+  M.setCost("main", 8);
+  M.setCost("work", 24);
+  // The loop does not accumulate stack: bound is one activation of work.
+  EXPECT_EQ(evalBound(R.callBound("main"), M, {}), ExtNat(32));
+}
+
+TEST(Analyzer, Section2InitBoundShape) {
+  clight::Program P = mustParse(R"(
+#define ALEN 64
+u32 a[ALEN];
+u32 seed = 1;
+u32 random() { seed = (seed * 1664525) + 1013904223; return seed; }
+void init() {
+  u32 i, rnd, prev = 0;
+  for (i = 0; i < ALEN; i++) {
+    rnd = random();
+    a[i] = prev + rnd % 17;
+    prev = a[i];
+  }
+}
+int main() { init(); return 0; }
+)");
+  DiagnosticEngine D;
+  auto R = analysis::analyzeProgram(P, D);
+  ASSERT_TRUE(R.Gamma.count("init"));
+  // Paper section 2: {M(init) + M(random)} init() {M(init) + M(random)}.
+  StackMetric M;
+  M.setCost("init", 24);
+  M.setCost("random", 8);
+  EXPECT_EQ(evalBound(R.callBound("init"), M, {}), ExtNat(32));
+}
+
+TEST(Analyzer, RecursiveFunctionsSkippedWithWarning) {
+  clight::Program P = mustParse(R"(
+u32 f(u32 n) { if (n == 0) return 0; return f(n - 1); }
+int main() { return f(3); }
+)");
+  DiagnosticEngine D;
+  auto R = analysis::analyzeProgram(P, D);
+  EXPECT_FALSE(R.Gamma.count("f"));
+  // main calls the unanalyzed f, so it is skipped too.
+  EXPECT_FALSE(R.Gamma.count("main"));
+  EXPECT_EQ(R.SkippedRecursive.size(), 2u);
+  EXPECT_FALSE(D.hasErrors()); // Warnings, not errors.
+}
+
+TEST(Analyzer, SeededRecursiveSpecComposesIntoCallers) {
+  // Interoperability (Paper section 5): seed an interactively derived
+  // bound for recursive f; the analyzer then bounds its caller.
+  clight::Program P = mustParse(R"(
+u32 f(u32 n) { if (n == 0) return 0; return f(n - 1); }
+int main() { return f(3); }
+)");
+  FunctionContext Seed;
+  Seed["f"] = FunctionSpec::balanced(
+      bMul(bMetric("f"), bNatTerm(IntTermNode::var("n"))));
+  DiagnosticEngine D;
+  auto R = analysis::analyzeProgram(P, D, Seed);
+  ASSERT_TRUE(R.Gamma.count("main")) << D.str();
+  StackMetric M;
+  M.setCost("main", 8);
+  M.setCost("f", 24);
+  // B_main = M(f) + M(f)*3 (argument n = 3): 24 + 72 = 96; +M(main).
+  EXPECT_EQ(evalBound(R.callBound("main"), M, {}), ExtNat(104));
+}
+
+TEST(Analyzer, ExternalCallsCostNothing) {
+  clight::Program P = mustParse(R"(
+extern void print(int);
+int main() { print(1); print(2); return 0; }
+)");
+  DiagnosticEngine D;
+  auto R = analysis::analyzeProgram(P, D);
+  StackMetric M;
+  M.setCost("main", 8);
+  EXPECT_EQ(evalBound(R.callBound("main"), M, {}), ExtNat(8));
+}
+
+TEST(Analyzer, WholeCorpusShapedProgramSoundAgainstInterpreter) {
+  // The full section 2 program with search seeded; checks W_M(trace) <=
+  // bound under several metrics.
+  const char *Src = R"(
+#define ALEN 64
+u32 a[ALEN];
+u32 seed = 9;
+u32 search(u32 elem, u32 beg, u32 end) {
+  u32 mid = beg + (end - beg) / 2;
+  if (end - beg <= 1) return beg;
+  if (a[mid] > elem) end = mid; else beg = mid;
+  return search(elem, beg, end);
+}
+u32 random() { seed = (seed * 1664525) + 1013904223; return seed; }
+void init() {
+  u32 i, rnd, prev = 0;
+  for (i = 0; i < ALEN; i++) {
+    rnd = random();
+    a[i] = prev + rnd % 17;
+    prev = a[i];
+  }
+}
+int main() {
+  u32 idx, elem;
+  init();
+  elem = random() % (17 * ALEN);
+  idx = search(elem, 0, ALEN);
+  return a[idx] == elem;
+}
+)";
+  clight::Program P = mustParse(Src);
+  FunctionContext Seed;
+  Seed["search"] = FunctionSpec::balanced(
+      bMul(bMetric("search"),
+           bAdd(bConst(1), bLog2C(IntTermNode::sub(
+                               IntTermNode::var("end"),
+                               IntTermNode::var("beg"))))));
+  DiagnosticEngine D;
+  auto R = analysis::analyzeProgram(P, D, Seed);
+  ASSERT_TRUE(R.Gamma.count("main")) << D.str();
+
+  Behavior B = interp::runProgram(P);
+  ASSERT_TRUE(B.converged());
+  for (uint32_t Scale : {1u, 7u, 40u}) {
+    StackMetric M;
+    M.setCost("main", 4 * Scale);
+    M.setCost("init", 6 * Scale);
+    M.setCost("random", 2 * Scale);
+    M.setCost("search", 10 * Scale);
+    ExtNat Bound = evalBound(R.callBound("main"), M, {});
+    ASSERT_TRUE(Bound.isFinite());
+    EXPECT_GE(Bound.finiteValue(), weight(M, B.Events));
+  }
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- tests/BackendTest.cpp - RTL optimization and machine unit tests ----===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cminor/Lower.h"
+#include "frontend/Frontend.h"
+#include "measure/StackMeter.h"
+#include "rtl/Liveness.h"
+#include "rtl/Opt.h"
+#include "x86/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+
+namespace {
+
+rtl::Program toRtl(const std::string &Src) {
+  DiagnosticEngine D;
+  auto CL = frontend::parseProgram(Src, D);
+  EXPECT_TRUE(CL) << D.str();
+  return rtl::lowerFromCminor(cminor::lowerFromClight(*CL));
+}
+
+unsigned countKind(const rtl::Function &F, rtl::InstrKind K) {
+  unsigned N = 0;
+  for (const rtl::Instr &I : F.Nodes)
+    N += I.K == K;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Constant propagation
+//===----------------------------------------------------------------------===//
+
+TEST(RtlOpt, ConstantConditionFoldsTheBranch) {
+  rtl::Program P = toRtl(
+      "int main() { u32 x = 3; if (x < 10) return 1; return 2; }");
+  rtl::Function &Main = P.Functions[0];
+  ASSERT_GE(countKind(Main, rtl::InstrKind::Cond), 1u);
+  rtl::constantPropagation(Main);
+  rtl::deadCodeElimination(Main);
+  rtl::cleanupControlFlow(Main);
+  EXPECT_EQ(countKind(Main, rtl::InstrKind::Cond), 0u);
+  Behavior B = rtl::runProgram(P);
+  ASSERT_TRUE(B.converged());
+  EXPECT_EQ(B.ReturnCode, 1);
+}
+
+TEST(RtlOpt, ArithmeticChainsFoldToOneConstant) {
+  rtl::Program P = toRtl("int main() { return (2 + 3) * 4 - 6 / 2; }");
+  rtl::optimizeProgram(P);
+  rtl::Function &Main = P.Functions[0];
+  // Everything folds: one Const feeding the Return.
+  EXPECT_EQ(countKind(Main, rtl::InstrKind::Binary), 0u);
+  Behavior B = rtl::runProgram(P);
+  EXPECT_EQ(B.ReturnCode, 17);
+}
+
+TEST(RtlOpt, FaultingDivisionIsNeverFoldedAway) {
+  rtl::Program P = toRtl("int main() { int a = 5; int b = 0; "
+                         "int unused = a / b; return 1; }");
+  rtl::optimizeProgram(P);
+  // The division faults; folding it or deleting it as dead would change
+  // the program's behavior from fail to conv.
+  Behavior B = rtl::runProgram(P);
+  EXPECT_TRUE(B.failed());
+}
+
+TEST(RtlOpt, DeadPureCodeIsRemoved) {
+  rtl::Program P = toRtl("u32 g;\n"
+                         "int main() { u32 dead = 1 + 2 + 3; g = 7; "
+                         "return (int)g; }");
+  rtl::Function &Main = P.Functions[0];
+  unsigned Before = static_cast<unsigned>(Main.Nodes.size());
+  rtl::optimizeProgram(P);
+  EXPECT_LT(P.Functions[0].Nodes.size(), Before);
+  Behavior B = rtl::runProgram(P);
+  EXPECT_EQ(B.ReturnCode, 7);
+}
+
+TEST(RtlOpt, EmptyInfiniteLoopSurvivesCleanup) {
+  // A Nop cycle must stay a cycle: optimizing away divergence would be
+  // unsound.
+  rtl::Program P = toRtl("int main() { while (1) { } return 0; }");
+  rtl::optimizeProgram(P);
+  Behavior B = rtl::runProgram(P, /*Fuel=*/20'000);
+  EXPECT_EQ(B.Kind, BehaviorKind::Diverges);
+}
+
+TEST(RtlOpt, LivenessMarksCallArgumentsLive) {
+  rtl::Program P = toRtl("u32 f(u32 a, u32 b) { return a + b; }\n"
+                         "int main() { return (int)f(1, 2); }");
+  const rtl::Function *Main = P.findFunction("main");
+  ASSERT_TRUE(Main);
+  rtl::LivenessInfo L = rtl::computeLiveness(*Main);
+  for (rtl::Node N = 0; N != Main->Nodes.size(); ++N) {
+    const rtl::Instr &I = Main->Nodes[N];
+    if (I.K != rtl::InstrKind::Call)
+      continue;
+    for (rtl::Reg A : I.Args)
+      EXPECT_TRUE(L.LiveIn[N].count(A));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The finite-stack machine's memory discipline
+//===----------------------------------------------------------------------===//
+
+x86::Program toAsm(const std::string &Src) {
+  rtl::Program R = toRtl(Src);
+  rtl::optimizeProgram(R);
+  return x86::emitFromMach(mach::lowerFromRtl(R));
+}
+
+TEST(Machine, GlobalSegmentBoundsAreExact) {
+  // One 4-element array: element 3 works, element 4 is one past the
+  // segment and must be a segfault (not silent wraparound).
+  x86::Program P = toAsm("u32 a[4];\n"
+                         "int main() { u32 i = 3; a[i] = 9; "
+                         "return (int)a[3]; }");
+  x86::Machine M(P, 4096);
+  Behavior B = M.run();
+  ASSERT_TRUE(B.converged());
+  EXPECT_EQ(B.ReturnCode, 9);
+
+  // The array is the *only* global, so its end is the segment's end and
+  // index 4 has nowhere to land.
+  x86::Program Bad = toAsm("u32 a[4] = {4, 0, 0, 0};\n"
+                           "int main() { return (int)a[a[0]]; }");
+  x86::Machine MB(Bad, 4096);
+  Behavior BB = MB.run();
+  ASSERT_TRUE(BB.failed());
+  EXPECT_NE(BB.FailureReason.find("segmentation fault"), std::string::npos);
+}
+
+TEST(Machine, MinEspNeverRecordsAboveBaseline) {
+  x86::Program P = toAsm("int main() { return 5; }");
+  x86::Machine M(P, 4096);
+  Behavior B = M.run();
+  ASSERT_TRUE(B.converged());
+  EXPECT_LE(M.minEsp(), M.baselineEsp());
+  EXPECT_EQ(M.measuredStackBytes(),
+            P.findFunction("main")->FrameSize);
+}
+
+TEST(Machine, ZeroStackSizeStillRunsALeafMainWithEmptyFrame) {
+  // sz = 0 means the block is exactly 4 bytes: room for main's return
+  // address and nothing else.
+  x86::Program P = toAsm("int main() { return 1; }");
+  if (P.findFunction("main")->FrameSize == 0) {
+    x86::Machine M(P, 0);
+    Behavior B = M.run();
+    EXPECT_TRUE(B.converged()) << B.str();
+  }
+}
+
+TEST(Machine, RerunningIsDeterministic) {
+  x86::Program P = toAsm("u32 s;\n"
+                         "u32 f(u32 n) { s = s * 3 + n; return s; }\n"
+                         "int main() { u32 i; for (i = 0; i < 9; i++) "
+                         "f(i); return (int)(s & 0xff); }");
+  x86::Machine M(P, 1 << 16);
+  Behavior B1 = M.run();
+  Behavior B2 = M.run(); // run() must reset all machine state.
+  ASSERT_TRUE(B1.converged());
+  ASSERT_TRUE(B2.converged());
+  EXPECT_EQ(B1.ReturnCode, B2.ReturnCode);
+  EXPECT_EQ(M.measuredStackBytes(), M.measuredStackBytes());
+}
+
+TEST(Machine, FuelExhaustionReportsDivergence) {
+  x86::Program P = toAsm("int main() { while (1) { } return 0; }");
+  x86::Machine M(P, 4096);
+  Behavior B = M.run(/*Fuel=*/5'000);
+  EXPECT_EQ(B.Kind, BehaviorKind::Diverges);
+  EXPECT_FALSE(M.stackOverflowed());
+}
+
+} // namespace

@@ -1,0 +1,421 @@
+//===- tests/DifferentialTest.cpp - Randomized differential testing -------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Csmith-style differential testing (cf. the paper's reference to Yang
+/// et al., PLDI 2011): a deterministic generator produces random programs
+/// in the verified subset; each is executed at every pipeline level and
+/// on the finite-stack machine. Checked per program:
+///
+///   * exit codes agree across all six semantics (or all levels fail),
+///   * quantitative refinement holds between adjacent levels, backed by
+///     the randomized-metric falsifier,
+///   * the automatic analyzer bounds every function, and the instantiated
+///     main bound covers both the Mach trace weight and the machine's
+///     measured consumption,
+///   * Theorem 1: the program runs at stack size bound - 4.
+///
+/// Programs are built to terminate (loops are bounded by construction)
+/// and mostly to avoid traps (indices are masked; divisors get `| 1`),
+/// with a controlled fraction of potentially trapping divisions to
+/// exercise the fail-fail agreement path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cminor/CminorInterp.h"
+#include "rtl/Inline.h"
+#include "cminor/Lower.h"
+#include "driver/Compiler.h"
+#include "events/Refinement.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "rtl/Opt.h"
+#include "x86/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+
+namespace {
+
+/// Deterministic splitmix64 generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
+  bool chance(uint32_t Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+/// Generates one random program in the subset.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    Out = "typedef unsigned int u32;\n";
+    NumGlobals = 1 + R.below(3);
+    for (unsigned G = 0; G != NumGlobals; ++G) {
+      ArraySizes.push_back(4 + R.below(13));
+      Out += "u32 g" + std::to_string(G) + "[" +
+             std::to_string(ArraySizes[G]) + "];\n";
+    }
+    Out += "u32 s0 = " + std::to_string(R.below(1000)) + ";\n";
+    Out += "int s1;\n";
+
+    unsigned NumFunctions = 1 + R.below(4);
+    for (unsigned F = 0; F != NumFunctions; ++F)
+      emitFunction(F);
+    emitMain();
+    return Out;
+  }
+
+private:
+  // Expression generation over the current scope. Depth-limited.
+  std::string expr(unsigned Depth) {
+    if (Depth == 0 || R.chance(35)) {
+      switch (R.below(4)) {
+      case 0:
+        return std::to_string(R.below(64));
+      case 1:
+        if (!Scope.empty())
+          return Scope[R.below(Scope.size())];
+        return std::to_string(R.below(64));
+      case 2:
+        return R.chance(50) ? "s0" : "s1";
+      default: {
+        unsigned G = R.below(NumGlobals);
+        return "g" + std::to_string(G) + "[(" + expr(0) + ") % " +
+               std::to_string(ArraySizes[G]) + "]";
+      }
+      }
+    }
+    static const char *SafeOps[] = {"+", "-", "*", "&", "|", "^",
+                                    "<<", ">>", "<", "<=", "==", "!="};
+    switch (R.below(10)) {
+    case 0: {
+      // Division: usually guarded, sometimes allowed to trap.
+      const char *Guard = R.chance(85) ? " | 1)" : ")";
+      return "((" + expr(Depth - 1) + ") " + (R.chance(50) ? "/" : "%") +
+             " ((" + expr(Depth - 1) + ")" + Guard + ")";
+    }
+    case 1:
+      return "(" + expr(Depth - 1) + " ? " + expr(Depth - 1) + " : " +
+             expr(Depth - 1) + ")";
+    case 2:
+      return "(" + std::string(R.chance(50) ? "~" : "!") + "(" +
+             expr(Depth - 1) + "))";
+    case 3:
+      return "((" + expr(Depth - 1) + ") " +
+             (R.chance(50) ? "&&" : "||") + " (" + expr(Depth - 1) + "))";
+    default:
+      return "((" + expr(Depth - 1) + ") " + SafeOps[R.below(12)] + " (" +
+             expr(Depth - 1) + "))";
+    }
+  }
+
+  std::string callExpr(unsigned UpTo) {
+    unsigned F = R.below(UpTo);
+    std::string Call = "f" + std::to_string(F) + "(";
+    for (unsigned A = 0; A != Arity[F]; ++A) {
+      if (A)
+        Call += ", ";
+      Call += expr(1);
+    }
+    return Call + ")";
+  }
+
+  /// A writable local that is not a protected loop counter.
+  std::string writableLocal() {
+    std::vector<std::string> Options;
+    for (const std::string &V : Scope)
+      if (!Protected.count(V))
+        Options.push_back(V);
+    if (Options.empty())
+      return R.chance(50) ? "s0" : "s1";
+    return Options[R.below(Options.size())];
+  }
+
+  void statement(unsigned Depth, unsigned FnIndex, std::string Indent) {
+    switch (R.below(Depth > 0 ? 7 : 4)) {
+    case 0: { // Assignment.
+      Out += Indent + writableLocal() + " = " + expr(2) + ";\n";
+      return;
+    }
+    case 1: { // Array store.
+      unsigned G = R.below(NumGlobals);
+      Out += Indent + "g" + std::to_string(G) + "[(" + expr(1) + ") % " +
+             std::to_string(ArraySizes[G]) + "] = " + expr(2) + ";\n";
+      return;
+    }
+    case 2: { // Call (possibly into a local).
+      if (FnIndex == 0) {
+        Out += Indent + writableLocal() + " = " + expr(2) + ";\n";
+        return;
+      }
+      Out += Indent + writableLocal() + " = " + callExpr(FnIndex) + ";\n";
+      return;
+    }
+    case 3: { // Global update.
+      Out += Indent + (R.chance(50) ? "s0" : "s1") + " = " + expr(2) +
+             ";\n";
+      return;
+    }
+    case 4: { // If.
+      Out += Indent + "if (" + expr(2) + ") {\n";
+      statement(Depth - 1, FnIndex, Indent + "  ");
+      if (R.chance(60)) {
+        Out += Indent + "} else {\n";
+        statement(Depth - 1, FnIndex, Indent + "  ");
+      }
+      Out += Indent + "}\n";
+      return;
+    }
+    case 5: { // Bounded for-loop with a protected fresh counter.
+      std::string I = "i" + std::to_string(LoopCounter++);
+      Locals.push_back(I);
+      Scope.push_back(I);
+      Protected.insert(I);
+      Out += Indent + "for (" + I + " = 0; " + I + " < " +
+             std::to_string(1 + R.below(6)) + "; " + I + "++) {\n";
+      statement(Depth - 1, FnIndex, Indent + "  ");
+      if (R.chance(30))
+        Out += Indent + "  if (" + expr(1) + ") break;\n";
+      Out += Indent + "}\n";
+      Protected.erase(I);
+      return;
+    }
+    default: { // Block of two.
+      statement(Depth - 1, FnIndex, Indent);
+      statement(Depth - 1, FnIndex, Indent);
+      return;
+    }
+    }
+  }
+
+  void beginFunction(unsigned NParams) {
+    Scope.clear();
+    Locals.clear();
+    Protected.clear();
+    LoopCounter = 0;
+    for (unsigned P = 0; P != NParams; ++P)
+      Scope.push_back("p" + std::to_string(P));
+    unsigned NLocals = 1 + R.below(3);
+    for (unsigned L = 0; L != NLocals; ++L) {
+      Locals.push_back("v" + std::to_string(L));
+      Scope.push_back("v" + std::to_string(L));
+    }
+  }
+
+  void emitBody(unsigned FnIndex) {
+    // Pre-declare the loop counters this body will use: generate into a
+    // scratch buffer first, then splice declarations.
+    std::string Saved = std::move(Out);
+    Out.clear();
+    unsigned NStatements = 2 + R.below(4);
+    for (unsigned S = 0; S != NStatements; ++S)
+      statement(2, FnIndex, "  ");
+    std::string Body = std::move(Out);
+    Out = std::move(Saved);
+    if (!Locals.empty()) {
+      Out += "  u32 ";
+      for (size_t L = 0; L != Locals.size(); ++L) {
+        if (L)
+          Out += ", ";
+        Out += Locals[L];
+      }
+      Out += ";\n";
+    }
+    Out += Body;
+  }
+
+  void emitFunction(unsigned F) {
+    Arity.push_back(R.below(4));
+    beginFunction(Arity[F]);
+    Out += "u32 f" + std::to_string(F) + "(";
+    for (unsigned P = 0; P != Arity[F]; ++P) {
+      if (P)
+        Out += ", ";
+      Out += "u32 p" + std::to_string(P);
+    }
+    Out += ") {\n";
+    emitBody(F);
+    Out += "  return " + expr(2) + ";\n}\n";
+  }
+
+  void emitMain() {
+    beginFunction(0);
+    Out += "int main() {\n";
+    emitBody(static_cast<unsigned>(Arity.size()));
+    Out += "  return (int)((" + expr(2) + ") & 0xff);\n}\n";
+  }
+
+  Rng R;
+  std::string Out;
+  unsigned NumGlobals = 0;
+  std::vector<uint32_t> ArraySizes;
+  std::vector<unsigned> Arity;
+  std::vector<std::string> Scope;   ///< Readable names.
+  std::vector<std::string> Locals;  ///< Declared in this function.
+  std::set<std::string> Protected;  ///< Live loop counters.
+  unsigned LoopCounter = 0;
+};
+
+/// Runs one generated program through every level; returns a failure
+/// explanation or the empty string.
+std::string checkOneProgram(uint64_t Seed) {
+  std::string Source = ProgramGenerator(Seed).generate();
+  auto Explain = [&Source](const std::string &What) {
+    return What + "\n--- program ---\n" + Source;
+  };
+
+  DiagnosticEngine D;
+  auto CL = frontend::parseProgram(Source, D);
+  if (!CL)
+    return Explain("generated program does not parse: " + D.str());
+
+  constexpr uint64_t Fuel = 3'000'000;
+  Behavior BClight = interp::runProgram(*CL, Fuel);
+  if (BClight.Kind == BehaviorKind::Diverges)
+    return Explain("generated program exhausted fuel (generator bug)");
+
+  cminor::Program CM = cminor::lowerFromClight(*CL);
+  Behavior BCminor = cminor::runProgram(CM, Fuel);
+  rtl::Program RT = rtl::lowerFromCminor(CM);
+  Behavior BRtl = rtl::runProgram(RT, Fuel);
+  rtl::Program RTO = rtl::lowerFromCminor(CM);
+  rtl::optimizeProgram(RTO);
+  Behavior BRtlOpt = rtl::runProgram(RTO, Fuel);
+  mach::Program MP = mach::lowerFromRtl(RTO);
+  Behavior BMach = mach::runProgram(MP, Fuel * 8);
+
+  struct Level {
+    const char *Name;
+    const Behavior *B;
+  };
+  const Level Levels[] = {{"clight", &BClight},
+                          {"cminor", &BCminor},
+                          {"rtl", &BRtl},
+                          {"rtl-opt", &BRtlOpt},
+                          {"mach", &BMach}};
+  for (size_t I = 1; I != 5; ++I) {
+    RefinementResult QR =
+        checkQuantitativeRefinement(*Levels[I].B, *Levels[I - 1].B);
+    if (!QR.Ok)
+      return Explain(std::string("refinement ") + Levels[I - 1].Name +
+                     " -> " + Levels[I].Name + ": " + QR.Reason);
+    RefinementResult FW =
+        falsifyWeightDominance(*Levels[I].B, *Levels[I - 1].B, 16);
+    if (!FW.Ok)
+      return Explain(std::string("metric falsifier ") + Levels[I].Name +
+                     ": " + FW.Reason);
+  }
+
+  x86::Program AP = x86::emitFromMach(MP);
+  x86::Machine M(AP, measure::MeasureStackSize);
+  Behavior BAsm = M.run(Fuel * 8);
+  if (BClight.converged()) {
+    if (!BAsm.converged())
+      return Explain("clight converged but asm " + BAsm.str());
+    if (BAsm.ReturnCode != BClight.ReturnCode)
+      return Explain("exit codes differ: clight " +
+                     std::to_string(BClight.ReturnCode) + " vs asm " +
+                     std::to_string(BAsm.ReturnCode));
+    if (pruneMemoryEvents(BAsm.Events) !=
+        pruneMemoryEvents(BClight.Events))
+      return Explain("I/O traces differ between clight and asm");
+  } else if (BAsm.converged()) {
+    // A failing source discharges Theorem 1 entirely: the machine has no
+    // bounds checks, so an out-of-bounds source program may silently read
+    // or write some other global and run on. Division traps, however,
+    // exist at every level and must be preserved.
+    if (BClight.FailureReason.find("out of bounds") == std::string::npos)
+      return Explain("clight failed (" + BClight.FailureReason +
+                     ") but asm converged");
+  }
+
+  // The optimizing pipelines (inlining; tail calls are no-ops here but
+  // exercise the recognizer) must agree on converging runs.
+  if (BClight.converged()) {
+    rtl::Program RInl = rtl::lowerFromCminor(CM);
+    rtl::inlineFunctions(RInl);
+    rtl::optimizeProgram(RInl);
+    mach::LowerOptions TailOpts;
+    TailOpts.TailCalls = true;
+    mach::Program MInl = mach::lowerFromRtl(RInl, TailOpts);
+    x86::Program AInl = x86::emitFromMach(MInl);
+    x86::Machine MachineInl(AInl, measure::MeasureStackSize);
+    Behavior BInl = MachineInl.run(Fuel * 8);
+    if (!BInl.converged())
+      return Explain("inlined+tailcall pipeline failed: " + BInl.str());
+    if (BInl.ReturnCode != BClight.ReturnCode)
+      return Explain("inlined+tailcall exit code " +
+                     std::to_string(BInl.ReturnCode) + " vs clight " +
+                     std::to_string(BClight.ReturnCode));
+    if (pruneMemoryEvents(BInl.Events) != pruneMemoryEvents(BClight.Events))
+      return Explain("inlined+tailcall I/O trace differs");
+  }
+
+  // Generated programs have no recursion: the analyzer must bound
+  // everything, and the bound must cover both the Mach weight and the
+  // machine measurement.
+  DiagnosticEngine AD;
+  auto Bounds = analysis::analyzeProgram(*CL, AD);
+  if (!Bounds.SkippedRecursive.empty())
+    return Explain("analyzer skipped functions in a recursion-free "
+                   "program");
+  logic::BoundExpr MainBound = Bounds.callBound("main");
+  if (!MainBound)
+    return Explain("no main bound: " + AD.str());
+  StackMetric Metric = MP.costMetric();
+  ExtNat BoundVal = logic::evalBound(MainBound, Metric, {});
+  if (BoundVal.isInfinite())
+    return Explain("main bound is infinite");
+  if (BClight.converged()) {
+    uint64_t MachWeight = weight(Metric, BMach.Events);
+    if (BoundVal.finiteValue() < MachWeight)
+      return Explain("bound " + BoundVal.str() + " < mach weight " +
+                     std::to_string(MachWeight));
+    uint32_t Measured = M.measuredStackBytes();
+    if (BoundVal.finiteValue() < Measured)
+      return Explain("bound " + BoundVal.str() + " < measured " +
+                     std::to_string(Measured));
+    // Theorem 1 at the bound.
+    x86::Machine Clamped(
+        AP, static_cast<uint32_t>(BoundVal.finiteValue()) - 4);
+    Behavior BClamped = Clamped.run(Fuel * 8);
+    if (!BClamped.converged())
+      return Explain("program failed at its verified stack bound: " +
+                     BClamped.str());
+  }
+  return "";
+}
+
+class Differential : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(Differential, AllLevelsAgree) {
+  // 16 seeds per gtest case, 12 cases = 192 random programs.
+  for (uint64_t Sub = 0; Sub != 16; ++Sub) {
+    std::string Failure = checkOneProgram(GetParam() * 1000 + Sub);
+    ASSERT_TRUE(Failure.empty())
+        << "seed " << GetParam() * 1000 + Sub << ": " << Failure;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, Differential,
+                         testing::Range<uint64_t>(1, 13));
+
+} // namespace

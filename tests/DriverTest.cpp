@@ -1,0 +1,214 @@
+//===- tests/DriverTest.cpp - End-to-end driver tests ---------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's headline claims, end to end: verified bounds hold on the
+/// machine (Theorem 1), and both manually and automatically derived
+/// bounds over-approximate measured consumption by exactly 4 bytes on
+/// worst-case-realizing runs (section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+using namespace qcc::driver;
+using namespace qcc::logic;
+
+namespace {
+
+Compilation mustCompile(const std::string &Src, CompilerOptions Opt = {}) {
+  DiagnosticEngine D;
+  auto C = compile(Src, D, std::move(Opt));
+  EXPECT_TRUE(C) << D.str();
+  return C ? std::move(*C) : Compilation{};
+}
+
+const char *Section2Source = R"(
+#define ALEN 64
+#define SEED 1
+typedef unsigned int u32;
+u32 a[ALEN];
+u32 seed = SEED;
+u32 search(u32 elem, u32 beg, u32 end) {
+  u32 mid = beg + (end - beg) / 2;
+  if (end - beg <= 1) return beg;
+  if (a[mid] > elem) end = mid; else beg = mid;
+  return search(elem, beg, end);
+}
+u32 random() { seed = (seed * 1664525) + 1013904223; return seed; }
+void init() {
+  u32 i, rnd, prev = 0;
+  for (i = 0; i < ALEN; i++) {
+    rnd = random();
+    a[i] = prev + rnd % 17;
+    prev = a[i];
+  }
+}
+int main() {
+  u32 idx, elem;
+  init();
+  elem = random() % (17 * ALEN);
+  idx = search(elem, 0, ALEN);
+  return a[idx] == elem;
+}
+)";
+
+FunctionContext section2Seed() {
+  FunctionContext Seed;
+  Seed["search"] = FunctionSpec::balanced(
+      bMul(bMetric("search"),
+           bAdd(bConst(1), bLog2C(IntTermNode::sub(
+                               IntTermNode::var("end"),
+                               IntTermNode::var("beg"))))));
+  return Seed;
+}
+
+TEST(Driver, CompilesWithValidation) {
+  Compilation C = mustCompile("int main() { return 7; }");
+  EXPECT_TRUE(C.Metric.hasCost("main"));
+  measure::Measurement M = measureStack(C);
+  ASSERT_TRUE(M.Ok);
+  EXPECT_EQ(M.ExitCode, 7);
+}
+
+TEST(Driver, FrontendErrorsPropagate) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(compile("int main() { return foo(); }", D));
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Driver, AutoBoundsCoverNonRecursiveFunctions) {
+  Compilation C = mustCompile(R"(
+u32 h() { return 1; }
+u32 g() { return h() + 1; }
+int main() { return g(); }
+)");
+  for (const char *F : {"h", "g", "main"}) {
+    auto B = concreteCallBound(C, F);
+    ASSERT_TRUE(B) << F;
+    EXPECT_GE(*B, 4u);
+  }
+  // Nesting: bound(main) >= bound(g) >= bound(h).
+  EXPECT_GE(*concreteCallBound(C, "main"), *concreteCallBound(C, "g"));
+  EXPECT_GE(*concreteCallBound(C, "g"), *concreteCallBound(C, "h"));
+}
+
+TEST(Driver, BoundIsSoundOnTheMachine) {
+  Compilation C = mustCompile(R"(
+u32 h() { return 1; }
+u32 g() { return h() + 1; }
+int main() { u32 i; u32 s = 0; for (i = 0; i < 5; i++) s += g(); return s; }
+)");
+  auto Bound = concreteCallBound(C, "main");
+  ASSERT_TRUE(Bound);
+  measure::Measurement M = measureStack(C);
+  ASSERT_TRUE(M.Ok);
+  EXPECT_GE(*Bound, M.StackBytes);
+}
+
+TEST(Driver, ExactlyFourByteGapStraightLine) {
+  // Worst case always realized: a linear call chain.
+  Compilation C = mustCompile(R"(
+u32 h(u32 x) { return x + 1; }
+u32 g(u32 x) { return h(x) + 1; }
+u32 f(u32 x) { return g(x) + 1; }
+int main() { return f(0); }
+)");
+  auto Bound = concreteCallBound(C, "main");
+  ASSERT_TRUE(Bound);
+  measure::Measurement M = measureStack(C);
+  ASSERT_TRUE(M.Ok);
+  EXPECT_EQ(M.ExitCode, 3);
+  // The paper's section 6 observation, reproduced exactly.
+  EXPECT_EQ(*Bound - M.StackBytes, 4u);
+}
+
+TEST(Driver, Theorem1RunsAtBoundMinusFour) {
+  Compilation C = mustCompile(R"(
+u32 h(u32 x) { return x * 2; }
+u32 g(u32 x) { return h(x) + h(x + 1); }
+int main() { return g(4); }
+)");
+  auto Bound = concreteCallBound(C, "main");
+  ASSERT_TRUE(Bound);
+  // Theorem 1: sz >= W_M implies no overflow; our bound counts main's
+  // return address which the machine's +4 slack provides, so sz =
+  // bound - 4 must run.
+  measure::Measurement AtBound =
+      runWithStackSize(C, static_cast<uint32_t>(*Bound) - 4);
+  EXPECT_TRUE(AtBound.Ok) << AtBound.Error;
+  // And the bound is tight here: 8 bytes less must overflow.
+  measure::Measurement Below =
+      runWithStackSize(C, static_cast<uint32_t>(*Bound) - 12);
+  EXPECT_FALSE(Below.Ok);
+  EXPECT_TRUE(Below.StackOverflow);
+}
+
+TEST(Driver, Section2EndToEnd) {
+  CompilerOptions Opt;
+  Opt.SeededSpecs = section2Seed();
+  Compilation C = mustCompile(Section2Source, std::move(Opt));
+
+  // Auto bounds for the non-recursive functions (Paper section 2:
+  // {M(init)+M(random)} init {M(init)+M(random)}).
+  ASSERT_TRUE(C.Bounds.Gamma.count("init"));
+  BoundExpr InitBound = C.Bounds.Gamma.at("init").Pre;
+  StackMetric Symbolic;
+  Symbolic.setCost("init", 100);
+  Symbolic.setCost("random", 10);
+  EXPECT_EQ(evalBound(InitBound, Symbolic, {}), ExtNat(10));
+
+  // The composed main bound instantiated with the compiler metric is a
+  // concrete number of bytes covering the measured run.
+  auto MainBound = concreteCallBound(C, "main");
+  ASSERT_TRUE(MainBound);
+  measure::Measurement M = measureStack(C);
+  ASSERT_TRUE(M.Ok) << M.Error;
+  EXPECT_GE(*MainBound, M.StackBytes);
+
+  // Theorem 1 at the bound.
+  measure::Measurement AtBound =
+      runWithStackSize(C, static_cast<uint32_t>(*MainBound) - 4);
+  EXPECT_TRUE(AtBound.Ok) << AtBound.Error;
+}
+
+TEST(Driver, Section2BoundShapeIsLogarithmic) {
+  // Bound(ALEN) - Bound(2*ALEN) differs by exactly one search frame.
+  CompilerOptions Opt1;
+  Opt1.SeededSpecs = section2Seed();
+  Opt1.Defines = {{"ALEN", 512}};
+  Compilation C1 = mustCompile(Section2Source, std::move(Opt1));
+  CompilerOptions Opt2;
+  Opt2.SeededSpecs = section2Seed();
+  Opt2.Defines = {{"ALEN", 1024}};
+  Compilation C2 = mustCompile(Section2Source, std::move(Opt2));
+
+  auto B1 = concreteCallBound(C1, "main");
+  auto B2 = concreteCallBound(C2, "main");
+  ASSERT_TRUE(B1 && B2);
+  EXPECT_EQ(*B2 - *B1, C2.Metric.cost("search"));
+}
+
+TEST(Driver, UnoptimizedPipelineAlsoValidates) {
+  CompilerOptions Opt;
+  Opt.Optimize = false;
+  Compilation C = mustCompile(Section2Source, std::move(Opt));
+  measure::Measurement M = measureStack(C);
+  EXPECT_TRUE(M.Ok) << M.Error;
+}
+
+TEST(Driver, MetricMatchesAsmFrames) {
+  Compilation C = mustCompile(Section2Source);
+  StackMetric AsmMetric = C.Asm.costMetric();
+  for (const auto &[F, Cost] : C.Metric.costs())
+    EXPECT_EQ(AsmMetric.cost(F), Cost) << F;
+}
+
+} // namespace

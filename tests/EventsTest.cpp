@@ -1,0 +1,173 @@
+//===- tests/EventsTest.cpp - Unit tests for qcc_events -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/Event.h"
+#include "events/Metric.h"
+#include "events/Refinement.h"
+#include "events/Trace.h"
+#include "events/Weight.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+
+namespace {
+
+/// The Paper section 2 example trace:
+/// call(main).call(init).call(random).ret(random).ret(init).
+/// call(search).call(search).ret(search).ret(search).ret(main)
+Trace section2Trace() {
+  return {Event::call("main"),   Event::call("init"),
+          Event::call("random"), Event::ret("random"),
+          Event::ret("init"),    Event::call("search"),
+          Event::call("search"), Event::ret("search"),
+          Event::ret("search"),  Event::ret("main")};
+}
+
+StackMetric section2Metric() {
+  StackMetric M;
+  M.setCost("main", 16);
+  M.setCost("init", 24);
+  M.setCost("random", 8);
+  M.setCost("search", 40);
+  return M;
+}
+
+TEST(Event, Printing) {
+  EXPECT_EQ(Event::call("f").str(), "call(f)");
+  EXPECT_EQ(Event::ret("f").str(), "ret(f)");
+  EXPECT_EQ(Event::external("print", {1, 2}, 3).str(), "print(1,2 -> 3)");
+}
+
+TEST(Event, Equality) {
+  EXPECT_EQ(Event::call("f"), Event::call("f"));
+  EXPECT_NE(Event::call("f"), Event::ret("f"));
+  EXPECT_NE(Event::call("f"), Event::call("g"));
+  EXPECT_NE(Event::external("p", {1}, 0), Event::external("p", {1}, 1));
+}
+
+TEST(Trace, PruningRemovesMemoryEvents) {
+  Trace T = {Event::call("f"), Event::external("print", {7}, 0),
+             Event::ret("f")};
+  Trace P = pruneMemoryEvents(T);
+  ASSERT_EQ(P.size(), 1u);
+  EXPECT_EQ(P[0].Kind, EventKind::External);
+}
+
+TEST(Trace, WellBracketing) {
+  EXPECT_TRUE(isWellBracketed(section2Trace()));
+  EXPECT_TRUE(isWellBracketed({Event::call("f")})); // Open call is fine.
+  EXPECT_FALSE(isWellBracketed({Event::ret("f")}));
+  EXPECT_FALSE(isWellBracketed(
+      {Event::call("f"), Event::call("g"), Event::ret("f")}));
+}
+
+TEST(Trace, BehaviorPrinting) {
+  Behavior B = Behavior::converges({Event::call("main"), Event::ret("main")},
+                                   0);
+  EXPECT_EQ(B.str(), "conv(call(main).ret(main), 0)");
+  EXPECT_EQ(Behavior::diverges({}).str(), "div(eps...)");
+}
+
+TEST(Metric, EventValues) {
+  StackMetric M = section2Metric();
+  EXPECT_EQ(M.value(Event::call("search")), 40);
+  EXPECT_EQ(M.value(Event::ret("search")), -40);
+  EXPECT_EQ(M.value(Event::external("print", {}, 0)), 0);
+  EXPECT_EQ(M.cost("unknown"), 0u);
+}
+
+TEST(Weight, CompleteExecutionValuatesToZero) {
+  EXPECT_EQ(valuation(section2Metric(), section2Trace()), 0);
+}
+
+TEST(Weight, Section2WeightIsMaxOfBranches) {
+  // W = M(main) + max(M(init) + M(random), 2 * M(search))
+  //   = 16 + max(24 + 8, 2 * 40) = 96.
+  EXPECT_EQ(weight(section2Metric(), section2Trace()), 96u);
+}
+
+TEST(Weight, EmptyTraceWeighsZero) {
+  EXPECT_EQ(weight(section2Metric(), Trace{}), 0u);
+}
+
+TEST(Weight, PrefixWeightNeverNegative) {
+  // A lone ret would drive the valuation negative; the weight uses the
+  // empty prefix as the floor.
+  StackMetric M;
+  M.setCost("f", 8);
+  EXPECT_EQ(weight(M, {Event::ret("f")}), 0u);
+}
+
+TEST(Weight, ProfileDomination) {
+  Trace Deep = {Event::call("f"), Event::call("f"), Event::ret("f"),
+                Event::ret("f")};
+  Trace Shallow = {Event::call("f"), Event::ret("f")};
+  EXPECT_TRUE(pointwiseDominated(callDepthProfile(Shallow),
+                                 callDepthProfile(Deep)));
+  EXPECT_FALSE(pointwiseDominated(callDepthProfile(Deep),
+                                  callDepthProfile(Shallow)));
+}
+
+TEST(Refinement, IdenticalTracesRefine) {
+  Behavior B = Behavior::converges(section2Trace(), 0);
+  EXPECT_TRUE(checkClassicRefinement(B, B).Ok);
+  EXPECT_TRUE(checkQuantitativeRefinement(B, B).Ok);
+}
+
+TEST(Refinement, ReturnCodeMismatchRejected) {
+  Behavior A = Behavior::converges(section2Trace(), 0);
+  Behavior B = Behavior::converges(section2Trace(), 1);
+  EXPECT_FALSE(checkClassicRefinement(A, B).Ok);
+}
+
+TEST(Refinement, IOEventMismatchRejected) {
+  Behavior A = Behavior::converges({Event::external("print", {1}, 0)}, 0);
+  Behavior B = Behavior::converges({Event::external("print", {2}, 0)}, 0);
+  EXPECT_FALSE(checkClassicRefinement(A, B).Ok);
+}
+
+TEST(Refinement, DroppingMemoryEventsIsAllowedDownward) {
+  // The target (assembly) lost all memory events; its profile (all zeros)
+  // is dominated, so quantitative refinement holds.
+  Behavior Source = Behavior::converges(section2Trace(), 0);
+  Behavior Target = Behavior::converges(pruneMemoryEvents(section2Trace()), 0);
+  EXPECT_TRUE(checkQuantitativeRefinement(Target, Source).Ok);
+  // The converse direction must fail: the "target" now calls more.
+  EXPECT_FALSE(checkQuantitativeRefinement(Source, Target).Ok);
+}
+
+TEST(Refinement, DeeperRecursionRejected) {
+  Behavior Source = Behavior::converges(
+      {Event::call("f"), Event::ret("f")}, 0);
+  Behavior Target = Behavior::converges(
+      {Event::call("f"), Event::call("f"), Event::ret("f"), Event::ret("f")},
+      0);
+  EXPECT_FALSE(checkQuantitativeRefinement(Target, Source).Ok);
+  EXPECT_FALSE(falsifyWeightDominance(Target, Source).Ok);
+}
+
+TEST(Refinement, FalsifierAcceptsTrueDominance) {
+  Behavior Source = Behavior::converges(section2Trace(), 0);
+  Behavior Target = Behavior::converges(
+      {Event::call("main"), Event::call("search"), Event::ret("search"),
+       Event::ret("main")},
+      0);
+  EXPECT_TRUE(falsifyWeightDominance(Target, Source).Ok);
+}
+
+TEST(Refinement, FalsifierFindsOneHotCounterexample) {
+  // Target swaps a cheap callee for an expensive one; the one-hot metric
+  // on "g" exposes it even though the uniform metric does not.
+  Behavior Source = Behavior::converges(
+      {Event::call("f"), Event::ret("f")}, 0);
+  Behavior Target = Behavior::converges(
+      {Event::call("g"), Event::ret("g")}, 0);
+  EXPECT_FALSE(falsifyWeightDominance(Target, Source).Ok);
+}
+
+} // namespace

@@ -1,0 +1,367 @@
+//===- tests/FrontendTest.cpp - Unit tests for qcc_frontend ---------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "interp/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+using namespace qcc::frontend;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, DiagnosticEngine &Diags,
+                       std::map<std::string, uint32_t> Defines = {}) {
+  Lexer L(Src, Diags, std::move(Defines));
+  return L.lexAll();
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, BasicTokens) {
+  DiagnosticEngine D;
+  auto T = lex("int main() { return 42; }", D);
+  ASSERT_FALSE(D.hasErrors());
+  ASSERT_EQ(T.size(), 10u); // incl. EndOfFile
+  EXPECT_EQ(T[0].Kind, TokenKind::KwInt);
+  EXPECT_EQ(T[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(T[1].Text, "main");
+  EXPECT_EQ(T[6].Kind, TokenKind::Number);
+  EXPECT_EQ(T[6].Value, 42u);
+  EXPECT_EQ(T.back().Kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, Comments) {
+  DiagnosticEngine D;
+  auto T = lex("// line\nx /* block\n over lines */ y", D);
+  ASSERT_FALSE(D.hasErrors());
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Text, "x");
+  EXPECT_EQ(T[1].Text, "y");
+}
+
+TEST(Lexer, HexAndSuffixes) {
+  DiagnosticEngine D;
+  auto T = lex("0xff 17u 1013904223 4294967295u", D);
+  ASSERT_FALSE(D.hasErrors());
+  EXPECT_EQ(T[0].Value, 255u);
+  EXPECT_TRUE(T[0].ForcedUnsigned); // Hex literals read as unsigned.
+  EXPECT_EQ(T[1].Value, 17u);
+  EXPECT_TRUE(T[1].ForcedUnsigned);
+  EXPECT_EQ(T[2].Value, 1013904223u);
+  EXPECT_FALSE(T[2].ForcedUnsigned);
+  EXPECT_EQ(T[3].Value, 4294967295u);
+  EXPECT_TRUE(T[3].ForcedUnsigned);
+}
+
+TEST(Lexer, CharLiteral) {
+  DiagnosticEngine D;
+  auto T = lex("'a' '\\n'", D);
+  ASSERT_FALSE(D.hasErrors());
+  EXPECT_EQ(T[0].Value, 97u);
+  EXPECT_EQ(T[1].Value, 10u);
+}
+
+TEST(Lexer, DefineSubstitution) {
+  DiagnosticEngine D;
+  auto T = lex("#define ALEN 4096\nALEN", D);
+  ASSERT_FALSE(D.hasErrors());
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T[0].Kind, TokenKind::Number);
+  EXPECT_EQ(T[0].Value, 4096u);
+}
+
+TEST(Lexer, DefineOverride) {
+  // The driver's -D equivalent takes precedence over the source #define.
+  DiagnosticEngine D;
+  auto T = lex("#define ALEN 4096\nALEN", D, {{"ALEN", 64}});
+  ASSERT_FALSE(D.hasErrors());
+  EXPECT_EQ(T[0].Value, 64u);
+}
+
+TEST(Lexer, ParenthesizedDefineBody) {
+  DiagnosticEngine D;
+  auto T = lex("#define N (17)\nN", D);
+  ASSERT_FALSE(D.hasErrors());
+  EXPECT_EQ(T[0].Value, 17u);
+}
+
+TEST(Lexer, IncludeIsIgnoredSilently) {
+  DiagnosticEngine D;
+  auto T = lex("#include <stdio.h>\nx", D);
+  ASSERT_FALSE(D.hasErrors());
+  EXPECT_EQ(T[0].Text, "x");
+}
+
+TEST(Lexer, MultiCharOperators) {
+  DiagnosticEngine D;
+  auto T = lex("<<= >>= << >> <= >= == != && || ++ -- += -=", D);
+  ASSERT_FALSE(D.hasErrors());
+  EXPECT_EQ(T[0].Kind, TokenKind::ShlAssign);
+  EXPECT_EQ(T[1].Kind, TokenKind::ShrAssign);
+  EXPECT_EQ(T[2].Kind, TokenKind::Shl);
+  EXPECT_EQ(T[3].Kind, TokenKind::Shr);
+  EXPECT_EQ(T[4].Kind, TokenKind::Le);
+  EXPECT_EQ(T[5].Kind, TokenKind::Ge);
+  EXPECT_EQ(T[6].Kind, TokenKind::EqEq);
+  EXPECT_EQ(T[7].Kind, TokenKind::NotEq);
+  EXPECT_EQ(T[8].Kind, TokenKind::AmpAmp);
+  EXPECT_EQ(T[9].Kind, TokenKind::PipePipe);
+  EXPECT_EQ(T[10].Kind, TokenKind::PlusPlus);
+  EXPECT_EQ(T[11].Kind, TokenKind::MinusMinus);
+  EXPECT_EQ(T[12].Kind, TokenKind::PlusAssign);
+  EXPECT_EQ(T[13].Kind, TokenKind::MinusAssign);
+}
+
+TEST(Lexer, BadCharacterRecovers) {
+  DiagnosticEngine D;
+  auto T = lex("x @ y", D);
+  EXPECT_TRUE(D.hasErrors());
+  ASSERT_EQ(T.size(), 3u); // x, y, eof — '@' skipped.
+}
+
+//===----------------------------------------------------------------------===//
+// Parser + elaborator (via parseProgram)
+//===----------------------------------------------------------------------===//
+
+std::optional<clight::Program>
+parse(const std::string &Src, std::map<std::string, uint32_t> Defines = {}) {
+  DiagnosticEngine D;
+  auto P = parseProgram(Src, D, std::move(Defines));
+  if (!P)
+    ADD_FAILURE() << D.str();
+  return P;
+}
+
+bool parseFails(const std::string &Src, std::string *FirstError = nullptr) {
+  DiagnosticEngine D;
+  auto P = parseProgram(Src, D);
+  if (P)
+    return false;
+  if (FirstError && !D.diagnostics().empty())
+    *FirstError = D.diagnostics()[0].str();
+  return true;
+}
+
+TEST(Parser, MinimalMain) {
+  auto P = parse("int main() { return 0; }");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Functions.size(), 1u);
+  EXPECT_EQ(P->Functions[0].Name, "main");
+  EXPECT_TRUE(P->Functions[0].ReturnsValue);
+}
+
+TEST(Parser, TypedefU32) {
+  auto P = parse("typedef unsigned int myword;\n"
+                 "myword g;\n"
+                 "int main() { g = 3; return 0; }");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Globals.size(), 1u);
+  EXPECT_EQ(P->Globals[0].Sign, clight::Signedness::Unsigned);
+}
+
+TEST(Parser, GlobalsAndArrays) {
+  auto P = parse("#define ALEN 16\n"
+                 "u32 a[ALEN];\n"
+                 "int table[] = {1, 2, 3};\n"
+                 "u32 seed = 42;\n"
+                 "int main() { return 0; }");
+  ASSERT_TRUE(P);
+  const clight::GlobalVar *A = P->findGlobal("a");
+  ASSERT_TRUE(A);
+  EXPECT_TRUE(A->IsArray);
+  EXPECT_EQ(A->Size, 16u);
+  const clight::GlobalVar *Table = P->findGlobal("table");
+  ASSERT_TRUE(Table);
+  EXPECT_EQ(Table->Size, 3u);
+  EXPECT_EQ(Table->Init[2], 3u);
+  const clight::GlobalVar *Seed = P->findGlobal("seed");
+  ASSERT_TRUE(Seed);
+  EXPECT_FALSE(Seed->IsArray);
+  EXPECT_EQ(Seed->Init[0], 42u);
+}
+
+TEST(Parser, MultipleDeclarators) {
+  auto P = parse("int main() { u32 i, rnd, prev = 7; return prev; }");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->Functions[0].Locals.size(), 3u);
+}
+
+TEST(Parser, ContinueRejected) {
+  std::string Err;
+  ASSERT_TRUE(parseFails(
+      "int main() { while (1) { continue; } return 0; }", &Err));
+  EXPECT_NE(Err.find("outside the verified subset"), std::string::npos);
+}
+
+TEST(Parser, SwitchRejected) {
+  EXPECT_TRUE(parseFails("int main() { switch (1) {} return 0; }"));
+}
+
+TEST(Parser, GotoRejected) {
+  EXPECT_TRUE(parseFails("int main() { goto l; l: return 0; }"));
+}
+
+TEST(Parser, PointersRejected) {
+  EXPECT_TRUE(parseFails("int main() { int x; x = *0; return 0; }"));
+}
+
+TEST(Parser, LocalArraysRejected) {
+  std::string Err;
+  ASSERT_TRUE(parseFails("int main() { u32 buf[4]; return 0; }", &Err));
+  EXPECT_NE(Err.find("global array"), std::string::npos);
+}
+
+TEST(Parser, UndefinedCallRejected) {
+  EXPECT_TRUE(parseFails("int main() { return nothere(); }"));
+}
+
+TEST(Parser, ArityMismatchRejected) {
+  EXPECT_TRUE(parseFails(
+      "u32 f(u32 x) { return x; } int main() { return f(1, 2); }"));
+}
+
+TEST(Parser, VoidValueUseRejected) {
+  EXPECT_TRUE(parseFails(
+      "void f() { } int main() { return f(); }"));
+}
+
+TEST(Parser, DuplicateLocalRejected) {
+  EXPECT_TRUE(parseFails("int main() { u32 x; u32 x; return 0; }"));
+}
+
+TEST(Parser, MissingMainRejected) {
+  EXPECT_TRUE(parseFails("u32 f() { return 1; }"));
+}
+
+TEST(Parser, ExternDeclaration) {
+  auto P = parse("extern void print(int);\n"
+                 "int main() { print(3); return 0; }");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Externals.size(), 1u);
+  EXPECT_EQ(P->Externals[0].Name, "print");
+  EXPECT_EQ(P->Externals[0].Arity, 1u);
+  EXPECT_FALSE(P->Externals[0].HasResult);
+}
+
+TEST(Parser, CastsAreIgnored) {
+  auto P = parse("int main() { u32 x = (u32) 5; return (int) x; }");
+  ASSERT_TRUE(P);
+}
+
+TEST(Elaborator, WhileBecomesLoop) {
+  auto P = parse("int main() { u32 i = 0; while (i < 3) { i = i + 1; } "
+                 "return i; }");
+  ASSERT_TRUE(P);
+  std::string Text = P->Functions[0].Body->str();
+  EXPECT_NE(Text.find("loop {"), std::string::npos);
+  EXPECT_NE(Text.find("break;"), std::string::npos);
+}
+
+TEST(Elaborator, SignednessSelection) {
+  auto P = parse("int main() { int a = -6; u32 b = 2; int c = 4;\n"
+                 "  u32 q = b / 2; int r = a / c; return q + r; }");
+  ASSERT_TRUE(P);
+  std::string Text = P->Functions[0].Body->str();
+  EXPECT_NE(Text.find("/u"), std::string::npos);
+  EXPECT_NE(Text.find("/s"), std::string::npos);
+}
+
+TEST(Elaborator, CallHoistingFromExpression) {
+  auto P = parse("u32 g() { return 7; }\n"
+                 "int main() { u32 x = g() + 1; return x; }");
+  ASSERT_TRUE(P);
+  std::string Text = P->Functions.back().Body->str();
+  // The call lands in a temporary before the addition.
+  EXPECT_NE(Text.find("$t0 = g()"), std::string::npos);
+}
+
+TEST(Elaborator, ShortCircuitPureStaysExpression) {
+  auto P = parse("int main() { int a = 1; int b = 0; "
+                 "int c = a && b; return c; }");
+  ASSERT_TRUE(P);
+  std::string Text = P->Functions[0].Body->str();
+  EXPECT_NE(Text.find("?"), std::string::npos); // Cond expression form.
+}
+
+TEST(Elaborator, ShortCircuitWithCallMaterializesIf) {
+  auto P = parse("u32 g() { return 1; }\n"
+                 "int main() { int a = 0; int c = a && g(); return c; }");
+  ASSERT_TRUE(P);
+  std::string Text = P->Functions.back().Body->str();
+  EXPECT_NE(Text.find("if ("), std::string::npos);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Additional lexer/parser edges
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TEST(Lexer, DirectiveCommentsAreStripped) {
+  DiagnosticEngine D;
+  auto T = lex("#define ONE 4096 /* 20.12 fixed point */\n"
+               "#define TWO 7 // inline comment\nONE TWO", D);
+  ASSERT_FALSE(D.hasErrors()) << D.str();
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Value, 4096u);
+  EXPECT_EQ(T[1].Value, 7u);
+}
+
+TEST(Lexer, BadDefineBodyIsAnError) {
+  DiagnosticEngine D;
+  lex("#define N foo\nN", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Parser, DoWhileRequiresTrailingSemicolon) {
+  EXPECT_TRUE(parseFails(
+      "int main() { u32 i = 0; do { i++; } while (i < 3) return 0; }"));
+}
+
+TEST(Parser, ExternVoidParameterList) {
+  auto P = parse("extern u32 now(void);\n"
+                 "int main() { u32 t = now(); return (int)t; }");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->Externals[0].Arity, 0u);
+  EXPECT_TRUE(P->Externals[0].HasResult);
+}
+
+TEST(Parser, TooManyArrayInitializersRejected) {
+  EXPECT_TRUE(parseFails("u32 a[2] = {1, 2, 3};\nint main() { return 0; }"));
+}
+
+TEST(Parser, ForwardDeclarationThenDefinition) {
+  auto P = parse("u32 f(u32 x);\n"
+                 "int main() { return (int)f(3); }\n"
+                 "u32 f(u32 x) { return x + 1; }");
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->findFunction("f"));
+}
+
+TEST(Parser, NestedTernaryAndPrecedence) {
+  auto P = parse("int main() { int a = 2;\n"
+                 "  return a == 1 ? 10 : a == 2 ? 20 : 30; }");
+  ASSERT_TRUE(P);
+  Behavior B = qcc::interp::runProgram(*P);
+  EXPECT_EQ(B.ReturnCode, 20);
+}
+
+TEST(Parser, ShiftPrecedenceBelowAdditive) {
+  auto P = parse("int main() { return 1 << 2 + 1; }"); // 1 << 3 == 8.
+  ASSERT_TRUE(P);
+  EXPECT_EQ(qcc::interp::runProgram(*P).ReturnCode, 8);
+}
+
+} // namespace

@@ -1,0 +1,340 @@
+//===- tests/InterpTest.cpp - Unit tests for qcc_interp -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/Metric.h"
+#include "events/Weight.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+
+namespace {
+
+clight::Program mustParse(const std::string &Src,
+                          std::map<std::string, uint32_t> Defines = {}) {
+  DiagnosticEngine D;
+  auto P = frontend::parseProgram(Src, D, std::move(Defines));
+  EXPECT_TRUE(P) << D.str();
+  return P ? std::move(*P) : clight::Program{};
+}
+
+Behavior runSrc(const std::string &Src,
+                std::map<std::string, uint32_t> Defines = {},
+                uint64_t Fuel = interp::DefaultFuel) {
+  clight::Program P = mustParse(Src, std::move(Defines));
+  return interp::runProgram(P, Fuel);
+}
+
+int32_t mustConverge(const std::string &Src,
+                     std::map<std::string, uint32_t> Defines = {}) {
+  Behavior B = runSrc(Src, std::move(Defines));
+  EXPECT_TRUE(B.converged()) << B.str();
+  return B.ReturnCode;
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic and control flow
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, ReturnsConstant) {
+  EXPECT_EQ(mustConverge("int main() { return 41; }"), 41);
+}
+
+TEST(Interp, ArithmeticMix) {
+  EXPECT_EQ(mustConverge("int main() { return (2 + 3) * 4 - 6 / 2; }"), 17);
+}
+
+TEST(Interp, SignedVsUnsignedDivision) {
+  // -7 / 2 == -3 signed; huge / 2 unsigned.
+  EXPECT_EQ(mustConverge("int main() { int a = -7; return a / 2; }"), -3);
+  EXPECT_EQ(mustConverge(
+                "int main() { u32 a = 0x80000000u; return (int)(a / 2) == "
+                "0x40000000 ? 1 : 0; }"),
+            1);
+}
+
+TEST(Interp, SignedVsUnsignedComparison) {
+  EXPECT_EQ(mustConverge("int main() { int a = -1; return a < 0; }"), 1);
+  EXPECT_EQ(mustConverge(
+                "int main() { u32 a = 0xffffffffu; return a < 1u; }"),
+            0);
+}
+
+TEST(Interp, ShiftSemantics) {
+  EXPECT_EQ(mustConverge("int main() { int a = -8; return a >> 1; }"), -4);
+  EXPECT_EQ(mustConverge("int main() { u32 a = 0x80000000u; "
+                         "return (a >> 31) == 1u; }"),
+            1);
+  // Shift counts are masked to 5 bits at every level.
+  EXPECT_EQ(mustConverge("int main() { u32 a = 1; u32 s = 33; "
+                         "return (a << s) == 2u; }"),
+            1);
+}
+
+TEST(Interp, WhileLoopSum) {
+  EXPECT_EQ(mustConverge("int main() { u32 i = 0; u32 s = 0;\n"
+                         "  while (i < 10) { s += i; i++; } return s; }"),
+            45);
+}
+
+TEST(Interp, ForLoop) {
+  EXPECT_EQ(mustConverge("int main() { u32 s = 0; u32 i;\n"
+                         "  for (i = 1; i <= 4; i++) s = s * 10 + i;\n"
+                         "  return s; }"),
+            1234);
+}
+
+TEST(Interp, DoWhile) {
+  EXPECT_EQ(mustConverge("int main() { u32 i = 0; do { i++; } while (i < 5); "
+                         "return i; }"),
+            5);
+}
+
+TEST(Interp, BreakLeavesInnermostLoop) {
+  EXPECT_EQ(mustConverge(
+                "int main() { u32 n = 0; u32 i; u32 j;\n"
+                "  for (i = 0; i < 3; i++) {\n"
+                "    for (j = 0; j < 10; j++) { if (j == 2) break; n++; }\n"
+                "  }\n"
+                "  return n; }"),
+            6);
+}
+
+TEST(Interp, TernaryAndShortCircuit) {
+  EXPECT_EQ(mustConverge("int main() { int a = 5; "
+                         "return a > 3 ? 10 : 20; }"),
+            10);
+  // Short-circuit must not evaluate the out-of-bounds read.
+  EXPECT_EQ(mustConverge("u32 a[4];\n"
+                         "int main() { u32 i = 9; "
+                         "return (i < 4 && a[i] > 0) ? 1 : 0; }"),
+            0);
+}
+
+TEST(Interp, GlobalsAndArrays) {
+  EXPECT_EQ(mustConverge("u32 acc = 5;\n"
+                         "u32 a[3] = {10, 20, 30};\n"
+                         "int main() { acc += a[1]; a[2] = acc; "
+                         "return a[2]; }"),
+            25);
+}
+
+TEST(Interp, LocalsStartAtZero) {
+  EXPECT_EQ(mustConverge("int main() { u32 x; return x; }"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Calls, recursion, events
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, CallAndReturnValue) {
+  EXPECT_EQ(mustConverge("u32 sq(u32 x) { return x * x; }\n"
+                         "int main() { return sq(7); }"),
+            49);
+}
+
+TEST(Interp, RecursionFibonacci) {
+  EXPECT_EQ(mustConverge(
+                "u32 fib(u32 n) { if (n < 2) return n; "
+                "return fib(n - 1) + fib(n - 2); }\n"
+                "int main() { return fib(10); }"),
+            55);
+}
+
+TEST(Interp, VoidCallFallThrough) {
+  EXPECT_EQ(mustConverge("u32 g;\n"
+                         "void set(u32 v) { g = v; }\n"
+                         "int main() { set(9); return g; }"),
+            9);
+}
+
+TEST(Interp, TraceIsWellBracketed) {
+  Behavior B = runSrc("u32 f(u32 n) { if (n == 0) return 0; "
+                      "return f(n - 1); }\n"
+                      "int main() { return f(3); }");
+  ASSERT_TRUE(B.converged());
+  EXPECT_TRUE(isWellBracketed(B.Events));
+  // call(main) call(f) x4 ... ret x4 ret(main) = 10 memory events.
+  EXPECT_EQ(B.Events.size(), 10u);
+}
+
+TEST(Interp, TraceWeightMatchesRecursionDepth) {
+  Behavior B = runSrc("u32 f(u32 n) { if (n == 0) return 0; "
+                      "return f(n - 1); }\n"
+                      "int main() { return f(4); }");
+  ASSERT_TRUE(B.converged());
+  StackMetric M;
+  M.setCost("main", 16);
+  M.setCost("f", 24);
+  // main + 5 nested activations of f (n = 4..0).
+  EXPECT_EQ(weight(M, B.Events), 16u + 5 * 24u);
+}
+
+TEST(Interp, SequentialCallsDoNotStack) {
+  Behavior B = runSrc("void f() { } void g() { }\n"
+                      "int main() { f(); g(); return 0; }");
+  ASSERT_TRUE(B.converged());
+  StackMetric M;
+  M.setCost("main", 10);
+  M.setCost("f", 100);
+  M.setCost("g", 40);
+  EXPECT_EQ(weight(M, B.Events), 110u);
+}
+
+TEST(Interp, ExternalCallEmitsIOEvent) {
+  Behavior B = runSrc("extern void print(int);\n"
+                      "int main() { print(42); return 0; }");
+  ASSERT_TRUE(B.converged());
+  Trace IO = pruneMemoryEvents(B.Events);
+  ASSERT_EQ(IO.size(), 1u);
+  EXPECT_EQ(IO[0].Function, "print");
+  ASSERT_EQ(IO[0].Args.size(), 1u);
+  EXPECT_EQ(IO[0].Args[0], 42);
+}
+
+TEST(Interp, RunFunctionCallDirectly) {
+  clight::Program P = mustParse("u32 sq(u32 x) { return x * x; }\n"
+                                "int main() { return 0; }");
+  interp::Interpreter I(P);
+  Behavior B = I.runFunctionCall("sq", {9});
+  ASSERT_TRUE(B.converged()) << B.str();
+  EXPECT_EQ(B.ReturnCode, 81);
+  ASSERT_GE(B.Events.size(), 2u);
+  EXPECT_EQ(B.Events.front(), Event::call("sq"));
+  EXPECT_EQ(B.Events.back(), Event::ret("sq"));
+}
+
+//===----------------------------------------------------------------------===//
+// Faults and divergence
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, DivisionByZeroFails) {
+  Behavior B = runSrc("int main() { int a = 1; int b = 0; return a / b; }");
+  EXPECT_TRUE(B.failed());
+  EXPECT_NE(B.FailureReason.find("division by zero"), std::string::npos);
+}
+
+TEST(Interp, SignedDivisionOverflowFails) {
+  Behavior B = runSrc("int main() { int a = 1; a = a << 31; int b = -1; "
+                      "return a / b; }");
+  EXPECT_TRUE(B.failed());
+  EXPECT_NE(B.FailureReason.find("overflow"), std::string::npos);
+}
+
+TEST(Interp, ArrayOutOfBoundsFails) {
+  Behavior B = runSrc("u32 a[4];\nint main() { u32 i = 4; return a[i]; }");
+  EXPECT_TRUE(B.failed());
+  EXPECT_NE(B.FailureReason.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, ArrayStoreOutOfBoundsFails) {
+  Behavior B = runSrc("u32 a[4];\nint main() { a[7] = 1; return 0; }");
+  EXPECT_TRUE(B.failed());
+}
+
+TEST(Interp, FailureKeepsTracePrefix) {
+  Behavior B = runSrc("u32 f() { return 1; }\n"
+                      "int main() { u32 x = f(); int z = 0; return x / z; }");
+  ASSERT_TRUE(B.failed());
+  // call(main).call(f).ret(f) happened before the fault.
+  ASSERT_GE(B.Events.size(), 3u);
+  EXPECT_EQ(B.Events[0], Event::call("main"));
+  EXPECT_EQ(B.Events[1], Event::call("f"));
+  EXPECT_EQ(B.Events[2], Event::ret("f"));
+}
+
+TEST(Interp, InfiniteLoopDivergesOnFuel) {
+  Behavior B = runSrc("int main() { while (1) { } return 0; }", {},
+                      /*Fuel=*/10'000);
+  EXPECT_EQ(B.Kind, BehaviorKind::Diverges);
+}
+
+TEST(Interp, InfiniteRecursionDivergesWithGrowingWeight) {
+  Behavior B = runSrc("void f() { f(); }\nint main() { f(); return 0; }", {},
+                      /*Fuel=*/10'000);
+  EXPECT_EQ(B.Kind, BehaviorKind::Diverges);
+  StackMetric M;
+  M.setCost("f", 8);
+  // The diverging prefix keeps stacking f frames: weight grows with fuel.
+  EXPECT_GT(weight(M, B.Events), 8u * 100);
+}
+
+//===----------------------------------------------------------------------===//
+// The Paper section 2 program, end to end at the Clight level
+//===----------------------------------------------------------------------===//
+
+const char *Section2Source = R"(
+#define ALEN 64
+#define SEED 1
+typedef unsigned int u32;
+u32 a[ALEN];
+u32 seed = SEED;
+
+u32 search(u32 elem, u32 beg, u32 end) {
+  u32 mid = beg + (end - beg) / 2;
+  if (end - beg <= 1) return beg;
+  if (a[mid] > elem) end = mid; else beg = mid;
+  return search(elem, beg, end);
+}
+
+u32 random() {
+  seed = (seed * 1664525) + 1013904223;
+  return seed;
+}
+
+void init() {
+  u32 i, rnd, prev = 0;
+  for (i = 0; i < ALEN; i++) {
+    rnd = random();
+    a[i] = prev + rnd % 17;
+    prev = a[i];
+  }
+}
+
+int main() {
+  u32 idx, elem;
+  init();
+  elem = random() % (17 * ALEN);
+  idx = search(elem, 0, ALEN);
+  return a[idx] == elem;
+}
+)";
+
+TEST(Interp, Section2ProgramRuns) {
+  Behavior B = runSrc(Section2Source);
+  ASSERT_TRUE(B.converged()) << B.str();
+  EXPECT_TRUE(isWellBracketed(B.Events));
+}
+
+TEST(Interp, Section2WeightShape) {
+  // W = M(main) + max(M(init) + M(random), depth(search) * M(search)),
+  // where depth(search) <= 1 + ceil(log2(ALEN)).
+  Behavior B = runSrc(Section2Source, {{"ALEN", 64}});
+  ASSERT_TRUE(B.converged());
+  StackMetric M;
+  M.setCost("main", 1);  // Make search depth directly readable.
+  M.setCost("search", 1);
+  uint64_t W = weight(M, B.Events);
+  // main contributes 1; search chain contributes at most 1 + log2(64) = 7.
+  EXPECT_GE(W, 2u);
+  EXPECT_LE(W, 1u + 1u + ceilLog2(64));
+}
+
+TEST(Interp, Section2SweepStaysWithinLogBound) {
+  for (uint32_t Alen : {2u, 8u, 33u, 128u, 1000u}) {
+    Behavior B = runSrc(Section2Source, {{"ALEN", Alen}});
+    ASSERT_TRUE(B.converged()) << "ALEN=" << Alen;
+    StackMetric M;
+    M.setCost("search", 1);
+    EXPECT_LE(weight(M, B.Events), 1u + ceilLog2(Alen))
+        << "ALEN=" << Alen;
+  }
+}
+
+} // namespace

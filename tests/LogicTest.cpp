@@ -1,0 +1,483 @@
+//===- tests/LogicTest.cpp - Unit tests for qcc_logic ---------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/Weight.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "logic/Builder.h"
+#include "logic/Checker.h"
+#include "logic/Entail.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+using namespace qcc::logic;
+
+namespace {
+
+IntTerm v(const std::string &Name, VarSign S = VarSign::Unsigned) {
+  return IntTermNode::var(Name, S);
+}
+IntTerm c(int64_t V) { return IntTermNode::constant(V); }
+
+clight::Program mustParse(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = frontend::parseProgram(Src, D);
+  EXPECT_TRUE(P) << D.str();
+  return P ? std::move(*P) : clight::Program{};
+}
+
+//===----------------------------------------------------------------------===//
+// Bound expressions
+//===----------------------------------------------------------------------===//
+
+TEST(Bound, ConstantFolding) {
+  EXPECT_EQ(bAdd(bConst(3), bConst(4))->Value, ExtNat(7));
+  EXPECT_EQ(bMax(bConst(3), bConst(9))->Value, ExtNat(9));
+  EXPECT_EQ(bScale(5, bConst(8))->Value, ExtNat(40));
+  EXPECT_TRUE(bAdd(bBottom(), bConst(1))->Value.isInfinite());
+  EXPECT_EQ(bMul(bBottom(), bZero())->Value, ExtNat(0));
+}
+
+TEST(Bound, EvalMetricVars) {
+  StackMetric M;
+  M.setCost("f", 40);
+  M.setCost("g", 24);
+  BoundExpr E = bAdd(bMetric("f"), bMax(bMetric("g"), bConst(100)));
+  EXPECT_EQ(evalBound(E, M, {}), ExtNat(140));
+}
+
+TEST(Bound, EvalLog2Conventions) {
+  StackMetric M;
+  VarEnv Env{{"w", 0}};
+  EXPECT_EQ(evalBound(bLog2W(v("w")), M, Env), ExtNat(0)); // log2(0) = 0.
+  Env["w"] = 1;
+  EXPECT_EQ(evalBound(bLog2W(v("w")), M, Env), ExtNat(0));
+  Env["w"] = 4096;
+  EXPECT_EQ(evalBound(bLog2W(v("w")), M, Env), ExtNat(12));
+  Env["w"] = 4097;
+  EXPECT_EQ(evalBound(bLog2W(v("w")), M, Env), ExtNat(12));
+  EXPECT_EQ(evalBound(bLog2C(v("w")), M, Env), ExtNat(13));
+  // Negative width (signed reading) is +oo, the paper's convention.
+  VarEnv Neg{{"d", static_cast<uint32_t>(-5)}};
+  EXPECT_TRUE(
+      evalBound(bLog2W(v("d", VarSign::Signed)), M, Neg).isInfinite());
+}
+
+TEST(Bound, EvalNatTermAndGuard) {
+  StackMetric M;
+  VarEnv Env{{"n", 7}};
+  EXPECT_EQ(evalBound(bNatTerm(v("n")), M, Env), ExtNat(7));
+  EXPECT_TRUE(evalBound(bNatTerm(IntTermNode::sub(c(3), v("n"))), M, Env)
+                  .isInfinite());
+  Cmp C{v("n"), CmpRel::Ge, c(5)};
+  EXPECT_EQ(evalBound(bGuard(C, bConst(9)), M, Env), ExtNat(9));
+  Cmp C2{v("n"), CmpRel::Lt, c(5)};
+  EXPECT_TRUE(evalBound(bGuard(C2, bConst(9)), M, Env).isInfinite());
+}
+
+TEST(Bound, UnboundVariableIsBottom) {
+  StackMetric M;
+  EXPECT_TRUE(evalBound(bNatTerm(v("missing")), M, {}).isInfinite());
+}
+
+TEST(Bound, SubstitutionComposes) {
+  // (hi - lo) with hi := mid, mid := lo + (hi-lo)/2.
+  BoundExpr E = bLog2C(IntTermNode::sub(v("hi"), v("lo")));
+  BoundExpr E1 = substBound(E, "hi", v("mid"));
+  BoundExpr E2 = substBound(
+      E1, "mid", IntTermNode::add(v("lo"), IntTermNode::divC(
+                                               IntTermNode::sub(v("hi"),
+                                                                v("lo")),
+                                               2)));
+  StackMetric M;
+  VarEnv Env{{"hi", 100}, {"lo", 20}};
+  // ((lo + (hi-lo)/2) - lo) = 40; clog2(40) = 6.
+  EXPECT_EQ(evalBound(E2, M, Env), ExtNat(6));
+}
+
+TEST(Bound, Printing) {
+  BoundExpr E = bAdd(bMetric("init"), bMetric("random"));
+  EXPECT_EQ(E->str(), "M(init) + M(random)");
+  BoundExpr L = bMul(bMetric("bsearch"),
+                     bAdd(bConst(1), bLog2C(IntTermNode::sub(v("hi"),
+                                                             v("lo")))));
+  EXPECT_EQ(L->str(), "M(bsearch) * (1 + clog2((hi - lo)))");
+}
+
+//===----------------------------------------------------------------------===//
+// Entailment
+//===----------------------------------------------------------------------===//
+
+TEST(Entail, Syntactic) {
+  BoundExpr E = bAdd(bMetric("f"), bConst(4));
+  EntailResult R = entails(E, E);
+  EXPECT_TRUE(R.Holds);
+  EXPECT_EQ(R.Method, EntailMethod::Syntactic);
+}
+
+TEST(Entail, SymbolicMaxDomination) {
+  // max(M(f), M(g)) >= M(g), established without sampling.
+  EntailOptions Opt;
+  Opt.SymbolicOnly = true;
+  BoundExpr P = bMax(bMetric("f"), bMetric("g"));
+  EntailResult R = entails(P, bMetric("g"), {}, Opt);
+  EXPECT_TRUE(R.Holds);
+  EXPECT_EQ(R.Method, EntailMethod::Symbolic);
+}
+
+TEST(Entail, SymbolicSumsAndConstants) {
+  EntailOptions Opt;
+  Opt.SymbolicOnly = true;
+  // M(f) + M(g) + 8 >= M(g) + 8.
+  EXPECT_TRUE(entails(bAdd(bAdd(bMetric("f"), bMetric("g")), bConst(8)),
+                      bAdd(bMetric("g"), bConst(8)), {}, Opt));
+  // Figure 5 composite: max(M(f)+B, R) >= R and >= M(f)+B.
+  BoundExpr R0 = bMax(bAdd(bMetric("f"), bConst(16)), bMetric("g"));
+  EXPECT_TRUE(entails(R0, bMetric("g"), {}, Opt));
+  EXPECT_TRUE(entails(R0, bAdd(bMetric("f"), bConst(16)), {}, Opt));
+}
+
+TEST(Entail, SymbolicRejectsWrongDirection) {
+  EntailOptions Opt;
+  Opt.SymbolicOnly = true;
+  EXPECT_FALSE(entails(bMetric("g"), bMax(bMetric("f"), bMetric("g")), {},
+                       Opt));
+}
+
+TEST(Entail, SampledRefutesWithCounterexample) {
+  // [n] >= [n] + 1 is false everywhere.
+  BoundExpr P = bNatTerm(v("n"));
+  BoundExpr Q = bAdd(bNatTerm(v("n")), bConst(1));
+  EntailResult R = entails(P, Q);
+  EXPECT_FALSE(R.Holds);
+  EXPECT_EQ(R.Method, EntailMethod::Refuted);
+  EXPECT_FALSE(R.Counterexample.empty());
+}
+
+TEST(Entail, SampledAcceptsLogStep) {
+  // The binary-search induction step: for w >= 2,
+  //   M * (1 + clog2(w)) >= M + M * (1 + clog2(w / 2)).
+  BoundExpr M = bMetric("b");
+  IntTerm W = v("w");
+  BoundExpr P = bMul(M, bAdd(bConst(1), bLog2C(W)));
+  BoundExpr Q =
+      bAdd(M, bMul(M, bAdd(bConst(1), bLog2C(IntTermNode::divC(W, 2)))));
+  std::vector<Cmp> Assume{{W, CmpRel::Ge, c(2)}};
+  EXPECT_TRUE(entails(P, Q, Assume));
+  // Without the assumption it is refuted (w = 1 needs M extra).
+  EXPECT_FALSE(entails(P, Q));
+}
+
+TEST(Entail, UpperHalfStepNeedsCeil) {
+  // With the *floor* log, the upper-half step w -> w - w/2 is refutable
+  // (w = 3), which is exactly why the spec uses the ceiling variant.
+  BoundExpr M = bMetric("b");
+  IntTerm W = v("w");
+  IntTerm Upper = IntTermNode::sub(W, IntTermNode::divC(W, 2));
+  std::vector<Cmp> Assume{{W, CmpRel::Ge, c(2)}};
+  BoundExpr PFloor = bMul(M, bAdd(bConst(2), bLog2W(W)));
+  BoundExpr QFloor =
+      bAdd(M, bMul(M, bAdd(bConst(2), bLog2W(Upper))));
+  EXPECT_FALSE(entails(PFloor, QFloor, Assume));
+
+  BoundExpr PCeil = bMul(M, bAdd(bConst(1), bLog2C(W)));
+  BoundExpr QCeil = bAdd(M, bMul(M, bAdd(bConst(1), bLog2C(Upper))));
+  EXPECT_TRUE(entails(PCeil, QCeil, Assume));
+}
+
+TEST(Entail, EqualityAssumptionsSolvedConstructively) {
+  // Under n == m, [n] >= [m].
+  std::vector<Cmp> Assume{{v("n"), CmpRel::Eq, v("m")}};
+  EXPECT_TRUE(entails(bNatTerm(v("n")), bNatTerm(v("m")), Assume));
+  EXPECT_FALSE(entails(bNatTerm(v("n")), bNatTerm(v("m"))));
+}
+
+//===----------------------------------------------------------------------===//
+// Builder + checker on straight-line programs (Figure 5 shape)
+//===----------------------------------------------------------------------===//
+
+/// Builds and checks {B} F {B} for a balanced spec, returning the bound.
+std::optional<FunctionBound> buildChecked(const clight::Program &P,
+                                          const std::string &F,
+                                          FunctionSpec Spec,
+                                          FunctionContext Gamma = {},
+                                          bool SymbolicOnly = false) {
+  EntailOptions Opt;
+  Opt.SymbolicOnly = SymbolicOnly;
+  DerivationBuilder B(P, Gamma, Opt);
+  DiagnosticEngine D;
+  auto FB = B.buildFunctionBound(F, std::move(Spec), D);
+  if (!FB) {
+    ADD_FAILURE() << "builder failed: " << D.str();
+    return std::nullopt;
+  }
+  ProofChecker Checker(P, B.context(), Opt);
+  DiagnosticEngine CD;
+  if (!Checker.checkFunctionBound(*FB, CD)) {
+    ADD_FAILURE() << "checker rejected: " << CD.str() << "\nderivation:\n"
+                  << FB->Body->str();
+    return std::nullopt;
+  }
+  return FB;
+}
+
+const char *Figure5Source = R"(
+void f() { }
+void g() { }
+int main() { f(); g(); return 0; }
+)";
+
+TEST(Builder, Figure5SequentialCalls) {
+  clight::Program P = mustParse(Figure5Source);
+  FunctionContext Gamma;
+  Gamma["f"] = FunctionSpec::balanced(bZero());
+  Gamma["g"] = FunctionSpec::balanced(bZero());
+  auto FB = buildChecked(P, "main",
+                         FunctionSpec::balanced(
+                             bMax(bMetric("f"), bMetric("g"))),
+                         Gamma, /*SymbolicOnly=*/true);
+  ASSERT_TRUE(FB);
+  // The derived precondition is exactly max(M(f), M(g)) (Figure 5).
+  StackMetric M1;
+  M1.setCost("f", 100);
+  M1.setCost("g", 40);
+  EXPECT_EQ(evalBound(FB->Spec.Pre, M1, {}), ExtNat(100));
+}
+
+TEST(Builder, NestedCallsSum) {
+  clight::Program P = mustParse(R"(
+void h() { }
+void g() { h(); }
+int main() { g(); return 0; }
+)");
+  FunctionContext Gamma;
+  Gamma["h"] = FunctionSpec::balanced(bZero());
+  Gamma["g"] = FunctionSpec::balanced(bMetric("h"));
+  auto FB = buildChecked(P, "main",
+                         FunctionSpec::balanced(
+                             bAdd(bMetric("g"), bMetric("h"))),
+                         Gamma, /*SymbolicOnly=*/true);
+  ASSERT_TRUE(FB);
+}
+
+TEST(Builder, LoopInvariantStabilizes) {
+  clight::Program P = mustParse(R"(
+void f() { }
+int main() { u32 i; for (i = 0; i < 10; i++) { f(); } return 0; }
+)");
+  FunctionContext Gamma;
+  Gamma["f"] = FunctionSpec::balanced(bZero());
+  auto FB = buildChecked(P, "main", FunctionSpec::balanced(bMetric("f")),
+                         Gamma, /*SymbolicOnly=*/true);
+  ASSERT_TRUE(FB);
+}
+
+TEST(Checker, RejectsUnderClaimedBound) {
+  clight::Program P = mustParse(Figure5Source);
+  FunctionContext Gamma;
+  Gamma["f"] = FunctionSpec::balanced(bZero());
+  Gamma["g"] = FunctionSpec::balanced(bZero());
+  EntailOptions Opt;
+  DerivationBuilder B(P, Gamma, Opt);
+  DiagnosticEngine D;
+  // Claim only M(f), forgetting that g also runs.
+  auto FB = B.buildFunctionBound("main",
+                                 FunctionSpec::balanced(bMetric("f")), D);
+  ASSERT_TRUE(FB);
+  ProofChecker Checker(P, B.context(), Opt);
+  DiagnosticEngine CD;
+  EXPECT_FALSE(Checker.checkFunctionBound(*FB, CD));
+}
+
+TEST(Checker, RejectsCorruptedDerivation) {
+  clight::Program P = mustParse(Figure5Source);
+  FunctionContext Gamma;
+  Gamma["f"] = FunctionSpec::balanced(bZero());
+  Gamma["g"] = FunctionSpec::balanced(bZero());
+  DerivationBuilder B(P, Gamma, {});
+  DiagnosticEngine D;
+  auto FB = B.buildFunctionBound(
+      "main", FunctionSpec::balanced(bMax(bMetric("f"), bMetric("g"))), D);
+  ASSERT_TRUE(FB);
+  // Tamper: shrink the root precondition to zero.
+  FB->Body->Pre = bZero();
+  ProofChecker Checker(P, B.context(), {});
+  DiagnosticEngine CD;
+  EXPECT_FALSE(Checker.checkFunctionBound(*FB, CD));
+}
+
+//===----------------------------------------------------------------------===//
+// Recursive derivations (the paper's interactive proofs)
+//===----------------------------------------------------------------------===//
+
+const char *BsearchSource = R"(
+#define ALEN 4096
+u32 a[ALEN];
+u32 bsearch(u32 x, u32 lo, u32 hi) {
+  u32 mid = lo + (hi - lo) / 2;
+  if (hi - lo <= 1) return lo;
+  if (a[mid] > x) hi = mid; else lo = mid;
+  return bsearch(x, lo, hi);
+}
+int main() { return bsearch(3, 0, ALEN); }
+)";
+
+/// The paper's L(Delta): the bsearch spec M(bsearch) * (1 + clog2(hi-lo)).
+FunctionSpec bsearchSpec() {
+  return FunctionSpec::balanced(
+      bMul(bMetric("bsearch"),
+           bAdd(bConst(1), bLog2C(IntTermNode::sub(v("hi"), v("lo"))))));
+}
+
+TEST(Recursive, BsearchDerivationChecks) {
+  clight::Program P = mustParse(BsearchSource);
+  auto FB = buildChecked(P, "bsearch", bsearchSpec());
+  ASSERT_TRUE(FB);
+}
+
+TEST(Recursive, BsearchBoundSoundAgainstInterpreter) {
+  clight::Program P = mustParse(BsearchSource);
+  auto FB = buildChecked(P, "bsearch", bsearchSpec());
+  ASSERT_TRUE(FB);
+
+  StackMetric M;
+  M.setCost("bsearch", 40);
+  interp::Interpreter I(P);
+  for (uint32_t Hi : {2u, 3u, 5u, 16u, 17u, 100u, 1024u, 4096u}) {
+    Behavior B = I.runFunctionCall("bsearch", {7, 0, Hi});
+    ASSERT_TRUE(B.converged()) << B.str();
+    VarEnv Env{{"x", 7}, {"lo", 0}, {"hi", Hi}};
+    ExtNat Bound = evalBound(FB->Spec.Pre, M, Env);
+    uint64_t Measured = weight(M, B.Events);
+    ASSERT_TRUE(Bound.isFinite());
+    EXPECT_GE(Bound.finiteValue(), Measured) << "hi=" << Hi;
+    // The bound is tight: within one frame of the measurement.
+    EXPECT_LE(Bound.finiteValue(), Measured + 40) << "hi=" << Hi;
+  }
+}
+
+const char *FibSource = R"(
+u32 fib(u32 n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(10); }
+)";
+
+/// fib descends n-1 levels: M(fib) * max(1, n).
+FunctionSpec fibSpec() {
+  return FunctionSpec::balanced(
+      bMul(bMetric("fib"), bMax(bConst(1), bNatTerm(v("n")))));
+}
+
+TEST(Recursive, FibDerivationChecks) {
+  clight::Program P = mustParse(FibSource);
+  auto FB = buildChecked(P, "fib", fibSpec());
+  ASSERT_TRUE(FB);
+}
+
+TEST(Recursive, FibBoundSoundAndLinear) {
+  clight::Program P = mustParse(FibSource);
+  auto FB = buildChecked(P, "fib", fibSpec());
+  ASSERT_TRUE(FB);
+  StackMetric M;
+  M.setCost("fib", 24);
+  interp::Interpreter I(P);
+  for (uint32_t N : {0u, 1u, 2u, 5u, 10u, 15u}) {
+    Behavior B = I.runFunctionCall("fib", {N});
+    ASSERT_TRUE(B.converged());
+    VarEnv Env{{"n", N}};
+    ExtNat Bound = evalBound(FB->Spec.Pre, M, Env);
+    ASSERT_TRUE(Bound.isFinite());
+    EXPECT_GE(Bound.finiteValue(), weight(M, B.Events)) << "n=" << N;
+    EXPECT_EQ(Bound.finiteValue(), 24u * std::max(1u, N));
+  }
+}
+
+TEST(Recursive, WrongFibSpecRejected) {
+  // Claiming logarithmic depth for fib must fail.
+  clight::Program P = mustParse(FibSource);
+  DerivationBuilder B(P, {}, {});
+  DiagnosticEngine D;
+  auto FB = B.buildFunctionBound(
+      "fib",
+      FunctionSpec::balanced(
+          bMul(bMetric("fib"), bAdd(bConst(1), bLog2C(v("n"))))),
+      D);
+  ASSERT_TRUE(FB); // Building succeeds; checking must not.
+  ProofChecker Checker(P, B.context(), {});
+  DiagnosticEngine CD;
+  EXPECT_FALSE(Checker.checkFunctionBound(*FB, CD));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Mutual recursion through the derivation context
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *EvenOddSource = R"(
+u32 odd(u32 n);
+u32 even(u32 n) { if (n == 0) return 1; return odd(n - 1); }
+u32 odd(u32 n) { if (n == 0) return 0; return even(n - 1); }
+int main() { return (int)even(10); }
+)";
+
+/// Each of the n frames below even/odd(n) is one of the two functions:
+/// max(M(even), M(odd)) * n bounds the alternating chain.
+FunctionSpec alternatingSpec(const char *Self) {
+  (void)Self;
+  return FunctionSpec::balanced(
+      bMul(bMax(bMetric("even"), bMetric("odd")), bNatTerm(v("n"))));
+}
+
+TEST(Recursive, MutualRecursionDerivationsCheck) {
+  clight::Program P = mustParse(EvenOddSource);
+  // Both specs live in the context before either body is derived — the
+  // paper's derivation-context treatment, extended to a mutual cycle.
+  FunctionContext Gamma;
+  Gamma["even"] = alternatingSpec("even");
+  Gamma["odd"] = alternatingSpec("odd");
+  for (const char *F : {"even", "odd"}) {
+    DerivationBuilder B(P, Gamma, {});
+    DiagnosticEngine D;
+    auto FB = B.buildFunctionBound(F, Gamma.at(F), D);
+    ASSERT_TRUE(FB) << F << ": " << D.str();
+    ProofChecker Checker(P, Gamma, {});
+    DiagnosticEngine CD;
+    EXPECT_TRUE(Checker.checkFunctionBound(*FB, CD)) << F << ": "
+                                                     << CD.str();
+  }
+}
+
+TEST(Recursive, MutualRecursionBoundSoundOnMachine) {
+  clight::Program P = mustParse(EvenOddSource);
+  FunctionContext Gamma;
+  Gamma["even"] = alternatingSpec("even");
+  Gamma["odd"] = alternatingSpec("odd");
+  StackMetric M;
+  M.setCost("even", 16);
+  M.setCost("odd", 24);
+  interp::Interpreter I(P);
+  for (uint32_t N : {0u, 1u, 5u, 10u, 31u}) {
+    Behavior B = I.runFunctionCall("even", {N});
+    ASSERT_TRUE(B.converged());
+    EXPECT_EQ(B.ReturnCode, static_cast<int32_t>(1 - N % 2));
+    VarEnv Env{{"n", N}};
+    // The call bound M(even) + B covers the trace, which includes even's
+    // own frame.
+    ExtNat Bound =
+        evalBound(bAdd(bMetric("even"), Gamma.at("even").Pre), M, Env);
+    ASSERT_TRUE(Bound.isFinite());
+    EXPECT_GE(Bound.finiteValue(), weight(M, B.Events)) << "n=" << N;
+  }
+}
+
+} // namespace

@@ -1,0 +1,290 @@
+//===- tests/PipelineTest.cpp - Cross-level translation validation --------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays every pipeline level on the same programs and checks
+/// quantitative refinement between adjacent levels — the executable
+/// counterpart of the paper's per-pass Coq proofs (Paper section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cminor/CminorInterp.h"
+#include "cminor/Lower.h"
+#include "events/Refinement.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "mach/Mach.h"
+#include "rtl/Opt.h"
+#include "rtl/Rtl.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+
+namespace {
+
+clight::Program mustParse(const std::string &Src,
+                          std::map<std::string, uint32_t> Defines = {}) {
+  DiagnosticEngine D;
+  auto P = frontend::parseProgram(Src, D, std::move(Defines));
+  EXPECT_TRUE(P) << D.str();
+  return P ? std::move(*P) : clight::Program{};
+}
+
+/// Runs all levels and checks the refinement chain; returns the Clight
+/// behavior for further assertions.
+Behavior validatePipeline(const std::string &Src,
+                          std::map<std::string, uint32_t> Defines = {}) {
+  clight::Program CL = mustParse(Src, std::move(Defines));
+  Behavior BClight = interp::runProgram(CL);
+
+  cminor::Program CM = cminor::lowerFromClight(CL);
+  Behavior BCminor = cminor::runProgram(CM);
+
+  rtl::Program R = rtl::lowerFromCminor(CM);
+  Behavior BRtl = rtl::runProgram(R);
+
+  rtl::Program ROpt = rtl::lowerFromCminor(CM);
+  rtl::optimizeProgram(ROpt);
+  Behavior BRtlOpt = rtl::runProgram(ROpt);
+
+  mach::Program M = mach::lowerFromRtl(ROpt);
+  Behavior BMach = mach::runProgram(M);
+
+  auto Check = [](const Behavior &Target, const Behavior &Source,
+                  const char *Pass) {
+    RefinementResult QR = checkQuantitativeRefinement(Target, Source);
+    EXPECT_TRUE(QR.Ok) << Pass << ": " << QR.Reason << "\n  target "
+                       << Target.str() << "\n  source " << Source.str();
+    RefinementResult FW = falsifyWeightDominance(Target, Source);
+    EXPECT_TRUE(FW.Ok) << Pass << " (metric falsifier): " << FW.Reason;
+  };
+  Check(BCminor, BClight, "Clight->Cminor");
+  Check(BRtl, BCminor, "Cminor->RTL");
+  Check(BRtlOpt, BRtl, "RTL optimizations");
+  Check(BMach, BRtlOpt, "RTL->Mach");
+  return BClight;
+}
+
+int32_t pipelineResult(const std::string &Src,
+                       std::map<std::string, uint32_t> Defines = {}) {
+  Behavior B = validatePipeline(Src, std::move(Defines));
+  EXPECT_TRUE(B.converged()) << B.str();
+  return B.ReturnCode;
+}
+
+//===----------------------------------------------------------------------===//
+// Straight-line and arithmetic programs
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, Constants) {
+  EXPECT_EQ(pipelineResult("int main() { return 41; }"), 41);
+}
+
+TEST(Pipeline, ArithmeticMix) {
+  EXPECT_EQ(pipelineResult(
+                "int main() { int a = -7; u32 b = 3;\n"
+                "  return a / 2 + (int)(b * 5) - (a % 3) + (1 << 4); }"),
+            -3 + 15 + 1 + 16);
+}
+
+TEST(Pipeline, SignedUnsignedOps) {
+  EXPECT_EQ(pipelineResult("int main() { int a = -8; u32 b = 0x80000000u;\n"
+                           "  int x = a >> 2; u32 y = b >> 30;\n"
+                           "  return x + (int)y; }"),
+            -2 + 2);
+}
+
+TEST(Pipeline, GlobalsAndArrays) {
+  EXPECT_EQ(pipelineResult("u32 acc = 5;\nu32 a[4] = {1, 2, 3, 4};\n"
+                           "int main() { acc += a[2]; a[3] = acc;\n"
+                           "  return a[3] + a[0]; }"),
+            9);
+}
+
+TEST(Pipeline, TernaryAndShortCircuit) {
+  EXPECT_EQ(pipelineResult(
+                "u32 a[4];\n"
+                "int main() { u32 i = 9;\n"
+                "  int ok = (i < 4 && a[i] > 0) ? 1 : 0;\n"
+                "  int other = (i > 4 || a[0] > 0) ? 7 : 2;\n"
+                "  return ok * 10 + other; }"),
+            7);
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, Loops) {
+  EXPECT_EQ(pipelineResult("int main() { u32 s = 0; u32 i;\n"
+                           "  for (i = 0; i < 10; i++) { if (i == 7) break;"
+                           " s += i; }\n"
+                           "  do { s += 100; } while (s < 200);\n"
+                           "  return s; }"),
+            221);
+}
+
+TEST(Pipeline, NestedLoopsWithBreak) {
+  EXPECT_EQ(pipelineResult(
+                "int main() { u32 n = 0; u32 i; u32 j;\n"
+                "  for (i = 0; i < 3; i++)\n"
+                "    for (j = 0; j < 10; j++) { if (j == 2) break; n++; }\n"
+                "  return n; }"),
+            6);
+}
+
+//===----------------------------------------------------------------------===//
+// Calls and recursion
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, CallsWithManyArguments) {
+  EXPECT_EQ(pipelineResult(
+                "u32 f(u32 a, u32 b, u32 c, u32 d, u32 e, u32 g) {\n"
+                "  return a + 2*b + 3*c + 4*d + 5*e + 6*g; }\n"
+                "int main() { return f(1, 2, 3, 4, 5, 6); }"),
+            1 + 4 + 9 + 16 + 25 + 36);
+}
+
+TEST(Pipeline, RecursionFibonacci) {
+  EXPECT_EQ(pipelineResult("u32 fib(u32 n) { if (n < 2) return n;\n"
+                           "  return fib(n - 1) + fib(n - 2); }\n"
+                           "int main() { return fib(12); }"),
+            144);
+}
+
+TEST(Pipeline, VoidFunctionsAndGlobalEffects) {
+  EXPECT_EQ(pipelineResult("u32 g;\n"
+                           "void bump(u32 v) { g += v; }\n"
+                           "int main() { bump(3); bump(4); return g; }"),
+            7);
+}
+
+TEST(Pipeline, ExternalCallsKeepIOEvents) {
+  Behavior B = validatePipeline("extern void print(int);\n"
+                                "int main() { print(42); print(43); "
+                                "return 0; }");
+  Trace IO = pruneMemoryEvents(B.Events);
+  ASSERT_EQ(IO.size(), 2u);
+  EXPECT_EQ(IO[0].Args[0], 42);
+  EXPECT_EQ(IO[1].Args[0], 43);
+}
+
+//===----------------------------------------------------------------------===//
+// Faults propagate as failures at every level
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, DivisionByZeroFailsEverywhere) {
+  clight::Program CL = mustParse(
+      "int main() { int a = 1; int b = 0; return a / b; }");
+  EXPECT_TRUE(interp::runProgram(CL).failed());
+  cminor::Program CM = cminor::lowerFromClight(CL);
+  EXPECT_TRUE(cminor::runProgram(CM).failed());
+  rtl::Program R = rtl::lowerFromCminor(CM);
+  EXPECT_TRUE(rtl::runProgram(R).failed());
+  rtl::optimizeProgram(R);
+  EXPECT_TRUE(rtl::runProgram(R).failed());
+  mach::Program M = mach::lowerFromRtl(R);
+  EXPECT_TRUE(mach::runProgram(M).failed());
+}
+
+//===----------------------------------------------------------------------===//
+// The section 2 program, whole pipeline
+//===----------------------------------------------------------------------===//
+
+const char *Section2Source = R"(
+#define ALEN 64
+#define SEED 1
+typedef unsigned int u32;
+u32 a[ALEN];
+u32 seed = SEED;
+u32 search(u32 elem, u32 beg, u32 end) {
+  u32 mid = beg + (end - beg) / 2;
+  if (end - beg <= 1) return beg;
+  if (a[mid] > elem) end = mid; else beg = mid;
+  return search(elem, beg, end);
+}
+u32 random() { seed = (seed * 1664525) + 1013904223; return seed; }
+void init() {
+  u32 i, rnd, prev = 0;
+  for (i = 0; i < ALEN; i++) {
+    rnd = random();
+    a[i] = prev + rnd % 17;
+    prev = a[i];
+  }
+}
+int main() {
+  u32 idx, elem;
+  init();
+  elem = random() % (17 * ALEN);
+  idx = search(elem, 0, ALEN);
+  return a[idx] == elem;
+}
+)";
+
+TEST(Pipeline, Section2WholeProgram) {
+  Behavior B = validatePipeline(Section2Source);
+  EXPECT_TRUE(B.converged());
+}
+
+TEST(Pipeline, Section2SweepOverAlen) {
+  for (uint32_t Alen : {2u, 17u, 128u}) {
+    Behavior B = validatePipeline(Section2Source, {{"ALEN", Alen}});
+    EXPECT_TRUE(B.converged()) << "ALEN=" << Alen;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Mach level: frame sizes and the cost metric
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, CostMetricCoversEveryFunction) {
+  clight::Program CL = mustParse(Section2Source);
+  rtl::Program R = rtl::lowerFromCminor(cminor::lowerFromClight(CL));
+  rtl::optimizeProgram(R);
+  mach::Program M = mach::lowerFromRtl(R);
+  StackMetric Metric = M.costMetric();
+  for (const char *F : {"main", "init", "random", "search"}) {
+    ASSERT_TRUE(Metric.hasCost(F)) << F;
+    // M(f) = SF(f) + 4 >= 4 always.
+    EXPECT_GE(Metric.cost(F), 4u) << F;
+    EXPECT_EQ(Metric.cost(F) % 4, 0u) << F;
+  }
+}
+
+TEST(Pipeline, MachWeightUnderCompilerMetricIsBounded) {
+  // The Mach trace weight under the compiler's own metric is the number
+  // of bytes the assembly will need; sanity-check it is positive and
+  // consistent across runs.
+  clight::Program CL = mustParse(Section2Source);
+  rtl::Program R = rtl::lowerFromCminor(cminor::lowerFromClight(CL));
+  rtl::optimizeProgram(R);
+  mach::Program M = mach::lowerFromRtl(R);
+  Behavior B = mach::runProgram(M);
+  ASSERT_TRUE(B.converged()) << B.str();
+  uint64_t W = weight(M.costMetric(), B.Events);
+  EXPECT_GT(W, 0u);
+  EXPECT_LT(W, 4096u); // 64-element search: far below a page.
+}
+
+TEST(Pipeline, OptimizationsShrinkOrKeepFrames) {
+  // The RTL optimizations may only reduce register pressure: frame sizes
+  // after optimization must not exceed the unoptimized ones.
+  clight::Program CL = mustParse(Section2Source);
+  rtl::Program RPlain = rtl::lowerFromCminor(cminor::lowerFromClight(CL));
+  rtl::Program ROpt = rtl::lowerFromCminor(cminor::lowerFromClight(CL));
+  rtl::optimizeProgram(ROpt);
+  mach::Program MPlain = mach::lowerFromRtl(RPlain);
+  mach::Program MOpt = mach::lowerFromRtl(ROpt);
+  for (const mach::Function &F : MOpt.Functions) {
+    const mach::Function *Plain = MPlain.findFunction(F.Name);
+    ASSERT_TRUE(Plain);
+    EXPECT_LE(F.frameSize(), Plain->frameSize()) << F.Name;
+  }
+}
+
+} // namespace

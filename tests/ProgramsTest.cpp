@@ -1,0 +1,188 @@
+//===- tests/ProgramsTest.cpp - Corpus end-to-end tests -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every corpus file compiles through the validated pipeline; every
+/// Table 1 function gets an automatic, checker-validated bound; every
+/// Table 2 specification's derivation builds and checks; and bounds are
+/// sound against machine measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "frontend/Frontend.h"
+#include "logic/Builder.h"
+#include "programs/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+using namespace qcc::driver;
+using namespace qcc::logic;
+
+namespace {
+
+class Table1Corpus : public testing::TestWithParam<programs::CorpusProgram> {
+};
+
+TEST_P(Table1Corpus, CompilesWithFullValidation) {
+  const programs::CorpusProgram &P = GetParam();
+  DiagnosticEngine D;
+  auto C = compile(P.Source, D);
+  ASSERT_TRUE(C) << P.Id << ": " << D.str();
+}
+
+TEST_P(Table1Corpus, EveryListedFunctionGetsAnAutomaticBound) {
+  const programs::CorpusProgram &P = GetParam();
+  DiagnosticEngine D;
+  CompilerOptions Opt;
+  Opt.ValidateTranslation = false; // Covered by the test above.
+  auto C = compile(P.Source, D, std::move(Opt));
+  ASSERT_TRUE(C) << P.Id << ": " << D.str();
+  EXPECT_TRUE(C->Bounds.SkippedRecursive.empty())
+      << P.Id << " has unexpected recursion";
+  for (const std::string &F : P.Table1Functions) {
+    auto B = concreteCallBound(*C, F);
+    ASSERT_TRUE(B) << P.Id << "::" << F;
+    EXPECT_GE(*B, 4u) << P.Id << "::" << F;
+    EXPECT_EQ(*B % 4, 0u) << P.Id << "::" << F;
+  }
+}
+
+TEST_P(Table1Corpus, MainBoundIsSoundAndTheorem1Holds) {
+  const programs::CorpusProgram &P = GetParam();
+  DiagnosticEngine D;
+  CompilerOptions Opt;
+  Opt.ValidateTranslation = false;
+  auto C = compile(P.Source, D, std::move(Opt));
+  ASSERT_TRUE(C) << P.Id << ": " << D.str();
+  auto Bound = concreteCallBound(*C, "main");
+  ASSERT_TRUE(Bound) << P.Id;
+
+  measure::Measurement M = measureStack(*C);
+  ASSERT_TRUE(M.Ok) << P.Id << ": " << M.Error;
+  EXPECT_GE(*Bound, M.StackBytes) << P.Id;
+
+  // Theorem 1: run at sz = bound - 4 (the block is sz + 4 = bound bytes).
+  measure::Measurement AtBound =
+      runWithStackSize(*C, static_cast<uint32_t>(*Bound) - 4);
+  EXPECT_TRUE(AtBound.Ok) << P.Id << ": " << AtBound.Error;
+  // Below the measured consumption the program must trap.
+  if (M.StackBytes >= 8) {
+    measure::Measurement Below =
+        runWithStackSize(*C, M.StackBytes - 8);
+    EXPECT_FALSE(Below.Ok) << P.Id;
+    EXPECT_TRUE(Below.StackOverflow) << P.Id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Table1Corpus, testing::ValuesIn(programs::table1Corpus()),
+    [](const testing::TestParamInfo<programs::CorpusProgram> &Info) {
+      std::string Name = Info.param.Id;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Table 2: interactive derivations
+//===----------------------------------------------------------------------===//
+
+const clight::Program &table2Program() {
+  static clight::Program P = [] {
+    DiagnosticEngine D;
+    auto Parsed = frontend::parseProgram(programs::table2Source(), D);
+    EXPECT_TRUE(Parsed) << D.str();
+    return Parsed ? std::move(*Parsed) : clight::Program{};
+  }();
+  return P;
+}
+
+class Table2Function : public testing::TestWithParam<std::string> {};
+
+TEST_P(Table2Function, DerivationBuildsAndChecks) {
+  const std::string F = GetParam();
+  const clight::Program &CL = table2Program();
+  FunctionContext Specs = programs::table2Specs();
+  ASSERT_TRUE(Specs.count(F)) << F;
+  DerivationBuilder Builder(CL, Specs, {});
+  for (const auto &[Callee, Hint] : programs::table2CallHints())
+    Builder.setCallResultHint(Callee, Hint);
+  DiagnosticEngine D;
+  auto FB = Builder.buildFunctionBound(F, Specs.at(F), D);
+  ASSERT_TRUE(FB) << F << ": " << D.str();
+  ProofChecker Checker(CL, Builder.context(), {});
+  DiagnosticEngine CD;
+  EXPECT_TRUE(Checker.checkFunctionBound(*FB, CD))
+      << F << ": " << CD.str() << "\n"
+      << FB->Body->str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, Table2Function,
+                         testing::Values("recid", "bsearch", "fib",
+                                         "partition", "qsort", "filter_pos",
+                                         "sum", "fact", "fact_sq",
+                                         "filter_find"));
+
+TEST(Table2, WholeFileCompilesWithSeededSpecs) {
+  CompilerOptions Opt;
+  Opt.SeededSpecs = programs::table2Specs();
+  DiagnosticEngine D;
+  auto C = compile(programs::table2Source(), D, std::move(Opt));
+  ASSERT_TRUE(C) << D.str();
+  EXPECT_TRUE(C->Bounds.SkippedRecursive.empty()) << D.str();
+  auto Bound = concreteCallBound(*C, "main");
+  ASSERT_TRUE(Bound);
+  measure::Measurement M = measureStack(*C);
+  ASSERT_TRUE(M.Ok) << M.Error;
+  EXPECT_GE(*Bound, M.StackBytes);
+}
+
+TEST(Table2, GapIsExactlyFourBytesOnWorstCaseDrivers) {
+  // Per-function drivers with zero-initialized globals realize each
+  // bound's worst case; the measured consumption is then bound - 4
+  // (Paper section 6).
+  struct Case {
+    const char *Function;
+    const char *MainBody;
+    logic::VarEnv Args;
+  };
+  const Case Cases[] = {
+      {"recid", "return (int)recid(24);", {{"n", 24}}},
+      {"bsearch", "return (int)bsearch(0, 0, 256);",
+       {{"x", 0}, {"lo", 0}, {"hi", 256}}},
+      {"fib", "return (int)fib(12);", {{"n", 12}}},
+      {"qsort", "qsort(0, 48); return 0;", {{"lo", 0}, {"hi", 48}}},
+      {"filter_pos", "return (int)filter_pos(512, 0, 40);",
+       {{"sz", 512}, {"lo", 0}, {"hi", 40}}},
+      {"sum", "return (int)sum(0, 48);", {{"lo", 0}, {"hi", 48}}},
+      {"fact_sq", "return (int)fact_sq(5);", {{"n", 5}}},
+      {"filter_find", "return (int)filter_find(0, 12);",
+       {{"lo", 0}, {"hi", 12}}},
+  };
+  FunctionContext Specs = programs::table2Specs();
+  for (const Case &TC : Cases) {
+    CompilerOptions Opt;
+    Opt.SeededSpecs = Specs;
+    Opt.ValidateTranslation = false;
+    DiagnosticEngine D;
+    auto C = compile(programs::table2DriverSource(TC.MainBody), D,
+                     std::move(Opt));
+    ASSERT_TRUE(C) << TC.Function << ": " << D.str();
+    // Bound for the driver main = M(main) + cost of the one call inside.
+    auto Bound = concreteCallBound(*C, "main", TC.Args);
+    ASSERT_TRUE(Bound) << TC.Function;
+    measure::Measurement M = measureStack(*C);
+    ASSERT_TRUE(M.Ok) << TC.Function << ": " << M.Error;
+    EXPECT_GE(*Bound, M.StackBytes) << TC.Function;
+    EXPECT_EQ(*Bound - M.StackBytes, 4u) << TC.Function;
+  }
+}
+
+} // namespace

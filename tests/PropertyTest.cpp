@@ -1,0 +1,320 @@
+//===- tests/PropertyTest.cpp - Property tests on core invariants ---------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized property tests of the lemmas the Coq development proves
+/// once and for all:
+///
+///   * the substitution lemma behind Q:ASSIGN:
+///       eval(subst(E, x, t), env) = eval(E, env[x := eval(t, env)]),
+///   * monotonicity of assertions in the metric (what makes
+///     metric-parametric bounds meaningful),
+///   * the entailment relation's laws (reflexivity, weakening,
+///     max-domination, transitivity on samples),
+///   * trace algebra: weights, pruning, and profile domination.
+///
+//===----------------------------------------------------------------------===//
+
+#include "events/Refinement.h"
+#include "events/Weight.h"
+#include "logic/Entail.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+using namespace qcc::logic;
+
+namespace {
+
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
+
+private:
+  uint64_t State;
+};
+
+const char *Vars[] = {"x", "y", "z"};
+const char *Funcs[] = {"f", "g"};
+
+/// Each variable has one fixed signedness, as in real programs (the
+/// elaborator records it once per declaration).
+VarSign signOf(unsigned VarIdx) {
+  return VarIdx == 1 ? VarSign::Signed : VarSign::Unsigned;
+}
+
+IntTerm randomTerm(Rng &R, unsigned Depth) {
+  if (Depth == 0 || R.below(100) < 40) {
+    if (R.below(2))
+      return IntTermNode::constant(static_cast<int64_t>(R.below(64)) - 8);
+    unsigned V = R.below(3);
+    return IntTermNode::var(Vars[V], signOf(V));
+  }
+  switch (R.below(4)) {
+  case 0:
+    return IntTermNode::add(randomTerm(R, Depth - 1),
+                            randomTerm(R, Depth - 1));
+  case 1:
+    return IntTermNode::sub(randomTerm(R, Depth - 1),
+                            randomTerm(R, Depth - 1));
+  case 2:
+    return IntTermNode::mul(randomTerm(R, Depth - 1),
+                            randomTerm(R, Depth - 1));
+  default:
+    return IntTermNode::divC(randomTerm(R, Depth - 1), 1 + R.below(7));
+  }
+}
+
+Cmp randomCmp(Rng &R, unsigned Depth) {
+  CmpRel Rel = static_cast<CmpRel>(R.below(6));
+  return Cmp{randomTerm(R, Depth), Rel, randomTerm(R, Depth)};
+}
+
+BoundExpr randomBound(Rng &R, unsigned Depth) {
+  if (Depth == 0 || R.below(100) < 30) {
+    switch (R.below(3)) {
+    case 0:
+      return bConst(ExtNat(R.below(128)));
+    case 1:
+      return bMetric(Funcs[R.below(2)]);
+    default:
+      return bNatTerm(randomTerm(R, 1));
+    }
+  }
+  switch (R.below(8)) {
+  case 0:
+    return bAdd(randomBound(R, Depth - 1), randomBound(R, Depth - 1));
+  case 1:
+    return bMax(randomBound(R, Depth - 1), randomBound(R, Depth - 1));
+  case 2:
+    return bMul(randomBound(R, Depth - 1), randomBound(R, Depth - 1));
+  case 3:
+    return bScale(1 + R.below(5), randomBound(R, Depth - 1));
+  case 4:
+    return bLog2C(randomTerm(R, Depth - 1));
+  case 5:
+    return bLog2W(randomTerm(R, Depth - 1));
+  case 6:
+    return bGuard(randomCmp(R, 1), randomBound(R, Depth - 1));
+  default:
+    return bIte(randomCmp(R, 1), randomBound(R, Depth - 1),
+                randomBound(R, Depth - 1));
+  }
+}
+
+VarEnv randomEnv(Rng &R) {
+  VarEnv Env;
+  for (const char *V : Vars)
+    Env[V] = R.below(2) ? R.below(100)
+                        : static_cast<uint32_t>(R.next());
+  return Env;
+}
+
+StackMetric randomMetric(Rng &R) {
+  StackMetric M;
+  for (const char *F : Funcs)
+    M.setCost(F, R.below(256));
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// The substitution lemma (the Q:ASSIGN soundness core)
+//===----------------------------------------------------------------------===//
+
+class BoundProperties : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundProperties, SubstitutionLemma) {
+  Rng R(GetParam());
+  for (unsigned Round = 0; Round != 200; ++Round) {
+    BoundExpr E = randomBound(R, 3);
+    IntTerm T = randomTerm(R, 2);
+    const char *X = Vars[R.below(3)];
+    VarEnv Env = randomEnv(R);
+    StackMetric M = randomMetric(R);
+
+    auto TVal = evalIntTerm(T, Env);
+    ASSERT_TRUE(TVal.has_value());
+    VarEnv Updated = Env;
+    Updated[X] = static_cast<uint32_t>(*TVal);
+
+    // Substitution only matches runtime assignment when the term's value
+    // survives the round trip through the 32-bit cell under the
+    // variable's signedness; the checker's expression converter rejects
+    // the wrapping cases for real programs — filter samples identically.
+    unsigned XIdx = X == Vars[0] ? 0u : X == Vars[1] ? 1u : 2u;
+    if (signOf(XIdx) == VarSign::Unsigned) {
+      if (*TVal < 0 || *TVal > 0xffffffffll)
+        continue;
+    } else {
+      if (*TVal < -0x80000000ll || *TVal > 0x7fffffffll)
+        continue;
+    }
+
+    ExtNat Lhs = evalBound(substBound(E, X, T), M, Env);
+    ExtNat Rhs = evalBound(E, M, Updated);
+    EXPECT_EQ(Lhs, Rhs) << "E = " << E->str() << ", " << X << " := "
+                        << T->str();
+  }
+}
+
+TEST_P(BoundProperties, MetricMonotonicity) {
+  // Pointwise-larger metrics never shrink a bound: the property that
+  // makes "instantiate the symbolic bound with the compiler's metric"
+  // meaningful.
+  Rng R(GetParam());
+  for (unsigned Round = 0; Round != 200; ++Round) {
+    BoundExpr E = randomBound(R, 3);
+    VarEnv Env = randomEnv(R);
+    StackMetric Small = randomMetric(R);
+    StackMetric Large;
+    for (const auto &[F, C] : Small.costs())
+      Large.setCost(F, C + R.below(64));
+    EXPECT_LE(evalBound(E, Small, Env), evalBound(E, Large, Env))
+        << E->str();
+  }
+}
+
+TEST_P(BoundProperties, EntailmentReflexiveAndWeakening) {
+  Rng R(GetParam());
+  for (unsigned Round = 0; Round != 30; ++Round) {
+    BoundExpr E = randomBound(R, 2);
+    BoundExpr X = randomBound(R, 2);
+    EXPECT_TRUE(entails(E, E)) << E->str();
+    EXPECT_TRUE(entails(bAdd(E, X), E)) << E->str();
+    EXPECT_TRUE(entails(bMax(E, X), E)) << E->str();
+    EXPECT_TRUE(entails(E, bZero()));
+  }
+}
+
+TEST_P(BoundProperties, SymbolicEntailmentsHoldOnFreshSamples) {
+  // The *symbolic* method is sound outright (the sampled method is the
+  // documented unverified-analyzer substitution and may over-accept on
+  // exotic random expressions): anything it accepts must hold on samples
+  // it never drew.
+  Rng R(GetParam() * 7919);
+  unsigned Accepted = 0;
+  for (unsigned Round = 0; Round != 200; ++Round) {
+    BoundExpr A = randomBound(R, 2);
+    BoundExpr B = randomBound(R, 2);
+    EntailOptions Opt;
+    Opt.SymbolicOnly = true;
+    EntailResult Res = entails(A, B, {}, Opt);
+    if (!Res.Holds)
+      continue;
+    ++Accepted;
+    Rng Fresh(GetParam() * 31337 + Round);
+    for (unsigned S = 0; S != 50; ++S) {
+      VarEnv Env = randomEnv(Fresh);
+      StackMetric M = randomMetric(Fresh);
+      EXPECT_GE(evalBound(A, M, Env), evalBound(B, M, Env))
+          << A->str() << "  >=  " << B->str();
+    }
+  }
+  EXPECT_GT(Accepted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundProperties,
+                         testing::Range<uint64_t>(1, 7));
+
+//===----------------------------------------------------------------------===//
+// Trace algebra
+//===----------------------------------------------------------------------===//
+
+/// A random properly bracketed trace with IO events sprinkled in.
+Trace randomBracketedTrace(Rng &R, unsigned MaxEvents) {
+  Trace T;
+  std::vector<std::string> Open;
+  for (unsigned I = 0; I != MaxEvents; ++I) {
+    switch (R.below(4)) {
+    case 0:
+      T.push_back(Event::call(Funcs[R.below(2)]));
+      Open.push_back(T.back().Function);
+      break;
+    case 1:
+      if (!Open.empty()) {
+        T.push_back(Event::ret(Open.back()));
+        Open.pop_back();
+      }
+      break;
+    default:
+      T.push_back(Event::external("io", {static_cast<int32_t>(R.below(9))},
+                                  0));
+      break;
+    }
+  }
+  while (!Open.empty()) {
+    T.push_back(Event::ret(Open.back()));
+    Open.pop_back();
+  }
+  return T;
+}
+
+class TraceProperties : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceProperties, CompleteTracesValuateToZero) {
+  Rng R(GetParam());
+  for (unsigned Round = 0; Round != 100; ++Round) {
+    Trace T = randomBracketedTrace(R, 24);
+    ASSERT_TRUE(isWellBracketed(T));
+    StackMetric M = randomMetric(R);
+    EXPECT_EQ(valuation(M, T), 0);
+    EXPECT_GE(weight(M, T), 0u);
+  }
+}
+
+TEST_P(TraceProperties, WeightScalesLinearlyWithTheMetric) {
+  Rng R(GetParam());
+  for (unsigned Round = 0; Round != 100; ++Round) {
+    Trace T = randomBracketedTrace(R, 24);
+    StackMetric M = randomMetric(R);
+    StackMetric M2;
+    for (const auto &[F, C] : M.costs())
+      M2.setCost(F, 3 * C);
+    EXPECT_EQ(weight(M2, T), 3 * weight(M, T));
+  }
+}
+
+TEST_P(TraceProperties, SelfRefinementAndPrunedRefinement) {
+  Rng R(GetParam());
+  for (unsigned Round = 0; Round != 100; ++Round) {
+    Trace T = randomBracketedTrace(R, 24);
+    Behavior B = Behavior::converges(T, 0);
+    EXPECT_TRUE(checkQuantitativeRefinement(B, B).Ok);
+    Behavior Pruned = Behavior::converges(pruneMemoryEvents(T), 0);
+    EXPECT_TRUE(checkQuantitativeRefinement(Pruned, B).Ok);
+    EXPECT_TRUE(falsifyWeightDominance(Pruned, B, 8).Ok);
+  }
+}
+
+TEST_P(TraceProperties, DominationIsConsistentWithSampledWeights) {
+  // When the pointwise certificate holds, no sampled metric may
+  // contradict it.
+  Rng R(GetParam() * 104729);
+  for (unsigned Round = 0; Round != 60; ++Round) {
+    Trace A = randomBracketedTrace(R, 16);
+    Trace B = randomBracketedTrace(R, 16);
+    if (!pointwiseDominated(callDepthProfile(A), callDepthProfile(B)))
+      continue;
+    for (unsigned S = 0; S != 20; ++S) {
+      StackMetric M = randomMetric(R);
+      EXPECT_LE(weight(M, A), weight(M, B));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceProperties,
+                         testing::Range<uint64_t>(1, 7));
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- tests/SupportTest.cpp - Unit tests for qcc_support -----------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/ExtNat.h"
+#include "support/SourceLoc.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+
+namespace {
+
+TEST(ExtNat, DefaultIsZero) {
+  ExtNat N;
+  EXPECT_TRUE(N.isFinite());
+  EXPECT_EQ(N.finiteValue(), 0u);
+}
+
+TEST(ExtNat, FiniteArithmetic) {
+  ExtNat A(40), B(24);
+  EXPECT_EQ((A + B).finiteValue(), 64u);
+  EXPECT_EQ((A * B).finiteValue(), 960u);
+  EXPECT_EQ(A.monus(B).finiteValue(), 16u);
+  EXPECT_EQ(B.monus(A).finiteValue(), 0u);
+}
+
+TEST(ExtNat, InfinityAbsorbsAddition) {
+  ExtNat Inf = ExtNat::infinity();
+  EXPECT_TRUE((Inf + ExtNat(5)).isInfinite());
+  EXPECT_TRUE((ExtNat(5) + Inf).isInfinite());
+}
+
+TEST(ExtNat, InfinityTimesZeroIsZero) {
+  // Scaling a zero bound by the infinite assertion stays zero; this keeps
+  // 0 * bot well-behaved in derived bound expressions.
+  ExtNat Inf = ExtNat::infinity();
+  EXPECT_EQ((Inf * ExtNat(0)).finiteValue(), 0u);
+  EXPECT_EQ((ExtNat(0) * Inf).finiteValue(), 0u);
+  EXPECT_TRUE((Inf * ExtNat(3)).isInfinite());
+}
+
+TEST(ExtNat, MonusWithInfinity) {
+  ExtNat Inf = ExtNat::infinity();
+  EXPECT_TRUE(Inf.monus(ExtNat(100)).isInfinite());
+  EXPECT_EQ(ExtNat(100).monus(Inf).finiteValue(), 0u);
+}
+
+TEST(ExtNat, OrderingTreatsInfinityAsTop) {
+  ExtNat Inf = ExtNat::infinity();
+  EXPECT_LT(ExtNat(1000000), Inf);
+  EXPECT_LE(Inf, Inf);
+  EXPECT_FALSE(Inf < Inf);
+  EXPECT_GT(Inf, ExtNat(0));
+}
+
+TEST(ExtNat, MaxMin) {
+  ExtNat Inf = ExtNat::infinity();
+  EXPECT_EQ(max(ExtNat(3), ExtNat(9)).finiteValue(), 9u);
+  EXPECT_TRUE(max(ExtNat(3), Inf).isInfinite());
+  EXPECT_EQ(min(ExtNat(3), Inf).finiteValue(), 3u);
+}
+
+TEST(ExtNat, Printing) {
+  EXPECT_EQ(ExtNat(42).str(), "42");
+  EXPECT_EQ(ExtNat::infinity().str(), "oo");
+}
+
+TEST(ExtNat, FloorLog2) {
+  EXPECT_EQ(floorLog2(0), 0u);
+  EXPECT_EQ(floorLog2(1), 0u);
+  EXPECT_EQ(floorLog2(2), 1u);
+  EXPECT_EQ(floorLog2(3), 1u);
+  EXPECT_EQ(floorLog2(4), 2u);
+  EXPECT_EQ(floorLog2(4096), 12u);
+  EXPECT_EQ(floorLog2(4097), 12u);
+}
+
+TEST(ExtNat, CeilLog2) {
+  EXPECT_EQ(ceilLog2(0), 0u);
+  EXPECT_EQ(ceilLog2(1), 0u);
+  EXPECT_EQ(ceilLog2(2), 1u);
+  EXPECT_EQ(ceilLog2(3), 2u);
+  EXPECT_EQ(ceilLog2(4), 2u);
+  EXPECT_EQ(ceilLog2(5), 3u);
+  EXPECT_EQ(ceilLog2(4096), 12u);
+}
+
+TEST(SourceLoc, InvalidByDefault) {
+  SourceLoc L;
+  EXPECT_FALSE(L.isValid());
+  EXPECT_EQ(L.str(), "<unknown>");
+}
+
+TEST(SourceLoc, Printing) {
+  SourceLoc L(3, 14);
+  EXPECT_TRUE(L.isValid());
+  EXPECT_EQ(L.str(), "3:14");
+}
+
+TEST(Diagnostics, CountsOnlyErrors) {
+  DiagnosticEngine DE;
+  DE.warning(SourceLoc(1, 1), "unused variable");
+  EXPECT_FALSE(DE.hasErrors());
+  DE.error(SourceLoc(2, 5), "unknown identifier 'foo'");
+  DE.note(SourceLoc(1, 1), "declared here");
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_EQ(DE.errorCount(), 1u);
+  EXPECT_EQ(DE.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, Rendering) {
+  DiagnosticEngine DE;
+  DE.error(SourceLoc(2, 5), "unknown identifier 'foo'");
+  EXPECT_EQ(DE.diagnostics()[0].str(), "error: 2:5: unknown identifier 'foo'");
+  DE.clear();
+  EXPECT_FALSE(DE.hasErrors());
+  EXPECT_TRUE(DE.diagnostics().empty());
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+//===- tests/VerifyTest.cpp - Clight well-formedness verifier tests -------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verifier guards every Clight consumer (interpreter, logic,
+/// analyzer, lowering) against malformed core programs. The frontend can
+/// never produce most of these shapes, so they are built by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#include "clight/Verify.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+using namespace qcc::clight;
+
+namespace {
+
+/// A minimal well-formed program: int main() { return 0; }.
+Program makeBaseline() {
+  Program P;
+  Function Main;
+  Main.Name = "main";
+  Main.ReturnsValue = true;
+  Main.Body = Stmt::ret(Expr::intConst(0));
+  P.Functions.push_back(std::move(Main));
+  return P;
+}
+
+bool verifies(const Program &P) {
+  DiagnosticEngine D;
+  return verify(P, D);
+}
+
+TEST(Verify, BaselineIsWellFormed) {
+  EXPECT_TRUE(verifies(makeBaseline()));
+}
+
+TEST(Verify, MissingEntryPointRejected) {
+  Program P = makeBaseline();
+  P.EntryPoint = "start";
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, EntryPointWithParametersRejected) {
+  Program P = makeBaseline();
+  P.Functions[0].Params.push_back("argc");
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, BreakOutsideLoopRejected) {
+  Program P = makeBaseline();
+  P.Functions[0].Body =
+      Stmt::seq(Stmt::brk(), Stmt::ret(Expr::intConst(0)));
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, BreakInsideLoopAccepted) {
+  Program P = makeBaseline();
+  P.Functions[0].Body = Stmt::seq(Stmt::loop(Stmt::brk()),
+                                  Stmt::ret(Expr::intConst(0)));
+  EXPECT_TRUE(verifies(P));
+}
+
+TEST(Verify, UnboundLocalReadRejected) {
+  Program P = makeBaseline();
+  P.Functions[0].Body = Stmt::ret(Expr::localRead("ghost"));
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, UnknownCalleeRejected) {
+  Program P = makeBaseline();
+  P.Functions[0].Body = Stmt::seq(Stmt::call("nowhere", {}),
+                                  Stmt::ret(Expr::intConst(0)));
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, CallArityMismatchRejected) {
+  Program P = makeBaseline();
+  Function F;
+  F.Name = "f";
+  F.Params = {"x"};
+  F.VarSigns["x"] = Signedness::Unsigned;
+  F.ReturnsValue = true;
+  F.Body = Stmt::ret(Expr::localRead("x"));
+  P.Functions.push_back(std::move(F));
+  P.Functions[0].Body =
+      Stmt::seq(Stmt::call("f", {}), Stmt::ret(Expr::intConst(0)));
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, VoidResultAssignmentRejected) {
+  Program P = makeBaseline();
+  Function F;
+  F.Name = "f";
+  F.ReturnsValue = false;
+  F.Body = Stmt::retVoid();
+  P.Functions.push_back(std::move(F));
+  P.Functions[0].Locals = {"x"};
+  P.Functions[0].Body = Stmt::seq(
+      Stmt::callAssign(LValue::local("x"), "f", {}),
+      Stmt::ret(Expr::intConst(0)));
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, ReturnValueFromVoidFunctionRejected) {
+  Program P = makeBaseline();
+  Function F;
+  F.Name = "f";
+  F.ReturnsValue = false;
+  F.Body = Stmt::ret(Expr::intConst(1)); // Value from a void function.
+  P.Functions.push_back(std::move(F));
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, MissingReturnValueRejected) {
+  Program P = makeBaseline();
+  P.Functions[0].Body = Stmt::retVoid(); // main returns a value.
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, ScalarSubscriptRejected) {
+  Program P = makeBaseline();
+  GlobalVar G;
+  G.Name = "g";
+  G.IsArray = false;
+  G.Size = 1;
+  P.Globals.push_back(G);
+  P.Functions[0].Body =
+      Stmt::ret(Expr::arrayRead("g", Expr::intConst(0)));
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, ArrayReadWithoutSubscriptRejected) {
+  Program P = makeBaseline();
+  GlobalVar G;
+  G.Name = "a";
+  G.IsArray = true;
+  G.Size = 4;
+  P.Globals.push_back(G);
+  P.Functions[0].Body = Stmt::ret(Expr::globalRead("a"));
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, DuplicateFunctionRejected) {
+  Program P = makeBaseline();
+  P.Functions.push_back(P.Functions[0].clone());
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, DuplicateGlobalAndFunctionNameRejected) {
+  Program P = makeBaseline();
+  GlobalVar G;
+  G.Name = "main";
+  P.Globals.push_back(G);
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, DuplicateLocalRejected) {
+  Program P = makeBaseline();
+  P.Functions[0].Locals = {"x", "x"};
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, FunctionWithoutBodyRejected) {
+  Program P = makeBaseline();
+  Function F;
+  F.Name = "f";
+  P.Functions.push_back(std::move(F));
+  EXPECT_FALSE(verifies(P));
+}
+
+TEST(Verify, CloneVerifiesLikeTheOriginal) {
+  Program P = makeBaseline();
+  GlobalVar G;
+  G.Name = "a";
+  G.IsArray = true;
+  G.Size = 8;
+  P.Globals.push_back(G);
+  P.Functions[0].Locals = {"i"};
+  P.Functions[0].VarSigns["i"] = Signedness::Unsigned;
+  P.Functions[0].Body = Stmt::seq(
+      Stmt::assign(LValue::arrayElem("a", Expr::localRead("i")),
+                   Expr::intConst(5)),
+      Stmt::ret(Expr::arrayRead("a", Expr::intConst(0))));
+  ASSERT_TRUE(verifies(P));
+  Program Q = P.clone();
+  EXPECT_TRUE(verifies(Q));
+  EXPECT_EQ(P.str(), Q.str());
+}
+
+} // namespace

@@ -1,0 +1,220 @@
+//===- tests/X86Test.cpp - Unit tests for qcc_x86 and qcc_measure ---------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cminor/Lower.h"
+#include "events/Refinement.h"
+#include "frontend/Frontend.h"
+#include "mach/Mach.h"
+#include "measure/StackMeter.h"
+#include "rtl/Opt.h"
+#include "x86/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcc;
+
+namespace {
+
+x86::Program compileToAsm(const std::string &Src,
+                          std::map<std::string, uint32_t> Defines = {},
+                          bool Optimize = true) {
+  DiagnosticEngine D;
+  auto CL = frontend::parseProgram(Src, D, std::move(Defines));
+  EXPECT_TRUE(CL) << D.str();
+  rtl::Program R = rtl::lowerFromCminor(cminor::lowerFromClight(*CL));
+  if (Optimize)
+    rtl::optimizeProgram(R);
+  return x86::emitFromMach(mach::lowerFromRtl(R));
+}
+
+int32_t runAsm(const std::string &Src,
+               std::map<std::string, uint32_t> Defines = {}) {
+  x86::Program P = compileToAsm(Src, std::move(Defines));
+  x86::Machine M(P, measure::MeasureStackSize);
+  Behavior B = M.run();
+  EXPECT_TRUE(B.converged()) << B.str();
+  return B.ReturnCode;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution correctness on the metal
+//===----------------------------------------------------------------------===//
+
+TEST(X86, Constants) {
+  EXPECT_EQ(runAsm("int main() { return 41; }"), 41);
+}
+
+TEST(X86, Arithmetic) {
+  EXPECT_EQ(runAsm("int main() { int a = -7; u32 b = 3;\n"
+                   "  return a / 2 + (int)(b * 5) - (a % 3) + (1 << 4); }"),
+            -3 + 15 + 1 + 16);
+}
+
+TEST(X86, GlobalsAndArrays) {
+  EXPECT_EQ(runAsm("u32 acc = 5;\nu32 a[4] = {1, 2, 3, 4};\n"
+                   "int main() { acc += a[2]; a[3] = acc;\n"
+                   "  return a[3] + a[0]; }"),
+            9);
+}
+
+TEST(X86, CallsWithManyArguments) {
+  EXPECT_EQ(runAsm("u32 f(u32 a, u32 b, u32 c, u32 d, u32 e, u32 g) {\n"
+                   "  return a + 2*b + 3*c + 4*d + 5*e + 6*g; }\n"
+                   "int main() { return f(1, 2, 3, 4, 5, 6); }"),
+            91);
+}
+
+TEST(X86, RecursionFibonacci) {
+  EXPECT_EQ(runAsm("u32 fib(u32 n) { if (n < 2) return n;\n"
+                   "  return fib(n - 1) + fib(n - 2); }\n"
+                   "int main() { return fib(12); }"),
+            144);
+}
+
+TEST(X86, DivisionTrap) {
+  x86::Program P = compileToAsm(
+      "int main() { int a = 1; int b = 0; return a / b; }");
+  x86::Machine M(P, measure::MeasureStackSize);
+  Behavior B = M.run();
+  EXPECT_TRUE(B.failed());
+  EXPECT_NE(B.FailureReason.find("division trap"), std::string::npos)
+      << B.FailureReason;
+  EXPECT_FALSE(M.stackOverflowed());
+}
+
+TEST(X86, ClassicRefinementAgainstMach) {
+  const char *Src = "extern void print(int);\n"
+                    "u32 f(u32 n) { print(n); return n * 2; }\n"
+                    "int main() { return f(21); }";
+  DiagnosticEngine D;
+  auto CL = frontend::parseProgram(Src, D);
+  ASSERT_TRUE(CL);
+  rtl::Program R = rtl::lowerFromCminor(cminor::lowerFromClight(*CL));
+  rtl::optimizeProgram(R);
+  mach::Program MP = mach::lowerFromRtl(R);
+  Behavior BMach = mach::runProgram(MP);
+
+  x86::Program AP = x86::emitFromMach(MP);
+  x86::Machine M(AP, measure::MeasureStackSize);
+  Behavior BAsm = M.run();
+
+  // The target refines the source in the sense of CompCert (Theorem 1):
+  // pruned traces and exit codes agree; memory events are gone.
+  RefinementResult QR = checkQuantitativeRefinement(BAsm, BMach);
+  EXPECT_TRUE(QR.Ok) << QR.Reason;
+  EXPECT_TRUE(pruneMemoryEvents(BAsm.Events) ==
+              pruneMemoryEvents(BMach.Events));
+  EXPECT_EQ(BAsm.ReturnCode, 42);
+}
+
+TEST(X86, AsmListingIsPrintable) {
+  x86::Program P = compileToAsm("u32 g;\nu32 sq(u32 x) { return x * x; }\n"
+                                "int main() { g = sq(6); return g; }");
+  std::string Listing = P.str();
+  EXPECT_NE(Listing.find("main:"), std::string::npos);
+  EXPECT_NE(Listing.find("sq:"), std::string::npos);
+  EXPECT_NE(Listing.find("call sq"), std::string::npos);
+  EXPECT_NE(Listing.find("ret"), std::string::npos);
+  EXPECT_NE(Listing.find("section .data"), std::string::npos);
+}
+
+TEST(X86, NoFramePseudoInstructions) {
+  // Frames are pure ESP arithmetic (paper section 3.2): the listing must
+  // use sub/add esp, never an allocation pseudo-op.
+  x86::Program P = compileToAsm("u32 fib(u32 n) { if (n < 2) return n;\n"
+                                "  return fib(n - 1) + fib(n - 2); }\n"
+                                "int main() { return fib(5); }");
+  const x86::AsmFunction *Fib = P.findFunction("fib");
+  ASSERT_TRUE(Fib);
+  EXPECT_GT(Fib->FrameSize, 0u);
+  bool SawSub = false, SawAdd = false;
+  for (const x86::Instr &I : Fib->Code) {
+    SawSub |= I.K == x86::InstrKind::SubEsp;
+    SawAdd |= I.K == x86::InstrKind::AddEsp;
+  }
+  EXPECT_TRUE(SawSub);
+  EXPECT_TRUE(SawAdd);
+}
+
+//===----------------------------------------------------------------------===//
+// Finite stack: overflow trapping and measurement
+//===----------------------------------------------------------------------===//
+
+const char *DeepRecursion = "u32 f(u32 n) { if (n == 0) return 0;\n"
+                            "  return f(n - 1) + 1; }\n"
+                            "int main() { return f(64); }";
+
+TEST(X86, InfiniteRecursionOverflowsInsteadOfDiverging) {
+  x86::Program P = compileToAsm("void f() { f(); }\n"
+                                "int main() { f(); return 0; }");
+  x86::Machine M(P, 4096);
+  Behavior B = M.run();
+  EXPECT_TRUE(B.failed());
+  EXPECT_NE(B.FailureReason.find("stack overflow"), std::string::npos)
+      << B.FailureReason;
+  EXPECT_TRUE(M.stackOverflowed());
+}
+
+TEST(X86, MeasuredUsageScalesWithRecursionDepth) {
+  x86::Program P = compileToAsm(DeepRecursion);
+  measure::Measurement M64 = measure::measureProgram(P);
+  ASSERT_TRUE(M64.Ok) << M64.Error;
+  EXPECT_EQ(M64.ExitCode, 64);
+
+  x86::Program P8 = compileToAsm(
+      "u32 f(u32 n) { if (n == 0) return 0; return f(n - 1) + 1; }\n"
+      "int main() { return f(8); }");
+  measure::Measurement M8 = measure::measureProgram(P8);
+  ASSERT_TRUE(M8.Ok);
+  // 56 more frames of identical size.
+  uint32_t PerFrame = (M64.StackBytes - M8.StackBytes) / 56;
+  EXPECT_GT(PerFrame, 0u);
+  EXPECT_EQ((M64.StackBytes - M8.StackBytes) % 56, 0u);
+  // Per-frame cost is the metric: SF(f) + 4.
+  const x86::AsmFunction *F = P.findFunction("f");
+  ASSERT_TRUE(F);
+  EXPECT_EQ(PerFrame, F->FrameSize + 4);
+}
+
+TEST(X86, ExactStackSizeSucceedsOneWordLessOverflows) {
+  x86::Program P = compileToAsm(DeepRecursion);
+  measure::Measurement M = measure::measureProgram(P);
+  ASSERT_TRUE(M.Ok);
+
+  // Exactly the measured bytes (+4 block slack for main's return address
+  // is part of the machine's sz + 4 block) must succeed...
+  measure::Measurement AtExact = measure::measureProgram(P, M.StackBytes);
+  EXPECT_TRUE(AtExact.Ok) << AtExact.Error;
+  // ...and any smaller stack must trap with a stack overflow.
+  measure::Measurement Below = measure::measureProgram(P, M.StackBytes - 4);
+  EXPECT_FALSE(Below.Ok);
+  EXPECT_TRUE(Below.StackOverflow);
+}
+
+TEST(X86, MeasurementBaselineExcludesMainReturnAddress) {
+  // A main that calls nothing and spills nothing consumes 0 bytes beyond
+  // its own frame; with an empty frame the measurement is exactly 0.
+  x86::Program P = compileToAsm("int main() { return 3; }");
+  const x86::AsmFunction *Main = P.findFunction("main");
+  ASSERT_TRUE(Main);
+  measure::Measurement M = measure::measureProgram(P);
+  ASSERT_TRUE(M.Ok);
+  EXPECT_EQ(M.StackBytes, Main->FrameSize);
+}
+
+TEST(X86, IOEventsSurviveToTheMetal) {
+  x86::Program P = compileToAsm("extern void print(int);\n"
+                                "int main() { u32 i;\n"
+                                "  for (i = 0; i < 3; i++) print(i);\n"
+                                "  return 0; }");
+  measure::Measurement M = measure::measureProgram(P);
+  ASSERT_TRUE(M.Ok);
+  ASSERT_EQ(M.IOEvents.size(), 3u);
+  EXPECT_EQ(M.IOEvents[2].Args[0], 2);
+}
+
+} // namespace

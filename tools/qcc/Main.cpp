@@ -1,0 +1,201 @@
+//===- tools/qcc/Main.cpp - The qcc command-line driver -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line face of Quantitative CompCert: compile a C file,
+/// print verified stack bounds, emit intermediate representations or
+/// assembly, and run the result on a finite stack.
+///
+///   qcc prog.c                      # bounds for every function
+///   qcc prog.c --emit-asm           # assembly listing
+///   qcc prog.c --measure            # run + measured stack usage
+///   qcc prog.c --stack-size 256     # run on a 256-byte stack (ASM_sz)
+///   qcc prog.c -D ALEN=4096         # override a #define
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace qcc;
+
+namespace {
+
+void usage() {
+  printf(
+      "usage: qcc [options] <file.c>\n"
+      "\n"
+      "  -D NAME=VALUE    override an integer #define (repeatable)\n"
+      "  --bounds         print verified per-function stack bounds "
+      "(default)\n"
+      "  --emit-clight    print the Clight core IR\n"
+      "  --emit-cminor    print Cminor\n"
+      "  --emit-rtl       print RTL (after optimization)\n"
+      "  --emit-mach      print Mach with the frame layout\n"
+      "  --emit-asm       print the x86 assembly listing\n"
+      "  --emit-proof     print each automatic bound's derivation in the\n"
+      "                   quantitative Hoare logic\n"
+      "  --measure        run on a large stack and report consumption\n"
+      "  --stack-size N   run on a finite stack of exactly N bytes\n"
+      "  --inline         inline small non-recursive functions\n"
+      "  --tail-calls     recognize tail calls (constant-stack loops)\n"
+      "  --no-opt         disable the RTL optimizations\n"
+      "  --no-validate    skip per-pass translation validation\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path;
+  driver::CompilerOptions Options;
+  bool EmitClight = false, EmitCminor = false, EmitRtl = false,
+       EmitMach = false, EmitAsm = false, EmitProof = false,
+       Bounds = false, Measure = false;
+  long StackSize = -1;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-D" && I + 1 < Argc) {
+      std::string Def = Argv[++I];
+      size_t Eq = Def.find('=');
+      if (Eq == std::string::npos) {
+        fprintf(stderr, "qcc: -D expects NAME=VALUE\n");
+        return 2;
+      }
+      Options.Defines[Def.substr(0, Eq)] =
+          static_cast<uint32_t>(strtoul(Def.c_str() + Eq + 1, nullptr, 0));
+    } else if (Arg.rfind("-D", 0) == 0 && Arg.find('=') != std::string::npos) {
+      size_t Eq = Arg.find('=');
+      Options.Defines[Arg.substr(2, Eq - 2)] =
+          static_cast<uint32_t>(strtoul(Arg.c_str() + Eq + 1, nullptr, 0));
+    } else if (Arg == "--emit-clight") {
+      EmitClight = true;
+    } else if (Arg == "--emit-cminor") {
+      EmitCminor = true;
+    } else if (Arg == "--emit-rtl") {
+      EmitRtl = true;
+    } else if (Arg == "--emit-mach") {
+      EmitMach = true;
+    } else if (Arg == "--emit-asm") {
+      EmitAsm = true;
+    } else if (Arg == "--emit-proof") {
+      EmitProof = true;
+    } else if (Arg == "--bounds") {
+      Bounds = true;
+    } else if (Arg == "--measure") {
+      Measure = true;
+    } else if (Arg == "--stack-size" && I + 1 < Argc) {
+      StackSize = strtol(Argv[++I], nullptr, 0);
+    } else if (Arg == "--inline") {
+      Options.Inline = true;
+    } else if (Arg == "--tail-calls") {
+      Options.TailCalls = true;
+    } else if (Arg == "--no-opt") {
+      Options.Optimize = false;
+    } else if (Arg == "--no-validate") {
+      Options.ValidateTranslation = false;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      fprintf(stderr, "qcc: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    } else if (Path.empty()) {
+      Path = Arg;
+    } else {
+      fprintf(stderr, "qcc: multiple input files\n");
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 2;
+  }
+  if (!EmitClight && !EmitCminor && !EmitRtl && !EmitMach && !EmitAsm &&
+      !EmitProof && !Measure && StackSize < 0)
+    Bounds = true;
+
+  std::ifstream In(Path);
+  if (!In) {
+    fprintf(stderr, "qcc: cannot open '%s'\n", Path.c_str());
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  DiagnosticEngine Diags;
+  auto C = driver::compile(Buffer.str(), Diags, std::move(Options));
+  // Warnings (e.g. skipped recursive functions) print either way.
+  if (!Diags.diagnostics().empty())
+    fprintf(stderr, "%s", Diags.str().c_str());
+  if (!C)
+    return 1;
+
+  if (EmitClight)
+    printf("%s", C->Clight.str().c_str());
+  if (EmitCminor)
+    printf("%s", C->Cminor.str().c_str());
+  if (EmitRtl)
+    printf("%s", C->Rtl.str().c_str());
+  if (EmitMach)
+    printf("%s", C->Mach.str().c_str());
+  if (EmitAsm)
+    printf("%s", C->Asm.str().c_str());
+
+  if (Bounds) {
+    printf("cost metric M(f) = SF(f) + 4: %s\n\n", C->Metric.str().c_str());
+    printf("%-24s %-10s  %s\n", "function", "bytes", "symbolic bound");
+    for (const auto &[F, Spec] : C->Bounds.Gamma) {
+      logic::BoundExpr B = C->Bounds.callBound(F);
+      auto Concrete = driver::concreteCallBound(*C, F);
+      std::string Bytes =
+          Concrete ? std::to_string(*Concrete) : "parametric";
+      printf("%-24s %-10s  %s\n", F.c_str(), Bytes.c_str(),
+             B->str().c_str());
+    }
+    for (const std::string &F : C->Bounds.SkippedRecursive)
+      printf("%-24s %-10s  (recursive: needs an interactive spec)\n",
+             F.c_str(), "-");
+  }
+
+  if (EmitProof) {
+    for (const auto &[F, FB] : C->Bounds.Bounds) {
+      printf("=== derivation for %s (%zu rule applications) ===\n",
+             F.c_str(), FB.Body->size());
+      printf("%s\n", FB.Body->str().c_str());
+    }
+  }
+
+  if (Measure) {
+    measure::Measurement M = driver::measureStack(*C);
+    if (!M.Ok) {
+      printf("run failed: %s\n", M.Error.c_str());
+      return 1;
+    }
+    printf("exit code %d, measured stack %u bytes\n", M.ExitCode,
+           M.StackBytes);
+  }
+
+  if (StackSize >= 0) {
+    measure::Measurement M =
+        driver::runWithStackSize(*C, static_cast<uint32_t>(StackSize));
+    if (M.Ok)
+      printf("runs on a %ld-byte stack (exit code %d)\n", StackSize,
+             M.ExitCode);
+    else
+      printf("fails on a %ld-byte stack: %s\n", StackSize,
+             M.Error.c_str());
+    return M.Ok ? 0 : 1;
+  }
+  return 0;
+}
