@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analyzer_speed.dir/BenchAnalyzerSpeed.cpp.o"
+  "CMakeFiles/bench_analyzer_speed.dir/BenchAnalyzerSpeed.cpp.o.d"
+  "bench_analyzer_speed"
+  "bench_analyzer_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analyzer_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

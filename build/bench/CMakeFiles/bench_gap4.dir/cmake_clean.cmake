@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gap4.dir/BenchGap4.cpp.o"
+  "CMakeFiles/bench_gap4.dir/BenchGap4.cpp.o.d"
+  "bench_gap4"
+  "bench_gap4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gap4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

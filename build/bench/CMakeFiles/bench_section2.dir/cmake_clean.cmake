@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section2.dir/BenchSection2.cpp.o"
+  "CMakeFiles/bench_section2.dir/BenchSection2.cpp.o.d"
+  "bench_section2"
+  "bench_section2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

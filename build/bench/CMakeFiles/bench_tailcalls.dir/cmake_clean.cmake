@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tailcalls.dir/BenchTailcalls.cpp.o"
+  "CMakeFiles/bench_tailcalls.dir/BenchTailcalls.cpp.o.d"
+  "bench_tailcalls"
+  "bench_tailcalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tailcalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

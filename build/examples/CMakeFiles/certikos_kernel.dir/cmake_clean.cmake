@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certikos_kernel.dir/certikos_kernel.cpp.o"
+  "CMakeFiles/certikos_kernel.dir/certikos_kernel.cpp.o.d"
+  "certikos_kernel"
+  "certikos_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certikos_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

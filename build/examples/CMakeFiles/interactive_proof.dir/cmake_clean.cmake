@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_proof.dir/interactive_proof.cpp.o"
+  "CMakeFiles/interactive_proof.dir/interactive_proof.cpp.o.d"
+  "interactive_proof"
+  "interactive_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

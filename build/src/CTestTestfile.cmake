@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("events")
+subdirs("frontend")
+subdirs("clight")
+subdirs("interp")
+subdirs("logic")
+subdirs("analysis")
+subdirs("cminor")
+subdirs("rtl")
+subdirs("mach")
+subdirs("x86")
+subdirs("measure")
+subdirs("driver")
+subdirs("programs")

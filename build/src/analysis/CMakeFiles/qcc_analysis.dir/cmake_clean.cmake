@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_analysis.dir/Analyzer.cpp.o"
+  "CMakeFiles/qcc_analysis.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/qcc_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/qcc_analysis.dir/CallGraph.cpp.o.d"
+  "libqcc_analysis.a"
+  "libqcc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_clight.dir/Clight.cpp.o"
+  "CMakeFiles/qcc_clight.dir/Clight.cpp.o.d"
+  "CMakeFiles/qcc_clight.dir/Verify.cpp.o"
+  "CMakeFiles/qcc_clight.dir/Verify.cpp.o.d"
+  "libqcc_clight.a"
+  "libqcc_clight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_clight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

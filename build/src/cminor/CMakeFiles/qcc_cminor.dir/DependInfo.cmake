@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cminor/Cminor.cpp" "src/cminor/CMakeFiles/qcc_cminor.dir/Cminor.cpp.o" "gcc" "src/cminor/CMakeFiles/qcc_cminor.dir/Cminor.cpp.o.d"
+  "/root/repo/src/cminor/CminorInterp.cpp" "src/cminor/CMakeFiles/qcc_cminor.dir/CminorInterp.cpp.o" "gcc" "src/cminor/CMakeFiles/qcc_cminor.dir/CminorInterp.cpp.o.d"
+  "/root/repo/src/cminor/Lower.cpp" "src/cminor/CMakeFiles/qcc_cminor.dir/Lower.cpp.o" "gcc" "src/cminor/CMakeFiles/qcc_cminor.dir/Lower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clight/CMakeFiles/qcc_clight.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/qcc_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_cminor.dir/Cminor.cpp.o"
+  "CMakeFiles/qcc_cminor.dir/Cminor.cpp.o.d"
+  "CMakeFiles/qcc_cminor.dir/CminorInterp.cpp.o"
+  "CMakeFiles/qcc_cminor.dir/CminorInterp.cpp.o.d"
+  "CMakeFiles/qcc_cminor.dir/Lower.cpp.o"
+  "CMakeFiles/qcc_cminor.dir/Lower.cpp.o.d"
+  "libqcc_cminor.a"
+  "libqcc_cminor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_cminor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/qcc_driver.dir/Compiler.cpp.o.d"
+  "libqcc_driver.a"
+  "libqcc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

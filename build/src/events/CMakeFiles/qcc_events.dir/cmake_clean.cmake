@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_events.dir/Events.cpp.o"
+  "CMakeFiles/qcc_events.dir/Events.cpp.o.d"
+  "libqcc_events.a"
+  "libqcc_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

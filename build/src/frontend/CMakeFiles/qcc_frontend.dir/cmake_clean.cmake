@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_frontend.dir/Ast.cpp.o"
+  "CMakeFiles/qcc_frontend.dir/Ast.cpp.o.d"
+  "CMakeFiles/qcc_frontend.dir/Elaborator.cpp.o"
+  "CMakeFiles/qcc_frontend.dir/Elaborator.cpp.o.d"
+  "CMakeFiles/qcc_frontend.dir/Frontend.cpp.o"
+  "CMakeFiles/qcc_frontend.dir/Frontend.cpp.o.d"
+  "CMakeFiles/qcc_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/qcc_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/qcc_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/qcc_frontend.dir/Parser.cpp.o.d"
+  "libqcc_frontend.a"
+  "libqcc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

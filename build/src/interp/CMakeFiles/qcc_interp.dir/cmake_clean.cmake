@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_interp.dir/Interp.cpp.o"
+  "CMakeFiles/qcc_interp.dir/Interp.cpp.o.d"
+  "libqcc_interp.a"
+  "libqcc_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

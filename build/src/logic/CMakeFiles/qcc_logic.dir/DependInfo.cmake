@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/Bound.cpp" "src/logic/CMakeFiles/qcc_logic.dir/Bound.cpp.o" "gcc" "src/logic/CMakeFiles/qcc_logic.dir/Bound.cpp.o.d"
+  "/root/repo/src/logic/Builder.cpp" "src/logic/CMakeFiles/qcc_logic.dir/Builder.cpp.o" "gcc" "src/logic/CMakeFiles/qcc_logic.dir/Builder.cpp.o.d"
+  "/root/repo/src/logic/Checker.cpp" "src/logic/CMakeFiles/qcc_logic.dir/Checker.cpp.o" "gcc" "src/logic/CMakeFiles/qcc_logic.dir/Checker.cpp.o.d"
+  "/root/repo/src/logic/Convert.cpp" "src/logic/CMakeFiles/qcc_logic.dir/Convert.cpp.o" "gcc" "src/logic/CMakeFiles/qcc_logic.dir/Convert.cpp.o.d"
+  "/root/repo/src/logic/Entail.cpp" "src/logic/CMakeFiles/qcc_logic.dir/Entail.cpp.o" "gcc" "src/logic/CMakeFiles/qcc_logic.dir/Entail.cpp.o.d"
+  "/root/repo/src/logic/Logic.cpp" "src/logic/CMakeFiles/qcc_logic.dir/Logic.cpp.o" "gcc" "src/logic/CMakeFiles/qcc_logic.dir/Logic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clight/CMakeFiles/qcc_clight.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/qcc_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_logic.dir/Bound.cpp.o"
+  "CMakeFiles/qcc_logic.dir/Bound.cpp.o.d"
+  "CMakeFiles/qcc_logic.dir/Builder.cpp.o"
+  "CMakeFiles/qcc_logic.dir/Builder.cpp.o.d"
+  "CMakeFiles/qcc_logic.dir/Checker.cpp.o"
+  "CMakeFiles/qcc_logic.dir/Checker.cpp.o.d"
+  "CMakeFiles/qcc_logic.dir/Convert.cpp.o"
+  "CMakeFiles/qcc_logic.dir/Convert.cpp.o.d"
+  "CMakeFiles/qcc_logic.dir/Entail.cpp.o"
+  "CMakeFiles/qcc_logic.dir/Entail.cpp.o.d"
+  "CMakeFiles/qcc_logic.dir/Logic.cpp.o"
+  "CMakeFiles/qcc_logic.dir/Logic.cpp.o.d"
+  "libqcc_logic.a"
+  "libqcc_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

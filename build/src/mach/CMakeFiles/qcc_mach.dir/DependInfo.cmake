@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mach/Lower.cpp" "src/mach/CMakeFiles/qcc_mach.dir/Lower.cpp.o" "gcc" "src/mach/CMakeFiles/qcc_mach.dir/Lower.cpp.o.d"
+  "/root/repo/src/mach/Mach.cpp" "src/mach/CMakeFiles/qcc_mach.dir/Mach.cpp.o" "gcc" "src/mach/CMakeFiles/qcc_mach.dir/Mach.cpp.o.d"
+  "/root/repo/src/mach/MachInterp.cpp" "src/mach/CMakeFiles/qcc_mach.dir/MachInterp.cpp.o" "gcc" "src/mach/CMakeFiles/qcc_mach.dir/MachInterp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/qcc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/qcc_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cminor/CMakeFiles/qcc_cminor.dir/DependInfo.cmake"
+  "/root/repo/build/src/clight/CMakeFiles/qcc_clight.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_mach.dir/Lower.cpp.o"
+  "CMakeFiles/qcc_mach.dir/Lower.cpp.o.d"
+  "CMakeFiles/qcc_mach.dir/Mach.cpp.o"
+  "CMakeFiles/qcc_mach.dir/Mach.cpp.o.d"
+  "CMakeFiles/qcc_mach.dir/MachInterp.cpp.o"
+  "CMakeFiles/qcc_mach.dir/MachInterp.cpp.o.d"
+  "libqcc_mach.a"
+  "libqcc_mach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_mach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qcc_mach.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_measure.dir/StackMeter.cpp.o"
+  "CMakeFiles/qcc_measure.dir/StackMeter.cpp.o.d"
+  "libqcc_measure.a"
+  "libqcc_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/programs/Certikos.cpp" "src/programs/CMakeFiles/qcc_programs.dir/Certikos.cpp.o" "gcc" "src/programs/CMakeFiles/qcc_programs.dir/Certikos.cpp.o.d"
+  "/root/repo/src/programs/Compcert.cpp" "src/programs/CMakeFiles/qcc_programs.dir/Compcert.cpp.o" "gcc" "src/programs/CMakeFiles/qcc_programs.dir/Compcert.cpp.o.d"
+  "/root/repo/src/programs/Corpus.cpp" "src/programs/CMakeFiles/qcc_programs.dir/Corpus.cpp.o" "gcc" "src/programs/CMakeFiles/qcc_programs.dir/Corpus.cpp.o.d"
+  "/root/repo/src/programs/Mibench.cpp" "src/programs/CMakeFiles/qcc_programs.dir/Mibench.cpp.o" "gcc" "src/programs/CMakeFiles/qcc_programs.dir/Mibench.cpp.o.d"
+  "/root/repo/src/programs/Table2.cpp" "src/programs/CMakeFiles/qcc_programs.dir/Table2.cpp.o" "gcc" "src/programs/CMakeFiles/qcc_programs.dir/Table2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/qcc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/clight/CMakeFiles/qcc_clight.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/qcc_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

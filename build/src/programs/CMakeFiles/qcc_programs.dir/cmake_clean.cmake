@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_programs.dir/Certikos.cpp.o"
+  "CMakeFiles/qcc_programs.dir/Certikos.cpp.o.d"
+  "CMakeFiles/qcc_programs.dir/Compcert.cpp.o"
+  "CMakeFiles/qcc_programs.dir/Compcert.cpp.o.d"
+  "CMakeFiles/qcc_programs.dir/Corpus.cpp.o"
+  "CMakeFiles/qcc_programs.dir/Corpus.cpp.o.d"
+  "CMakeFiles/qcc_programs.dir/Mibench.cpp.o"
+  "CMakeFiles/qcc_programs.dir/Mibench.cpp.o.d"
+  "CMakeFiles/qcc_programs.dir/Table2.cpp.o"
+  "CMakeFiles/qcc_programs.dir/Table2.cpp.o.d"
+  "libqcc_programs.a"
+  "libqcc_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqcc_programs.a"
+)

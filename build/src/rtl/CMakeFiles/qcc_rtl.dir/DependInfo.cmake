@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/Inline.cpp" "src/rtl/CMakeFiles/qcc_rtl.dir/Inline.cpp.o" "gcc" "src/rtl/CMakeFiles/qcc_rtl.dir/Inline.cpp.o.d"
+  "/root/repo/src/rtl/Liveness.cpp" "src/rtl/CMakeFiles/qcc_rtl.dir/Liveness.cpp.o" "gcc" "src/rtl/CMakeFiles/qcc_rtl.dir/Liveness.cpp.o.d"
+  "/root/repo/src/rtl/Opt.cpp" "src/rtl/CMakeFiles/qcc_rtl.dir/Opt.cpp.o" "gcc" "src/rtl/CMakeFiles/qcc_rtl.dir/Opt.cpp.o.d"
+  "/root/repo/src/rtl/Rtl.cpp" "src/rtl/CMakeFiles/qcc_rtl.dir/Rtl.cpp.o" "gcc" "src/rtl/CMakeFiles/qcc_rtl.dir/Rtl.cpp.o.d"
+  "/root/repo/src/rtl/RtlInterp.cpp" "src/rtl/CMakeFiles/qcc_rtl.dir/RtlInterp.cpp.o" "gcc" "src/rtl/CMakeFiles/qcc_rtl.dir/RtlInterp.cpp.o.d"
+  "/root/repo/src/rtl/RtlLower.cpp" "src/rtl/CMakeFiles/qcc_rtl.dir/RtlLower.cpp.o" "gcc" "src/rtl/CMakeFiles/qcc_rtl.dir/RtlLower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cminor/CMakeFiles/qcc_cminor.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/qcc_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/clight/CMakeFiles/qcc_clight.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

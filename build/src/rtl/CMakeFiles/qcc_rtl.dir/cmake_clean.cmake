@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_rtl.dir/Inline.cpp.o"
+  "CMakeFiles/qcc_rtl.dir/Inline.cpp.o.d"
+  "CMakeFiles/qcc_rtl.dir/Liveness.cpp.o"
+  "CMakeFiles/qcc_rtl.dir/Liveness.cpp.o.d"
+  "CMakeFiles/qcc_rtl.dir/Opt.cpp.o"
+  "CMakeFiles/qcc_rtl.dir/Opt.cpp.o.d"
+  "CMakeFiles/qcc_rtl.dir/Rtl.cpp.o"
+  "CMakeFiles/qcc_rtl.dir/Rtl.cpp.o.d"
+  "CMakeFiles/qcc_rtl.dir/RtlInterp.cpp.o"
+  "CMakeFiles/qcc_rtl.dir/RtlInterp.cpp.o.d"
+  "CMakeFiles/qcc_rtl.dir/RtlLower.cpp.o"
+  "CMakeFiles/qcc_rtl.dir/RtlLower.cpp.o.d"
+  "libqcc_rtl.a"
+  "libqcc_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/qcc_support.dir/Diagnostics.cpp.o.d"
+  "libqcc_support.a"
+  "libqcc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/Asm.cpp" "src/x86/CMakeFiles/qcc_x86.dir/Asm.cpp.o" "gcc" "src/x86/CMakeFiles/qcc_x86.dir/Asm.cpp.o.d"
+  "/root/repo/src/x86/Emit.cpp" "src/x86/CMakeFiles/qcc_x86.dir/Emit.cpp.o" "gcc" "src/x86/CMakeFiles/qcc_x86.dir/Emit.cpp.o.d"
+  "/root/repo/src/x86/Machine.cpp" "src/x86/CMakeFiles/qcc_x86.dir/Machine.cpp.o" "gcc" "src/x86/CMakeFiles/qcc_x86.dir/Machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mach/CMakeFiles/qcc_mach.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/qcc_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/qcc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cminor/CMakeFiles/qcc_cminor.dir/DependInfo.cmake"
+  "/root/repo/build/src/clight/CMakeFiles/qcc_clight.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

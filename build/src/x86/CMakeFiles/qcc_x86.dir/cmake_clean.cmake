@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_x86.dir/Asm.cpp.o"
+  "CMakeFiles/qcc_x86.dir/Asm.cpp.o.d"
+  "CMakeFiles/qcc_x86.dir/Emit.cpp.o"
+  "CMakeFiles/qcc_x86.dir/Emit.cpp.o.d"
+  "CMakeFiles/qcc_x86.dir/Machine.cpp.o"
+  "CMakeFiles/qcc_x86.dir/Machine.cpp.o.d"
+  "libqcc_x86.a"
+  "libqcc_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ProgramsTest.cpp" "tests/CMakeFiles/programs_test.dir/ProgramsTest.cpp.o" "gcc" "tests/CMakeFiles/programs_test.dir/ProgramsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/qcc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/programs/CMakeFiles/qcc_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/qcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/qcc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/qcc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/qcc_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/qcc_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/mach/CMakeFiles/qcc_mach.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/qcc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cminor/CMakeFiles/qcc_cminor.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/qcc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/clight/CMakeFiles/qcc_clight.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/qcc_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

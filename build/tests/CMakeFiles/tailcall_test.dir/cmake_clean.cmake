@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tailcall_test.dir/TailCallTest.cpp.o"
+  "CMakeFiles/tailcall_test.dir/TailCallTest.cpp.o.d"
+  "tailcall_test"
+  "tailcall_test.pdb"
+  "tailcall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tailcall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/events_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/logic_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/x86_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/programs_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/mutation_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/inline_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_test[1]_include.cmake")
+include("/root/repo/build/tests/tailcall_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcc_tool.dir/Main.cpp.o"
+  "CMakeFiles/qcc_tool.dir/Main.cpp.o.d"
+  "qcc"
+  "qcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
