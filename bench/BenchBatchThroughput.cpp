@@ -1,0 +1,109 @@
+//===- bench/BenchBatchThroughput.cpp - Batch engine throughput -----------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Throughput of the parallel batch-verification engine over the full
+/// evaluation corpus (compile + per-pass translation validation +
+/// automatic bounds + Theorem 1 per program):
+///
+///   1. a serial reference run (--jobs 1),
+///   2. a parallel run on every hardware thread,
+///   3. result-identity check between the two (byte-identical
+///      deterministic metrics JSON),
+///   4. a fully cache-hit rerun, recording the hit-rate speedup.
+///
+/// On machines with >= 4 hardware threads the parallel run must achieve
+/// >= 2x wall-clock speedup (the PR's acceptance bar); on smaller hosts
+/// the speedup is recorded but not enforced.
+///
+//===----------------------------------------------------------------------===//
+
+#include "batch/Batch.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace qcc;
+
+namespace {
+
+/// The corpus, replicated under distinct ids so one timed run is long
+/// enough to measure (the corpus itself verifies in a few hundred ms).
+std::vector<batch::BatchJob> replicatedCorpus(unsigned Rounds) {
+  std::vector<batch::BatchJob> Jobs;
+  for (unsigned R = 0; R != Rounds; ++R)
+    for (batch::BatchJob &J : batch::corpusJobs()) {
+      J.Id = "round" + std::to_string(R) + "/" + J.Id;
+      Jobs.push_back(std::move(J));
+    }
+  return Jobs;
+}
+
+} // namespace
+
+int main() {
+  unsigned Hw = std::max(1u, std::thread::hardware_concurrency());
+  printf("==== Batch-verification throughput (%u hardware threads) "
+         "====\n\n",
+         Hw);
+
+  const unsigned Rounds = 4;
+  std::vector<batch::BatchJob> Jobs = replicatedCorpus(Rounds);
+
+  batch::BatchOptions Serial;
+  Serial.Jobs = 1;
+  batch::BatchResult RSerial = batch::runBatch(Jobs, Serial);
+
+  batch::BatchOptions Parallel;
+  Parallel.Jobs = Hw;
+  batch::BatchResult RParallel = batch::runBatch(Jobs, Parallel);
+
+  auto CountOk = [](const batch::BatchResult &R) {
+    size_t N = 0;
+    for (const batch::ProgramResult &P : R.Programs)
+      N += P.Ok;
+    return N;
+  };
+  printf("%-24s %12s %8s\n", "configuration", "wall", "ok");
+  printf("%-24s %9llu us %5zu/%zu\n", "serial (--jobs 1)",
+         static_cast<unsigned long long>(RSerial.WallMicros),
+         CountOk(RSerial), RSerial.Programs.size());
+  printf("%-24s %9llu us %5zu/%zu\n",
+         ("parallel (--jobs " + std::to_string(Hw) + ")").c_str(),
+         static_cast<unsigned long long>(RParallel.WallMicros),
+         CountOk(RParallel), RParallel.Programs.size());
+
+  bool Identical =
+      batch::metricsJson(RSerial, batch::JsonDetail::Deterministic) ==
+      batch::metricsJson(RParallel, batch::JsonDetail::Deterministic);
+  printf("\nresult identity (serial vs parallel): %s\n",
+         Identical ? "byte-identical" : "DIFFER");
+
+  double Speedup = RParallel.WallMicros
+                       ? static_cast<double>(RSerial.WallMicros) /
+                             static_cast<double>(RParallel.WallMicros)
+                       : 0.0;
+  printf("speedup: %.2fx on %u threads%s\n", Speedup, Hw,
+         Hw >= 4 ? " (>= 2x required)" : " (< 4 threads: recorded only)");
+
+  // A warm-cache rerun: every job must hit.
+  batch::ResultCache Cache;
+  batch::BatchOptions Warm = Parallel;
+  Warm.Cache = &Cache;
+  batch::runBatch(Jobs, Warm);
+  batch::BatchResult RWarm = batch::runBatch(Jobs, Warm);
+  printf("warm-cache rerun: %llu/%zu hits, %llu us wall\n",
+         static_cast<unsigned long long>(RWarm.Cache.Hits), Jobs.size(),
+         static_cast<unsigned long long>(RWarm.WallMicros));
+
+  bool Ok = RSerial.allOk() && RParallel.allOk() && Identical &&
+            RWarm.Cache.Hits == Jobs.size();
+  if (Hw >= 4)
+    Ok &= Speedup >= 2.0;
+  printf("\nverdict: %s\n", Ok ? "throughput bar met" : "FAILED");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,358 @@
+//===- batch/Batch.cpp - Parallel batch-verification engine ---------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/Batch.h"
+
+#include "batch/ThreadPool.h"
+#include "programs/Corpus.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace qcc;
+using namespace qcc::batch;
+
+//===----------------------------------------------------------------------===//
+// Result cache
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const ProgramResult> ResultCache::lookup(uint64_t Key) {
+  std::lock_guard<std::mutex> G(M);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Counters.Misses;
+    return nullptr;
+  }
+  ++Counters.Hits;
+  return It->second;
+}
+
+void ResultCache::insert(uint64_t Key,
+                         std::shared_ptr<const ProgramResult> Result) {
+  std::lock_guard<std::mutex> G(M);
+  Map[Key] = std::move(Result);
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> G(M);
+  return Counters;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> G(M);
+  return Map.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> G(M);
+  Map.clear();
+  Counters = {};
+}
+
+uint64_t qcc::batch::jobKey(const BatchJob &J, bool CheckTheorem1) {
+  Fnv1a64 H;
+  H.str(J.Source);
+  const driver::CompilerOptions &O = J.Options;
+  H.u64(O.Defines.size());
+  for (const auto &[Name, Value] : O.Defines)
+    H.str(Name).u64(Value);
+  H.boolean(O.Optimize)
+      .boolean(O.Inline)
+      .boolean(O.TailCalls)
+      .boolean(O.ValidateTranslation)
+      .boolean(O.AnalyzeBounds)
+      .boolean(CheckTheorem1)
+      .u64(O.ValidationFuel);
+  // Seeded specs hash by their canonical rendering (bound expressions are
+  // immutable trees with a stable printer).
+  H.u64(O.SeededSpecs.size());
+  for (const auto &[F, Spec] : O.SeededSpecs) {
+    H.str(F).str(Spec.Pre->str()).str(Spec.Post->str());
+    H.u64(Spec.ResultFacts.size());
+    for (const logic::Cmp &Fact : Spec.ResultFacts)
+      H.str(Fact.str());
+  }
+  return H.digest();
+}
+
+//===----------------------------------------------------------------------===//
+// Single-job verification
+//===----------------------------------------------------------------------===//
+
+ProgramResult qcc::batch::verifyOne(const BatchJob &Job,
+                                    bool CheckTheorem1) {
+  auto Start = std::chrono::steady_clock::now();
+  ProgramResult R;
+  R.Id = Job.Id;
+
+  DiagnosticEngine Diags;
+  driver::PassStats Stats;
+  auto C = driver::compile(Job.Source, Diags, Job.Options, &Stats);
+  R.Metrics.PassMicros = std::move(Stats.PassMicros);
+  R.Metrics.ReplayedEvents = std::move(Stats.ReplayedEvents);
+  R.Metrics.ProofNodes = Stats.ProofNodes;
+
+  if (C) {
+    R.Ok = true;
+    for (const auto &[F, Spec] : C->Bounds.Gamma) {
+      FunctionReport FR;
+      FR.Function = F;
+      if (logic::BoundExpr B = C->Bounds.callBound(F))
+        FR.SymbolicBound = B->str();
+      FR.ConcreteBytes = driver::concreteCallBound(*C, F);
+      R.Bounds.push_back(std::move(FR));
+    }
+    R.SkippedRecursive = C->Bounds.SkippedRecursive;
+
+    if (CheckTheorem1) {
+      auto MainBound = driver::concreteCallBound(*C, "main");
+      if (MainBound && *MainBound >= 4) {
+        R.Theorem1Checked = true;
+        R.Theorem1StackBytes = static_cast<uint32_t>(*MainBound - 4);
+        measure::Measurement M =
+            driver::runWithStackSize(*C, R.Theorem1StackBytes);
+        R.Theorem1Ok = M.Ok;
+        if (!M.Ok) {
+          R.Ok = false;
+          Diags.error(SourceLoc(),
+                      "Theorem 1 violated at stack size " +
+                          std::to_string(R.Theorem1StackBytes) + ": " +
+                          M.Error);
+        }
+      }
+    }
+  }
+
+  R.Diagnostics = Diags.str();
+  auto End = std::chrono::steady_clock::now();
+  R.Metrics.TotalMicros =
+      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+          .count();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// The engine
+//===----------------------------------------------------------------------===//
+
+bool BatchResult::allOk() const {
+  return std::all_of(Programs.begin(), Programs.end(),
+                     [](const ProgramResult &R) { return R.Ok; });
+}
+
+BatchResult qcc::batch::runBatch(const std::vector<BatchJob> &Jobs,
+                                 const BatchOptions &Options) {
+  BatchResult Out;
+  Out.Programs.resize(Jobs.size());
+  unsigned Workers = Options.Jobs
+                         ? Options.Jobs
+                         : std::max(1u, std::thread::hardware_concurrency());
+  Out.Jobs = Workers;
+  CacheStats Before = Options.Cache ? Options.Cache->stats() : CacheStats{};
+  auto Start = std::chrono::steady_clock::now();
+
+  auto RunOne = [&](size_t I) {
+    const BatchJob &J = Jobs[I];
+    if (!Options.Cache) {
+      Out.Programs[I] = verifyOne(J, Options.CheckTheorem1);
+      return;
+    }
+    uint64_t Key = jobKey(J, Options.CheckTheorem1);
+    if (auto Hit = Options.Cache->lookup(Key)) {
+      Out.Programs[I] = *Hit;
+      Out.Programs[I].Id = J.Id; // Identical content may carry another id.
+      Out.Programs[I].CacheHit = true;
+      return;
+    }
+    auto R = std::make_shared<ProgramResult>(
+        verifyOne(J, Options.CheckTheorem1));
+    Options.Cache->insert(Key, R);
+    Out.Programs[I] = *R;
+  };
+
+  if (Workers <= 1 || Jobs.size() <= 1) {
+    for (size_t I = 0; I != Jobs.size(); ++I)
+      RunOne(I);
+  } else {
+    WorkStealingPool Pool(Workers);
+    Pool.parallelFor(Jobs.size(), RunOne);
+  }
+
+  auto End = std::chrono::steady_clock::now();
+  Out.WallMicros =
+      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+          .count();
+  if (Options.Cache) {
+    CacheStats After = Options.Cache->stats();
+    Out.Cache.Hits = After.Hits - Before.Hits;
+    Out.Cache.Misses = After.Misses - Before.Misses;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void jsonEscape(const std::string &S, std::string &Out) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof Buf, "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+void jsonStr(const std::string &S, std::string &Out) {
+  Out += '"';
+  jsonEscape(S, Out);
+  Out += '"';
+}
+
+void jsonKey(const char *K, std::string &Out) {
+  Out += '"';
+  Out += K;
+  Out += "\":";
+}
+
+/// {"name": <pass>, "<field>": <count>} pairs list.
+void jsonPairs(const char *Field,
+               const std::vector<std::pair<std::string, uint64_t>> &Pairs,
+               std::string &Out) {
+  Out += '[';
+  bool First = true;
+  for (const auto &[Name, Count] : Pairs) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":";
+    jsonStr(Name, Out);
+    Out += ",";
+    jsonKey(Field, Out);
+    Out += std::to_string(Count);
+    Out += '}';
+  }
+  Out += ']';
+}
+
+} // namespace
+
+std::string qcc::batch::metricsJson(const BatchResult &R,
+                                    JsonDetail Detail) {
+  bool Timings = Detail == JsonDetail::Full;
+  std::string Out;
+  Out += "{\"schema\":\"qcc-batch-metrics-v1\",";
+  if (Timings) {
+    jsonKey("jobs", Out);
+    Out += std::to_string(R.Jobs) + ",";
+    jsonKey("wall_us", Out);
+    Out += std::to_string(R.WallMicros) + ",";
+    jsonKey("cache", Out);
+    Out += "{\"hits\":" + std::to_string(R.Cache.Hits) +
+           ",\"misses\":" + std::to_string(R.Cache.Misses) + "},";
+  }
+  jsonKey("programs", Out);
+  Out += '[';
+  for (size_t I = 0; I != R.Programs.size(); ++I) {
+    const ProgramResult &P = R.Programs[I];
+    if (I)
+      Out += ',';
+    Out += "{\"id\":";
+    jsonStr(P.Id, Out);
+    Out += ",\"ok\":";
+    Out += P.Ok ? "true" : "false";
+    if (Timings) {
+      Out += ",\"cache_hit\":";
+      Out += P.CacheHit ? "true" : "false";
+    }
+    Out += ",\"diagnostics\":";
+    jsonStr(P.Diagnostics, Out);
+    Out += ",\"bounds\":[";
+    for (size_t B = 0; B != P.Bounds.size(); ++B) {
+      const FunctionReport &F = P.Bounds[B];
+      if (B)
+        Out += ',';
+      Out += "{\"function\":";
+      jsonStr(F.Function, Out);
+      Out += ",\"symbolic\":";
+      jsonStr(F.SymbolicBound, Out);
+      Out += ",\"bytes\":";
+      Out += F.ConcreteBytes ? std::to_string(*F.ConcreteBytes) : "null";
+      Out += '}';
+    }
+    Out += "],\"skipped_recursive\":[";
+    for (size_t S = 0; S != P.SkippedRecursive.size(); ++S) {
+      if (S)
+        Out += ',';
+      jsonStr(P.SkippedRecursive[S], Out);
+    }
+    Out += "],\"theorem1\":{\"checked\":";
+    Out += P.Theorem1Checked ? "true" : "false";
+    Out += ",\"ok\":";
+    Out += P.Theorem1Ok ? "true" : "false";
+    Out += ",\"stack_bytes\":";
+    Out += std::to_string(P.Theorem1StackBytes);
+    Out += "},\"metrics\":{";
+    if (Timings) {
+      jsonKey("total_us", Out);
+      Out += std::to_string(P.Metrics.TotalMicros) + ",";
+      jsonKey("passes", Out);
+      jsonPairs("us", P.Metrics.PassMicros, Out);
+      Out += ',';
+    }
+    jsonKey("refinement_events", Out);
+    jsonPairs("events", P.Metrics.ReplayedEvents, Out);
+    Out += ',';
+    jsonKey("proof_nodes", Out);
+    Out += std::to_string(P.Metrics.ProofNodes);
+    Out += "}}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// The built-in corpus as batch jobs
+//===----------------------------------------------------------------------===//
+
+std::vector<BatchJob> qcc::batch::corpusJobs(bool ValidateTranslation) {
+  std::vector<BatchJob> Jobs;
+  for (programs::VerificationUnit &U : programs::verificationCorpus()) {
+    BatchJob J;
+    J.Id = std::move(U.Id);
+    J.Source = std::move(U.Source);
+    J.Options.ValidateTranslation = ValidateTranslation;
+    J.Options.SeededSpecs = std::move(U.SeededSpecs);
+    Jobs.push_back(std::move(J));
+  }
+  return Jobs;
+}

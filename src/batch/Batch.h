@@ -1,0 +1,168 @@
+//===- batch/Batch.h - Parallel batch-verification engine -------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel batch-verification engine: many programs compiled,
+/// translation-validated, automatically bounded, and Theorem-1-checked
+/// concurrently on a work-stealing pool (batch/ThreadPool.h), with
+///
+///   * per-program results (bounds, diagnostics, Theorem 1 outcome),
+///   * pass-level metrics (wall time per stage, refinement-replay event
+///     counts, proof-checker node counts), serializable as JSON,
+///   * a content-hash result cache so an unchanged (source, options)
+///     pair skips recompilation entirely.
+///
+/// Every job runs on its own DiagnosticEngine (see the thread-safety
+/// contract in support/Diagnostics.h); results land in pre-sized slots
+/// indexed by job position, so the output is deterministic: a batch run
+/// with N workers is byte-identical (modulo timing fields) to the serial
+/// run. tests/BatchTest.cpp enforces this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_BATCH_BATCH_H
+#define QCC_BATCH_BATCH_H
+
+#include "driver/Compiler.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qcc {
+namespace batch {
+
+/// One unit of batch work: a named source plus its compiler options.
+struct BatchJob {
+  std::string Id; ///< Display name (corpus id or file path).
+  std::string Source;
+  driver::CompilerOptions Options;
+};
+
+/// One verified function in a program's report.
+struct FunctionReport {
+  std::string Function;
+  std::string SymbolicBound;
+  /// Instantiated call bound in bytes; nullopt when parametric (needs
+  /// argument values) or infinite.
+  std::optional<uint64_t> ConcreteBytes;
+};
+
+/// Pass-level metrics for one program (driver::PassStats plus totals).
+struct ProgramMetrics {
+  std::vector<std::pair<std::string, uint64_t>> PassMicros;
+  std::vector<std::pair<std::string, uint64_t>> ReplayedEvents;
+  uint64_t ProofNodes = 0;
+  uint64_t TotalMicros = 0;
+};
+
+/// Everything the engine reports for one job.
+struct ProgramResult {
+  std::string Id;
+  bool Ok = false;       ///< Compiled, validated, and (when checked)
+                         ///< survived Theorem 1.
+  bool CacheHit = false; ///< Served from the result cache.
+  std::string Diagnostics;
+  std::vector<FunctionReport> Bounds; ///< Sorted by function name.
+  std::vector<std::string> SkippedRecursive;
+  /// Theorem 1: ran the program on a stack of exactly bound(main) - 4
+  /// bytes. Unchecked when main has no finite concrete bound.
+  bool Theorem1Checked = false;
+  bool Theorem1Ok = false;
+  uint32_t Theorem1StackBytes = 0;
+  ProgramMetrics Metrics;
+};
+
+/// Cache counters for one batch run (or one cache lifetime).
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// A thread-safe content-addressed result cache. Keys are FNV-1a hashes
+/// of (source, options, check-mode) — see jobKey — so a source edit, a
+/// -D change, or an option change all miss, and a poisoned hit is
+/// impossible without a 64-bit hash collision.
+class ResultCache {
+public:
+  std::shared_ptr<const ProgramResult> lookup(uint64_t Key);
+  void insert(uint64_t Key, std::shared_ptr<const ProgramResult> Result);
+  CacheStats stats() const;
+  size_t size() const;
+  void clear();
+
+private:
+  mutable std::mutex M;
+  std::unordered_map<uint64_t, std::shared_ptr<const ProgramResult>> Map;
+  CacheStats Counters;
+};
+
+/// The cache key of \p J: a content hash covering the full source text,
+/// every -D define, every compilation flag, the validation fuel, the
+/// seeded specifications, and whether Theorem 1 is checked.
+uint64_t jobKey(const BatchJob &J, bool CheckTheorem1);
+
+/// Engine configuration.
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned Jobs = 0;
+  /// Run each program at stack size bound(main) - 4 (Theorem 1).
+  bool CheckTheorem1 = true;
+  /// Optional shared result cache (caller-owned, may outlive batches).
+  ResultCache *Cache = nullptr;
+};
+
+/// The whole batch's outcome, jobs in input order.
+struct BatchResult {
+  std::vector<ProgramResult> Programs;
+  CacheStats Cache; ///< Hits/misses attributable to this run.
+  uint64_t WallMicros = 0;
+  unsigned Jobs = 1; ///< Worker threads actually used.
+
+  bool allOk() const;
+};
+
+/// Verifies a single job, fully instrumented: compile (+ per-pass
+/// translation validation + automatic bounds) and, when \p CheckTheorem1,
+/// execute at the verified bound. The engine's unit of work; exposed for
+/// tests and single-file callers.
+ProgramResult verifyOne(const BatchJob &Job, bool CheckTheorem1 = true);
+
+/// Runs every job, fanning out across \p Options.Jobs workers.
+BatchResult runBatch(const std::vector<BatchJob> &Jobs,
+                     const BatchOptions &Options = {});
+
+/// How much of the report metricsJson emits.
+enum class JsonDetail {
+  /// Everything, including wall times and cache statistics.
+  Full,
+  /// Omits timing fields and cache occupancy: two runs of the same jobs
+  /// — serial or parallel — produce byte-identical output. What the
+  /// determinism tests compare.
+  Deterministic
+};
+
+/// Serializes \p R as a JSON document (schema "qcc-batch-metrics-v1"):
+/// per-program pass timings, refinement event counts, proof-checker node
+/// counts, bounds, and batch-level cache statistics.
+std::string metricsJson(const BatchResult &R,
+                        JsonDetail Detail = JsonDetail::Full);
+
+/// The full evaluation corpus (Table 1 files, the Section 2 program, and
+/// the Table 2 recursive file, the latter two seeded with their
+/// interactive specs) as ready-to-run batch jobs.
+std::vector<BatchJob> corpusJobs(bool ValidateTranslation = true);
+
+} // namespace batch
+} // namespace qcc
+
+#endif // QCC_BATCH_BATCH_H

@@ -1,0 +1,116 @@
+//===- batch/ThreadPool.cpp - Work-stealing thread pool -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/ThreadPool.h"
+
+using namespace qcc;
+using namespace qcc::batch;
+
+WorkStealingPool::WorkStealingPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Queues.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Queues.push_back(std::make_unique<Queue>());
+  Threads.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> G(BatchM);
+    Stop = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+bool WorkStealingPool::popLocal(unsigned Me, size_t &Item) {
+  Queue &Q = *Queues[Me];
+  std::lock_guard<std::mutex> G(Q.M);
+  if (Q.Items.empty())
+    return false;
+  Item = Q.Items.front();
+  Q.Items.pop_front();
+  return true;
+}
+
+bool WorkStealingPool::steal(unsigned Me, size_t &Item) {
+  unsigned N = static_cast<unsigned>(Queues.size());
+  for (unsigned Off = 1; Off != N; ++Off) {
+    Queue &Q = *Queues[(Me + Off) % N];
+    std::lock_guard<std::mutex> G(Q.M);
+    if (Q.Items.empty())
+      continue;
+    Item = Q.Items.back();
+    Q.Items.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::drain(unsigned Me,
+                             const std::function<void(size_t)> &F) {
+  size_t Item;
+  for (;;) {
+    if (!popLocal(Me, Item) && !steal(Me, Item))
+      return;
+    F(Item);
+    Remaining.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void WorkStealingPool::workerLoop(unsigned Me) {
+  std::unique_lock<std::mutex> L(BatchM);
+  uint64_t Seen = 0;
+  for (;;) {
+    WorkCv.wait(L, [this, Seen] { return Stop || Generation != Seen; });
+    if (Stop)
+      return;
+    Seen = Generation;
+    const std::function<void(size_t)> *F = Body;
+    ++Active;
+    L.unlock();
+    drain(Me, *F);
+    L.lock();
+    // The caller may return only when no worker can still hold a
+    // reference to this generation's body.
+    if (--Active == 0 && Remaining.load(std::memory_order_acquire) == 0)
+      DoneCv.notify_all();
+  }
+}
+
+void WorkStealingPool::parallelFor(size_t N,
+                                   const std::function<void(size_t)> &F) {
+  if (N == 0)
+    return;
+  // Seed every queue before publishing the new generation: no worker can
+  // be inside drain() between batches (the previous call waited for
+  // Active == 0), and a worker woken before its queue is seeded would
+  // park for good, stranding the late items.
+  Remaining.store(N, std::memory_order_release);
+  unsigned W = static_cast<unsigned>(Queues.size());
+  for (size_t I = 0; I != N; ++I) {
+    Queue &Q = *Queues[I % W];
+    std::lock_guard<std::mutex> G(Q.M);
+    Q.Items.push_back(I);
+  }
+  {
+    std::lock_guard<std::mutex> G(BatchM);
+    Body = &F;
+    ++Generation;
+  }
+  WorkCv.notify_all();
+
+  std::unique_lock<std::mutex> L(BatchM);
+  DoneCv.wait(L, [this] {
+    return Active == 0 && Remaining.load(std::memory_order_acquire) == 0;
+  });
+  Body = nullptr;
+}

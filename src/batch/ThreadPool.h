@@ -1,0 +1,93 @@
+//===- batch/ThreadPool.h - Work-stealing thread pool -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the batch-verification engine.
+/// Work items are indices into a caller-owned job list; they are seeded
+/// round-robin into one deque per worker, each worker drains its own
+/// deque from the front and, when empty, steals from the back of its
+/// neighbours'. Stealing from the opposite end keeps contention low and
+/// lets a worker stuck behind a heavy compilation shed the rest of its
+/// share to idle threads — the property that makes corpus batches (one
+/// big CertiKOS file next to many small Table 2 drivers) load-balance.
+///
+/// The pool is generation-based: `parallelFor` publishes a body and a
+/// remaining-count, wakes every worker, and blocks until all items ran
+/// *and* every participating worker parked again (so no thread can still
+/// be touching a previous generation's body when the next one is seeded).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_BATCH_THREADPOOL_H
+#define QCC_BATCH_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qcc {
+namespace batch {
+
+/// A fixed-size pool of worker threads executing index-based parallel
+/// loops with work stealing. One pool may run many `parallelFor` batches;
+/// batches never overlap (the call blocks).
+class WorkStealingPool {
+public:
+  /// Spawns \p Threads workers (at least one).
+  explicit WorkStealingPool(unsigned Threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool &) = delete;
+  WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+  /// Runs Body(I) for every I in [0, N), distributed over the pool.
+  /// Blocks until every item completed. Body must be safe to invoke
+  /// concurrently from multiple threads on distinct indices.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+private:
+  /// One worker's deque. Owner pops the front; thieves pop the back.
+  struct Queue {
+    std::mutex M;
+    std::deque<size_t> Items;
+  };
+
+  void workerLoop(unsigned Me);
+  /// Runs items until neither the local deque nor any victim has work.
+  void drain(unsigned Me, const std::function<void(size_t)> &Body);
+  bool popLocal(unsigned Me, size_t &Item);
+  bool steal(unsigned Me, size_t &Item);
+
+  std::vector<std::unique_ptr<Queue>> Queues;
+  std::vector<std::thread> Threads;
+
+  // Batch hand-off state, guarded by BatchM.
+  std::mutex BatchM;
+  std::condition_variable WorkCv; ///< Wakes workers for a new generation.
+  std::condition_variable DoneCv; ///< Wakes the caller on completion.
+  const std::function<void(size_t)> *Body = nullptr;
+  uint64_t Generation = 0;
+  unsigned Active = 0; ///< Workers currently inside drain().
+  bool Stop = false;
+
+  std::atomic<size_t> Remaining{0}; ///< Items not yet finished.
+};
+
+} // namespace batch
+} // namespace qcc
+
+#endif // QCC_BATCH_THREADPOOL_H

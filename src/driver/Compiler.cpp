@@ -16,10 +16,35 @@
 #include "rtl/Opt.h"
 #include "x86/Machine.h"
 
+#include <chrono>
+
 using namespace qcc;
 using namespace qcc::driver;
 
 namespace {
+
+/// Times one pipeline stage into PassStats::PassMicros (no-op when the
+/// caller did not ask for stats).
+class StageTimer {
+public:
+  StageTimer(PassStats *Stats, const char *Pass)
+      : Stats(Stats), Pass(Pass),
+        Start(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    if (!Stats)
+      return;
+    auto End = std::chrono::steady_clock::now();
+    Stats->PassMicros.emplace_back(
+        Pass, std::chrono::duration_cast<std::chrono::microseconds>(
+                  End - Start)
+                  .count());
+  }
+
+private:
+  PassStats *Stats;
+  const char *Pass;
+  std::chrono::steady_clock::time_point Start;
+};
 
 /// Validates one pass by replaying both levels and checking quantitative
 /// refinement (classic refinement for the final Mach -> Asm step, whose
@@ -41,25 +66,53 @@ bool validatePair(const Behavior &Target, const Behavior &Source,
 std::optional<Compilation> qcc::driver::compile(const std::string &Source,
                                                 DiagnosticEngine &Diags,
                                                 CompilerOptions Options) {
-  auto CL = frontend::parseProgram(Source, Diags, Options.Defines);
+  return compile(Source, Diags, std::move(Options), nullptr);
+}
+
+std::optional<Compilation> qcc::driver::compile(const std::string &Source,
+                                                DiagnosticEngine &Diags,
+                                                CompilerOptions Options,
+                                                PassStats *Stats) {
+  std::optional<clight::Program> CL;
+  {
+    StageTimer T(Stats, "parse");
+    CL = frontend::parseProgram(Source, Diags, Options.Defines);
+  }
   if (!CL)
     return std::nullopt;
 
   Compilation C;
   C.Clight = std::move(*CL);
-  C.Cminor = cminor::lowerFromClight(C.Clight);
-  C.Rtl = rtl::lowerFromCminor(C.Cminor);
-  if (Options.Inline)
+  {
+    StageTimer T(Stats, "lower-cminor");
+    C.Cminor = cminor::lowerFromClight(C.Clight);
+  }
+  {
+    StageTimer T(Stats, "lower-rtl");
+    C.Rtl = rtl::lowerFromCminor(C.Cminor);
+  }
+  if (Options.Inline) {
+    StageTimer T(Stats, "rtl-inline");
     rtl::inlineFunctions(C.Rtl);
-  if (Options.Optimize)
+  }
+  if (Options.Optimize) {
+    StageTimer T(Stats, "rtl-opt");
     rtl::optimizeProgram(C.Rtl);
-  mach::LowerOptions MachOpts;
-  MachOpts.TailCalls = Options.TailCalls;
-  C.Mach = mach::lowerFromRtl(C.Rtl, MachOpts);
-  C.Asm = x86::emitFromMach(C.Mach);
+  }
+  {
+    StageTimer T(Stats, "lower-mach");
+    mach::LowerOptions MachOpts;
+    MachOpts.TailCalls = Options.TailCalls;
+    C.Mach = mach::lowerFromRtl(C.Rtl, MachOpts);
+  }
+  {
+    StageTimer T(Stats, "emit-asm");
+    C.Asm = x86::emitFromMach(C.Mach);
+  }
   C.Metric = C.Mach.costMetric();
 
   if (Options.ValidateTranslation) {
+    StageTimer T(Stats, "validate");
     Behavior BClight = interp::runProgram(C.Clight, Options.ValidationFuel);
     Behavior BCminor = cminor::runProgram(C.Cminor, Options.ValidationFuel);
     Behavior BRtl = rtl::runProgram(C.Rtl, Options.ValidationFuel);
@@ -72,13 +125,29 @@ std::optional<Compilation> qcc::driver::compile(const std::string &Source,
     x86::Machine M(C.Asm, measure::MeasureStackSize);
     Behavior BAsm = M.run(Options.ValidationFuel * 4);
     Ok &= validatePair(BAsm, BMach, "Mach->Asm", Diags);
+    if (Stats) {
+      auto Replayed = [Stats](const char *Pass, const Behavior &Target,
+                              const Behavior &Source) {
+        Stats->ReplayedEvents.emplace_back(
+            Pass, Target.Events.size() + Source.Events.size());
+      };
+      Replayed("Clight->Cminor", BCminor, BClight);
+      Replayed("Cminor->RTL(+opt)", BRtl, BCminor);
+      Replayed("RTL->Mach", BMach, BRtl);
+      Replayed("Mach->Asm", BAsm, BMach);
+    }
     if (!Ok)
       return std::nullopt;
   }
 
-  if (Options.AnalyzeBounds)
+  if (Options.AnalyzeBounds) {
+    StageTimer T(Stats, "analyze");
     C.Bounds = analysis::analyzeProgram(C.Clight, Diags,
                                         std::move(Options.SeededSpecs));
+    if (Stats)
+      for (const auto &[F, FB] : C.Bounds.Bounds)
+        Stats->ProofNodes += FB.Body->size();
+  }
   return C;
 }
 

@@ -84,11 +84,33 @@ struct Compilation {
   analysis::AnalysisResult Bounds;
 };
 
+/// Per-pass instrumentation of one compilation, filled in by the
+/// four-argument \c compile overload. The batch engine aggregates these
+/// into its metrics report.
+struct PassStats {
+  /// Wall time per pipeline stage, in microseconds, in execution order
+  /// (e.g. {"parse", 120}, {"lower-cminor", 8}, ...).
+  std::vector<std::pair<std::string, uint64_t>> PassMicros;
+  /// Refinement-replay volume per validated pass pair: the number of
+  /// events in the target and source traces the checker compared.
+  std::vector<std::pair<std::string, uint64_t>> ReplayedEvents;
+  /// Total derivation nodes the proof checker validated across every
+  /// automatic bound.
+  uint64_t ProofNodes = 0;
+};
+
 /// Compiles \p Source end to end. Returns nullopt and reports through
 /// \p Diags on frontend errors or validation failures.
 std::optional<Compilation> compile(const std::string &Source,
                                    DiagnosticEngine &Diags,
                                    CompilerOptions Options = {});
+
+/// As above, additionally recording per-pass statistics into \p Stats
+/// (ignored when null).
+std::optional<Compilation> compile(const std::string &Source,
+                                   DiagnosticEngine &Diags,
+                                   CompilerOptions Options,
+                                   PassStats *Stats);
 
 /// The concrete verified bound, in bytes, for calling \p Function —
 /// symbolic call bound instantiated with the compilation's metric and

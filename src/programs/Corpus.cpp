@@ -56,6 +56,15 @@ const std::vector<CorpusProgram> &table1Corpus() {
   return Corpus;
 }
 
+std::vector<VerificationUnit> verificationCorpus() {
+  std::vector<VerificationUnit> Units;
+  for (const CorpusProgram &P : table1Corpus())
+    Units.push_back({P.Id, P.Source, {}});
+  Units.push_back({"section2/search.c", section2Source(), section2Specs()});
+  Units.push_back({"table2/recursive.c", table2Source(), table2Specs()});
+  return Units;
+}
+
 //===----------------------------------------------------------------------===//
 // The Section 2 illustrative program
 //===----------------------------------------------------------------------===//

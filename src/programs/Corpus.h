@@ -46,6 +46,21 @@ struct CorpusProgram {
 /// The Table 1 corpus, in the paper's order.
 const std::vector<CorpusProgram> &table1Corpus();
 
+/// One corpus entry with everything batch verification needs: a name,
+/// the source, and the interactively derived specifications to seed
+/// (empty for the automatic Table 1 files).
+struct VerificationUnit {
+  std::string Id;
+  std::string Source;
+  logic::FunctionContext SeededSpecs;
+};
+
+/// The whole evaluation corpus in deterministic order: every Table 1
+/// file, the Section 2 program (seeded with search's spec), and the
+/// Table 2 recursive file (seeded with all eight interactive specs).
+/// What `qcc --batch corpus` and the batch engine fan out over.
+std::vector<VerificationUnit> verificationCorpus();
+
 /// The single file holding the Table 2 recursive functions (plus a main
 /// exercising all of them).
 const std::string &table2Source();

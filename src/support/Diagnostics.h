@@ -11,6 +11,15 @@
 /// never prints or aborts on user-input errors; it reports here and lets
 /// the driver decide.
 ///
+/// Thread-safety contract (relied on by the batch engine): the engine is
+/// strictly instance-scoped — neither it nor any qcc library it serves
+/// keeps global or static *mutable* state (static locals are const and
+/// C++11 magic-statics cover their initialization). Distinct engines may
+/// therefore be driven from distinct threads with no synchronization: one
+/// engine per concurrent compilation. A single engine shared across
+/// threads requires external locking; the batch engine instead gives every
+/// job its own engine and merges afterwards via \c append.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef QCC_SUPPORT_DIAGNOSTICS_H
@@ -56,6 +65,13 @@ public:
 
   /// Renders every diagnostic on its own line.
   std::string str() const;
+
+  /// Merges every diagnostic of \p Other into this engine, in order.
+  /// The deterministic join for per-thread engines after a parallel run.
+  void append(const DiagnosticEngine &Other) {
+    Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+    NumErrors += Other.NumErrors;
+  }
 
   /// Drops all collected diagnostics.
   void clear() {

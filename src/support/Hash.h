@@ -1,0 +1,55 @@
+//===- support/Hash.h - Content hashing ------------------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small incremental FNV-1a 64-bit hasher. The batch engine keys its
+/// result cache on a content hash of (source text, compiler options);
+/// fields are length-prefixed so adjacent strings cannot alias.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_SUPPORT_HASH_H
+#define QCC_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qcc {
+
+/// Incremental FNV-1a (64-bit). Stateless value type; every `add`
+/// returns *this so keys read as one fluent expression.
+class Fnv1a64 {
+public:
+  Fnv1a64 &bytes(const void *Data, size_t Len) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != Len; ++I) {
+      State ^= P[I];
+      State *= 0x100000001b3ull;
+    }
+    return *this;
+  }
+
+  Fnv1a64 &u64(uint64_t V) { return bytes(&V, sizeof V); }
+
+  Fnv1a64 &boolean(bool B) { return u64(B ? 1 : 2); }
+
+  /// Length-prefixed, so str("ab").str("c") != str("a").str("bc").
+  Fnv1a64 &str(const std::string &S) {
+    u64(S.size());
+    return bytes(S.data(), S.size());
+  }
+
+  uint64_t digest() const { return State; }
+
+private:
+  uint64_t State = 0xcbf29ce484222325ull;
+};
+
+} // namespace qcc
+
+#endif // QCC_SUPPORT_HASH_H

@@ -26,6 +26,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "batch/ThreadPool.h"
 #include "cminor/CminorInterp.h"
 #include "rtl/Inline.h"
 #include "cminor/Lower.h"
@@ -407,12 +408,20 @@ std::string checkOneProgram(uint64_t Seed) {
 class Differential : public testing::TestWithParam<uint64_t> {};
 
 TEST_P(Differential, AllLevelsAgree) {
-  // 16 seeds per gtest case, 12 cases = 192 random programs.
-  for (uint64_t Sub = 0; Sub != 16; ++Sub) {
-    std::string Failure = checkOneProgram(GetParam() * 1000 + Sub);
-    ASSERT_TRUE(Failure.empty())
-        << "seed " << GetParam() * 1000 + Sub << ": " << Failure;
-  }
+  // 16 seeds per gtest case, 12 cases = 192 random programs, fanned out
+  // across cores on the batch engine's work-stealing pool (each seed is
+  // an independent pipeline; see support/Diagnostics.h for the contract).
+  constexpr uint64_t Seeds = 16;
+  std::vector<std::string> Failures(Seeds);
+  batch::WorkStealingPool Pool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const uint64_t Base = GetParam() * 1000;
+  Pool.parallelFor(Seeds, [&Failures, Base](size_t Sub) {
+    Failures[Sub] = checkOneProgram(Base + Sub);
+  });
+  for (uint64_t Sub = 0; Sub != Seeds; ++Sub)
+    ASSERT_TRUE(Failures[Sub].empty())
+        << "seed " << Base + Sub << ": " << Failures[Sub];
 }
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, Differential,

@@ -15,16 +15,22 @@
 ///   qcc prog.c --measure            # run + measured stack usage
 ///   qcc prog.c --stack-size 256     # run on a 256-byte stack (ASM_sz)
 ///   qcc prog.c -D ALEN=4096         # override a #define
+///   qcc --batch dir/ --jobs 8       # verify every dir/*.c in parallel
+///   qcc --batch corpus --metrics-out m.json   # the built-in corpus
 ///
 //===----------------------------------------------------------------------===//
 
+#include "batch/Batch.h"
 #include "driver/Compiler.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace qcc;
 
@@ -49,7 +55,108 @@ void usage() {
       "  --inline         inline small non-recursive functions\n"
       "  --tail-calls     recognize tail calls (constant-stack loops)\n"
       "  --no-opt         disable the RTL optimizations\n"
-      "  --no-validate    skip per-pass translation validation\n");
+      "  --no-validate    skip per-pass translation validation\n"
+      "\n"
+      "batch mode (parallel verification of many programs):\n"
+      "  --batch <dir>    verify every .c file under <dir>; the literal\n"
+      "                   name 'corpus' runs the built-in evaluation\n"
+      "                   corpus (Tables 1/2 + section 2)\n"
+      "  --jobs N         worker threads (default: all hardware threads;\n"
+      "                   1 gives the serial reference run)\n"
+      "  --metrics-out F  write the batch metrics report (per-pass\n"
+      "                   timings, refinement event counts, proof-checker\n"
+      "                   node counts, cache statistics) as JSON to F\n"
+      "  -D/--inline/--tail-calls/--no-opt/--no-validate apply to every\n"
+      "  program in the batch\n");
+}
+
+/// Runs batch mode: collect jobs, fan out, print a per-program table.
+int runBatchMode(const std::string &BatchArg, unsigned Jobs,
+                 const std::string &MetricsOut,
+                 const driver::CompilerOptions &Shared) {
+  std::vector<batch::BatchJob> BatchJobs;
+  if (BatchArg == "corpus") {
+    BatchJobs = batch::corpusJobs(Shared.ValidateTranslation);
+    for (batch::BatchJob &J : BatchJobs) {
+      J.Options.Defines = Shared.Defines;
+      J.Options.Optimize = Shared.Optimize;
+      J.Options.Inline = Shared.Inline;
+      J.Options.TailCalls = Shared.TailCalls;
+    }
+  } else {
+    std::error_code Ec;
+    std::vector<std::string> Paths;
+    for (const auto &Entry :
+         std::filesystem::directory_iterator(BatchArg, Ec))
+      if (Entry.is_regular_file() && Entry.path().extension() == ".c")
+        Paths.push_back(Entry.path().string());
+    if (Ec) {
+      fprintf(stderr, "qcc: cannot read directory '%s': %s\n",
+              BatchArg.c_str(), Ec.message().c_str());
+      return 2;
+    }
+    std::sort(Paths.begin(), Paths.end()); // Deterministic job order.
+    for (const std::string &P : Paths) {
+      std::ifstream In(P);
+      if (!In) {
+        fprintf(stderr, "qcc: cannot open '%s'\n", P.c_str());
+        return 2;
+      }
+      std::stringstream Buffer;
+      Buffer << In.rdbuf();
+      BatchJobs.push_back({P, Buffer.str(), Shared});
+    }
+    if (BatchJobs.empty()) {
+      fprintf(stderr, "qcc: no .c files under '%s'\n", BatchArg.c_str());
+      return 2;
+    }
+  }
+
+  batch::ResultCache Cache;
+  batch::BatchOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Cache = &Cache;
+  batch::BatchResult R = batch::runBatch(BatchJobs, Opts);
+
+  printf("%-28s %-6s %10s %10s %s\n", "program", "ok", "bound(main)",
+         "t1-stack", "time");
+  for (const batch::ProgramResult &P : R.Programs) {
+    std::string MainBound = "-";
+    for (const batch::FunctionReport &F : P.Bounds)
+      if (F.Function == "main" && F.ConcreteBytes)
+        MainBound = std::to_string(*F.ConcreteBytes);
+    std::string T1 =
+        P.Theorem1Checked
+            ? std::to_string(P.Theorem1StackBytes) + (P.Theorem1Ok
+                                                          ? ""
+                                                          : " FAIL")
+            : "-";
+    printf("%-28s %-6s %10s %10s %llu us%s\n", P.Id.c_str(),
+           P.Ok ? "yes" : "NO", MainBound.c_str(), T1.c_str(),
+           static_cast<unsigned long long>(P.Metrics.TotalMicros),
+           P.CacheHit ? " (cached)" : "");
+    if (!P.Ok && !P.Diagnostics.empty())
+      fprintf(stderr, "%s: %s", P.Id.c_str(), P.Diagnostics.c_str());
+  }
+  size_t NumOk = 0;
+  for (const batch::ProgramResult &P : R.Programs)
+    NumOk += P.Ok;
+  printf("\n%zu/%zu ok, %u jobs, %llu us wall, cache %llu/%llu "
+         "hits/misses\n",
+         NumOk, R.Programs.size(), R.Jobs,
+         static_cast<unsigned long long>(R.WallMicros),
+         static_cast<unsigned long long>(R.Cache.Hits),
+         static_cast<unsigned long long>(R.Cache.Misses));
+
+  if (!MetricsOut.empty()) {
+    std::ofstream Out(MetricsOut);
+    if (!Out) {
+      fprintf(stderr, "qcc: cannot write '%s'\n", MetricsOut.c_str());
+      return 2;
+    }
+    Out << batch::metricsJson(R) << '\n';
+  }
+  return R.allOk() ? 0 : 1;
 }
 
 } // namespace
@@ -61,6 +168,8 @@ int main(int Argc, char **Argv) {
        EmitMach = false, EmitAsm = false, EmitProof = false,
        Bounds = false, Measure = false;
   long StackSize = -1;
+  std::string BatchArg, MetricsOut;
+  unsigned Jobs = 0;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -103,6 +212,18 @@ int main(int Argc, char **Argv) {
       Options.Optimize = false;
     } else if (Arg == "--no-validate") {
       Options.ValidateTranslation = false;
+    } else if (Arg == "--batch" && I + 1 < Argc) {
+      BatchArg = Argv[++I];
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      const char *Val = Argv[++I];
+      char *End = nullptr;
+      Jobs = static_cast<unsigned>(strtoul(Val, &End, 0));
+      if (End == Val || *End != '\0') {
+        fprintf(stderr, "qcc: --jobs expects a number, got '%s'\n", Val);
+        return 2;
+      }
+    } else if (Arg == "--metrics-out" && I + 1 < Argc) {
+      MetricsOut = Argv[++I];
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -116,6 +237,13 @@ int main(int Argc, char **Argv) {
       fprintf(stderr, "qcc: multiple input files\n");
       return 2;
     }
+  }
+  if (!BatchArg.empty()) {
+    if (!Path.empty()) {
+      fprintf(stderr, "qcc: --batch takes a directory, not a file\n");
+      return 2;
+    }
+    return runBatchMode(BatchArg, Jobs, MetricsOut, Options);
   }
   if (Path.empty()) {
     usage();
