@@ -52,6 +52,9 @@ private:
 
   uint32_t tempOf(const std::string &Name) const {
     auto It = TempOf.find(Name);
+    // Internal invariant, not source-reachable: the driver runs the
+    // Clight verifier before this lowering, and it rejects unbound names
+    // with a diagnostic (clight/Verify.cpp).
     assert(It != TempOf.end() && "verifier guarantees bound names");
     return It->second;
   }
@@ -93,6 +96,8 @@ private:
       return Expr::temp(T);
     }
     }
+    // Internal invariant: the switch above is ExprKind-exhaustive. The
+    // constant fallback keeps NDEBUG builds safe.
     assert(false && "bad expression kind");
     return Expr::constant(0);
   }
@@ -194,6 +199,8 @@ private:
       return chain(std::move(Prelude), Stmt::ret(std::move(V), S.Loc));
     }
     }
+    // Internal invariant: the switch above is StmtKind-exhaustive. The
+    // Skip fallback keeps NDEBUG builds safe.
     assert(false && "bad statement kind");
     return Stmt::skip(S.Loc);
   }

@@ -1,0 +1,228 @@
+//===- cminor/Verify.cpp - Cminor well-formedness checks ------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cminor/Verify.h"
+
+#include <set>
+
+using namespace qcc;
+using namespace qcc::cminor;
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(const Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  void run() {
+    std::set<std::string> Seen;
+    for (const GlobalVar &G : P.Globals)
+      if (!Seen.insert(G.Name).second)
+        Diags.error(G.Loc, "cminor: duplicate global '" + G.Name + "'");
+    for (const ExternalDecl &E : P.Externals)
+      if (!Seen.insert(E.Name).second)
+        Diags.error(E.Loc, "cminor: duplicate declaration '" + E.Name + "'");
+    for (const Function &F : P.Functions)
+      if (!Seen.insert(F.Name).second)
+        Diags.error(F.Loc, "cminor: duplicate function '" + F.Name + "'");
+
+    const Function *Main = P.findFunction(P.EntryPoint);
+    if (!Main)
+      Diags.error(SourceLoc(), "cminor: entry point '" + P.EntryPoint +
+                                   "' is not defined");
+    else if (Main->NumParams != 0)
+      Diags.error(Main->Loc, "cminor: entry point must take no parameters");
+
+    for (const Function &F : P.Functions)
+      verifyFunction(F);
+  }
+
+private:
+  void verifyFunction(const Function &F) {
+    Fn = &F;
+    if (F.NumParams > F.NumTemps)
+      Diags.error(F.Loc, "cminor: '" + F.Name + "' declares " +
+                             std::to_string(F.NumParams) + " parameters in " +
+                             std::to_string(F.NumTemps) + " temporaries");
+    if (!F.Body) {
+      Diags.error(F.Loc, "cminor: function '" + F.Name + "' has no body");
+      return;
+    }
+    verifyStmt(*F.Body, /*BlockDepth=*/0);
+  }
+
+  void checkTemp(uint32_t Index, SourceLoc Loc) {
+    if (Index >= Fn->NumTemps)
+      Diags.error(Loc, "cminor: temporary t" + std::to_string(Index) +
+                           " out of range in '" + Fn->Name + "' (" +
+                           std::to_string(Fn->NumTemps) + " temps)");
+  }
+
+  const GlobalVar *checkGlobal(const std::string &Name, bool WantArray,
+                               SourceLoc Loc) {
+    const GlobalVar *G = P.findGlobal(Name);
+    if (!G) {
+      Diags.error(Loc, "cminor: unknown global '" + Name + "'");
+      return nullptr;
+    }
+    if (G->IsArray != WantArray)
+      Diags.error(Loc, WantArray
+                           ? "cminor: subscript applied to scalar '" + Name +
+                                 "'"
+                           : "cminor: global array '" + Name +
+                                 "' accessed without subscript");
+    return G;
+  }
+
+  /// Requires a child node to be present; a missing child is a malformed
+  /// node (e.g. a fault-injected one), not a semantic error.
+  template <typename Ptr>
+  bool present(const Ptr &E, const char *What, SourceLoc Loc) {
+    if (E)
+      return true;
+    Diags.error(Loc, std::string("cminor: malformed node: missing ") + What);
+    return false;
+  }
+
+  void verifyExpr(const Expr &E, SourceLoc Loc) {
+    switch (E.Kind) {
+    case ExprKind::Const:
+      break;
+    case ExprKind::Temp:
+      checkTemp(E.TempIndex, Loc);
+      break;
+    case ExprKind::GlobalLoad:
+      checkGlobal(E.Name, /*WantArray=*/false, Loc);
+      break;
+    case ExprKind::ArrayLoad:
+      checkGlobal(E.Name, /*WantArray=*/true, Loc);
+      if (present(E.Lhs, "array index", Loc))
+        verifyExpr(*E.Lhs, Loc);
+      break;
+    case ExprKind::Unary:
+      if (present(E.Lhs, "unary operand", Loc))
+        verifyExpr(*E.Lhs, Loc);
+      break;
+    case ExprKind::Binary:
+      if (present(E.Lhs, "left operand", Loc))
+        verifyExpr(*E.Lhs, Loc);
+      if (present(E.Rhs, "right operand", Loc))
+        verifyExpr(*E.Rhs, Loc);
+      break;
+    }
+  }
+
+  void verifyStmt(const Stmt &S, uint32_t BlockDepth) {
+    switch (S.Kind) {
+    case StmtKind::Skip:
+      break;
+    case StmtKind::Assign:
+      checkTemp(S.TempIndex, S.Loc);
+      if (present(S.Value, "assigned value", S.Loc))
+        verifyExpr(*S.Value, S.Loc);
+      break;
+    case StmtKind::GlobStore:
+      checkGlobal(S.Name, /*WantArray=*/false, S.Loc);
+      if (present(S.Value, "stored value", S.Loc))
+        verifyExpr(*S.Value, S.Loc);
+      break;
+    case StmtKind::ArrayStore:
+      checkGlobal(S.Name, /*WantArray=*/true, S.Loc);
+      if (present(S.Addr, "array index", S.Loc))
+        verifyExpr(*S.Addr, S.Loc);
+      if (present(S.Value, "stored value", S.Loc))
+        verifyExpr(*S.Value, S.Loc);
+      break;
+    case StmtKind::Call:
+      verifyCall(S);
+      break;
+    case StmtKind::Seq:
+      if (S.First)
+        verifyStmt(*S.First, BlockDepth);
+      if (S.Second)
+        verifyStmt(*S.Second, BlockDepth);
+      break;
+    case StmtKind::If:
+      if (present(S.Value, "branch condition", S.Loc))
+        verifyExpr(*S.Value, S.Loc);
+      if (S.First)
+        verifyStmt(*S.First, BlockDepth);
+      if (S.Second)
+        verifyStmt(*S.Second, BlockDepth);
+      break;
+    case StmtKind::Loop:
+      // Loops are transparent to exits: the body targets the same blocks.
+      if (present(S.First, "loop body", S.Loc))
+        verifyStmt(*S.First, BlockDepth);
+      break;
+    case StmtKind::Block:
+      if (S.First)
+        verifyStmt(*S.First, BlockDepth + 1);
+      break;
+    case StmtKind::Exit:
+      // `exit n` terminates n+1 enclosing blocks, so it needs that many.
+      if (S.ExitDepth >= BlockDepth)
+        Diags.error(S.Loc, "cminor: exit " + std::to_string(S.ExitDepth) +
+                               " with only " + std::to_string(BlockDepth) +
+                               " enclosing block(s) in '" + Fn->Name + "'");
+      break;
+    case StmtKind::Return:
+      if (S.HasValue != Fn->ReturnsValue)
+        Diags.error(S.Loc, S.HasValue
+                               ? "cminor: value return in void function '" +
+                                     Fn->Name + "'"
+                               : "cminor: void return in value function '" +
+                                     Fn->Name + "'");
+      if (S.HasValue && present(S.Value, "return value", S.Loc))
+        verifyExpr(*S.Value, S.Loc);
+      break;
+    }
+  }
+
+  void verifyCall(const Stmt &S) {
+    for (const ExprPtr &A : S.Args)
+      if (present(A, "call argument", S.Loc))
+        verifyExpr(*A, S.Loc);
+    if (S.HasDest)
+      checkTemp(S.TempIndex, S.Loc);
+    if (const Function *Callee = P.findFunction(S.Name)) {
+      if (Callee->NumParams != S.Args.size())
+        Diags.error(S.Loc, "cminor: call to '" + S.Name + "' with " +
+                               std::to_string(S.Args.size()) +
+                               " argument(s), expects " +
+                               std::to_string(Callee->NumParams));
+      if (S.HasDest && !Callee->ReturnsValue)
+        Diags.error(S.Loc, "cminor: result of void function '" + S.Name +
+                               "' used");
+      return;
+    }
+    if (const ExternalDecl *Ext = P.findExternal(S.Name)) {
+      if (Ext->Arity != S.Args.size())
+        Diags.error(S.Loc, "cminor: call to external '" + S.Name + "' with " +
+                               std::to_string(S.Args.size()) +
+                               " argument(s), expects " +
+                               std::to_string(Ext->Arity));
+      if (S.HasDest && !Ext->HasResult)
+        Diags.error(S.Loc, "cminor: result of void external '" + S.Name +
+                               "' used");
+      return;
+    }
+    Diags.error(S.Loc, "cminor: call to unknown function '" + S.Name + "'");
+  }
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+  const Function *Fn = nullptr;
+};
+
+} // namespace
+
+bool qcc::cminor::verifyProgram(const Program &P, DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  Verifier(P, Diags).run();
+  return Diags.errorCount() == Before;
+}

@@ -1,0 +1,36 @@
+//===- cminor/Verify.h - Cminor well-formedness checks ----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness of Cminor programs: every temporary index is
+/// in range, every global/array/callee name resolves with the right shape
+/// and arity, every `exit n` has at least n+1 enclosing blocks, returns
+/// agree with the function's result convention, and every statement and
+/// expression node carries the children its kind requires. The driver
+/// runs this after the Clight -> Cminor pass (and after any fault-injection
+/// hook), so the RTL lowering and the Cminor interpreter may assume a
+/// verified program — their remaining asserts are internal invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_CMINOR_VERIFY_H
+#define QCC_CMINOR_VERIFY_H
+
+#include "cminor/Cminor.h"
+#include "support/Diagnostics.h"
+
+namespace qcc {
+namespace cminor {
+
+/// Checks \p P; reports problems to \p Diags. Returns true when no errors
+/// were found.
+bool verifyProgram(const Program &P, DiagnosticEngine &Diags);
+
+} // namespace cminor
+} // namespace qcc
+
+#endif // QCC_CMINOR_VERIFY_H

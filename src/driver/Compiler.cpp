@@ -7,14 +7,19 @@
 
 #include "driver/Compiler.h"
 
+#include "clight/Verify.h"
 #include "cminor/CminorInterp.h"
 #include "cminor/Lower.h"
+#include "cminor/Verify.h"
 #include "events/Refinement.h"
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
+#include "mach/Verify.h"
 #include "rtl/Inline.h"
 #include "rtl/Opt.h"
+#include "rtl/Verify.h"
 #include "x86/Machine.h"
+#include "x86/Verify.h"
 
 #include <chrono>
 
@@ -63,6 +68,17 @@ bool validatePair(const Behavior &Target, const Behavior &Source,
 
 } // namespace
 
+const char *qcc::driver::stageName(PipelineStage S) {
+  switch (S) {
+  case PipelineStage::Clight: return "clight";
+  case PipelineStage::Cminor: return "cminor";
+  case PipelineStage::Rtl: return "rtl";
+  case PipelineStage::Mach: return "mach";
+  case PipelineStage::Asm: return "asm";
+  }
+  return "?";
+}
+
 std::optional<Compilation> qcc::driver::compile(const std::string &Source,
                                                 DiagnosticEngine &Diags,
                                                 CompilerOptions Options) {
@@ -83,9 +99,30 @@ std::optional<Compilation> qcc::driver::compile(const std::string &Source,
 
   Compilation C;
   C.Clight = std::move(*CL);
+  auto Fault = [&Options, &C](PipelineStage S) {
+    if (Options.FaultHook)
+      Options.FaultHook(S, C);
+  };
+
+  // Each stage's output is re-validated at the pass boundary (after the
+  // fault hook, when one is installed), so every downstream consumer —
+  // the next lowering, the interpreters, the refinement checker — only
+  // ever sees well-formed IR and reports malformed input as a structured
+  // diagnostic instead of tripping an internal assert. The frontend
+  // already verified the Clight it produced; it is re-checked only when
+  // a hook had a chance to corrupt it.
+  Fault(PipelineStage::Clight);
+  if (Options.FaultHook && !clight::verify(C.Clight, Diags))
+    return std::nullopt;
   {
     StageTimer T(Stats, "lower-cminor");
     C.Cminor = cminor::lowerFromClight(C.Clight);
+  }
+  Fault(PipelineStage::Cminor);
+  {
+    StageTimer T(Stats, "verify-cminor");
+    if (!cminor::verifyProgram(C.Cminor, Diags))
+      return std::nullopt;
   }
   {
     StageTimer T(Stats, "lower-rtl");
@@ -99,15 +136,33 @@ std::optional<Compilation> qcc::driver::compile(const std::string &Source,
     StageTimer T(Stats, "rtl-opt");
     rtl::optimizeProgram(C.Rtl);
   }
+  Fault(PipelineStage::Rtl);
+  {
+    StageTimer T(Stats, "verify-rtl");
+    if (!rtl::verifyProgram(C.Rtl, Diags))
+      return std::nullopt;
+  }
   {
     StageTimer T(Stats, "lower-mach");
     mach::LowerOptions MachOpts;
     MachOpts.TailCalls = Options.TailCalls;
     C.Mach = mach::lowerFromRtl(C.Rtl, MachOpts);
   }
+  Fault(PipelineStage::Mach);
+  {
+    StageTimer T(Stats, "verify-mach");
+    if (!mach::verifyProgram(C.Mach, Diags))
+      return std::nullopt;
+  }
   {
     StageTimer T(Stats, "emit-asm");
     C.Asm = x86::emitFromMach(C.Mach);
+  }
+  Fault(PipelineStage::Asm);
+  {
+    StageTimer T(Stats, "verify-asm");
+    if (!x86::verifyProgram(C.Asm, Diags))
+      return std::nullopt;
   }
   C.Metric = C.Mach.costMetric();
 

@@ -38,12 +38,23 @@
 #include "support/Diagnostics.h"
 #include "x86/Asm.h"
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 
 namespace qcc {
 namespace driver {
+
+struct Compilation;
+
+/// The pipeline boundaries at which the driver re-validates its IR (and
+/// at which the fuzz harness may inject faults): after the frontend, and
+/// after each lowering pass.
+enum class PipelineStage : uint8_t { Clight, Cminor, Rtl, Mach, Asm };
+
+/// Display name of \p S ("clight", "cminor", ...).
+const char *stageName(PipelineStage S);
 
 /// Options controlling one compilation.
 struct CompilerOptions {
@@ -69,6 +80,12 @@ struct CompilerOptions {
   logic::FunctionContext SeededSpecs;
   /// Run the automatic stack analyzer.
   bool AnalyzeBounds = true;
+  /// Testing hook: invoked right after each pipeline stage produces its
+  /// IR, *before* the driver's well-formedness validation of that IR. The
+  /// fuzz harness uses it to corrupt intermediate programs and assert
+  /// that every consumer reports a diagnostic instead of crashing. Not
+  /// part of the cache key; leave unset outside fault-injection tests.
+  std::function<void(PipelineStage, Compilation &)> FaultHook;
 };
 
 /// Everything one compilation produces.

@@ -93,7 +93,11 @@ cl::Program Elaborator::run(const ast::TranslationUnit &TU) {
   cl::Program P;
   CurrentProgram = &P;
 
-  // Globals.
+  // Globals. Total size is capped: a hostile `u32 g[1000000000];` must
+  // be a diagnostic, not a multi-gigabyte allocation here (the machine
+  // image couldn't host it anyway — see x86's memory-layout checks).
+  constexpr uint64_t MaxGlobalWords = 1u << 24; // 64 MiB of globals.
+  uint64_t TotalWords = 0;
   for (const ast::GlobalDecl &G : TU.Globals) {
     cl::GlobalVar GV;
     GV.Name = G.Name;
@@ -113,6 +117,12 @@ cl::Program Elaborator::run(const ast::TranslationUnit &TU) {
       }
       if (Size == 0 && G.ArraySize)
         Diags.error(G.Loc, "array '" + G.Name + "' has zero size");
+      if (Size > MaxGlobalWords) {
+        Diags.error(G.Loc, "array '" + G.Name + "' (" + std::to_string(Size) +
+                               " words) exceeds the global data limit of " +
+                               std::to_string(MaxGlobalWords) + " words");
+        Size = 1;
+      }
       GV.Size = Size;
       ArrayElemTypes[G.Name] = G.Ty;
     } else {
@@ -128,6 +138,12 @@ cl::Program Elaborator::run(const ast::TranslationUnit &TU) {
     if (GV.Init.size() > GV.Size)
       Diags.error(G.Loc, "too many initializers for '" + G.Name + "'");
     GV.Init.resize(GV.Size, 0);
+    TotalWords += GV.Size;
+    if (TotalWords > MaxGlobalWords) {
+      Diags.error(G.Loc, "total global data exceeds the limit of " +
+                             std::to_string(MaxGlobalWords) + " words");
+      TotalWords = 0; // Diagnose once per program, not per declaration.
+    }
     P.Globals.push_back(std::move(GV));
   }
 
@@ -235,6 +251,8 @@ static bool isUnsignedJoin(ast::Type A, ast::Type B) {
 cl::StmtPtr Elaborator::elabCallInto(const ast::Expr &Call,
                                      std::optional<cl::LValue> Dest,
                                      std::vector<cl::StmtPtr> &Hoisted) {
+  // Internal invariant, not source-reachable: every caller dispatches on
+  // ExprKind::Call before handing the expression here.
   assert(Call.Kind == ast::ExprKind::Call && "not a call");
   auto SigIt = Signatures.find(Call.Name);
   if (SigIt == Signatures.end()) {
@@ -600,6 +618,8 @@ cl::StmtPtr Elaborator::elabLoopish(const ast::Stmt &S) {
     return cl::Stmt::seq(std::move(Init), std::move(Loop), S.Loc);
   }
   default:
+    // Internal invariant, not source-reachable: elabStmt routes only the
+    // three loop kinds here. The Skip fallback keeps NDEBUG builds safe.
     assert(false && "not a loop statement");
     return cl::Stmt::skip(S.Loc);
   }

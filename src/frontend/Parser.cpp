@@ -54,6 +54,32 @@ bool Parser::expect(TokenKind Kind, const char *Context) {
   return false;
 }
 
+bool Parser::enterNesting(SourceLoc Loc) {
+  if (NestingDepth >= MaxNestingDepth) {
+    if (!NestingDiagnosed) {
+      NestingDiagnosed = true;
+      Diags.error(Loc, "nesting exceeds the parser limit of " +
+                           std::to_string(MaxNestingDepth) + " levels");
+    }
+    return false;
+  }
+  ++NestingDepth;
+  return true;
+}
+
+namespace qcc::frontend {
+/// Balances enterNesting across every exit path of a parse function.
+struct NestingGuard {
+  Parser &P;
+  bool Ok;
+  NestingGuard(Parser &P, SourceLoc Loc) : P(P), Ok(P.enterNesting(Loc)) {}
+  ~NestingGuard() {
+    if (Ok)
+      --P.NestingDepth;
+  }
+};
+} // namespace qcc::frontend
+
 void Parser::syncToStatementBoundary() {
   while (!check(TokenKind::EndOfFile)) {
     if (accept(TokenKind::Semicolon))
@@ -362,6 +388,12 @@ void Parser::parseLocalDecls(std::vector<StmtPtr> &Out) {
 }
 
 StmtPtr Parser::parseStatement() {
+  NestingGuard Guard(*this, current().Loc);
+  if (!Guard.Ok) {
+    SourceLoc Loc = current().Loc;
+    syncToStatementBoundary();
+    return Stmt::block({}, Loc);
+  }
   switch (current().Kind) {
   case TokenKind::LBrace:
     return parseBlock();
@@ -531,6 +563,14 @@ ExprPtr Parser::errorExpr(SourceLoc Loc) {
 ExprPtr Parser::parseExpr() { return parseTernary(); }
 
 ExprPtr Parser::parseTernary() {
+  // Every deep expression recursion — nested parentheses, subscripts,
+  // call arguments, ternaries — re-enters through here.
+  NestingGuard Guard(*this, current().Loc);
+  if (!Guard.Ok) {
+    SourceLoc Loc = current().Loc;
+    syncToStatementBoundary();
+    return errorExpr(Loc);
+  }
   ExprPtr Cond = parseBinary(0);
   if (!accept(TokenKind::Question))
     return Cond;
@@ -583,29 +623,39 @@ ExprPtr Parser::parseBinary(int MinPrecedence) {
 
 ExprPtr Parser::parseUnary() {
   SourceLoc Loc = current().Loc;
+  // Prefix-operator chains self-recurse without passing parseTernary, so
+  // they carry their own nesting guard.
+  auto Recurse = [&]() -> ExprPtr {
+    NestingGuard Guard(*this, Loc);
+    if (!Guard.Ok) {
+      syncToStatementBoundary();
+      return errorExpr(Loc);
+    }
+    return parseUnary();
+  };
   switch (current().Kind) {
   case TokenKind::Minus:
     advance();
-    return Expr::unary(UnaryOp::Neg, parseUnary(), Loc);
+    return Expr::unary(UnaryOp::Neg, Recurse(), Loc);
   case TokenKind::Plus:
     advance();
-    return Expr::unary(UnaryOp::Plus, parseUnary(), Loc);
+    return Expr::unary(UnaryOp::Plus, Recurse(), Loc);
   case TokenKind::Bang:
     advance();
-    return Expr::unary(UnaryOp::Not, parseUnary(), Loc);
+    return Expr::unary(UnaryOp::Not, Recurse(), Loc);
   case TokenKind::Tilde:
     advance();
-    return Expr::unary(UnaryOp::BitNot, parseUnary(), Loc);
+    return Expr::unary(UnaryOp::BitNot, Recurse(), Loc);
   case TokenKind::PlusPlus:
   case TokenKind::MinusMinus:
     Diags.error(Loc, "increment/decrement is only supported as a statement");
     advance();
-    return parseUnary();
+    return Recurse();
   case TokenKind::Star:
   case TokenKind::Amp:
     Diags.error(Loc, "pointers are outside the verified subset");
     advance();
-    return parseUnary();
+    return Recurse();
   default:
     return parsePostfix();
   }
@@ -666,6 +716,12 @@ ExprPtr Parser::parsePrimary() {
     if (startsType()) {
       parseType("in cast");
       expect(TokenKind::RParen, "after cast");
+      // Cast chains "(u32)(u32)...x" also bypass parseTernary.
+      NestingGuard Guard(*this, Loc);
+      if (!Guard.Ok) {
+        syncToStatementBoundary();
+        return errorExpr(Loc);
+      }
       return parseUnary();
     }
     ExprPtr E = parseExpr();

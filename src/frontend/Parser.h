@@ -29,6 +29,13 @@ namespace frontend {
 /// Parses a token stream into a TranslationUnit.
 class Parser {
 public:
+  /// The deepest statement/expression nesting the parser accepts. The
+  /// parser is recursive-descent, so input nesting is parser stack depth;
+  /// without a limit a hostile source ("(1+(1+(1+..." ten thousand deep)
+  /// overflows the host stack. Well past anything a human writes, and far
+  /// below what the host stack can take.
+  static constexpr unsigned MaxNestingDepth = 200;
+
   Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
 
   /// Parses the whole unit. On errors a partial unit is returned and the
@@ -75,11 +82,20 @@ private:
 
   ast::ExprPtr errorExpr(SourceLoc Loc);
 
+  /// Depth accounting for MaxNestingDepth; see NestingGuard in Parser.cpp.
+  /// Returns false (after diagnosing, once) when the limit is exceeded —
+  /// the caller must bail out without recursing further.
+  bool enterNesting(SourceLoc Loc);
+
   std::vector<Token> Tokens;
   DiagnosticEngine &Diags;
   size_t Pos = 0;
   /// typedef aliases: name -> underlying scalar type.
   std::map<std::string, ast::Type> TypeAliases;
+  unsigned NestingDepth = 0;
+  bool NestingDiagnosed = false;
+
+  friend struct NestingGuard;
 };
 
 } // namespace frontend

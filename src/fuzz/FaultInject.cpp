@@ -1,0 +1,300 @@
+//===- fuzz/FaultInject.cpp - Pass-boundary fault injection ---------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/FaultInject.h"
+
+#include "x86/Verify.h"
+
+using namespace qcc;
+using namespace qcc::fuzz;
+using driver::PipelineStage;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// IR walkers
+//===----------------------------------------------------------------------===//
+
+void collectClightStmts(clight::Stmt *S, clight::StmtKind K,
+                        std::vector<clight::Stmt *> &Out) {
+  if (!S)
+    return;
+  if (S->Kind == K)
+    Out.push_back(S);
+  collectClightStmts(S->First.get(), K, Out);
+  collectClightStmts(S->Second.get(), K, Out);
+}
+
+void collectCminorStmts(cminor::Stmt *S, cminor::StmtKind K,
+                        std::vector<cminor::Stmt *> &Out) {
+  if (!S)
+    return;
+  if (S->Kind == K)
+    Out.push_back(S);
+  collectCminorStmts(S->First.get(), K, Out);
+  collectCminorStmts(S->Second.get(), K, Out);
+}
+
+/// Picks one element of \p V uniformly; null when empty.
+template <typename T> T *pick(std::vector<T *> &V, Rng &R) {
+  if (V.empty())
+    return nullptr;
+  return V[R.below(static_cast<uint32_t>(V.size()))];
+}
+
+//===----------------------------------------------------------------------===//
+// The fault table
+//===----------------------------------------------------------------------===//
+
+const std::vector<FaultSite> Faults = {
+    {PipelineStage::Clight, "clight-null-body"},
+    {PipelineStage::Clight, "clight-dangling-callee"},
+    {PipelineStage::Clight, "clight-entry-removed"},
+    {PipelineStage::Cminor, "cminor-params-exceed-temps"},
+    {PipelineStage::Cminor, "cminor-temp-out-of-range"},
+    {PipelineStage::Cminor, "cminor-null-child"},
+    {PipelineStage::Cminor, "cminor-exit-too-deep"},
+    {PipelineStage::Cminor, "cminor-call-arity"},
+    {PipelineStage::Rtl, "rtl-entry-out-of-range"},
+    {PipelineStage::Rtl, "rtl-succ-out-of-range"},
+    {PipelineStage::Rtl, "rtl-params-exceed-regs"},
+    {PipelineStage::Rtl, "rtl-dangling-callee"},
+    {PipelineStage::Mach, "mach-frame-wraparound"},
+    {PipelineStage::Mach, "mach-spill-out-of-range"},
+    {PipelineStage::Mach, "mach-undefined-label"},
+    {PipelineStage::Mach, "mach-call-args-overflow"},
+    {PipelineStage::Asm, "asm-undefined-call-target"},
+    {PipelineStage::Asm, "asm-misaligned-globals"},
+    {PipelineStage::Asm, "asm-global-bloat"},
+    {PipelineStage::Asm, "asm-entry-removed"},
+};
+
+/// The always-applicable fallback: every stage validator checks that the
+/// entry point resolves.
+void renameEntry(PipelineStage S, driver::Compilation &C) {
+  switch (S) {
+  case PipelineStage::Clight: C.Clight.EntryPoint = "__nonexistent"; break;
+  case PipelineStage::Cminor: C.Cminor.EntryPoint = "__nonexistent"; break;
+  case PipelineStage::Rtl:    C.Rtl.EntryPoint = "__nonexistent"; break;
+  case PipelineStage::Mach:   C.Mach.EntryPoint = "__nonexistent"; break;
+  case PipelineStage::Asm:    C.Asm.EntryPoint = "__nonexistent"; break;
+  }
+}
+
+/// Applies the drawn corruption; false when the IR offers no site for it.
+bool applyDrawn(size_t Index, driver::Compilation &C, Rng &R) {
+  const std::string Name = Faults[Index].Name;
+  if (Name == "clight-null-body") {
+    auto &Fs = C.Clight.Functions;
+    if (Fs.empty())
+      return false;
+    Fs[R.below(static_cast<uint32_t>(Fs.size()))].Body = nullptr;
+    return true;
+  }
+  if (Name == "clight-dangling-callee") {
+    std::vector<clight::Stmt *> Calls;
+    for (clight::Function &F : C.Clight.Functions)
+      collectClightStmts(F.Body.get(), clight::StmtKind::Call, Calls);
+    if (clight::Stmt *S = pick(Calls, R)) {
+      S->Callee = "__missing";
+      return true;
+    }
+    return false;
+  }
+  if (Name == "clight-entry-removed") {
+    C.Clight.EntryPoint = "__nonexistent";
+    return true;
+  }
+  if (Name == "cminor-params-exceed-temps") {
+    auto &Fs = C.Cminor.Functions;
+    if (Fs.empty())
+      return false;
+    cminor::Function &F = Fs[R.below(static_cast<uint32_t>(Fs.size()))];
+    F.NumParams = F.NumTemps + 8;
+    return true;
+  }
+  if (Name == "cminor-temp-out-of-range") {
+    for (cminor::Function &F : C.Cminor.Functions) {
+      std::vector<cminor::Stmt *> Assigns;
+      collectCminorStmts(F.Body.get(), cminor::StmtKind::Assign, Assigns);
+      if (cminor::Stmt *S = pick(Assigns, R)) {
+        S->TempIndex = F.NumTemps + 7;
+        return true;
+      }
+    }
+    return false;
+  }
+  if (Name == "cminor-null-child") {
+    for (cminor::Function &F : C.Cminor.Functions) {
+      std::vector<cminor::Stmt *> Assigns;
+      collectCminorStmts(F.Body.get(), cminor::StmtKind::Assign, Assigns);
+      collectCminorStmts(F.Body.get(), cminor::StmtKind::GlobStore, Assigns);
+      if (cminor::Stmt *S = pick(Assigns, R)) {
+        S->Value = nullptr;
+        return true;
+      }
+    }
+    return false;
+  }
+  if (Name == "cminor-exit-too-deep") {
+    for (cminor::Function &F : C.Cminor.Functions) {
+      std::vector<cminor::Stmt *> Exits;
+      collectCminorStmts(F.Body.get(), cminor::StmtKind::Exit, Exits);
+      if (cminor::Stmt *S = pick(Exits, R)) {
+        S->ExitDepth += 10;
+        return true;
+      }
+    }
+    return false;
+  }
+  if (Name == "cminor-call-arity") {
+    for (cminor::Function &F : C.Cminor.Functions) {
+      std::vector<cminor::Stmt *> Calls;
+      collectCminorStmts(F.Body.get(), cminor::StmtKind::Call, Calls);
+      if (cminor::Stmt *S = pick(Calls, R)) {
+        S->Args.push_back(cminor::Expr::constant(1));
+        return true;
+      }
+    }
+    return false;
+  }
+  if (Name == "rtl-entry-out-of-range") {
+    auto &Fs = C.Rtl.Functions;
+    if (Fs.empty())
+      return false;
+    rtl::Function &F = Fs[R.below(static_cast<uint32_t>(Fs.size()))];
+    F.Entry = static_cast<rtl::Node>(F.Nodes.size()) + 5;
+    return true;
+  }
+  if (Name == "rtl-succ-out-of-range") {
+    for (rtl::Function &F : C.Rtl.Functions)
+      for (rtl::Instr &I : F.Nodes)
+        if (I.K != rtl::InstrKind::Return) {
+          I.Succ = static_cast<rtl::Node>(F.Nodes.size()) + 9;
+          return true;
+        }
+    return false;
+  }
+  if (Name == "rtl-params-exceed-regs") {
+    auto &Fs = C.Rtl.Functions;
+    if (Fs.empty())
+      return false;
+    rtl::Function &F = Fs[R.below(static_cast<uint32_t>(Fs.size()))];
+    F.NumParams = F.NumRegs + 4;
+    return true;
+  }
+  if (Name == "rtl-dangling-callee") {
+    for (rtl::Function &F : C.Rtl.Functions)
+      for (rtl::Instr &I : F.Nodes)
+        if (I.K == rtl::InstrKind::Call) {
+          I.Name = "__missing";
+          return true;
+        }
+    return false;
+  }
+  if (Name == "mach-frame-wraparound") {
+    auto &Fs = C.Mach.Functions;
+    if (Fs.empty())
+      return false;
+    // Large enough that 4 * (MaxOutgoing + SpillSlots) wraps uint32 (or
+    // at least dwarfs the addressable stack): exactly the bug class the
+    // frame-layout audit guards with mach::MaxFrameWords.
+    Fs[R.below(static_cast<uint32_t>(Fs.size()))].MaxOutgoing = 1u << 30;
+    return true;
+  }
+  if (Name == "mach-spill-out-of-range") {
+    for (mach::Function &F : C.Mach.Functions)
+      for (mach::Instr &I : F.Code)
+        if (I.K == mach::InstrKind::GetStack ||
+            I.K == mach::InstrKind::SetStack) {
+          I.Index = F.SpillSlots + 3;
+          return true;
+        }
+    return false;
+  }
+  if (Name == "mach-undefined-label") {
+    for (mach::Function &F : C.Mach.Functions)
+      for (mach::Instr &I : F.Code)
+        if (I.K == mach::InstrKind::Goto || I.K == mach::InstrKind::Brnz) {
+          I.Index = 0xdeadbeefu;
+          return true;
+        }
+    return false;
+  }
+  if (Name == "mach-call-args-overflow") {
+    for (mach::Function &F : C.Mach.Functions)
+      for (mach::Instr &I : F.Code)
+        if (I.K == mach::InstrKind::Call) {
+          I.NArgs = F.MaxOutgoing + 2;
+          return true;
+        }
+    return false;
+  }
+  if (Name == "asm-undefined-call-target") {
+    for (x86::AsmFunction &F : C.Asm.Functions)
+      for (x86::Instr &I : F.Code)
+        if (I.K == x86::InstrKind::CallDirect) {
+          I.Name = "__undefined";
+          return true;
+        }
+    return false;
+  }
+  if (Name == "asm-misaligned-globals") {
+    C.Asm.GlobalBase = 0x10000001u;
+    return true;
+  }
+  if (Name == "asm-global-bloat") {
+    // A hostile layout demanding a multi-gigabyte memory image.
+    C.Asm.GlobalSize = x86::MaxGlobalBytes + 4;
+    return true;
+  }
+  if (Name == "asm-entry-removed") {
+    C.Asm.EntryPoint = "__nonexistent";
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+const std::vector<FaultSite> &qcc::fuzz::allFaults() { return Faults; }
+
+void qcc::fuzz::applyFault(size_t Index, driver::Compilation &C, Rng &R) {
+  if (!applyDrawn(Index, C, R))
+    renameEntry(Faults[Index].Stage, C);
+}
+
+std::string qcc::fuzz::injectAndCheck(size_t Index, const std::string &Source,
+                                      uint64_t Seed) {
+  const FaultSite &F = Faults[Index];
+  DiagnosticEngine Diags;
+  driver::CompilerOptions Options;
+  // Replay validation and bound analysis are downstream of the stage
+  // validators; the contract under test is that the validator at the
+  // corrupted boundary already rejects.
+  Options.ValidateTranslation = false;
+  Options.AnalyzeBounds = false;
+  bool Applied = false;
+  Options.FaultHook = [&](PipelineStage S, driver::Compilation &C) {
+    if (S != F.Stage || Applied)
+      return;
+    Rng R(Seed);
+    applyFault(Index, C, R);
+    Applied = true;
+  };
+  auto Result = driver::compile(Source, Diags, Options);
+  std::string Tag = std::string("fault '") + F.Name + "' (seed " +
+                    std::to_string(Seed) + "): ";
+  if (!Applied)
+    return Tag + "pipeline never reached stage " + stageName(F.Stage) +
+           " (diagnostics: " + Diags.str() + ")";
+  if (Result)
+    return Tag + "corrupted IR compiled successfully";
+  if (!Diags.hasErrors())
+    return Tag + "rejected without any diagnostic";
+  return "";
+}

@@ -1,0 +1,56 @@
+//===- fuzz/FaultInject.h - Pass-boundary fault injection -------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault injection at the driver's pass boundaries. Every lowering's
+/// output is corrupted through driver::CompilerOptions::FaultHook — a
+/// dangling callee, an out-of-range temporary, a branch to a label that
+/// does not exist, a frame layout that wraps 32-bit arithmetic — and the
+/// harness demands the driver *reject with diagnostics* rather than
+/// crash in a downstream consumer. This is what makes the pass-boundary
+/// validators (cminor/rtl/mach/x86 Verify) load-bearing: after each one
+/// accepts, the next pass's preconditions genuinely hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FUZZ_FAULTINJECT_H
+#define QCC_FUZZ_FAULTINJECT_H
+
+#include "driver/Compiler.h"
+#include "fuzz/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace fuzz {
+
+/// One fault the injector can apply.
+struct FaultSite {
+  driver::PipelineStage Stage;
+  const char *Name;
+};
+
+/// Every fault, in deterministic order (multiple per pipeline stage).
+const std::vector<FaultSite> &allFaults();
+
+/// Applies fault \p Index (into allFaults()) to \p C. Guaranteed to leave
+/// the stage's IR malformed: when the drawn corruption finds no suitable
+/// site (e.g. no Exit statement to deepen), it falls back to renaming the
+/// entry point, which every validator rejects.
+void applyFault(size_t Index, driver::Compilation &C, Rng &R);
+
+/// Compiles \p Source with fault \p Index installed at its stage and
+/// checks the contract: compilation must fail *and* carry diagnostics.
+/// Returns the empty string on success, else a violation description.
+std::string injectAndCheck(size_t Index, const std::string &Source,
+                           uint64_t Seed);
+
+} // namespace fuzz
+} // namespace qcc
+
+#endif // QCC_FUZZ_FAULTINJECT_H

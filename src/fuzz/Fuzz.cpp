@@ -1,0 +1,151 @@
+//===- fuzz/Fuzz.cpp - The fault-injection / no-crash harness -------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzz.h"
+
+#include "batch/Batch.h"
+#include "driver/Compiler.h"
+#include "fuzz/FaultInject.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Mutator.h"
+
+using namespace qcc;
+using namespace qcc::fuzz;
+
+namespace {
+
+/// A source exercising every corruptible construct the fault table needs:
+/// parameters, a bounded loop with a break (Cminor Exit statements), array
+/// and global stores, spills, and calls at every level.
+const char *faultSource() {
+  return "typedef unsigned int u32;\n"
+         "u32 g0[8];\n"
+         "u32 total = 0;\n"
+         "u32 helper(u32 n, u32 step) {\n"
+         "  u32 acc, i0;\n"
+         "  acc = n;\n"
+         "  for (i0 = 0; i0 < 4; i0++) {\n"
+         "    g0[(acc + i0) % 8] = acc;\n"
+         "    acc = acc + step;\n"
+         "    if (100u < acc) break;\n"
+         "  }\n"
+         "  total = total + acc;\n"
+         "  return acc;\n"
+         "}\n"
+         "int main() {\n"
+         "  u32 x;\n"
+         "  x = helper(3u, 2u);\n"
+         "  x = x + helper(x, 1u);\n"
+         "  return (int)(x & 0xff);\n"
+         "}\n";
+}
+
+/// Was the Theorem 1 failure a genuine stack overflow at bound - 4? The
+/// generator deliberately emits a fraction of unguarded divisions, and a
+/// program that traps on its own data fails at *any* stack size — that is
+/// the program's fault and Theorem 1 says nothing about it. Only an
+/// exhausted stack contradicts the verified bound.
+bool overflowedAtBound(const std::string &Source, uint32_t StackBytes) {
+  DiagnosticEngine D;
+  driver::CompilerOptions CO;
+  // Re-produce the same Asm; validation and bounds don't affect it.
+  CO.ValidateTranslation = false;
+  CO.AnalyzeBounds = false;
+  auto C = driver::compile(Source, D, CO);
+  if (!C)
+    return true; // Can't re-examine: keep the report, loudly.
+  return driver::runWithStackSize(*C, StackBytes).StackOverflow;
+}
+
+} // namespace
+
+std::string FuzzReport::str() const {
+  std::string S = "fuzz: " + std::to_string(Generated) + " programs (" +
+                  std::to_string(Verified) + " verified, " +
+                  std::to_string(Diagnosed) + " diagnosed), " +
+                  std::to_string(MutantsRejected) + "/" +
+                  std::to_string(MutantsTried) + " mutants rejected, " +
+                  std::to_string(FaultsRejected) + "/" +
+                  std::to_string(FaultsTried) + " faults rejected\n";
+  if (ok()) {
+    S += "fuzz: no invariant violations\n";
+  } else {
+    S += "fuzz: " + std::to_string(Violations.size()) + " VIOLATION" +
+         (Violations.size() == 1 ? "" : "S") + ":\n";
+    for (const std::string &V : Violations)
+      S += "  " + V + "\n";
+  }
+  return S;
+}
+
+FuzzReport qcc::fuzz::runFuzz(const FuzzOptions &Options) {
+  FuzzReport Report;
+
+  // Campaign 1: sources through the full pipeline on the batch engine.
+  std::vector<batch::BatchJob> Jobs;
+  Jobs.reserve(Options.Count);
+  for (uint64_t I = 0; I != Options.Count; ++I) {
+    uint64_t Seed = Options.Seed * 0x9e3779b97f4a7c15ull + I;
+    batch::BatchJob J;
+    if (Options.Adversarial && I % 4 == 3) {
+      auto K = static_cast<AdversarialKind>((I / 4) % NumAdversarialKinds);
+      J.Id = std::string("adv-") + adversarialKindName(K) + "-" +
+             std::to_string(Seed);
+      J.Source = generateAdversarial(K, Seed);
+    } else {
+      J.Id = "gen-" + std::to_string(Seed);
+      J.Source = ProgramGenerator(Seed).generate();
+    }
+    Jobs.push_back(std::move(J));
+  }
+  batch::BatchOptions BO;
+  BO.Jobs = Options.Jobs;
+  BO.CheckTheorem1 = true;
+  batch::BatchResult Batch = batch::runBatch(Jobs, BO);
+
+  Report.Generated = Jobs.size();
+  for (size_t I = 0; I != Batch.Programs.size(); ++I) {
+    const batch::ProgramResult &R = Batch.Programs[I];
+    if (R.Theorem1Checked && !R.Theorem1Ok) {
+      if (overflowedAtBound(Jobs[I].Source, R.Theorem1StackBytes))
+        Report.Violations.push_back(
+            "program " + R.Id + ": UNSOUND BOUND - stack overflow at " +
+            "verified bound - 4 (" + std::to_string(R.Theorem1StackBytes) +
+            " bytes): " + R.Diagnostics);
+      else
+        ++Report.Diagnosed; // Trapped on its own data (e.g. division).
+    } else if (R.Ok) {
+      ++Report.Verified;
+    } else if (R.Diagnostics.empty()) {
+      Report.Violations.push_back("program " + R.Id +
+                                  ": rejected without any diagnostic");
+    } else {
+      ++Report.Diagnosed;
+    }
+  }
+
+  // Campaign 2: forged proof objects against the checker.
+  MutationReport MR = mutateDerivations(Options.Seed, Options.Mutants);
+  Report.MutantsTried = MR.Tried;
+  Report.MutantsRejected = MR.Rejected;
+  for (const std::string &S : MR.Survivors)
+    Report.Violations.push_back("derivation " + S);
+
+  // Campaign 3: every fault in the table, at its pipeline stage.
+  if (Options.Faults) {
+    for (size_t F = 0; F != allFaults().size(); ++F) {
+      ++Report.FaultsTried;
+      std::string V = injectAndCheck(F, faultSource(), Options.Seed + F);
+      if (V.empty())
+        ++Report.FaultsRejected;
+      else
+        Report.Violations.push_back(V);
+    }
+  }
+
+  return Report;
+}

@@ -1,0 +1,78 @@
+//===- fuzz/Fuzz.h - The fault-injection / no-crash harness -----*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline-wide hardening harness behind `qcc --fuzz N --seed S` and
+/// the `qcc_fuzz` ctest target. One invariant, three attack surfaces:
+///
+///   no input — hostile source text, corrupted intermediate program, or
+///   forged proof object — may crash qcc or extract an unsound bound;
+///   qcc either verifies the input or reports structured diagnostics.
+///
+/// The harness therefore runs three campaigns per invocation:
+///
+///   1. *Sources*: N seeded programs (grammar-random plus the adversarial
+///      families of fuzz/Generator.h) through the full pipeline on the
+///      batch engine — compile, translation-validate, bound, Theorem 1.
+///   2. *Proof objects*: seeded corruptions of the Table 2 derivations
+///      (fuzz/Mutator.h); the proof checker must reject every mutant.
+///   3. *Pass boundaries*: every fault in fuzz/FaultInject.h injected
+///      into a pipeline run; each stage validator must catch its own.
+///
+/// Any violation is recorded with the seed that produced it, so every
+/// report replays deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FUZZ_FUZZ_H
+#define QCC_FUZZ_FUZZ_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace fuzz {
+
+/// Harness configuration (`qcc --fuzz N --seed S` sets Count and Seed).
+struct FuzzOptions {
+  uint64_t Count = 256;  ///< Generated source programs.
+  uint64_t Seed = 1;     ///< Base seed; determines everything.
+  unsigned Jobs = 0;     ///< Batch workers; 0 = hardware concurrency.
+  unsigned Mutants = 64; ///< Derivation mutants to forge.
+  bool Faults = true;    ///< Run the pass-boundary fault campaign.
+  /// Every fourth generated source is adversarial (cycling through the
+  /// AdversarialKind families) instead of grammar-random.
+  bool Adversarial = true;
+};
+
+/// Everything one harness run observed.
+struct FuzzReport {
+  uint64_t Generated = 0; ///< Source programs fed to the pipeline.
+  uint64_t Verified = 0;  ///< Compiled, validated, bounded, Theorem 1 ok.
+  uint64_t Diagnosed = 0; ///< Properly rejected with diagnostics.
+  unsigned MutantsTried = 0;
+  unsigned MutantsRejected = 0;
+  unsigned FaultsTried = 0;
+  unsigned FaultsRejected = 0;
+  /// Invariant violations, each with its seed for replay. Crashes do not
+  /// appear here — a crash kills the process, which is the point.
+  std::vector<std::string> Violations;
+
+  bool ok() const { return Violations.empty(); }
+
+  /// Human-readable summary (what `qcc --fuzz` prints).
+  std::string str() const;
+};
+
+/// Runs the harness. Deterministic in \p Options (modulo wall time).
+FuzzReport runFuzz(const FuzzOptions &Options = {});
+
+} // namespace fuzz
+} // namespace qcc
+
+#endif // QCC_FUZZ_FUZZ_H

@@ -1,0 +1,354 @@
+//===- fuzz/Generator.cpp - Random and adversarial program sources --------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+
+using namespace qcc;
+using namespace qcc::fuzz;
+
+//===----------------------------------------------------------------------===//
+// Grammar-random programs (the differential tester's generator)
+//===----------------------------------------------------------------------===//
+
+std::string ProgramGenerator::generate() {
+  Out = "typedef unsigned int u32;\n";
+  NumGlobals = 1 + R.below(3);
+  for (unsigned G = 0; G != NumGlobals; ++G) {
+    ArraySizes.push_back(4 + R.below(13));
+    Out += "u32 g" + std::to_string(G) + "[" +
+           std::to_string(ArraySizes[G]) + "];\n";
+  }
+  Out += "u32 s0 = " + std::to_string(R.below(1000)) + ";\n";
+  Out += "int s1;\n";
+
+  unsigned NumFunctions = 1 + R.below(4);
+  for (unsigned F = 0; F != NumFunctions; ++F)
+    emitFunction(F);
+  emitMain();
+  return Out;
+}
+
+// Expression generation over the current scope. Depth-limited.
+std::string ProgramGenerator::expr(unsigned Depth) {
+  if (Depth == 0 || R.chance(35)) {
+    switch (R.below(4)) {
+    case 0:
+      return std::to_string(R.below(64));
+    case 1:
+      if (!Scope.empty())
+        return Scope[R.below(Scope.size())];
+      return std::to_string(R.below(64));
+    case 2:
+      return R.chance(50) ? "s0" : "s1";
+    default: {
+      unsigned G = R.below(NumGlobals);
+      return "g" + std::to_string(G) + "[(" + expr(0) + ") % " +
+             std::to_string(ArraySizes[G]) + "]";
+    }
+    }
+  }
+  static const char *SafeOps[] = {"+", "-", "*", "&", "|", "^",
+                                  "<<", ">>", "<", "<=", "==", "!="};
+  switch (R.below(10)) {
+  case 0: {
+    // Division: usually guarded, sometimes allowed to trap.
+    const char *Guard = R.chance(85) ? " | 1)" : ")";
+    return "((" + expr(Depth - 1) + ") " + (R.chance(50) ? "/" : "%") +
+           " ((" + expr(Depth - 1) + ")" + Guard + ")";
+  }
+  case 1:
+    return "(" + expr(Depth - 1) + " ? " + expr(Depth - 1) + " : " +
+           expr(Depth - 1) + ")";
+  case 2:
+    return "(" + std::string(R.chance(50) ? "~" : "!") + "(" +
+           expr(Depth - 1) + "))";
+  case 3:
+    return "((" + expr(Depth - 1) + ") " +
+           (R.chance(50) ? "&&" : "||") + " (" + expr(Depth - 1) + "))";
+  default:
+    return "((" + expr(Depth - 1) + ") " + SafeOps[R.below(12)] + " (" +
+           expr(Depth - 1) + "))";
+  }
+}
+
+std::string ProgramGenerator::callExpr(unsigned UpTo) {
+  unsigned F = R.below(UpTo);
+  std::string Call = "f" + std::to_string(F) + "(";
+  for (unsigned A = 0; A != Arity[F]; ++A) {
+    if (A)
+      Call += ", ";
+    Call += expr(1);
+  }
+  return Call + ")";
+}
+
+/// A writable local that is not a protected loop counter.
+std::string ProgramGenerator::writableLocal() {
+  std::vector<std::string> Options;
+  for (const std::string &V : Scope)
+    if (!Protected.count(V))
+      Options.push_back(V);
+  if (Options.empty())
+    return R.chance(50) ? "s0" : "s1";
+  return Options[R.below(Options.size())];
+}
+
+void ProgramGenerator::statement(unsigned Depth, unsigned FnIndex,
+                                 std::string Indent) {
+  switch (R.below(Depth > 0 ? 7 : 4)) {
+  case 0: { // Assignment.
+    Out += Indent + writableLocal() + " = " + expr(2) + ";\n";
+    return;
+  }
+  case 1: { // Array store.
+    unsigned G = R.below(NumGlobals);
+    Out += Indent + "g" + std::to_string(G) + "[(" + expr(1) + ") % " +
+           std::to_string(ArraySizes[G]) + "] = " + expr(2) + ";\n";
+    return;
+  }
+  case 2: { // Call (possibly into a local).
+    if (FnIndex == 0) {
+      Out += Indent + writableLocal() + " = " + expr(2) + ";\n";
+      return;
+    }
+    Out += Indent + writableLocal() + " = " + callExpr(FnIndex) + ";\n";
+    return;
+  }
+  case 3: { // Global update.
+    Out += Indent + (R.chance(50) ? "s0" : "s1") + " = " + expr(2) +
+           ";\n";
+    return;
+  }
+  case 4: { // If.
+    Out += Indent + "if (" + expr(2) + ") {\n";
+    statement(Depth - 1, FnIndex, Indent + "  ");
+    if (R.chance(60)) {
+      Out += Indent + "} else {\n";
+      statement(Depth - 1, FnIndex, Indent + "  ");
+    }
+    Out += Indent + "}\n";
+    return;
+  }
+  case 5: { // Bounded for-loop with a protected fresh counter.
+    std::string I = "i" + std::to_string(LoopCounter++);
+    Locals.push_back(I);
+    Scope.push_back(I);
+    Protected.insert(I);
+    Out += Indent + "for (" + I + " = 0; " + I + " < " +
+           std::to_string(1 + R.below(6)) + "; " + I + "++) {\n";
+    statement(Depth - 1, FnIndex, Indent + "  ");
+    if (R.chance(30))
+      Out += Indent + "  if (" + expr(1) + ") break;\n";
+    Out += Indent + "}\n";
+    Protected.erase(I);
+    return;
+  }
+  default: { // Block of two.
+    statement(Depth - 1, FnIndex, Indent);
+    statement(Depth - 1, FnIndex, Indent);
+    return;
+  }
+  }
+}
+
+void ProgramGenerator::beginFunction(unsigned NParams) {
+  Scope.clear();
+  Locals.clear();
+  Protected.clear();
+  LoopCounter = 0;
+  for (unsigned P = 0; P != NParams; ++P)
+    Scope.push_back("p" + std::to_string(P));
+  unsigned NLocals = 1 + R.below(3);
+  for (unsigned L = 0; L != NLocals; ++L) {
+    Locals.push_back("v" + std::to_string(L));
+    Scope.push_back("v" + std::to_string(L));
+  }
+}
+
+void ProgramGenerator::emitBody(unsigned FnIndex) {
+  // Pre-declare the loop counters this body will use: generate into a
+  // scratch buffer first, then splice declarations.
+  std::string Saved = std::move(Out);
+  Out.clear();
+  unsigned NStatements = 2 + R.below(4);
+  for (unsigned S = 0; S != NStatements; ++S)
+    statement(2, FnIndex, "  ");
+  std::string Body = std::move(Out);
+  Out = std::move(Saved);
+  if (!Locals.empty()) {
+    Out += "  u32 ";
+    for (size_t L = 0; L != Locals.size(); ++L) {
+      if (L)
+        Out += ", ";
+      Out += Locals[L];
+    }
+    Out += ";\n";
+  }
+  Out += Body;
+}
+
+void ProgramGenerator::emitFunction(unsigned F) {
+  Arity.push_back(R.below(4));
+  beginFunction(Arity[F]);
+  Out += "u32 f" + std::to_string(F) + "(";
+  for (unsigned P = 0; P != Arity[F]; ++P) {
+    if (P)
+      Out += ", ";
+    Out += "u32 p" + std::to_string(P);
+  }
+  Out += ") {\n";
+  emitBody(F);
+  Out += "  return " + expr(2) + ";\n}\n";
+}
+
+void ProgramGenerator::emitMain() {
+  beginFunction(0);
+  Out += "int main() {\n";
+  emitBody(static_cast<unsigned>(Arity.size()));
+  Out += "  return (int)((" + expr(2) + ") & 0xff);\n}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial sources
+//===----------------------------------------------------------------------===//
+
+const char *qcc::fuzz::adversarialKindName(AdversarialKind K) {
+  switch (K) {
+  case AdversarialKind::DeepExpression:   return "deep-expression";
+  case AdversarialKind::DeeperThanParser: return "deeper-than-parser";
+  case AdversarialKind::BoundaryConstants:return "boundary-constants";
+  case AdversarialKind::CallChain:        return "call-chain";
+  case AdversarialKind::WideCalls:        return "wide-calls";
+  case AdversarialKind::DiamondCalls:     return "diamond-calls";
+  case AdversarialKind::Recursion:        return "recursion";
+  case AdversarialKind::EmptySource:      return "empty-source";
+  case AdversarialKind::TruncatedSource:  return "truncated-source";
+  case AdversarialKind::GarbageTokens:    return "garbage-tokens";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string nestedExpr(unsigned Depth) {
+  std::string E;
+  E.reserve(Depth * 4 + 8);
+  for (unsigned I = 0; I != Depth; ++I)
+    E += "(1+";
+  E += "x";
+  for (unsigned I = 0; I != Depth; ++I)
+    E += ")";
+  return E;
+}
+
+std::string wrap(const std::string &Body) {
+  return "typedef unsigned int u32;\nint main() {\n" + Body + "}\n";
+}
+
+} // namespace
+
+std::string qcc::fuzz::generateAdversarial(AdversarialKind K, uint64_t Seed) {
+  Rng R(Seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(K));
+  switch (K) {
+  case AdversarialKind::DeepExpression:
+    // Near (just under) the parser's recursion budget: must still parse.
+    return wrap("  u32 x;\n  x = 1;\n  x = " +
+                nestedExpr(100 + R.below(60)) + ";\n  return (int)x;\n");
+  case AdversarialKind::DeeperThanParser:
+    // Far past any reasonable budget: must be *diagnosed*, not a stack
+    // overflow in the recursive-descent parser.
+    return wrap("  u32 x;\n  x = 1;\n  x = " +
+                nestedExpr(5000 + R.below(5000)) + ";\n  return (int)x;\n");
+  case AdversarialKind::BoundaryConstants: {
+    static const char *Edges[] = {"4294967295u", "4294967294u",
+                                  "2147483648u", "2147483647",
+                                  "0x80000000u", "0xffffffffu", "0"};
+    std::string B = "  u32 x, y;\n  x = " + std::string(Edges[R.below(7)]) +
+                    ";\n  y = " + Edges[R.below(7)] +
+                    ";\n  x = x + y;\n  x = x * y;\n  x = x - y;\n"
+                    "  if (x < y) { x = y; }\n  return (int)(x & 0xff);\n";
+    return wrap(B);
+  }
+  case AdversarialKind::CallChain: {
+    // f0 calls f1 calls ... calls fN: the bound composes linearly and
+    // the analyzer's callee-first walk gets a maximal chain.
+    unsigned N = 20 + R.below(40);
+    std::string S = "typedef unsigned int u32;\n";
+    S += "u32 f" + std::to_string(N) + "(u32 a) { return a + 1; }\n";
+    for (unsigned I = N; I != 0; --I)
+      S += "u32 f" + std::to_string(I - 1) + "(u32 a) { return f" +
+           std::to_string(I) + "(a) + 1; }\n";
+    S += "int main() { return (int)(f0(0) & 0xff); }\n";
+    return S;
+  }
+  case AdversarialKind::WideCalls: {
+    // One caller fanning out to many leaves: max over many call sites.
+    unsigned N = 30 + R.below(50);
+    std::string S = "typedef unsigned int u32;\n";
+    for (unsigned I = 0; I != N; ++I)
+      S += "u32 f" + std::to_string(I) + "(u32 a) { return a + " +
+           std::to_string(I) + "; }\n";
+    S += "int main() {\n  u32 x;\n  x = 0;\n";
+    for (unsigned I = 0; I != N; ++I)
+      S += "  x = x + f" + std::to_string(I) + "(x);\n";
+    S += "  return (int)(x & 0xff);\n}\n";
+    return S;
+  }
+  case AdversarialKind::DiamondCalls: {
+    // Layered diamond: each layer calls the next twice. Path count grows
+    // exponentially; bounds and analysis must stay linear in the graph.
+    unsigned Layers = 8 + R.below(8);
+    std::string S = "typedef unsigned int u32;\n";
+    S += "u32 d" + std::to_string(Layers) + "(u32 a) { return a; }\n";
+    for (unsigned I = Layers; I != 0; --I)
+      S += "u32 d" + std::to_string(I - 1) + "(u32 a) { return d" +
+           std::to_string(I) + "(a) + d" + std::to_string(I) + "(a + 1); }\n";
+    S += "int main() { return (int)(d0(1) & 0xff); }\n";
+    return S;
+  }
+  case AdversarialKind::Recursion: {
+    // Direct and mutual recursion: the automatic analyzer must *skip*
+    // these (no unsound bound), and everything else must still work.
+    return "typedef unsigned int u32;\n"
+           "u32 even(u32 n);\n"
+           "u32 odd(u32 n) { if (n == 0u) { return 0u; } "
+           "return even(n - 1u); }\n"
+           "u32 even(u32 n) { if (n == 0u) { return 1u; } "
+           "return odd(n - 1u); }\n"
+           "u32 down(u32 n) { if (n == 0u) { return 0u; } "
+           "return down(n - 1u) + 1u; }\n"
+           "int main() { return (int)((even(" +
+           std::to_string(R.below(8)) + "u) + down(" +
+           std::to_string(R.below(8)) + "u)) & 0xffu); }\n";
+  }
+  case AdversarialKind::EmptySource: {
+    static const char *Variants[] = {
+        "", " ", "\n\n\n", "/* nothing */", "// only a comment\n",
+        "typedef unsigned int u32;\n"};
+    return Variants[R.below(6)];
+  }
+  case AdversarialKind::TruncatedSource: {
+    // A valid random program cut mid-stream: every prefix must be
+    // rejected gracefully.
+    std::string Full = ProgramGenerator(Seed).generate();
+    if (Full.size() < 2)
+      return Full;
+    return Full.substr(0, 1 + R.below(static_cast<uint32_t>(Full.size() - 1)));
+  }
+  case AdversarialKind::GarbageTokens: {
+    static const char Alphabet[] =
+        "{}()[];,+-*/%&|^<>=!~?: \nabcxyz0123456789\"'\\#@$.";
+    std::string S;
+    unsigned N = 1 + R.below(512);
+    S.reserve(N);
+    for (unsigned I = 0; I != N; ++I)
+      S += Alphabet[R.below(sizeof(Alphabet) - 1)];
+    return S;
+  }
+  }
+  return "";
+}

@@ -1,0 +1,96 @@
+//===- fuzz/Generator.h - Random and adversarial program sources *- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded source-program generation for the fuzz harness and the
+/// differential tester (Csmith-style; cf. the paper's reference to Yang
+/// et al., PLDI 2011). Two families:
+///
+///   * `ProgramGenerator` draws grammar-random programs in the verified
+///     subset, built to terminate (loops bounded by construction) and
+///     mostly to avoid traps; the differential tester runs them through
+///     every pipeline level.
+///   * `generateAdversarial` produces stress inputs a grammar walk would
+///     almost never reach: expressions nested to (and past) any plausible
+///     recursion limit, constants at the 2^32 boundary, degenerate call
+///     graphs (deep chains, wide fan-out, diamonds, recursion), and
+///     empty / truncated / garbage sources.
+///
+/// The harness contract for every generated source: the pipeline either
+/// verifies it or reports diagnostics — it never crashes and never emits
+/// an unsound bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FUZZ_GENERATOR_H
+#define QCC_FUZZ_GENERATOR_H
+
+#include "fuzz/Rng.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace fuzz {
+
+/// Generates one random program in the subset per seed.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint64_t Seed) : R(Seed) {}
+
+  std::string generate();
+
+private:
+  std::string expr(unsigned Depth);
+  std::string callExpr(unsigned UpTo);
+  std::string writableLocal();
+  void statement(unsigned Depth, unsigned FnIndex, std::string Indent);
+  void beginFunction(unsigned NParams);
+  void emitBody(unsigned FnIndex);
+  void emitFunction(unsigned F);
+  void emitMain();
+
+  Rng R;
+  std::string Out;
+  unsigned NumGlobals = 0;
+  std::vector<uint32_t> ArraySizes;
+  std::vector<unsigned> Arity;
+  std::vector<std::string> Scope;  ///< Readable names.
+  std::vector<std::string> Locals; ///< Declared in this function.
+  std::set<std::string> Protected; ///< Live loop counters.
+  unsigned LoopCounter = 0;
+};
+
+/// The adversarial source families.
+enum class AdversarialKind : uint8_t {
+  DeepExpression,     ///< Parenthesized nesting near the parser's limit.
+  DeeperThanParser,   ///< Nesting far past any reasonable limit.
+  BoundaryConstants,  ///< Literals at and around 2^32 - 1.
+  CallChain,          ///< f0 -> f1 -> ... -> fN, N deep.
+  WideCalls,          ///< One caller fanning out to many callees.
+  DiamondCalls,       ///< Exponential path-count diamond call graph.
+  Recursion,          ///< Direct + mutual recursion (analyzer must skip).
+  EmptySource,        ///< "" and whitespace/comment-only variants.
+  TruncatedSource,    ///< A valid program cut mid-token.
+  GarbageTokens       ///< Random bytes that lex poorly.
+};
+
+inline constexpr unsigned NumAdversarialKinds = 10;
+
+/// Display name of \p K ("deep-expression", ...).
+const char *adversarialKindName(AdversarialKind K);
+
+/// Generates one adversarial source of family \p K. Deterministic in
+/// (\p K, \p Seed).
+std::string generateAdversarial(AdversarialKind K, uint64_t Seed);
+
+} // namespace fuzz
+} // namespace qcc
+
+#endif // QCC_FUZZ_GENERATOR_H

@@ -1,0 +1,221 @@
+//===- fuzz/Mutator.cpp - Derivation (proof-object) mutation --------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+#include "frontend/Frontend.h"
+#include "fuzz/Rng.h"
+#include "logic/Builder.h"
+#include "logic/Checker.h"
+#include "programs/Corpus.h"
+
+using namespace qcc;
+using namespace qcc::fuzz;
+using namespace qcc::logic;
+
+const char *qcc::fuzz::mutationKindName(MutationKind K) {
+  switch (K) {
+  case MutationKind::PreZero:      return "pre-zero";
+  case MutationKind::PostInflate:  return "post-inflate";
+  case MutationKind::RetagAsSkip:  return "retag-as-skip";
+  case MutationKind::DropChildren: return "drop-children";
+  case MutationKind::SpecShrink:   return "spec-shrink";
+  case MutationKind::PerturbBound: return "perturb-bound";
+  case MutationKind::RedirectStmt: return "redirect-stmt";
+  }
+  return "?";
+}
+
+namespace {
+
+bool isConstZero(const BoundExpr &E) {
+  return E && E->K == BoundExprNode::Kind::Const && E->Value == ExtNat(0);
+}
+
+bool isCallRule(Rule R) {
+  return R == Rule::Call || R == Rule::CallBalanced || R == Rule::CallHavoc ||
+         R == Rule::ExternalCall;
+}
+
+/// Rewrites \p E with every occurrence of M(\p Func) replaced by 0 — the
+/// forged claim "calling Func is free".
+BoundExpr zeroMetric(const BoundExpr &E, const std::string &Func) {
+  if (!E)
+    return E;
+  switch (E->K) {
+  case BoundExprNode::Kind::Const:
+  case BoundExprNode::Kind::Log2W:
+  case BoundExprNode::Kind::Log2C:
+  case BoundExprNode::Kind::NatTerm:
+    return E;
+  case BoundExprNode::Kind::MetricVar:
+    return E->Func == Func ? bZero() : E;
+  case BoundExprNode::Kind::Add:
+    return bAdd(zeroMetric(E->Lhs, Func), zeroMetric(E->Rhs, Func));
+  case BoundExprNode::Kind::Max:
+    return bMax(zeroMetric(E->Lhs, Func), zeroMetric(E->Rhs, Func));
+  case BoundExprNode::Kind::Mul:
+    return bMul(zeroMetric(E->Lhs, Func), zeroMetric(E->Rhs, Func));
+  case BoundExprNode::Kind::Scale:
+    return bScale(E->Factor, zeroMetric(E->Lhs, Func));
+  case BoundExprNode::Kind::Guard:
+    return bGuard(*E->Condition, zeroMetric(E->Lhs, Func));
+  case BoundExprNode::Kind::Ite:
+    return bIte(*E->Condition, zeroMetric(E->Lhs, Func),
+                zeroMetric(E->Rhs, Func));
+  }
+  return E;
+}
+
+struct Corpus {
+  clight::Program Program;
+  FunctionContext Gamma;
+  std::vector<FunctionBound> Bounds; ///< Checked, in deterministic order.
+  std::string BuildError;            ///< Non-empty when setup failed.
+};
+
+/// Parses the Table 2 file and derives every interactive bound once per
+/// campaign; each is sanity-checked before mutation begins.
+Corpus buildCorpus() {
+  Corpus C;
+  DiagnosticEngine D;
+  auto CL = frontend::parseProgram(programs::table2Source(), D);
+  if (!CL) {
+    C.BuildError = "table2 corpus does not parse: " + D.str();
+    return C;
+  }
+  C.Program = std::move(*CL);
+  FunctionContext Specs = programs::table2Specs();
+  DerivationBuilder Builder(C.Program, Specs, {});
+  for (const auto &[Callee, Hint] : programs::table2CallHints())
+    Builder.setCallResultHint(Callee, Hint);
+  for (const auto &[Name, Spec] : Specs) {
+    DiagnosticEngine BD;
+    auto FB = Builder.buildFunctionBound(Name, Spec, BD);
+    if (!FB) {
+      C.BuildError = "cannot derive '" + Name + "': " + BD.str();
+      return C;
+    }
+    C.Bounds.push_back(std::move(*FB));
+  }
+  C.Gamma = Builder.context();
+  ProofChecker Checker(C.Program, C.Gamma, {});
+  for (const FunctionBound &FB : C.Bounds) {
+    DiagnosticEngine CD;
+    if (!Checker.checkFunctionBound(FB, CD)) {
+      C.BuildError =
+          "unmutated '" + FB.Function + "' fails to check: " + CD.str();
+      return C;
+    }
+  }
+  return C;
+}
+
+FunctionBound cloneBound(const FunctionBound &FB) {
+  return FunctionBound{FB.Function, FB.Spec, FB.Body->clone()};
+}
+
+/// Applies one random mutation; returns its description, or nullopt when
+/// the drawn site is unsuitable (caller re-draws).
+std::optional<std::string> applyMutation(FunctionBound &Mutant,
+                                         MutationKind K, Rng &R) {
+  size_t N = Mutant.Body->size();
+  size_t Index = R.below(static_cast<uint32_t>(N));
+  Derivation *Node = Mutant.Body->nodeAt(Index);
+  if (!Node)
+    return std::nullopt;
+  std::string Where = std::string(mutationKindName(K)) + " at node " +
+                      std::to_string(Index) + " (" + ruleName(Node->R) + ")";
+  switch (K) {
+  case MutationKind::PreZero:
+    // Claim zero potential where the proof needed some.
+    if (isConstZero(Node->Pre))
+      return std::nullopt;
+    Node->Pre = bZero();
+    return Where;
+  case MutationKind::PostInflate:
+    // Claim the function leaves more potential than its body establishes.
+    Mutant.Spec.Post = bAdd(Mutant.Spec.Post, bMetric(Mutant.Function));
+    return std::string(mutationKindName(K)) + " on spec";
+  case MutationKind::RetagAsSkip:
+    // A paying rule relabeled as the free one.
+    if (!isCallRule(Node->R) && Node->R != Rule::Frame)
+      return std::nullopt;
+    Node->R = Rule::Skip;
+    return Where;
+  case MutationKind::DropChildren:
+    if (Node->Children.empty())
+      return std::nullopt;
+    Node->Children.clear();
+    return Where;
+  case MutationKind::SpecShrink:
+    // The cheapest possible claim: {0} f {0}.
+    if (isConstZero(Mutant.Spec.Pre) && isConstZero(Mutant.Spec.Post))
+      return std::nullopt;
+    Mutant.Spec = FunctionSpec::balanced(bZero());
+    return std::string(mutationKindName(K)) + " on spec";
+  case MutationKind::PerturbBound: {
+    // At a call node, erase the callee's metric from the precondition:
+    // the claim "this call costs nothing".
+    if (!isCallRule(Node->R) || Node->R == Rule::ExternalCall || !Node->S)
+      return std::nullopt;
+    BoundExpr Zeroed = zeroMetric(Node->Pre, Node->S->Callee);
+    if (Zeroed == Node->Pre || structurallyEqual(Zeroed, Node->Pre))
+      return std::nullopt;
+    Node->Pre = Zeroed;
+    return Where + " zeroing M(" + Node->S->Callee + ")";
+  }
+  case MutationKind::RedirectStmt: {
+    // A derivation for one statement must not certify a different one.
+    if (Mutant.Body->Children.empty() ||
+        Mutant.Body->Children[0]->S == Mutant.Body->S)
+      return std::nullopt;
+    Mutant.Body->S = Mutant.Body->Children[0]->S;
+    return std::string(mutationKindName(K)) + " at root";
+  }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+MutationReport qcc::fuzz::mutateDerivations(uint64_t Seed, unsigned Count) {
+  MutationReport Report;
+  Corpus C = buildCorpus();
+  if (!C.BuildError.empty()) {
+    Report.Survivors.push_back("corpus setup failed: " + C.BuildError);
+    return Report;
+  }
+
+  for (unsigned I = 0; I != Count; ++I) {
+    Rng R(Seed * 0x100000001b3ull + I);
+    // Re-draw until an applicable (function, kind, node) triple is hit;
+    // every campaign of any size finds one (PreZero alone always applies
+    // somewhere).
+    for (unsigned Attempt = 0; Attempt != 64; ++Attempt) {
+      const FunctionBound &Original =
+          C.Bounds[R.below(static_cast<uint32_t>(C.Bounds.size()))];
+      auto K = static_cast<MutationKind>(R.below(NumMutationKinds));
+      FunctionBound Mutant = cloneBound(Original);
+      auto Description = applyMutation(Mutant, K, R);
+      if (!Description)
+        continue;
+      ++Report.Tried;
+      ProofChecker Checker(C.Program, C.Gamma, {});
+      DiagnosticEngine CD;
+      if (Checker.checkFunctionBound(Mutant, CD))
+        Report.Survivors.push_back(
+            "mutant ACCEPTED (soundness hole): seed " + std::to_string(Seed) +
+            " iteration " + std::to_string(I) + ", function '" +
+            Original.Function + "', " + *Description);
+      else
+        ++Report.Rejected;
+      break;
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,71 @@
+//===- fuzz/Mutator.h - Derivation (proof-object) mutation ------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adversarial mutation of checked derivations. The proof checker is the
+/// reproduction's trusted core (it stands in for the paper's Coq
+/// soundness proof), so the harness forges proofs at scale: take the
+/// interactively derived Table 2 bounds — the richest derivations in the
+/// repository, covering every rule of the logic — apply a random
+/// soundness-relevant corruption, and demand the checker reject the
+/// mutant. A mutant that still checks is a soundness hole and is reported
+/// verbatim (rule, node index, mutation kind) for replay.
+///
+/// Mutation kinds mirror the classic forged-proof moves: claim less
+/// potential than the proof needed (precondition shrink), claim more is
+/// left over (postcondition inflate), retag a paying rule as a free one,
+/// drop the sub-derivations a rule's side conditions depend on, corrupt a
+/// bound expression in place, and substitute a cheaper specification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FUZZ_MUTATOR_H
+#define QCC_FUZZ_MUTATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace fuzz {
+
+/// The corruption families the mutator draws from.
+enum class MutationKind : uint8_t {
+  PreZero,        ///< Set a node's precondition to 0.
+  PostInflate,    ///< Add potential to a node's claimed postcondition.
+  RetagAsSkip,    ///< Retag a paying rule (call/frame) as Skip.
+  DropChildren,   ///< Clear a node's sub-derivations.
+  SpecShrink,     ///< Replace the function's spec with a cheaper one.
+  PerturbBound,   ///< Erase a callee's metric from a call's precondition.
+  RedirectStmt    ///< Point the root derivation at a different statement.
+};
+
+inline constexpr unsigned NumMutationKinds = 7;
+
+const char *mutationKindName(MutationKind K);
+
+/// Outcome of one mutation campaign.
+struct MutationReport {
+  unsigned Tried = 0;    ///< Mutants actually distinct from the original.
+  unsigned Rejected = 0; ///< Mutants the checker refused.
+  /// Accepted mutants — soundness violations. Each entry names the seed,
+  /// function, node, and mutation for exact replay.
+  std::vector<std::string> Survivors;
+
+  bool ok() const { return Survivors.empty(); }
+};
+
+/// Runs \p Count seeded mutations against the checked Table 2
+/// derivations. Mutations that do not change the derivation (e.g.
+/// zeroing an already-zero precondition) are re-drawn, so Tried == Count
+/// unless generation itself fails.
+MutationReport mutateDerivations(uint64_t Seed, unsigned Count);
+
+} // namespace fuzz
+} // namespace qcc
+
+#endif // QCC_FUZZ_MUTATOR_H

@@ -1,0 +1,50 @@
+//===- fuzz/Rng.h - Deterministic random-number generation ------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The splitmix64 generator every randomized component shares: the
+/// differential tester, the program generator, the derivation mutator,
+/// and the fault injector. Seeds fully determine output, so any failure
+/// report ("seed 12034 crashed the RTL verifier") replays exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FUZZ_RNG_H
+#define QCC_FUZZ_RNG_H
+
+#include <cstdint>
+
+namespace qcc {
+namespace fuzz {
+
+/// Deterministic splitmix64 generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, N).
+  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
+
+  /// True with probability \p Percent / 100.
+  bool chance(uint32_t Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace fuzz
+} // namespace qcc
+
+#endif // QCC_FUZZ_RNG_H

@@ -8,6 +8,7 @@
 #include "logic/Bound.h"
 
 #include <cassert>
+#include <limits>
 
 using namespace qcc;
 using namespace qcc::logic;
@@ -15,6 +16,104 @@ using namespace qcc::logic;
 //===----------------------------------------------------------------------===//
 // Integer terms
 //===----------------------------------------------------------------------===//
+
+namespace {
+
+// Overflow-checked int64 arithmetic. Signed overflow is undefined
+// behavior, and an evaluated term feeds directly into a certified bound,
+// so a wrapped value could silently under-approximate. Out-of-range
+// results are reported as "no value" instead; evalBound turns that into
+// infinity, which only loses precision, never soundness.
+bool checkedAdd(int64_t L, int64_t R, int64_t &Out) {
+  return !__builtin_add_overflow(L, R, &Out);
+}
+bool checkedSub(int64_t L, int64_t R, int64_t &Out) {
+  return !__builtin_sub_overflow(L, R, &Out);
+}
+bool checkedMul(int64_t L, int64_t R, int64_t &Out) {
+  return !__builtin_mul_overflow(L, R, &Out);
+}
+
+// Terms denote mathematical integers, and the entailment sampler feeds
+// them full-range 32-bit machine values, so int64 is not wide enough:
+// n * n at n near 2^32 already exceeds it. Evaluation therefore runs in
+// 128-bit arithmetic, which is exact for every term of multiplication
+// depth the analyzer or sampler builds; the (astronomically rare) 128-bit
+// overflow still reports "no value".
+using Wide = __int128;
+
+bool checkedAdd(Wide L, Wide R, Wide &Out) {
+  return !__builtin_add_overflow(L, R, &Out);
+}
+bool checkedSub(Wide L, Wide R, Wide &Out) {
+  return !__builtin_sub_overflow(L, R, &Out);
+}
+bool checkedMul(Wide L, Wide R, Wide &Out) {
+  return !__builtin_mul_overflow(L, R, &Out);
+}
+
+std::optional<Wide> evalWide(const IntTerm &T, const VarEnv &Env) {
+  switch (T->K) {
+  case IntTermNode::Kind::Const:
+    return static_cast<Wide>(T->Value);
+  case IntTermNode::Kind::Var: {
+    auto It = Env.find(T->Name);
+    if (It == Env.end())
+      return std::nullopt;
+    uint32_t Raw = It->second;
+    return T->Sign == VarSign::Signed
+               ? static_cast<Wide>(static_cast<int32_t>(Raw))
+               : static_cast<Wide>(Raw);
+  }
+  case IntTermNode::Kind::Add: {
+    auto L = evalWide(T->Lhs, Env), R = evalWide(T->Rhs, Env);
+    Wide V;
+    if (!L || !R || !checkedAdd(*L, *R, V))
+      return std::nullopt;
+    return V;
+  }
+  case IntTermNode::Kind::Sub: {
+    auto L = evalWide(T->Lhs, Env), R = evalWide(T->Rhs, Env);
+    Wide V;
+    if (!L || !R || !checkedSub(*L, *R, V))
+      return std::nullopt;
+    return V;
+  }
+  case IntTermNode::Kind::Mul: {
+    auto L = evalWide(T->Lhs, Env), R = evalWide(T->Rhs, Env);
+    Wide V;
+    if (!L || !R || !checkedMul(*L, *R, V))
+      return std::nullopt;
+    return V;
+  }
+  case IntTermNode::Kind::DivC: {
+    auto L = evalWide(T->Lhs, Env);
+    // The divC factory asserts a positive divisor, but a term built by
+    // hand (or corrupted by the fuzzer's mutator) may violate that;
+    // refuse to evaluate rather than divide by zero.
+    if (!L || T->Value <= 0)
+      return std::nullopt;
+    return *L / static_cast<Wide>(T->Value);
+  }
+  }
+  return std::nullopt;
+}
+
+constexpr Wide Uint64Max =
+    static_cast<Wide>(std::numeric_limits<uint64_t>::max());
+
+// Exact base-2 logarithms of values the 64-bit helpers cannot reach.
+uint32_t floorLog2Wide(Wide V) {
+  if (V <= Uint64Max)
+    return floorLog2(static_cast<uint64_t>(V));
+  return 64 + floorLog2(static_cast<uint64_t>(V >> 64));
+}
+uint32_t ceilLog2Wide(Wide V) {
+  uint32_t Floor = floorLog2Wide(V);
+  return (V & (V - 1)) == 0 ? Floor : Floor + 1;
+}
+
+} // namespace
 
 IntTerm IntTermNode::constant(int64_t V) {
   auto N = std::make_shared<IntTermNode>();
@@ -32,8 +131,11 @@ IntTerm IntTermNode::var(std::string Name, VarSign Sign) {
 }
 
 IntTerm IntTermNode::add(IntTerm L, IntTerm R) {
-  if (L->K == Kind::Const && R->K == Kind::Const)
-    return constant(L->Value + R->Value);
+  // Fold constants only when the result fits; otherwise keep the
+  // symbolic node and let evaluation report the overflow.
+  if (int64_t V; L->K == Kind::Const && R->K == Kind::Const &&
+                 checkedAdd(L->Value, R->Value, V))
+    return constant(V);
   auto N = std::make_shared<IntTermNode>();
   N->K = Kind::Add;
   N->Lhs = std::move(L);
@@ -42,8 +144,9 @@ IntTerm IntTermNode::add(IntTerm L, IntTerm R) {
 }
 
 IntTerm IntTermNode::sub(IntTerm L, IntTerm R) {
-  if (L->K == Kind::Const && R->K == Kind::Const)
-    return constant(L->Value - R->Value);
+  if (int64_t V; L->K == Kind::Const && R->K == Kind::Const &&
+                 checkedSub(L->Value, R->Value, V))
+    return constant(V);
   auto N = std::make_shared<IntTermNode>();
   N->K = Kind::Sub;
   N->Lhs = std::move(L);
@@ -52,8 +155,9 @@ IntTerm IntTermNode::sub(IntTerm L, IntTerm R) {
 }
 
 IntTerm IntTermNode::mul(IntTerm L, IntTerm R) {
-  if (L->K == Kind::Const && R->K == Kind::Const)
-    return constant(L->Value * R->Value);
+  if (int64_t V; L->K == Kind::Const && R->K == Kind::Const &&
+                 checkedMul(L->Value, R->Value, V))
+    return constant(V);
   auto N = std::make_shared<IntTermNode>();
   N->K = Kind::Mul;
   N->Lhs = std::move(L);
@@ -92,44 +196,11 @@ std::string IntTermNode::str() const {
 
 std::optional<int64_t> qcc::logic::evalIntTerm(const IntTerm &T,
                                                const VarEnv &Env) {
-  switch (T->K) {
-  case IntTermNode::Kind::Const:
-    return T->Value;
-  case IntTermNode::Kind::Var: {
-    auto It = Env.find(T->Name);
-    if (It == Env.end())
-      return std::nullopt;
-    uint32_t Raw = It->second;
-    return T->Sign == VarSign::Signed
-               ? static_cast<int64_t>(static_cast<int32_t>(Raw))
-               : static_cast<int64_t>(Raw);
-  }
-  case IntTermNode::Kind::Add: {
-    auto L = evalIntTerm(T->Lhs, Env), R = evalIntTerm(T->Rhs, Env);
-    if (!L || !R)
-      return std::nullopt;
-    return *L + *R;
-  }
-  case IntTermNode::Kind::Sub: {
-    auto L = evalIntTerm(T->Lhs, Env), R = evalIntTerm(T->Rhs, Env);
-    if (!L || !R)
-      return std::nullopt;
-    return *L - *R;
-  }
-  case IntTermNode::Kind::Mul: {
-    auto L = evalIntTerm(T->Lhs, Env), R = evalIntTerm(T->Rhs, Env);
-    if (!L || !R)
-      return std::nullopt;
-    return *L * *R;
-  }
-  case IntTermNode::Kind::DivC: {
-    auto L = evalIntTerm(T->Lhs, Env);
-    if (!L)
-      return std::nullopt;
-    return *L / T->Value;
-  }
-  }
-  return std::nullopt;
+  auto V = evalWide(T, Env);
+  if (!V || *V > static_cast<Wide>(std::numeric_limits<int64_t>::max()) ||
+      *V < static_cast<Wide>(std::numeric_limits<int64_t>::min()))
+    return std::nullopt;
+  return static_cast<int64_t>(*V);
 }
 
 void qcc::logic::collectIntTermVars(const IntTerm &T,
@@ -179,7 +250,9 @@ std::string Cmp::str() const {
 }
 
 std::optional<bool> qcc::logic::evalCmp(const Cmp &C, const VarEnv &Env) {
-  auto L = evalIntTerm(C.Lhs, Env), R = evalIntTerm(C.Rhs, Env);
+  // Compare at full width: a comparison whose sides are exact 128-bit
+  // values never reports a wrapped verdict.
+  auto L = evalWide(C.Lhs, Env), R = evalWide(C.Rhs, Env);
   if (!L || !R)
     return std::nullopt;
   switch (C.Rel) {
@@ -422,28 +495,33 @@ ExtNat qcc::logic::evalBound(const BoundExpr &E, const StackMetric &M,
   case BoundExprNode::Kind::Scale:
     return ExtNat(E->Factor) * evalBound(E->Lhs, M, Env);
   case BoundExprNode::Kind::Log2W: {
-    auto V = evalIntTerm(E->Term, Env);
+    auto V = evalWide(E->Term, Env);
     if (!V)
       return ExtNat::infinity(); // Unbound variable: no guarantee.
     if (*V < 0)
       return ExtNat::infinity(); // Paper convention: log2(<0) = +oo.
     if (*V <= 1)
       return ExtNat(0); // Paper convention: log2(0) = 0 (and log2(1) = 0).
-    return ExtNat(floorLog2(static_cast<uint64_t>(*V)));
+    return ExtNat(floorLog2Wide(*V));
   }
   case BoundExprNode::Kind::Log2C: {
-    auto V = evalIntTerm(E->Term, Env);
+    auto V = evalWide(E->Term, Env);
     if (!V)
       return ExtNat::infinity();
     if (*V < 0)
       return ExtNat::infinity();
     if (*V <= 1)
       return ExtNat(0);
-    return ExtNat(ceilLog2(static_cast<uint64_t>(*V)));
+    return ExtNat(ceilLog2Wide(*V));
   }
   case BoundExprNode::Kind::NatTerm: {
-    auto V = evalIntTerm(E->Term, Env);
+    // Negative values clamp to zero's complement — infinity — and values
+    // past uint64 saturate upward; both directions only ever enlarge the
+    // bound, never shrink it.
+    auto V = evalWide(E->Term, Env);
     if (!V || *V < 0)
+      return ExtNat::infinity();
+    if (*V > Uint64Max)
       return ExtNat::infinity();
     return ExtNat(static_cast<uint64_t>(*V));
   }

@@ -79,7 +79,10 @@ struct IntTermNode {
 /// variables (parameters and locals) to 32-bit values.
 using VarEnv = std::map<std::string, uint32_t>;
 
-/// Evaluates \p T under \p Env; std::nullopt if a variable is unbound.
+/// Evaluates \p T under \p Env, exactly (the internal arithmetic is wide
+/// enough for any term over 32-bit values, never wrapping); std::nullopt
+/// if a variable is unbound, a divisor is non-positive, or the exact
+/// value does not fit int64.
 std::optional<int64_t> evalIntTerm(const IntTerm &T, const VarEnv &Env);
 
 /// Collects the free variables of \p T into \p Out.

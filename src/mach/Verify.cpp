@@ -1,0 +1,184 @@
+//===- mach/Verify.cpp - Mach well-formedness checks ----------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mach/Verify.h"
+
+#include <set>
+
+using namespace qcc;
+using namespace qcc::mach;
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(const Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  void run() {
+    std::set<std::string> Seen;
+    for (const GlobalVar &G : P.Globals) {
+      if (!Seen.insert(G.Name).second)
+        Diags.error(G.Loc, "mach: duplicate global '" + G.Name + "'");
+      if (G.Size == 0)
+        Diags.error(G.Loc, "mach: global '" + G.Name + "' has no cells");
+      if (G.Init.size() > G.Size)
+        Diags.error(G.Loc, "mach: initializer of '" + G.Name +
+                               "' exceeds its size");
+    }
+    for (const ExternalDecl &E : P.Externals)
+      if (!Seen.insert(E.Name).second)
+        Diags.error(E.Loc, "mach: duplicate declaration '" + E.Name + "'");
+    for (const Function &F : P.Functions)
+      if (!Seen.insert(F.Name).second)
+        Diags.error(F.Loc, "mach: duplicate function '" + F.Name + "'");
+
+    const Function *Main = P.findFunction(P.EntryPoint);
+    if (!Main)
+      Diags.error(SourceLoc(),
+                  "mach: entry point '" + P.EntryPoint + "' is not defined");
+    else if (Main->NumParams != 0)
+      Diags.error(Main->Loc, "mach: entry point must take no parameters");
+
+    for (const Function &F : P.Functions)
+      verifyFunction(F);
+  }
+
+private:
+  void verifyFunction(const Function &F) {
+    Fn = &F;
+    // Frame-layout wraparound audit: the frame size and the cost metric
+    // M(f) = SF(f) + 4 are computed in uint32_t; cap the word count so
+    // neither can wrap (a wrapped SF would certify an unsound bound).
+    if (static_cast<uint64_t>(F.MaxOutgoing) + F.SpillSlots > MaxFrameWords)
+      Diags.error(F.Loc, "mach: frame of '" + F.Name + "' (" +
+                             std::to_string(F.MaxOutgoing) + " outgoing + " +
+                             std::to_string(F.SpillSlots) +
+                             " spill words) exceeds the layout limit");
+
+    std::set<uint32_t> Labels;
+    for (const Instr &I : F.Code)
+      if (I.K == InstrKind::Label && !Labels.insert(I.Index).second)
+        Diags.error(F.Loc, "mach: duplicate label L" + std::to_string(I.Index) +
+                               " in '" + F.Name + "'");
+    for (size_t Pc = 0; Pc != F.Code.size(); ++Pc)
+      verifyInstr(F.Code[Pc], Pc, Labels);
+  }
+
+  void bad(size_t Pc, const std::string &Message) {
+    Diags.error(Fn->Loc, "mach: instruction " + std::to_string(Pc) + " in '" +
+                             Fn->Name + "': " + Message);
+  }
+
+  void checkLabel(uint32_t Id, size_t Pc, const std::set<uint32_t> &Labels) {
+    if (!Labels.count(Id))
+      bad(Pc, "branch to undefined label L" + std::to_string(Id));
+  }
+
+  void checkGlobal(const std::string &Name, bool WantArray, size_t Pc) {
+    const GlobalVar *G = P.findGlobal(Name);
+    if (!G) {
+      bad(Pc, "unknown global '" + Name + "'");
+      return;
+    }
+    if (G->IsArray != WantArray)
+      bad(Pc, WantArray ? "subscript applied to scalar '" + Name + "'"
+                        : "global array '" + Name +
+                              "' accessed without subscript");
+  }
+
+  void verifyInstr(const Instr &I, size_t Pc, const std::set<uint32_t> &Labels) {
+    switch (I.K) {
+    case InstrKind::MovImm:
+    case InstrKind::Mov:
+    case InstrKind::Unary:
+    case InstrKind::Binary:
+    case InstrKind::Label:
+    case InstrKind::Return:
+      break;
+    case InstrKind::GlobLoad:
+    case InstrKind::GlobStore:
+      checkGlobal(I.Name, /*WantArray=*/false, Pc);
+      break;
+    case InstrKind::ArrayLoad:
+    case InstrKind::ArrayStore:
+      checkGlobal(I.Name, /*WantArray=*/true, Pc);
+      break;
+    case InstrKind::GetStack:
+    case InstrKind::SetStack:
+      if (I.Index >= Fn->SpillSlots)
+        bad(Pc, "spill slot " + std::to_string(I.Index) + " out of range (" +
+                    std::to_string(Fn->SpillSlots) + " slots)");
+      break;
+    case InstrKind::GetParam:
+      if (I.Index >= Fn->NumParams)
+        bad(Pc, "parameter " + std::to_string(I.Index) + " out of range (" +
+                    std::to_string(Fn->NumParams) + " parameters)");
+      break;
+    case InstrKind::SetOutgoing:
+      if (I.Index >= Fn->MaxOutgoing)
+        bad(Pc, "outgoing slot " + std::to_string(I.Index) +
+                    " out of range (" + std::to_string(Fn->MaxOutgoing) +
+                    " slots)");
+      break;
+    case InstrKind::Call:
+      if (I.NArgs > Fn->MaxOutgoing)
+        bad(Pc, "call passes " + std::to_string(I.NArgs) +
+                    " argument(s) through " + std::to_string(Fn->MaxOutgoing) +
+                    " outgoing slot(s)");
+      if (const Function *Callee = P.findFunction(I.Name)) {
+        if (Callee->NumParams != I.NArgs)
+          bad(Pc, "call to '" + I.Name + "' with " + std::to_string(I.NArgs) +
+                      " argument(s), expects " +
+                      std::to_string(Callee->NumParams));
+      } else if (const ExternalDecl *Ext = P.findExternal(I.Name)) {
+        if (Ext->Arity != I.NArgs)
+          bad(Pc, "call to external '" + I.Name + "' with " +
+                      std::to_string(I.NArgs) + " argument(s), expects " +
+                      std::to_string(Ext->Arity));
+      } else {
+        bad(Pc, "call to unknown function '" + I.Name + "'");
+      }
+      break;
+    case InstrKind::TailCall: {
+      if (I.NArgs > Fn->MaxOutgoing)
+        bad(Pc, "tail call passes " + std::to_string(I.NArgs) +
+                    " argument(s) through " + std::to_string(Fn->MaxOutgoing) +
+                    " outgoing slot(s)");
+      // The callee reuses this frame's incoming parameter area, so its
+      // arguments must fit there (mach/Lower.cpp only emits such sites).
+      if (I.NArgs > Fn->NumParams)
+        bad(Pc, "tail call passes " + std::to_string(I.NArgs) +
+                    " argument(s) through " + std::to_string(Fn->NumParams) +
+                    " incoming parameter slot(s)");
+      const Function *Callee = P.findFunction(I.Name);
+      if (!Callee)
+        bad(Pc, "tail call to unknown or external function '" + I.Name + "'");
+      else if (Callee->NumParams != I.NArgs)
+        bad(Pc, "tail call to '" + I.Name + "' with " +
+                    std::to_string(I.NArgs) + " argument(s), expects " +
+                    std::to_string(Callee->NumParams));
+      break;
+    }
+    case InstrKind::Goto:
+    case InstrKind::Brnz:
+      checkLabel(I.Index, Pc, Labels);
+      break;
+    }
+  }
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+  const Function *Fn = nullptr;
+};
+
+} // namespace
+
+bool qcc::mach::verifyProgram(const Program &P, DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  Verifier(P, Diags).run();
+  return Diags.errorCount() == Before;
+}

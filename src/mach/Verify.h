@@ -1,0 +1,41 @@
+//===- mach/Verify.h - Mach well-formedness checks --------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness of Mach programs: every stack-slot,
+/// parameter, and outgoing-argument index lies inside the laid-out frame,
+/// every branch label is defined, every callee resolves with a matching
+/// argument count, and the frame layout M(f) = SF(f) + 4 cannot overflow
+/// its 32-bit arithmetic. The driver runs this after the RTL -> Mach pass,
+/// so the assembly emitter and the Mach interpreter may index frames
+/// without further checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_MACH_VERIFY_H
+#define QCC_MACH_VERIFY_H
+
+#include "mach/Mach.h"
+#include "support/Diagnostics.h"
+
+namespace qcc {
+namespace mach {
+
+/// The largest MaxOutgoing + SpillSlots a verified function may declare:
+/// keeps frameSize() = 4 * (MaxOutgoing + SpillSlots) and the metric
+/// M(f) = SF(f) + 4 comfortably inside uint32_t (and any realistic frame
+/// orders of magnitude below it).
+inline constexpr uint32_t MaxFrameWords = 1u << 28;
+
+/// Checks \p P; reports problems to \p Diags. Returns true when no errors
+/// were found.
+bool verifyProgram(const Program &P, DiagnosticEngine &Diags);
+
+} // namespace mach
+} // namespace qcc
+
+#endif // QCC_MACH_VERIFY_H

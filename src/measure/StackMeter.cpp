@@ -12,6 +12,13 @@ using namespace qcc::measure;
 
 Measurement qcc::measure::measureProgram(const x86::Program &P,
                                          uint32_t StackSize, uint64_t Fuel) {
+  if (StackSize > MaxStackSize) {
+    Measurement Out;
+    Out.Error = "stack size " + std::to_string(StackSize) +
+                " exceeds the machine's addressable stack region (" +
+                std::to_string(MaxStackSize) + " bytes)";
+    return Out;
+  }
   x86::Machine M(P, StackSize);
   Behavior B = M.run(Fuel);
 

@@ -43,6 +43,11 @@ struct Measurement {
 /// Linux with the default 8 MiB; the corpus needs far less).
 inline constexpr uint32_t MeasureStackSize = 1u << 22;
 
+/// The largest sz the machine can host: its stack block of sz + 4 bytes
+/// must fit below the fixed stack top (0x7fff0000). Larger requests would
+/// wrap the block's base address; measureProgram rejects them instead.
+inline constexpr uint32_t MaxStackSize = 0x7ffe0000u;
+
 /// Runs \p P on a stack of \p StackSize bytes and measures consumption.
 Measurement measureProgram(const x86::Program &P,
                            uint32_t StackSize = MeasureStackSize,

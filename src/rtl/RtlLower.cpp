@@ -124,6 +124,8 @@ private:
       return transExpr(*E.Lhs, L, RhsN);
     }
     }
+    // Internal invariant: the switch above is ExprKind-exhaustive. The
+    // pass-through fallback keeps NDEBUG builds safe.
     assert(false && "bad expression kind");
     return Follow;
   }
@@ -219,6 +221,9 @@ private:
     }
 
     case cm::StmtKind::Exit: {
+      // Internal invariant, not source-reachable: the driver runs the
+      // Cminor verifier before this lowering, and it rejects exit depths
+      // that escape their enclosing blocks (cminor/Verify.cpp).
       assert(S.ExitDepth < BlockExits.size() && "exit without block");
       Node Target = BlockExits[BlockExits.size() - 1 - S.ExitDepth];
       Instr I;
@@ -239,6 +244,8 @@ private:
       return transExpr(*S.Value, V, RetN);
     }
     }
+    // Internal invariant: the switch above is StmtKind-exhaustive. The
+    // pass-through fallback keeps NDEBUG builds safe.
     assert(false && "bad statement kind");
     return Follow;
   }

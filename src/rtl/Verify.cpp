@@ -1,0 +1,188 @@
+//===- rtl/Verify.cpp - RTL well-formedness checks ------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rtl/Verify.h"
+
+#include <set>
+
+using namespace qcc;
+using namespace qcc::rtl;
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(const Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  void run() {
+    std::set<std::string> Seen;
+    for (const GlobalVar &G : P.Globals)
+      if (!Seen.insert(G.Name).second)
+        Diags.error(G.Loc, "rtl: duplicate global '" + G.Name + "'");
+    for (const ExternalDecl &E : P.Externals)
+      if (!Seen.insert(E.Name).second)
+        Diags.error(E.Loc, "rtl: duplicate declaration '" + E.Name + "'");
+    for (const Function &F : P.Functions)
+      if (!Seen.insert(F.Name).second)
+        Diags.error(F.Loc, "rtl: duplicate function '" + F.Name + "'");
+
+    const Function *Main = P.findFunction(P.EntryPoint);
+    if (!Main)
+      Diags.error(SourceLoc(),
+                  "rtl: entry point '" + P.EntryPoint + "' is not defined");
+    else if (Main->NumParams != 0)
+      Diags.error(Main->Loc, "rtl: entry point must take no parameters");
+
+    for (const Function &F : P.Functions)
+      verifyFunction(F);
+  }
+
+private:
+  void verifyFunction(const Function &F) {
+    Fn = &F;
+    if (F.NumParams > F.NumRegs)
+      Diags.error(F.Loc, "rtl: '" + F.Name + "' declares " +
+                             std::to_string(F.NumParams) + " parameters in " +
+                             std::to_string(F.NumRegs) + " registers");
+    if (F.Nodes.empty()) {
+      Diags.error(F.Loc, "rtl: function '" + F.Name + "' has no nodes");
+      return;
+    }
+    if (F.Entry >= F.Nodes.size())
+      Diags.error(F.Loc, "rtl: entry node " + std::to_string(F.Entry) +
+                             " out of range in '" + F.Name + "' (" +
+                             std::to_string(F.Nodes.size()) + " nodes)");
+    for (Node N = 0; N != F.Nodes.size(); ++N)
+      verifyInstr(F.Nodes[N], N);
+  }
+
+  void badNode(Node N, const std::string &Message) {
+    Diags.error(Fn->Loc, "rtl: node " + std::to_string(N) + " in '" +
+                             Fn->Name + "': " + Message);
+  }
+
+  void checkReg(Reg R, Node N, const char *Role) {
+    if (R >= Fn->NumRegs)
+      badNode(N, std::string(Role) + " register r" + std::to_string(R) +
+                     " out of range (" + std::to_string(Fn->NumRegs) +
+                     " registers)");
+  }
+
+  void checkSucc(Node Target, Node N, const char *Edge) {
+    if (Target >= Fn->Nodes.size())
+      badNode(N, std::string(Edge) + " successor " +
+                     (Target == NoNode ? std::string("<none>")
+                                       : std::to_string(Target)) +
+                     " out of range (" + std::to_string(Fn->Nodes.size()) +
+                     " nodes)");
+  }
+
+  void checkGlobal(const std::string &Name, bool WantArray, Node N) {
+    const GlobalVar *G = P.findGlobal(Name);
+    if (!G) {
+      badNode(N, "unknown global '" + Name + "'");
+      return;
+    }
+    if (G->IsArray != WantArray)
+      badNode(N, WantArray
+                     ? "subscript applied to scalar '" + Name + "'"
+                     : "global array '" + Name + "' accessed without subscript");
+  }
+
+  void verifyInstr(const Instr &I, Node N) {
+    switch (I.K) {
+    case InstrKind::Nop:
+      break;
+    case InstrKind::Const:
+      checkReg(I.Dst, N, "destination");
+      break;
+    case InstrKind::Move:
+    case InstrKind::Unary:
+      checkReg(I.Dst, N, "destination");
+      checkReg(I.Src1, N, "source");
+      break;
+    case InstrKind::Binary:
+      checkReg(I.Dst, N, "destination");
+      checkReg(I.Src1, N, "left source");
+      checkReg(I.Src2, N, "right source");
+      break;
+    case InstrKind::GlobLoad:
+      checkReg(I.Dst, N, "destination");
+      checkGlobal(I.Name, /*WantArray=*/false, N);
+      break;
+    case InstrKind::GlobStore:
+      checkReg(I.Src1, N, "source");
+      checkGlobal(I.Name, /*WantArray=*/false, N);
+      break;
+    case InstrKind::ArrayLoad:
+      checkReg(I.Dst, N, "destination");
+      checkReg(I.Src1, N, "index");
+      checkGlobal(I.Name, /*WantArray=*/true, N);
+      break;
+    case InstrKind::ArrayStore:
+      checkReg(I.Src1, N, "index");
+      checkReg(I.Src2, N, "source");
+      checkGlobal(I.Name, /*WantArray=*/true, N);
+      break;
+    case InstrKind::Call:
+      verifyCall(I, N);
+      break;
+    case InstrKind::Cond:
+      checkReg(I.Src1, N, "condition");
+      checkSucc(I.Succ2, N, "false");
+      break;
+    case InstrKind::Return:
+      // No shape check against ReturnsValue here: RTL lowering emits an
+      // unreachable fall-off void-return node even in value functions
+      // (Cminor's verifier enforces the source-level discipline).
+      if (I.HasValue)
+        checkReg(I.Src1, N, "result");
+      // Return leaves the function: no successor edge to check.
+      return;
+    }
+    checkSucc(I.Succ, N, "fallthrough");
+  }
+
+  void verifyCall(const Instr &I, Node N) {
+    for (Reg A : I.Args)
+      checkReg(A, N, "argument");
+    if (I.HasDest)
+      checkReg(I.Dst, N, "destination");
+    if (const Function *Callee = P.findFunction(I.Name)) {
+      if (Callee->NumParams != I.Args.size())
+        badNode(N, "call to '" + I.Name + "' with " +
+                       std::to_string(I.Args.size()) +
+                       " argument(s), expects " +
+                       std::to_string(Callee->NumParams));
+      if (I.HasDest && !Callee->ReturnsValue)
+        badNode(N, "result of void function '" + I.Name + "' used");
+      return;
+    }
+    if (const ExternalDecl *Ext = P.findExternal(I.Name)) {
+      if (Ext->Arity != I.Args.size())
+        badNode(N, "call to external '" + I.Name + "' with " +
+                       std::to_string(I.Args.size()) +
+                       " argument(s), expects " + std::to_string(Ext->Arity));
+      if (I.HasDest && !Ext->HasResult)
+        badNode(N, "result of void external '" + I.Name + "' used");
+      return;
+    }
+    badNode(N, "call to unknown function '" + I.Name + "'");
+  }
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+  const Function *Fn = nullptr;
+};
+
+} // namespace
+
+bool qcc::rtl::verifyProgram(const Program &P, DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  Verifier(P, Diags).run();
+  return Diags.errorCount() == Before;
+}

@@ -1,0 +1,35 @@
+//===- rtl/Verify.h - RTL well-formedness checks ----------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness of RTL control-flow graphs: the entry node
+/// and every successor edge lands inside the node array (or is the NoNode
+/// sentinel exactly where the instruction kind leaves the function),
+/// every register is below NumRegs, and every global/array/callee name
+/// resolves with the right shape and arity. The driver runs this after
+/// the RTL lowering and again after the optimization passes, so the Mach
+/// lowering and the RTL interpreter may assume a verified graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_RTL_VERIFY_H
+#define QCC_RTL_VERIFY_H
+
+#include "rtl/Rtl.h"
+#include "support/Diagnostics.h"
+
+namespace qcc {
+namespace rtl {
+
+/// Checks \p P; reports problems to \p Diags. Returns true when no errors
+/// were found.
+bool verifyProgram(const Program &P, DiagnosticEngine &Diags);
+
+} // namespace rtl
+} // namespace qcc
+
+#endif // QCC_RTL_VERIFY_H

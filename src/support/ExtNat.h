@@ -27,8 +27,11 @@ namespace qcc {
 ///
 /// Addition, multiplication, max and min saturate: anything involving
 /// infinity is infinity (except multiplication by a finite zero, which is
-/// defined as zero so that scaling an empty bound stays empty). Subtraction
-/// is truncated at zero, and infinity minus a finite value stays infinite.
+/// defined as zero so that scaling an empty bound stays empty), and a
+/// finite result that would not fit in uint64_t saturates to infinity as
+/// well, in every build mode — overflow may cost precision but never
+/// soundness. Subtraction is truncated at zero, and infinity minus a
+/// finite value stays infinite.
 class ExtNat {
 public:
   /// Constructs zero.
@@ -54,11 +57,18 @@ public:
     return Value;
   }
 
+  /// Checked saturation: a finite sum that would exceed uint64_t becomes
+  /// infinity. Saturating (rather than asserting) keeps the operation
+  /// total in every build mode; an assert would vanish under NDEBUG and
+  /// let the sum wrap, silently *under*-approximating a bound — the one
+  /// failure mode a stack-bound certifier must exclude. Rounding up to
+  /// infinity is always sound: the checker can only lose precision, never
+  /// certify too small a bound.
   ExtNat operator+(ExtNat O) const {
     if (Inf || O.Inf)
       return infinity();
-    assert(Value <= std::numeric_limits<uint64_t>::max() - O.Value &&
-           "ExtNat addition overflow");
+    if (Value > std::numeric_limits<uint64_t>::max() - O.Value)
+      return infinity();
     return ExtNat(Value + O.Value);
   }
 
@@ -72,14 +82,16 @@ public:
     return ExtNat(Value > O.Value ? Value - O.Value : 0);
   }
 
+  /// Checked saturation, like operator+: a finite product that would
+  /// exceed uint64_t becomes infinity (sound — bounds only round up).
+  /// Multiplication by a finite zero stays zero, even against infinity.
   ExtNat operator*(ExtNat O) const {
     if ((isFinite() && Value == 0) || (O.isFinite() && O.Value == 0))
       return ExtNat(0);
     if (Inf || O.Inf)
       return infinity();
-    assert((O.Value == 0 ||
-            Value <= std::numeric_limits<uint64_t>::max() / O.Value) &&
-           "ExtNat multiplication overflow");
+    if (Value > std::numeric_limits<uint64_t>::max() / O.Value)
+      return infinity();
     return ExtNat(Value * O.Value);
   }
 

@@ -1,0 +1,78 @@
+//===- x86/Verify.cpp - Assembly well-formedness checks -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/Verify.h"
+
+#include <set>
+
+using namespace qcc;
+using namespace qcc::x86;
+
+bool qcc::x86::verifyProgram(const Program &P, DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  auto Bad = [&Diags](const std::string &Message) {
+    Diags.error(SourceLoc(), "asm: " + Message);
+  };
+
+  // Global data layout: the machine images memory by plain offset
+  // arithmetic, so every extent must sit inside the declared block.
+  if (P.GlobalSize > MaxGlobalBytes)
+    Bad("global data image of " + std::to_string(P.GlobalSize) +
+        " bytes exceeds the limit (" + std::to_string(MaxGlobalBytes) + ")");
+  if (P.GlobalBase % 4 != 0 ||
+      P.GlobalBase + static_cast<uint64_t>(P.GlobalSize) > 0x7fff0000u)
+    Bad("global data block [base " + std::to_string(P.GlobalBase) + ", size " +
+        std::to_string(P.GlobalSize) + "] is misaligned or collides with "
+        "the stack region");
+  std::set<std::string> SeenGlobals;
+  for (const GlobalLayout &G : P.Globals) {
+    if (!SeenGlobals.insert(G.Name).second)
+      Bad("duplicate global '" + G.Name + "'");
+    if (G.Address % 4 != 0 || G.Address < P.GlobalBase ||
+        static_cast<uint64_t>(G.Address) - P.GlobalBase + G.SizeBytes >
+            P.GlobalSize)
+      Bad("global '" + G.Name + "' lies outside the data block");
+    if (static_cast<uint64_t>(G.Init.size()) * 4 > G.SizeBytes)
+      Bad("initializer of global '" + G.Name + "' exceeds its size");
+  }
+
+  std::set<std::string> Defined;
+  for (const AsmFunction &F : P.Functions)
+    if (!Defined.insert(F.Name).second)
+      Bad("duplicate function '" + F.Name + "'");
+  if (!Defined.count(P.EntryPoint))
+    Bad("entry point '" + P.EntryPoint + "' is not defined");
+
+  for (const AsmFunction &F : P.Functions) {
+    std::set<uint32_t> Labels;
+    for (const Instr &I : F.Code)
+      if (I.K == InstrKind::Label)
+        Labels.insert(I.Imm);
+    for (size_t Pc = 0; Pc != F.Code.size(); ++Pc) {
+      const Instr &I = F.Code[Pc];
+      switch (I.K) {
+      case InstrKind::Jmp:
+      case InstrKind::TestJnz:
+        if (!Labels.count(I.Imm))
+          Bad("branch to undefined label L" + std::to_string(I.Imm) + " in '" +
+              F.Name + "' at " + std::to_string(Pc));
+        break;
+      case InstrKind::CallDirect:
+      case InstrKind::TailJmp:
+        // The linker resolves these against defined functions only;
+        // external I/O goes through CallExternal.
+        if (!Defined.count(I.Name))
+          Bad("call to undefined function '" + I.Name + "' in '" + F.Name +
+              "' at " + std::to_string(Pc));
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return Diags.errorCount() == Before;
+}

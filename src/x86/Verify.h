@@ -1,0 +1,42 @@
+//===- x86/Verify.h - Assembly well-formedness checks -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness of assembled programs, covering exactly the
+/// preconditions the ASM_sz machine's linker asserts and its memory image
+/// construction indexes by: every local branch label is defined in its
+/// function, every direct/tail call target is a defined function, and the
+/// global data layout is self-consistent (aligned addresses inside
+/// [GlobalBase, GlobalBase + GlobalSize), initializers within their
+/// globals, no overlap with the stack region, bounded total size). The
+/// driver runs this after assembly emission, so x86::Machine may link and
+/// image memory without further checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_X86_VERIFY_H
+#define QCC_X86_VERIFY_H
+
+#include "support/Diagnostics.h"
+#include "x86/Asm.h"
+
+namespace qcc {
+namespace x86 {
+
+/// The largest global data image a verified program may request; keeps a
+/// hostile (or corrupted) layout from turning machine construction into a
+/// multi-gigabyte allocation.
+inline constexpr uint32_t MaxGlobalBytes = 1u << 26;
+
+/// Checks \p P; reports problems to \p Diags. Returns true when no errors
+/// were found.
+bool verifyProgram(const Program &P, DiagnosticEngine &Diags);
+
+} // namespace x86
+} // namespace qcc
+
+#endif // QCC_X86_VERIFY_H

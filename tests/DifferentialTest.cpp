@@ -33,6 +33,7 @@
 #include "driver/Compiler.h"
 #include "events/Refinement.h"
 #include "frontend/Frontend.h"
+#include "fuzz/Generator.h"
 #include "interp/Interp.h"
 #include "rtl/Opt.h"
 #include "x86/Machine.h"
@@ -43,237 +44,9 @@ using namespace qcc;
 
 namespace {
 
-/// Deterministic splitmix64 generator.
-class Rng {
-public:
-  explicit Rng(uint64_t Seed) : State(Seed) {}
-  uint64_t next() {
-    State += 0x9e3779b97f4a7c15ull;
-    uint64_t Z = State;
-    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
-    return Z ^ (Z >> 31);
-  }
-  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
-  bool chance(uint32_t Percent) { return below(100) < Percent; }
-
-private:
-  uint64_t State;
-};
-
-/// Generates one random program in the subset.
-class ProgramGenerator {
-public:
-  explicit ProgramGenerator(uint64_t Seed) : R(Seed) {}
-
-  std::string generate() {
-    Out = "typedef unsigned int u32;\n";
-    NumGlobals = 1 + R.below(3);
-    for (unsigned G = 0; G != NumGlobals; ++G) {
-      ArraySizes.push_back(4 + R.below(13));
-      Out += "u32 g" + std::to_string(G) + "[" +
-             std::to_string(ArraySizes[G]) + "];\n";
-    }
-    Out += "u32 s0 = " + std::to_string(R.below(1000)) + ";\n";
-    Out += "int s1;\n";
-
-    unsigned NumFunctions = 1 + R.below(4);
-    for (unsigned F = 0; F != NumFunctions; ++F)
-      emitFunction(F);
-    emitMain();
-    return Out;
-  }
-
-private:
-  // Expression generation over the current scope. Depth-limited.
-  std::string expr(unsigned Depth) {
-    if (Depth == 0 || R.chance(35)) {
-      switch (R.below(4)) {
-      case 0:
-        return std::to_string(R.below(64));
-      case 1:
-        if (!Scope.empty())
-          return Scope[R.below(Scope.size())];
-        return std::to_string(R.below(64));
-      case 2:
-        return R.chance(50) ? "s0" : "s1";
-      default: {
-        unsigned G = R.below(NumGlobals);
-        return "g" + std::to_string(G) + "[(" + expr(0) + ") % " +
-               std::to_string(ArraySizes[G]) + "]";
-      }
-      }
-    }
-    static const char *SafeOps[] = {"+", "-", "*", "&", "|", "^",
-                                    "<<", ">>", "<", "<=", "==", "!="};
-    switch (R.below(10)) {
-    case 0: {
-      // Division: usually guarded, sometimes allowed to trap.
-      const char *Guard = R.chance(85) ? " | 1)" : ")";
-      return "((" + expr(Depth - 1) + ") " + (R.chance(50) ? "/" : "%") +
-             " ((" + expr(Depth - 1) + ")" + Guard + ")";
-    }
-    case 1:
-      return "(" + expr(Depth - 1) + " ? " + expr(Depth - 1) + " : " +
-             expr(Depth - 1) + ")";
-    case 2:
-      return "(" + std::string(R.chance(50) ? "~" : "!") + "(" +
-             expr(Depth - 1) + "))";
-    case 3:
-      return "((" + expr(Depth - 1) + ") " +
-             (R.chance(50) ? "&&" : "||") + " (" + expr(Depth - 1) + "))";
-    default:
-      return "((" + expr(Depth - 1) + ") " + SafeOps[R.below(12)] + " (" +
-             expr(Depth - 1) + "))";
-    }
-  }
-
-  std::string callExpr(unsigned UpTo) {
-    unsigned F = R.below(UpTo);
-    std::string Call = "f" + std::to_string(F) + "(";
-    for (unsigned A = 0; A != Arity[F]; ++A) {
-      if (A)
-        Call += ", ";
-      Call += expr(1);
-    }
-    return Call + ")";
-  }
-
-  /// A writable local that is not a protected loop counter.
-  std::string writableLocal() {
-    std::vector<std::string> Options;
-    for (const std::string &V : Scope)
-      if (!Protected.count(V))
-        Options.push_back(V);
-    if (Options.empty())
-      return R.chance(50) ? "s0" : "s1";
-    return Options[R.below(Options.size())];
-  }
-
-  void statement(unsigned Depth, unsigned FnIndex, std::string Indent) {
-    switch (R.below(Depth > 0 ? 7 : 4)) {
-    case 0: { // Assignment.
-      Out += Indent + writableLocal() + " = " + expr(2) + ";\n";
-      return;
-    }
-    case 1: { // Array store.
-      unsigned G = R.below(NumGlobals);
-      Out += Indent + "g" + std::to_string(G) + "[(" + expr(1) + ") % " +
-             std::to_string(ArraySizes[G]) + "] = " + expr(2) + ";\n";
-      return;
-    }
-    case 2: { // Call (possibly into a local).
-      if (FnIndex == 0) {
-        Out += Indent + writableLocal() + " = " + expr(2) + ";\n";
-        return;
-      }
-      Out += Indent + writableLocal() + " = " + callExpr(FnIndex) + ";\n";
-      return;
-    }
-    case 3: { // Global update.
-      Out += Indent + (R.chance(50) ? "s0" : "s1") + " = " + expr(2) +
-             ";\n";
-      return;
-    }
-    case 4: { // If.
-      Out += Indent + "if (" + expr(2) + ") {\n";
-      statement(Depth - 1, FnIndex, Indent + "  ");
-      if (R.chance(60)) {
-        Out += Indent + "} else {\n";
-        statement(Depth - 1, FnIndex, Indent + "  ");
-      }
-      Out += Indent + "}\n";
-      return;
-    }
-    case 5: { // Bounded for-loop with a protected fresh counter.
-      std::string I = "i" + std::to_string(LoopCounter++);
-      Locals.push_back(I);
-      Scope.push_back(I);
-      Protected.insert(I);
-      Out += Indent + "for (" + I + " = 0; " + I + " < " +
-             std::to_string(1 + R.below(6)) + "; " + I + "++) {\n";
-      statement(Depth - 1, FnIndex, Indent + "  ");
-      if (R.chance(30))
-        Out += Indent + "  if (" + expr(1) + ") break;\n";
-      Out += Indent + "}\n";
-      Protected.erase(I);
-      return;
-    }
-    default: { // Block of two.
-      statement(Depth - 1, FnIndex, Indent);
-      statement(Depth - 1, FnIndex, Indent);
-      return;
-    }
-    }
-  }
-
-  void beginFunction(unsigned NParams) {
-    Scope.clear();
-    Locals.clear();
-    Protected.clear();
-    LoopCounter = 0;
-    for (unsigned P = 0; P != NParams; ++P)
-      Scope.push_back("p" + std::to_string(P));
-    unsigned NLocals = 1 + R.below(3);
-    for (unsigned L = 0; L != NLocals; ++L) {
-      Locals.push_back("v" + std::to_string(L));
-      Scope.push_back("v" + std::to_string(L));
-    }
-  }
-
-  void emitBody(unsigned FnIndex) {
-    // Pre-declare the loop counters this body will use: generate into a
-    // scratch buffer first, then splice declarations.
-    std::string Saved = std::move(Out);
-    Out.clear();
-    unsigned NStatements = 2 + R.below(4);
-    for (unsigned S = 0; S != NStatements; ++S)
-      statement(2, FnIndex, "  ");
-    std::string Body = std::move(Out);
-    Out = std::move(Saved);
-    if (!Locals.empty()) {
-      Out += "  u32 ";
-      for (size_t L = 0; L != Locals.size(); ++L) {
-        if (L)
-          Out += ", ";
-        Out += Locals[L];
-      }
-      Out += ";\n";
-    }
-    Out += Body;
-  }
-
-  void emitFunction(unsigned F) {
-    Arity.push_back(R.below(4));
-    beginFunction(Arity[F]);
-    Out += "u32 f" + std::to_string(F) + "(";
-    for (unsigned P = 0; P != Arity[F]; ++P) {
-      if (P)
-        Out += ", ";
-      Out += "u32 p" + std::to_string(P);
-    }
-    Out += ") {\n";
-    emitBody(F);
-    Out += "  return " + expr(2) + ";\n}\n";
-  }
-
-  void emitMain() {
-    beginFunction(0);
-    Out += "int main() {\n";
-    emitBody(static_cast<unsigned>(Arity.size()));
-    Out += "  return (int)((" + expr(2) + ") & 0xff);\n}\n";
-  }
-
-  Rng R;
-  std::string Out;
-  unsigned NumGlobals = 0;
-  std::vector<uint32_t> ArraySizes;
-  std::vector<unsigned> Arity;
-  std::vector<std::string> Scope;   ///< Readable names.
-  std::vector<std::string> Locals;  ///< Declared in this function.
-  std::set<std::string> Protected;  ///< Live loop counters.
-  unsigned LoopCounter = 0;
-};
+// The generator lives in src/fuzz (shared with the --fuzz harness);
+// same splitmix64 draws, so historical seeds reproduce identically.
+using fuzz::ProgramGenerator;
 
 /// Runs one generated program through every level; returns a failure
 /// explanation or the empty string.

@@ -151,6 +151,38 @@ int main() { return g(4); }
   EXPECT_TRUE(Below.StackOverflow);
 }
 
+TEST(Driver, ZeroStackSizeIsAValidTheorem1Instance) {
+  // sz = 0 is a legitimate (degenerate) Theorem 1 stack: a call-free main
+  // needs no stack beyond the machine's +4 slack for its return address.
+  Compilation CallFree = mustCompile("int main() { return 5; }");
+  auto Bound = concreteCallBound(CallFree, "main");
+  ASSERT_TRUE(Bound);
+  EXPECT_EQ(*Bound, 4u);
+  measure::Measurement M = runWithStackSize(CallFree, 0);
+  EXPECT_TRUE(M.Ok) << M.Error;
+  EXPECT_EQ(M.ExitCode, 5);
+
+  // While any program that calls must overflow a 0-byte stack — and
+  // report it as a stack overflow, not crash or misreport.
+  Compilation Calling = mustCompile(R"(
+u32 f(u32 x) { return x + 1; }
+int main() { return f(1); }
+)");
+  measure::Measurement Z = runWithStackSize(Calling, 0);
+  EXPECT_FALSE(Z.Ok);
+  EXPECT_TRUE(Z.StackOverflow);
+}
+
+TEST(Driver, StackSizeAtMachineMaximumIsRejectedGracefully) {
+  // measure::MaxStackSize is the largest hostable sz; one past it must
+  // be a clean error from the meter, never address wraparound.
+  Compilation C = mustCompile("int main() { return 0; }");
+  measure::Measurement M = runWithStackSize(C, measure::MaxStackSize + 1);
+  EXPECT_FALSE(M.Ok);
+  EXPECT_FALSE(M.StackOverflow);
+  EXPECT_FALSE(M.Error.empty());
+}
+
 TEST(Driver, Section2EndToEnd) {
   CompilerOptions Opt;
   Opt.SeededSpecs = section2Seed();

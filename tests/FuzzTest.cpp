@@ -1,0 +1,193 @@
+//===- tests/FuzzTest.cpp - The hardening harness, as a ctest target ------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-injection / no-crash harness (src/fuzz) as a test suite,
+/// labeled `fuzz` so it can run as its own ctest slice:
+///
+///   ctest -L fuzz
+///
+/// The invariant under test, everywhere: no input crashes qcc or
+/// extracts an unsound bound — every input either verifies or produces
+/// diagnostics. Includes a seeded smoke campaign (256 programs, 64
+/// derivation mutants, every pass-boundary fault) and a regression
+/// corpus of previously interesting inputs under tests/fuzz-corpus/.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "fuzz/FaultInject.h"
+#include "fuzz/Fuzz.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Mutator.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace qcc;
+using namespace qcc::fuzz;
+
+namespace {
+
+/// Compiles \p Source with default options and checks the no-crash
+/// contract: success, or failure with at least one diagnostic.
+testing::AssertionResult compilesOrDiagnoses(const std::string &Source) {
+  DiagnosticEngine Diags;
+  auto C = driver::compile(Source, Diags);
+  if (!C && !Diags.hasErrors())
+    return testing::AssertionFailure()
+           << "rejected without any diagnostic:\n"
+           << Source.substr(0, 400);
+  return testing::AssertionSuccess();
+}
+
+//===----------------------------------------------------------------------===//
+// Generator
+//===----------------------------------------------------------------------===//
+
+TEST(Generator, Deterministic) {
+  EXPECT_EQ(ProgramGenerator(42).generate(), ProgramGenerator(42).generate());
+  EXPECT_NE(ProgramGenerator(42).generate(), ProgramGenerator(43).generate());
+}
+
+TEST(Generator, AdversarialDeterministic) {
+  for (unsigned K = 0; K != NumAdversarialKinds; ++K) {
+    auto Kind = static_cast<AdversarialKind>(K);
+    EXPECT_EQ(generateAdversarial(Kind, 7), generateAdversarial(Kind, 7))
+        << adversarialKindName(Kind);
+  }
+}
+
+// Every adversarial family, several seeds each: compile or diagnose,
+// never crash. This is the test that would stack-overflow without the
+// parser's nesting limit.
+TEST(Generator, AdversarialNoCrash) {
+  for (unsigned K = 0; K != NumAdversarialKinds; ++K) {
+    auto Kind = static_cast<AdversarialKind>(K);
+    for (uint64_t Seed = 1; Seed <= 3; ++Seed)
+      EXPECT_TRUE(compilesOrDiagnoses(generateAdversarial(Kind, Seed)))
+          << adversarialKindName(Kind) << " seed " << Seed;
+  }
+}
+
+// The near-limit family must still parse: the nesting limit may not eat
+// into legitimately deep expressions.
+TEST(Generator, DeepExpressionStillCompiles) {
+  DiagnosticEngine Diags;
+  auto C = driver::compile(
+      generateAdversarial(AdversarialKind::DeepExpression, 1), Diags);
+  EXPECT_TRUE(C.has_value()) << Diags.str();
+}
+
+TEST(Generator, DeeperThanParserIsDiagnosed) {
+  DiagnosticEngine Diags;
+  auto C = driver::compile(
+      generateAdversarial(AdversarialKind::DeeperThanParser, 1), Diags);
+  EXPECT_FALSE(C.has_value());
+  EXPECT_NE(Diags.str().find("nesting exceeds the parser limit"),
+            std::string::npos)
+      << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Derivation mutation
+//===----------------------------------------------------------------------===//
+
+TEST(Mutator, RejectsEveryMutant) {
+  MutationReport R = mutateDerivations(/*Seed=*/1, /*Count=*/64);
+  EXPECT_EQ(R.Tried, 64u);
+  EXPECT_EQ(R.Rejected, 64u);
+  for (const std::string &S : R.Survivors)
+    ADD_FAILURE() << S;
+}
+
+TEST(Mutator, DifferentSeedsStillAllRejected) {
+  MutationReport R = mutateDerivations(/*Seed=*/999, /*Count=*/32);
+  EXPECT_EQ(R.Tried, 32u);
+  EXPECT_TRUE(R.ok()) << R.Survivors.front();
+}
+
+//===----------------------------------------------------------------------===//
+// Pass-boundary fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, EveryFaultIsRejectedWithDiagnostics) {
+  const char *Source = "typedef unsigned int u32;\n"
+                       "u32 g0[8];\n"
+                       "u32 total = 0;\n"
+                       "u32 helper(u32 n, u32 step) {\n"
+                       "  u32 acc, i0;\n"
+                       "  acc = n;\n"
+                       "  for (i0 = 0; i0 < 4; i0++) {\n"
+                       "    g0[(acc + i0) % 8] = acc;\n"
+                       "    acc = acc + step;\n"
+                       "    if (100u < acc) break;\n"
+                       "  }\n"
+                       "  total = total + acc;\n"
+                       "  return acc;\n"
+                       "}\n"
+                       "int main() {\n"
+                       "  u32 x;\n"
+                       "  x = helper(3u, 2u);\n"
+                       "  x = x + helper(x, 1u);\n"
+                       "  return (int)(x & 0xff);\n"
+                       "}\n";
+  for (size_t I = 0; I != allFaults().size(); ++I) {
+    std::string Violation = injectAndCheck(I, Source, /*Seed=*/I + 1);
+    EXPECT_TRUE(Violation.empty()) << Violation;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The full harness (what `qcc --fuzz` runs)
+//===----------------------------------------------------------------------===//
+
+TEST(Harness, SmokeCampaign) {
+  FuzzOptions Options;
+  Options.Count = 256;
+  Options.Seed = 1;
+  Options.Mutants = 64;
+  FuzzReport R = runFuzz(Options);
+  EXPECT_EQ(R.Generated, 256u);
+  EXPECT_EQ(R.Verified + R.Diagnosed, 256u) << R.str();
+  EXPECT_GT(R.Verified, 0u);  // Most grammar-random programs verify.
+  EXPECT_GT(R.Diagnosed, 0u); // Garbage/truncated inputs are diagnosed.
+  EXPECT_EQ(R.MutantsTried, 64u);
+  EXPECT_EQ(R.MutantsRejected, 64u);
+  EXPECT_EQ(R.FaultsTried, allFaults().size());
+  EXPECT_EQ(R.FaultsRejected, allFaults().size());
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Regression corpus
+//===----------------------------------------------------------------------===//
+
+// Inputs that were interesting once stay interesting: every file under
+// tests/fuzz-corpus/ must compile or diagnose, forever.
+TEST(Corpus, EveryFileCompilesOrDiagnoses) {
+  namespace fs = std::filesystem;
+  const char *Dir = QCC_FUZZ_CORPUS_DIR;
+  ASSERT_TRUE(fs::is_directory(Dir)) << Dir;
+  unsigned Seen = 0;
+  for (const auto &Entry : fs::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".c")
+      continue;
+    ++Seen;
+    std::ifstream In(Entry.path());
+    ASSERT_TRUE(In.good()) << Entry.path();
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    EXPECT_TRUE(compilesOrDiagnoses(Buffer.str()))
+        << "corpus file " << Entry.path();
+  }
+  EXPECT_GE(Seen, 5u) << "fuzz corpus went missing";
+}
+
+} // namespace

@@ -144,8 +144,13 @@ TEST_P(BoundProperties, SubstitutionLemma) {
     VarEnv Env = randomEnv(R);
     StackMetric M = randomMetric(R);
 
+    // Checked evaluation declines values outside int64; such a value
+    // cannot fit the 32-bit cell either, so the sample carries no
+    // information about runtime assignment — skip it like the wrapping
+    // cases below.
     auto TVal = evalIntTerm(T, Env);
-    ASSERT_TRUE(TVal.has_value());
+    if (!TVal)
+      continue;
     VarEnv Updated = Env;
     Updated[X] = static_cast<uint32_t>(*TVal);
 
@@ -315,6 +320,100 @@ TEST_P(TraceProperties, DominationIsConsistentWithSampledWeights) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceProperties,
+                         testing::Range<uint64_t>(1, 7));
+
+//===----------------------------------------------------------------------===//
+// Saturation algebra
+//===----------------------------------------------------------------------===//
+
+class SaturationProperties : public testing::TestWithParam<uint64_t> {};
+
+/// Draws an ExtNat biased toward the dangerous region: the uint64
+/// boundary, where checked saturation decides soundness.
+ExtNat randomExtNat(Rng &R) {
+  constexpr uint64_t Max = std::numeric_limits<uint64_t>::max();
+  switch (R.below(5)) {
+  case 0:
+    return ExtNat::infinity();
+  case 1:
+    return ExtNat(R.below(100));
+  case 2:
+    return ExtNat(Max - R.below(100)); // Near the boundary.
+  case 3:
+    return ExtNat(uint64_t(1) << R.below(64));
+  default:
+    return ExtNat(R.next());
+  }
+}
+
+// The semiring-ish laws bounds rely on, now over SATURATING arithmetic:
+// they must survive results rounding up to infinity at the boundary.
+TEST_P(SaturationProperties, AdditionLaws) {
+  Rng R(GetParam() * 0x9e3779b9ull);
+  for (unsigned I = 0; I != 400; ++I) {
+    ExtNat A = randomExtNat(R), B = randomExtNat(R), C = randomExtNat(R);
+    // Commutativity and associativity (saturation keeps both: rounding
+    // to the absorbing top element commutes with itself).
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ((A + B) + C, A + (B + C));
+    // a + b >= a: adding potential never loses any (the inequality every
+    // Q:CONSEQ application leans on).
+    EXPECT_GE(A + B, A);
+    EXPECT_GE(A + B, B);
+    // Monotonicity in each argument.
+    if (B <= C) {
+      EXPECT_LE(A + B, A + C);
+      EXPECT_LE(A * B, A * C);
+      EXPECT_LE(max(A, B), max(A, C));
+    }
+  }
+}
+
+TEST_P(SaturationProperties, MonusAdjunction) {
+  Rng R(GetParam() * 0xbf58476d1ce4e5b9ull);
+  for (unsigned I = 0; I != 400; ++I) {
+    ExtNat A = randomExtNat(R), B = randomExtNat(R), C = randomExtNat(R);
+    // Truncated subtraction undoes addition up to truncation, for finite
+    // b: (a + b) - b >= a, with equality whenever a + b stays finite.
+    // (b = oo collapses both sides: (a + oo) - oo = 0.)
+    if (B.isFinite()) {
+      EXPECT_GE((A + B).monus(B), A);
+      if ((A + B).isFinite())
+        EXPECT_EQ((A + B).monus(B), A);
+    }
+    // The Galois connection used when paying for a frame: a - b <= c iff
+    // a <= c + b. Needs a and b finite under saturation — a = oo breaks
+    // the backward direction exactly when c + b rounds up to oo (the
+    // right side becomes true while oo - b = oo stays above any finite
+    // c). That loss is the sound direction: bounds only ever round UP.
+    if (A.isFinite() && B.isFinite())
+      EXPECT_EQ(A.monus(B) <= C, A <= C + B);
+    // The infinite cases pin the absorbing behavior directly.
+    if (B.isFinite())
+      EXPECT_TRUE(ExtNat::infinity().monus(B).isInfinite());
+    EXPECT_EQ(A.monus(ExtNat::infinity()), ExtNat(0));
+  }
+}
+
+TEST_P(SaturationProperties, FloorAndCeilLog2AgreeOnPowersOfTwo) {
+  // Log2W and Log2C bounds coincide exactly when the width is a power of
+  // two (binary search over 2^k elements needs exactly k splits).
+  for (unsigned K = 0; K != 64; ++K) {
+    uint64_t P = uint64_t(1) << K;
+    EXPECT_EQ(floorLog2(P), K);
+    EXPECT_EQ(ceilLog2(P), K);
+  }
+  // Off powers of two they differ by exactly one.
+  Rng R(GetParam());
+  for (unsigned I = 0; I != 200; ++I) {
+    uint64_t V = R.next();
+    if (V < 2 || (V & (V - 1)) == 0)
+      continue;
+    EXPECT_EQ(ceilLog2(V), floorLog2(V) + 1) << V;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaturationProperties,
                          testing::Range<uint64_t>(1, 7));
 
 } // namespace

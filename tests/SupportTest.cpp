@@ -70,6 +70,47 @@ TEST(ExtNat, Printing) {
   EXPECT_EQ(ExtNat::infinity().str(), "oo");
 }
 
+// The soundness-critical saturation contract: arithmetic that would
+// exceed uint64_t rounds UP to infinity, in every build mode. Before the
+// checked implementation these wrapped under NDEBUG — a wrapped sum is a
+// silently too-small stack bound, the one failure a certifier must
+// exclude. These tests fail on the unchecked code in Release builds.
+TEST(ExtNat, AdditionSaturatesAtUint64Boundary) {
+  constexpr uint64_t Max = std::numeric_limits<uint64_t>::max();
+  EXPECT_TRUE((ExtNat(Max) + ExtNat(1)).isInfinite());
+  EXPECT_TRUE((ExtNat(1) + ExtNat(Max)).isInfinite());
+  EXPECT_TRUE((ExtNat(Max) + ExtNat(Max)).isInfinite());
+  EXPECT_TRUE((ExtNat(Max / 2 + 1) + ExtNat(Max / 2 + 1)).isInfinite());
+  // The exact boundary still fits.
+  EXPECT_EQ((ExtNat(Max - 1) + ExtNat(1)).finiteValue(), Max);
+  EXPECT_EQ((ExtNat(Max) + ExtNat(0)).finiteValue(), Max);
+  EXPECT_EQ((ExtNat(Max / 2) + ExtNat(Max / 2 + 1)).finiteValue(), Max);
+}
+
+TEST(ExtNat, MultiplicationSaturatesAtUint64Boundary) {
+  constexpr uint64_t Max = std::numeric_limits<uint64_t>::max();
+  EXPECT_TRUE((ExtNat(Max) * ExtNat(2)).isInfinite());
+  EXPECT_TRUE((ExtNat(2) * ExtNat(Max)).isInfinite());
+  EXPECT_TRUE((ExtNat(1ull << 32) * ExtNat(1ull << 32)).isInfinite());
+  EXPECT_TRUE((ExtNat(Max) * ExtNat(Max)).isInfinite());
+  // The exact boundary still fits: (2^32-1)(2^32+1) = 2^64 - 1.
+  EXPECT_EQ((ExtNat((1ull << 32) - 1) * ExtNat((1ull << 32) + 1))
+                .finiteValue(),
+            Max);
+  EXPECT_EQ((ExtNat(Max) * ExtNat(1)).finiteValue(), Max);
+  EXPECT_EQ((ExtNat(Max) * ExtNat(0)).finiteValue(), 0u);
+}
+
+TEST(ExtNat, SaturationComposesWithOrder) {
+  // Saturated results stay absorbing and ordered as infinity.
+  constexpr uint64_t Max = std::numeric_limits<uint64_t>::max();
+  ExtNat Saturated = ExtNat(Max) + ExtNat(Max);
+  EXPECT_TRUE((Saturated + ExtNat(1)).isInfinite());
+  EXPECT_TRUE((Saturated * ExtNat(2)).isInfinite());
+  EXPECT_GT(Saturated, ExtNat(Max));
+  EXPECT_EQ(Saturated.monus(ExtNat(Max)).str(), "oo");
+}
+
 TEST(ExtNat, FloorLog2) {
   EXPECT_EQ(floorLog2(0), 0u);
   EXPECT_EQ(floorLog2(1), 0u);

@@ -1,0 +1,3 @@
+typedef unsigned int u32;
+u32 huge[1000000000];
+int main() { return (int)huge[0]; }

@@ -1,0 +1,12 @@
+typedef unsigned int u32;
+u32 g[4];
+int main() {
+  u32 x, y;
+  x = 4294967295u;
+  y = 2147483648u;
+  g[(x * y) % 4] = x + y;
+  x = x * x;
+  y = (x - 1u) / (y | 1u);
+  if (x < y) { x = y; }
+  return (int)((x + y) & 0xffu);
+}

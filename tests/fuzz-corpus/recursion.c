@@ -1,0 +1,5 @@
+typedef unsigned int u32;
+u32 even(u32 n);
+u32 odd(u32 n) { if (n == 0u) { return 0u; } return even(n - 1u); }
+u32 even(u32 n) { if (n == 0u) { return 1u; } return odd(n - 1u); }
+int main() { return (int)(even(6u) & 0xffu); }

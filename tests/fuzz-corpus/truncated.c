@@ -1,0 +1,6 @@
+typedef unsigned int u32;
+u32 g0[8];
+u32 f0(u32 p0) {
+  u32 v0;
+  v0 = g0[(p0) % 8];
+  return (v0 +

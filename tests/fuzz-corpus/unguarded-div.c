@@ -1,0 +1,7 @@
+typedef unsigned int u32;
+u32 zero = 0;
+int main() {
+  u32 x;
+  x = 7u / zero;
+  return (int)x;
+}

@@ -22,12 +22,16 @@
 
 #include "batch/Batch.h"
 #include "driver/Compiler.h"
+#include "fuzz/Fuzz.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -67,7 +71,36 @@ void usage() {
       "                   timings, refinement event counts, proof-checker\n"
       "                   node counts, cache statistics) as JSON to F\n"
       "  -D/--inline/--tail-calls/--no-opt/--no-validate apply to every\n"
-      "  program in the batch\n");
+      "  program in the batch\n"
+      "\n"
+      "fuzz mode (the no-crash / no-unsound-bound hardening harness):\n"
+      "  --fuzz N         generate and verify N seeded programs (random\n"
+      "                   and adversarial), forge derivation mutants the\n"
+      "                   proof checker must reject, and inject faults at\n"
+      "                   every pass boundary; any crash, silent failure,\n"
+      "                   or unsound bound is a violation\n"
+      "  --seed S         base seed for --fuzz (default 1); a report line\n"
+      "                   names the seed that replays it\n"
+      "  --jobs N         also applies to the fuzz batch\n");
+}
+
+/// Parses a numeric option operand. Rejects (with nullopt and a message
+/// on stderr) anything but a clean non-negative integer no larger than
+/// \p Max — the caller exits 2, like every other usage error.
+std::optional<uint64_t> parseCount(const char *Flag, const char *Val,
+                                   uint64_t Max) {
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = strtoull(Val, &End, 0);
+  if (Val[0] == '-' || End == Val || *End != '\0' || errno == ERANGE ||
+      V > Max) {
+    fprintf(stderr,
+            "qcc: %s expects a non-negative number no larger than %llu, "
+            "got '%s'\n",
+            Flag, static_cast<unsigned long long>(Max), Val);
+    return std::nullopt;
+  }
+  return V;
 }
 
 /// Runs batch mode: collect jobs, fan out, print a per-program table.
@@ -167,25 +200,39 @@ int main(int Argc, char **Argv) {
   bool EmitClight = false, EmitCminor = false, EmitRtl = false,
        EmitMach = false, EmitAsm = false, EmitProof = false,
        Bounds = false, Measure = false;
-  long StackSize = -1;
+  std::optional<uint32_t> StackSize;
+  std::optional<uint64_t> FuzzCount;
+  uint64_t FuzzSeed = 1;
   std::string BatchArg, MetricsOut;
   unsigned Jobs = 0;
 
+  // Applies one "NAME=VALUE" define, validating both halves.
+  auto AddDefine = [&Options](const std::string &Def) {
+    size_t Eq = Def.find('=');
+    if (Eq == std::string::npos || Eq == 0) {
+      fprintf(stderr, "qcc: -D expects NAME=VALUE, got '%s'\n", Def.c_str());
+      return false;
+    }
+    auto V = parseCount("-D", Def.c_str() + Eq + 1,
+                        std::numeric_limits<uint32_t>::max());
+    if (!V)
+      return false;
+    Options.Defines[Def.substr(0, Eq)] = static_cast<uint32_t>(*V);
+    return true;
+  };
+
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg == "-D" && I + 1 < Argc) {
-      std::string Def = Argv[++I];
-      size_t Eq = Def.find('=');
-      if (Eq == std::string::npos) {
-        fprintf(stderr, "qcc: -D expects NAME=VALUE\n");
+    if (Arg == "-D") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: -D is missing its NAME=VALUE operand\n");
         return 2;
       }
-      Options.Defines[Def.substr(0, Eq)] =
-          static_cast<uint32_t>(strtoul(Def.c_str() + Eq + 1, nullptr, 0));
-    } else if (Arg.rfind("-D", 0) == 0 && Arg.find('=') != std::string::npos) {
-      size_t Eq = Arg.find('=');
-      Options.Defines[Arg.substr(2, Eq - 2)] =
-          static_cast<uint32_t>(strtoul(Arg.c_str() + Eq + 1, nullptr, 0));
+      if (!AddDefine(Argv[++I]))
+        return 2;
+    } else if (Arg.rfind("-D", 0) == 0 && Arg.size() > 2) {
+      if (!AddDefine(Arg.substr(2)))
+        return 2;
     } else if (Arg == "--emit-clight") {
       EmitClight = true;
     } else if (Arg == "--emit-cminor") {
@@ -202,8 +249,16 @@ int main(int Argc, char **Argv) {
       Bounds = true;
     } else if (Arg == "--measure") {
       Measure = true;
-    } else if (Arg == "--stack-size" && I + 1 < Argc) {
-      StackSize = strtol(Argv[++I], nullptr, 0);
+    } else if (Arg == "--stack-size") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --stack-size is missing its byte count\n");
+        return 2;
+      }
+      // Theorem 1's sz: any value the machine can host, including 0.
+      auto V = parseCount("--stack-size", Argv[++I], measure::MaxStackSize);
+      if (!V)
+        return 2;
+      StackSize = static_cast<uint32_t>(*V);
     } else if (Arg == "--inline") {
       Options.Inline = true;
     } else if (Arg == "--tail-calls") {
@@ -212,17 +267,45 @@ int main(int Argc, char **Argv) {
       Options.Optimize = false;
     } else if (Arg == "--no-validate") {
       Options.ValidateTranslation = false;
-    } else if (Arg == "--batch" && I + 1 < Argc) {
-      BatchArg = Argv[++I];
-    } else if (Arg == "--jobs" && I + 1 < Argc) {
-      const char *Val = Argv[++I];
-      char *End = nullptr;
-      Jobs = static_cast<unsigned>(strtoul(Val, &End, 0));
-      if (End == Val || *End != '\0') {
-        fprintf(stderr, "qcc: --jobs expects a number, got '%s'\n", Val);
+    } else if (Arg == "--batch") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --batch is missing its directory operand\n");
         return 2;
       }
-    } else if (Arg == "--metrics-out" && I + 1 < Argc) {
+      BatchArg = Argv[++I];
+    } else if (Arg == "--jobs") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --jobs is missing its thread count\n");
+        return 2;
+      }
+      auto V = parseCount("--jobs", Argv[++I], 4096);
+      if (!V)
+        return 2;
+      Jobs = static_cast<unsigned>(*V);
+    } else if (Arg == "--fuzz") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --fuzz is missing its program count\n");
+        return 2;
+      }
+      auto V = parseCount("--fuzz", Argv[++I], 100'000'000);
+      if (!V)
+        return 2;
+      FuzzCount = *V;
+    } else if (Arg == "--seed") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --seed is missing its value\n");
+        return 2;
+      }
+      auto V = parseCount("--seed", Argv[++I],
+                          std::numeric_limits<uint64_t>::max());
+      if (!V)
+        return 2;
+      FuzzSeed = *V;
+    } else if (Arg == "--metrics-out") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --metrics-out is missing its file operand\n");
+        return 2;
+      }
       MetricsOut = Argv[++I];
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
@@ -238,6 +321,20 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
+  if (FuzzCount) {
+    if (!Path.empty() || !BatchArg.empty()) {
+      fprintf(stderr, "qcc: --fuzz generates its own inputs; drop the "
+                      "file/--batch argument\n");
+      return 2;
+    }
+    fuzz::FuzzOptions FO;
+    FO.Count = *FuzzCount;
+    FO.Seed = FuzzSeed;
+    FO.Jobs = Jobs;
+    fuzz::FuzzReport Report = fuzz::runFuzz(FO);
+    printf("%s", Report.str().c_str());
+    return Report.ok() ? 0 : 1;
+  }
   if (!BatchArg.empty()) {
     if (!Path.empty()) {
       fprintf(stderr, "qcc: --batch takes a directory, not a file\n");
@@ -250,7 +347,7 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   if (!EmitClight && !EmitCminor && !EmitRtl && !EmitMach && !EmitAsm &&
-      !EmitProof && !Measure && StackSize < 0)
+      !EmitProof && !Measure && !StackSize)
     Bounds = true;
 
   std::ifstream In(Path);
@@ -314,14 +411,13 @@ int main(int Argc, char **Argv) {
            M.StackBytes);
   }
 
-  if (StackSize >= 0) {
-    measure::Measurement M =
-        driver::runWithStackSize(*C, static_cast<uint32_t>(StackSize));
+  if (StackSize) {
+    measure::Measurement M = driver::runWithStackSize(*C, *StackSize);
     if (M.Ok)
-      printf("runs on a %ld-byte stack (exit code %d)\n", StackSize,
+      printf("runs on a %u-byte stack (exit code %d)\n", *StackSize,
              M.ExitCode);
     else
-      printf("fails on a %ld-byte stack: %s\n", StackSize,
+      printf("fails on a %u-byte stack: %s\n", *StackSize,
              M.Error.c_str());
     return M.Ok ? 0 : 1;
   }
