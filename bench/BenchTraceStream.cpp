@@ -1,0 +1,350 @@
+//===- bench/BenchTraceStream.cpp - Streaming vs materialized validation --===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the streaming trace pipeline (DESIGN.md "Streaming trace
+/// refinement") against the classic materialized one. Both modes replay
+/// all five semantic levels and validate the four adjacent pass pairs
+/// (quantitative refinement plus the randomized weight-dominance
+/// falsifier); the materialized mode records full traces and checks them
+/// after the fact, the streaming mode folds events into
+/// RefinementAccumulator summaries as they happen.
+///
+/// Two workloads separate the two claims:
+///
+///  * "wide"  — a flat loop making 250k calls. The trace is long but the
+///    call depth is 2, so the interpreters themselves need almost no
+///    memory and the recorded traces dominate the peak RSS. This is the
+///    O(trace) vs O(depth) memory story.
+///  * "deep"  — 40k-frame recursion. Both modes pay the interpreters'
+///    O(depth) transients, but the materialized checker re-walks the
+///    full traces per falsifier metric while the streaming checker works
+///    on O(#peaks) summaries. This is the time story.
+///
+/// Peak-RSS attribution uses VmHWM phase deltas: a streaming warm-up is
+/// repeated until the high-water mark stops moving (absorbing
+/// interpreter-internal allocations, which both modes pay), then the
+/// streaming phase and the materialized phase run in that order, so any
+/// further growth belongs to the phase that caused it.
+///
+/// Writes the numbers to BENCH_refinement.json (path overridable as
+/// argv[1]).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cminor/CminorInterp.h"
+#include "driver/Compiler.h"
+#include "events/Refinement.h"
+#include "events/TraceSink.h"
+#include "interp/Interp.h"
+#include "mach/Mach.h"
+#include "measure/StackMeter.h"
+#include "rtl/Rtl.h"
+#include "x86/Machine.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+using namespace qcc;
+
+namespace {
+
+/// Straight-line recursion DEPTH frames deep. Not a tail call (the +1u
+/// happens after the recursive call returns), so every level of the
+/// pipeline really holds DEPTH frames and emits 2*DEPTH memory events.
+const char *DeepSource = R"(
+#define DEPTH 40000
+typedef unsigned int u32;
+u32 down(u32 n) {
+  if (n == 0u) { return 0u; }
+  return down(n - 1u) + 1u;
+}
+int main() { return (int)(down(DEPTH) & 0xffu); }
+)";
+
+/// A flat loop making ITERS calls: half a million memory events per level
+/// at call depth 2. Records dominate memory; summaries stay O(1).
+const char *WideSource = R"(
+#define ITERS 250000
+typedef unsigned int u32;
+u32 acc = 0u;
+u32 tick(u32 n) { acc = acc + n; return acc; }
+int main() {
+  u32 i;
+  for (i = 0u; i < ITERS; i++) { tick(i); }
+  return (int)(acc & 0xffu);
+}
+)";
+
+constexpr uint64_t Fuel = 50'000'000;
+constexpr int Reps = 3;
+
+using Clock = std::chrono::steady_clock;
+
+double millisSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+/// Peak resident set size of this process in KiB, from /proc/self/status.
+/// Monotonic, which is exactly what makes the phase-delta protocol sound.
+/// Returns 0 when the file is unreadable (non-Linux).
+long readVmHWMKb() {
+  FILE *F = fopen("/proc/self/status", "r");
+  if (!F)
+    return 0;
+  char Line[256];
+  long Kb = 0;
+  while (fgets(Line, sizeof Line, F))
+    if (sscanf(Line, "VmHWM: %ld kB", &Kb) == 1)
+      break;
+  fclose(F);
+  return Kb;
+}
+
+std::array<Behavior, 5> runRecorded(const driver::Compilation &C,
+                                    x86::Machine &M) {
+  return {interp::runProgram(C.Clight, Fuel),
+          cminor::runProgram(C.Cminor, Fuel),
+          rtl::runProgram(C.Rtl, Fuel),
+          mach::runProgram(C.Mach, Fuel * 4),
+          M.run(Fuel * 4)};
+}
+
+std::array<RefinementSummary, 5> runStreamed(const driver::Compilation &C,
+                                             x86::Machine &M) {
+  std::array<RefinementSummary, 5> S;
+  {
+    RefinementAccumulator A;
+    S[0] = A.finish(interp::runProgram(C.Clight, A, Fuel));
+  }
+  {
+    RefinementAccumulator A;
+    S[1] = A.finish(cminor::runProgram(C.Cminor, A, Fuel));
+  }
+  {
+    RefinementAccumulator A;
+    S[2] = A.finish(rtl::runProgram(C.Rtl, A, Fuel));
+  }
+  {
+    RefinementAccumulator A;
+    S[3] = A.finish(mach::runProgram(C.Mach, A, Fuel * 4));
+  }
+  {
+    RefinementAccumulator A;
+    S[4] = A.finish(M.run(A, Fuel * 4));
+  }
+  return S;
+}
+
+bool checkMaterialized(const std::array<Behavior, 5> &B) {
+  bool Ok = true;
+  for (int I = 1; I != 5; ++I) {
+    Ok &= checkQuantitativeRefinement(B[I], B[I - 1]).Ok;
+    Ok &= falsifyWeightDominance(B[I], B[I - 1]).Ok;
+  }
+  return Ok;
+}
+
+bool checkStreamed(const std::array<RefinementSummary, 5> &S) {
+  bool Ok = true;
+  for (int I = 1; I != 5; ++I) {
+    Ok &= checkQuantitativeRefinement(S[I], S[I - 1]).Ok;
+    Ok &= falsifyWeightDominance(S[I], S[I - 1]).Ok;
+  }
+  return Ok;
+}
+
+struct WorkloadResult {
+  std::string Name;
+  uint64_t EventsPerLevel = 0;
+  double RunStreamMs = 0, CheckStreamMs = 0;
+  double RunRecordMs = 0, CheckMatMs = 0;
+  long StreamKb = 0, MatKb = 0;
+  bool Ok = false, Agree = false;
+
+  double checkSpeedup() const { return CheckMatMs / std::max(CheckStreamMs, 1e-6); }
+  double endToEndSpeedup() const {
+    return (RunRecordMs + CheckMatMs) /
+           std::max(RunStreamMs + CheckStreamMs, 1e-6);
+  }
+  double memoryRatio() const {
+    // Floor the streaming delta at 64 kB so a fully-absorbed streaming
+    // phase (delta 0) yields a defensible, finite ratio.
+    return static_cast<double>(MatKb) / static_cast<double>(std::max(StreamKb, 64L));
+  }
+};
+
+bool benchWorkload(const char *Name, const char *Source, WorkloadResult &Out) {
+  Out.Name = Name;
+  DiagnosticEngine Diags;
+  driver::CompilerOptions Options;
+  Options.ValidateTranslation = false; // We validate by hand, twice.
+  Options.AnalyzeBounds = false;
+  auto C = driver::compile(Source, Diags, Options);
+  if (!C) {
+    fprintf(stderr, "bench_trace_stream: %s failed to compile\n", Name);
+    return false;
+  }
+  x86::Machine M(C->Asm, measure::MeasureStackSize);
+
+  // Warm up until the high-water mark plateaus: interpreter-internal
+  // allocations (continuation stacks, the x86 memory image, allocator
+  // churn) are paid by both modes and must not be attributed to either.
+  auto Reference = runStreamed(*C, M);
+  Out.EventsPerLevel = Reference[0].EventCount;
+  for (int I = 0; I != 8; ++I) {
+    long Before = readVmHWMKb();
+    runStreamed(*C, M);
+    if (readVmHWMKb() - Before < 128)
+      break;
+  }
+  long Hwm0 = readVmHWMKb();
+
+  // Streaming phase: timed reps, then the phase's peak-RSS delta.
+  double RunStream = 1e300, CheckStream = 1e300;
+  bool StreamOk = true;
+  for (int R = 0; R != Reps; ++R) {
+    auto T0 = Clock::now();
+    auto S = runStreamed(*C, M);
+    double Run = millisSince(T0);
+    auto T1 = Clock::now();
+    StreamOk &= checkStreamed(S);
+    double Check = millisSince(T1);
+    RunStream = std::min(RunStream, Run);
+    CheckStream = std::min(CheckStream, Check);
+  }
+  long Hwm1 = readVmHWMKb();
+
+  // Materialized phase: identical protocol, traces recorded then checked.
+  double RunRecord = 1e300, CheckMat = 1e300;
+  bool MatOk = true;
+  for (int R = 0; R != Reps; ++R) {
+    auto T0 = Clock::now();
+    auto B = runRecorded(*C, M);
+    double Run = millisSince(T0);
+    auto T1 = Clock::now();
+    MatOk &= checkMaterialized(B);
+    double Check = millisSince(T1);
+    RunRecord = std::min(RunRecord, Run);
+    CheckMat = std::min(CheckMat, Check);
+  }
+  long Hwm2 = readVmHWMKb();
+
+  // Differential guard: the modes are checked bit-identical in
+  // tests/StreamTest.cpp; here gate the verdicts and the replay volume.
+  bool Agree = StreamOk == MatOk;
+  {
+    auto B = runRecorded(*C, M);
+    for (int I = 0; I != 5; ++I)
+      Agree &= summarize(B[I]).EventCount == Reference[I].EventCount;
+  }
+
+  Out.RunStreamMs = RunStream;
+  Out.CheckStreamMs = CheckStream;
+  Out.RunRecordMs = RunRecord;
+  Out.CheckMatMs = CheckMat;
+  Out.StreamKb = Hwm1 - Hwm0;
+  Out.MatKb = Hwm2 - Hwm1;
+  Out.Ok = StreamOk && MatOk;
+  Out.Agree = Agree;
+  return true;
+}
+
+void printWorkload(const WorkloadResult &W) {
+  printf("---- %s: %llu events per level, 5 levels, min of %d reps ----\n",
+         W.Name.c_str(), static_cast<unsigned long long>(W.EventsPerLevel),
+         Reps);
+  printf("%-34s %10s %10s\n", "", "stream", "record");
+  printf("%-34s %9.2fms %9.2fms\n", "replay all levels", W.RunStreamMs,
+         W.RunRecordMs);
+  printf("%-34s %9.2fms %9.2fms\n", "validate 4 pass pairs", W.CheckStreamMs,
+         W.CheckMatMs);
+  printf("%-34s %9ldkB %9ldkB\n", "peak-RSS growth (phase delta)", W.StreamKb,
+         W.MatKb);
+  printf("check speedup %.1fx, end-to-end %.2fx, peak-memory ratio %.1fx\n",
+         W.checkSpeedup(), W.endToEndSpeedup(), W.memoryRatio());
+  printf("verdicts: %s, modes %s\n\n", W.Ok ? "all passes certified" : "FAIL",
+         W.Agree ? "agree" : "DISAGREE");
+}
+
+void emitWorkloadJson(FILE *J, const WorkloadResult &W, bool Last) {
+  fprintf(J,
+          "    {\n"
+          "      \"name\": \"%s\",\n"
+          "      \"events_per_level\": %llu,\n"
+          "      \"run_stream_ms\": %.3f,\n"
+          "      \"run_record_ms\": %.3f,\n"
+          "      \"check_stream_ms\": %.3f,\n"
+          "      \"check_materialized_ms\": %.3f,\n"
+          "      \"check_speedup\": %.2f,\n"
+          "      \"end_to_end_speedup\": %.3f,\n"
+          "      \"peak_rss_stream_kb\": %ld,\n"
+          "      \"peak_rss_materialized_kb\": %ld,\n"
+          "      \"peak_memory_ratio\": %.2f,\n"
+          "      \"all_passes_certified\": %s,\n"
+          "      \"verdicts_agree\": %s\n"
+          "    }%s\n",
+          W.Name.c_str(), static_cast<unsigned long long>(W.EventsPerLevel),
+          W.RunStreamMs, W.RunRecordMs, W.CheckStreamMs, W.CheckMatMs,
+          W.checkSpeedup(), W.endToEndSpeedup(), W.StreamKb, W.MatKb,
+          W.memoryRatio(), W.Ok ? "true" : "false",
+          W.Agree ? "true" : "false", Last ? "" : ",");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *JsonPath = argc > 1 ? argv[1] : "BENCH_refinement.json";
+
+  printf("==== Streaming vs materialized translation validation ====\n\n");
+
+  // The wide workload runs first: VmHWM is monotonic process-wide, so the
+  // workload whose memory story matters must set its phase deltas before
+  // the deep workload inflates the baseline.
+  WorkloadResult Wide, Deep;
+  if (!benchWorkload("wide-loop-250k-calls", WideSource, Wide))
+    return 1;
+  printWorkload(Wide);
+  if (!benchWorkload("deep-recursion-40k-frames", DeepSource, Deep))
+    return 1;
+  printWorkload(Deep);
+
+  bool Ok = Wide.Ok && Wide.Agree && Deep.Ok && Deep.Agree;
+  printf("headline: %.1fx check speedup / %.2fx end-to-end (deep), "
+         "%.1fx peak-memory reduction (wide)\n",
+         Deep.checkSpeedup(), Deep.endToEndSpeedup(), Wide.memoryRatio());
+
+  if (FILE *J = fopen(JsonPath, "w")) {
+    fprintf(J,
+            "{\n"
+            "  \"bench\": \"trace-stream\",\n"
+            "  \"levels\": 5,\n"
+            "  \"reps\": %d,\n"
+            "  \"falsifier_samples\": 64,\n"
+            "  \"check_speedup\": %.2f,\n"
+            "  \"end_to_end_speedup\": %.3f,\n"
+            "  \"peak_memory_ratio\": %.2f,\n"
+            "  \"all_passes_certified\": %s,\n"
+            "  \"workloads\": [\n",
+            Reps, Deep.checkSpeedup(), Deep.endToEndSpeedup(),
+            Wide.memoryRatio(), Ok ? "true" : "false");
+    emitWorkloadJson(J, Wide, false);
+    emitWorkloadJson(J, Deep, true);
+    fprintf(J, "  ]\n}\n");
+    fclose(J);
+    printf("wrote %s\n", JsonPath);
+  } else {
+    fprintf(stderr, "bench_trace_stream: cannot write %s\n", JsonPath);
+    return 1;
+  }
+
+  return Ok ? 0 : 1;
+}

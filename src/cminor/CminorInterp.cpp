@@ -30,7 +30,8 @@ struct EvalResult {
 /// The whole-run interpreter state.
 class Machine {
 public:
-  Machine(const Program &P, uint64_t Fuel) : P(P), Fuel(Fuel) {
+  Machine(const Program &P, TraceSink &Sink, uint64_t Fuel)
+      : P(P), Sink(Sink), Fuel(Fuel) {
     for (const GlobalVar &G : P.Globals) {
       std::vector<uint32_t> Cells = G.Init;
       Cells.resize(G.Size, 0);
@@ -38,11 +39,11 @@ public:
     }
   }
 
-  Behavior run() {
+  Outcome run() {
     const Function *Entry = P.findFunction(P.EntryPoint);
     if (!Entry)
-      return Behavior::fails({}, "entry point is not defined");
-    Events.push_back(Event::call(Entry->Name));
+      return Outcome::fails("entry point is not defined");
+    Sink.onEvent(Event::call(sym(Entry->Name)));
     Temps.assign(Entry->NumTemps, 0);
     return exec(Entry);
   }
@@ -55,9 +56,17 @@ private:
     // Call frames:
     bool HasDest = false;
     uint32_t DestTemp = 0;
-    std::string Function;
+    SymId Function = 0;
     std::vector<uint32_t> SavedTemps;
   };
+
+  /// Interned id of an IR name, cached by the string's stable address.
+  SymId sym(const std::string &Name) {
+    auto [It, New] = SymCache.try_emplace(&Name, 0);
+    if (New)
+      It->second = SymbolTable::global().intern(Name);
+    return It->second;
+  }
 
   EvalResult eval(const Expr &E) {
     switch (E.Kind) {
@@ -156,22 +165,22 @@ private:
     return EvalResult::fault("bad binary op");
   }
 
-  Behavior exec(const Function *Entry) {
+  Outcome exec(const Function *Entry) {
     enum class Mode : uint8_t { Exec, FallThrough, Exiting, Returning };
     Mode M = Mode::Exec;
     const Stmt *Cur = Entry->Body.get();
     uint32_t ExitDepth = 0;
     uint32_t ReturnValue = 0;
-    std::vector<std::string> Chain = {Entry->Name};
+    std::vector<SymId> Chain = {sym(Entry->Name)};
     uint64_t Steps = 0;
 
-    auto Fail = [&](const std::string &Reason) {
-      return Behavior::fails(Events, Reason);
+    auto Fail = [&](std::string Reason) {
+      return Outcome::fails(std::move(Reason));
     };
 
     for (;;) {
       if (++Steps > Fuel)
-        return Behavior::diverges(Events);
+        return Outcome::diverges();
 
       if (M == Mode::Exec) {
         switch (Cur->Kind) {
@@ -222,15 +231,16 @@ private:
             ArgValues.push_back(V.Value);
           }
           if (const Function *Callee = P.findFunction(Cur->Name)) {
-            Events.push_back(Event::call(Callee->Name));
+            SymId CalleeSym = sym(Callee->Name);
+            Sink.onEvent(Event::call(CalleeSym));
             Cont C;
             C.K = Cont::Kind::Call;
             C.HasDest = Cur->HasDest;
             C.DestTemp = Cur->TempIndex;
-            C.Function = Callee->Name;
+            C.Function = CalleeSym;
             C.SavedTemps = std::move(Temps);
             Stack.push_back(std::move(C));
-            Chain.push_back(Callee->Name);
+            Chain.push_back(CalleeSym);
             Temps.assign(Callee->NumTemps, 0);
             for (size_t I = 0; I < ArgValues.size() &&
                                I < Callee->NumParams;
@@ -240,7 +250,8 @@ private:
             break;
           }
           std::vector<int32_t> IOArgs(ArgValues.begin(), ArgValues.end());
-          Events.push_back(Event::external(Cur->Name, std::move(IOArgs), 0));
+          Sink.onEvent(Event::external(
+              sym(Cur->Name), SymbolTable::global().internArgs(IOArgs), 0));
           if (Cur->HasDest)
             Temps[Cur->TempIndex] = 0;
           M = Mode::FallThrough;
@@ -298,9 +309,8 @@ private:
 
       if (Stack.empty()) {
         if (M == Mode::FallThrough || M == Mode::Returning) {
-          Events.push_back(Event::ret(Chain.back()));
-          return Behavior::converges(Events,
-                                     static_cast<int32_t>(ReturnValue));
+          Sink.onEvent(Event::ret(Chain.back()));
+          return Outcome::converges(static_cast<int32_t>(ReturnValue));
         }
         return Fail("exit escaped the function body");
       }
@@ -322,7 +332,7 @@ private:
           Stack.pop_back(); // Fall out of the block.
           break;
         case Cont::Kind::Call: {
-          Events.push_back(Event::ret(Top.Function));
+          Sink.onEvent(Event::ret(Top.Function));
           Temps = std::move(Top.SavedTemps);
           if (Top.HasDest)
             Temps[Top.DestTemp] = 0; // Void fall-through result.
@@ -359,7 +369,7 @@ private:
           Stack.pop_back();
           break;
         case Cont::Kind::Call: {
-          Events.push_back(Event::ret(Top.Function));
+          Sink.onEvent(Event::ret(Top.Function));
           Temps = std::move(Top.SavedTemps);
           if (Top.HasDest)
             Temps[Top.DestTemp] = ReturnValue;
@@ -379,15 +389,22 @@ private:
   }
 
   const Program &P;
+  TraceSink &Sink;
   uint64_t Fuel;
   std::map<std::string, std::vector<uint32_t>> Globals;
   std::vector<uint32_t> Temps;
   std::vector<Cont> Stack;
-  Trace Events;
+  std::unordered_map<const std::string *, SymId> SymCache;
 };
 
 } // namespace
 
 Behavior qcc::cminor::runProgram(const Program &P, uint64_t Fuel) {
-  return Machine(P, Fuel).run();
+  RecordingSink R;
+  return runProgram(P, R, Fuel).intoBehavior(std::move(R.Events));
+}
+
+Outcome qcc::cminor::runProgram(const Program &P, TraceSink &Sink,
+                                uint64_t Fuel) {
+  return Machine(P, Sink, Fuel).run();
 }

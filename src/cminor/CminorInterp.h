@@ -17,6 +17,7 @@
 
 #include "cminor/Cminor.h"
 #include "events/Trace.h"
+#include "events/TraceSink.h"
 
 #include <cstdint>
 
@@ -25,6 +26,11 @@ namespace cminor {
 
 /// Runs the entry point of \p P with the given small-step fuel.
 Behavior runProgram(const Program &P, uint64_t Fuel = 50'000'000);
+
+/// Streaming variant: events are delivered to \p Sink; only the outcome
+/// is returned.
+Outcome runProgram(const Program &P, TraceSink &Sink,
+                   uint64_t Fuel = 50'000'000);
 
 } // namespace cminor
 } // namespace qcc

@@ -22,6 +22,7 @@
 #include "x86/Verify.h"
 
 #include <chrono>
+#include <functional>
 
 using namespace qcc;
 using namespace qcc::driver;
@@ -51,16 +52,23 @@ private:
   std::chrono::steady_clock::time_point Start;
 };
 
-/// Validates one pass by replaying both levels and checking quantitative
-/// refinement (classic refinement for the final Mach -> Asm step, whose
-/// target has no memory events by design — dropping them is covered by
-/// the profile-domination certificate).
-bool validatePair(const Behavior &Target, const Behavior &Source,
-                  const char *Pass, DiagnosticEngine &Diags) {
+/// Validates one pass from the two levels' streaming summaries. On the
+/// (cold) failure path both levels are replayed once with recording sinks
+/// and the trace-based checker reports the precise divergence — the hash
+/// comparison in the summaries can only say *that* the event sequences
+/// differ, not where.
+bool validatePair(const RefinementSummary &Target,
+                  const RefinementSummary &Source, const char *Pass,
+                  DiagnosticEngine &Diags,
+                  const std::function<Behavior()> &RerunTarget,
+                  const std::function<Behavior()> &RerunSource) {
   RefinementResult R = checkQuantitativeRefinement(Target, Source);
   if (!R.Ok) {
+    RefinementResult Detailed =
+        checkQuantitativeRefinement(RerunTarget(), RerunSource());
     Diags.error(SourceLoc(), std::string("translation validation failed (") +
-                                 Pass + "): " + R.Reason);
+                                 Pass + "): " +
+                                 (Detailed.Ok ? R.Reason : Detailed.Reason));
     return false;
   }
   return true;
@@ -168,28 +176,50 @@ std::optional<Compilation> qcc::driver::compile(const std::string &Source,
 
   if (Options.ValidateTranslation) {
     StageTimer T(Stats, "validate");
-    Behavior BClight = interp::runProgram(C.Clight, Options.ValidationFuel);
-    Behavior BCminor = cminor::runProgram(C.Cminor, Options.ValidationFuel);
-    Behavior BRtl = rtl::runProgram(C.Rtl, Options.ValidationFuel);
-    Behavior BMach = mach::runProgram(C.Mach, Options.ValidationFuel * 4);
-    bool Ok = validatePair(BCminor, BClight, "Clight->Cminor", Diags);
-    Ok &= validatePair(BRtl, BCminor, "Cminor->RTL(+opt)", Diags);
-    Ok &= validatePair(BMach, BRtl, "RTL->Mach", Diags);
+    // Each level streams its events into a RefinementAccumulator; nothing
+    // is materialized unless a pair fails (validatePair's rerun path).
+    RefinementAccumulator AClight, ACminor, ARtl, AMach, AAsm;
+    RefinementSummary SClight = AClight.finish(
+        interp::runProgram(C.Clight, AClight, Options.ValidationFuel));
+    RefinementSummary SCminor = ACminor.finish(
+        cminor::runProgram(C.Cminor, ACminor, Options.ValidationFuel));
+    RefinementSummary SRtl =
+        ARtl.finish(rtl::runProgram(C.Rtl, ARtl, Options.ValidationFuel));
+    RefinementSummary SMach = AMach.finish(
+        mach::runProgram(C.Mach, AMach, Options.ValidationFuel * 4));
     // Mach -> Asm: replay the machine with ample stack; memory events
     // vanish at this level, which profile domination covers.
     x86::Machine M(C.Asm, measure::MeasureStackSize);
-    Behavior BAsm = M.run(Options.ValidationFuel * 4);
-    Ok &= validatePair(BAsm, BMach, "Mach->Asm", Diags);
+    RefinementSummary SAsm =
+        AAsm.finish(M.run(AAsm, Options.ValidationFuel * 4));
+
+    bool Ok = validatePair(
+        SCminor, SClight, "Clight->Cminor", Diags,
+        [&] { return cminor::runProgram(C.Cminor, Options.ValidationFuel); },
+        [&] { return interp::runProgram(C.Clight, Options.ValidationFuel); });
+    Ok &= validatePair(
+        SRtl, SCminor, "Cminor->RTL(+opt)", Diags,
+        [&] { return rtl::runProgram(C.Rtl, Options.ValidationFuel); },
+        [&] { return cminor::runProgram(C.Cminor, Options.ValidationFuel); });
+    Ok &= validatePair(
+        SMach, SRtl, "RTL->Mach", Diags,
+        [&] { return mach::runProgram(C.Mach, Options.ValidationFuel * 4); },
+        [&] { return rtl::runProgram(C.Rtl, Options.ValidationFuel); });
+    Ok &= validatePair(
+        SAsm, SMach, "Mach->Asm", Diags,
+        [&] { return M.run(Options.ValidationFuel * 4); },
+        [&] { return mach::runProgram(C.Mach, Options.ValidationFuel * 4); });
     if (Stats) {
-      auto Replayed = [Stats](const char *Pass, const Behavior &Target,
-                              const Behavior &Source) {
+      auto Replayed = [Stats](const char *Pass,
+                              const RefinementSummary &Target,
+                              const RefinementSummary &Source) {
         Stats->ReplayedEvents.emplace_back(
-            Pass, Target.Events.size() + Source.Events.size());
+            Pass, Target.EventCount + Source.EventCount);
       };
-      Replayed("Clight->Cminor", BCminor, BClight);
-      Replayed("Cminor->RTL(+opt)", BRtl, BCminor);
-      Replayed("RTL->Mach", BMach, BRtl);
-      Replayed("Mach->Asm", BAsm, BMach);
+      Replayed("Clight->Cminor", SCminor, SClight);
+      Replayed("Cminor->RTL(+opt)", SRtl, SCminor);
+      Replayed("RTL->Mach", SMach, SRtl);
+      Replayed("Mach->Asm", SAsm, SMach);
     }
     if (!Ok)
       return std::nullopt;

@@ -12,13 +12,23 @@
 /// function of the trace. Memory events need not be preserved exactly by
 /// compilation; only the trace weight must not increase.
 ///
+/// An event is a 12-byte POD: the function name and the external-call
+/// argument tuple live in the process-wide SymbolTable and the event
+/// carries their canonical ids. Equality is id equality, and emitting an
+/// event allocates nothing, which is what the streaming validation path
+/// (TraceSink.h) relies on. String-based factories remain for tests and
+/// diagnostics.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef QCC_EVENTS_EVENT_H
 #define QCC_EVENTS_EVENT_H
 
+#include "events/SymbolTable.h"
+
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace qcc {
@@ -30,31 +40,60 @@ enum class EventKind : uint8_t { Call, Return, External };
 
 /// One trace event.
 ///
-/// For Call/Return events only \c Function is meaningful. External events
-/// carry the argument and result values of the external call, mirroring
-/// CompCert's I/O events.
+/// For Call/Return events only \c Fn is meaningful. External events
+/// additionally carry the interned argument tuple and the result value of
+/// the external call, mirroring CompCert's I/O events.
 struct Event {
-  EventKind Kind;
-  std::string Function;
-  std::vector<int32_t> Args;   ///< External events only.
-  int32_t Result = 0;          ///< External events only.
+  EventKind Kind = EventKind::Call;
+  SymId Fn = 0;        ///< Interned function name.
+  ArgsId Args = 0;     ///< External events only; interned argument tuple.
+  int32_t Result = 0;  ///< External events only.
 
-  static Event call(std::string F) {
-    return Event{EventKind::Call, std::move(F), {}, 0};
+  // Id-based factories: the allocation-free path the interpreters use.
+  static Event call(SymId F) { return Event{EventKind::Call, F, 0, 0}; }
+  static Event ret(SymId F) { return Event{EventKind::Return, F, 0, 0}; }
+  static Event external(SymId F, ArgsId Args, int32_t Result) {
+    return Event{EventKind::External, F, Args, Result};
   }
-  static Event ret(std::string F) {
-    return Event{EventKind::Return, std::move(F), {}, 0};
+
+  // String-based factories: intern on the way in (tests, diagnostics).
+  static Event call(std::string_view F) {
+    return call(SymbolTable::global().intern(F));
   }
-  static Event external(std::string F, std::vector<int32_t> Args,
+  static Event ret(std::string_view F) {
+    return ret(SymbolTable::global().intern(F));
+  }
+  static Event external(std::string_view F, const std::vector<int32_t> &Args,
                         int32_t Result) {
-    return Event{EventKind::External, std::move(F), std::move(Args), Result};
+    SymbolTable &T = SymbolTable::global();
+    return external(T.intern(F), T.internArgs(Args), Result);
   }
+  // Disambiguate string literals (otherwise convertible to both
+  // std::string_view and, via int, nothing sensible).
+  static Event call(const char *F) { return call(std::string_view(F)); }
+  static Event ret(const char *F) { return ret(std::string_view(F)); }
 
   bool isMemoryEvent() const { return Kind != EventKind::External; }
 
+  /// The interned function name rendered back to a string.
+  const std::string &function() const {
+    return SymbolTable::global().name(Fn);
+  }
+
+  /// The interned argument tuple (empty for memory events).
+  const std::vector<int32_t> &args() const {
+    return SymbolTable::global().args(Args);
+  }
+
+  /// Kind-dependent equality: memory events compare kind and function
+  /// only; the argument/result payload is meaningful (and compared) for
+  /// External events alone. Interned ids are canonical, so this never
+  /// touches the symbol table.
   bool operator==(const Event &O) const {
-    return Kind == O.Kind && Function == O.Function && Args == O.Args &&
-           (Kind != EventKind::External || Result == O.Result);
+    if (Kind != O.Kind || Fn != O.Fn)
+      return false;
+    return Kind != EventKind::External ||
+           (Args == O.Args && Result == O.Result);
   }
   bool operator!=(const Event &O) const { return !(*this == O); }
 

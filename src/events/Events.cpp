@@ -23,15 +23,16 @@ using namespace qcc;
 std::string Event::str() const {
   switch (Kind) {
   case EventKind::Call:
-    return "call(" + Function + ")";
+    return "call(" + function() + ")";
   case EventKind::Return:
-    return "ret(" + Function + ")";
+    return "ret(" + function() + ")";
   case EventKind::External: {
-    std::string Out = Function + "(";
-    for (size_t I = 0; I != Args.size(); ++I) {
+    std::string Out = function() + "(";
+    const std::vector<int32_t> &As = args();
+    for (size_t I = 0; I != As.size(); ++I) {
       if (I)
         Out += ",";
-      Out += std::to_string(Args[I]);
+      Out += std::to_string(As[I]);
     }
     Out += " -> " + std::to_string(Result) + ")";
     return Out;
@@ -91,14 +92,14 @@ Trace qcc::pruneMemoryEvents(const Trace &T) {
 }
 
 bool qcc::isWellBracketed(const Trace &T) {
-  std::vector<const std::string *> Open;
+  std::vector<SymId> Open;
   for (const Event &E : T) {
     switch (E.Kind) {
     case EventKind::Call:
-      Open.push_back(&E.Function);
+      Open.push_back(E.Fn);
       break;
     case EventKind::Return:
-      if (Open.empty() || *Open.back() != E.Function)
+      if (Open.empty() || Open.back() != E.Fn)
         return false;
       Open.pop_back();
       break;
@@ -142,12 +143,12 @@ std::vector<CallDepthVector> qcc::callDepthProfile(const Trace &T) {
   for (const Event &E : T) {
     switch (E.Kind) {
     case EventKind::Call:
-      ++Current[E.Function];
+      ++Current[E.function()];
       Profile.push_back(Current);
       break;
     case EventKind::Return:
-      if (--Current[E.Function] == 0)
-        Current.erase(E.Function);
+      if (--Current[E.function()] == 0)
+        Current.erase(E.function());
       Profile.push_back(Current);
       break;
     case EventKind::External:
@@ -246,9 +247,9 @@ RefinementResult qcc::falsifyWeightDominance(const Behavior &Target,
     for (const Event &E : T) {
       if (!E.isMemoryEvent())
         continue;
-      if (std::find(Functions.begin(), Functions.end(), E.Function) ==
+      if (std::find(Functions.begin(), Functions.end(), E.function()) ==
           Functions.end())
-        Functions.push_back(E.Function);
+        Functions.push_back(E.function());
     }
   };
   Collect(Target.Events);

@@ -58,9 +58,9 @@ public:
   int64_t value(const Event &E) const {
     switch (E.Kind) {
     case EventKind::Call:
-      return static_cast<int64_t>(cost(E.Function));
+      return static_cast<int64_t>(cost(E.function()));
     case EventKind::Return:
-      return -static_cast<int64_t>(cost(E.Function));
+      return -static_cast<int64_t>(cost(E.function()));
     case EventKind::External:
       return 0;
     }

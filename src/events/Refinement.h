@@ -32,6 +32,7 @@
 #define QCC_EVENTS_REFINEMENT_H
 
 #include "events/Trace.h"
+#include "events/TraceSink.h"
 #include "events/Weight.h"
 
 #include <cstdint>
@@ -72,6 +73,47 @@ RefinementResult checkQuantitativeRefinement(const Behavior &Target,
 /// W_M(Target) > W_M(Source). Deterministic for a fixed \p Seed.
 RefinementResult falsifyWeightDominance(const Behavior &Target,
                                         const Behavior &Source,
+                                        unsigned Samples = 64,
+                                        uint64_t Seed = 0x9e3779b97f4a7c15ull);
+
+//===----------------------------------------------------------------------===//
+// Streaming entry points
+//===----------------------------------------------------------------------===//
+//
+// The same checks, consuming two RefinementSummary values (produced by a
+// RefinementAccumulator threaded through the interpreters) instead of two
+// materialized Behaviors. Verdicts agree with the trace-based checks on
+// every pair of runs: pruned-trace and memory-event equality become
+// 128-bit digest comparisons, and profile domination / weights are
+// computed from the profile peaks, which preserve both exactly (see
+// DESIGN.md "Streaming trace refinement" for the argument).
+
+/// Classic refinement on summaries: kinds, return codes, and the pruned
+/// (I/O) digests must match.
+RefinementResult checkClassicRefinement(const RefinementSummary &Target,
+                                        const RefinementSummary &Source);
+
+/// Quantitative refinement on summaries: classic refinement plus the
+/// all-metrics certificate via memory-event digest equality or pointwise
+/// domination of the profile peaks.
+RefinementResult checkQuantitativeRefinement(const RefinementSummary &Target,
+                                             const RefinementSummary &Source);
+
+/// The SymId-keyed analogue of the CallDepthVector domination check,
+/// applied to peak sets.
+bool pointwiseDominated(const std::vector<SymDepthVector> &Profile,
+                        const std::vector<SymDepthVector> &Dominating);
+
+/// W_M recovered from a summary's peaks — exact for every non-negative
+/// metric, identical to weight(M, Behavior) on the same run.
+uint64_t weight(const StackMetric &M, const RefinementSummary &S);
+
+/// The randomized-metric falsifier on summaries. Samples the identical
+/// deterministic metric stream as the trace-based overload (alphabet in
+/// target-then-source first-appearance order), so verdicts are
+/// bit-identical.
+RefinementResult falsifyWeightDominance(const RefinementSummary &Target,
+                                        const RefinementSummary &Source,
                                         unsigned Samples = 64,
                                         uint64_t Seed = 0x9e3779b97f4a7c15ull);
 

@@ -1,0 +1,353 @@
+//===- events/Streaming.cpp - Streaming sinks and refinement --------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the streaming trace pipeline: the accumulator sinks
+/// of TraceSink.h and the summary-based refinement checks. The
+/// equivalence argument connecting peaks to the materialized definitions
+/// is laid out in DESIGN.md ("Streaming trace refinement").
+///
+//===----------------------------------------------------------------------===//
+
+#include "events/Refinement.h"
+#include "events/TraceSink.h"
+
+#include <algorithm>
+
+using namespace qcc;
+
+//===----------------------------------------------------------------------===//
+// Outcome / recording bridge
+//===----------------------------------------------------------------------===//
+
+Behavior Outcome::intoBehavior(Trace T) const {
+  switch (Kind) {
+  case BehaviorKind::Converges:
+    return Behavior::converges(std::move(T), ReturnCode);
+  case BehaviorKind::Diverges:
+    return Behavior::diverges(std::move(T));
+  case BehaviorKind::Fails:
+    return Behavior::fails(std::move(T), FailureReason);
+  }
+  return Behavior::fails(std::move(T), "bad outcome kind");
+}
+
+//===----------------------------------------------------------------------===//
+// WeightAccumulator
+//===----------------------------------------------------------------------===//
+
+int64_t WeightAccumulator::costOf(SymId F) {
+  if (F >= Known.size()) {
+    Known.resize(F + 1, 0);
+    Cost.resize(F + 1, 0);
+  }
+  if (!Known[F]) {
+    Known[F] = 1;
+    Cost[F] = static_cast<int64_t>(M.cost(SymbolTable::global().name(F)));
+  }
+  return Cost[F];
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileAccumulator
+//===----------------------------------------------------------------------===//
+
+/// A(f) <= B(f) for *every* function mentioned by either vector (absent
+/// entries read as 0). Stronger than the refinement check's positive-only
+/// depthVectorLE; pruning under this order preserves both the domination
+/// verdict and the exact max-dot-product weight even when counts have
+/// gone negative.
+static bool entrywiseLE(const SymDepthVector &A, const SymDepthVector &B) {
+  auto IA = A.begin();
+  auto IB = B.begin();
+  while (IA != A.end() || IB != B.end()) {
+    if (IB == B.end() || (IA != A.end() && IA->first < IB->first)) {
+      if (IA->second > 0)
+        return false; // B reads 0 here.
+      ++IA;
+    } else if (IA == A.end() || IB->first < IA->first) {
+      if (IB->second < 0)
+        return false; // A reads 0 here.
+      ++IB;
+    } else {
+      if (IA->second > IB->second)
+        return false;
+      ++IA;
+      ++IB;
+    }
+  }
+  return true;
+}
+
+void ProfileAccumulator::see(SymId F) {
+  if (std::find(Alphabet.begin(), Alphabet.end(), F) == Alphabet.end())
+    Alphabet.push_back(F);
+}
+
+void ProfileAccumulator::capture() {
+  for (const SymDepthVector &P : Peaks)
+    if (entrywiseLE(Current, P))
+      return;
+  std::erase_if(Peaks, [this](const SymDepthVector &P) {
+    return entrywiseLE(P, Current);
+  });
+  Peaks.push_back(Current);
+}
+
+void ProfileAccumulator::onEvent(const Event &E) {
+  switch (E.Kind) {
+  case EventKind::Call:
+    see(E.Fn);
+    // A count can pass through 0 on ill-bracketed traces; erase to keep
+    // the vector canonical.
+    if (++Current[E.Fn] == 0)
+      Current.erase(E.Fn);
+    PendingPeak = true;
+    break;
+  case EventKind::Return:
+    see(E.Fn);
+    // The profile's local maxima sit exactly at call events followed by
+    // a return: capture *before* the decrement.
+    if (PendingPeak) {
+      capture();
+      PendingPeak = false;
+    }
+    if (--Current[E.Fn] == 0)
+      Current.erase(E.Fn);
+    break;
+  case EventKind::External:
+    break; // Counts unchanged.
+  }
+}
+
+void ProfileAccumulator::flush() {
+  if (PendingPeak) {
+    capture();
+    PendingPeak = false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// PruningHasher
+//===----------------------------------------------------------------------===//
+
+PruningHasher::PruningHasher() {
+  // Seed the second chain of each pair differently so the two 64-bit
+  // digests are independent (a 128-bit digest overall).
+  IOB.u64(0x9e3779b97f4a7c15ull);
+  MemB.u64(0x9e3779b97f4a7c15ull);
+}
+
+void PruningHasher::onEvent(const Event &E) {
+  if (E.isMemoryEvent()) {
+    // Kind + interned function, one fixed-size record per event. Matches
+    // Event::operator== for memory events (args/result not compared).
+    uint64_t Tag = (static_cast<uint64_t>(E.Kind) << 32) | E.Fn;
+    MemA.u64(Tag);
+    MemB.u64(Tag);
+    ++NMem;
+  } else {
+    IOA.u64(E.Fn).u64(E.Args).u64(static_cast<uint32_t>(E.Result));
+    IOB.u64(E.Fn).u64(E.Args).u64(static_cast<uint32_t>(E.Result));
+    ++NIO;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// RefinementAccumulator / summaries
+//===----------------------------------------------------------------------===//
+
+RefinementSummary RefinementAccumulator::finish(const Outcome &O) {
+  Profile.flush();
+  RefinementSummary S;
+  S.Kind = O.Kind;
+  S.ReturnCode = O.ReturnCode;
+  S.FailureReason = O.FailureReason;
+  S.EventCount = Count;
+  S.IOHashA = Hash.ioDigestA();
+  S.IOHashB = Hash.ioDigestB();
+  S.IOCount = Hash.ioCount();
+  S.MemHashA = Hash.memDigestA();
+  S.MemHashB = Hash.memDigestB();
+  S.MemCount = Hash.memCount();
+  S.Alphabet = Profile.alphabet();
+  S.Peaks = Profile.peaks();
+  return S;
+}
+
+RefinementSummary qcc::summarize(const Behavior &B) {
+  RefinementAccumulator A;
+  for (const Event &E : B.Events)
+    A.onEvent(E);
+  Outcome O;
+  O.Kind = B.Kind;
+  O.ReturnCode = B.ReturnCode;
+  O.FailureReason = B.FailureReason;
+  return A.finish(O);
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming refinement checks
+//===----------------------------------------------------------------------===//
+
+/// The positive-only comparison of the materialized checker, on interned
+/// ids: A(f) <= B(f) for every f with A(f) > 0 (absent B entries are 0).
+static bool depthVectorLE(const SymDepthVector &A, const SymDepthVector &B) {
+  for (const auto &[F, C] : A) {
+    if (C <= 0)
+      continue;
+    auto It = B.find(F);
+    if (It == B.end() || It->second < C)
+      return false;
+  }
+  return true;
+}
+
+bool qcc::pointwiseDominated(const std::vector<SymDepthVector> &Profile,
+                             const std::vector<SymDepthVector> &Dominating) {
+  for (const SymDepthVector &C : Profile) {
+    bool Found = false;
+    for (const SymDepthVector &D : Dominating) {
+      if (depthVectorLE(C, D)) {
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+uint64_t qcc::weight(const StackMetric &M, const RefinementSummary &S) {
+  // W_M = max over peaks of the dot product with the metric (clamped at
+  // the empty prefix's 0). Exact for every non-negative metric: V_M only
+  // rises at call events, so its prefix maximum is attained at a peak.
+  SymbolTable &Table = SymbolTable::global();
+  int64_t Max = 0;
+  for (const SymDepthVector &P : S.Peaks) {
+    int64_t V = 0;
+    for (const auto &[F, C] : P)
+      V += C * static_cast<int64_t>(M.cost(Table.name(F)));
+    if (V > Max)
+      Max = V;
+  }
+  return static_cast<uint64_t>(Max);
+}
+
+static std::string kindName(BehaviorKind K) {
+  switch (K) {
+  case BehaviorKind::Converges: return "conv";
+  case BehaviorKind::Diverges: return "div";
+  case BehaviorKind::Fails: return "fail";
+  }
+  return "?";
+}
+
+RefinementResult qcc::checkClassicRefinement(const RefinementSummary &Target,
+                                             const RefinementSummary &Source) {
+  if (Target.Kind != Source.Kind)
+    return RefinementResult::fail(
+        "behavior kinds differ: target " + kindName(Target.Kind) +
+        " vs source " + kindName(Source.Kind));
+  if (Target.Kind == BehaviorKind::Converges &&
+      Target.ReturnCode != Source.ReturnCode)
+    return RefinementResult::fail(
+        "return codes differ: target " + std::to_string(Target.ReturnCode) +
+        " vs source " + std::to_string(Source.ReturnCode));
+  if (Target.IOCount != Source.IOCount ||
+      Target.IOHashA != Source.IOHashA || Target.IOHashB != Source.IOHashB)
+    return RefinementResult::fail(
+        "pruned traces differ: target has " + std::to_string(Target.IOCount) +
+        " I/O events vs source " + std::to_string(Source.IOCount) +
+        " (digest mismatch)");
+  return RefinementResult::ok();
+}
+
+RefinementResult
+qcc::checkQuantitativeRefinement(const RefinementSummary &Target,
+                                 const RefinementSummary &Source) {
+  RefinementResult Classic = checkClassicRefinement(Target, Source);
+  if (!Classic.Ok)
+    return Classic;
+
+  // Certificate 1: the pass preserved memory events exactly.
+  if (Target.MemCount == Source.MemCount &&
+      Target.MemHashA == Source.MemHashA &&
+      Target.MemHashB == Source.MemHashB)
+    return RefinementResult::ok();
+
+  // Certificate 2: pointwise domination of the profile peaks, which is
+  // equivalent to domination of the full open-call-count profiles.
+  if (pointwiseDominated(Target.Peaks, Source.Peaks))
+    return RefinementResult::ok();
+
+  return RefinementResult::fail(
+      "no all-metrics weight certificate: memory events differ and the "
+      "target call-depth profile is not pointwise dominated");
+}
+
+RefinementResult qcc::falsifyWeightDominance(const RefinementSummary &Target,
+                                             const RefinementSummary &Source,
+                                             unsigned Samples,
+                                             uint64_t Seed) {
+  // Same alphabet order as the trace-based falsifier: target functions
+  // first, then source, each in first-appearance order — the randomized
+  // metric stream assigns costs by position, so order preservation makes
+  // the two falsifiers sample identical metrics.
+  std::vector<SymId> Functions;
+  auto Collect = [&Functions](const std::vector<SymId> &Alphabet) {
+    for (SymId F : Alphabet)
+      if (std::find(Functions.begin(), Functions.end(), F) == Functions.end())
+        Functions.push_back(F);
+  };
+  Collect(Target.Alphabet);
+  Collect(Source.Alphabet);
+
+  SymbolTable &Table = SymbolTable::global();
+  auto Check = [&](const StackMetric &M) -> RefinementResult {
+    uint64_t WT = weight(M, Target);
+    uint64_t WS = weight(M, Source);
+    if (WT > WS)
+      return RefinementResult::fail(
+          "W_M(target)=" + std::to_string(WT) + " > W_M(source)=" +
+          std::to_string(WS) + " under metric " + M.str());
+    return RefinementResult::ok();
+  };
+
+  // The uniform metric and every one-hot metric.
+  StackMetric Uniform;
+  for (SymId F : Functions)
+    Uniform.setCost(Table.name(F), 1);
+  if (RefinementResult R = Check(Uniform); !R.Ok)
+    return R;
+  for (SymId F : Functions) {
+    StackMetric OneHot;
+    OneHot.setCost(Table.name(F), 1);
+    if (RefinementResult R = Check(OneHot); !R.Ok)
+      return R;
+  }
+
+  // Randomized metrics (deterministic splitmix64 stream, same as the
+  // trace-based falsifier).
+  uint64_t State = Seed;
+  auto Next = [&State]() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  };
+  for (unsigned I = 0; I != Samples; ++I) {
+    StackMetric M;
+    for (SymId F : Functions)
+      M.setCost(Table.name(F), static_cast<uint32_t>(Next() % 1024));
+    if (RefinementResult R = Check(M); !R.Ok)
+      return R;
+  }
+  return RefinementResult::ok();
+}

@@ -1,0 +1,80 @@
+//===- events/SymbolTable.cpp - Interned event symbols --------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/SymbolTable.h"
+
+#include <cassert>
+#include <mutex>
+
+using namespace qcc;
+
+SymbolTable &SymbolTable::global() {
+  static SymbolTable Table;
+  return Table;
+}
+
+SymbolTable::SymbolTable() {
+  // Reserve id 0 for the empty name / empty tuple so default-constructed
+  // events render sensibly.
+  Names.emplace_back();
+  NameIds.emplace(std::string_view(Names.back()), 0);
+  ArgTuples.emplace_back();
+  ArgIds.emplace(std::vector<int32_t>(), 0);
+}
+
+SymId SymbolTable::intern(std::string_view Name) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(Mu);
+    auto It = NameIds.find(Name);
+    if (It != NameIds.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(Mu);
+  auto It = NameIds.find(Name);
+  if (It != NameIds.end())
+    return It->second;
+  SymId Id = static_cast<SymId>(Names.size());
+  Names.emplace_back(Name);
+  NameIds.emplace(std::string_view(Names.back()), Id);
+  return Id;
+}
+
+const std::string &SymbolTable::name(SymId Id) const {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
+  assert(Id < Names.size() && "unknown symbol id");
+  return Names[Id];
+}
+
+ArgsId SymbolTable::internArgs(const std::vector<int32_t> &Args) {
+  if (Args.empty())
+    return 0;
+  {
+    std::shared_lock<std::shared_mutex> Lock(Mu);
+    auto It = ArgIds.find(Args);
+    if (It != ArgIds.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(Mu);
+  auto It = ArgIds.find(Args);
+  if (It != ArgIds.end())
+    return It->second;
+  ArgsId Id = static_cast<ArgsId>(ArgTuples.size());
+  ArgTuples.push_back(Args);
+  ArgIds.emplace(Args, Id);
+  return Id;
+}
+
+const std::vector<int32_t> &SymbolTable::args(ArgsId Id) const {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
+  assert(Id < ArgTuples.size() && "unknown args id");
+  return ArgTuples[Id];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
+  return Names.size();
+}

@@ -1,0 +1,79 @@
+//===- events/SymbolTable.h - Interned event symbols ------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-global interner for the names and argument tuples that trace
+/// events carry. Interning a function name once per program lets `Event`
+/// be a small POD (two 32-bit ids instead of a heap string plus a vector),
+/// which is what makes streaming translation validation allocation-free:
+/// the interpreters emit millions of events but mention only a handful of
+/// distinct functions.
+///
+/// Ids are canonical: two ids are equal iff the interned values are equal,
+/// so event comparison and hashing never touch the strings again. The
+/// table is append-only and guarded by a shared mutex because the batch
+/// engine runs many compilations on a thread pool; `name`/`args` hand out
+/// references into deque storage, which appends never invalidate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_EVENTS_SYMBOLTABLE_H
+#define QCC_EVENTS_SYMBOLTABLE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace qcc {
+
+/// An interned function name. Id 0 is the empty string.
+using SymId = uint32_t;
+
+/// An interned tuple of external-call arguments. Id 0 is the empty tuple.
+using ArgsId = uint32_t;
+
+/// The process-wide intern table. Thread-safe; use SymbolTable::global().
+class SymbolTable {
+public:
+  /// The singleton instance every Event goes through.
+  static SymbolTable &global();
+
+  /// Returns the canonical id of \p Name, interning it if new.
+  SymId intern(std::string_view Name);
+
+  /// The string for an interned id. The reference stays valid forever.
+  const std::string &name(SymId Id) const;
+
+  /// Returns the canonical id of \p Args, interning the tuple if new.
+  ArgsId internArgs(const std::vector<int32_t> &Args);
+
+  /// The tuple for an interned id. The reference stays valid forever.
+  const std::vector<int32_t> &args(ArgsId Id) const;
+
+  /// Number of interned names (for tests and metrics).
+  size_t size() const;
+
+private:
+  SymbolTable();
+
+  mutable std::shared_mutex Mu;
+  // Deques give stable references under append, so lookups can return
+  // references that outlive the lock.
+  std::deque<std::string> Names;
+  std::unordered_map<std::string_view, SymId> NameIds;
+  std::deque<std::vector<int32_t>> ArgTuples;
+  std::map<std::vector<int32_t>, ArgsId> ArgIds;
+};
+
+} // namespace qcc
+
+#endif // QCC_EVENTS_SYMBOLTABLE_H

@@ -1,0 +1,263 @@
+//===- events/TraceSink.h - Streaming trace consumers -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The streaming event pipeline. Every interpreter in the five-level
+/// pipeline emits its events into a TraceSink instead of materializing a
+/// vector; composable sinks fold the stream into exactly the state each
+/// consumer needs:
+///
+///   * RecordingSink      — today's behavior: keep the full trace.
+///   * WeightAccumulator  — online V_M / W_M in O(1) state. The paper's
+///                          W_M(B) = sup { V_M(t) | t in prefs(B) } is a
+///                          running max because V_M only rises on call
+///                          events, so the sup over prefixes is reached
+///                          at call events (DESIGN.md "Streaming trace
+///                          refinement").
+///   * ProfileAccumulator — the open-call-count profile *peaks*: the
+///                          O(depth) summary that preserves both the
+///                          pointwise-domination certificate and exact
+///                          weights under every non-negative metric.
+///   * PruningHasher      — 128-bit digests of the pruned (I/O) event
+///                          sequence (classic refinement) and of the
+///                          memory-event sequence (certificate 1).
+///   * RefinementAccumulator — the composition of the last two, folding
+///                          one run into a RefinementSummary that the
+///                          streaming checkQuantitativeRefinement
+///                          consumes.
+///
+/// An execution's end is described by an Outcome (behavior kind, return
+/// code, failure reason) — a Behavior without the trace. The recording
+/// wrappers pair an Outcome with a RecordingSink's trace to recover the
+/// classic Behavior API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_EVENTS_TRACESINK_H
+#define QCC_EVENTS_TRACESINK_H
+
+#include "events/Event.h"
+#include "events/Metric.h"
+#include "events/Trace.h"
+#include "support/Hash.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qcc {
+
+/// Consumer of one interpreter run's event stream.
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+  virtual void onEvent(const Event &E) = 0;
+};
+
+/// How an execution ended: a Behavior minus the materialized trace. The
+/// streaming interpreter entry points return this.
+struct Outcome {
+  BehaviorKind Kind = BehaviorKind::Fails;
+  int32_t ReturnCode = 0;
+  std::string FailureReason;
+
+  static Outcome converges(int32_t Code) {
+    return {BehaviorKind::Converges, Code, ""};
+  }
+  static Outcome diverges() { return {BehaviorKind::Diverges, 0, ""}; }
+  static Outcome fails(std::string Reason) {
+    return {BehaviorKind::Fails, 0, std::move(Reason)};
+  }
+
+  bool converged() const { return Kind == BehaviorKind::Converges; }
+
+  /// Pairs this outcome with a materialized trace.
+  Behavior intoBehavior(Trace T) const;
+};
+
+/// Preserves the materialized-trace behavior: records every event.
+class RecordingSink final : public TraceSink {
+public:
+  Trace Events;
+  void onEvent(const Event &E) override { Events.push_back(E); }
+  /// Recovers the classic Behavior from an outcome plus the recording.
+  Behavior finish(const Outcome &O) { return O.intoBehavior(std::move(Events)); }
+};
+
+/// Discards the stream (pure-speed baselines in benches).
+class NullSink final : public TraceSink {
+public:
+  void onEvent(const Event &) override {}
+};
+
+/// Fans one stream out to several sinks.
+class TeeSink final : public TraceSink {
+public:
+  TeeSink(TraceSink &A, TraceSink &B) : Sinks{&A, &B} {}
+  explicit TeeSink(std::vector<TraceSink *> Sinks) : Sinks(std::move(Sinks)) {}
+  void onEvent(const Event &E) override {
+    for (TraceSink *S : Sinks)
+      S->onEvent(E);
+  }
+
+private:
+  std::vector<TraceSink *> Sinks;
+};
+
+/// Online valuation and weight under one fixed metric: V_M as a running
+/// sum, W_M as its running max (the sup over prefixes is attained after
+/// call events since only they raise V_M). Per-function costs are
+/// resolved once per interned id.
+class WeightAccumulator final : public TraceSink {
+public:
+  explicit WeightAccumulator(const StackMetric &M) : M(M) {}
+
+  void onEvent(const Event &E) override {
+    switch (E.Kind) {
+    case EventKind::Call:
+      Sum += costOf(E.Fn);
+      if (Sum > Max)
+        Max = Sum;
+      break;
+    case EventKind::Return:
+      Sum -= costOf(E.Fn);
+      break;
+    case EventKind::External:
+      break;
+    }
+  }
+
+  /// V_M of the consumed stream.
+  int64_t valuation() const { return Sum; }
+  /// W_M of the consumed stream (max prefix valuation, never negative).
+  uint64_t weight() const { return static_cast<uint64_t>(Max); }
+
+private:
+  int64_t costOf(SymId F);
+
+  const StackMetric &M;
+  std::vector<int64_t> Cost;  ///< Dense per-SymId cost cache.
+  std::vector<uint8_t> Known;
+  int64_t Sum = 0;
+  int64_t Max = 0; // The empty prefix has valuation 0.
+};
+
+/// Open-call counts keyed by interned function id; the SymId analogue of
+/// CallDepthVector. Zero entries are erased (canonical form); negative
+/// entries can occur for ill-bracketed synthetic traces.
+using SymDepthVector = std::map<SymId, int64_t>;
+
+/// Folds the memory-event stream into the *peaks* of the open-call-count
+/// profile: the count vectors at each call event that is immediately
+/// followed (memory-event-wise) by a return or by the end of the trace,
+/// plus the empty vector for the empty prefix. Since counts only rise at
+/// call events and only fall at return events, every profile point is
+/// entrywise bounded by some peak, so the peak set preserves (a) the
+/// pointwise-domination certificate verdict and (b) the exact weight
+/// under every non-negative metric — in O(call-depth)-sized state instead
+/// of O(trace). Entrywise-dominated peaks are pruned on capture, which is
+/// verdict- and weight-preserving even with negative counts.
+class ProfileAccumulator final : public TraceSink {
+public:
+  ProfileAccumulator() : Peaks{SymDepthVector{}} {}
+
+  void onEvent(const Event &E) override;
+
+  /// Captures a trailing open peak (a final call with no following
+  /// return). Call once after the last event; further events may follow
+  /// (the accumulator stays consistent).
+  void flush();
+
+  /// The peak set. Only complete after flush().
+  const std::vector<SymDepthVector> &peaks() const { return Peaks; }
+
+  /// Functions mentioned by memory events, in first-appearance order —
+  /// the alphabet the randomized-metric falsifier samples over.
+  const std::vector<SymId> &alphabet() const { return Alphabet; }
+
+  /// The current open-call vector (the live prefix's counts).
+  const SymDepthVector &current() const { return Current; }
+
+private:
+  void capture();
+  void see(SymId F);
+
+  SymDepthVector Current;
+  bool PendingPeak = false; ///< Last memory event was a call.
+  std::vector<SymDepthVector> Peaks;
+  std::vector<SymId> Alphabet;
+};
+
+/// Streams the two event subsequences refinement compares into fixed-size
+/// digests: the pruned (I/O-only) sequence for classic refinement and the
+/// memory-event sequence for the equality certificate. Two independently
+/// seeded 64-bit FNV-1a chains per sequence give a 128-bit digest; counts
+/// ride along so length differences are detected outright.
+class PruningHasher final : public TraceSink {
+public:
+  PruningHasher();
+
+  void onEvent(const Event &E) override;
+
+  uint64_t ioDigestA() const { return IOA.digest(); }
+  uint64_t ioDigestB() const { return IOB.digest(); }
+  uint64_t ioCount() const { return NIO; }
+  uint64_t memDigestA() const { return MemA.digest(); }
+  uint64_t memDigestB() const { return MemB.digest(); }
+  uint64_t memCount() const { return NMem; }
+
+private:
+  Fnv1a64 IOA, IOB, MemA, MemB;
+  uint64_t NIO = 0;
+  uint64_t NMem = 0;
+};
+
+/// Everything the streaming refinement checker needs to know about one
+/// run: O(call-depth + alphabet) state, independent of trace length.
+struct RefinementSummary {
+  BehaviorKind Kind = BehaviorKind::Fails;
+  int32_t ReturnCode = 0;
+  std::string FailureReason;
+  uint64_t EventCount = 0;
+
+  uint64_t IOHashA = 0, IOHashB = 0;
+  uint64_t IOCount = 0;
+  uint64_t MemHashA = 0, MemHashB = 0;
+  uint64_t MemCount = 0;
+
+  std::vector<SymId> Alphabet;       ///< First-appearance order.
+  std::vector<SymDepthVector> Peaks; ///< Pruned profile peaks.
+};
+
+/// The one sink the driver threads through each interpreter level:
+/// hashes + profile peaks + event count, folded into a RefinementSummary
+/// when the run's outcome is known.
+class RefinementAccumulator final : public TraceSink {
+public:
+  void onEvent(const Event &E) override {
+    ++Count;
+    Hash.onEvent(E);
+    Profile.onEvent(E);
+  }
+
+  RefinementSummary finish(const Outcome &O);
+
+private:
+  uint64_t Count = 0;
+  PruningHasher Hash;
+  ProfileAccumulator Profile;
+};
+
+/// Replays a materialized behavior through a RefinementAccumulator — the
+/// bridge the differential tests use to cross-check streaming summaries
+/// against the recording path.
+RefinementSummary summarize(const Behavior &B);
+
+} // namespace qcc
+
+#endif // QCC_EVENTS_TRACESINK_H

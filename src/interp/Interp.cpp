@@ -225,32 +225,51 @@ Interpreter::Env Interpreter::makeFrame(const cl::Function &F,
   return Frame;
 }
 
+SymId Interpreter::sym(const std::string &Name) {
+  auto [It, New] = SymCache.try_emplace(&Name, 0);
+  if (New)
+    It->second = SymbolTable::global().intern(Name);
+  return It->second;
+}
+
 Behavior Interpreter::run() {
+  RecordingSink R;
+  return run(R).intoBehavior(std::move(R.Events));
+}
+
+Outcome Interpreter::run(TraceSink &Sink) {
   const cl::Function *Entry = P.findFunction(P.EntryPoint);
   if (!Entry)
-    return Behavior::fails({}, "entry point '" + P.EntryPoint +
-                                   "' is not defined");
-  return execute(*Entry, {});
+    return Outcome::fails("entry point '" + P.EntryPoint +
+                          "' is not defined");
+  return execute(*Entry, {}, Sink);
 }
 
 Behavior Interpreter::runFunctionCall(const std::string &Function,
                                       const std::vector<uint32_t> &Args) {
-  const cl::Function *F = P.findFunction(Function);
-  if (!F)
-    return Behavior::fails({}, "function '" + Function + "' is not defined");
-  if (F->Params.size() != Args.size())
-    return Behavior::fails({}, "bad argument count for '" + Function + "'");
-  return execute(*F, Args);
+  RecordingSink R;
+  return runFunctionCall(Function, Args, R).intoBehavior(std::move(R.Events));
 }
 
-Behavior Interpreter::execute(const cl::Function &Entry,
-                              const std::vector<uint32_t> &Args) {
+Outcome Interpreter::runFunctionCall(const std::string &Function,
+                                     const std::vector<uint32_t> &Args,
+                                     TraceSink &Sink) {
+  const cl::Function *F = P.findFunction(Function);
+  if (!F)
+    return Outcome::fails("function '" + Function + "' is not defined");
+  if (F->Params.size() != Args.size())
+    return Outcome::fails("bad argument count for '" + Function + "'");
+  return execute(*F, Args, Sink);
+}
+
+Outcome Interpreter::execute(const cl::Function &Entry,
+                             const std::vector<uint32_t> &Args,
+                             TraceSink &Sink) {
   initGlobals();
   Stack.clear();
-  Events.clear();
   Steps = 0;
 
-  Events.push_back(Event::call(Entry.Name));
+  Sink.onEvent(Event::call(sym(Entry.Name)));
   Locals = makeFrame(Entry, Args);
 
   // The execution mode: either about to execute Cur, or propagating a
@@ -259,16 +278,17 @@ Behavior Interpreter::execute(const cl::Function &Entry,
   Mode M = Mode::Exec;
   const cl::Stmt *Cur = Entry.Body.get();
   uint32_t ReturnValue = 0;
-  // Names of the call chain, innermost last; used to emit ret events.
-  std::vector<std::string> CallChain = {Entry.Name};
+  // Interned names of the call chain, innermost last; used to emit ret
+  // events.
+  std::vector<SymId> CallChain = {sym(Entry.Name)};
 
-  auto Fail = [&](const std::string &Reason) {
-    return Behavior::fails(Events, Reason);
+  auto Fail = [&](std::string Reason) {
+    return Outcome::fails(std::move(Reason));
   };
 
   for (;;) {
     if (++Steps > Fuel)
-      return Behavior::diverges(Events);
+      return Outcome::diverges();
 
     if (M == Mode::Exec) {
       switch (Cur->Kind) {
@@ -298,15 +318,16 @@ Behavior Interpreter::execute(const cl::Function &Entry,
         }
         if (const cl::Function *Callee = P.findFunction(Cur->Callee)) {
           // Internal call: push a Kcall frame, emit call(f), switch frames.
-          Events.push_back(Event::call(Callee->Name));
+          SymId CalleeSym = sym(Callee->Name);
+          Sink.onEvent(Event::call(CalleeSym));
           Cont C;
           C.K = Cont::Kind::Call;
           C.HasDest = Cur->HasDest;
           C.Dest = Cur->HasDest ? &Cur->Dest : nullptr;
-          C.Function = Callee->Name;
+          C.Function = CalleeSym;
           C.SavedLocals = std::move(Locals);
           Stack.push_back(std::move(C));
-          CallChain.push_back(Callee->Name);
+          CallChain.push_back(CalleeSym);
           Locals = makeFrame(*Callee, ArgValues);
           Cur = Callee->Body.get();
           // Stay in Exec mode.
@@ -314,8 +335,9 @@ Behavior Interpreter::execute(const cl::Function &Entry,
         }
         // External call: one I/O event, result 0 by convention.
         std::vector<int32_t> IOArgs(ArgValues.begin(), ArgValues.end());
-        Events.push_back(
-            Event::external(Cur->Callee, std::move(IOArgs), /*Result=*/0));
+        Sink.onEvent(Event::external(sym(Cur->Callee),
+                                     SymbolTable::global().internArgs(IOArgs),
+                                     /*Result=*/0));
         if (Cur->HasDest) {
           std::string Fault;
           if (!writeLValue(Cur->Dest, 0, Fault))
@@ -380,9 +402,8 @@ Behavior Interpreter::execute(const cl::Function &Entry,
         [[fallthrough]];
       case Mode::Returning: {
         assert(!CallChain.empty());
-        Events.push_back(Event::ret(CallChain.back()));
-        return Behavior::converges(Events,
-                                   static_cast<int32_t>(ReturnValue));
+        Sink.onEvent(Event::ret(CallChain.back()));
+        return Outcome::converges(static_cast<int32_t>(ReturnValue));
       }
       case Mode::Breaking:
         return Fail("'break' escaped the function body");
@@ -407,7 +428,7 @@ Behavior Interpreter::execute(const cl::Function &Entry,
         break;
       case Cont::Kind::Call: {
         // Fall-through out of a function body: void return.
-        Events.push_back(Event::ret(Top.Function));
+        Sink.onEvent(Event::ret(Top.Function));
         Locals = std::move(Top.SavedLocals);
         if (Top.HasDest) {
           std::string Fault;
@@ -443,7 +464,7 @@ Behavior Interpreter::execute(const cl::Function &Entry,
         Stack.pop_back();
         break; // Keep unwinding to the call frame.
       case Cont::Kind::Call: {
-        Events.push_back(Event::ret(Top.Function));
+        Sink.onEvent(Event::ret(Top.Function));
         Locals = std::move(Top.SavedLocals);
         if (Top.HasDest) {
           std::string Fault;
@@ -468,4 +489,10 @@ Behavior Interpreter::execute(const cl::Function &Entry,
 Behavior qcc::interp::runProgram(const cl::Program &P, uint64_t Fuel) {
   Interpreter I(P, Fuel);
   return I.run();
+}
+
+Outcome qcc::interp::runProgram(const cl::Program &P, TraceSink &Sink,
+                                uint64_t Fuel) {
+  Interpreter I(P, Fuel);
+  return I.run(Sink);
 }

@@ -30,10 +30,12 @@
 
 #include "clight/Clight.h"
 #include "events/Trace.h"
+#include "events/TraceSink.h"
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace qcc {
@@ -65,11 +67,20 @@ public:
   /// Runs the entry point (main). Globals are (re)initialized first.
   Behavior run();
 
+  /// Streaming variant: emits every event into \p Sink and returns only
+  /// the outcome — nothing is materialized.
+  Outcome run(TraceSink &Sink);
+
   /// Runs a single function call f(Args) from freshly initialized globals.
   /// The trace starts with call(f) and, on normal termination, ends with
   /// ret(f); the behavior's return code is f's result (0 for void).
   Behavior runFunctionCall(const std::string &Function,
                            const std::vector<uint32_t> &Args);
+
+  /// Streaming variant of runFunctionCall.
+  Outcome runFunctionCall(const std::string &Function,
+                          const std::vector<uint32_t> &Args,
+                          TraceSink &Sink);
 
   /// Number of small steps taken by the last run.
   uint64_t stepsTaken() const { return Steps; }
@@ -84,7 +95,7 @@ private:
     // Call frames:
     bool HasDest = false;
     const clight::LValue *Dest = nullptr;
-    std::string Function;
+    SymId Function = 0;
     Env SavedLocals;
   };
 
@@ -95,8 +106,10 @@ private:
   void initGlobals();
   Env makeFrame(const clight::Function &F,
                 const std::vector<uint32_t> &Args);
-  Behavior execute(const clight::Function &Entry,
-                   const std::vector<uint32_t> &Args);
+  Outcome execute(const clight::Function &Entry,
+                  const std::vector<uint32_t> &Args, TraceSink &Sink);
+  /// Interned id of an IR name, cached by the string's (stable) address.
+  SymId sym(const std::string &Name);
 
   const clight::Program &P;
   uint64_t Fuel;
@@ -105,11 +118,15 @@ private:
   std::map<std::string, std::vector<uint32_t>> Globals;
   Env Locals;
   std::vector<Cont> Stack;
-  Trace Events;
+  std::unordered_map<const std::string *, SymId> SymCache;
 };
 
 /// Convenience: runs \p P's entry point with \p Fuel.
 Behavior runProgram(const clight::Program &P, uint64_t Fuel = DefaultFuel);
+
+/// Streaming convenience: same run, events delivered to \p Sink.
+Outcome runProgram(const clight::Program &P, TraceSink &Sink,
+                   uint64_t Fuel = DefaultFuel);
 
 } // namespace interp
 } // namespace qcc

@@ -9,6 +9,7 @@
 
 #include <cassert>
 #include <limits>
+#include <unordered_map>
 
 using namespace qcc;
 using namespace qcc::logic;
@@ -479,21 +480,35 @@ std::string BoundExprNode::str() const {
   return "<bad bound>";
 }
 
-ExtNat qcc::logic::evalBound(const BoundExpr &E, const StackMetric &M,
-                             const VarEnv &Env) {
+namespace {
+/// Memo for shared bound nodes: substitution and the smart constructors
+/// produce DAGs (the same subtree reachable through several parents), so
+/// plain structural recursion re-evaluates shared nodes once per path.
+/// Only nodes with more than one owner are worth caching.
+using EvalMemo = std::unordered_map<const BoundExprNode *, ExtNat>;
+} // namespace
+
+static ExtNat evalBoundMemo(const BoundExpr &E, const StackMetric &M,
+                            const VarEnv &Env, EvalMemo &Memo);
+
+static ExtNat evalBoundNode(const BoundExpr &E, const StackMetric &M,
+                            const VarEnv &Env, EvalMemo &Memo) {
   switch (E->K) {
   case BoundExprNode::Kind::Const:
     return E->Value;
   case BoundExprNode::Kind::MetricVar:
     return ExtNat(M.cost(E->Func));
   case BoundExprNode::Kind::Add:
-    return evalBound(E->Lhs, M, Env) + evalBound(E->Rhs, M, Env);
+    return evalBoundMemo(E->Lhs, M, Env, Memo) +
+           evalBoundMemo(E->Rhs, M, Env, Memo);
   case BoundExprNode::Kind::Max:
-    return max(evalBound(E->Lhs, M, Env), evalBound(E->Rhs, M, Env));
+    return max(evalBoundMemo(E->Lhs, M, Env, Memo),
+               evalBoundMemo(E->Rhs, M, Env, Memo));
   case BoundExprNode::Kind::Mul:
-    return evalBound(E->Lhs, M, Env) * evalBound(E->Rhs, M, Env);
+    return evalBoundMemo(E->Lhs, M, Env, Memo) *
+           evalBoundMemo(E->Rhs, M, Env, Memo);
   case BoundExprNode::Kind::Scale:
-    return ExtNat(E->Factor) * evalBound(E->Lhs, M, Env);
+    return ExtNat(E->Factor) * evalBoundMemo(E->Lhs, M, Env, Memo);
   case BoundExprNode::Kind::Log2W: {
     auto V = evalWide(E->Term, Env);
     if (!V)
@@ -529,16 +544,35 @@ ExtNat qcc::logic::evalBound(const BoundExpr &E, const StackMetric &M,
     auto C = evalCmp(*E->Condition, Env);
     if (!C || !*C)
       return ExtNat::infinity();
-    return evalBound(E->Lhs, M, Env);
+    return evalBoundMemo(E->Lhs, M, Env, Memo);
   }
   case BoundExprNode::Kind::Ite: {
     auto C = evalCmp(*E->Condition, Env);
     if (!C)
       return ExtNat::infinity();
-    return *C ? evalBound(E->Lhs, M, Env) : evalBound(E->Rhs, M, Env);
+    return *C ? evalBoundMemo(E->Lhs, M, Env, Memo)
+              : evalBoundMemo(E->Rhs, M, Env, Memo);
   }
   }
   return ExtNat::infinity();
+}
+
+static ExtNat evalBoundMemo(const BoundExpr &E, const StackMetric &M,
+                            const VarEnv &Env, EvalMemo &Memo) {
+  if (E.use_count() <= 1)
+    return evalBoundNode(E, M, Env, Memo);
+  auto It = Memo.find(E.get());
+  if (It != Memo.end())
+    return It->second;
+  ExtNat V = evalBoundNode(E, M, Env, Memo);
+  Memo.emplace(E.get(), V);
+  return V;
+}
+
+ExtNat qcc::logic::evalBound(const BoundExpr &E, const StackMetric &M,
+                             const VarEnv &Env) {
+  EvalMemo Memo;
+  return evalBoundMemo(E, M, Env, Memo);
 }
 
 void qcc::logic::collectBoundVars(const BoundExpr &E,
@@ -572,6 +606,10 @@ BoundExpr qcc::logic::substBound(const BoundExpr &E, const std::string &Name,
 
 IntTerm qcc::logic::substIntTermAll(const IntTerm &T,
                                     const std::map<std::string, IntTerm> &Sub) {
+  // Identity-preserving: a subtree none of whose variables are substituted
+  // comes back as the *same* node (no rebuild), so unchanged regions stay
+  // shared — which keeps structurallyEqual's pointer short-circuit and
+  // evalBound's memo effective after substitution.
   switch (T->K) {
   case IntTermNode::Kind::Const:
     return T;
@@ -579,17 +617,33 @@ IntTerm qcc::logic::substIntTermAll(const IntTerm &T,
     auto It = Sub.find(T->Name);
     return It == Sub.end() ? T : It->second;
   }
-  case IntTermNode::Kind::Add:
-    return IntTermNode::add(substIntTermAll(T->Lhs, Sub),
-                            substIntTermAll(T->Rhs, Sub));
-  case IntTermNode::Kind::Sub:
-    return IntTermNode::sub(substIntTermAll(T->Lhs, Sub),
-                            substIntTermAll(T->Rhs, Sub));
-  case IntTermNode::Kind::Mul:
-    return IntTermNode::mul(substIntTermAll(T->Lhs, Sub),
-                            substIntTermAll(T->Rhs, Sub));
-  case IntTermNode::Kind::DivC:
-    return IntTermNode::divC(substIntTermAll(T->Lhs, Sub), T->Value);
+  case IntTermNode::Kind::Add: {
+    IntTerm L = substIntTermAll(T->Lhs, Sub);
+    IntTerm R = substIntTermAll(T->Rhs, Sub);
+    if (L == T->Lhs && R == T->Rhs)
+      return T;
+    return IntTermNode::add(std::move(L), std::move(R));
+  }
+  case IntTermNode::Kind::Sub: {
+    IntTerm L = substIntTermAll(T->Lhs, Sub);
+    IntTerm R = substIntTermAll(T->Rhs, Sub);
+    if (L == T->Lhs && R == T->Rhs)
+      return T;
+    return IntTermNode::sub(std::move(L), std::move(R));
+  }
+  case IntTermNode::Kind::Mul: {
+    IntTerm L = substIntTermAll(T->Lhs, Sub);
+    IntTerm R = substIntTermAll(T->Rhs, Sub);
+    if (L == T->Lhs && R == T->Rhs)
+      return T;
+    return IntTermNode::mul(std::move(L), std::move(R));
+  }
+  case IntTermNode::Kind::DivC: {
+    IntTerm L = substIntTermAll(T->Lhs, Sub);
+    if (L == T->Lhs)
+      return T;
+    return IntTermNode::divC(std::move(L), T->Value);
+  }
   }
   return T;
 }
@@ -597,36 +651,79 @@ IntTerm qcc::logic::substIntTermAll(const IntTerm &T,
 BoundExpr
 qcc::logic::substBoundAll(const BoundExpr &E,
                           const std::map<std::string, IntTerm> &Sub) {
+  // Identity-preserving, like substIntTermAll: untouched subtrees are
+  // returned as-is instead of being rebuilt through the smart
+  // constructors.
   if (Sub.empty())
     return E;
   switch (E->K) {
   case BoundExprNode::Kind::Const:
   case BoundExprNode::Kind::MetricVar:
     return E;
-  case BoundExprNode::Kind::Add:
-    return bAdd(substBoundAll(E->Lhs, Sub), substBoundAll(E->Rhs, Sub));
-  case BoundExprNode::Kind::Max:
-    return bMax(substBoundAll(E->Lhs, Sub), substBoundAll(E->Rhs, Sub));
-  case BoundExprNode::Kind::Mul:
-    return bMul(substBoundAll(E->Lhs, Sub), substBoundAll(E->Rhs, Sub));
-  case BoundExprNode::Kind::Scale:
-    return bScale(E->Factor, substBoundAll(E->Lhs, Sub));
-  case BoundExprNode::Kind::Log2W:
-    return bLog2W(substIntTermAll(E->Term, Sub));
-  case BoundExprNode::Kind::Log2C:
-    return bLog2C(substIntTermAll(E->Term, Sub));
-  case BoundExprNode::Kind::NatTerm:
-    return bNatTerm(substIntTermAll(E->Term, Sub));
+  case BoundExprNode::Kind::Add: {
+    BoundExpr L = substBoundAll(E->Lhs, Sub);
+    BoundExpr R = substBoundAll(E->Rhs, Sub);
+    if (L == E->Lhs && R == E->Rhs)
+      return E;
+    return bAdd(std::move(L), std::move(R));
+  }
+  case BoundExprNode::Kind::Max: {
+    BoundExpr L = substBoundAll(E->Lhs, Sub);
+    BoundExpr R = substBoundAll(E->Rhs, Sub);
+    if (L == E->Lhs && R == E->Rhs)
+      return E;
+    return bMax(std::move(L), std::move(R));
+  }
+  case BoundExprNode::Kind::Mul: {
+    BoundExpr L = substBoundAll(E->Lhs, Sub);
+    BoundExpr R = substBoundAll(E->Rhs, Sub);
+    if (L == E->Lhs && R == E->Rhs)
+      return E;
+    return bMul(std::move(L), std::move(R));
+  }
+  case BoundExprNode::Kind::Scale: {
+    BoundExpr L = substBoundAll(E->Lhs, Sub);
+    if (L == E->Lhs)
+      return E;
+    return bScale(E->Factor, std::move(L));
+  }
+  case BoundExprNode::Kind::Log2W: {
+    IntTerm T = substIntTermAll(E->Term, Sub);
+    if (T == E->Term)
+      return E;
+    return bLog2W(std::move(T));
+  }
+  case BoundExprNode::Kind::Log2C: {
+    IntTerm T = substIntTermAll(E->Term, Sub);
+    if (T == E->Term)
+      return E;
+    return bLog2C(std::move(T));
+  }
+  case BoundExprNode::Kind::NatTerm: {
+    IntTerm T = substIntTermAll(E->Term, Sub);
+    if (T == E->Term)
+      return E;
+    return bNatTerm(std::move(T));
+  }
   case BoundExprNode::Kind::Guard: {
-    Cmp C{substIntTermAll(E->Condition->Lhs, Sub), E->Condition->Rel,
-          substIntTermAll(E->Condition->Rhs, Sub)};
-    return bGuard(std::move(C), substBoundAll(E->Lhs, Sub));
+    IntTerm CL = substIntTermAll(E->Condition->Lhs, Sub);
+    IntTerm CR = substIntTermAll(E->Condition->Rhs, Sub);
+    BoundExpr L = substBoundAll(E->Lhs, Sub);
+    if (CL == E->Condition->Lhs && CR == E->Condition->Rhs && L == E->Lhs)
+      return E;
+    Cmp C{std::move(CL), E->Condition->Rel, std::move(CR)};
+    return bGuard(std::move(C), std::move(L));
   }
   case BoundExprNode::Kind::Ite: {
-    Cmp C{substIntTermAll(E->Condition->Lhs, Sub), E->Condition->Rel,
-          substIntTermAll(E->Condition->Rhs, Sub)};
-    return bIte(std::move(C), substBoundAll(E->Lhs, Sub),
-                substBoundAll(E->Rhs, Sub));
+    IntTerm CL = substIntTermAll(E->Condition->Lhs, Sub);
+    IntTerm CR = substIntTermAll(E->Condition->Rhs, Sub);
+    BoundExpr L = substBoundAll(E->Lhs, Sub);
+    BoundExpr R = substBoundAll(E->Rhs, Sub);
+    if (CL == E->Condition->Lhs && CR == E->Condition->Rhs &&
+        L == E->Lhs && R == E->Rhs)
+      return E;
+    Cmp C{std::move(CL), E->Condition->Rel, std::move(CR)};
+    return bIte(std::move(C), std::move(L), std::move(R));
   }
   }
   return E;

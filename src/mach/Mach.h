@@ -31,6 +31,7 @@
 
 #include "events/Metric.h"
 #include "events/Trace.h"
+#include "events/TraceSink.h"
 #include "rtl/Rtl.h"
 
 #include <cstdint>
@@ -136,6 +137,11 @@ Program lowerFromRtl(const rtl::Program &P, LowerOptions Options = {});
 
 /// Runs the entry point; emits the same events as the upper levels.
 Behavior runProgram(const Program &P, uint64_t Fuel = 200'000'000);
+
+/// Streaming variant: events are delivered to \p Sink; only the outcome
+/// is returned.
+Outcome runProgram(const Program &P, TraceSink &Sink,
+                   uint64_t Fuel = 200'000'000);
 
 } // namespace mach
 } // namespace qcc

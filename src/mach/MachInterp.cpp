@@ -7,9 +7,12 @@
 
 #include "mach/Mach.h"
 
+#include "events/SymbolTable.h"
+
 #include <limits>
 #include <map>
 #include <optional>
+#include <unordered_map>
 
 using namespace qcc;
 using namespace qcc::mach;
@@ -27,7 +30,8 @@ struct Activation {
 
 class Machine {
 public:
-  Machine(const Program &P, uint64_t Fuel) : P(P), Fuel(Fuel) {
+  Machine(const Program &P, TraceSink &Sink, uint64_t Fuel)
+      : P(P), Sink(Sink), Fuel(Fuel) {
     for (const GlobalVar &G : P.Globals) {
       std::vector<uint32_t> Cells = G.Init;
       Cells.resize(G.Size, 0);
@@ -41,29 +45,28 @@ public:
     }
   }
 
-  Behavior run() {
+  Outcome run() {
     const Function *Entry = P.findFunction(P.EntryPoint);
     if (!Entry)
-      return Behavior::fails({}, "entry point is not defined");
-    Events.push_back(Event::call(Entry->Name));
+      return Outcome::fails("entry point is not defined");
+    Sink.onEvent(Event::call(sym(Entry->Name)));
     Current = makeActivation(Entry, {});
 
     uint64_t Steps = 0;
     for (;;) {
       if (++Steps > Fuel)
-        return Behavior::diverges(Events);
+        return Outcome::diverges();
       if (Current.Pc >= Current.F->Code.size()) {
         // Fall off the end of a function: void return.
-        if (auto B = doReturn())
-          return *B;
+        if (auto O = doReturn())
+          return *O;
         continue;
       }
       std::string Fault;
       if (!step(Fault)) {
         if (Fault == "$halt")
-          return Behavior::converges(Events,
-                                     static_cast<int32_t>(ReturnValue));
-        return Behavior::fails(Events, Fault);
+          return Outcome::converges(static_cast<int32_t>(ReturnValue));
+        return Outcome::fails(std::move(Fault));
       }
     }
   }
@@ -82,13 +85,20 @@ private:
 
   uint32_t &reg(PReg R) { return Current.Regs[static_cast<unsigned>(R)]; }
 
-  /// Returns nullopt to continue execution, or the final behavior when
+  SymId sym(const std::string &Name) {
+    auto [It, New] = SymCache.try_emplace(&Name, 0);
+    if (New)
+      It->second = SymbolTable::global().intern(Name);
+    return It->second;
+  }
+
+  /// Returns nullopt to continue execution, or the final outcome when
   /// the entry function returns.
-  std::optional<Behavior> doReturn() {
+  std::optional<Outcome> doReturn() {
     uint32_t V = reg(PReg::EAX);
-    Events.push_back(Event::ret(Current.F->Name));
+    Sink.onEvent(Event::ret(sym(Current.F->Name)));
     if (Stack.empty()) {
-      return Behavior::converges(Events, static_cast<int32_t>(V));
+      return Outcome::converges(static_cast<int32_t>(V));
     }
     Current = std::move(Stack.back());
     Stack.pop_back();
@@ -238,13 +248,14 @@ private:
       std::vector<uint32_t> Args(Current.Outgoing.begin(),
                                  Current.Outgoing.begin() + I.NArgs);
       if (const Function *Callee = P.findFunction(I.Name)) {
-        Events.push_back(Event::call(Callee->Name));
+        Sink.onEvent(Event::call(sym(Callee->Name)));
         Stack.push_back(std::move(Current));
         Current = makeActivation(Callee, std::move(Args));
         return true;
       }
       std::vector<int32_t> IOArgs(Args.begin(), Args.end());
-      Events.push_back(Event::external(I.Name, std::move(IOArgs), 0));
+      Sink.onEvent(Event::external(
+          sym(I.Name), SymbolTable::global().internArgs(IOArgs), 0));
       reg(PReg::EAX) = 0;
       return true;
     }
@@ -260,8 +271,8 @@ private:
         Fault = "tail call to unknown function";
         return false;
       }
-      Events.push_back(Event::ret(Current.F->Name));
-      Events.push_back(Event::call(Callee->Name));
+      Sink.onEvent(Event::ret(sym(Current.F->Name)));
+      Sink.onEvent(Event::call(sym(Callee->Name)));
       uint32_t Result = reg(PReg::EAX);
       Current = makeActivation(Callee, std::move(Args));
       reg(PReg::EAX) = Result;
@@ -290,8 +301,8 @@ private:
       return true;
     }
     case InstrKind::Return: {
-      if (auto B = doReturn()) {
-        ReturnValue = static_cast<uint32_t>(B->ReturnCode);
+      if (auto O = doReturn()) {
+        ReturnValue = static_cast<uint32_t>(O->ReturnCode);
         Fault = "$halt";
         return false;
       }
@@ -303,17 +314,24 @@ private:
   }
 
   const Program &P;
+  TraceSink &Sink;
   uint64_t Fuel;
   std::map<std::string, std::vector<uint32_t>> Globals;
   std::map<std::string, std::map<uint32_t, size_t>> LabelMap;
   Activation Current;
   std::vector<Activation> Stack;
-  Trace Events;
+  std::unordered_map<const std::string *, SymId> SymCache;
   uint32_t ReturnValue = 0;
 };
 
 } // namespace
 
 Behavior qcc::mach::runProgram(const Program &P, uint64_t Fuel) {
-  return Machine(P, Fuel).run();
+  RecordingSink R;
+  return runProgram(P, R, Fuel).intoBehavior(std::move(R.Events));
+}
+
+Outcome qcc::mach::runProgram(const Program &P, TraceSink &Sink,
+                              uint64_t Fuel) {
+  return Machine(P, Sink, Fuel).run();
 }

@@ -21,6 +21,7 @@
 
 #include "cminor/Cminor.h"
 #include "events/Trace.h"
+#include "events/TraceSink.h"
 
 #include <cstdint>
 #include <string>
@@ -105,6 +106,11 @@ Program lowerFromCminor(const cminor::Program &P);
 
 /// Runs the entry point; same event/trace conventions as the other levels.
 Behavior runProgram(const Program &P, uint64_t Fuel = 50'000'000);
+
+/// Streaming variant: events are delivered to \p Sink; only the outcome
+/// is returned.
+Outcome runProgram(const Program &P, TraceSink &Sink,
+                   uint64_t Fuel = 50'000'000);
 
 } // namespace rtl
 } // namespace qcc

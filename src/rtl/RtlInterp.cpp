@@ -7,8 +7,11 @@
 
 #include "rtl/Rtl.h"
 
+#include "events/SymbolTable.h"
+
 #include <limits>
 #include <map>
+#include <unordered_map>
 
 using namespace qcc;
 using namespace qcc::rtl;
@@ -25,7 +28,8 @@ struct Activation {
 
 class Machine {
 public:
-  Machine(const Program &P, uint64_t Fuel) : P(P), Fuel(Fuel) {
+  Machine(const Program &P, TraceSink &Sink, uint64_t Fuel)
+      : P(P), Sink(Sink), Fuel(Fuel) {
     for (const GlobalVar &G : P.Globals) {
       std::vector<uint32_t> Cells = G.Init;
       Cells.resize(G.Size, 0);
@@ -33,31 +37,37 @@ public:
     }
   }
 
-  Behavior run() {
+  Outcome run() {
     const Function *Entry = P.findFunction(P.EntryPoint);
     if (!Entry)
-      return Behavior::fails({}, "entry point is not defined");
-    Events.push_back(Event::call(Entry->Name));
+      return Outcome::fails("entry point is not defined");
+    Sink.onEvent(Event::call(sym(Entry->Name)));
     Current = {Entry, std::vector<uint32_t>(Entry->NumRegs, 0),
                Entry->Entry, false, 0};
 
     uint64_t Steps = 0;
     for (;;) {
       if (++Steps > Fuel)
-        return Behavior::diverges(Events);
+        return Outcome::diverges();
       const Instr &I = Current.F->Nodes[Current.Pc];
       std::string Fault;
       if (!step(I, Fault)) {
         if (Fault == "$halt")
-          return Behavior::converges(Events,
-                                     static_cast<int32_t>(ReturnValue));
-        return Behavior::fails(Events, Fault);
+          return Outcome::converges(static_cast<int32_t>(ReturnValue));
+        return Outcome::fails(std::move(Fault));
       }
     }
   }
 
 private:
   uint32_t &reg(Reg R) { return Current.Regs[R]; }
+
+  SymId sym(const std::string &Name) {
+    auto [It, New] = SymCache.try_emplace(&Name, 0);
+    if (New)
+      It->second = SymbolTable::global().intern(Name);
+    return It->second;
+  }
 
   bool binOp(BinOp Op, uint32_t A, uint32_t B, uint32_t &Out,
              std::string &Fault) {
@@ -199,7 +209,7 @@ private:
       for (Reg A : I.Args)
         ArgValues.push_back(reg(A));
       if (const Function *Callee = P.findFunction(I.Name)) {
-        Events.push_back(Event::call(Callee->Name));
+        Sink.onEvent(Event::call(sym(Callee->Name)));
         Activation Saved = std::move(Current);
         Saved.Pc = I.Succ; // Resume after the call.
         Saved.HasDest = I.HasDest;
@@ -214,7 +224,8 @@ private:
         return true;
       }
       std::vector<int32_t> IOArgs(ArgValues.begin(), ArgValues.end());
-      Events.push_back(Event::external(I.Name, std::move(IOArgs), 0));
+      Sink.onEvent(Event::external(
+          sym(I.Name), SymbolTable::global().internArgs(IOArgs), 0));
       if (I.HasDest)
         reg(I.Dst) = 0;
       Current.Pc = I.Succ;
@@ -225,7 +236,7 @@ private:
       return true;
     case InstrKind::Return: {
       uint32_t V = I.HasValue ? reg(I.Src1) : 0;
-      Events.push_back(Event::ret(Current.F->Name));
+      Sink.onEvent(Event::ret(sym(Current.F->Name)));
       if (Stack.empty()) {
         ReturnValue = V;
         Fault = "$halt";
@@ -244,16 +255,23 @@ private:
   }
 
   const Program &P;
+  TraceSink &Sink;
   uint64_t Fuel;
   std::map<std::string, std::vector<uint32_t>> Globals;
   Activation Current{nullptr, {}, 0, false, 0};
   std::vector<Activation> Stack;
-  Trace Events;
+  std::unordered_map<const std::string *, SymId> SymCache;
   uint32_t ReturnValue = 0;
 };
 
 } // namespace
 
 Behavior qcc::rtl::runProgram(const Program &P, uint64_t Fuel) {
-  return Machine(P, Fuel).run();
+  RecordingSink R;
+  return runProgram(P, R, Fuel).intoBehavior(std::move(R.Events));
+}
+
+Outcome qcc::rtl::runProgram(const Program &P, TraceSink &Sink,
+                             uint64_t Fuel) {
+  return Machine(P, Sink, Fuel).run();
 }

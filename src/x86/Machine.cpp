@@ -7,6 +7,8 @@
 
 #include "x86/Machine.h"
 
+#include "events/SymbolTable.h"
+
 #include <cassert>
 #include <algorithm>
 #include <cstdio>
@@ -132,8 +134,19 @@ bool Machine::setEsp(uint32_t NewEsp, std::string &Fault) {
   return true;
 }
 
+SymId Machine::sym(const std::string &Name) {
+  auto [It, New] = SymCache.try_emplace(&Name, 0);
+  if (New)
+    It->second = SymbolTable::global().intern(Name);
+  return It->second;
+}
+
 Behavior Machine::run(uint64_t Fuel) {
-  Events.clear();
+  RecordingSink R;
+  return run(R, Fuel).intoBehavior(std::move(R.Events));
+}
+
+Outcome Machine::run(TraceSink &Sink, uint64_t Fuel) {
   Overflowed = false;
   for (uint32_t &R : Regs)
     R = 0;
@@ -154,13 +167,11 @@ Behavior Machine::run(uint64_t Fuel) {
   MinEsp = StackTop;
 
   auto Fail = [this](const std::string &Reason) {
-    return Behavior::fails(Events, Reason + " [pc " + std::to_string(Pc) +
-                                       ": " + Image.Code[std::min<size_t>(
-                                                             Pc,
-                                                             Image.Code.size() -
-                                                                 1)]
-                                                 .str() +
-                                       "]");
+    return Outcome::fails(Reason + " [pc " + std::to_string(Pc) + ": " +
+                          Image.Code[std::min<size_t>(Pc,
+                                                      Image.Code.size() - 1)]
+                              .str() +
+                          "]");
   };
 
   // Startup: call the entry point with the sentinel return address.
@@ -179,7 +190,7 @@ Behavior Machine::run(uint64_t Fuel) {
   uint64_t Steps = 0;
   for (;;) {
     if (++Steps > Fuel)
-      return Behavior::diverges(Events);
+      return Outcome::diverges();
     if (Pc >= Image.Code.size())
       return Fail("instruction pointer out of range");
     const Instr &I = Image.Code[Pc];
@@ -320,7 +331,8 @@ Behavior Machine::run(uint64_t Fuel) {
           return Fail(Fault);
         Args.push_back(static_cast<int32_t>(V));
       }
-      Events.push_back(Event::external(I.Name, std::move(Args), 0));
+      Sink.onEvent(Event::external(
+          sym(I.Name), SymbolTable::global().internArgs(Args), 0));
       RegRef(Reg::EAX) = 0;
       break;
     }
@@ -339,14 +351,12 @@ Behavior Machine::run(uint64_t Fuel) {
       if (!setEsp(Esp + 4, Fault))
         return Fail(Fault);
       if (Target == HaltAddress)
-        return Behavior::converges(
-            Events, static_cast<int32_t>(RegRef(Reg::EAX)));
+        return Outcome::converges(static_cast<int32_t>(RegRef(Reg::EAX)));
       Pc = Target;
       continue;
     }
     case InstrKind::Halt:
-      return Behavior::converges(Events,
-                                 static_cast<int32_t>(RegRef(Reg::EAX)));
+      return Outcome::converges(static_cast<int32_t>(RegRef(Reg::EAX)));
     }
     ++Pc;
   }

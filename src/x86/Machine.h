@@ -26,10 +26,12 @@
 #define QCC_X86_MACHINE_H
 
 #include "events/Trace.h"
+#include "events/TraceSink.h"
 #include "x86/Asm.h"
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace qcc {
@@ -46,6 +48,10 @@ public:
 
   /// Runs from the entry point until halt, trap, or fuel exhaustion.
   Behavior run(uint64_t Fuel = DefaultFuel);
+
+  /// Streaming variant: I/O events are delivered to \p Sink; only the
+  /// outcome is returned.
+  Outcome run(TraceSink &Sink, uint64_t Fuel = DefaultFuel);
 
   /// True if the last run trapped specifically on stack exhaustion.
   bool stackOverflowed() const { return Overflowed; }
@@ -71,6 +77,7 @@ private:
   bool read32(uint32_t Addr, uint32_t &Out, std::string &Fault);
   bool write32(uint32_t Addr, uint32_t Value, std::string &Fault);
   bool setEsp(uint32_t NewEsp, std::string &Fault);
+  SymId sym(const std::string &Name);
 
   const Program &P;
   uint32_t StackSize;
@@ -84,7 +91,7 @@ private:
   uint32_t Pc = 0;
   uint32_t MinEsp = 0;
   bool Overflowed = false;
-  Trace Events;
+  std::unordered_map<const std::string *, SymId> SymCache;
 };
 
 } // namespace x86

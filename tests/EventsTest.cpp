@@ -48,6 +48,29 @@ TEST(Event, Equality) {
   EXPECT_NE(Event::call("f"), Event::ret("f"));
   EXPECT_NE(Event::call("f"), Event::call("g"));
   EXPECT_NE(Event::external("p", {1}, 0), Event::external("p", {1}, 1));
+  EXPECT_NE(Event::external("p", {1}, 0), Event::external("p", {2}, 0));
+}
+
+TEST(Event, EqualityIsKindDependent) {
+  // Args/Result only participate for external events: call and ret carry
+  // no payload, so stray values in those fields must not affect ==.
+  Event A = Event::call("f");
+  Event B = Event::call("f");
+  B.Args = Event::external("io", {1, 2}, 0).Args;
+  B.Result = 7;
+  EXPECT_EQ(A, B);
+
+  Event RA = Event::ret("f");
+  Event RB = Event::ret("f");
+  RB.Result = -1;
+  EXPECT_EQ(RA, RB);
+
+  // For externals every field participates.
+  Event EA = Event::external("io", {1, 2}, 0);
+  Event EB = EA;
+  EXPECT_EQ(EA, EB);
+  EB.Result = 1;
+  EXPECT_NE(EA, EB);
 }
 
 TEST(Trace, PruningRemovesMemoryEvents) {

@@ -37,7 +37,7 @@ TEST(Inline, LeafCallDisappears) {
   EXPECT_EQ(B.ReturnCode, 49);
   // No memory events for sq remain.
   for (const Event &E : B.Events)
-    EXPECT_NE(E.Function, "sq");
+    EXPECT_NE(E.function(), "sq");
 }
 
 TEST(Inline, RecursiveFunctionsAreNotInlined) {

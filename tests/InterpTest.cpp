@@ -193,9 +193,9 @@ TEST(Interp, ExternalCallEmitsIOEvent) {
   ASSERT_TRUE(B.converged());
   Trace IO = pruneMemoryEvents(B.Events);
   ASSERT_EQ(IO.size(), 1u);
-  EXPECT_EQ(IO[0].Function, "print");
-  ASSERT_EQ(IO[0].Args.size(), 1u);
-  EXPECT_EQ(IO[0].Args[0], 42);
+  EXPECT_EQ(IO[0].function(), "print");
+  ASSERT_EQ(IO[0].args().size(), 1u);
+  EXPECT_EQ(IO[0].args()[0], 42);
 }
 
 TEST(Interp, RunFunctionCallDirectly) {

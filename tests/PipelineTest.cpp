@@ -170,8 +170,8 @@ TEST(Pipeline, ExternalCallsKeepIOEvents) {
                                 "return 0; }");
   Trace IO = pruneMemoryEvents(B.Events);
   ASSERT_EQ(IO.size(), 2u);
-  EXPECT_EQ(IO[0].Args[0], 42);
-  EXPECT_EQ(IO[1].Args[0], 43);
+  EXPECT_EQ(IO[0].args()[0], 42);
+  EXPECT_EQ(IO[1].args()[0], 43);
 }
 
 //===----------------------------------------------------------------------===//

@@ -245,7 +245,7 @@ Trace randomBracketedTrace(Rng &R, unsigned MaxEvents) {
     switch (R.below(4)) {
     case 0:
       T.push_back(Event::call(Funcs[R.below(2)]));
-      Open.push_back(T.back().Function);
+      Open.push_back(T.back().function());
       break;
     case 1:
       if (!Open.empty()) {

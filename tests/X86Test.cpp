@@ -214,7 +214,7 @@ TEST(X86, IOEventsSurviveToTheMetal) {
   measure::Measurement M = measure::measureProgram(P);
   ASSERT_TRUE(M.Ok);
   ASSERT_EQ(M.IOEvents.size(), 3u);
-  EXPECT_EQ(M.IOEvents[2].Args[0], 2);
+  EXPECT_EQ(M.IOEvents[2].args()[0], 2);
 }
 
 } // namespace
