@@ -1,0 +1,128 @@
+//===- bench/BenchSupervision.cpp - Watchdog / supervision overhead -------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cost of being supervisable. Supervision threads one relaxed atomic
+/// load through every interpreter hot loop (amortized to one poll per
+/// 1024 steps), arms a per-job deadline, and registers each job with the
+/// watchdog thread. None of that may tax the happy path:
+///
+///   1. cold corpus runs, unsupervised vs. deadline-supervised
+///      (a 60 s deadline nothing ever hits), best-of-N wall clock,
+///   2. the same comparison on a fully warm result cache — the PR's
+///      acceptance bar: watchdog overhead on a warm-cache rerun < 2%,
+///   3. a result-identity check: supervision must not perturb a single
+///      byte of the deterministic metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "batch/Batch.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace qcc;
+
+namespace {
+
+std::vector<batch::BatchJob> replicatedCorpus(unsigned Rounds) {
+  std::vector<batch::BatchJob> Jobs;
+  for (unsigned R = 0; R != Rounds; ++R)
+    for (batch::BatchJob &J : batch::corpusJobs()) {
+      J.Id = "round" + std::to_string(R) + "/" + J.Id;
+      Jobs.push_back(std::move(J));
+    }
+  return Jobs;
+}
+
+/// Interleaved best-of-N: alternate the two configurations rep by rep so
+/// machine-wide drift (thermal, cgroup throttling) hits both equally,
+/// and take each side's min to absorb scheduler noise.
+void bestWallPair(const std::vector<batch::BatchJob> &Jobs,
+                  const batch::BatchOptions &A,
+                  const batch::BatchOptions &B, unsigned Reps,
+                  uint64_t &BestA, uint64_t &BestB,
+                  batch::BatchResult *LastA = nullptr,
+                  batch::BatchResult *LastB = nullptr) {
+  BestA = BestB = ~0ull;
+  for (unsigned I = 0; I != Reps; ++I) {
+    batch::BatchResult RA = batch::runBatch(Jobs, A);
+    BestA = std::min(BestA, RA.WallMicros);
+    if (LastA)
+      *LastA = std::move(RA);
+    batch::BatchResult RB = batch::runBatch(Jobs, B);
+    BestB = std::min(BestB, RB.WallMicros);
+    if (LastB)
+      *LastB = std::move(RB);
+  }
+}
+
+double overheadPct(uint64_t Plain, uint64_t Supervised) {
+  if (!Plain)
+    return 0.0;
+  return 100.0 * (static_cast<double>(Supervised) -
+                  static_cast<double>(Plain)) /
+         static_cast<double>(Plain);
+}
+
+} // namespace
+
+int main() {
+  printf("==== Supervision overhead (watchdog + deadline polling) "
+         "====\n\n");
+
+  std::vector<batch::BatchJob> Jobs = replicatedCorpus(4);
+
+  batch::BatchOptions Plain;
+  batch::BatchOptions Supervised;
+  Supervised.DeadlineMillis = 60'000; // Armed + watched, never fires.
+
+  // 1. Cold runs (every job compiled, validated, bounded, executed).
+  batch::BatchResult RPlain, RSup;
+  uint64_t ColdPlain, ColdSup;
+  bestWallPair(Jobs, Plain, Supervised, 3, ColdPlain, ColdSup, &RPlain,
+               &RSup);
+  printf("%-36s %9llu us\n", "cold, unsupervised",
+         static_cast<unsigned long long>(ColdPlain));
+  printf("%-36s %9llu us  (%+.2f%%)\n", "cold, 60s deadline + watchdog",
+         static_cast<unsigned long long>(ColdSup),
+         overheadPct(ColdPlain, ColdSup));
+
+  bool Identical =
+      batch::metricsJson(RPlain, batch::JsonDetail::Deterministic) ==
+      batch::metricsJson(RSup, batch::JsonDetail::Deterministic);
+  printf("%-36s %s\n", "result identity",
+         Identical ? "byte-identical" : "DIFFER");
+
+  // 2. Warm-cache reruns: the acceptance bar. Every job is a cache hit,
+  // so what remains is pure engine overhead — exactly where a heavy
+  // watchdog would show. A much larger replicated set keeps the 2% bar
+  // above the timer noise floor (hits are cheap; only the fill pays).
+  std::vector<batch::BatchJob> WarmJobs = replicatedCorpus(64);
+  batch::ResultCache Cache; // Shared: the key ignores supervision.
+  batch::BatchOptions WarmPlain = Plain;
+  WarmPlain.Cache = &Cache;
+  batch::BatchOptions WarmSup = Supervised;
+  WarmSup.Cache = &Cache;
+  batch::runBatch(WarmJobs, WarmPlain); // Fill.
+  uint64_t WarmPlainUs, WarmSupUs;
+  bestWallPair(WarmJobs, WarmPlain, WarmSup, 15, WarmPlainUs, WarmSupUs);
+  double WarmOverhead = overheadPct(WarmPlainUs, WarmSupUs);
+  printf("\n%-36s %9llu us\n", "warm cache, unsupervised",
+         static_cast<unsigned long long>(WarmPlainUs));
+  printf("%-36s %9llu us  (%+.2f%%, < 2%% required)\n",
+         "warm cache, 60s deadline + watchdog",
+         static_cast<unsigned long long>(WarmSupUs), WarmOverhead);
+
+  bool Ok = RPlain.allOk() && RSup.allOk() && Identical &&
+            WarmOverhead < 2.0;
+  printf("\nverdict: %s\n",
+         Ok ? "supervision overhead bar met" : "FAILED");
+  return Ok ? 0 : 1;
+}

@@ -20,7 +20,8 @@ BoundExpr AnalysisResult::callBound(const std::string &Function) const {
 
 AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
                                              DiagnosticEngine &Diags,
-                                             FunctionContext SeededSpecs) {
+                                             FunctionContext SeededSpecs,
+                                             Supervisor *Sup) {
   AnalysisResult Result;
   Result.Gamma = std::move(SeededSpecs);
 
@@ -29,6 +30,8 @@ AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
   Opt.SymbolicOnly = true; // Auto derivations carry symbolic certificates.
 
   for (const std::string &Name : CG.topologicalOrder()) {
+    if (Sup && Sup->stopRequested())
+      break;
     if (Result.Gamma.count(Name))
       continue; // Seeded (e.g. interactively derived) specification.
     if (CG.isRecursive(Name)) {
@@ -84,8 +87,14 @@ AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
     // Every automatic bound is validated by the proof checker before it
     // is reported (the paper's derivation-generation guarantee).
     ProofChecker Checker(P, Builder.context(), Opt);
+    Checker.setSupervisor(Sup);
     DiagnosticEngine CheckDiags;
     if (!Checker.checkFunctionBound(*FB, CheckDiags)) {
+      if (Checker.stopped()) {
+        // The checker was halted mid-derivation: neither accept nor
+        // reject the bound; the stop is reported once, below.
+        continue;
+      }
       Diags.error(F->Loc, "proof checker rejected the automatic "
                           "derivation for '" +
                               Name + "': " + CheckDiags.str());
@@ -95,6 +104,12 @@ AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
     Result.Gamma[Name] = FB->Spec;
     Result.Bounds.emplace(Name, std::move(*FB));
   }
+
+  // Reported after the loop (not in its header) so a budget that trips on
+  // the very last function still surfaces its cause.
+  if (Sup && Sup->stopRequested())
+    Diags.error(SourceLoc(), std::string("analysis stopped: ") +
+                                 stopCauseName(Sup->cause()));
 
   return Result;
 }

@@ -59,9 +59,14 @@ struct AnalysisResult {
 /// the analyzer should not process itself (typically recursive functions
 /// whose bounds were derived interactively); their derivations must have
 /// been checked by the caller.
+///
+/// \p Sup, when given, is polled between functions and inside the proof
+/// checker; a stopped analysis reports a "stopped" diagnostic and returns
+/// the bounds completed so far, claiming nothing about the rest.
 AnalysisResult analyzeProgram(const clight::Program &P,
                               DiagnosticEngine &Diags,
-                              logic::FunctionContext SeededSpecs = {});
+                              logic::FunctionContext SeededSpecs = {},
+                              Supervisor *Sup = nullptr);
 
 } // namespace analysis
 } // namespace qcc

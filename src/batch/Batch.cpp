@@ -8,11 +8,16 @@
 #include "batch/Batch.h"
 
 #include "batch/ThreadPool.h"
+#include "batch/Watchdog.h"
 #include "programs/Corpus.h"
 #include "support/Hash.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <thread>
 
 using namespace qcc;
@@ -55,6 +60,17 @@ void ResultCache::clear() {
   Counters = {};
 }
 
+const char *qcc::batch::jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Ok: return "ok";
+  case JobStatus::Failed: return "failed";
+  case JobStatus::Quarantined: return "quarantined";
+  case JobStatus::SkippedFromJournal: return "skipped";
+  case JobStatus::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
 uint64_t qcc::batch::jobKey(const BatchJob &J, bool CheckTheorem1) {
   Fnv1a64 H;
   H.str(J.Source);
@@ -87,13 +103,20 @@ uint64_t qcc::batch::jobKey(const BatchJob &J, bool CheckTheorem1) {
 
 ProgramResult qcc::batch::verifyOne(const BatchJob &Job,
                                     bool CheckTheorem1) {
+  return verifyOne(Job, CheckTheorem1, nullptr);
+}
+
+ProgramResult qcc::batch::verifyOne(const BatchJob &Job, bool CheckTheorem1,
+                                    Supervisor *Sup) {
   auto Start = std::chrono::steady_clock::now();
   ProgramResult R;
   R.Id = Job.Id;
 
   DiagnosticEngine Diags;
   driver::PassStats Stats;
-  auto C = driver::compile(Job.Source, Diags, Job.Options, &Stats);
+  driver::CompilerOptions Opts = Job.Options;
+  Opts.Supervision = Sup;
+  auto C = driver::compile(Job.Source, Diags, Opts, &Stats);
   R.Metrics.PassMicros = std::move(Stats.PassMicros);
   R.Metrics.ReplayedEvents = std::move(Stats.ReplayedEvents);
   R.Metrics.ProofNodes = Stats.ProofNodes;
@@ -115,20 +138,39 @@ ProgramResult qcc::batch::verifyOne(const BatchJob &Job,
       if (MainBound && *MainBound >= 4) {
         R.Theorem1Checked = true;
         R.Theorem1StackBytes = static_cast<uint32_t>(*MainBound - 4);
-        measure::Measurement M =
-            driver::runWithStackSize(*C, R.Theorem1StackBytes);
+        // Theorem 1 gets ten times the per-level validation fuel (the
+        // x86 default at default options), so its budget scales with the
+        // job's rather than being a separate hardcoded knob.
+        measure::Measurement M = driver::runWithStackSize(
+            *C, R.Theorem1StackBytes, Opts.ValidationFuel * 10, Sup);
         R.Theorem1Ok = M.Ok;
         if (!M.Ok) {
           R.Ok = false;
-          Diags.error(SourceLoc(),
-                      "Theorem 1 violated at stack size " +
-                          std::to_string(R.Theorem1StackBytes) + ": " +
-                          M.Error);
+          if (M.Stop != StopCause::None) {
+            // The run stopped short of a verdict: fuel, deadline, memory
+            // or cancellation. Explicitly NOT "Theorem 1 violated" — a
+            // budget stop refutes nothing (DESIGN.md section 5d).
+            R.Stop = M.Stop;
+            Diags.error(SourceLoc(),
+                        std::string("Theorem 1 check stopped: ") +
+                            stopCauseName(M.Stop));
+          } else {
+            Diags.error(SourceLoc(),
+                        "Theorem 1 violated at stack size " +
+                            std::to_string(R.Theorem1StackBytes) + ": " +
+                            M.Error);
+          }
         }
       }
     }
+  } else if (Sup && Sup->stopRequested()) {
+    R.Stop = Sup->cause();
   }
 
+  R.Status = R.Stop == StopCause::None
+                 ? (R.Ok ? JobStatus::Ok : JobStatus::Failed)
+                 : (R.Stop == StopCause::Cancelled ? JobStatus::Cancelled
+                                                   : JobStatus::Quarantined);
   R.Diagnostics = Diags.str();
   auto End = std::chrono::steady_clock::now();
   R.Metrics.TotalMicros =
@@ -146,6 +188,77 @@ bool BatchResult::allOk() const {
                      [](const ProgramResult &R) { return R.Ok; });
 }
 
+unsigned BatchResult::countStatus(JobStatus S) const {
+  return static_cast<unsigned>(
+      std::count_if(Programs.begin(), Programs.end(),
+                    [S](const ProgramResult &R) { return R.Status == S; }));
+}
+
+int BatchResult::exitCode() const {
+  bool NoVerdict = false, Refuted = false;
+  for (const ProgramResult &P : Programs) {
+    if (P.Status == JobStatus::Quarantined ||
+        P.Status == JobStatus::Cancelled)
+      NoVerdict = true;
+    else if (!P.Ok) // Failed, or a journaled failure replayed as skipped.
+      Refuted = true;
+  }
+  return NoVerdict ? 3 : Refuted ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Resume journal
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The resume journal: "<status> <16-digit-hex jobKey>" lines, appended
+/// and flushed as each job reaches a definitive verdict, so a killed run
+/// loses at most the jobs that were still in flight. Budget-stopped jobs
+/// are never journaled — the rerun must attempt them again.
+class Journal {
+public:
+  explicit Journal(const std::string &Path) {
+    std::ifstream In(Path);
+    std::string Status, Hex;
+    while (In >> Status >> Hex) {
+      uint64_t Key = std::strtoull(Hex.c_str(), nullptr, 16);
+      if (Status == "ok")
+        Done[Key] = true;
+      else if (Status == "failed")
+        Done[Key] = false;
+      // Unknown words: tolerated for forward compatibility.
+    }
+    In.close();
+    Out.open(Path, std::ios::app);
+  }
+
+  /// The recorded verdict for \p Key, if any (true = ok).
+  std::optional<bool> lookup(uint64_t Key) const {
+    auto It = Done.find(Key);
+    if (It == Done.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// Appends and flushes one definitive verdict.
+  void record(uint64_t Key, bool Ok) {
+    char Line[32];
+    std::snprintf(Line, sizeof Line, " %016llx\n",
+                  static_cast<unsigned long long>(Key));
+    std::lock_guard<std::mutex> G(M);
+    Out << (Ok ? "ok" : "failed") << Line;
+    Out.flush();
+  }
+
+private:
+  std::mutex M;
+  std::ofstream Out;
+  std::unordered_map<uint64_t, bool> Done;
+};
+
+} // namespace
+
 BatchResult qcc::batch::runBatch(const std::vector<BatchJob> &Jobs,
                                  const BatchOptions &Options) {
   BatchResult Out;
@@ -157,23 +270,89 @@ BatchResult qcc::batch::runBatch(const std::vector<BatchJob> &Jobs,
   CacheStats Before = Options.Cache ? Options.Cache->stats() : CacheStats{};
   auto Start = std::chrono::steady_clock::now();
 
+  std::optional<Journal> Resume;
+  if (!Options.JournalPath.empty())
+    Resume.emplace(Options.JournalPath);
+  std::optional<Watchdog> Dog;
+  if (Options.DeadlineMillis)
+    // Tick at ~1/8 of the deadline (clamped to [2ms, 250ms]): tight
+    // deadlines get millisecond enforcement, generous ones don't pay for
+    // a thread waking 500 times a second on a saturated pool.
+    Dog.emplace(std::clamp<uint64_t>(Options.DeadlineMillis / 8, 2, 250));
+
   auto RunOne = [&](size_t I) {
     const BatchJob &J = Jobs[I];
-    if (!Options.Cache) {
-      Out.Programs[I] = verifyOne(J, Options.CheckTheorem1);
-      return;
-    }
+    ProgramResult &Slot = Out.Programs[I];
     uint64_t Key = jobKey(J, Options.CheckTheorem1);
-    if (auto Hit = Options.Cache->lookup(Key)) {
-      Out.Programs[I] = *Hit;
-      Out.Programs[I].Id = J.Id; // Identical content may carry another id.
-      Out.Programs[I].CacheHit = true;
+
+    if (Resume) {
+      if (auto Recorded = Resume->lookup(Key)) {
+        Slot.Id = J.Id;
+        Slot.Ok = *Recorded;
+        Slot.Status = JobStatus::SkippedFromJournal;
+        Slot.Diagnostics =
+            "skipped: finished in a previous run (resume journal)";
+        return;
+      }
+    }
+    if (Options.Interrupt && Options.Interrupt->stopRequested()) {
+      Slot.Id = J.Id;
+      Slot.Status = JobStatus::Cancelled;
+      Slot.Stop = Options.Interrupt->cause();
+      Slot.Diagnostics = "cancelled before start";
       return;
     }
-    auto R = std::make_shared<ProgramResult>(
-        verifyOne(J, Options.CheckTheorem1));
-    Options.Cache->insert(Key, R);
-    Out.Programs[I] = *R;
+    if (Options.Cache) {
+      if (auto Hit = Options.Cache->lookup(Key)) {
+        Slot = *Hit;
+        Slot.Id = J.Id; // Identical content may carry another id.
+        Slot.CacheHit = true;
+        return;
+      }
+    }
+
+    // Per-job supervisor, parented to the batch interrupt so one SIGINT
+    // drains every in-flight job at its next poll point.
+    Supervisor Sup(Options.Interrupt);
+    auto Attempt = [&](uint64_t Fuel) {
+      Sup.reset();
+      if (Options.MemoryBudgetBytes)
+        Sup.setMemoryBudget(Options.MemoryBudgetBytes);
+      if (Dog) {
+        Sup.armDeadline(Options.DeadlineMillis);
+        Dog->watch(&Sup);
+      }
+      BatchJob A = J;
+      A.Options.ValidationFuel = Fuel;
+      ProgramResult R = verifyOne(A, Options.CheckTheorem1, &Sup);
+      if (Dog)
+        Dog->unwatch(&Sup);
+      return R;
+    };
+
+    ProgramResult R = Attempt(J.Options.ValidationFuel);
+    uint64_t SpentMicros = R.Metrics.TotalMicros;
+    unsigned Tries = 0;
+    while (R.Status == JobStatus::Quarantined && Tries < Options.Retries) {
+      // One bounded retry at a quarter of the fuel: a transient stop
+      // (contended deadline on an oversubscribed pool) gets a second,
+      // cheaper chance; a genuinely divergent job exhausts again and is
+      // quarantined for good.
+      ++Tries;
+      R = Attempt(std::max<uint64_t>(Supervisor::PollMask + 1,
+                                     J.Options.ValidationFuel / 4));
+      R.Retries = Tries;
+      SpentMicros += R.Metrics.TotalMicros;
+    }
+    R.Metrics.TotalMicros = SpentMicros; // Wall clock across all attempts.
+
+    bool Definitive =
+        R.Status == JobStatus::Ok || R.Status == JobStatus::Failed;
+    if (Resume && Definitive)
+      Resume->record(Key, R.Ok);
+    if (Options.Cache && Definitive)
+      Options.Cache->insert(Key, std::make_shared<ProgramResult>(R));
+    Slot = std::move(R);
   };
 
   if (Workers <= 1 || Jobs.size() <= 1) {
@@ -271,6 +450,14 @@ std::string qcc::batch::metricsJson(const BatchResult &R,
   bool Timings = Detail == JsonDetail::Full;
   std::string Out;
   Out += "{\"schema\":\"qcc-batch-metrics-v1\",";
+  jsonKey("exit_code", Out);
+  Out += std::to_string(R.exitCode()) + ",";
+  jsonKey("quarantined", Out);
+  Out += std::to_string(R.countStatus(JobStatus::Quarantined)) + ",";
+  jsonKey("cancelled", Out);
+  Out += std::to_string(R.countStatus(JobStatus::Cancelled)) + ",";
+  jsonKey("skipped", Out);
+  Out += std::to_string(R.countStatus(JobStatus::SkippedFromJournal)) + ",";
   if (Timings) {
     jsonKey("jobs", Out);
     Out += std::to_string(R.Jobs) + ",";
@@ -290,6 +477,12 @@ std::string qcc::batch::metricsJson(const BatchResult &R,
     jsonStr(P.Id, Out);
     Out += ",\"ok\":";
     Out += P.Ok ? "true" : "false";
+    Out += ",\"status\":";
+    jsonStr(jobStatusName(P.Status), Out);
+    Out += ",\"stop\":";
+    jsonStr(stopCauseName(P.Stop), Out);
+    Out += ",\"retries\":";
+    Out += std::to_string(P.Retries);
     if (Timings) {
       Out += ",\"cache_hit\":";
       Out += P.CacheHit ? "true" : "false";

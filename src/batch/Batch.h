@@ -48,6 +48,19 @@ struct BatchJob {
   driver::CompilerOptions Options;
 };
 
+/// Final classification of one job in a (possibly supervised) batch.
+enum class JobStatus : uint8_t {
+  Ok,                 ///< Verified clean.
+  Failed,             ///< Definitive compile/validation/Theorem-1 failure.
+  Quarantined,        ///< Exhausted its budget on every allowed attempt;
+                      ///< no verdict was reached.
+  SkippedFromJournal, ///< A previous run already completed it (resume).
+  Cancelled           ///< Stopped by the batch-wide interrupt token.
+};
+
+/// Display name of \p S ("ok", "failed", "quarantined", ...).
+const char *jobStatusName(JobStatus S);
+
 /// One verified function in a program's report.
 struct FunctionReport {
   std::string Function;
@@ -79,6 +92,15 @@ struct ProgramResult {
   bool Theorem1Checked = false;
   bool Theorem1Ok = false;
   uint32_t Theorem1StackBytes = 0;
+  /// Final classification. Ok/Failed are definitive verdicts; Quarantined
+  /// and Cancelled mean the budget ran out before any verdict — the
+  /// distinction Ok alone cannot express (DESIGN.md section 5d).
+  JobStatus Status = JobStatus::Failed;
+  /// Why the last attempt stopped short, when it did (fuel, deadline,
+  /// memory budget, interrupt); None for definitive results.
+  StopCause Stop = StopCause::None;
+  /// Attempts beyond the first (bounded by BatchOptions::Retries).
+  uint32_t Retries = 0;
   ProgramMetrics Metrics;
 };
 
@@ -118,7 +140,27 @@ struct BatchOptions {
   /// Run each program at stack size bound(main) - 4 (Theorem 1).
   bool CheckTheorem1 = true;
   /// Optional shared result cache (caller-owned, may outlive batches).
+  /// Budget-stopped results are never cached: a later attempt with more
+  /// budget must get a fresh run.
   ResultCache *Cache = nullptr;
+  /// Per-job wall-clock deadline in milliseconds (0 = none). Enforced by
+  /// a Watchdog thread; a job past its deadline stops at its next poll.
+  uint64_t DeadlineMillis = 0;
+  /// Per-job soft memory budget in bytes (0 = unlimited), charged by the
+  /// streaming sinks and the proof checker.
+  uint64_t MemoryBudgetBytes = 0;
+  /// Budget-stopped jobs are retried this many times at a quarter of
+  /// their validation fuel; a job that exhausts its budget on every
+  /// attempt is quarantined.
+  unsigned Retries = 1;
+  /// Resume journal path (empty = none). Completed jobs append
+  /// "<status> <jobKey>" lines; a rerun with the same journal skips jobs
+  /// it already finds there. Only definitive verdicts are journaled.
+  std::string JournalPath;
+  /// Batch-wide cancel token (the CLI's SIGINT handler cancels it).
+  /// Every per-job supervisor is parented to it, so one cancel drains
+  /// in-flight jobs at their next poll point.
+  Supervisor *Interrupt = nullptr;
 };
 
 /// The whole batch's outcome, jobs in input order.
@@ -129,6 +171,15 @@ struct BatchResult {
   unsigned Jobs = 1; ///< Worker threads actually used.
 
   bool allOk() const;
+
+  /// Jobs whose final status is \p S.
+  unsigned countStatus(JobStatus S) const;
+
+  /// The CLI exit-code taxonomy: 3 when any job was quarantined or
+  /// cancelled (the batch could not reach a verdict everywhere — an
+  /// infrastructure/budget problem, not a refutation), else 1 when any
+  /// job failed verification, else 0.
+  int exitCode() const;
 };
 
 /// Verifies a single job, fully instrumented: compile (+ per-pass
@@ -136,6 +187,13 @@ struct BatchResult {
 /// execute at the verified bound. The engine's unit of work; exposed for
 /// tests and single-file callers.
 ProgramResult verifyOne(const BatchJob &Job, bool CheckTheorem1 = true);
+
+/// Supervised variant: the compilation, validation runs, analysis and
+/// Theorem-1 execution all poll \p Sup (which may be null). A stopped job
+/// comes back with Status Quarantined/Cancelled and the StopCause — never
+/// with a verdict.
+ProgramResult verifyOne(const BatchJob &Job, bool CheckTheorem1,
+                        Supervisor *Sup);
 
 /// Runs every job, fanning out across \p Options.Jobs workers.
 BatchResult runBatch(const std::vector<BatchJob> &Jobs,

@@ -1,0 +1,56 @@
+//===- batch/Watchdog.cpp - Deadline enforcement thread -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "batch/Watchdog.h"
+
+#include <algorithm>
+
+using namespace qcc;
+using namespace qcc::batch;
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> G(M);
+    ShuttingDown = true;
+  }
+  CV.notify_all();
+  if (Thread.joinable())
+    Thread.join();
+}
+
+void Watchdog::watch(Supervisor *S) {
+  std::lock_guard<std::mutex> G(M);
+  Watched.push_back(S);
+  if (!Started) {
+    Started = true;
+    Thread = std::thread([this] { run(); });
+  }
+}
+
+void Watchdog::unwatch(Supervisor *S) {
+  std::lock_guard<std::mutex> G(M);
+  Watched.erase(std::remove(Watched.begin(), Watched.end(), S),
+                Watched.end());
+}
+
+size_t Watchdog::watchedCount() const {
+  std::lock_guard<std::mutex> G(M);
+  return Watched.size();
+}
+
+void Watchdog::run() {
+  std::unique_lock<std::mutex> G(M);
+  while (!ShuttingDown) {
+    // enforceDeadline is a clock read plus at most one atomic CAS, so
+    // holding the lock across the scan keeps watch/unwatch simple
+    // without stalling the workers measurably.
+    for (Supervisor *S : Watched)
+      S->enforceDeadline();
+    CV.wait_for(G, std::chrono::milliseconds(TickMillis),
+                [this] { return ShuttingDown; });
+  }
+}

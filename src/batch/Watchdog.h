@@ -1,0 +1,69 @@
+//===- batch/Watchdog.h - Deadline enforcement thread -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deadline watchdog: one background thread that periodically calls
+/// Supervisor::enforceDeadline on every registered token. Centralizing the
+/// clock reads here keeps the interpreter poll points clock-free (one
+/// relaxed atomic load), so supervision stays cheap on the hot path; the
+/// enforcement latency is one watchdog tick plus the poll granularity.
+///
+/// The thread is started lazily on the first watch() and joined in the
+/// destructor, so a batch run without deadlines never pays for it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_BATCH_WATCHDOG_H
+#define QCC_BATCH_WATCHDOG_H
+
+#include "support/Supervision.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qcc {
+namespace batch {
+
+/// Scans registered supervisors every tick and fires expired deadlines.
+/// Thread-safe: workers watch/unwatch their per-job tokens concurrently.
+class Watchdog {
+public:
+  explicit Watchdog(uint64_t TickMillis = 2) : TickMillis(TickMillis) {}
+  ~Watchdog();
+
+  Watchdog(const Watchdog &) = delete;
+  Watchdog &operator=(const Watchdog &) = delete;
+
+  /// Registers \p S for deadline enforcement (starts the thread if this
+  /// is the first registration).
+  void watch(Supervisor *S);
+
+  /// Deregisters \p S. After return the watchdog no longer touches it, so
+  /// the token may be destroyed or reset.
+  void unwatch(Supervisor *S);
+
+  /// Tokens currently under watch (for tests).
+  size_t watchedCount() const;
+
+private:
+  void run();
+
+  const uint64_t TickMillis;
+  mutable std::mutex M;
+  std::condition_variable CV;
+  std::vector<Supervisor *> Watched;
+  bool ShuttingDown = false;
+  bool Started = false;
+  std::thread Thread;
+};
+
+} // namespace batch
+} // namespace qcc
+
+#endif // QCC_BATCH_WATCHDOG_H

@@ -30,8 +30,9 @@ struct EvalResult {
 /// The whole-run interpreter state.
 class Machine {
 public:
-  Machine(const Program &P, TraceSink &Sink, uint64_t Fuel)
-      : P(P), Sink(Sink), Fuel(Fuel) {
+  Machine(const Program &P, TraceSink &Sink, uint64_t Fuel,
+          const Supervisor *Sup)
+      : P(P), Sink(Sink), Fuel(Fuel), Sup(Sup) {
     for (const GlobalVar &G : P.Globals) {
       std::vector<uint32_t> Cells = G.Init;
       Cells.resize(G.Size, 0);
@@ -180,7 +181,9 @@ private:
 
     for (;;) {
       if (++Steps > Fuel)
-        return Outcome::diverges();
+        return Outcome::exhausted();
+      if (Supervisor::shouldPoll(Steps, Sup))
+        return Outcome::stopped(Sup->cause());
 
       if (M == Mode::Exec) {
         switch (Cur->Kind) {
@@ -391,6 +394,7 @@ private:
   const Program &P;
   TraceSink &Sink;
   uint64_t Fuel;
+  const Supervisor *Sup;
   std::map<std::string, std::vector<uint32_t>> Globals;
   std::vector<uint32_t> Temps;
   std::vector<Cont> Stack;
@@ -399,12 +403,13 @@ private:
 
 } // namespace
 
-Behavior qcc::cminor::runProgram(const Program &P, uint64_t Fuel) {
+Behavior qcc::cminor::runProgram(const Program &P, uint64_t Fuel,
+                                 const Supervisor *Sup) {
   RecordingSink R;
-  return runProgram(P, R, Fuel).intoBehavior(std::move(R.Events));
+  return runProgram(P, R, Fuel, Sup).intoBehavior(std::move(R.Events));
 }
 
 Outcome qcc::cminor::runProgram(const Program &P, TraceSink &Sink,
-                                uint64_t Fuel) {
-  return Machine(P, Sink, Fuel).run();
+                                uint64_t Fuel, const Supervisor *Sup) {
+  return Machine(P, Sink, Fuel, Sup).run();
 }

@@ -24,13 +24,16 @@
 namespace qcc {
 namespace cminor {
 
-/// Runs the entry point of \p P with the given small-step fuel.
-Behavior runProgram(const Program &P, uint64_t Fuel = 50'000'000);
+/// Runs the entry point of \p P with the given small-step fuel, under
+/// optional cooperative supervision (deadline/cancel/memory budget).
+Behavior runProgram(const Program &P, uint64_t Fuel = 50'000'000,
+                    const Supervisor *Sup = nullptr);
 
 /// Streaming variant: events are delivered to \p Sink; only the outcome
 /// is returned.
 Outcome runProgram(const Program &P, TraceSink &Sink,
-                   uint64_t Fuel = 50'000'000);
+                   uint64_t Fuel = 50'000'000,
+                   const Supervisor *Sup = nullptr);
 
 } // namespace cminor
 } // namespace qcc

@@ -61,11 +61,19 @@ bool validatePair(const RefinementSummary &Target,
                   const RefinementSummary &Source, const char *Pass,
                   DiagnosticEngine &Diags,
                   const std::function<Behavior()> &RerunTarget,
-                  const std::function<Behavior()> &RerunSource) {
+                  const std::function<Behavior()> &RerunSource,
+                  const Supervisor *Sup = nullptr) {
   RefinementResult R = checkQuantitativeRefinement(Target, Source);
   if (!R.Ok) {
+    // A supervisor stop truncates the traces asymmetrically, so a
+    // mismatch proves nothing: withhold the verdict (the caller reports
+    // the stop) instead of claiming a validation failure.
+    if (Sup && Sup->stopRequested())
+      return false;
     RefinementResult Detailed =
         checkQuantitativeRefinement(RerunTarget(), RerunSource());
+    if (Sup && Sup->stopRequested())
+      return false; // Stopped mid-rerun; Detailed is untrustworthy.
     Diags.error(SourceLoc(), std::string("translation validation failed (") +
                                  Pass + "): " +
                                  (Detailed.Ok ? R.Reason : Detailed.Reason));
@@ -111,6 +119,18 @@ std::optional<Compilation> qcc::driver::compile(const std::string &Source,
     if (Options.FaultHook)
       Options.FaultHook(S, C);
   };
+  // Stage-boundary supervision poll: a stopped compilation reports the
+  // cause once and withholds everything downstream.
+  auto Stopped = [&Options, &Diags] {
+    Supervisor *S = Options.Supervision;
+    if (!S || !S->stopRequested())
+      return false;
+    Diags.error(SourceLoc(), std::string("compilation stopped: ") +
+                                 stopCauseName(S->cause()));
+    return true;
+  };
+  if (Stopped())
+    return std::nullopt;
 
   // Each stage's output is re-validated at the pass boundary (after the
   // fault hook, when one is installed), so every downstream consumer —
@@ -174,41 +194,62 @@ std::optional<Compilation> qcc::driver::compile(const std::string &Source,
   }
   C.Metric = C.Mach.costMetric();
 
+  if (Stopped())
+    return std::nullopt;
+
   if (Options.ValidateTranslation) {
     StageTimer T(Stats, "validate");
+    Supervisor *Sup = Options.Supervision;
     // Each level streams its events into a RefinementAccumulator; nothing
     // is materialized unless a pair fails (validatePair's rerun path).
-    RefinementAccumulator AClight, ACminor, ARtl, AMach, AAsm;
+    // The accumulators charge the supervisor's memory budget as their
+    // profiles grow.
+    RefinementAccumulator AClight(Sup), ACminor(Sup), ARtl(Sup), AMach(Sup),
+        AAsm(Sup);
     RefinementSummary SClight = AClight.finish(
-        interp::runProgram(C.Clight, AClight, Options.ValidationFuel));
+        interp::runProgram(C.Clight, AClight, Options.ValidationFuel, Sup));
     RefinementSummary SCminor = ACminor.finish(
-        cminor::runProgram(C.Cminor, ACminor, Options.ValidationFuel));
-    RefinementSummary SRtl =
-        ARtl.finish(rtl::runProgram(C.Rtl, ARtl, Options.ValidationFuel));
+        cminor::runProgram(C.Cminor, ACminor, Options.ValidationFuel, Sup));
+    RefinementSummary SRtl = ARtl.finish(
+        rtl::runProgram(C.Rtl, ARtl, Options.ValidationFuel, Sup));
     RefinementSummary SMach = AMach.finish(
-        mach::runProgram(C.Mach, AMach, Options.ValidationFuel * 4));
+        mach::runProgram(C.Mach, AMach, Options.ValidationFuel * 4, Sup));
     // Mach -> Asm: replay the machine with ample stack; memory events
     // vanish at this level, which profile domination covers.
     x86::Machine M(C.Asm, measure::MeasureStackSize);
     RefinementSummary SAsm =
-        AAsm.finish(M.run(AAsm, Options.ValidationFuel * 4));
+        AAsm.finish(M.run(AAsm, Options.ValidationFuel * 4, Sup));
 
     bool Ok = validatePair(
         SCminor, SClight, "Clight->Cminor", Diags,
-        [&] { return cminor::runProgram(C.Cminor, Options.ValidationFuel); },
-        [&] { return interp::runProgram(C.Clight, Options.ValidationFuel); });
+        [&] {
+          return cminor::runProgram(C.Cminor, Options.ValidationFuel, Sup);
+        },
+        [&] {
+          return interp::runProgram(C.Clight, Options.ValidationFuel, Sup);
+        },
+        Sup);
     Ok &= validatePair(
         SRtl, SCminor, "Cminor->RTL(+opt)", Diags,
-        [&] { return rtl::runProgram(C.Rtl, Options.ValidationFuel); },
-        [&] { return cminor::runProgram(C.Cminor, Options.ValidationFuel); });
+        [&] { return rtl::runProgram(C.Rtl, Options.ValidationFuel, Sup); },
+        [&] {
+          return cminor::runProgram(C.Cminor, Options.ValidationFuel, Sup);
+        },
+        Sup);
     Ok &= validatePair(
         SMach, SRtl, "RTL->Mach", Diags,
-        [&] { return mach::runProgram(C.Mach, Options.ValidationFuel * 4); },
-        [&] { return rtl::runProgram(C.Rtl, Options.ValidationFuel); });
+        [&] {
+          return mach::runProgram(C.Mach, Options.ValidationFuel * 4, Sup);
+        },
+        [&] { return rtl::runProgram(C.Rtl, Options.ValidationFuel, Sup); },
+        Sup);
     Ok &= validatePair(
         SAsm, SMach, "Mach->Asm", Diags,
-        [&] { return M.run(Options.ValidationFuel * 4); },
-        [&] { return mach::runProgram(C.Mach, Options.ValidationFuel * 4); });
+        [&] { return M.run(Options.ValidationFuel * 4, Sup); },
+        [&] {
+          return mach::runProgram(C.Mach, Options.ValidationFuel * 4, Sup);
+        },
+        Sup);
     if (Stats) {
       auto Replayed = [Stats](const char *Pass,
                               const RefinementSummary &Target,
@@ -221,17 +262,25 @@ std::optional<Compilation> qcc::driver::compile(const std::string &Source,
       Replayed("RTL->Mach", SMach, SRtl);
       Replayed("Mach->Asm", SAsm, SMach);
     }
+    // Report a stop before a failure: a stopped run withholds its
+    // verdict, and validatePair suppressed its own diagnostics above.
+    if (Stopped())
+      return std::nullopt;
     if (!Ok)
       return std::nullopt;
   }
 
   if (Options.AnalyzeBounds) {
     StageTimer T(Stats, "analyze");
-    C.Bounds = analysis::analyzeProgram(C.Clight, Diags,
-                                        std::move(Options.SeededSpecs));
+    C.Bounds =
+        analysis::analyzeProgram(C.Clight, Diags,
+                                 std::move(Options.SeededSpecs),
+                                 Options.Supervision);
     if (Stats)
       for (const auto &[F, FB] : C.Bounds.Bounds)
         Stats->ProofNodes += FB.Body->size();
+    if (Options.Supervision && Options.Supervision->stopRequested())
+      return std::nullopt; // The analyzer reported the stop already.
   }
   return C;
 }
@@ -251,11 +300,13 @@ qcc::driver::concreteCallBound(const Compilation &C,
 
 measure::Measurement qcc::driver::runWithStackSize(const Compilation &C,
                                                    uint32_t StackSize,
-                                                   uint64_t Fuel) {
-  return measure::measureProgram(C.Asm, StackSize, Fuel);
+                                                   uint64_t Fuel,
+                                                   const Supervisor *Sup) {
+  return measure::measureProgram(C.Asm, StackSize, Fuel, Sup);
 }
 
 measure::Measurement qcc::driver::measureStack(const Compilation &C,
-                                          uint64_t Fuel) {
-  return measure::measureProgram(C.Asm, measure::MeasureStackSize, Fuel);
+                                          uint64_t Fuel,
+                                          const Supervisor *Sup) {
+  return measure::measureProgram(C.Asm, measure::MeasureStackSize, Fuel, Sup);
 }

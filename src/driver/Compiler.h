@@ -86,6 +86,15 @@ struct CompilerOptions {
   /// that every consumer reports a diagnostic instead of crashing. Not
   /// part of the cache key; leave unset outside fault-injection tests.
   std::function<void(PipelineStage, Compilation &)> FaultHook;
+  /// Cooperative supervision: deadline, cancellation and memory budget.
+  /// Polled at every stage boundary, in the hot loops of all five
+  /// validation interpreters, and per node in the proof checker; the
+  /// streaming sinks charge its memory budget as they grow. A stopped
+  /// compilation reports a "stopped: <cause>" diagnostic and returns
+  /// nullopt — it withholds its verdict rather than misreporting a
+  /// budget stop as a verification failure. Not part of the cache key;
+  /// leave unset for unsupervised runs.
+  Supervisor *Supervision = nullptr;
 };
 
 /// Everything one compilation produces.
@@ -142,12 +151,14 @@ std::optional<uint64_t> concreteCallBound(const Compilation &C,
 /// (Theorem 1's sz; the machine block is sz + 4).
 measure::Measurement runWithStackSize(const Compilation &C,
                                       uint32_t StackSize,
-                                      uint64_t Fuel = x86::DefaultFuel);
+                                      uint64_t Fuel = x86::DefaultFuel,
+                                      const Supervisor *Sup = nullptr);
 
 /// Measures actual stack consumption on a large stack (the ptrace-analog
 /// experiment of Paper section 6).
 measure::Measurement measureStack(const Compilation &C,
-                             uint64_t Fuel = x86::DefaultFuel);
+                             uint64_t Fuel = x86::DefaultFuel,
+                             const Supervisor *Sup = nullptr);
 
 } // namespace driver
 } // namespace qcc

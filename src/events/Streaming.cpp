@@ -25,15 +25,19 @@ using namespace qcc;
 //===----------------------------------------------------------------------===//
 
 Behavior Outcome::intoBehavior(Trace T) const {
-  switch (Kind) {
-  case BehaviorKind::Converges:
-    return Behavior::converges(std::move(T), ReturnCode);
-  case BehaviorKind::Diverges:
-    return Behavior::diverges(std::move(T));
-  case BehaviorKind::Fails:
-    return Behavior::fails(std::move(T), FailureReason);
-  }
-  return Behavior::fails(std::move(T), "bad outcome kind");
+  Behavior B = [&]() -> Behavior {
+    switch (Kind) {
+    case BehaviorKind::Converges:
+      return Behavior::converges(std::move(T), ReturnCode);
+    case BehaviorKind::Diverges:
+      return Behavior::diverges(std::move(T));
+    case BehaviorKind::Fails:
+      return Behavior::fails(std::move(T), FailureReason);
+    }
+    return Behavior::fails(std::move(T), "bad outcome kind");
+  }();
+  B.Stop = Stop;
+  return B;
 }
 
 //===----------------------------------------------------------------------===//
@@ -95,6 +99,10 @@ void ProfileAccumulator::capture() {
   std::erase_if(Peaks, [this](const SymDepthVector &P) {
     return entrywiseLE(P, Current);
   });
+  if (Meter)
+    // Approximate footprint of one captured peak: the map's nodes.
+    Meter->charge(sizeof(SymDepthVector) +
+                  Current.size() * 4 * sizeof(uint64_t));
   Peaks.push_back(Current);
 }
 
@@ -187,6 +195,7 @@ RefinementSummary qcc::summarize(const Behavior &B) {
   O.Kind = B.Kind;
   O.ReturnCode = B.ReturnCode;
   O.FailureReason = B.FailureReason;
+  O.Stop = B.Stop;
   return A.finish(O);
 }
 

@@ -22,6 +22,7 @@
 #define QCC_EVENTS_TRACE_H
 
 #include "events/Event.h"
+#include "support/Supervision.h"
 
 #include <cstdint>
 #include <string>
@@ -54,11 +55,20 @@ enum class BehaviorKind : uint8_t {
 
 /// A program behavior: an outcome, its (prefix) trace, and for converging
 /// runs the return code. For failing runs \c FailureReason says why.
+///
+/// \c Stop distinguishes *why* an observation was truncated: a Diverges
+/// behavior with Stop == FuelExhausted ran out of step budget; one with
+/// Stop == DeadlineExpired / MemoryBudget / Cancelled was stopped by its
+/// supervisor before producing a verdict. The kind stays Diverges in all
+/// of these cases (the trace is a genuine finite prefix either way), so
+/// the refinement machinery is unaffected; consumers that must not
+/// conflate "no verdict" with "program fault" read Stop.
 struct Behavior {
   BehaviorKind Kind;
   Trace Events;
   int32_t ReturnCode = 0;
   std::string FailureReason;
+  StopCause Stop = StopCause::None;
 
   static Behavior converges(Trace T, int32_t Code) {
     return Behavior{BehaviorKind::Converges, std::move(T), Code, ""};

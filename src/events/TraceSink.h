@@ -44,6 +44,7 @@
 #include "events/Metric.h"
 #include "events/Trace.h"
 #include "support/Hash.h"
+#include "support/Supervision.h"
 
 #include <cstdint>
 #include <map>
@@ -61,10 +62,20 @@ public:
 
 /// How an execution ended: a Behavior minus the materialized trace. The
 /// streaming interpreter entry points return this.
+///
+/// \c Stop carries the budget taxonomy: FuelExhausted for runs that spent
+/// their step budget (kind Diverges, as before — the trace really is a
+/// finite prefix of a longer run), and DeadlineExpired / MemoryBudget /
+/// Cancelled for runs a Supervisor stopped. A stopped run holds no
+/// verdict: it neither converged, nor faulted, nor is its prefix a
+/// trustworthy divergence observation at any particular cut — consumers
+/// must treat it as "budget ran out", never as a program fault or a
+/// verification result.
 struct Outcome {
   BehaviorKind Kind = BehaviorKind::Fails;
   int32_t ReturnCode = 0;
   std::string FailureReason;
+  StopCause Stop = StopCause::None;
 
   static Outcome converges(int32_t Code) {
     return {BehaviorKind::Converges, Code, ""};
@@ -73,18 +84,47 @@ struct Outcome {
   static Outcome fails(std::string Reason) {
     return {BehaviorKind::Fails, 0, std::move(Reason)};
   }
+  /// The step budget ran out: distinct from a fault (the program did
+  /// nothing wrong) and from a supervisor stop (the run was complete up
+  /// to its fuel, deterministically).
+  static Outcome exhausted() {
+    return {BehaviorKind::Diverges, 0, "", StopCause::FuelExhausted};
+  }
+  /// A Supervisor requested a stop: the run was abandoned mid-flight.
+  static Outcome stopped(StopCause C) {
+    return {BehaviorKind::Diverges, 0,
+            std::string("stopped: ") + stopCauseName(C), C};
+  }
 
   bool converged() const { return Kind == BehaviorKind::Converges; }
+  /// True when the run ended for budget reasons (fuel, deadline, memory,
+  /// cancel) rather than by converging or faulting.
+  bool budgetStopped() const { return Stop != StopCause::None; }
+  /// True when a Supervisor (not deterministic fuel) stopped the run.
+  bool supervisorStopped() const {
+    return Stop != StopCause::None && Stop != StopCause::FuelExhausted;
+  }
 
   /// Pairs this outcome with a materialized trace.
   Behavior intoBehavior(Trace T) const;
 };
 
 /// Preserves the materialized-trace behavior: records every event.
+/// The one sink whose state is O(trace): when a Supervisor with a memory
+/// budget is attached as \c Meter, every recorded event is charged
+/// against it, so a runaway trace requests a cooperative stop instead of
+/// exhausting RSS.
 class RecordingSink final : public TraceSink {
 public:
   Trace Events;
-  void onEvent(const Event &E) override { Events.push_back(E); }
+  Supervisor *Meter = nullptr; ///< Optional allocation-counting hook.
+  RecordingSink() = default;
+  explicit RecordingSink(Supervisor *Meter) : Meter(Meter) {}
+  void onEvent(const Event &E) override {
+    if (Meter)
+      Meter->charge(sizeof(Event));
+    Events.push_back(E);
+  }
   /// Recovers the classic Behavior from an outcome plus the recording.
   Behavior finish(const Outcome &O) { return O.intoBehavior(std::move(Events)); }
 };
@@ -166,6 +206,10 @@ class ProfileAccumulator final : public TraceSink {
 public:
   ProfileAccumulator() : Peaks{SymDepthVector{}} {}
 
+  /// Optional allocation-counting hook: every captured peak is charged
+  /// (the peak set is this sink's only unbounded state).
+  Supervisor *Meter = nullptr;
+
   void onEvent(const Event &E) override;
 
   /// Captures a trailing open peak (a final call with no following
@@ -239,6 +283,13 @@ struct RefinementSummary {
 /// when the run's outcome is known.
 class RefinementAccumulator final : public TraceSink {
 public:
+  RefinementAccumulator() = default;
+  /// With \p Meter set, peak captures (the only unbounded state here)
+  /// charge the supervisor's soft memory budget.
+  explicit RefinementAccumulator(Supervisor *Meter) {
+    Profile.Meter = Meter;
+  }
+
   void onEvent(const Event &E) override {
     ++Count;
     Hash.onEvent(E);

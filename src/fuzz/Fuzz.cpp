@@ -64,7 +64,11 @@ bool overflowedAtBound(const std::string &Source, uint32_t StackBytes) {
 } // namespace
 
 std::string FuzzReport::str() const {
-  std::string S = "fuzz: " + std::to_string(Generated) + " programs (" +
+  std::string S;
+  if (Interrupted)
+    S += "fuzz: INTERRUPTED - partial campaign report (" +
+         std::to_string(Unfinished) + " jobs unfinished)\n";
+  S += "fuzz: " + std::to_string(Generated) + " programs (" +
                   std::to_string(Verified) + " verified, " +
                   std::to_string(Diagnosed) + " diagnosed), " +
                   std::to_string(MutantsRejected) + "/" +
@@ -85,10 +89,16 @@ std::string FuzzReport::str() const {
 FuzzReport qcc::fuzz::runFuzz(const FuzzOptions &Options) {
   FuzzReport Report;
 
+  auto Stopped = [&Options] {
+    return Options.Interrupt && Options.Interrupt->stopRequested();
+  };
+
   // Campaign 1: sources through the full pipeline on the batch engine.
+  // Generation itself is interruptible: at large --fuzz counts it is the
+  // first long phase SIGINT can land in.
   std::vector<batch::BatchJob> Jobs;
   Jobs.reserve(Options.Count);
-  for (uint64_t I = 0; I != Options.Count; ++I) {
+  for (uint64_t I = 0; I != Options.Count && !Stopped(); ++I) {
     uint64_t Seed = Options.Seed * 0x9e3779b97f4a7c15ull + I;
     batch::BatchJob J;
     if (Options.Adversarial && I % 4 == 3) {
@@ -105,11 +115,18 @@ FuzzReport qcc::fuzz::runFuzz(const FuzzOptions &Options) {
   batch::BatchOptions BO;
   BO.Jobs = Options.Jobs;
   BO.CheckTheorem1 = true;
+  BO.Interrupt = Options.Interrupt;
   batch::BatchResult Batch = batch::runBatch(Jobs, BO);
 
   Report.Generated = Jobs.size();
   for (size_t I = 0; I != Batch.Programs.size(); ++I) {
     const batch::ProgramResult &R = Batch.Programs[I];
+    if (R.Status == batch::JobStatus::Cancelled ||
+        R.Status == batch::JobStatus::Quarantined) {
+      // No verdict: neither verified, diagnosed, nor a violation.
+      ++Report.Unfinished;
+      continue;
+    }
     if (R.Theorem1Checked && !R.Theorem1Ok) {
       if (overflowedAtBound(Jobs[I].Source, R.Theorem1StackBytes))
         Report.Violations.push_back(
@@ -128,6 +145,11 @@ FuzzReport qcc::fuzz::runFuzz(const FuzzOptions &Options) {
     }
   }
 
+  if (Stopped()) {
+    Report.Interrupted = true;
+    return Report; // Partial: campaigns 2 and 3 never started.
+  }
+
   // Campaign 2: forged proof objects against the checker.
   MutationReport MR = mutateDerivations(Options.Seed, Options.Mutants);
   Report.MutantsTried = MR.Tried;
@@ -138,6 +160,8 @@ FuzzReport qcc::fuzz::runFuzz(const FuzzOptions &Options) {
   // Campaign 3: every fault in the table, at its pipeline stage.
   if (Options.Faults) {
     for (size_t F = 0; F != allFaults().size(); ++F) {
+      if (Stopped())
+        break;
       ++Report.FaultsTried;
       std::string V = injectAndCheck(F, faultSource(), Options.Seed + F);
       if (V.empty())
@@ -147,5 +171,6 @@ FuzzReport qcc::fuzz::runFuzz(const FuzzOptions &Options) {
     }
   }
 
+  Report.Interrupted = Stopped();
   return Report;
 }

@@ -31,6 +31,8 @@
 #ifndef QCC_FUZZ_FUZZ_H
 #define QCC_FUZZ_FUZZ_H
 
+#include "support/Supervision.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -48,6 +50,10 @@ struct FuzzOptions {
   /// Every fourth generated source is adversarial (cycling through the
   /// AdversarialKind families) instead of grammar-random.
   bool Adversarial = true;
+  /// Campaign-wide cancel token (the CLI's SIGINT handler cancels it).
+  /// A cancelled harness stops between campaigns and jobs, marks the
+  /// report Interrupted, and still returns everything observed so far.
+  Supervisor *Interrupt = nullptr;
 };
 
 /// Everything one harness run observed.
@@ -62,6 +68,12 @@ struct FuzzReport {
   /// Invariant violations, each with its seed for replay. Crashes do not
   /// appear here — a crash kills the process, which is the point.
   std::vector<std::string> Violations;
+  /// Jobs stopped without a verdict (cancelled or budget-quarantined);
+  /// they count in none of the buckets above.
+  uint64_t Unfinished = 0;
+  /// The interrupt token fired: the report is a partial campaign record,
+  /// not a full run.
+  bool Interrupted = false;
 
   bool ok() const { return Violations.empty(); }
 

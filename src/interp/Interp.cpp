@@ -288,7 +288,9 @@ Outcome Interpreter::execute(const cl::Function &Entry,
 
   for (;;) {
     if (++Steps > Fuel)
-      return Outcome::diverges();
+      return Outcome::exhausted();
+    if (Supervisor::shouldPoll(Steps, Sup))
+      return Outcome::stopped(Sup->cause());
 
     if (M == Mode::Exec) {
       switch (Cur->Kind) {
@@ -486,13 +488,14 @@ Outcome Interpreter::execute(const cl::Function &Entry,
   }
 }
 
-Behavior qcc::interp::runProgram(const cl::Program &P, uint64_t Fuel) {
-  Interpreter I(P, Fuel);
+Behavior qcc::interp::runProgram(const cl::Program &P, uint64_t Fuel,
+                                 const Supervisor *Sup) {
+  Interpreter I(P, Fuel, Sup);
   return I.run();
 }
 
 Outcome qcc::interp::runProgram(const cl::Program &P, TraceSink &Sink,
-                                uint64_t Fuel) {
-  Interpreter I(P, Fuel);
+                                uint64_t Fuel, const Supervisor *Sup) {
+  Interpreter I(P, Fuel, Sup);
   return I.run(Sink);
 }

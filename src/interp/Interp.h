@@ -60,9 +60,13 @@ struct EvalResult {
 class Interpreter {
 public:
   /// \p Fuel bounds the number of small steps; exhausting it yields a
-  /// diverging behavior carrying the trace prefix.
-  explicit Interpreter(const clight::Program &P, uint64_t Fuel = DefaultFuel)
-      : P(P), Fuel(Fuel) {}
+  /// diverging behavior carrying the trace prefix, with the outcome's
+  /// Stop cause set to FuelExhausted. \p Sup, when given, is polled
+  /// cooperatively every Supervisor::PollMask + 1 steps; a requested stop
+  /// abandons the run with Outcome::stopped.
+  explicit Interpreter(const clight::Program &P, uint64_t Fuel = DefaultFuel,
+                       const Supervisor *Sup = nullptr)
+      : P(P), Fuel(Fuel), Sup(Sup) {}
 
   /// Runs the entry point (main). Globals are (re)initialized first.
   Behavior run();
@@ -113,6 +117,7 @@ private:
 
   const clight::Program &P;
   uint64_t Fuel;
+  const Supervisor *Sup = nullptr;
   uint64_t Steps = 0;
 
   std::map<std::string, std::vector<uint32_t>> Globals;
@@ -121,12 +126,15 @@ private:
   std::unordered_map<const std::string *, SymId> SymCache;
 };
 
-/// Convenience: runs \p P's entry point with \p Fuel.
-Behavior runProgram(const clight::Program &P, uint64_t Fuel = DefaultFuel);
+/// Convenience: runs \p P's entry point with \p Fuel under optional
+/// supervision.
+Behavior runProgram(const clight::Program &P, uint64_t Fuel = DefaultFuel,
+                    const Supervisor *Sup = nullptr);
 
 /// Streaming convenience: same run, events delivered to \p Sink.
 Outcome runProgram(const clight::Program &P, TraceSink &Sink,
-                   uint64_t Fuel = DefaultFuel);
+                   uint64_t Fuel = DefaultFuel,
+                   const Supervisor *Sup = nullptr);
 
 } // namespace interp
 } // namespace qcc

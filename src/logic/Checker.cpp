@@ -181,6 +181,18 @@ bool ProofChecker::checkCall(const Derivation &D, const cl::Function &F,
 
 bool ProofChecker::checkNode(const Derivation &D, const cl::Function &F,
                              DiagnosticEngine &Diags) {
+  if (Sup) {
+    Sup->charge(sizeof(Derivation));
+    if (Sup->stopRequested()) {
+      if (!StopReported) {
+        StopReported = true;
+        Diags.error(D.S ? D.S->Loc : SourceLoc(),
+                    std::string("proof checking stopped: ") +
+                        stopCauseName(Sup->cause()));
+      }
+      return false;
+    }
+  }
   if (!require(D.S != nullptr, D, "derivation proves no statement", Diags))
     return false;
   const cl::Stmt *S = D.S;

@@ -21,6 +21,7 @@
 #include "logic/Entail.h"
 #include "logic/Logic.h"
 #include "support/Diagnostics.h"
+#include "support/Supervision.h"
 
 namespace qcc {
 namespace logic {
@@ -45,6 +46,15 @@ public:
 
   const FunctionContext &context() const { return Gamma; }
 
+  /// Attaches a supervisor: checkNode polls it between rules and charges
+  /// its memory budget per visited derivation node. When the supervisor
+  /// stops the run, the checker reports a single "stopped" diagnostic and
+  /// unwinds — it neither confirms nor refutes the derivation.
+  void setSupervisor(Supervisor *S) { Sup = S; }
+
+  /// True when an attached supervisor halted checking before completion.
+  bool stopped() const { return Sup && Sup->stopRequested(); }
+
 private:
   bool require(bool Cond, const Derivation &D, const std::string &Message,
                DiagnosticEngine &Diags);
@@ -61,6 +71,8 @@ private:
   const clight::Program &P;
   FunctionContext Gamma;
   EntailOptions Options;
+  Supervisor *Sup = nullptr;
+  bool StopReported = false;
 };
 
 } // namespace logic

@@ -136,12 +136,14 @@ struct LowerOptions {
 Program lowerFromRtl(const rtl::Program &P, LowerOptions Options = {});
 
 /// Runs the entry point; emits the same events as the upper levels.
-Behavior runProgram(const Program &P, uint64_t Fuel = 200'000'000);
+Behavior runProgram(const Program &P, uint64_t Fuel = 200'000'000,
+                    const Supervisor *Sup = nullptr);
 
 /// Streaming variant: events are delivered to \p Sink; only the outcome
 /// is returned.
 Outcome runProgram(const Program &P, TraceSink &Sink,
-                   uint64_t Fuel = 200'000'000);
+                   uint64_t Fuel = 200'000'000,
+                   const Supervisor *Sup = nullptr);
 
 } // namespace mach
 } // namespace qcc

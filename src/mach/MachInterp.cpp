@@ -30,8 +30,9 @@ struct Activation {
 
 class Machine {
 public:
-  Machine(const Program &P, TraceSink &Sink, uint64_t Fuel)
-      : P(P), Sink(Sink), Fuel(Fuel) {
+  Machine(const Program &P, TraceSink &Sink, uint64_t Fuel,
+          const Supervisor *Sup)
+      : P(P), Sink(Sink), Fuel(Fuel), Sup(Sup) {
     for (const GlobalVar &G : P.Globals) {
       std::vector<uint32_t> Cells = G.Init;
       Cells.resize(G.Size, 0);
@@ -55,7 +56,9 @@ public:
     uint64_t Steps = 0;
     for (;;) {
       if (++Steps > Fuel)
-        return Outcome::diverges();
+        return Outcome::exhausted();
+      if (Supervisor::shouldPoll(Steps, Sup))
+        return Outcome::stopped(Sup->cause());
       if (Current.Pc >= Current.F->Code.size()) {
         // Fall off the end of a function: void return.
         if (auto O = doReturn())
@@ -316,6 +319,7 @@ private:
   const Program &P;
   TraceSink &Sink;
   uint64_t Fuel;
+  const Supervisor *Sup;
   std::map<std::string, std::vector<uint32_t>> Globals;
   std::map<std::string, std::map<uint32_t, size_t>> LabelMap;
   Activation Current;
@@ -326,12 +330,13 @@ private:
 
 } // namespace
 
-Behavior qcc::mach::runProgram(const Program &P, uint64_t Fuel) {
+Behavior qcc::mach::runProgram(const Program &P, uint64_t Fuel,
+                               const Supervisor *Sup) {
   RecordingSink R;
-  return runProgram(P, R, Fuel).intoBehavior(std::move(R.Events));
+  return runProgram(P, R, Fuel, Sup).intoBehavior(std::move(R.Events));
 }
 
 Outcome qcc::mach::runProgram(const Program &P, TraceSink &Sink,
-                              uint64_t Fuel) {
-  return Machine(P, Sink, Fuel).run();
+                              uint64_t Fuel, const Supervisor *Sup) {
+  return Machine(P, Sink, Fuel, Sup).run();
 }

@@ -11,7 +11,8 @@ using namespace qcc;
 using namespace qcc::measure;
 
 Measurement qcc::measure::measureProgram(const x86::Program &P,
-                                         uint32_t StackSize, uint64_t Fuel) {
+                                         uint32_t StackSize, uint64_t Fuel,
+                                         const Supervisor *Sup) {
   if (StackSize > MaxStackSize) {
     Measurement Out;
     Out.Error = "stack size " + std::to_string(StackSize) +
@@ -20,10 +21,11 @@ Measurement qcc::measure::measureProgram(const x86::Program &P,
     return Out;
   }
   x86::Machine M(P, StackSize);
-  Behavior B = M.run(Fuel);
+  Behavior B = M.run(Fuel, Sup);
 
   Measurement Out;
   Out.IOEvents = B.Events;
+  Out.Stop = B.Stop;
   switch (B.Kind) {
   case BehaviorKind::Converges:
     Out.Ok = true;
@@ -31,7 +33,9 @@ Measurement qcc::measure::measureProgram(const x86::Program &P,
     Out.StackBytes = M.measuredStackBytes();
     return Out;
   case BehaviorKind::Diverges:
-    Out.Error = "fuel exhausted";
+    Out.Error = B.Stop == StopCause::None || B.Stop == StopCause::FuelExhausted
+                    ? "fuel exhausted"
+                    : std::string("stopped: ") + stopCauseName(B.Stop);
     return Out;
   case BehaviorKind::Fails:
     Out.Error = B.FailureReason;

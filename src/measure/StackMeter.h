@@ -37,6 +37,10 @@ struct Measurement {
   int32_t ExitCode = 0;
   std::string Error;
   Trace IOEvents;
+  /// Why the run stopped short, if it did: fuel, deadline, memory budget
+  /// or cancellation. A stopped run is neither Ok nor a violation — the
+  /// meter withholds its verdict.
+  StopCause Stop = StopCause::None;
 };
 
 /// A comfortably large stack for measurement runs (the paper measures on
@@ -51,7 +55,8 @@ inline constexpr uint32_t MaxStackSize = 0x7ffe0000u;
 /// Runs \p P on a stack of \p StackSize bytes and measures consumption.
 Measurement measureProgram(const x86::Program &P,
                            uint32_t StackSize = MeasureStackSize,
-                           uint64_t Fuel = x86::DefaultFuel);
+                           uint64_t Fuel = x86::DefaultFuel,
+                           const Supervisor *Sup = nullptr);
 
 } // namespace measure
 } // namespace qcc

@@ -105,12 +105,14 @@ struct Program {
 Program lowerFromCminor(const cminor::Program &P);
 
 /// Runs the entry point; same event/trace conventions as the other levels.
-Behavior runProgram(const Program &P, uint64_t Fuel = 50'000'000);
+Behavior runProgram(const Program &P, uint64_t Fuel = 50'000'000,
+                    const Supervisor *Sup = nullptr);
 
 /// Streaming variant: events are delivered to \p Sink; only the outcome
 /// is returned.
 Outcome runProgram(const Program &P, TraceSink &Sink,
-                   uint64_t Fuel = 50'000'000);
+                   uint64_t Fuel = 50'000'000,
+                   const Supervisor *Sup = nullptr);
 
 } // namespace rtl
 } // namespace qcc

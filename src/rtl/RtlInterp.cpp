@@ -28,8 +28,9 @@ struct Activation {
 
 class Machine {
 public:
-  Machine(const Program &P, TraceSink &Sink, uint64_t Fuel)
-      : P(P), Sink(Sink), Fuel(Fuel) {
+  Machine(const Program &P, TraceSink &Sink, uint64_t Fuel,
+          const Supervisor *Sup)
+      : P(P), Sink(Sink), Fuel(Fuel), Sup(Sup) {
     for (const GlobalVar &G : P.Globals) {
       std::vector<uint32_t> Cells = G.Init;
       Cells.resize(G.Size, 0);
@@ -48,7 +49,9 @@ public:
     uint64_t Steps = 0;
     for (;;) {
       if (++Steps > Fuel)
-        return Outcome::diverges();
+        return Outcome::exhausted();
+      if (Supervisor::shouldPoll(Steps, Sup))
+        return Outcome::stopped(Sup->cause());
       const Instr &I = Current.F->Nodes[Current.Pc];
       std::string Fault;
       if (!step(I, Fault)) {
@@ -257,6 +260,7 @@ private:
   const Program &P;
   TraceSink &Sink;
   uint64_t Fuel;
+  const Supervisor *Sup;
   std::map<std::string, std::vector<uint32_t>> Globals;
   Activation Current{nullptr, {}, 0, false, 0};
   std::vector<Activation> Stack;
@@ -266,12 +270,13 @@ private:
 
 } // namespace
 
-Behavior qcc::rtl::runProgram(const Program &P, uint64_t Fuel) {
+Behavior qcc::rtl::runProgram(const Program &P, uint64_t Fuel,
+                              const Supervisor *Sup) {
   RecordingSink R;
-  return runProgram(P, R, Fuel).intoBehavior(std::move(R.Events));
+  return runProgram(P, R, Fuel, Sup).intoBehavior(std::move(R.Events));
 }
 
 Outcome qcc::rtl::runProgram(const Program &P, TraceSink &Sink,
-                             uint64_t Fuel) {
-  return Machine(P, Sink, Fuel).run();
+                             uint64_t Fuel, const Supervisor *Sup) {
+  return Machine(P, Sink, Fuel, Sup).run();
 }

@@ -1,0 +1,26 @@
+//===- support/Supervision.cpp - Budgets and cooperative cancel -----------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Supervision.h"
+
+using namespace qcc;
+
+const char *qcc::stopCauseName(StopCause C) {
+  switch (C) {
+  case StopCause::None:
+    return "none";
+  case StopCause::FuelExhausted:
+    return "fuel-exhausted";
+  case StopCause::MemoryBudget:
+    return "memory-budget";
+  case StopCause::DeadlineExpired:
+    return "deadline-expired";
+  case StopCause::Cancelled:
+    return "cancelled";
+  }
+  return "?";
+}

@@ -1,0 +1,184 @@
+//===- support/Supervision.h - Budgets and cooperative cancel ---*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The supervision layer: every verification job the engine runs is
+/// governed by a Supervisor — a cooperative cancellation token carrying a
+/// wall-clock deadline and a soft memory budget. The verifier's own pitch
+/// is that a certified bound holds on *every* execution; supervision is
+/// the same discipline applied to the verifier itself: no input, however
+/// adversarial, may stall a batch for its full 50M-step fuel per level or
+/// blow up RSS unboundedly.
+///
+/// Semantics (DESIGN.md section 5d): cancellation is *verdict-withholding*,
+/// never verdict-changing. Every consumer — the five interpreters, the
+/// proof checker, the analyzer, the driver — polls the token between
+/// steps and, when a stop is requested, abandons the computation with a
+/// distinguished StopCause instead of a verdict. A cancelled job never
+/// reports "verified" and never reports "refuted"; it reports "the budget
+/// ran out", which the batch engine maps to retry/quarantine, not to a
+/// verification failure.
+///
+/// The token is built from atomics only, so
+///   * polling it from an interpreter hot loop is one relaxed load
+///     (deadlines are enforced asynchronously by batch::Watchdog, not by
+///     reading the clock in the loop), and
+///   * cancel() is async-signal-safe: the SIGINT handler of `qcc --batch`
+///     / `qcc --fuzz` cancels the interrupt token directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_SUPPORT_SUPERVISION_H
+#define QCC_SUPPORT_SUPERVISION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace qcc {
+
+/// Why a supervised computation was stopped short of a verdict. Ordered
+/// by severity; mergeCause keeps the strongest.
+enum class StopCause : uint8_t {
+  None = 0,        ///< Running (or ran) to completion.
+  FuelExhausted,   ///< The step budget (interpreter fuel) ran out.
+  MemoryBudget,    ///< The soft allocation budget was exceeded.
+  DeadlineExpired, ///< The wall-clock deadline passed.
+  Cancelled        ///< Externally cancelled (SIGINT, shutdown).
+};
+
+/// Display name of \p C ("none", "fuel-exhausted", ...).
+const char *stopCauseName(StopCause C);
+
+/// A cooperative cancellation token with a wall-clock deadline and a soft
+/// memory budget. Thread-safe; one writer may arm it while any number of
+/// workers poll it. May link to a parent token (the batch engine parents
+/// every per-job token to the process-wide interrupt token), in which
+/// case a stop request on the parent is visible through every child.
+class Supervisor {
+public:
+  Supervisor() = default;
+  explicit Supervisor(const Supervisor *Parent) : Parent(Parent) {}
+
+  // The token is polled by address; it must stay put.
+  Supervisor(const Supervisor &) = delete;
+  Supervisor &operator=(const Supervisor &) = delete;
+
+  /// Requests a stop. Only atomic stores: safe from signal handlers and
+  /// from the watchdog thread. The first cause wins; later calls with a
+  /// different cause are ignored (the job stopped for the first reason).
+  void cancel(StopCause C = StopCause::Cancelled) {
+    uint8_t Expected = 0;
+    Cause.compare_exchange_strong(Expected, static_cast<uint8_t>(C),
+                                  std::memory_order_release,
+                                  std::memory_order_relaxed);
+  }
+
+  /// True once this token (or an ancestor) wants the computation stopped.
+  /// One relaxed load per link: cheap enough for interpreter poll points.
+  bool stopRequested() const {
+    if (Cause.load(std::memory_order_acquire) != 0)
+      return true;
+    return Parent && Parent->stopRequested();
+  }
+
+  /// The effective stop cause: this token's, or the nearest ancestor's.
+  StopCause cause() const {
+    if (uint8_t C = Cause.load(std::memory_order_acquire))
+      return static_cast<StopCause>(C);
+    return Parent ? Parent->cause() : StopCause::None;
+  }
+
+  /// Rearms the token for a fresh attempt (retries). Does not clear the
+  /// parent: an interrupted batch stays interrupted.
+  void reset() {
+    Cause.store(0, std::memory_order_release);
+    Charged.store(0, std::memory_order_relaxed);
+    DeadlineNs.store(0, std::memory_order_release);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Deadline (enforced by batch::Watchdog, or by anyone calling
+  // enforceDeadline — the token itself never reads the clock on the poll
+  // path).
+  //===--------------------------------------------------------------------===//
+
+  /// Arms a deadline \p Millis from now (0 disarms).
+  void armDeadline(uint64_t Millis) {
+    DeadlineNs.store(Millis == 0 ? 0 : nowNs() + Millis * 1'000'000,
+                     std::memory_order_release);
+  }
+
+  bool hasDeadline() const {
+    return DeadlineNs.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Cancels with DeadlineExpired if the armed deadline has passed.
+  /// Returns true when the deadline is known to have fired (now or
+  /// earlier). What the watchdog calls on every tick.
+  bool enforceDeadline() {
+    uint64_t D = DeadlineNs.load(std::memory_order_acquire);
+    if (D == 0 || nowNs() < D)
+      return cause() == StopCause::DeadlineExpired;
+    cancel(StopCause::DeadlineExpired);
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Soft memory budget: allocation-counting hooks (the streaming sinks,
+  // the recording sink, the proof checker) charge bytes here; crossing
+  // the budget requests a stop with MemoryBudget.
+  //===--------------------------------------------------------------------===//
+
+  /// Sets the soft allocation budget in bytes (0 = unlimited).
+  void setMemoryBudget(uint64_t Bytes) {
+    BudgetBytes.store(Bytes, std::memory_order_release);
+  }
+
+  /// Accounts \p Bytes of tracked allocation against the budget.
+  void charge(uint64_t Bytes) {
+    uint64_t Total =
+        Charged.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+    uint64_t Budget = BudgetBytes.load(std::memory_order_acquire);
+    if (Budget != 0 && Total > Budget)
+      cancel(StopCause::MemoryBudget);
+  }
+
+  /// Tracked bytes charged so far (monotone within one attempt).
+  uint64_t chargedBytes() const {
+    return Charged.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic now, in nanoseconds (steady_clock).
+  static uint64_t nowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Poll granularity for step loops: checking the token every
+  /// (Steps & PollMask) == 0 steps keeps the common case at one branch
+  /// per step and bounds the cancellation latency to 1024 steps.
+  static constexpr uint64_t PollMask = 1023;
+
+  /// True when a step loop at \p Steps should poll \p S. The idiom every
+  /// interpreter uses:  if (Supervisor::shouldPoll(Steps, Sup)) ...
+  static bool shouldPoll(uint64_t Steps, const Supervisor *S) {
+    return S && (Steps & PollMask) == 0 && S->stopRequested();
+  }
+
+private:
+  std::atomic<uint8_t> Cause{0};
+  std::atomic<uint64_t> DeadlineNs{0};
+  std::atomic<uint64_t> Charged{0};
+  std::atomic<uint64_t> BudgetBytes{0};
+  const Supervisor *Parent = nullptr;
+};
+
+} // namespace qcc
+
+#endif // QCC_SUPPORT_SUPERVISION_H

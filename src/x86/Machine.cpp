@@ -141,12 +141,12 @@ SymId Machine::sym(const std::string &Name) {
   return It->second;
 }
 
-Behavior Machine::run(uint64_t Fuel) {
+Behavior Machine::run(uint64_t Fuel, const Supervisor *Sup) {
   RecordingSink R;
-  return run(R, Fuel).intoBehavior(std::move(R.Events));
+  return run(R, Fuel, Sup).intoBehavior(std::move(R.Events));
 }
 
-Outcome Machine::run(TraceSink &Sink, uint64_t Fuel) {
+Outcome Machine::run(TraceSink &Sink, uint64_t Fuel, const Supervisor *Sup) {
   Overflowed = false;
   for (uint32_t &R : Regs)
     R = 0;
@@ -190,7 +190,9 @@ Outcome Machine::run(TraceSink &Sink, uint64_t Fuel) {
   uint64_t Steps = 0;
   for (;;) {
     if (++Steps > Fuel)
-      return Outcome::diverges();
+      return Outcome::exhausted();
+    if (Supervisor::shouldPoll(Steps, Sup))
+      return Outcome::stopped(Sup->cause());
     if (Pc >= Image.Code.size())
       return Fail("instruction pointer out of range");
     const Instr &I = Image.Code[Pc];

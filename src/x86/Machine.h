@@ -47,11 +47,12 @@ public:
   Machine(const Program &P, uint32_t StackSize);
 
   /// Runs from the entry point until halt, trap, or fuel exhaustion.
-  Behavior run(uint64_t Fuel = DefaultFuel);
+  Behavior run(uint64_t Fuel = DefaultFuel, const Supervisor *Sup = nullptr);
 
   /// Streaming variant: I/O events are delivered to \p Sink; only the
   /// outcome is returned.
-  Outcome run(TraceSink &Sink, uint64_t Fuel = DefaultFuel);
+  Outcome run(TraceSink &Sink, uint64_t Fuel = DefaultFuel,
+              const Supervisor *Sup = nullptr);
 
   /// True if the last run trapped specifically on stack exhaustion.
   bool stackOverflowed() const { return Overflowed; }

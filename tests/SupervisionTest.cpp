@@ -1,0 +1,473 @@
+//===- tests/SupervisionTest.cpp - Deadlines, cancel, quarantine, resume --===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The robustness layer over the supervision subsystem (ctest -L robust):
+///
+///   * fuel exhaustion is a distinct StopCause at every one of the five
+///     interpreter levels — never conflated with divergence-as-failure,
+///   * deadlines (watchdog-enforced) and explicit cancellation stop runs
+///     mid-flight, and a stopped job withholds its verdict: it is
+///     quarantined/cancelled, never "failed",
+///   * the batch engine retries budget-stopped jobs once at reduced fuel
+///     and quarantines repeat offenders with exit code 3, while every
+///     other job's result stays bit-identical to an unsupervised run,
+///   * the resume journal skips finished work on rerun and never records
+///     budget-stopped jobs,
+///   * soft memory budgets charged by the streaming sinks stop a
+///     compilation with a "memory-budget" diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "batch/Batch.h"
+#include "batch/Watchdog.h"
+#include "cminor/CminorInterp.h"
+#include "driver/Compiler.h"
+#include "events/TraceSink.h"
+#include "interp/Interp.h"
+#include "mach/Mach.h"
+#include "measure/StackMeter.h"
+#include "rtl/Rtl.h"
+#include "x86/Machine.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+using namespace qcc;
+using namespace qcc::batch;
+
+namespace {
+
+/// Diverges at every level: no events after the initial call, so both
+/// sides of every validated pass exhaust their fuel with identical
+/// traces and validation still succeeds (div == div).
+const char *NonTerminating = R"(
+typedef unsigned int u32;
+int main() {
+  u32 x;
+  x = 0;
+  while (1) { x = x + 1; }
+  return 0;
+}
+)";
+
+/// Diverges while emitting call events (exercises metered sinks).
+const char *NonTerminatingCalls = R"(
+typedef unsigned int u32;
+u32 leaf(u32 x) { return x + 1; }
+int main() {
+  u32 x;
+  x = 0;
+  while (1) { x = leaf(x); }
+  return 0;
+}
+)";
+
+/// A quick terminating program (for journal tests).
+const char *Terminating = R"(
+typedef unsigned int u32;
+u32 leaf(u32 x) { return x * 3 + 1; }
+int main() { return (int)(leaf(5u) & 0xff); }
+)";
+
+driver::Compilation compileNonTerminating() {
+  DiagnosticEngine Diags;
+  driver::CompilerOptions Opts;
+  Opts.ValidateTranslation = false; // We run the levels ourselves.
+  Opts.AnalyzeBounds = false;
+  auto C = driver::compile(NonTerminating, Diags, Opts);
+  EXPECT_TRUE(C) << Diags.str();
+  return std::move(*C);
+}
+
+BatchJob nonTerminatingJob(const std::string &Id, uint64_t Fuel) {
+  BatchJob J;
+  J.Id = Id;
+  J.Source = NonTerminating;
+  J.Options.ValidateTranslation = false;
+  J.Options.ValidationFuel = Fuel; // Theorem 1 runs at 10x this.
+  return J;
+}
+
+/// A scratch file path that is removed when the fixture dies.
+class ScratchFile {
+public:
+  explicit ScratchFile(const char *Tag) {
+    Path = (std::filesystem::temp_directory_path() /
+            ("qcc-supervision-" + std::string(Tag) + "-" +
+             std::to_string(::getpid()) + ".journal"))
+               .string();
+    std::filesystem::remove(Path);
+  }
+  ~ScratchFile() { std::filesystem::remove(Path); }
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+//===----------------------------------------------------------------------===//
+// Supervisor token semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Supervisor, FirstCauseWins) {
+  Supervisor S;
+  EXPECT_FALSE(S.stopRequested());
+  EXPECT_EQ(S.cause(), StopCause::None);
+  S.cancel(StopCause::DeadlineExpired);
+  S.cancel(StopCause::Cancelled); // Ignored: the job stopped for the
+                                  // first reason.
+  EXPECT_TRUE(S.stopRequested());
+  EXPECT_EQ(S.cause(), StopCause::DeadlineExpired);
+  S.reset();
+  EXPECT_FALSE(S.stopRequested());
+  EXPECT_EQ(S.cause(), StopCause::None);
+}
+
+TEST(Supervisor, ParentStopIsVisibleThroughChild) {
+  Supervisor Parent;
+  Supervisor Child(&Parent);
+  EXPECT_FALSE(Child.stopRequested());
+  Parent.cancel();
+  EXPECT_TRUE(Child.stopRequested());
+  EXPECT_EQ(Child.cause(), StopCause::Cancelled);
+  // reset() rearms the child only: an interrupted batch stays
+  // interrupted.
+  Child.reset();
+  EXPECT_TRUE(Child.stopRequested());
+}
+
+TEST(Supervisor, MemoryBudgetTripsOnCharge) {
+  Supervisor S;
+  S.setMemoryBudget(1000);
+  S.charge(600);
+  EXPECT_FALSE(S.stopRequested());
+  S.charge(600);
+  EXPECT_TRUE(S.stopRequested());
+  EXPECT_EQ(S.cause(), StopCause::MemoryBudget);
+  EXPECT_EQ(S.chargedBytes(), 1200u);
+}
+
+TEST(Supervisor, ShouldPollHonorsGranularity) {
+  Supervisor S;
+  S.cancel();
+  EXPECT_TRUE(Supervisor::shouldPoll(1024, &S));
+  EXPECT_FALSE(Supervisor::shouldPoll(1025, &S)); // Off the poll stride.
+  EXPECT_FALSE(Supervisor::shouldPoll(1024, nullptr));
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite 1: fuel exhaustion is a distinct status at all five levels
+//===----------------------------------------------------------------------===//
+
+TEST(FuelExhaustion, DistinctStopCauseAtEveryLevel) {
+  driver::Compilation C = compileNonTerminating();
+  constexpr uint64_t Fuel = 50'000;
+
+  Behavior BClight = interp::runProgram(C.Clight, Fuel);
+  EXPECT_EQ(BClight.Kind, BehaviorKind::Diverges);
+  EXPECT_EQ(BClight.Stop, StopCause::FuelExhausted);
+
+  Behavior BCminor = cminor::runProgram(C.Cminor, Fuel);
+  EXPECT_EQ(BCminor.Kind, BehaviorKind::Diverges);
+  EXPECT_EQ(BCminor.Stop, StopCause::FuelExhausted);
+
+  Behavior BRtl = rtl::runProgram(C.Rtl, Fuel);
+  EXPECT_EQ(BRtl.Kind, BehaviorKind::Diverges);
+  EXPECT_EQ(BRtl.Stop, StopCause::FuelExhausted);
+
+  Behavior BMach = mach::runProgram(C.Mach, Fuel);
+  EXPECT_EQ(BMach.Kind, BehaviorKind::Diverges);
+  EXPECT_EQ(BMach.Stop, StopCause::FuelExhausted);
+
+  x86::Machine M(C.Asm, /*StackSize=*/1 << 20);
+  Behavior BAsm = M.run(Fuel);
+  EXPECT_EQ(BAsm.Kind, BehaviorKind::Diverges);
+  EXPECT_EQ(BAsm.Stop, StopCause::FuelExhausted);
+}
+
+TEST(FuelExhaustion, MeasurementReportsStopNotViolation) {
+  driver::Compilation C = compileNonTerminating();
+  measure::Measurement M = driver::measureStack(C, /*Fuel=*/50'000);
+  EXPECT_FALSE(M.Ok);
+  EXPECT_EQ(M.Stop, StopCause::FuelExhausted);
+  EXPECT_EQ(M.Error, "fuel exhausted");
+  EXPECT_FALSE(M.StackOverflow);
+}
+
+TEST(FuelExhaustion, VerifyOneQuarantinesInsteadOfFailing) {
+  ProgramResult R = verifyOne(nonTerminatingJob("nonterm", 20'000));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Status, JobStatus::Quarantined);
+  EXPECT_EQ(R.Stop, StopCause::FuelExhausted);
+  EXPECT_NE(R.Diagnostics.find("Theorem 1 check stopped"),
+            std::string::npos)
+      << R.Diagnostics;
+  EXPECT_EQ(R.Diagnostics.find("Theorem 1 violated"), std::string::npos)
+      << "a budget stop must never read as a refutation: "
+      << R.Diagnostics;
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines and cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(Deadline, WatchdogStopsDivergentRun) {
+  driver::Compilation C = compileNonTerminating();
+  Supervisor S;
+  Watchdog Dog;
+  S.armDeadline(20);
+  Dog.watch(&S);
+  // Effectively unbounded fuel: only the deadline can stop this.
+  Behavior B = interp::runProgram(C.Clight, 1'000'000'000'000ull, &S);
+  Dog.unwatch(&S);
+  EXPECT_EQ(B.Kind, BehaviorKind::Diverges);
+  EXPECT_EQ(B.Stop, StopCause::DeadlineExpired);
+  EXPECT_EQ(Dog.watchedCount(), 0u);
+}
+
+TEST(Deadline, EnforceDeadlineFiresOnlyAfterExpiry) {
+  Supervisor S;
+  S.armDeadline(10'000); // Far future.
+  EXPECT_FALSE(S.enforceDeadline());
+  EXPECT_FALSE(S.stopRequested());
+  S.armDeadline(0); // Disarm.
+  EXPECT_FALSE(S.hasDeadline());
+}
+
+TEST(Cancellation, StopsInterpreterMidRun) {
+  driver::Compilation C = compileNonTerminating();
+  Supervisor S;
+  std::thread Canceller([&S] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    S.cancel();
+  });
+  Behavior B = interp::runProgram(C.Clight, 1'000'000'000'000ull, &S);
+  Canceller.join();
+  EXPECT_EQ(B.Kind, BehaviorKind::Diverges);
+  EXPECT_EQ(B.Stop, StopCause::Cancelled);
+}
+
+TEST(Cancellation, MidValidationWithholdsVerdict) {
+  Supervisor S;
+  DiagnosticEngine Diags;
+  driver::CompilerOptions Opts;
+  Opts.Supervision = &S;
+  Opts.ValidationFuel = 1'000'000'000'000ull; // Only the cancel stops it.
+  std::thread Canceller([&S] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    S.cancel();
+  });
+  auto C = driver::compile(NonTerminating, Diags, Opts);
+  Canceller.join();
+  EXPECT_FALSE(C);
+  EXPECT_NE(Diags.str().find("stopped"), std::string::npos) << Diags.str();
+  EXPECT_EQ(Diags.str().find("translation validation failed"),
+            std::string::npos)
+      << "cancellation must not be misreported as a validation failure: "
+      << Diags.str();
+}
+
+TEST(Cancellation, PreCancelledVerifyOneReportsCancelled) {
+  Supervisor S;
+  S.cancel();
+  ProgramResult R = verifyOne(nonTerminatingJob("precancelled", 20'000),
+                              /*CheckTheorem1=*/true, &S);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Status, JobStatus::Cancelled);
+  EXPECT_EQ(R.Stop, StopCause::Cancelled);
+  EXPECT_NE(R.Diagnostics.find("compilation stopped: cancelled"),
+            std::string::npos)
+      << R.Diagnostics;
+}
+
+TEST(Cancellation, InterruptDrainsWholeBatch) {
+  // Enough fuel that nothing finishes on its own within the test, plus
+  // an interrupt that arrives while jobs are in flight: every slot must
+  // come back Cancelled (in-flight jobs drained at the next poll,
+  // pending jobs never started) and the exit code must say "no verdict".
+  std::vector<BatchJob> Jobs;
+  for (int I = 0; I != 4; ++I)
+    Jobs.push_back(
+        nonTerminatingJob("drain-" + std::to_string(I), 100'000'000));
+  Supervisor Interrupt;
+  BatchOptions Opts;
+  Opts.Interrupt = &Interrupt;
+  std::thread Sigint([&Interrupt] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    Interrupt.cancel();
+  });
+  BatchResult R = runBatch(Jobs, Opts);
+  Sigint.join();
+  ASSERT_EQ(R.Programs.size(), Jobs.size());
+  for (const ProgramResult &P : R.Programs) {
+    EXPECT_EQ(P.Status, JobStatus::Cancelled) << P.Id;
+    EXPECT_FALSE(P.Ok);
+  }
+  EXPECT_EQ(R.exitCode(), 3);
+  EXPECT_EQ(R.countStatus(JobStatus::Cancelled), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch deadlines, retry, quarantine (exit-code taxonomy)
+//===----------------------------------------------------------------------===//
+
+TEST(Quarantine, DeadlineExpiryRetriesThenQuarantines) {
+  std::vector<BatchJob> Jobs{nonTerminatingJob("deadline", 100'000'000)};
+  BatchOptions Opts;
+  Opts.DeadlineMillis = 30;
+  Opts.Retries = 1;
+  BatchResult R = runBatch(Jobs, Opts);
+  ASSERT_EQ(R.Programs.size(), 1u);
+  const ProgramResult &P = R.Programs[0];
+  EXPECT_EQ(P.Status, JobStatus::Quarantined);
+  EXPECT_EQ(P.Stop, StopCause::DeadlineExpired);
+  EXPECT_EQ(P.Retries, 1u);
+  EXPECT_EQ(R.exitCode(), 3);
+}
+
+TEST(Quarantine, OversubscribedPoolQuarantinesExactlyTheDivergent) {
+  // The acceptance scenario: the full corpus plus three seeded
+  // non-terminating jobs on low fuel. Exactly those three must be
+  // quarantined (after one retry each), the batch must exit 3, and every
+  // corpus job's result must be bit-identical to an unsupervised run.
+  std::vector<BatchJob> Corpus = corpusJobs(/*ValidateTranslation=*/false);
+  const size_t NumCorpus = Corpus.size();
+  std::vector<BatchJob> Jobs = Corpus;
+  for (int I = 0; I != 3; ++I)
+    Jobs.push_back(
+        nonTerminatingJob("nonterm-" + std::to_string(I), 20'000 + I));
+
+  BatchOptions Opts;
+  Opts.Jobs = 2 * std::max(1u, std::thread::hardware_concurrency());
+  BatchResult Supervised = runBatch(Jobs, Opts);
+
+  ASSERT_EQ(Supervised.Programs.size(), NumCorpus + 3);
+  EXPECT_EQ(Supervised.countStatus(JobStatus::Quarantined), 3u);
+  EXPECT_EQ(Supervised.exitCode(), 3);
+  for (size_t I = NumCorpus; I != Supervised.Programs.size(); ++I) {
+    const ProgramResult &P = Supervised.Programs[I];
+    EXPECT_EQ(P.Status, JobStatus::Quarantined) << P.Id;
+    EXPECT_EQ(P.Stop, StopCause::FuelExhausted) << P.Id;
+    EXPECT_EQ(P.Retries, 1u) << P.Id;
+  }
+
+  // Corpus slice vs. the unsupervised reference, byte for byte.
+  BatchResult Reference = runBatch(Corpus, BatchOptions{});
+  BatchResult SupervisedCorpusOnly = Supervised;
+  SupervisedCorpusOnly.Programs.resize(NumCorpus);
+  EXPECT_EQ(metricsJson(SupervisedCorpusOnly, JsonDetail::Deterministic),
+            metricsJson(Reference, JsonDetail::Deterministic));
+}
+
+//===----------------------------------------------------------------------===//
+// Resume journal
+//===----------------------------------------------------------------------===//
+
+TEST(Journal, RerunSkipsFinishedJobs) {
+  ScratchFile Journal("rerun");
+  std::vector<BatchJob> Jobs;
+  for (int I = 0; I != 3; ++I) {
+    BatchJob J;
+    J.Id = "t" + std::to_string(I);
+    J.Source = Terminating;
+    J.Options.ValidateTranslation = false;
+    J.Options.Defines["SALT"] = static_cast<uint32_t>(I); // Distinct keys.
+    Jobs.push_back(std::move(J));
+  }
+  BatchOptions Opts;
+  Opts.JournalPath = Journal.path();
+
+  BatchResult First = runBatch(Jobs, Opts);
+  EXPECT_TRUE(First.allOk());
+  EXPECT_EQ(First.countStatus(JobStatus::SkippedFromJournal), 0u);
+
+  BatchResult Second = runBatch(Jobs, Opts);
+  EXPECT_EQ(Second.countStatus(JobStatus::SkippedFromJournal), 3u);
+  EXPECT_TRUE(Second.allOk()); // Recorded verdicts replay as ok.
+  EXPECT_EQ(Second.exitCode(), 0);
+}
+
+TEST(Journal, KilledAfterNResumesTheRest) {
+  // Simulate a run killed after one job: journal the first job alone,
+  // then rerun the full set with the same journal.
+  ScratchFile Journal("kill");
+  std::vector<BatchJob> Jobs;
+  for (int I = 0; I != 3; ++I) {
+    BatchJob J;
+    J.Id = "t" + std::to_string(I);
+    J.Source = Terminating;
+    J.Options.ValidateTranslation = false;
+    J.Options.Defines["SALT"] = static_cast<uint32_t>(I);
+    Jobs.push_back(std::move(J));
+  }
+  BatchOptions Opts;
+  Opts.JournalPath = Journal.path();
+
+  BatchResult Partial = runBatch({Jobs[0]}, Opts);
+  EXPECT_TRUE(Partial.allOk());
+
+  BatchResult Resumed = runBatch(Jobs, Opts);
+  ASSERT_EQ(Resumed.Programs.size(), 3u);
+  EXPECT_EQ(Resumed.Programs[0].Status, JobStatus::SkippedFromJournal);
+  EXPECT_EQ(Resumed.Programs[1].Status, JobStatus::Ok);
+  EXPECT_EQ(Resumed.Programs[2].Status, JobStatus::Ok);
+  EXPECT_EQ(Resumed.exitCode(), 0);
+}
+
+TEST(Journal, BudgetStoppedJobsAreNeverRecorded) {
+  ScratchFile Journal("quarantine");
+  std::vector<BatchJob> Jobs{nonTerminatingJob("nonterm", 20'000)};
+  BatchOptions Opts;
+  Opts.JournalPath = Journal.path();
+
+  BatchResult First = runBatch(Jobs, Opts);
+  EXPECT_EQ(First.Programs[0].Status, JobStatus::Quarantined);
+
+  // The rerun must attempt the job again, not replay a non-verdict.
+  BatchResult Second = runBatch(Jobs, Opts);
+  EXPECT_EQ(Second.Programs[0].Status, JobStatus::Quarantined);
+  EXPECT_EQ(Second.countStatus(JobStatus::SkippedFromJournal), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory budgets through the metered sinks
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryBudget, StopsValidationThroughMeteredAccumulators) {
+  Supervisor S;
+  S.setMemoryBudget(2048); // A few dozen captured profiles.
+  DiagnosticEngine Diags;
+  driver::CompilerOptions Opts;
+  Opts.Supervision = &S;
+  Opts.ValidationFuel = 2'000'000; // Keep the div==div replays quick.
+  auto C = driver::compile(NonTerminatingCalls, Diags, Opts);
+  EXPECT_FALSE(C);
+  EXPECT_EQ(S.cause(), StopCause::MemoryBudget);
+  EXPECT_NE(Diags.str().find("memory-budget"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(MemoryBudget, MeteredRecordingSinkCharges) {
+  DiagnosticEngine Diags;
+  driver::CompilerOptions Opts;
+  Opts.ValidateTranslation = false;
+  Opts.AnalyzeBounds = false;
+  auto C = driver::compile(NonTerminatingCalls, Diags, Opts);
+  ASSERT_TRUE(C) << Diags.str();
+  Supervisor S;
+  RecordingSink Sink(&S);
+  (void)interp::runProgram(C->Clight, Sink, 100'000, &S);
+  EXPECT_GT(S.chargedBytes(), 0u);
+}
+
+} // namespace

@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -39,6 +40,17 @@
 using namespace qcc;
 
 namespace {
+
+/// The process-wide interrupt token. Supervisor::cancel is atomics-only,
+/// so cancelling it from the signal handler is async-signal-safe; every
+/// per-job supervisor in batch/fuzz mode is parented to it, so one ^C
+/// drains all in-flight jobs at their next poll point, after which the
+/// engine flushes the journal and partial metrics and exits cleanly.
+Supervisor GInterrupt;
+
+extern "C" void onInterrupt(int) { GInterrupt.cancel(StopCause::Cancelled); }
+
+void installInterruptHandler() { std::signal(SIGINT, onInterrupt); }
 
 void usage() {
   printf(
@@ -70,8 +82,21 @@ void usage() {
       "  --metrics-out F  write the batch metrics report (per-pass\n"
       "                   timings, refinement event counts, proof-checker\n"
       "                   node counts, cache statistics) as JSON to F\n"
+      "  --deadline-ms N  per-job wall-clock deadline; a job past it is\n"
+      "                   stopped, retried once at reduced fuel, and\n"
+      "                   quarantined if it overruns again\n"
+      "  --retry N        budget-stop retries before quarantine "
+      "(default 1)\n"
+      "  --memory-budget-mb N  per-job soft memory budget\n"
+      "  --journal F      resume journal: finished jobs are appended to F\n"
+      "                   as they complete; a rerun with the same F skips\n"
+      "                   them (^C + rerun picks up where it stopped)\n"
       "  -D/--inline/--tail-calls/--no-opt/--no-validate apply to every\n"
       "  program in the batch\n"
+      "\n"
+      "  batch exit codes: 0 all verified; 1 at least one verification\n"
+      "  failure; 2 usage error; 3 at least one job quarantined or\n"
+      "  cancelled (no verdict reached - not a refutation)\n"
       "\n"
       "fuzz mode (the no-crash / no-unsound-bound hardening harness):\n"
       "  --fuzz N         generate and verify N seeded programs (random\n"
@@ -103,9 +128,18 @@ std::optional<uint64_t> parseCount(const char *Flag, const char *Val,
   return V;
 }
 
+/// Supervision and reporting knobs of batch mode, straight off argv.
+struct BatchCliOptions {
+  unsigned Jobs = 0;
+  uint64_t DeadlineMs = 0;
+  uint64_t MemoryBudgetMb = 0;
+  unsigned Retry = 1;
+  std::string JournalPath;
+  std::string MetricsOut;
+};
+
 /// Runs batch mode: collect jobs, fan out, print a per-program table.
-int runBatchMode(const std::string &BatchArg, unsigned Jobs,
-                 const std::string &MetricsOut,
+int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
                  const driver::CompilerOptions &Shared) {
   std::vector<batch::BatchJob> BatchJobs;
   if (BatchArg == "corpus") {
@@ -145,14 +179,20 @@ int runBatchMode(const std::string &BatchArg, unsigned Jobs,
     }
   }
 
+  installInterruptHandler();
   batch::ResultCache Cache;
   batch::BatchOptions Opts;
-  Opts.Jobs = Jobs;
+  Opts.Jobs = Cli.Jobs;
   Opts.Cache = &Cache;
+  Opts.DeadlineMillis = Cli.DeadlineMs;
+  Opts.MemoryBudgetBytes = Cli.MemoryBudgetMb * (1ull << 20);
+  Opts.Retries = Cli.Retry;
+  Opts.JournalPath = Cli.JournalPath;
+  Opts.Interrupt = &GInterrupt;
   batch::BatchResult R = batch::runBatch(BatchJobs, Opts);
 
-  printf("%-28s %-6s %10s %10s %s\n", "program", "ok", "bound(main)",
-         "t1-stack", "time");
+  printf("%-28s %-6s %-11s %10s %10s %s\n", "program", "ok", "status",
+         "bound(main)", "t1-stack", "time");
   for (const batch::ProgramResult &P : R.Programs) {
     std::string MainBound = "-";
     for (const batch::FunctionReport &F : P.Bounds)
@@ -164,8 +204,12 @@ int runBatchMode(const std::string &BatchArg, unsigned Jobs,
                                                           ? ""
                                                           : " FAIL")
             : "-";
-    printf("%-28s %-6s %10s %10s %llu us%s\n", P.Id.c_str(),
-           P.Ok ? "yes" : "NO", MainBound.c_str(), T1.c_str(),
+    std::string Status = batch::jobStatusName(P.Status);
+    if (P.Stop != StopCause::None)
+      Status += std::string(" (") + stopCauseName(P.Stop) + ")";
+    printf("%-28s %-6s %-11s %10s %10s %llu us%s\n", P.Id.c_str(),
+           P.Ok ? "yes" : "NO", Status.c_str(), MainBound.c_str(),
+           T1.c_str(),
            static_cast<unsigned long long>(P.Metrics.TotalMicros),
            P.CacheHit ? " (cached)" : "");
     if (!P.Ok && !P.Diagnostics.empty())
@@ -180,16 +224,26 @@ int runBatchMode(const std::string &BatchArg, unsigned Jobs,
          static_cast<unsigned long long>(R.WallMicros),
          static_cast<unsigned long long>(R.Cache.Hits),
          static_cast<unsigned long long>(R.Cache.Misses));
+  if (unsigned Q = R.countStatus(batch::JobStatus::Quarantined))
+    printf("%u quarantined (budget exhausted on every attempt)\n", Q);
+  if (unsigned C = R.countStatus(batch::JobStatus::Cancelled))
+    printf("%u cancelled (interrupt)\n", C);
+  if (unsigned S = R.countStatus(batch::JobStatus::SkippedFromJournal))
+    printf("%u skipped (already in journal '%s')\n", S,
+           Cli.JournalPath.c_str());
+  if (GInterrupt.stopRequested())
+    printf("interrupted: in-flight jobs drained; journal and metrics "
+           "flushed\n");
 
-  if (!MetricsOut.empty()) {
-    std::ofstream Out(MetricsOut);
+  if (!Cli.MetricsOut.empty()) {
+    std::ofstream Out(Cli.MetricsOut);
     if (!Out) {
-      fprintf(stderr, "qcc: cannot write '%s'\n", MetricsOut.c_str());
+      fprintf(stderr, "qcc: cannot write '%s'\n", Cli.MetricsOut.c_str());
       return 2;
     }
     Out << batch::metricsJson(R) << '\n';
   }
-  return R.allOk() ? 0 : 1;
+  return R.exitCode();
 }
 
 } // namespace
@@ -203,8 +257,8 @@ int main(int Argc, char **Argv) {
   std::optional<uint32_t> StackSize;
   std::optional<uint64_t> FuzzCount;
   uint64_t FuzzSeed = 1;
-  std::string BatchArg, MetricsOut;
-  unsigned Jobs = 0;
+  std::string BatchArg;
+  BatchCliOptions Cli;
 
   // Applies one "NAME=VALUE" define, validating both halves.
   auto AddDefine = [&Options](const std::string &Def) {
@@ -281,7 +335,40 @@ int main(int Argc, char **Argv) {
       auto V = parseCount("--jobs", Argv[++I], 4096);
       if (!V)
         return 2;
-      Jobs = static_cast<unsigned>(*V);
+      Cli.Jobs = static_cast<unsigned>(*V);
+    } else if (Arg == "--deadline-ms") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --deadline-ms is missing its operand\n");
+        return 2;
+      }
+      auto V = parseCount("--deadline-ms", Argv[++I], 86'400'000);
+      if (!V)
+        return 2;
+      Cli.DeadlineMs = *V;
+    } else if (Arg == "--memory-budget-mb") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --memory-budget-mb is missing its operand\n");
+        return 2;
+      }
+      auto V = parseCount("--memory-budget-mb", Argv[++I], 1 << 20);
+      if (!V)
+        return 2;
+      Cli.MemoryBudgetMb = *V;
+    } else if (Arg == "--retry") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --retry is missing its count\n");
+        return 2;
+      }
+      auto V = parseCount("--retry", Argv[++I], 16);
+      if (!V)
+        return 2;
+      Cli.Retry = static_cast<unsigned>(*V);
+    } else if (Arg == "--journal") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --journal is missing its file operand\n");
+        return 2;
+      }
+      Cli.JournalPath = Argv[++I];
     } else if (Arg == "--fuzz") {
       if (I + 1 >= Argc) {
         fprintf(stderr, "qcc: --fuzz is missing its program count\n");
@@ -306,7 +393,7 @@ int main(int Argc, char **Argv) {
         fprintf(stderr, "qcc: --metrics-out is missing its file operand\n");
         return 2;
       }
-      MetricsOut = Argv[++I];
+      Cli.MetricsOut = Argv[++I];
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -327,20 +414,25 @@ int main(int Argc, char **Argv) {
                       "file/--batch argument\n");
       return 2;
     }
+    installInterruptHandler();
     fuzz::FuzzOptions FO;
     FO.Count = *FuzzCount;
     FO.Seed = FuzzSeed;
-    FO.Jobs = Jobs;
+    FO.Jobs = Cli.Jobs;
+    FO.Interrupt = &GInterrupt;
     fuzz::FuzzReport Report = fuzz::runFuzz(FO);
+    // On ^C this is the flushed partial campaign report.
     printf("%s", Report.str().c_str());
-    return Report.ok() ? 0 : 1;
+    if (!Report.ok())
+      return 1;
+    return Report.Interrupted ? 3 : 0;
   }
   if (!BatchArg.empty()) {
     if (!Path.empty()) {
       fprintf(stderr, "qcc: --batch takes a directory, not a file\n");
       return 2;
     }
-    return runBatchMode(BatchArg, Jobs, MetricsOut, Options);
+    return runBatchMode(BatchArg, Cli, Options);
   }
   if (Path.empty()) {
     usage();
