@@ -1,0 +1,222 @@
+//===- bench/BenchStore.cpp - Persistent store hit/miss economics ---------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What the persistent verification store buys and what it costs, over
+/// the full evaluation corpus:
+///
+///   1. cold write   — first run against an empty store: full compile +
+///      validate + analyze + Theorem 1, plus the entry writes,
+///   2. warm (same process) — rerun through the same handle: every job
+///      served from disk, zero fresh proof-checker nodes,
+///   3. warm (cross process) — a *fresh* handle on the same directory
+///      (what a new `qcc` invocation or a future `qccd` client sees:
+///      open-scan, flock, read, decode),
+///   4. corrupted reload — every resident entry bit-flipped, then a
+///      rerun: the store must quarantine them all and re-verify from
+///      scratch, i.e. recovery degrades to the cold path, not to a
+///      crash or a wrong verdict.
+///
+/// Writes BENCH_store.json (path overridable as argv[1]).
+///
+//===----------------------------------------------------------------------===//
+
+#include "batch/Batch.h"
+#include "store/Store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace qcc;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr unsigned Reps = 3;
+
+struct Phase {
+  std::string Name;
+  uint64_t BestWallMicros = ~0ull;
+  uint64_t StoreHits = 0;
+  uint64_t FreshProofNodes = 0;
+  uint64_t Quarantined = 0;
+  bool AllOk = false;
+};
+
+uint64_t runPhase(const std::vector<batch::BatchJob> &Jobs,
+                  store::VerificationStore &Store, Phase &Out) {
+  batch::BatchOptions BO;
+  BO.Jobs = 4;
+  BO.Store = &Store;
+  batch::BatchResult R = batch::runBatch(Jobs, BO);
+  Out.BestWallMicros = std::min(Out.BestWallMicros, R.WallMicros);
+  Out.StoreHits = R.storeHits();
+  Out.FreshProofNodes = R.FreshProofNodes;
+  Out.AllOk = R.allOk();
+  return R.WallMicros;
+}
+
+void printPhase(const Phase &P, size_t Jobs) {
+  printf("  %-22s %9.3f ms   %2llu/%zu store hits   %8llu fresh "
+         "proof nodes%s\n",
+         P.Name.c_str(), P.BestWallMicros / 1000.0,
+         static_cast<unsigned long long>(P.StoreHits), Jobs,
+         static_cast<unsigned long long>(P.FreshProofNodes),
+         P.AllOk ? "" : "   [NOT OK]");
+}
+
+void emitPhaseJson(FILE *J, const Phase &P, bool Last) {
+  fprintf(J,
+          "    {\n"
+          "      \"name\": \"%s\",\n"
+          "      \"best_wall_ms\": %.3f,\n"
+          "      \"store_hits\": %llu,\n"
+          "      \"fresh_proof_nodes\": %llu,\n"
+          "      \"quarantined\": %llu,\n"
+          "      \"all_ok\": %s\n"
+          "    }%s\n",
+          P.Name.c_str(), P.BestWallMicros / 1000.0,
+          static_cast<unsigned long long>(P.StoreHits),
+          static_cast<unsigned long long>(P.FreshProofNodes),
+          static_cast<unsigned long long>(P.Quarantined),
+          P.AllOk ? "true" : "false", Last ? "" : ",");
+}
+
+/// Flips one bit in every committed entry of \p Dir.
+size_t corruptEveryEntry(const std::string &Dir) {
+  size_t Damaged = 0;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir)) {
+    if (!E.is_regular_file() ||
+        E.path().extension() != store::VerificationStore::EntrySuffix)
+      continue;
+    std::string Bytes;
+    {
+      std::ifstream In(E.path(), std::ios::binary);
+      Bytes.assign(std::istreambuf_iterator<char>(In),
+                   std::istreambuf_iterator<char>());
+    }
+    if (Bytes.empty())
+      continue;
+    size_t Mid = Bytes.size() / 2;
+    Bytes[Mid] = static_cast<char>(Bytes[Mid] ^ 0x40);
+    std::ofstream Out(E.path(), std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    ++Damaged;
+  }
+  return Damaged;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *JsonPath = argc > 1 ? argv[1] : "BENCH_store.json";
+
+  std::string Template =
+      (fs::temp_directory_path() / "qcc-bench-store-XXXXXX").string();
+  std::vector<char> Buf(Template.begin(), Template.end());
+  Buf.push_back('\0');
+  if (!mkdtemp(Buf.data())) {
+    fprintf(stderr, "bench_store: cannot create scratch directory\n");
+    return 1;
+  }
+  std::string Root = Buf.data();
+  std::string StoreDir = (fs::path(Root) / "store").string();
+
+  printf("==== Persistent verification store (corpus of real jobs) "
+         "====\n\n");
+  std::vector<batch::BatchJob> Jobs = batch::corpusJobs();
+
+  Phase Cold{"cold-write"}, WarmSame{"warm-same-process"},
+      WarmCross{"warm-cross-process"}, Recovery{"corrupted-reload"};
+
+  store::StoreOptions SO;
+  SO.Dir = StoreDir;
+
+  // 1. Cold: empty store, everything verified fresh and written. One
+  // shot — a second cold rep would be warm.
+  {
+    auto Store = store::VerificationStore::open(SO);
+    if (!Store)
+      return 1;
+    runPhase(Jobs, *Store, Cold);
+    // 2. Warm through the same handle, best of Reps.
+    for (unsigned I = 0; I != Reps; ++I)
+      runPhase(Jobs, *Store, WarmSame);
+  }
+
+  // 3. Warm through a fresh handle per rep: the cross-process path
+  // (open-scan of every resident entry, then per-job flock + read).
+  for (unsigned I = 0; I != Reps; ++I) {
+    auto Store = store::VerificationStore::open(SO);
+    if (!Store)
+      return 1;
+    runPhase(Jobs, *Store, WarmCross);
+  }
+
+  // 4. Corrupt every entry; the next run must quarantine them all and
+  // fall back to fresh verification.
+  size_t Damaged = corruptEveryEntry(StoreDir);
+  {
+    auto Store = store::VerificationStore::open(SO);
+    if (!Store)
+      return 1;
+    runPhase(Jobs, *Store, Recovery);
+    Recovery.Quarantined = Store->stats().Quarantined;
+  }
+
+  printPhase(Cold, Jobs.size());
+  printPhase(WarmSame, Jobs.size());
+  printPhase(WarmCross, Jobs.size());
+  printPhase(Recovery, Jobs.size());
+
+  double Speedup = WarmCross.BestWallMicros
+                       ? static_cast<double>(Cold.BestWallMicros) /
+                             static_cast<double>(WarmCross.BestWallMicros)
+                       : 0.0;
+  printf("\nheadline: %.1fx cross-process warm speedup; %zu/%zu damaged "
+         "entries quarantined on reload\n",
+         Speedup, static_cast<size_t>(Recovery.Quarantined), Damaged);
+
+  bool Ok = Cold.AllOk && WarmSame.AllOk && WarmCross.AllOk &&
+            Recovery.AllOk && WarmSame.StoreHits == Jobs.size() &&
+            WarmCross.StoreHits == Jobs.size() &&
+            WarmSame.FreshProofNodes == 0 &&
+            WarmCross.FreshProofNodes == 0 &&
+            Recovery.Quarantined == Damaged;
+
+  if (FILE *J = fopen(JsonPath, "w")) {
+    fprintf(J,
+            "{\n"
+            "  \"bench\": \"store\",\n"
+            "  \"jobs\": %zu,\n"
+            "  \"reps\": %u,\n"
+            "  \"warm_cross_process_speedup\": %.2f,\n"
+            "  \"acceptance\": %s,\n"
+            "  \"phases\": [\n",
+            Jobs.size(), Reps, Speedup, Ok ? "true" : "false");
+    emitPhaseJson(J, Cold, false);
+    emitPhaseJson(J, WarmSame, false);
+    emitPhaseJson(J, WarmCross, false);
+    emitPhaseJson(J, Recovery, true);
+    fprintf(J, "  ]\n}\n");
+    fclose(J);
+    printf("wrote %s\n", JsonPath);
+  } else {
+    fprintf(stderr, "bench_store: cannot write %s\n", JsonPath);
+    return 1;
+  }
+
+  std::error_code EC;
+  fs::remove_all(Root, EC);
+  return Ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include "batch/ThreadPool.h"
 #include "batch/Watchdog.h"
 #include "programs/Corpus.h"
+#include "store/Serialize.h"
 #include "support/Hash.h"
 
 #include <algorithm>
@@ -27,21 +28,30 @@ using namespace qcc::batch;
 // Result cache
 //===----------------------------------------------------------------------===//
 
-std::shared_ptr<const ProgramResult> ResultCache::lookup(uint64_t Key) {
+std::shared_ptr<const ProgramResult> ResultCache::lookup(const JobKey &Key) {
   std::lock_guard<std::mutex> G(M);
-  auto It = Map.find(Key);
+  auto It = Map.find(Key.Primary);
   if (It == Map.end()) {
     ++Counters.Misses;
     return nullptr;
   }
+  if (It->second.Verify != Key.Verify) {
+    // The primary hash collided but the independent hash disagrees: two
+    // distinct inputs share a bucket. Serving the stored verdict here
+    // would attribute one program's result to another — the exact bug the
+    // verification hash exists to exclude. A miss re-verifies honestly.
+    ++Counters.Collisions;
+    ++Counters.Misses;
+    return nullptr;
+  }
   ++Counters.Hits;
-  return It->second;
+  return It->second.Result;
 }
 
-void ResultCache::insert(uint64_t Key,
+void ResultCache::insert(const JobKey &Key,
                          std::shared_ptr<const ProgramResult> Result) {
   std::lock_guard<std::mutex> G(M);
-  Map[Key] = std::move(Result);
+  Map[Key.Primary] = Entry{Key.Verify, std::move(Result)};
 }
 
 CacheStats ResultCache::stats() const {
@@ -71,8 +81,8 @@ const char *qcc::batch::jobStatusName(JobStatus S) {
   return "?";
 }
 
-uint64_t qcc::batch::jobKey(const BatchJob &J, bool CheckTheorem1) {
-  Fnv1a64 H;
+JobKey qcc::batch::jobKey(const BatchJob &J, bool CheckTheorem1) {
+  Hash128 H;
   H.str(J.Source);
   const driver::CompilerOptions &O = J.Options;
   H.u64(O.Defines.size());
@@ -94,7 +104,7 @@ uint64_t qcc::batch::jobKey(const BatchJob &J, bool CheckTheorem1) {
     for (const logic::Cmp &Fact : Spec.ResultFacts)
       H.str(Fact.str());
   }
-  return H.digest();
+  return JobKey{H.primary(), H.verify()};
 }
 
 //===----------------------------------------------------------------------===//
@@ -103,11 +113,12 @@ uint64_t qcc::batch::jobKey(const BatchJob &J, bool CheckTheorem1) {
 
 ProgramResult qcc::batch::verifyOne(const BatchJob &Job,
                                     bool CheckTheorem1) {
-  return verifyOne(Job, CheckTheorem1, nullptr);
+  return verifyOne(Job, CheckTheorem1, nullptr, false);
 }
 
 ProgramResult qcc::batch::verifyOne(const BatchJob &Job, bool CheckTheorem1,
-                                    Supervisor *Sup) {
+                                    Supervisor *Sup,
+                                    bool KeepProofArtifacts) {
   auto Start = std::chrono::steady_clock::now();
   ProgramResult R;
   R.Id = Job.Id;
@@ -132,6 +143,11 @@ ProgramResult qcc::batch::verifyOne(const BatchJob &Job, bool CheckTheorem1,
       R.Bounds.push_back(std::move(FR));
     }
     R.SkippedRecursive = C->Bounds.SkippedRecursive;
+    if (KeepProofArtifacts)
+      // Serialize while the Clight program (whose statements the
+      // derivations reference) is still alive; the blob outlives it.
+      R.ProofBlob =
+          store::encodeProofs(C->Bounds.Gamma, C->Bounds.Bounds, C->Clight);
 
     if (CheckTheorem1) {
       auto MainBound = driver::concreteCallBound(*C, "main");
@@ -188,6 +204,12 @@ bool BatchResult::allOk() const {
                      [](const ProgramResult &R) { return R.Ok; });
 }
 
+unsigned BatchResult::storeHits() const {
+  return static_cast<unsigned>(
+      std::count_if(Programs.begin(), Programs.end(),
+                    [](const ProgramResult &R) { return R.StoreHit; }));
+}
+
 unsigned BatchResult::countStatus(JobStatus S) const {
   return static_cast<unsigned>(
       std::count_if(Programs.begin(), Programs.end(),
@@ -212,49 +234,74 @@ int BatchResult::exitCode() const {
 
 namespace {
 
-/// The resume journal: "<status> <16-digit-hex jobKey>" lines, appended
-/// and flushed as each job reaches a definitive verdict, so a killed run
-/// loses at most the jobs that were still in flight. Budget-stopped jobs
-/// are never journaled — the rerun must attempt them again.
+/// The resume journal: "<status> <32-digit-hex jobKey>" lines (primary
+/// then verification hash, concatenated), appended and flushed as each
+/// job reaches a definitive verdict, so a killed run loses at most the
+/// jobs that were still in flight. Budget-stopped jobs are never
+/// journaled — the rerun must attempt them again. Legacy 16-hex lines
+/// (pre-collision-guard journals) are still read; they match on the
+/// primary hash alone.
 class Journal {
 public:
   explicit Journal(const std::string &Path) {
     std::ifstream In(Path);
     std::string Status, Hex;
     while (In >> Status >> Hex) {
-      uint64_t Key = std::strtoull(Hex.c_str(), nullptr, 16);
+      bool Ok;
       if (Status == "ok")
-        Done[Key] = true;
+        Ok = true;
       else if (Status == "failed")
-        Done[Key] = false;
-      // Unknown words: tolerated for forward compatibility.
+        Ok = false;
+      else
+        continue; // Unknown words: tolerated for forward compatibility.
+      if (Hex.size() != 16 && Hex.size() != 32)
+        continue;
+      uint64_t Primary =
+          std::strtoull(Hex.substr(0, 16).c_str(), nullptr, 16);
+      Entry E;
+      E.Ok = Ok;
+      if (Hex.size() == 32) {
+        E.Verify = std::strtoull(Hex.substr(16).c_str(), nullptr, 16);
+        E.HasVerify = true;
+      }
+      Done[Primary] = E;
     }
     In.close();
     Out.open(Path, std::ios::app);
   }
 
-  /// The recorded verdict for \p Key, if any (true = ok).
-  std::optional<bool> lookup(uint64_t Key) const {
-    auto It = Done.find(Key);
+  /// The recorded verdict for \p Key, if any (true = ok). An entry whose
+  /// verification hash disagrees is a primary-hash collision: ignored, so
+  /// the differing job re-verifies instead of replaying a foreign verdict.
+  std::optional<bool> lookup(const JobKey &Key) const {
+    auto It = Done.find(Key.Primary);
     if (It == Done.end())
       return std::nullopt;
-    return It->second;
+    if (It->second.HasVerify && It->second.Verify != Key.Verify)
+      return std::nullopt;
+    return It->second.Ok;
   }
 
   /// Appends and flushes one definitive verdict.
-  void record(uint64_t Key, bool Ok) {
-    char Line[32];
-    std::snprintf(Line, sizeof Line, " %016llx\n",
-                  static_cast<unsigned long long>(Key));
+  void record(const JobKey &Key, bool Ok) {
+    char Line[48];
+    std::snprintf(Line, sizeof Line, " %016llx%016llx\n",
+                  static_cast<unsigned long long>(Key.Primary),
+                  static_cast<unsigned long long>(Key.Verify));
     std::lock_guard<std::mutex> G(M);
     Out << (Ok ? "ok" : "failed") << Line;
     Out.flush();
   }
 
 private:
+  struct Entry {
+    uint64_t Verify = 0;
+    bool HasVerify = false;
+    bool Ok = false;
+  };
   std::mutex M;
   std::ofstream Out;
-  std::unordered_map<uint64_t, bool> Done;
+  std::unordered_map<uint64_t, Entry> Done;
 };
 
 } // namespace
@@ -283,7 +330,7 @@ BatchResult qcc::batch::runBatch(const std::vector<BatchJob> &Jobs,
   auto RunOne = [&](size_t I) {
     const BatchJob &J = Jobs[I];
     ProgramResult &Slot = Out.Programs[I];
-    uint64_t Key = jobKey(J, Options.CheckTheorem1);
+    JobKey Key = jobKey(J, Options.CheckTheorem1);
 
     if (Resume) {
       if (auto Recorded = Resume->lookup(Key)) {
@@ -314,6 +361,23 @@ BatchResult qcc::batch::runBatch(const std::vector<BatchJob> &Jobs,
     // Per-job supervisor, parented to the batch interrupt so one SIGINT
     // drains every in-flight job at its next poll point.
     Supervisor Sup(Options.Interrupt);
+
+    if (Options.Store) {
+      // Store I/O is charged against the same per-job memory budget the
+      // sinks and the proof checker charge; an entry too large for the
+      // budget degrades to a miss (Attempt resets the supervisor below).
+      if (Options.MemoryBudgetBytes)
+        Sup.setMemoryBudget(Options.MemoryBudgetBytes);
+      if (auto Hit = Options.Store->fetch(Key, J, &Sup)) {
+        Slot = *Hit;
+        Slot.Id = J.Id;
+        Slot.StoreHit = true;
+        if (Options.Cache)
+          Options.Cache->insert(Key, std::move(Hit));
+        return;
+      }
+    }
+
     auto Attempt = [&](uint64_t Fuel) {
       Sup.reset();
       if (Options.MemoryBudgetBytes)
@@ -324,7 +388,9 @@ BatchResult qcc::batch::runBatch(const std::vector<BatchJob> &Jobs,
       }
       BatchJob A = J;
       A.Options.ValidationFuel = Fuel;
-      ProgramResult R = verifyOne(A, Options.CheckTheorem1, &Sup);
+      ProgramResult R = verifyOne(A, Options.CheckTheorem1, &Sup,
+                                  /*KeepProofArtifacts=*/Options.Store !=
+                                      nullptr);
       if (Dog)
         Dog->unwatch(&Sup);
       return R;
@@ -350,8 +416,17 @@ BatchResult qcc::batch::runBatch(const std::vector<BatchJob> &Jobs,
         R.Status == JobStatus::Ok || R.Status == JobStatus::Failed;
     if (Resume && Definitive)
       Resume->record(Key, R.Ok);
-    if (Options.Cache && Definitive)
-      Options.Cache->insert(Key, std::make_shared<ProgramResult>(R));
+    if (Definitive && (Options.Cache || Options.Store)) {
+      auto Shared = std::make_shared<ProgramResult>(R);
+      if (Options.Cache)
+        Options.Cache->insert(Key, Shared);
+      if (Options.Store)
+        // Runs to completion even when the batch interrupt has fired:
+        // this job's verdict is already paid for, and the SIGINT drain
+        // contract is that every definitive in-flight result reaches the
+        // journal AND the store before the process exits.
+        Options.Store->put(Key, *Shared, &Sup);
+    }
     Slot = std::move(R);
   };
 
@@ -367,6 +442,10 @@ BatchResult qcc::batch::runBatch(const std::vector<BatchJob> &Jobs,
   Out.WallMicros =
       std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
           .count();
+  for (const ProgramResult &P : Out.Programs)
+    if (!P.CacheHit && !P.StoreHit &&
+        P.Status != JobStatus::SkippedFromJournal)
+      Out.FreshProofNodes += P.Metrics.ProofNodes;
   if (Options.Cache) {
     CacheStats After = Options.Cache->stats();
     Out.Cache.Hits = After.Hits - Before.Hits;
@@ -465,7 +544,12 @@ std::string qcc::batch::metricsJson(const BatchResult &R,
     Out += std::to_string(R.WallMicros) + ",";
     jsonKey("cache", Out);
     Out += "{\"hits\":" + std::to_string(R.Cache.Hits) +
-           ",\"misses\":" + std::to_string(R.Cache.Misses) + "},";
+           ",\"misses\":" + std::to_string(R.Cache.Misses) +
+           ",\"collisions\":" + std::to_string(R.Cache.Collisions) + "},";
+    jsonKey("store_hits", Out);
+    Out += std::to_string(R.storeHits()) + ",";
+    jsonKey("fresh_proof_nodes", Out);
+    Out += std::to_string(R.FreshProofNodes) + ",";
   }
   jsonKey("programs", Out);
   Out += '[';
@@ -486,6 +570,8 @@ std::string qcc::batch::metricsJson(const BatchResult &R,
     if (Timings) {
       Out += ",\"cache_hit\":";
       Out += P.CacheHit ? "true" : "false";
+      Out += ",\"store_hit\":";
+      Out += P.StoreHit ? "true" : "false";
     }
     Out += ",\"diagnostics\":";
     jsonStr(P.Diagnostics, Out);

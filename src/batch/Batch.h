@@ -83,7 +83,8 @@ struct ProgramResult {
   std::string Id;
   bool Ok = false;       ///< Compiled, validated, and (when checked)
                          ///< survived Theorem 1.
-  bool CacheHit = false; ///< Served from the result cache.
+  bool CacheHit = false; ///< Served from the in-memory result cache.
+  bool StoreHit = false; ///< Served from the persistent on-disk store.
   std::string Diagnostics;
   std::vector<FunctionReport> Bounds; ///< Sorted by function name.
   std::vector<std::string> SkippedRecursive;
@@ -102,36 +103,87 @@ struct ProgramResult {
   /// Attempts beyond the first (bounded by BatchOptions::Retries).
   uint32_t Retries = 0;
   ProgramMetrics Metrics;
+  /// The proof artifacts behind this verdict in stable external form
+  /// (store/Serialize.h: the function context plus every automatically
+  /// derived, checker-validated derivation, statements as preorder
+  /// indices). Filled only when the caller asked verifyOne to keep
+  /// proofs — the persistent store serializes it verbatim, and
+  /// `--store-verify` re-checks it on load. Empty otherwise.
+  std::string ProofBlob;
 };
 
 /// Cache counters for one batch run (or one cache lifetime).
 struct CacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  /// Lookups whose primary (bucket) hash matched but whose independent
+  /// verification hash did not: a genuine 64-bit collision, served as a
+  /// miss instead of the wrong program's verdict.
+  uint64_t Collisions = 0;
 };
 
-/// A thread-safe content-addressed result cache. Keys are FNV-1a hashes
-/// of (source, options, check-mode) — see jobKey — so a source edit, a
-/// -D change, or an option change all miss, and a poisoned hit is
-/// impossible without a 64-bit hash collision.
+/// The content key of one job: two independent 64-bit digests over the
+/// same material. Primary is the bucket key (FNV-1a, the PR 1 key,
+/// unchanged so journals stay comparable); Verify is an unrelated second
+/// hash checked on every cache or store hit, so a collision in one
+/// function alone can no longer serve the cached verdict for the wrong
+/// source (it surfaces as a miss and a CacheStats::Collisions tick).
+struct JobKey {
+  uint64_t Primary = 0;
+  uint64_t Verify = 0;
+
+  bool operator==(const JobKey &O) const {
+    return Primary == O.Primary && Verify == O.Verify;
+  }
+  bool operator!=(const JobKey &O) const { return !(*this == O); }
+};
+
+/// A thread-safe content-addressed result cache. Keyed by JobKey —
+/// bucketed on the primary hash, guarded by the verification hash — over
+/// (source, options, check-mode); see jobKey. A source edit, a -D change,
+/// or an option change all miss.
 class ResultCache {
 public:
-  std::shared_ptr<const ProgramResult> lookup(uint64_t Key);
-  void insert(uint64_t Key, std::shared_ptr<const ProgramResult> Result);
+  std::shared_ptr<const ProgramResult> lookup(const JobKey &Key);
+  void insert(const JobKey &Key, std::shared_ptr<const ProgramResult> Result);
   CacheStats stats() const;
   size_t size() const;
   void clear();
 
 private:
+  struct Entry {
+    uint64_t Verify;
+    std::shared_ptr<const ProgramResult> Result;
+  };
   mutable std::mutex M;
-  std::unordered_map<uint64_t, std::shared_ptr<const ProgramResult>> Map;
+  std::unordered_map<uint64_t, Entry> Map;
   CacheStats Counters;
+};
+
+/// The persistent result store the batch engine consults after the
+/// in-memory cache: an abstract interface so the engine stays ignorant of
+/// the on-disk format (store/Store.h implements it with a crash-safe,
+/// content-addressed directory). Both calls must be thread-safe; \p Sup,
+/// when non-null, is charged for the I/O bytes against its memory budget
+/// (a budget-tripped fetch degrades to a miss; a put always completes —
+/// the SIGINT drain relies on in-flight writes flushing).
+class ResultStore {
+public:
+  virtual ~ResultStore() = default;
+  /// Returns the stored result for (\p Key, \p Job), or null on miss,
+  /// corruption (quarantined internally), or failed proof re-check.
+  virtual std::shared_ptr<const ProgramResult>
+  fetch(const JobKey &Key, const BatchJob &Job, Supervisor *Sup) = 0;
+  /// Persists a definitive result. Never throws; failures are counted,
+  /// not fatal (the store is an accelerator, not a dependency).
+  virtual void put(const JobKey &Key, const ProgramResult &Result,
+                   Supervisor *Sup) = 0;
 };
 
 /// The cache key of \p J: a content hash covering the full source text,
 /// every -D define, every compilation flag, the validation fuel, the
 /// seeded specifications, and whether Theorem 1 is checked.
-uint64_t jobKey(const BatchJob &J, bool CheckTheorem1);
+JobKey jobKey(const BatchJob &J, bool CheckTheorem1);
 
 /// Engine configuration.
 struct BatchOptions {
@@ -143,6 +195,12 @@ struct BatchOptions {
   /// Budget-stopped results are never cached: a later attempt with more
   /// budget must get a fresh run.
   ResultCache *Cache = nullptr;
+  /// Optional persistent store (caller-owned), consulted after the
+  /// in-memory cache and fed on every definitive fresh verdict. A store
+  /// hit also populates the in-memory cache, so same-run duplicates stay
+  /// memory-fast. When set, verifyOne keeps proof artifacts so they can
+  /// be persisted alongside the verdict.
+  ResultStore *Store = nullptr;
   /// Per-job wall-clock deadline in milliseconds (0 = none). Enforced by
   /// a Watchdog thread; a job past its deadline stops at its next poll.
   uint64_t DeadlineMillis = 0;
@@ -169,8 +227,16 @@ struct BatchResult {
   CacheStats Cache; ///< Hits/misses attributable to this run.
   uint64_t WallMicros = 0;
   unsigned Jobs = 1; ///< Worker threads actually used.
+  /// Proof-checker nodes validated by *fresh* verification work in this
+  /// run — cache hits, store hits, and journal skips contribute nothing.
+  /// The warm/cold acceptance criterion: a fully warm store rerun
+  /// reports identical per-program metrics but zero fresh proof nodes.
+  uint64_t FreshProofNodes = 0;
 
   bool allOk() const;
+
+  /// Jobs served from the persistent store.
+  unsigned storeHits() const;
 
   /// Jobs whose final status is \p S.
   unsigned countStatus(JobStatus S) const;
@@ -191,9 +257,11 @@ ProgramResult verifyOne(const BatchJob &Job, bool CheckTheorem1 = true);
 /// Supervised variant: the compilation, validation runs, analysis and
 /// Theorem-1 execution all poll \p Sup (which may be null). A stopped job
 /// comes back with Status Quarantined/Cancelled and the StopCause — never
-/// with a verdict.
+/// with a verdict. With \p KeepProofArtifacts, a successful job carries
+/// its checked derivations in external form (ProgramResult::ProofBlob)
+/// for the persistent store to write.
 ProgramResult verifyOne(const BatchJob &Job, bool CheckTheorem1,
-                        Supervisor *Sup);
+                        Supervisor *Sup, bool KeepProofArtifacts = false);
 
 /// Runs every job, fanning out across \p Options.Jobs workers.
 BatchResult runBatch(const std::vector<BatchJob> &Jobs,

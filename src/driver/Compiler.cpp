@@ -101,6 +101,12 @@ std::optional<Compilation> qcc::driver::compile(const std::string &Source,
   return compile(Source, Diags, std::move(Options), nullptr);
 }
 
+std::optional<clight::Program>
+qcc::driver::parseOnly(const std::string &Source, DiagnosticEngine &Diags,
+                       const CompilerOptions &Options) {
+  return frontend::parseProgram(Source, Diags, Options.Defines);
+}
+
 std::optional<Compilation> qcc::driver::compile(const std::string &Source,
                                                 DiagnosticEngine &Diags,
                                                 CompilerOptions Options,

@@ -138,6 +138,16 @@ std::optional<Compilation> compile(const std::string &Source,
                                    CompilerOptions Options,
                                    PassStats *Stats);
 
+/// Parses \p Source exactly as a full compilation would (frontend plus
+/// \p Options.Defines), with no lowering, validation, or analysis. The
+/// persistent store's `--store-verify` re-check uses it to re-attach
+/// loaded derivations: re-parsing under the same options discipline
+/// guarantees the statement preorder indices in a stored proof blob
+/// resolve against the same Clight tree the analyzer derived them on.
+std::optional<clight::Program> parseOnly(const std::string &Source,
+                                         DiagnosticEngine &Diags,
+                                         const CompilerOptions &Options = {});
+
 /// The concrete verified bound, in bytes, for calling \p Function —
 /// symbolic call bound instantiated with the compilation's metric and
 /// \p Args (values for the function's parameters, needed by parametric

@@ -1,0 +1,444 @@
+//===- store/Serialize.cpp - Stable external form for proofs --------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/Serialize.h"
+
+using namespace qcc;
+using namespace qcc::store;
+using namespace qcc::logic;
+
+//===----------------------------------------------------------------------===//
+// Integer terms
+//===----------------------------------------------------------------------===//
+
+// Every tree node is written kind-first; absent subtrees are a 0 presence
+// byte so the reader never guesses a field's meaning from context.
+namespace {
+
+void writeOptTerm(ByteWriter &W, const IntTerm &T) {
+  W.boolean(T != nullptr);
+  if (T)
+    writeIntTerm(W, T);
+}
+
+bool readOptTerm(ByteReader &R, IntTerm &T, unsigned Depth) {
+  bool Present;
+  if (!R.boolean(Present))
+    return false;
+  if (!Present) {
+    T = nullptr;
+    return true;
+  }
+  return readIntTerm(R, T, Depth);
+}
+
+} // namespace
+
+void qcc::store::writeIntTerm(ByteWriter &W, const IntTerm &T) {
+  W.u8(static_cast<uint8_t>(T->K));
+  W.i64(T->Value);
+  W.str(T->Name);
+  W.u8(static_cast<uint8_t>(T->Sign));
+  writeOptTerm(W, T->Lhs);
+  writeOptTerm(W, T->Rhs);
+}
+
+bool qcc::store::readIntTerm(ByteReader &R, IntTerm &T, unsigned Depth) {
+  if (Depth > MaxDecodeDepth)
+    return R.fail();
+  uint8_t Kind, Sign;
+  int64_t Value;
+  std::string Name;
+  if (!R.u8(Kind) || Kind > static_cast<uint8_t>(IntTermNode::Kind::DivC))
+    return R.fail();
+  if (!R.i64(Value) || !R.str(Name) || !R.u8(Sign) || Sign > 1)
+    return R.fail();
+  IntTerm Lhs, Rhs;
+  if (!readOptTerm(R, Lhs, Depth + 1) || !readOptTerm(R, Rhs, Depth + 1))
+    return false;
+  auto N = std::make_shared<IntTermNode>();
+  N->K = static_cast<IntTermNode::Kind>(Kind);
+  N->Value = Value;
+  N->Name = std::move(Name);
+  N->Sign = static_cast<VarSign>(Sign);
+  N->Lhs = std::move(Lhs);
+  N->Rhs = std::move(Rhs);
+  // Structural obligations per kind: a decoded term must be evaluable,
+  // not merely parseable.
+  switch (N->K) {
+  case IntTermNode::Kind::Const:
+  case IntTermNode::Kind::Var:
+    if (N->Lhs || N->Rhs)
+      return R.fail();
+    break;
+  case IntTermNode::Kind::Add:
+  case IntTermNode::Kind::Sub:
+  case IntTermNode::Kind::Mul:
+    if (!N->Lhs || !N->Rhs)
+      return R.fail();
+    break;
+  case IntTermNode::Kind::DivC:
+    if (!N->Lhs || N->Rhs)
+      return R.fail();
+    break;
+  }
+  T = std::move(N);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Comparisons
+//===----------------------------------------------------------------------===//
+
+void qcc::store::writeCmp(ByteWriter &W, const Cmp &C) {
+  writeIntTerm(W, C.Lhs);
+  W.u8(static_cast<uint8_t>(C.Rel));
+  writeIntTerm(W, C.Rhs);
+}
+
+bool qcc::store::readCmp(ByteReader &R, Cmp &C) {
+  uint8_t Rel;
+  if (!readIntTerm(R, C.Lhs))
+    return false;
+  if (!R.u8(Rel) || Rel > static_cast<uint8_t>(CmpRel::Ne))
+    return R.fail();
+  C.Rel = static_cast<CmpRel>(Rel);
+  return readIntTerm(R, C.Rhs);
+}
+
+//===----------------------------------------------------------------------===//
+// Bound expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeOptBound(ByteWriter &W, const BoundExpr &B) {
+  W.boolean(B != nullptr);
+  if (B)
+    writeBound(W, B);
+}
+
+bool readOptBound(ByteReader &R, BoundExpr &B, unsigned Depth) {
+  bool Present;
+  if (!R.boolean(Present))
+    return false;
+  if (!Present) {
+    B = nullptr;
+    return true;
+  }
+  return readBound(R, B, Depth);
+}
+
+} // namespace
+
+void qcc::store::writeBound(ByteWriter &W, const BoundExpr &B) {
+  W.u8(static_cast<uint8_t>(B->K));
+  W.boolean(B->Value.isInfinite());
+  W.u64(B->Value.isInfinite() ? 0 : B->Value.finiteValue());
+  W.str(B->Func);
+  W.u64(B->Factor);
+  writeOptTerm(W, B->Term);
+  W.boolean(B->Condition.has_value());
+  if (B->Condition)
+    writeCmp(W, *B->Condition);
+  writeOptBound(W, B->Lhs);
+  writeOptBound(W, B->Rhs);
+}
+
+bool qcc::store::readBound(ByteReader &R, BoundExpr &B, unsigned Depth) {
+  if (Depth > MaxDecodeDepth)
+    return R.fail();
+  uint8_t Kind;
+  if (!R.u8(Kind) || Kind > static_cast<uint8_t>(BoundExprNode::Kind::Ite))
+    return R.fail();
+  bool Inf;
+  uint64_t Value, Factor;
+  std::string Func;
+  if (!R.boolean(Inf) || !R.u64(Value) || !R.str(Func) || !R.u64(Factor))
+    return false;
+  IntTerm Term;
+  if (!readOptTerm(R, Term, Depth + 1))
+    return false;
+  bool HasCond;
+  std::optional<Cmp> Condition;
+  if (!R.boolean(HasCond))
+    return false;
+  if (HasCond) {
+    Cmp C;
+    if (!readCmp(R, C))
+      return false;
+    Condition = std::move(C);
+  }
+  BoundExpr Lhs, Rhs;
+  if (!readOptBound(R, Lhs, Depth + 1) || !readOptBound(R, Rhs, Depth + 1))
+    return false;
+
+  auto N = std::make_shared<BoundExprNode>();
+  N->K = static_cast<BoundExprNode::Kind>(Kind);
+  N->Value = Inf ? ExtNat::infinity() : ExtNat(Value);
+  N->Func = std::move(Func);
+  N->Factor = Factor;
+  N->Term = std::move(Term);
+  N->Condition = std::move(Condition);
+  N->Lhs = std::move(Lhs);
+  N->Rhs = std::move(Rhs);
+
+  // Field obligations per kind, mirroring what evalBound dereferences, so
+  // a corrupt blob can never decode into an expression that crashes the
+  // evaluator or the entailment engine.
+  using K = BoundExprNode::Kind;
+  auto Need = [&](bool Lhs_, bool Rhs_, bool Term_, bool Cond_) {
+    return (N->Lhs != nullptr) == Lhs_ && (N->Rhs != nullptr) == Rhs_ &&
+           (N->Term != nullptr) == Term_ && N->Condition.has_value() == Cond_;
+  };
+  bool Shape = false;
+  switch (N->K) {
+  case K::Const:
+    Shape = Need(false, false, false, false);
+    break;
+  case K::MetricVar:
+    Shape = Need(false, false, false, false) && !N->Func.empty();
+    break;
+  case K::Add:
+  case K::Max:
+  case K::Mul:
+    Shape = Need(true, true, false, false);
+    break;
+  case K::Scale:
+    Shape = Need(true, false, false, false);
+    break;
+  case K::Log2W:
+  case K::Log2C:
+  case K::NatTerm:
+    Shape = Need(false, false, true, false);
+    break;
+  case K::Guard:
+    Shape = Need(true, false, false, true);
+    break;
+  case K::Ite:
+    Shape = Need(true, true, false, true);
+    break;
+  }
+  if (!Shape)
+    return R.fail();
+  B = std::move(N);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Specifications and contexts
+//===----------------------------------------------------------------------===//
+
+void qcc::store::writeSpec(ByteWriter &W, const FunctionSpec &S) {
+  writeBound(W, S.Pre);
+  writeBound(W, S.Post);
+  W.u64(S.ResultFacts.size());
+  for (const Cmp &C : S.ResultFacts)
+    writeCmp(W, C);
+}
+
+bool qcc::store::readSpec(ByteReader &R, FunctionSpec &S) {
+  if (!readBound(R, S.Pre) || !readBound(R, S.Post))
+    return false;
+  uint64_t Count;
+  if (!R.u64(Count) || Count > R.remaining())
+    return R.fail();
+  S.ResultFacts.clear();
+  S.ResultFacts.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    Cmp C;
+    if (!readCmp(R, C))
+      return false;
+    S.ResultFacts.push_back(std::move(C));
+  }
+  return true;
+}
+
+void qcc::store::writeContext(ByteWriter &W, const FunctionContext &Gamma) {
+  W.u64(Gamma.size());
+  for (const auto &[Name, Spec] : Gamma) { // std::map: sorted, stable.
+    W.str(Name);
+    writeSpec(W, Spec);
+  }
+}
+
+bool qcc::store::readContext(ByteReader &R, FunctionContext &Gamma) {
+  uint64_t Count;
+  if (!R.u64(Count) || Count > R.remaining())
+    return R.fail();
+  Gamma.clear();
+  for (uint64_t I = 0; I != Count; ++I) {
+    std::string Name;
+    FunctionSpec Spec;
+    if (!R.str(Name) || !readSpec(R, Spec))
+      return false;
+    Gamma.emplace(std::move(Name), std::move(Spec));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Derivations
+//===----------------------------------------------------------------------===//
+
+std::vector<const clight::Stmt *>
+qcc::store::preorderStatements(const clight::Stmt *Root) {
+  std::vector<const clight::Stmt *> Out;
+  std::vector<const clight::Stmt *> Stack;
+  if (Root)
+    Stack.push_back(Root);
+  while (!Stack.empty()) {
+    const clight::Stmt *S = Stack.back();
+    Stack.pop_back();
+    Out.push_back(S);
+    // Push Second first so First is visited first (preorder).
+    if (S->Second)
+      Stack.push_back(S->Second.get());
+    if (S->First)
+      Stack.push_back(S->First.get());
+  }
+  return Out;
+}
+
+namespace {
+/// Statement index of a node proving no statement (Conseq wrappers built
+/// before attachment never occur in checked derivations, but the format
+/// keeps the possibility representable).
+constexpr uint32_t NoStmt = 0xffffffffu;
+} // namespace
+
+bool qcc::store::writeDerivation(
+    ByteWriter &W, const Derivation &D,
+    const std::map<const clight::Stmt *, uint32_t> &Index) {
+  W.u8(static_cast<uint8_t>(D.R));
+  uint32_t StmtIdx = NoStmt;
+  if (D.S) {
+    auto It = Index.find(D.S);
+    if (It == Index.end())
+      return false; // Proves a statement outside its function's body.
+    StmtIdx = It->second;
+  }
+  W.u32(StmtIdx);
+  writeBound(W, D.Pre);
+  writeBound(W, D.Post.OnSkip);
+  writeBound(W, D.Post.OnBreak);
+  writeBound(W, D.Post.OnReturn);
+  W.boolean(D.FrameAmount != nullptr);
+  if (D.FrameAmount)
+    writeBound(W, D.FrameAmount);
+  W.boolean(D.SupHint != nullptr);
+  if (D.SupHint)
+    writeBound(W, D.SupHint);
+  W.u64(D.Children.size());
+  for (const DerivationPtr &C : D.Children) {
+    if (!C || !writeDerivation(W, *C, Index))
+      return false;
+  }
+  return true;
+}
+
+bool qcc::store::readDerivation(ByteReader &R, DerivationPtr &D,
+                                const std::vector<const clight::Stmt *> *Stmts,
+                                unsigned Depth) {
+  if (Depth > MaxDecodeDepth)
+    return R.fail();
+  uint8_t Rule;
+  uint32_t StmtIdx;
+  if (!R.u8(Rule) || Rule > static_cast<uint8_t>(logic::Rule::Conseq))
+    return R.fail();
+  if (!R.u32(StmtIdx))
+    return false;
+  auto Node = std::make_unique<Derivation>();
+  Node->R = static_cast<logic::Rule>(Rule);
+  if (Stmts && StmtIdx != NoStmt) {
+    if (StmtIdx >= Stmts->size())
+      return R.fail();
+    Node->S = (*Stmts)[StmtIdx];
+  }
+  if (!readBound(R, Node->Pre, Depth + 1) ||
+      !readBound(R, Node->Post.OnSkip, Depth + 1) ||
+      !readBound(R, Node->Post.OnBreak, Depth + 1) ||
+      !readBound(R, Node->Post.OnReturn, Depth + 1))
+    return false;
+  bool Present;
+  if (!R.boolean(Present))
+    return false;
+  if (Present && !readBound(R, Node->FrameAmount, Depth + 1))
+    return false;
+  if (!R.boolean(Present))
+    return false;
+  if (Present && !readBound(R, Node->SupHint, Depth + 1))
+    return false;
+  uint64_t Children;
+  // Each serialized child occupies well over one byte; a count exceeding
+  // the bytes left is corruption, rejected before any allocation.
+  if (!R.u64(Children) || Children > R.remaining())
+    return R.fail();
+  Node->Children.reserve(static_cast<size_t>(Children));
+  for (uint64_t I = 0; I != Children; ++I) {
+    DerivationPtr C;
+    if (!readDerivation(R, C, Stmts, Depth + 1))
+      return false;
+    Node->Children.push_back(std::move(C));
+  }
+  D = std::move(Node);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Proof artifacts
+//===----------------------------------------------------------------------===//
+
+std::string qcc::store::encodeProofs(
+    const FunctionContext &Gamma,
+    const std::map<std::string, FunctionBound> &Bounds,
+    const clight::Program &P) {
+  ByteWriter W;
+  writeContext(W, Gamma);
+  W.u64(Bounds.size());
+  for (const auto &[Name, FB] : Bounds) {
+    W.str(Name);
+    writeSpec(W, FB.Spec);
+    const clight::Function *F = P.findFunction(FB.Function);
+    std::map<const clight::Stmt *, uint32_t> Index;
+    if (F) {
+      std::vector<const clight::Stmt *> Stmts =
+          preorderStatements(F->Body.get());
+      for (size_t I = 0; I != Stmts.size(); ++I)
+        Index.emplace(Stmts[I], static_cast<uint32_t>(I));
+    }
+    if (!FB.Body || !writeDerivation(W, *FB.Body, Index))
+      return {}; // Unindexable proof: persist nothing, not half a proof.
+  }
+  return W.take();
+}
+
+bool qcc::store::decodeProofs(const std::string &Blob,
+                              const clight::Program *P, ProofArtifacts &Out) {
+  ByteReader R(Blob);
+  if (!readContext(R, Out.Gamma))
+    return false;
+  uint64_t Count;
+  if (!R.u64(Count) || Count > R.remaining())
+    return false;
+  Out.Bounds.clear();
+  for (uint64_t I = 0; I != Count; ++I) {
+    FunctionBound FB;
+    if (!R.str(FB.Function) || !readSpec(R, FB.Spec))
+      return false;
+    std::vector<const clight::Stmt *> Stmts;
+    const clight::Function *F = P ? P->findFunction(FB.Function) : nullptr;
+    if (P && !F)
+      return false; // Blob names a function the program does not have.
+    if (F)
+      Stmts = preorderStatements(F->Body.get());
+    if (!readDerivation(R, FB.Body, F ? &Stmts : nullptr))
+      return false;
+    Out.Bounds.push_back(std::move(FB));
+  }
+  return R.done(); // Trailing bytes are corruption, not padding.
+}

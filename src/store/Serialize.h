@@ -1,0 +1,221 @@
+//===- store/Serialize.h - Stable external form for proofs ------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary external form of the verification artifacts the persistent
+/// store holds: integer terms, bound expressions, function specifications,
+/// and full quantitative-Hoare derivations. This is the format layer the
+/// `qccd` daemon will ship proof objects over; it has three obligations:
+///
+///   * **Stability.** Encoding is a pure, deterministic function of the
+///     value (std::map iteration orders keys; no pointers, no timestamps),
+///     so the golden fixtures under tests/store-corpus/ pin every byte and
+///     a format change is a deliberate version bump, never an accident.
+///   * **Totality on hostile input.** ByteReader never reads past its
+///     buffer, recursive decoders carry an explicit depth limit, and
+///     element counts are sanity-checked against the bytes remaining, so
+///     a truncated or bit-flipped entry decodes to `false` — not a crash,
+///     not an over-read, and never a plausible-but-wrong value undetected
+///     (the store's checksum catches those first).
+///   * **Re-checkability.** Derivation nodes reference their statements by
+///     preorder index into the owning function's body, so a loaded
+///     derivation can be re-attached to a freshly parsed Clight program
+///     and re-validated by the ProofChecker (`--store-verify`): the store
+///     is trusted for speed, re-verifiable for certainty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_STORE_SERIALIZE_H
+#define QCC_STORE_SERIALIZE_H
+
+#include "clight/Clight.h"
+#include "logic/Logic.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace store {
+
+//===----------------------------------------------------------------------===//
+// Byte-level primitives
+//===----------------------------------------------------------------------===//
+
+/// Append-only little-endian byte sink. All multi-byte values are
+/// fixed-width so the format is architecture-independent.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void boolean(bool B) { u8(B ? 1 : 0); }
+  /// Length-prefixed raw bytes.
+  void str(const std::string &S) {
+    u64(S.size());
+    Buf.append(S);
+  }
+
+  const std::string &bytes() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+
+private:
+  std::string Buf;
+};
+
+/// Bounds-checked reader over one immutable buffer. Every accessor
+/// returns false (and poisons the reader) instead of reading past the
+/// end; decoding code can therefore chain reads and test once.
+class ByteReader {
+public:
+  ByteReader(const void *Data, size_t Size)
+      : P(static_cast<const unsigned char *>(Data)), N(Size) {}
+  explicit ByteReader(const std::string &S) : ByteReader(S.data(), S.size()) {}
+
+  bool u8(uint8_t &V) {
+    if (Bad || Pos + 1 > N)
+      return fail();
+    V = P[Pos++];
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Bad || Pos + 4 > N)
+      return fail();
+    V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(P[Pos++]) << (8 * I);
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Bad || Pos + 8 > N)
+      return fail();
+    V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(P[Pos++]) << (8 * I);
+    return true;
+  }
+  bool i64(int64_t &V) {
+    uint64_t U;
+    if (!u64(U))
+      return false;
+    V = static_cast<int64_t>(U);
+    return true;
+  }
+  bool boolean(bool &B) {
+    uint8_t V;
+    if (!u8(V) || V > 1)
+      return fail();
+    B = V == 1;
+    return true;
+  }
+  bool str(std::string &S) {
+    uint64_t Len;
+    if (!u64(Len) || Len > remaining())
+      return fail();
+    S.assign(reinterpret_cast<const char *>(P + Pos),
+             static_cast<size_t>(Len));
+    Pos += static_cast<size_t>(Len);
+    return true;
+  }
+
+  size_t remaining() const { return Bad ? 0 : N - Pos; }
+  bool done() const { return !Bad && Pos == N; }
+  bool ok() const { return !Bad; }
+  bool fail() {
+    Bad = true;
+    return false;
+  }
+
+private:
+  const unsigned char *P;
+  size_t N;
+  size_t Pos = 0;
+  bool Bad = false;
+};
+
+/// Decoder recursion ceiling: no well-formed corpus artifact comes close,
+/// and a corrupt count cannot drive the reader into unbounded recursion.
+constexpr unsigned MaxDecodeDepth = 4096;
+
+//===----------------------------------------------------------------------===//
+// Logic records (terms, bounds, specs, contexts)
+//===----------------------------------------------------------------------===//
+
+void writeIntTerm(ByteWriter &W, const logic::IntTerm &T);
+bool readIntTerm(ByteReader &R, logic::IntTerm &T, unsigned Depth = 0);
+
+void writeCmp(ByteWriter &W, const logic::Cmp &C);
+bool readCmp(ByteReader &R, logic::Cmp &C);
+
+void writeBound(ByteWriter &W, const logic::BoundExpr &B);
+bool readBound(ByteReader &R, logic::BoundExpr &B, unsigned Depth = 0);
+
+void writeSpec(ByteWriter &W, const logic::FunctionSpec &S);
+bool readSpec(ByteReader &R, logic::FunctionSpec &S);
+
+void writeContext(ByteWriter &W, const logic::FunctionContext &Gamma);
+bool readContext(ByteReader &R, logic::FunctionContext &Gamma);
+
+//===----------------------------------------------------------------------===//
+// Derivations
+//===----------------------------------------------------------------------===//
+
+/// The preorder statement walk (node, First, Second) that defines the
+/// statement indices derivations are serialized with. Deterministic and
+/// reproducible from the parsed source alone.
+std::vector<const clight::Stmt *> preorderStatements(const clight::Stmt *Root);
+
+/// Serializes \p D; statements become preorder indices via \p Index (a
+/// node proving a statement outside the map is rejected — derivations
+/// only ever prove statements of their function's body).
+bool writeDerivation(ByteWriter &W, const logic::Derivation &D,
+                     const std::map<const clight::Stmt *, uint32_t> &Index);
+
+/// Decodes a derivation. When \p Stmts is non-null, statement indices are
+/// re-attached against it (out-of-range indices reject); when null, the
+/// nodes keep null statements — loadable for transport, not checkable.
+bool readDerivation(ByteReader &R, logic::DerivationPtr &D,
+                    const std::vector<const clight::Stmt *> *Stmts,
+                    unsigned Depth = 0);
+
+//===----------------------------------------------------------------------===//
+// Proof artifacts: everything the analyzer proved for one program
+//===----------------------------------------------------------------------===//
+
+/// The deserialized form of a program's proof section: the function
+/// context (seeded specs included) and each automatically derived,
+/// checker-validated bound.
+struct ProofArtifacts {
+  logic::FunctionContext Gamma;
+  std::vector<logic::FunctionBound> Bounds; ///< Sorted by function name.
+};
+
+/// Encodes \p Gamma and \p Bounds in external form. \p P provides the
+/// statement indexing; a derivation node whose statement is not part of
+/// its function's body makes the whole blob empty (nothing is persisted
+/// rather than something unverifiable).
+std::string encodeProofs(const logic::FunctionContext &Gamma,
+                         const std::map<std::string, logic::FunctionBound> &Bounds,
+                         const clight::Program &P);
+
+/// Decodes a proof blob. With a program, derivation statements are
+/// re-attached (ready for ProofChecker); without, they stay null.
+bool decodeProofs(const std::string &Blob, const clight::Program *P,
+                  ProofArtifacts &Out);
+
+} // namespace store
+} // namespace qcc
+
+#endif // QCC_STORE_SERIALIZE_H

@@ -1,0 +1,586 @@
+//===- store/Store.cpp - Persistent content-addressed result store -------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/Store.h"
+
+#include "driver/Compiler.h"
+#include "logic/Checker.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace qcc {
+namespace store {
+
+//===----------------------------------------------------------------------===//
+// The ProgramResult record
+//===----------------------------------------------------------------------===//
+
+void writeResult(ByteWriter &W, const batch::ProgramResult &R) {
+  W.str(R.Id);
+  W.boolean(R.Ok);
+  W.boolean(R.CacheHit);
+  W.boolean(R.StoreHit);
+  W.str(R.Diagnostics);
+  W.u64(R.Bounds.size());
+  for (const batch::FunctionReport &F : R.Bounds) {
+    W.str(F.Function);
+    W.str(F.SymbolicBound);
+    W.boolean(F.ConcreteBytes.has_value());
+    if (F.ConcreteBytes)
+      W.u64(*F.ConcreteBytes);
+  }
+  W.u64(R.SkippedRecursive.size());
+  for (const std::string &S : R.SkippedRecursive)
+    W.str(S);
+  W.boolean(R.Theorem1Checked);
+  W.boolean(R.Theorem1Ok);
+  W.u32(R.Theorem1StackBytes);
+  W.u8(static_cast<uint8_t>(R.Status));
+  W.u8(static_cast<uint8_t>(R.Stop));
+  W.u32(R.Retries);
+  W.u64(R.Metrics.PassMicros.size());
+  for (const auto &P : R.Metrics.PassMicros) {
+    W.str(P.first);
+    W.u64(P.second);
+  }
+  W.u64(R.Metrics.ReplayedEvents.size());
+  for (const auto &P : R.Metrics.ReplayedEvents) {
+    W.str(P.first);
+    W.u64(P.second);
+  }
+  W.u64(R.Metrics.ProofNodes);
+  W.u64(R.Metrics.TotalMicros);
+  W.str(R.ProofBlob);
+}
+
+bool readResult(ByteReader &R, batch::ProgramResult &Out) {
+  Out = batch::ProgramResult();
+  if (!R.str(Out.Id) || !R.boolean(Out.Ok) || !R.boolean(Out.CacheHit) ||
+      !R.boolean(Out.StoreHit) || !R.str(Out.Diagnostics))
+    return false;
+  uint64_t N;
+  if (!R.u64(N) || N > R.remaining())
+    return false;
+  Out.Bounds.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I != N; ++I) {
+    batch::FunctionReport F;
+    bool HasConcrete;
+    if (!R.str(F.Function) || !R.str(F.SymbolicBound) ||
+        !R.boolean(HasConcrete))
+      return false;
+    if (HasConcrete) {
+      uint64_t Bytes;
+      if (!R.u64(Bytes))
+        return false;
+      F.ConcreteBytes = Bytes;
+    }
+    Out.Bounds.push_back(std::move(F));
+  }
+  if (!R.u64(N) || N > R.remaining())
+    return false;
+  Out.SkippedRecursive.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I != N; ++I) {
+    std::string S;
+    if (!R.str(S))
+      return false;
+    Out.SkippedRecursive.push_back(std::move(S));
+  }
+  uint8_t Status, Stop;
+  if (!R.boolean(Out.Theorem1Checked) || !R.boolean(Out.Theorem1Ok) ||
+      !R.u32(Out.Theorem1StackBytes) || !R.u8(Status) || !R.u8(Stop) ||
+      !R.u32(Out.Retries))
+    return false;
+  if (Status > static_cast<uint8_t>(batch::JobStatus::Cancelled) ||
+      Stop > static_cast<uint8_t>(StopCause::Cancelled))
+    return R.fail();
+  Out.Status = static_cast<batch::JobStatus>(Status);
+  Out.Stop = static_cast<StopCause>(Stop);
+  if (!R.u64(N) || N > R.remaining())
+    return false;
+  Out.Metrics.PassMicros.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I != N; ++I) {
+    std::string Name;
+    uint64_t V;
+    if (!R.str(Name) || !R.u64(V))
+      return false;
+    Out.Metrics.PassMicros.emplace_back(std::move(Name), V);
+  }
+  if (!R.u64(N) || N > R.remaining())
+    return false;
+  Out.Metrics.ReplayedEvents.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I != N; ++I) {
+    std::string Name;
+    uint64_t V;
+    if (!R.str(Name) || !R.u64(V))
+      return false;
+    Out.Metrics.ReplayedEvents.emplace_back(std::move(Name), V);
+  }
+  return R.u64(Out.Metrics.ProofNodes) && R.u64(Out.Metrics.TotalMicros) &&
+         R.str(Out.ProofBlob);
+}
+
+//===----------------------------------------------------------------------===//
+// Entry image
+//===----------------------------------------------------------------------===//
+
+std::string VerificationStore::encodeEntry(const batch::JobKey &Key,
+                                           const batch::ProgramResult &Result) {
+  ByteWriter P;
+  P.u64(Key.Primary);
+  P.u64(Key.Verify);
+  writeResult(P, Result);
+  std::string Payload = P.take();
+  ByteWriter H;
+  for (char C : Magic)
+    H.u8(static_cast<uint8_t>(C));
+  H.u32(FormatVersion);
+  H.u32(0); // reserved
+  H.u64(Fnv1a64().bytes(Payload.data(), Payload.size()).digest());
+  H.u64(Payload.size());
+  std::string Out = H.take();
+  Out += Payload;
+  return Out;
+}
+
+bool VerificationStore::decodeEntry(const std::string &Bytes,
+                                    batch::JobKey &Key,
+                                    batch::ProgramResult &Result) {
+  if (Bytes.size() < HeaderSize)
+    return false;
+  ByteReader H(Bytes.data(), HeaderSize);
+  for (char C : Magic) {
+    uint8_t B;
+    if (!H.u8(B) || B != static_cast<uint8_t>(C))
+      return false;
+  }
+  uint32_t Version, Reserved;
+  uint64_t Checksum, Size;
+  if (!H.u32(Version) || Version != FormatVersion || !H.u32(Reserved) ||
+      Reserved != 0 || !H.u64(Checksum) || !H.u64(Size))
+    return false;
+  if (Size != Bytes.size() - HeaderSize)
+    return false;
+  const char *Payload = Bytes.data() + HeaderSize;
+  if (Fnv1a64().bytes(Payload, static_cast<size_t>(Size)).digest() != Checksum)
+    return false;
+  ByteReader R(Payload, static_cast<size_t>(Size));
+  if (!R.u64(Key.Primary) || !R.u64(Key.Verify))
+    return false;
+  return readResult(R, Result) && R.done();
+}
+
+std::string VerificationStore::entryName(const batch::JobKey &Key) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof Buf, "%016llx-%016llx%s",
+                static_cast<unsigned long long>(Key.Primary),
+                static_cast<unsigned long long>(Key.Verify), EntrySuffix);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Directory plumbing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Scoped flock on the store's .lock file (shared or exclusive). Blocking:
+/// writers are short (one entry write + eviction scan), so readers never
+/// starve long.
+class DirLock {
+public:
+  DirLock(int Fd, bool Exclusive) : Fd(Fd) {
+    if (Fd >= 0)
+      while (::flock(Fd, Exclusive ? LOCK_EX : LOCK_SH) != 0 &&
+             errno == EINTR) {
+      }
+  }
+  ~DirLock() {
+    if (Fd >= 0)
+      ::flock(Fd, LOCK_UN);
+  }
+  DirLock(const DirLock &) = delete;
+  DirLock &operator=(const DirLock &) = delete;
+
+private:
+  int Fd;
+};
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return In.good() || In.eof();
+}
+
+bool hasSuffix(const std::string &S, const std::string &Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+/// Committed entries in \p Dir (no recursion: quarantine/ is unaffected).
+std::vector<fs::directory_entry> entryFiles(const std::string &Dir) {
+  std::vector<fs::directory_entry> Files;
+  std::error_code EC;
+  for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
+       It.increment(EC)) {
+    if (It->is_regular_file(EC) &&
+        hasSuffix(It->path().filename().string(),
+                  VerificationStore::EntrySuffix))
+      Files.push_back(*It);
+  }
+  return Files;
+}
+
+} // namespace
+
+std::unique_ptr<VerificationStore>
+VerificationStore::open(const StoreOptions &O, std::string *Error) {
+  std::error_code EC;
+  fs::create_directories(fs::path(O.Dir) / "quarantine", EC);
+  if (EC) {
+    if (Error)
+      *Error = "cannot create store directory '" + O.Dir +
+               "': " + EC.message();
+    return nullptr;
+  }
+  std::string LockPath = (fs::path(O.Dir) / ".lock").string();
+  int Fd = ::open(LockPath.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (Fd < 0) {
+    if (Error)
+      *Error = "cannot open store lock '" + LockPath +
+               "': " + std::strerror(errno);
+    return nullptr;
+  }
+  std::unique_ptr<VerificationStore> S(
+      new VerificationStore(O, Fd));
+  S->scanAndQuarantine();
+  return S;
+}
+
+VerificationStore::VerificationStore(StoreOptions O, int Fd)
+    : Opts(std::move(O)), Dir(Opts.Dir), LockFd(Fd) {}
+
+VerificationStore::~VerificationStore() {
+  if (LockFd >= 0)
+    ::close(LockFd);
+}
+
+std::string VerificationStore::entryPath(const batch::JobKey &Key) const {
+  return (fs::path(Dir) / entryName(Key)).string();
+}
+
+void VerificationStore::quarantineLocked(const std::string &Path) {
+  std::error_code EC;
+  fs::path Dest = fs::path(Dir) / "quarantine" / fs::path(Path).filename();
+  fs::rename(Path, Dest, EC);
+  if (EC)
+    fs::remove(Path, EC); // a bad entry must not stay servable
+  std::lock_guard<std::mutex> G(StatsMutex);
+  ++Counters.Quarantined;
+}
+
+void VerificationStore::evictLocked() {
+  if (Opts.BudgetBytes == 0)
+    return;
+  struct Candidate {
+    fs::path Path;
+    uint64_t Size;
+    fs::file_time_type MTime;
+  };
+  std::vector<Candidate> Entries;
+  uint64_t Total = 0;
+  std::error_code EC;
+  for (const fs::directory_entry &E : entryFiles(Dir)) {
+    uint64_t Size = E.file_size(EC);
+    if (EC)
+      continue;
+    Entries.push_back({E.path(), Size, E.last_write_time(EC)});
+    Total += Size;
+  }
+  // Oldest access first; path name breaks mtime ties so the order is
+  // deterministic on coarse-granularity filesystems.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Candidate &A, const Candidate &B) {
+              if (A.MTime != B.MTime)
+                return A.MTime < B.MTime;
+              return A.Path < B.Path;
+            });
+  for (const Candidate &E : Entries) {
+    if (Total <= Opts.BudgetBytes)
+      break;
+    if (!fs::remove(E.Path, EC) || EC)
+      continue;
+    Total -= E.Size;
+    std::lock_guard<std::mutex> G(StatsMutex);
+    ++Counters.EvictedEntries;
+    Counters.EvictedBytes += E.Size;
+  }
+}
+
+void VerificationStore::scanAndQuarantine() {
+  std::lock_guard<std::mutex> G(IoMutex);
+  DirLock L(LockFd, /*Exclusive=*/true);
+  std::error_code EC;
+  // Crash recovery: unfinished temp files are dead weight; committed
+  // entries were renamed into place atomically and are unaffected.
+  for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
+       It.increment(EC)) {
+    std::string Name = It->path().filename().string();
+    if (Name.compare(0, 5, ".tmp-") == 0)
+      fs::remove(It->path(), EC);
+  }
+  for (const fs::directory_entry &E : entryFiles(Dir)) {
+    std::string Bytes;
+    batch::JobKey Key;
+    batch::ProgramResult R;
+    if (!readFile(E.path().string(), Bytes) || !decodeEntry(Bytes, Key, R) ||
+        entryName(Key) != E.path().filename().string())
+      quarantineLocked(E.path().string());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fetch / put
+//===----------------------------------------------------------------------===//
+
+bool VerificationStore::verifyEntryProofs(const batch::BatchJob &Job,
+                                          const batch::ProgramResult &R,
+                                          Supervisor *Sup) {
+  if (!R.Ok)
+    return true; // a failed verdict carries no proof obligation
+  if (R.ProofBlob.empty())
+    return false; // an Ok verdict without its proofs is not trustworthy
+  DiagnosticEngine ParseDiags;
+  std::optional<clight::Program> P =
+      driver::parseOnly(Job.Source, ParseDiags, Job.Options);
+  if (!P)
+    return false;
+  ProofArtifacts PA;
+  if (!decodeProofs(R.ProofBlob, &*P, PA))
+    return false;
+  // Root the loaded context in trust: every spec in Gamma must be either
+  // the job's own seeded specification (part of the content key, so the
+  // cold run was given it) or proved by a derivation in this very blob,
+  // which the checker re-validates below. Without this, a tampered entry
+  // could smuggle an unproved spec in as if it had been derived.
+  auto SpecText = [](const logic::FunctionSpec &S) {
+    std::string Out = S.Pre->str() + " -> " + S.Post->str();
+    for (const logic::Cmp &C : S.ResultFacts)
+      Out += " ; " + C.str();
+    return Out;
+  };
+  for (const auto &[Name, Spec] : PA.Gamma) {
+    auto Seeded = Job.Options.SeededSpecs.find(Name);
+    if (Seeded != Job.Options.SeededSpecs.end()) {
+      if (SpecText(Seeded->second) != SpecText(Spec))
+        return false;
+      continue;
+    }
+    bool Proved = false;
+    for (const logic::FunctionBound &FB : PA.Bounds)
+      Proved |= FB.Function == Name && SpecText(FB.Spec) == SpecText(Spec);
+    if (!Proved)
+      return false;
+  }
+  // Every bound the verdict reports must be the call bound of a (now
+  // trust-rooted) Gamma spec — the proofs must actually cover the claims.
+  for (const batch::FunctionReport &FR : R.Bounds) {
+    auto It = PA.Gamma.find(FR.Function);
+    if (It == PA.Gamma.end())
+      return false;
+    if (!FR.SymbolicBound.empty() &&
+        logic::bAdd(logic::bMetric(FR.Function), It->second.Pre)->str() !=
+            FR.SymbolicBound)
+      return false;
+  }
+  logic::EntailOptions EO;
+  EO.SymbolicOnly = true; // match the analyzer: fully symbolic certificates
+  logic::ProofChecker Checker(*P, PA.Gamma, EO);
+  Checker.setSupervisor(Sup);
+  for (const logic::FunctionBound &FB : PA.Bounds) {
+    DiagnosticEngine CheckDiags;
+    if (!Checker.checkFunctionBound(FB, CheckDiags))
+      return false;
+  }
+  return !(Sup && Sup->stopRequested());
+}
+
+std::shared_ptr<const batch::ProgramResult>
+VerificationStore::fetch(const batch::JobKey &Key, const batch::BatchJob &Job,
+                         Supervisor *Sup) {
+  std::string Path = entryPath(Key);
+  std::string Bytes;
+  bool Present;
+  {
+    std::lock_guard<std::mutex> G(IoMutex);
+    DirLock L(LockFd, /*Exclusive=*/false);
+    Present = readFile(Path, Bytes);
+  }
+  if (!Present) {
+    std::lock_guard<std::mutex> G(StatsMutex);
+    ++Counters.Misses;
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> G(StatsMutex);
+    Counters.BytesRead += Bytes.size();
+  }
+  if (Sup) {
+    Sup->charge(Bytes.size());
+    if (Sup->stopRequested()) { // budget stop degrades to a miss
+      std::lock_guard<std::mutex> G(StatsMutex);
+      ++Counters.Misses;
+      return nullptr;
+    }
+  }
+  batch::JobKey Stored;
+  auto Result = std::make_shared<batch::ProgramResult>();
+  // The embedded key must match the requested one: decodeEntry catches
+  // damaged bytes, this catches intact entries under the wrong name. Only
+  // definitive verdicts are servable at all.
+  bool Good = decodeEntry(Bytes, Stored, *Result) && Stored == Key &&
+              (Result->Status == batch::JobStatus::Ok ||
+               Result->Status == batch::JobStatus::Failed);
+  if (!Good) {
+    std::lock_guard<std::mutex> G(IoMutex);
+    DirLock L(LockFd, /*Exclusive=*/true);
+    quarantineLocked(Path);
+    std::lock_guard<std::mutex> G2(StatsMutex);
+    ++Counters.Misses;
+    return nullptr;
+  }
+  if (Opts.VerifyProofsOnLoad) {
+    if (!verifyEntryProofs(Job, *Result, Sup)) {
+      if (Sup && Sup->stopRequested()) {
+        // The re-check was stopped, not refuted: miss without prejudice.
+        std::lock_guard<std::mutex> G(StatsMutex);
+        ++Counters.Misses;
+        return nullptr;
+      }
+      std::lock_guard<std::mutex> G(IoMutex);
+      DirLock L(LockFd, /*Exclusive=*/true);
+      quarantineLocked(Path);
+      std::lock_guard<std::mutex> G2(StatsMutex);
+      ++Counters.VerifyFailures;
+      ++Counters.Misses;
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> G(StatsMutex);
+    ++Counters.VerifiedProofs;
+  }
+  {
+    // LRU touch: a hit is an access; eviction orders by mtime.
+    std::error_code EC;
+    fs::last_write_time(Path, fs::file_time_type::clock::now(), EC);
+  }
+  std::lock_guard<std::mutex> G(StatsMutex);
+  ++Counters.Hits;
+  return Result;
+}
+
+void VerificationStore::put(const batch::JobKey &Key,
+                            const batch::ProgramResult &Result,
+                            Supervisor *Sup) {
+  // Only definitive verdicts persist: a budget-stopped attempt must rerun
+  // with a fresh budget, never be replayed from disk. (The engine already
+  // filters; the store enforces its own invariant.)
+  if (Result.Status != batch::JobStatus::Ok &&
+      Result.Status != batch::JobStatus::Failed)
+    return;
+  std::string Bytes = encodeEntry(Key, Result);
+  // Charged, but never aborted: the SIGINT drain contract says an
+  // in-flight put flushes even when the interrupt token has fired.
+  if (Sup)
+    Sup->charge(Bytes.size());
+  std::lock_guard<std::mutex> G(IoMutex);
+  DirLock L(LockFd, /*Exclusive=*/true);
+  std::string Tmp =
+      (fs::path(Dir) / (".tmp-" + std::to_string(::getpid()) + "-" +
+                        std::to_string(TmpSeq.fetch_add(1))))
+          .string();
+  bool Written = false;
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (Fd >= 0) {
+    size_t Off = 0;
+    while (Off < Bytes.size()) {
+      ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        break;
+      }
+      Off += static_cast<size_t>(N);
+    }
+    // fsync before rename: the entry must be durable before it becomes
+    // visible, or a crash could commit a torn file under a valid name.
+    Written = Off == Bytes.size() && ::fsync(Fd) == 0;
+    ::close(Fd);
+  }
+  std::error_code EC;
+  if (Written) {
+    fs::rename(Tmp, entryPath(Key), EC);
+    Written = !EC;
+  }
+  if (!Written) {
+    fs::remove(Tmp, EC);
+    std::lock_guard<std::mutex> G2(StatsMutex);
+    ++Counters.WriteFailures;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> G2(StatsMutex);
+    ++Counters.Writes;
+    Counters.BytesWritten += Bytes.size();
+  }
+  evictLocked();
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+StoreStats VerificationStore::stats() const {
+  std::lock_guard<std::mutex> G(StatsMutex);
+  return Counters;
+}
+
+size_t VerificationStore::entryCount() const {
+  std::lock_guard<std::mutex> G(IoMutex);
+  DirLock L(LockFd, /*Exclusive=*/false);
+  return entryFiles(Dir).size();
+}
+
+uint64_t VerificationStore::residentBytes() const {
+  std::lock_guard<std::mutex> G(IoMutex);
+  DirLock L(LockFd, /*Exclusive=*/false);
+  uint64_t Total = 0;
+  std::error_code EC;
+  for (const fs::directory_entry &E : entryFiles(Dir)) {
+    uint64_t Size = E.file_size(EC);
+    if (!EC)
+      Total += Size;
+  }
+  return Total;
+}
+
+} // namespace store
+} // namespace qcc

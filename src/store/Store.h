@@ -1,0 +1,198 @@
+//===- store/Store.h - Persistent content-addressed result store *- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crash-safe, content-addressed on-disk verification store: one file
+/// per (source, options) content key, holding the serialized verdict,
+/// per-pass metrics, and the checked proof artifacts in external form
+/// (store/Serialize.h). It unifies PR 1's in-memory result cache and
+/// PR 5's resume journal into a single persistent answer: a warm batch
+/// rerun in a *fresh process* — or another client of the future `qccd`
+/// daemon — serves every unchanged job from disk instead of recompiling.
+///
+/// Trust posture (mirroring VeriFast's treatment of CompCert artifacts):
+/// the store is an accelerator whose entries are *checkable*, not
+/// oracular. Every entry carries a versioned header (magic, format
+/// version, payload checksum) and both halves of its 128-bit content key;
+/// `--store-verify` re-attaches each loaded derivation to a freshly
+/// parsed Clight program and re-runs the proof checker before trusting
+/// the verdict.
+///
+/// Robustness contract, enforced by tests/StoreTest.cpp:
+///
+///   * **Atomicity.** Entries are written to a temp file, fsync'd, then
+///     renamed into place; readers never observe a torn entry.
+///   * **Corruption tolerance.** A truncated, bit-flipped, zero-length or
+///     wrong-version file is *quarantined* (moved to `quarantine/`) and
+///     reported as a miss — never a crash, never a wrong verdict.
+///   * **Eviction.** A byte budget evicts least-recently-used entries
+///     (access bumps mtime) so the store is safe to leave running.
+///   * **Cross-process safety.** A directory-level flock protocol
+///     (shared for reads, exclusive for writes/eviction/quarantine)
+///     serializes concurrent clients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_STORE_STORE_H
+#define QCC_STORE_STORE_H
+
+#include "batch/Batch.h"
+#include "store/Serialize.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace qcc {
+namespace store {
+
+/// Configuration of one store handle.
+struct StoreOptions {
+  /// Store directory; created (with its quarantine/ subdirectory) when
+  /// missing.
+  std::string Dir;
+  /// LRU byte budget over entry payload files (0 = unbounded). Enforced
+  /// after every write.
+  uint64_t BudgetBytes = 0;
+  /// Re-check loaded proof derivations with the ProofChecker against a
+  /// freshly parsed program before serving a hit (`--store-verify`).
+  /// A proof that no longer checks quarantines the entry.
+  bool VerifyProofsOnLoad = false;
+};
+
+/// Operation counters for one store handle's lifetime.
+struct StoreStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Writes = 0;
+  uint64_t WriteFailures = 0;
+  uint64_t EvictedEntries = 0;
+  uint64_t EvictedBytes = 0;
+  /// Corrupt entries moved to quarantine/ (open-scan or lookup).
+  uint64_t Quarantined = 0;
+  /// Entries whose proofs re-checked clean under VerifyProofsOnLoad.
+  uint64_t VerifiedProofs = 0;
+  /// Entries rejected because their loaded proofs failed re-checking.
+  uint64_t VerifyFailures = 0;
+  uint64_t BytesRead = 0;
+  uint64_t BytesWritten = 0;
+};
+
+/// The on-disk store. Implements the batch engine's ResultStore
+/// interface; thread-safe within a process and flock-coordinated across
+/// processes.
+class VerificationStore final : public batch::ResultStore {
+public:
+  //===--------------------------------------------------------------------===//
+  // Entry file format (version 1)
+  //===--------------------------------------------------------------------===//
+  //
+  //   offset  size  field
+  //        0     8  magic "QCCSTORE"
+  //        8     4  format version (little-endian u32) = 1
+  //       12     4  reserved flags = 0
+  //       16     8  payload checksum: FNV-1a 64 over the payload bytes
+  //       24     8  payload size in bytes
+  //       32     -  payload: primary key u64, verify key u64, then the
+  //                 ProgramResult record (store/Serialize conventions),
+  //                 whose last field is the proof blob
+  //
+  // The reader rejects (and quarantines) anything whose magic, version,
+  // declared size, checksum, embedded keys, or record structure is off.
+  // Bumping FormatVersion orphans old entries deliberately: they reload
+  // as quarantined, never as silently reinterpreted bytes — the golden
+  // fixtures under tests/store-corpus/ keep the bump honest.
+
+  static constexpr char Magic[8] = {'Q', 'C', 'C', 'S', 'T', 'O', 'R', 'E'};
+  static constexpr uint32_t FormatVersion = 1;
+  static constexpr size_t HeaderSize = 32;
+  static constexpr const char *EntrySuffix = ".qcs";
+
+  /// Opens (creating when missing) the store at \p O.Dir: removes stale
+  /// temp files, validates every resident entry (header and checksum),
+  /// and quarantines corrupt ones. Returns null with \p Error set when
+  /// the directory or its lock cannot be established.
+  static std::unique_ptr<VerificationStore> open(const StoreOptions &O,
+                                                 std::string *Error = nullptr);
+
+  ~VerificationStore() override;
+
+  /// ResultStore: lookup by content key. \p Job supplies the source for
+  /// `--store-verify` proof re-checking; \p Sup, when non-null, is
+  /// charged for bytes read (a budget stop degrades to a miss).
+  std::shared_ptr<const batch::ProgramResult>
+  fetch(const batch::JobKey &Key, const batch::BatchJob &Job,
+        Supervisor *Sup) override;
+
+  /// ResultStore: persist one definitive result (atomic temp+rename,
+  /// then LRU eviction). Never throws; failures count in stats().
+  void put(const batch::JobKey &Key, const batch::ProgramResult &Result,
+           Supervisor *Sup) override;
+
+  StoreStats stats() const;
+
+  /// Resident committed entries / payload bytes (scans the directory, so
+  /// it observes other processes' writes too).
+  size_t entryCount() const;
+  uint64_t residentBytes() const;
+
+  const std::string &directory() const { return Dir; }
+
+  //===--------------------------------------------------------------------===//
+  // Format functions, exposed for the round-trip / golden-file tests
+  //===--------------------------------------------------------------------===//
+
+  /// The complete file image of one entry (header + payload). A pure
+  /// function of its arguments: byte-stable across runs and platforms.
+  static std::string encodeEntry(const batch::JobKey &Key,
+                                 const batch::ProgramResult &Result);
+
+  /// Decodes a full entry image; false on any structural violation.
+  static bool decodeEntry(const std::string &Bytes, batch::JobKey &Key,
+                          batch::ProgramResult &Result);
+
+  /// The entry file name for \p Key: "<primary>-<verify>.qcs" in hex.
+  static std::string entryName(const batch::JobKey &Key);
+
+private:
+  VerificationStore(StoreOptions O, int LockFd);
+
+  std::string entryPath(const batch::JobKey &Key) const;
+  /// Moves a damaged entry into quarantine/ (EX lock held by caller).
+  void quarantineLocked(const std::string &Path);
+  /// Enforces the byte budget, oldest mtime first (EX lock held).
+  void evictLocked();
+  void scanAndQuarantine();
+  /// `--store-verify`: reparse the job, re-attach the loaded derivations,
+  /// re-run the proof checker. True iff every bound still checks.
+  bool verifyEntryProofs(const batch::BatchJob &Job,
+                         const batch::ProgramResult &R, Supervisor *Sup);
+
+  StoreOptions Opts;
+  std::string Dir;
+  int LockFd = -1;
+  /// flock coordinates *processes*; two threads sharing this handle share
+  /// one open file description (a second flock converts, not blocks), so
+  /// intra-process exclusion needs a real mutex around each I/O section.
+  mutable std::mutex IoMutex;
+  mutable std::mutex StatsMutex;
+  StoreStats Counters;
+  std::atomic<uint64_t> TmpSeq{0};
+};
+
+/// The ProgramResult record serializers (the payload body after the two
+/// key words). Exposed for round-trip tests; decode is total on hostile
+/// input.
+void writeResult(ByteWriter &W, const batch::ProgramResult &R);
+bool readResult(ByteReader &R, batch::ProgramResult &Out);
+
+} // namespace store
+} // namespace qcc
+
+#endif // QCC_STORE_STORE_H

@@ -10,6 +10,12 @@
 /// result cache on a content hash of (source text, compiler options);
 /// fields are length-prefixed so adjacent strings cannot alias.
 ///
+/// Mix64 is a second, independent 64-bit digest over the same byte
+/// stream (different multiplier, rotation, and finalizer). A cache or
+/// store entry records both digests and verifies the second on every
+/// hit, so serving a result for the wrong source requires a simultaneous
+/// collision in two unrelated hash functions (~2^-128) rather than one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef QCC_SUPPORT_HASH_H
@@ -48,6 +54,75 @@ public:
 
 private:
   uint64_t State = 0xcbf29ce484222325ull;
+};
+
+/// The independent second digest: byte-wise multiply-rotate with the
+/// golden-ratio prime, finalized by the splitmix64 avalanche. Structurally
+/// unrelated to FNV-1a (different multiplier, an extra rotation, and a
+/// finalizer), so the two digests do not collide together.
+class Mix64 {
+public:
+  Mix64 &bytes(const void *Data, size_t Len) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != Len; ++I) {
+      State = (State ^ P[I]) * 0x9e3779b97f4a7c15ull;
+      State = (State << 23) | (State >> 41);
+    }
+    return *this;
+  }
+
+  Mix64 &u64(uint64_t V) { return bytes(&V, sizeof V); }
+  Mix64 &boolean(bool B) { return u64(B ? 1 : 2); }
+  Mix64 &str(const std::string &S) {
+    u64(S.size());
+    return bytes(S.data(), S.size());
+  }
+
+  uint64_t digest() const {
+    uint64_t Z = State + 0x9e3779b97f4a7c15ull;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State = 0x6a09e667f3bcc908ull; // sqrt(2) fraction bits.
+};
+
+/// One byte stream feeding both digests: the content-key idiom of the
+/// cache and the persistent store.
+class Hash128 {
+public:
+  Hash128 &bytes(const void *Data, size_t Len) {
+    A.bytes(Data, Len);
+    B.bytes(Data, Len);
+    return *this;
+  }
+  Hash128 &u64(uint64_t V) {
+    A.u64(V);
+    B.u64(V);
+    return *this;
+  }
+  Hash128 &boolean(bool Bo) {
+    A.boolean(Bo);
+    B.boolean(Bo);
+    return *this;
+  }
+  Hash128 &str(const std::string &S) {
+    A.str(S);
+    B.str(S);
+    return *this;
+  }
+
+  /// The primary (bucket) digest: FNV-1a, unchanged from PR 1 so journal
+  /// and cache keys stay comparable across versions.
+  uint64_t primary() const { return A.digest(); }
+  /// The independent verification digest.
+  uint64_t verify() const { return B.digest(); }
+
+private:
+  Fnv1a64 A;
+  Mix64 B;
 };
 
 } // namespace qcc

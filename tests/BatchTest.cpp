@@ -321,7 +321,7 @@ TEST(ResultCacheTest, OptionChangeMisses) {
 
 TEST(ResultCacheTest, KeySeparatesEveryOption) {
   BatchJob J{"k.c", SmallProgram, {}};
-  uint64_t Base = jobKey(J, true);
+  JobKey Base = jobKey(J, true);
 
   BatchJob Edit = J;
   Edit.Source = SmallProgramEdited;
@@ -354,6 +354,33 @@ TEST(ResultCacheTest, KeySeparatesEveryOption) {
 
   // Theorem-1 mode is part of the key too.
   EXPECT_NE(jobKey(J, false), Base);
+}
+
+TEST(ResultCacheTest, PrimaryHashCollisionIsAMissNotAWrongVerdict) {
+  // The cache buckets on a single 64-bit FNV-1a hash; two sources that
+  // collide in it used to be indistinguishable, so the second would be
+  // served the first one's verdict. The key now carries an independent
+  // second hash, verified on every hit: force two keys into the same
+  // bucket and the lookup must miss (and count the collision), never
+  // return the resident entry.
+  ResultCache Cache;
+  JobKey Resident{42, 1001};
+  JobKey Colliding{42, 2002}; // same bucket, different content
+  auto Result = std::make_shared<ProgramResult>();
+  Result->Id = "resident.c";
+  Result->Ok = true;
+  Cache.insert(Resident, Result);
+
+  EXPECT_EQ(Cache.lookup(Colliding), nullptr);
+  EXPECT_EQ(Cache.stats().Collisions, 1u);
+  EXPECT_EQ(Cache.stats().Hits, 0u);
+
+  // The resident entry itself still hits.
+  auto Hit = Cache.lookup(Resident);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Id, "resident.c");
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+  EXPECT_EQ(Cache.stats().Collisions, 1u);
 }
 
 TEST(ResultCacheTest, SharedCacheIsThreadSafeUnderDuplicates) {

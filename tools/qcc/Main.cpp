@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "batch/Batch.h"
+#include "store/Store.h"
 #include "driver/Compiler.h"
 #include "fuzz/Fuzz.h"
 
@@ -91,6 +92,13 @@ void usage() {
       "  --journal F      resume journal: finished jobs are appended to F\n"
       "                   as they complete; a rerun with the same F skips\n"
       "                   them (^C + rerun picks up where it stopped)\n"
+      "  --store <dir>    persistent verification store: definitive\n"
+      "                   verdicts (with their proof objects) are written\n"
+      "                   to <dir>; a warm rerun - even in a fresh\n"
+      "                   process - serves unchanged jobs from it\n"
+      "  --store-budget-mb N  LRU byte budget for --store (0 = unbounded)\n"
+      "  --store-verify   re-check each loaded proof with the proof\n"
+      "                   checker before trusting a store entry\n"
       "  -D/--inline/--tail-calls/--no-opt/--no-validate apply to every\n"
       "  program in the batch\n"
       "\n"
@@ -136,6 +144,9 @@ struct BatchCliOptions {
   unsigned Retry = 1;
   std::string JournalPath;
   std::string MetricsOut;
+  std::string StoreDir;
+  uint64_t StoreBudgetMb = 0;
+  bool StoreVerify = false;
 };
 
 /// Runs batch mode: collect jobs, fan out, print a per-program table.
@@ -180,10 +191,24 @@ int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
   }
 
   installInterruptHandler();
+  std::unique_ptr<store::VerificationStore> Store;
+  if (!Cli.StoreDir.empty()) {
+    store::StoreOptions SO;
+    SO.Dir = Cli.StoreDir;
+    SO.BudgetBytes = Cli.StoreBudgetMb * (1ull << 20);
+    SO.VerifyProofsOnLoad = Cli.StoreVerify;
+    std::string Error;
+    Store = store::VerificationStore::open(SO, &Error);
+    if (!Store) {
+      fprintf(stderr, "qcc: %s\n", Error.c_str());
+      return 2;
+    }
+  }
   batch::ResultCache Cache;
   batch::BatchOptions Opts;
   Opts.Jobs = Cli.Jobs;
   Opts.Cache = &Cache;
+  Opts.Store = Store.get();
   Opts.DeadlineMillis = Cli.DeadlineMs;
   Opts.MemoryBudgetBytes = Cli.MemoryBudgetMb * (1ull << 20);
   Opts.Retries = Cli.Retry;
@@ -211,7 +236,7 @@ int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
            P.Ok ? "yes" : "NO", Status.c_str(), MainBound.c_str(),
            T1.c_str(),
            static_cast<unsigned long long>(P.Metrics.TotalMicros),
-           P.CacheHit ? " (cached)" : "");
+           P.StoreHit ? " (store)" : P.CacheHit ? " (cached)" : "");
     if (!P.Ok && !P.Diagnostics.empty())
       fprintf(stderr, "%s: %s", P.Id.c_str(), P.Diagnostics.c_str());
   }
@@ -224,6 +249,22 @@ int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
          static_cast<unsigned long long>(R.WallMicros),
          static_cast<unsigned long long>(R.Cache.Hits),
          static_cast<unsigned long long>(R.Cache.Misses));
+  if (Store) {
+    store::StoreStats SS = Store->stats();
+    printf("store '%s': %llu hits, %llu misses, %llu writes, %llu "
+           "evicted, %llu quarantined%s\n",
+           Cli.StoreDir.c_str(), static_cast<unsigned long long>(SS.Hits),
+           static_cast<unsigned long long>(SS.Misses),
+           static_cast<unsigned long long>(SS.Writes),
+           static_cast<unsigned long long>(SS.EvictedEntries),
+           static_cast<unsigned long long>(SS.Quarantined),
+           Cli.StoreVerify
+               ? (", proofs re-checked on load (" +
+                  std::to_string(SS.VerifiedProofs) + " ok, " +
+                  std::to_string(SS.VerifyFailures) + " rejected)")
+                     .c_str()
+               : "");
+  }
   if (unsigned Q = R.countStatus(batch::JobStatus::Quarantined))
     printf("%u quarantined (budget exhausted on every attempt)\n", Q);
   if (unsigned C = R.countStatus(batch::JobStatus::Cancelled))
@@ -369,6 +410,23 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Cli.JournalPath = Argv[++I];
+    } else if (Arg == "--store") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --store is missing its directory operand\n");
+        return 2;
+      }
+      Cli.StoreDir = Argv[++I];
+    } else if (Arg == "--store-budget-mb") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --store-budget-mb is missing its operand\n");
+        return 2;
+      }
+      auto V = parseCount("--store-budget-mb", Argv[++I], 1 << 20);
+      if (!V)
+        return 2;
+      Cli.StoreBudgetMb = *V;
+    } else if (Arg == "--store-verify") {
+      Cli.StoreVerify = true;
     } else if (Arg == "--fuzz") {
       if (I + 1 >= Argc) {
         fprintf(stderr, "qcc: --fuzz is missing its program count\n");
