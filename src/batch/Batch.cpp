@@ -273,7 +273,9 @@ public:
   /// The recorded verdict for \p Key, if any (true = ok). An entry whose
   /// verification hash disagrees is a primary-hash collision: ignored, so
   /// the differing job re-verifies instead of replaying a foreign verdict.
+  /// Locked: record() now mutates Done concurrently (idempotence set).
   std::optional<bool> lookup(const JobKey &Key) const {
+    std::lock_guard<std::mutex> G(M);
     auto It = Done.find(Key.Primary);
     if (It == Done.end())
       return std::nullopt;
@@ -282,13 +284,21 @@ public:
     return It->second.Ok;
   }
 
-  /// Appends and flushes one definitive verdict.
+  /// Appends and flushes one definitive verdict. Idempotent: a key
+  /// already present (loaded at open, or recorded earlier in this run) is
+  /// not re-appended, so the post-quiesce re-scan can blanket every
+  /// completed slot without duplicating the inline records.
   void record(const JobKey &Key, bool Ok) {
+    std::lock_guard<std::mutex> G(M);
+    auto It = Done.find(Key.Primary);
+    if (It != Done.end() &&
+        (!It->second.HasVerify || It->second.Verify == Key.Verify))
+      return;
+    Done[Key.Primary] = Entry{Key.Verify, /*HasVerify=*/true, Ok};
     char Line[48];
     std::snprintf(Line, sizeof Line, " %016llx%016llx\n",
                   static_cast<unsigned long long>(Key.Primary),
                   static_cast<unsigned long long>(Key.Verify));
-    std::lock_guard<std::mutex> G(M);
     Out << (Ok ? "ok" : "failed") << Line;
     Out.flush();
   }
@@ -299,12 +309,129 @@ private:
     bool HasVerify = false;
     bool Ok = false;
   };
-  std::mutex M;
+  mutable std::mutex M;
   std::ofstream Out;
   std::unordered_map<uint64_t, Entry> Done;
 };
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// One governed job, decoupled from the batch loop
+//===----------------------------------------------------------------------===//
+
+ProgramResult qcc::batch::runSupervisedJob(const BatchJob &J,
+                                           const BatchOptions &Options,
+                                           Watchdog *Dog,
+                                           uint64_t *ChargedBytes) {
+  JobKey Key = jobKey(J, Options.CheckTheorem1);
+  if (ChargedBytes)
+    *ChargedBytes = 0;
+
+  if (Options.Interrupt && Options.Interrupt->stopRequested()) {
+    ProgramResult R;
+    R.Id = J.Id;
+    R.Status = JobStatus::Cancelled;
+    R.Stop = Options.Interrupt->cause();
+    R.Diagnostics = "cancelled before start";
+    return R;
+  }
+  if (Options.Cache) {
+    if (auto Hit = Options.Cache->lookup(Key)) {
+      ProgramResult R = *Hit;
+      R.Id = J.Id; // Identical content may carry another id.
+      R.CacheHit = true;
+      return R;
+    }
+  }
+
+  // Per-job supervisor, parented to the caller's interrupt token (the
+  // batch-wide SIGINT token, or a qccd connection's supervisor) so one
+  // cancel upstream drains this job at its next poll point.
+  Supervisor Sup(Options.Interrupt);
+  uint64_t Charged = 0;
+
+  ProgramResult Final;
+  bool Served = false;
+  if (Options.Store) {
+    // Store I/O is charged against the same per-job memory budget the
+    // sinks and the proof checker charge; an entry too large for the
+    // budget degrades to a miss (Attempt resets the supervisor below).
+    if (Options.MemoryBudgetBytes)
+      Sup.setMemoryBudget(Options.MemoryBudgetBytes);
+    if (auto Hit = Options.Store->fetch(Key, J, &Sup)) {
+      Final = *Hit;
+      Final.Id = J.Id;
+      Final.StoreHit = true;
+      Served = true;
+      Charged += Sup.chargedBytes();
+      if (Options.Cache)
+        Options.Cache->insert(Key, std::move(Hit));
+    }
+  }
+
+  if (!Served) {
+    // Sup.reset() clears the charge counter between attempts, so billing
+    // accumulates per attempt, plus whatever the final store put charges
+    // on top of the last attempt's snapshot.
+    uint64_t LastAttemptCharge = 0;
+    auto Attempt = [&](uint64_t Fuel) {
+      Sup.reset();
+      if (Options.MemoryBudgetBytes)
+        Sup.setMemoryBudget(Options.MemoryBudgetBytes);
+      if (Dog) {
+        Sup.armDeadline(Options.DeadlineMillis);
+        Dog->watch(&Sup);
+      }
+      BatchJob A = J;
+      A.Options.ValidationFuel = Fuel;
+      ProgramResult R = verifyOne(A, Options.CheckTheorem1, &Sup,
+                                  /*KeepProofArtifacts=*/Options.Store !=
+                                      nullptr);
+      if (Dog)
+        Dog->unwatch(&Sup);
+      LastAttemptCharge = Sup.chargedBytes();
+      Charged += LastAttemptCharge;
+      return R;
+    };
+
+    ProgramResult R = Attempt(J.Options.ValidationFuel);
+    uint64_t SpentMicros = R.Metrics.TotalMicros;
+    unsigned Tries = 0;
+    while (R.Status == JobStatus::Quarantined && Tries < Options.Retries) {
+      // One bounded retry at a quarter of the fuel: a transient stop
+      // (contended deadline on an oversubscribed pool) gets a second,
+      // cheaper chance; a genuinely divergent job exhausts again and is
+      // quarantined for good.
+      ++Tries;
+      R = Attempt(std::max<uint64_t>(Supervisor::PollMask + 1,
+                                     J.Options.ValidationFuel / 4));
+      R.Retries = Tries;
+      SpentMicros += R.Metrics.TotalMicros;
+    }
+    R.Metrics.TotalMicros = SpentMicros; // Wall clock across all attempts.
+
+    bool Definitive =
+        R.Status == JobStatus::Ok || R.Status == JobStatus::Failed;
+    if (Definitive && (Options.Cache || Options.Store)) {
+      auto Shared = std::make_shared<ProgramResult>(R);
+      if (Options.Cache)
+        Options.Cache->insert(Key, Shared);
+      if (Options.Store)
+        // Runs to completion even when the interrupt has fired: this
+        // job's verdict is already paid for, and the SIGINT drain
+        // contract is that every definitive in-flight result reaches the
+        // journal AND the store before the process exits.
+        Options.Store->put(Key, *Shared, &Sup);
+      Charged += Sup.chargedBytes() - LastAttemptCharge;
+    }
+    Final = std::move(R);
+  }
+
+  if (ChargedBytes)
+    *ChargedBytes = Charged;
+  return Final;
+}
 
 BatchResult qcc::batch::runBatch(const std::vector<BatchJob> &Jobs,
                                  const BatchOptions &Options) {
@@ -342,92 +469,18 @@ BatchResult qcc::batch::runBatch(const std::vector<BatchJob> &Jobs,
         return;
       }
     }
-    if (Options.Interrupt && Options.Interrupt->stopRequested()) {
-      Slot.Id = J.Id;
-      Slot.Status = JobStatus::Cancelled;
-      Slot.Stop = Options.Interrupt->cause();
-      Slot.Diagnostics = "cancelled before start";
-      return;
-    }
-    if (Options.Cache) {
-      if (auto Hit = Options.Cache->lookup(Key)) {
-        Slot = *Hit;
-        Slot.Id = J.Id; // Identical content may carry another id.
-        Slot.CacheHit = true;
-        return;
-      }
-    }
 
-    // Per-job supervisor, parented to the batch interrupt so one SIGINT
-    // drains every in-flight job at its next poll point.
-    Supervisor Sup(Options.Interrupt);
+    Slot = runSupervisedJob(J, Options, Dog ? &*Dog : nullptr);
 
-    if (Options.Store) {
-      // Store I/O is charged against the same per-job memory budget the
-      // sinks and the proof checker charge; an entry too large for the
-      // budget degrades to a miss (Attempt resets the supervisor below).
-      if (Options.MemoryBudgetBytes)
-        Sup.setMemoryBudget(Options.MemoryBudgetBytes);
-      if (auto Hit = Options.Store->fetch(Key, J, &Sup)) {
-        Slot = *Hit;
-        Slot.Id = J.Id;
-        Slot.StoreHit = true;
-        if (Options.Cache)
-          Options.Cache->insert(Key, std::move(Hit));
-        return;
-      }
-    }
+    // The completion-vs-flush window the drain re-scan below closes: the
+    // verdict exists here, but is not yet in the journal. The regression
+    // tests cancel the interrupt token at this barrier.
+    if (Options.CompletionBarrier)
+      Options.CompletionBarrier(Slot);
 
-    auto Attempt = [&](uint64_t Fuel) {
-      Sup.reset();
-      if (Options.MemoryBudgetBytes)
-        Sup.setMemoryBudget(Options.MemoryBudgetBytes);
-      if (Dog) {
-        Sup.armDeadline(Options.DeadlineMillis);
-        Dog->watch(&Sup);
-      }
-      BatchJob A = J;
-      A.Options.ValidationFuel = Fuel;
-      ProgramResult R = verifyOne(A, Options.CheckTheorem1, &Sup,
-                                  /*KeepProofArtifacts=*/Options.Store !=
-                                      nullptr);
-      if (Dog)
-        Dog->unwatch(&Sup);
-      return R;
-    };
-
-    ProgramResult R = Attempt(J.Options.ValidationFuel);
-    uint64_t SpentMicros = R.Metrics.TotalMicros;
-    unsigned Tries = 0;
-    while (R.Status == JobStatus::Quarantined && Tries < Options.Retries) {
-      // One bounded retry at a quarter of the fuel: a transient stop
-      // (contended deadline on an oversubscribed pool) gets a second,
-      // cheaper chance; a genuinely divergent job exhausts again and is
-      // quarantined for good.
-      ++Tries;
-      R = Attempt(std::max<uint64_t>(Supervisor::PollMask + 1,
-                                     J.Options.ValidationFuel / 4));
-      R.Retries = Tries;
-      SpentMicros += R.Metrics.TotalMicros;
-    }
-    R.Metrics.TotalMicros = SpentMicros; // Wall clock across all attempts.
-
-    bool Definitive =
-        R.Status == JobStatus::Ok || R.Status == JobStatus::Failed;
-    if (Resume && Definitive)
-      Resume->record(Key, R.Ok);
-    if (Definitive && (Options.Cache || Options.Store)) {
-      auto Shared = std::make_shared<ProgramResult>(R);
-      if (Options.Cache)
-        Options.Cache->insert(Key, Shared);
-      if (Options.Store)
-        // Runs to completion even when the batch interrupt has fired:
-        // this job's verdict is already paid for, and the SIGINT drain
-        // contract is that every definitive in-flight result reaches the
-        // journal AND the store before the process exits.
-        Options.Store->put(Key, *Shared, &Sup);
-    }
-    Slot = std::move(R);
+    if (Resume &&
+        (Slot.Status == JobStatus::Ok || Slot.Status == JobStatus::Failed))
+      Resume->record(Key, Slot.Ok);
   };
 
   if (Workers <= 1 || Jobs.size() <= 1) {
@@ -437,6 +490,21 @@ BatchResult qcc::batch::runBatch(const std::vector<BatchJob> &Jobs,
     WorkStealingPool Pool(Workers);
     Pool.parallelFor(Jobs.size(), RunOne);
   }
+
+  // SIGINT-drain completeness: after the pool quiesces, re-scan every
+  // completed slot and journal any definitive verdict the inline path
+  // did not record (Journal::record is idempotent, so double recording
+  // is impossible). This closes two holes: a verdict served warm from
+  // the cache or store used to bypass the journal entirely — an
+  // interrupted run would re-fetch (or, after eviction, re-verify) work
+  // it had already finished — and any future completion path that
+  // returns before the inline record cannot silently drop its verdict.
+  if (Resume)
+    for (size_t I = 0; I != Jobs.size(); ++I) {
+      const ProgramResult &P = Out.Programs[I];
+      if (P.Status == JobStatus::Ok || P.Status == JobStatus::Failed)
+        Resume->record(jobKey(Jobs[I], Options.CheckTheorem1), P.Ok);
+    }
 
   auto End = std::chrono::steady_clock::now();
   Out.WallMicros =

@@ -31,6 +31,7 @@
 #include "support/Diagnostics.h"
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -40,6 +41,8 @@
 
 namespace qcc {
 namespace batch {
+
+class Watchdog;
 
 /// One unit of batch work: a named source plus its compiler options.
 struct BatchJob {
@@ -219,6 +222,13 @@ struct BatchOptions {
   /// Every per-job supervisor is parented to it, so one cancel drains
   /// in-flight jobs at their next poll point.
   Supervisor *Interrupt = nullptr;
+  /// Testing hook: invoked the moment a job's final result is known,
+  /// *before* the engine flushes it to the journal. The SIGINT-drain
+  /// regression tests cancel the interrupt token here to pin the
+  /// completion-vs-flush race: a verdict that exists when the interrupt
+  /// fires must still reach the journal (the post-quiesce re-scan
+  /// guarantees it). Leave unset outside tests.
+  std::function<void(const ProgramResult &)> CompletionBarrier;
 };
 
 /// The whole batch's outcome, jobs in input order.
@@ -262,6 +272,22 @@ ProgramResult verifyOne(const BatchJob &Job, bool CheckTheorem1 = true);
 /// for the persistent store to write.
 ProgramResult verifyOne(const BatchJob &Job, bool CheckTheorem1,
                         Supervisor *Sup, bool KeepProofArtifacts = false);
+
+/// One fully governed verification, decoupled from the batch loop: the
+/// in-memory cache consult, the persistent-store fetch, budgeted attempts
+/// with bounded retries under a per-job Supervisor parented to
+/// \p Options.Interrupt, and persistence of a definitive fresh verdict
+/// back into cache and store. This is the unit the batch engine fans out
+/// over a directory scan and the qccd daemon runs per protocol request —
+/// both produce bit-identical results for the same (job, options).
+/// \p Options.Jobs and \p Options.JournalPath are ignored (journaling is
+/// the batch loop's concern); \p Dog, when non-null, enforces
+/// \p Options.DeadlineMillis. \p ChargedBytes, when non-null, receives
+/// the supervisor bytes charged across all attempts — what the daemon
+/// bills against a client's fair-share budget.
+ProgramResult runSupervisedJob(const BatchJob &Job,
+                               const BatchOptions &Options, Watchdog *Dog,
+                               uint64_t *ChargedBytes = nullptr);
 
 /// Runs every job, fanning out across \p Options.Jobs workers.
 BatchResult runBatch(const std::vector<BatchJob> &Jobs,

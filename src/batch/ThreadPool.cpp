@@ -70,7 +70,23 @@ void WorkStealingPool::workerLoop(unsigned Me) {
   std::unique_lock<std::mutex> L(BatchM);
   uint64_t Seen = 0;
   for (;;) {
-    WorkCv.wait(L, [this, Seen] { return Stop || Generation != Seen; });
+    WorkCv.wait(L, [this, Seen] {
+      return Stop || Generation != Seen || !Tasks.empty();
+    });
+    // Submitted tasks first: a shutdown (Stop) still finishes the queue,
+    // so a waiter blocked on a submitted task's completion can never be
+    // stranded — cancellation makes tasks fast, the pool makes them run.
+    if (!Tasks.empty()) {
+      std::function<void()> T = std::move(Tasks.front());
+      Tasks.pop_front();
+      ++RunningTasks;
+      L.unlock();
+      T();
+      L.lock();
+      if (--RunningTasks == 0 && Tasks.empty())
+        IdleCv.notify_all();
+      continue;
+    }
     if (Stop)
       return;
     Seen = Generation;
@@ -84,6 +100,24 @@ void WorkStealingPool::workerLoop(unsigned Me) {
     if (--Active == 0 && Remaining.load(std::memory_order_acquire) == 0)
       DoneCv.notify_all();
   }
+}
+
+void WorkStealingPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> G(BatchM);
+    Tasks.push_back(std::move(Task));
+  }
+  WorkCv.notify_one();
+}
+
+void WorkStealingPool::waitTasksIdle() {
+  std::unique_lock<std::mutex> L(BatchM);
+  IdleCv.wait(L, [this] { return Tasks.empty() && RunningTasks == 0; });
+}
+
+size_t WorkStealingPool::taskCount() const {
+  std::lock_guard<std::mutex> G(BatchM);
+  return Tasks.size() + RunningTasks;
 }
 
 void WorkStealingPool::parallelFor(size_t N,

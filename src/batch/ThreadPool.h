@@ -20,6 +20,14 @@
 /// *and* every participating worker parked again (so no thread can still
 /// be touching a previous generation's body when the next one is seeded).
 ///
+/// Long-lived front ends (the qccd daemon) that produce work one job at
+/// a time instead of as a closed index range use `submit`: a shared FIFO
+/// of standalone tasks drained by the same workers. Submitted tasks and
+/// parallelFor batches may interleave freely — workers prefer pending
+/// tasks, then fall through to the current generation's index range — so
+/// a daemon serving connections and an in-process batch share one pool
+/// without either starving the other for good.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef QCC_BATCH_THREADPOOL_H
@@ -59,6 +67,20 @@ public:
   /// concurrently from multiple threads on distinct indices.
   void parallelFor(size_t N, const std::function<void(size_t)> &Body);
 
+  /// Enqueues one standalone task for execution on a pool worker and
+  /// returns immediately. Tasks run in FIFO order relative to each other.
+  /// The destructor finishes every submitted task before joining (the
+  /// shutdown discipline: cancel the work's supervisors first, then
+  /// destroy the pool — a cancelled task drains at its next poll point).
+  void submit(std::function<void()> Task);
+
+  /// Blocks until no submitted task is pending or running. Used by tests
+  /// and by shutdown paths that must observe a quiesced pool.
+  void waitTasksIdle();
+
+  /// Submitted tasks pending or running (snapshot, for tests).
+  size_t taskCount() const;
+
 private:
   /// One worker's deque. Owner pops the front; thieves pop the back.
   struct Queue {
@@ -75,14 +97,17 @@ private:
   std::vector<std::unique_ptr<Queue>> Queues;
   std::vector<std::thread> Threads;
 
-  // Batch hand-off state, guarded by BatchM.
-  std::mutex BatchM;
-  std::condition_variable WorkCv; ///< Wakes workers for a new generation.
+  // Batch and task hand-off state, guarded by BatchM.
+  mutable std::mutex BatchM;
+  std::condition_variable WorkCv; ///< Wakes workers for work of any kind.
   std::condition_variable DoneCv; ///< Wakes the caller on completion.
+  std::condition_variable IdleCv; ///< Wakes waitTasksIdle.
   const std::function<void(size_t)> *Body = nullptr;
   uint64_t Generation = 0;
   unsigned Active = 0; ///< Workers currently inside drain().
   bool Stop = false;
+  std::deque<std::function<void()>> Tasks; ///< Submitted, not yet started.
+  unsigned RunningTasks = 0; ///< Submitted tasks currently executing.
 
   std::atomic<size_t> Remaining{0}; ///< Items not yet finished.
 };

@@ -1,0 +1,120 @@
+//===- daemon/Client.cpp - qccd client ------------------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace qcc;
+using namespace qcc::daemon;
+
+DaemonClient::~DaemonClient() { disconnect(); }
+
+void DaemonClient::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool DaemonClient::connect(const std::string &SocketPath) {
+  disconnect();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + SocketPath;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int S = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (S < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = "connect " + SocketPath + ": " + std::strerror(errno);
+    ::close(S);
+    return false;
+  }
+  Fd = S;
+  Err.clear();
+  return true;
+}
+
+ClientOutcome DaemonClient::verify(const JobRequest &Req) {
+  ClientOutcome Out;
+  if (Fd < 0) {
+    Out.Error = "not connected";
+    return Out;
+  }
+  if (!sendFrame(Fd, MsgType::Submit, encodeJobRequest(Req))) {
+    Out.Error = "send failed: daemon gone";
+    disconnect();
+    return Out;
+  }
+  // Collect Status frames until the Verdict (or an Error) closes the
+  // conversation for this job.
+  for (;;) {
+    Frame F;
+    FrameStatus S = readFrame(Fd, F);
+    if (S != FrameStatus::Ok) {
+      Out.Error = std::string("protocol: ") + frameStatusName(S);
+      disconnect();
+      return Out;
+    }
+    switch (F.Type) {
+    case MsgType::Status: {
+      PassStatus P;
+      if (!decodePassStatus(F.Payload, P)) {
+        Out.Error = "malformed status frame";
+        disconnect();
+        return Out;
+      }
+      Out.Passes.push_back(std::move(P));
+      break;
+    }
+    case MsgType::Verdict:
+      if (!decodeVerdict(F.Payload, Out.Result)) {
+        Out.Error = "malformed verdict frame";
+        disconnect();
+        return Out;
+      }
+      Out.HaveVerdict = true;
+      return Out;
+    case MsgType::Error:
+      Out.Error = F.Payload;
+      // The server disconnects after Error; mirror it.
+      disconnect();
+      return Out;
+    default:
+      Out.Error = "unexpected frame type " +
+                  std::to_string(static_cast<uint32_t>(F.Type));
+      disconnect();
+      return Out;
+    }
+  }
+}
+
+bool DaemonClient::ping() {
+  if (Fd < 0)
+    return false;
+  if (!sendFrame(Fd, MsgType::Ping, ""))
+    return false;
+  Frame F;
+  return readFrame(Fd, F) == FrameStatus::Ok && F.Type == MsgType::Pong;
+}
+
+bool DaemonClient::shutdownServer() {
+  if (Fd < 0)
+    return false;
+  return sendFrame(Fd, MsgType::Shutdown, "");
+}

@@ -1,0 +1,72 @@
+//===- daemon/Client.h - qccd client ----------------------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the qccd wire protocol: connect to a daemon's
+/// Unix-domain socket, submit jobs one at a time, and collect the
+/// streamed per-pass status frames plus the final verdict. `qcc
+/// --connect` is a thin loop over this class; tests drive it directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_DAEMON_CLIENT_H
+#define QCC_DAEMON_CLIENT_H
+
+#include "daemon/Protocol.h"
+
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace daemon {
+
+/// What one submitted job came back with.
+struct ClientOutcome {
+  /// True when a Verdict frame arrived; false on protocol/server error
+  /// (Error holds the reason, Result is unspecified).
+  bool HaveVerdict = false;
+  batch::ProgramResult Result;
+  std::vector<PassStatus> Passes; ///< Status frames, in arrival order.
+  std::string Error;
+};
+
+/// One connection to a qccd daemon. Not thread-safe: one conversation
+/// per connection (open several clients for parallelism — that is the
+/// point of the daemon).
+class DaemonClient {
+public:
+  DaemonClient() = default;
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient &) = delete;
+  DaemonClient &operator=(const DaemonClient &) = delete;
+
+  /// Connects to \p SocketPath. False (with error()) when the daemon is
+  /// not there.
+  bool connect(const std::string &SocketPath);
+  bool connected() const { return Fd >= 0; }
+  void disconnect();
+  const std::string &error() const { return Err; }
+
+  /// Submits one job and blocks until its verdict (or an error).
+  ClientOutcome verify(const JobRequest &Req);
+
+  /// Liveness round-trip.
+  bool ping();
+
+  /// Asks the daemon to drain and exit.
+  bool shutdownServer();
+
+private:
+  int Fd = -1;
+  std::string Err;
+};
+
+} // namespace daemon
+} // namespace qcc
+
+#endif // QCC_DAEMON_CLIENT_H

@@ -1,0 +1,163 @@
+//===- daemon/Daemon.h - Verification-as-a-service daemon -------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The qccd daemon: a long-lived verification server over the persistent
+/// store. Clients connect on a Unix-domain socket, submit jobs with the
+/// wire protocol (daemon/Protocol.h), and receive per-pass status frames
+/// plus a final verdict per job. The daemon keeps the in-memory result
+/// cache and the content-addressed store warm across connections, so a
+/// fleet of short-lived `qcc --connect` clients amortizes verification
+/// work the way one long `--batch` run does.
+///
+/// Supervision tree (DESIGN.md section 5f): the daemon owns one *root*
+/// Supervisor; each accepted connection gets a *client* Supervisor
+/// parented to the root; each job runs under the per-job Supervisor
+/// runSupervisedJob creates, parented to the client token. Cancelling the
+/// root (shutdown) drains every job of every client; cancelling one
+/// client token (its fair-share byte budget ran out, or its socket died)
+/// drains only that client's jobs. Budgets clamp, never loosen: a
+/// client-requested deadline or memory budget is honoured only up to the
+/// server's own per-job caps.
+///
+/// Concurrency: one accept thread (poll on the listening socket plus a
+/// self-pipe so shutdown interrupts a blocking accept), one detached-ish
+/// thread per connection doing framing I/O, and all verification work
+/// multiplexed onto one shared WorkStealingPool via submit() — N clients
+/// share the pool fairly instead of each spawning its own workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_DAEMON_DAEMON_H
+#define QCC_DAEMON_DAEMON_H
+
+#include "batch/Batch.h"
+#include "daemon/Protocol.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace batch {
+class Watchdog;
+class WorkStealingPool;
+} // namespace batch
+namespace store {
+class VerificationStore;
+} // namespace store
+
+namespace daemon {
+
+/// Daemon configuration. Budgets here are the server's *caps*: a client
+/// may request less per job, never more.
+struct DaemonOptions {
+  /// Filesystem path the Unix-domain socket is bound at.
+  std::string SocketPath;
+  /// Verification worker threads; 0 = hardware concurrency.
+  unsigned Jobs = 0;
+  /// Per-job wall-clock deadline cap in milliseconds (0 = none).
+  uint64_t DeadlineMillis = 0;
+  /// Per-job soft memory budget cap in bytes (0 = unlimited).
+  uint64_t MemoryBudgetBytes = 0;
+  /// Per-connection fair-share byte budget (0 = unlimited): the sum of
+  /// supervisor-charged bytes across a connection's jobs. A client that
+  /// crosses it is cancelled — its remaining jobs drain as Cancelled —
+  /// without touching any other connection.
+  uint64_t ClientBudgetBytes = 0;
+  /// Budget-stopped jobs retry this many times (BatchOptions::Retries).
+  unsigned Retries = 1;
+  /// Ceiling on one frame's payload; hostile length fields larger than
+  /// this are rejected before allocation.
+  uint64_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// Receive timeout per frame read in milliseconds (0 = none): an idle
+  /// or wedged client cannot pin its connection thread forever.
+  uint64_t RecvTimeoutMillis = 0;
+  /// Persistent store directory (empty = no store: cache only).
+  std::string StoreDir;
+  /// Store LRU budget in bytes (0 = unlimited).
+  uint64_t StoreBudgetBytes = 0;
+  /// Re-check proofs on every store load before serving them.
+  bool StoreVerify = false;
+};
+
+/// Aggregate counters, readable while the daemon runs (for tests and for
+/// the qccd status line).
+struct DaemonStats {
+  uint64_t Connections = 0;     ///< Accepted connections, lifetime.
+  uint64_t JobsServed = 0;      ///< Verdict frames sent.
+  uint64_t ProtocolErrors = 0;  ///< Malformed frames answered with Error.
+  uint64_t BudgetCancels = 0;   ///< Connections cancelled for fair-share.
+};
+
+/// The daemon. Construct, check valid(), then serve() until another
+/// thread (a signal handler, a Shutdown frame, a test) calls
+/// requestShutdown().
+class Daemon {
+public:
+  explicit Daemon(const DaemonOptions &Opts);
+  ~Daemon();
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// False when the socket could not be bound (diagnostic in error()).
+  bool valid() const { return ListenFd >= 0; }
+  const std::string &error() const { return Error; }
+
+  /// Accepts and serves connections until requestShutdown(), then drains:
+  /// shuts every live connection socket down and joins its thread before
+  /// returning. Runs on the caller's thread.
+  void serve();
+
+  /// Stops the accept loop and cancels the root supervisor, draining
+  /// every in-flight job of every client. Only atomics, one pipe write:
+  /// async-signal-safe, callable from a SIGINT/SIGTERM handler. The
+  /// serve() thread performs the non-signal-safe part of the drain
+  /// (socket shutdown + thread joins) when it wakes.
+  void requestShutdown();
+
+  DaemonStats stats() const;
+
+  /// The root supervision token (tests parent probes to it).
+  Supervisor &rootSupervisor() { return Root; }
+
+private:
+  struct Connection;
+  void handleConnection(Connection &Conn);
+  bool handleSubmit(Connection &Conn, const std::string &Payload);
+  /// Shuts down every live connection socket and joins exited threads;
+  /// with \p JoinAll, joins every thread (the serve()-exit drain).
+  void reapConnections(bool JoinAll);
+
+  DaemonOptions Opts;
+  std::string Error;
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1}; ///< Self-pipe: shutdown interrupts poll().
+  Supervisor Root;
+  std::atomic<bool> ShutdownRequested{false};
+
+  // Warm state shared by every connection.
+  batch::ResultCache Cache;
+  std::unique_ptr<store::VerificationStore> Store;
+  std::unique_ptr<batch::WorkStealingPool> Pool;
+  std::unique_ptr<batch::Watchdog> Dog;
+
+  mutable std::mutex StatsM;
+  DaemonStats Counters;
+
+  mutable std::mutex ConnM;
+  std::vector<std::unique_ptr<Connection>> Connections;
+};
+
+} // namespace daemon
+} // namespace qcc
+
+#endif // QCC_DAEMON_DAEMON_H

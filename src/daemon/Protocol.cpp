@@ -1,0 +1,206 @@
+//===- daemon/Protocol.cpp - qccd wire protocol ---------------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Protocol.h"
+
+#include "store/Store.h"
+#include "support/Hash.h"
+#include "support/Io.h"
+
+#include <cstring>
+
+using namespace qcc;
+using namespace qcc::daemon;
+
+const char *qcc::daemon::frameStatusName(FrameStatus S) {
+  switch (S) {
+  case FrameStatus::Ok:
+    return "ok";
+  case FrameStatus::Eof:
+    return "eof";
+  case FrameStatus::Truncated:
+    return "truncated";
+  case FrameStatus::BadMagic:
+    return "bad-magic";
+  case FrameStatus::BadVersion:
+    return "bad-version";
+  case FrameStatus::Oversize:
+    return "oversize";
+  case FrameStatus::BadChecksum:
+    return "bad-checksum";
+  case FrameStatus::IoError:
+    return "io-error";
+  }
+  return "?";
+}
+
+static uint64_t payloadChecksum(const std::string &Payload) {
+  return Fnv1a64().bytes(Payload.data(), Payload.size()).digest();
+}
+
+std::string qcc::daemon::encodeFrame(MsgType Type, const std::string &Payload) {
+  store::ByteWriter W;
+  for (char C : WireMagic)
+    W.u8(static_cast<uint8_t>(C));
+  W.u32(WireVersion);
+  W.u32(static_cast<uint32_t>(Type));
+  W.u64(payloadChecksum(Payload));
+  W.u64(Payload.size());
+  std::string Out = W.take();
+  Out.append(Payload);
+  return Out;
+}
+
+FrameStatus qcc::daemon::readFrame(int Fd, Frame &Out, uint64_t MaxPayload) {
+  char Header[FrameHeaderSize];
+  long Got = io::readFull(Fd, Header, sizeof(Header));
+  if (Got < 0)
+    return FrameStatus::IoError;
+  if (Got == 0)
+    return FrameStatus::Eof;
+  if (static_cast<size_t>(Got) != sizeof(Header))
+    return FrameStatus::Truncated;
+
+  // Validation order mirrors the store's entry loader: identity first
+  // (magic), then compatibility (version), then resource safety (size,
+  // before any allocation), then integrity (checksum, after the payload
+  // is in memory). Each check has a distinct status so the fuzz slice can
+  // assert the precise rejection, not just "something failed".
+  store::ByteReader R(Header, sizeof(Header));
+  bool MagicOk = true;
+  for (char Expect : WireMagic) {
+    uint8_t B = 0;
+    R.u8(B);
+    MagicOk &= B == static_cast<uint8_t>(Expect);
+  }
+  uint32_t Version = 0, RawType = 0;
+  uint64_t Checksum = 0, Size = 0;
+  if (!R.u32(Version) || !R.u32(RawType) || !R.u64(Checksum) || !R.u64(Size))
+    return FrameStatus::Truncated; // Unreachable: header is fixed-size.
+  if (!MagicOk)
+    return FrameStatus::BadMagic;
+  if (Version != WireVersion)
+    return FrameStatus::BadVersion;
+  if (Size > MaxPayload)
+    return FrameStatus::Oversize;
+
+  std::string Payload(static_cast<size_t>(Size), '\0');
+  if (Size != 0) {
+    Got = io::readFull(Fd, Payload.data(), Payload.size());
+    if (Got < 0)
+      return FrameStatus::IoError;
+    if (static_cast<size_t>(Got) != Payload.size())
+      return FrameStatus::Truncated;
+  }
+  if (payloadChecksum(Payload) != Checksum)
+    return FrameStatus::BadChecksum;
+
+  Out.Type = static_cast<MsgType>(RawType);
+  Out.Payload = std::move(Payload);
+  return FrameStatus::Ok;
+}
+
+bool qcc::daemon::sendFrame(int Fd, MsgType Type, const std::string &Payload) {
+  std::string Wire = encodeFrame(Type, Payload);
+  return io::sendFull(Fd, Wire.data(), Wire.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Payload records
+//===----------------------------------------------------------------------===//
+
+std::string qcc::daemon::encodeJobRequest(const JobRequest &Req) {
+  store::ByteWriter W;
+  W.str(Req.Job.Id);
+  W.str(Req.Job.Source);
+  const driver::CompilerOptions &O = Req.Job.Options;
+  W.u64(O.Defines.size());
+  for (const auto &KV : O.Defines) {
+    W.str(KV.first);
+    W.u32(KV.second);
+  }
+  W.boolean(O.Optimize);
+  W.boolean(O.Inline);
+  W.boolean(O.TailCalls);
+  W.boolean(O.ValidateTranslation);
+  W.u64(O.ValidationFuel);
+  W.boolean(O.AnalyzeBounds);
+  store::writeContext(W, O.SeededSpecs);
+  W.boolean(Req.CheckTheorem1);
+  W.u64(Req.DeadlineMillis);
+  W.u64(Req.MemoryBudgetBytes);
+  return W.take();
+}
+
+bool qcc::daemon::decodeJobRequest(const std::string &Payload,
+                                   JobRequest &Out) {
+  store::ByteReader R(Payload);
+  Out = JobRequest();
+  if (!R.str(Out.Job.Id) || !R.str(Out.Job.Source))
+    return false;
+  driver::CompilerOptions &O = Out.Job.Options;
+  uint64_t NumDefines = 0;
+  if (!R.u64(NumDefines))
+    return false;
+  // Each define costs at least 12 bytes on the wire; a count that cannot
+  // fit in the remaining payload is hostile.
+  if (NumDefines > R.remaining() / 12)
+    return false;
+  for (uint64_t I = 0; I != NumDefines; ++I) {
+    std::string Name;
+    uint32_t Value = 0;
+    if (!R.str(Name) || !R.u32(Value))
+      return false;
+    O.Defines[Name] = Value;
+  }
+  if (!R.boolean(O.Optimize) || !R.boolean(O.Inline) ||
+      !R.boolean(O.TailCalls) || !R.boolean(O.ValidateTranslation) ||
+      !R.u64(O.ValidationFuel) || !R.boolean(O.AnalyzeBounds))
+    return false;
+  if (!store::readContext(R, O.SeededSpecs))
+    return false;
+  if (!R.boolean(Out.CheckTheorem1) || !R.u64(Out.DeadlineMillis) ||
+      !R.u64(Out.MemoryBudgetBytes))
+    return false;
+  return R.done();
+}
+
+std::string qcc::daemon::encodePassStatus(const PassStatus &S) {
+  store::ByteWriter W;
+  W.str(S.Pass);
+  W.u64(S.Micros);
+  return W.take();
+}
+
+bool qcc::daemon::decodePassStatus(const std::string &Payload,
+                                   PassStatus &Out) {
+  store::ByteReader R(Payload);
+  Out = PassStatus();
+  return R.str(Out.Pass) && R.u64(Out.Micros) && R.done();
+}
+
+std::string qcc::daemon::encodeVerdict(const batch::ProgramResult &R) {
+  // The proof blob stays server-side: it is store freight, not client
+  // information, and stripping it keeps verdict frames small. Clients who
+  // need proofs re-checked ask the server (--store-verify).
+  store::ByteWriter W;
+  if (R.ProofBlob.empty()) {
+    store::writeResult(W, R);
+  } else {
+    batch::ProgramResult Stripped = R;
+    Stripped.ProofBlob.clear();
+    store::writeResult(W, Stripped);
+  }
+  return W.take();
+}
+
+bool qcc::daemon::decodeVerdict(const std::string &Payload,
+                                batch::ProgramResult &Out) {
+  store::ByteReader R(Payload);
+  Out = batch::ProgramResult();
+  return store::readResult(R, Out) && R.done();
+}

@@ -1,0 +1,142 @@
+//===- daemon/Protocol.h - qccd wire protocol -------------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The qccd wire protocol: length-prefixed binary frames over a local
+/// stream socket, reusing the persistent store's framing discipline
+/// (store/Serialize.h primitives; magic + version + FNV-1a payload
+/// checksum per message, exactly like a store entry header) so one
+/// robustness argument covers both surfaces: every decoder is total on
+/// hostile bytes, every count is sanity-checked against the bytes
+/// remaining, and a violation is a protocol error — never a crash, an
+/// over-read, or a silently misparsed job.
+///
+/// Frame layout (FrameHeaderSize = 32 bytes, little-endian):
+///
+///   offset  size  field
+///        0     8  magic "QCCDWIRE"
+///        8     4  protocol version (u32) = 1
+///       12     4  message type (u32)
+///       16     8  payload checksum: FNV-1a 64 over the payload bytes
+///       24     8  payload size in bytes
+///       32     -  payload (per-type record, store/Serialize conventions)
+///
+/// Conversation: a client sends Submit frames (one verification job
+/// each); the server replies with zero or more Status frames (one per
+/// compiled pass, carrying the pass name and wall micros) followed by
+/// exactly one Verdict frame (the full batch::ProgramResult record,
+/// proof blob stripped — proofs stay server-side in the store). Ping is
+/// answered by Pong; Shutdown asks the daemon to stop accepting and
+/// drain. Any malformed frame is answered by a best-effort Error frame
+/// and a disconnect: after a framing violation the byte stream can no
+/// longer be trusted to be in sync.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_DAEMON_PROTOCOL_H
+#define QCC_DAEMON_PROTOCOL_H
+
+#include "batch/Batch.h"
+#include "store/Serialize.h"
+
+#include <cstdint>
+#include <string>
+
+namespace qcc {
+namespace daemon {
+
+constexpr char WireMagic[8] = {'Q', 'C', 'C', 'D', 'W', 'I', 'R', 'E'};
+constexpr uint32_t WireVersion = 1;
+constexpr size_t FrameHeaderSize = 32;
+
+/// Default ceiling on one frame's payload. Large enough for any corpus
+/// source or verdict, small enough that a hostile length field cannot
+/// make the server allocate unboundedly.
+constexpr uint64_t DefaultMaxFrameBytes = 64ull << 20;
+
+enum class MsgType : uint32_t {
+  Submit = 1,   ///< C -> S: one verification job (JobRequest record).
+  Status = 2,   ///< S -> C: one per-pass status line (PassStatus record).
+  Verdict = 3,  ///< S -> C: final ProgramResult for the last Submit.
+  Error = 4,    ///< S -> C: protocol or budget error (string payload).
+  Ping = 5,     ///< C -> S: liveness probe (empty payload).
+  Pong = 6,     ///< S -> C: Ping reply (empty payload).
+  Shutdown = 7, ///< C -> S: drain and exit (empty payload).
+};
+
+/// Why reading a frame off a descriptor stopped.
+enum class FrameStatus : uint8_t {
+  Ok,          ///< A well-formed frame was read.
+  Eof,         ///< Clean end of stream on a frame boundary.
+  Truncated,   ///< The peer vanished mid-frame.
+  BadMagic,    ///< First 8 bytes are not "QCCDWIRE".
+  BadVersion,  ///< Version skew; no compatibility negotiation at v1.
+  Oversize,    ///< Declared payload exceeds the configured ceiling.
+  BadChecksum, ///< Payload bytes do not match the declared FNV-1a.
+  IoError,     ///< read() failed (including a receive timeout).
+};
+
+/// Display name of \p S ("ok", "eof", "bad-magic", ...).
+const char *frameStatusName(FrameStatus S);
+
+/// One decoded frame.
+struct Frame {
+  MsgType Type = MsgType::Error;
+  std::string Payload;
+};
+
+/// The complete wire image of one frame.
+std::string encodeFrame(MsgType Type, const std::string &Payload);
+
+/// Blocking read of exactly one frame from \p Fd (io::readFull under the
+/// hood, so EINTR and short reads never truncate). On anything but Ok
+/// the stream must be considered out of sync and closed.
+FrameStatus readFrame(int Fd, Frame &Out,
+                      uint64_t MaxPayload = DefaultMaxFrameBytes);
+
+/// Sends one frame (MSG_NOSIGNAL). False when the peer is gone.
+bool sendFrame(int Fd, MsgType Type, const std::string &Payload);
+
+//===----------------------------------------------------------------------===//
+// Message payload records
+//===----------------------------------------------------------------------===//
+
+/// A Submit payload: the job plus the client's requested budgets. The
+/// server clamps every requested budget to its own per-client caps — a
+/// request can tighten the server's discipline, never loosen it.
+struct JobRequest {
+  batch::BatchJob Job;
+  bool CheckTheorem1 = true;
+  /// Requested per-job wall-clock deadline (0 = server default).
+  uint64_t DeadlineMillis = 0;
+  /// Requested per-job soft memory budget (0 = server default).
+  uint64_t MemoryBudgetBytes = 0;
+};
+
+std::string encodeJobRequest(const JobRequest &Req);
+/// Total on hostile input; false on any structural violation.
+bool decodeJobRequest(const std::string &Payload, JobRequest &Out);
+
+/// A Status payload: one pipeline pass of the job just verified.
+struct PassStatus {
+  std::string Pass;
+  uint64_t Micros = 0;
+};
+
+std::string encodePassStatus(const PassStatus &S);
+bool decodePassStatus(const std::string &Payload, PassStatus &Out);
+
+/// Verdict payloads are the store's ProgramResult record verbatim
+/// (store::writeResult / store::readResult): one serializer, one set of
+/// golden fixtures, one robustness proof for disk and wire.
+std::string encodeVerdict(const batch::ProgramResult &R);
+bool decodeVerdict(const std::string &Payload, batch::ProgramResult &Out);
+
+} // namespace daemon
+} // namespace qcc
+
+#endif // QCC_DAEMON_PROTOCOL_H

@@ -10,13 +10,13 @@
 #include "driver/Compiler.h"
 #include "logic/Checker.h"
 #include "support/Hash.h"
+#include "support/Io.h"
 
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <vector>
 
 #include <fcntl.h>
@@ -222,13 +222,11 @@ private:
   int Fd;
 };
 
+// Entry reads go through io::readFile: an ifstream slurp fails the whole
+// stream when a signal interrupts the underlying read() mid-transfer,
+// which would cost an intact entry a spurious quarantine.
 bool readFile(const std::string &Path, std::string &Out) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return false;
-  Out.assign(std::istreambuf_iterator<char>(In),
-             std::istreambuf_iterator<char>());
-  return In.good() || In.eof();
+  return io::readFile(Path, Out);
 }
 
 bool hasSuffix(const std::string &S, const std::string &Suffix) {
@@ -520,19 +518,12 @@ void VerificationStore::put(const batch::JobKey &Key,
   bool Written = false;
   int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (Fd >= 0) {
-    size_t Off = 0;
-    while (Off < Bytes.size()) {
-      ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
-      if (N < 0) {
-        if (errno == EINTR)
-          continue;
-        break;
-      }
-      Off += static_cast<size_t>(N);
-    }
-    // fsync before rename: the entry must be durable before it becomes
+    // Full-transfer write and EINTR-proof fsync (support/Io.h): a signal
+    // during the put cannot leave a truncated temp file behind. fsync
+    // before rename: the entry must be durable before it becomes
     // visible, or a crash could commit a torn file under a valid name.
-    Written = Off == Bytes.size() && ::fsync(Fd) == 0;
+    Written = io::writeFull(Fd, Bytes.data(), Bytes.size()) &&
+              io::fsyncFull(Fd);
     ::close(Fd);
   }
   std::error_code EC;

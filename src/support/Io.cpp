@@ -1,0 +1,100 @@
+//===- support/Io.cpp - Full-transfer POSIX I/O helpers -------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Io.h"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace qcc {
+namespace io {
+
+bool writeFull(int Fd, const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::write(Fd, P + Off, Len - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+long readFull(int Fd, void *Data, size_t Len) {
+  char *P = static_cast<char *>(Data);
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::read(Fd, P + Off, Len - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N == 0) // EOF: report how far we got; the caller decides.
+      break;
+    Off += static_cast<size_t>(N);
+  }
+  return static_cast<long>(Off);
+}
+
+bool sendFull(int Fd, const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::send(Fd, P + Off, Len - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool fsyncFull(int Fd) {
+  while (::fsync(Fd) != 0) {
+    if (errno != EINTR)
+      return false;
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
+    return false;
+  Out.clear();
+  struct stat St;
+  if (::fstat(Fd, &St) == 0 && St.st_size > 0)
+    Out.reserve(static_cast<size_t>(St.st_size));
+  char Buf[1 << 16];
+  bool Ok = true;
+  for (;;) {
+    long N = readFull(Fd, Buf, sizeof Buf);
+    if (N < 0) {
+      Ok = false;
+      break;
+    }
+    Out.append(Buf, static_cast<size_t>(N));
+    if (static_cast<size_t>(N) < sizeof Buf) // EOF
+      break;
+  }
+  ::close(Fd);
+  return Ok;
+}
+
+} // namespace io
+} // namespace qcc

@@ -1,0 +1,55 @@
+//===- support/Io.h - Full-transfer POSIX I/O helpers -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Full-transfer wrappers over the POSIX read/write/send calls. Every
+/// caller that moves bytes to or from a file descriptor — the persistent
+/// store's entry files, the qccd daemon's socket frames — goes through
+/// these, so a signal delivered mid-transfer (EINTR) or a short transfer
+/// (pipes, sockets, disk pressure) can never silently truncate a payload:
+/// the store's crash-safety argument and the daemon's framing both assume
+/// "either all the bytes moved, or the operation reported failure".
+///
+/// Socket writes use send(MSG_NOSIGNAL), so a peer that disconnects
+/// mid-reply surfaces as EPIPE instead of killing the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_SUPPORT_IO_H
+#define QCC_SUPPORT_IO_H
+
+#include <cstddef>
+#include <string>
+
+namespace qcc {
+namespace io {
+
+/// Writes all \p Len bytes to \p Fd, retrying on EINTR and short writes.
+/// True iff every byte was written.
+bool writeFull(int Fd, const void *Data, size_t Len);
+
+/// Reads until \p Len bytes arrived or the stream ended, retrying on
+/// EINTR and short reads. Returns the byte count actually read (< Len
+/// means EOF before the transfer completed), or -1 on a real error.
+long readFull(int Fd, void *Data, size_t Len);
+
+/// send()-based variant of writeFull for sockets: MSG_NOSIGNAL turns a
+/// vanished peer into an EPIPE error instead of a fatal SIGPIPE.
+bool sendFull(int Fd, const void *Data, size_t Len);
+
+/// fsync, retrying on EINTR. True on success.
+bool fsyncFull(int Fd);
+
+/// Reads the whole regular file at \p Path into \p Out through readFull
+/// (EINTR-safe, unlike an ifstream, whose underlying read can fail a
+/// stream mid-slurp). True iff the file opened and was read to EOF.
+bool readFile(const std::string &Path, std::string &Out);
+
+} // namespace io
+} // namespace qcc
+
+#endif // QCC_SUPPORT_IO_H

@@ -1,0 +1,49 @@
+//===- support/Numeric.h - Strict CLI numeric parsing -----------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one numeric-operand parser every qcc/qccd command line shares.
+/// Bare strtoull is a trap for option parsing: it skips leading
+/// whitespace, accepts a sign (so "--jobs -1" silently becomes 2^64-1),
+/// and reports trailing garbage only through the end pointer. This
+/// parser is strict: the operand must be exactly one non-negative
+/// integer — decimal, or hex/octal with the usual 0x/0 prefixes — with
+/// no sign, no whitespace, no trailing characters, and no overflow of
+/// either uint64_t or the caller's ceiling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_SUPPORT_NUMERIC_H
+#define QCC_SUPPORT_NUMERIC_H
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+
+namespace qcc {
+
+/// Parses \p Text as one complete unsigned integer in [0, Max].
+/// Rejects (nullopt): empty strings, any sign ('-' would wrap, '+' is
+/// noise), leading whitespace (which strtoull would skip, re-admitting a
+/// sign behind it), trailing characters, and values exceeding uint64_t
+/// (ERANGE) or \p Max.
+inline std::optional<uint64_t> parseUnsigned(const char *Text,
+                                             uint64_t Max = UINT64_MAX) {
+  if (!Text || Text[0] < '0' || Text[0] > '9')
+    return std::nullopt; // empty, sign, whitespace, or non-digit lead
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(Text, &End, 0);
+  if (errno == ERANGE || End == Text || *End != '\0' || V > Max)
+    return std::nullopt;
+  return static_cast<uint64_t>(V);
+}
+
+} // namespace qcc
+
+#endif // QCC_SUPPORT_NUMERIC_H

@@ -424,6 +424,128 @@ TEST(Journal, KilledAfterNResumesTheRest) {
   EXPECT_EQ(Resumed.exitCode(), 0);
 }
 
+/// A deterministic in-memory ResultStore: the drain-race tests need a
+/// store hit without on-disk machinery (SupervisionTest does not link
+/// the store library; the interface lives in batch/Batch.h).
+class MemoryStore : public ResultStore {
+public:
+  std::shared_ptr<const ProgramResult> fetch(const JobKey &Key,
+                                             const BatchJob &,
+                                             Supervisor *) override {
+    std::lock_guard<std::mutex> G(M);
+    auto It = Map.find(Key.Primary);
+    if (It == Map.end())
+      return nullptr;
+    return std::make_shared<ProgramResult>(It->second);
+  }
+  void put(const JobKey &Key, const ProgramResult &R, Supervisor *) override {
+    std::lock_guard<std::mutex> G(M);
+    Map[Key.Primary] = R;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> G(M);
+    return Map.size();
+  }
+
+private:
+  mutable std::mutex M;
+  std::unordered_map<uint64_t, ProgramResult> Map;
+};
+
+/// The SIGINT completion-vs-flush race (the drain contract): a verdict
+/// that exists the moment the interrupt fires must reach the journal
+/// before runBatch returns. CompletionBarrier fires between "result
+/// known" and "journal flushed" — cancelling there pins the widest
+/// possible window. Serial (Jobs=1) so exactly job 0 completes.
+TEST(Journal, InterruptAtCompletionBarrierStillJournalsTheVerdict) {
+  ScratchFile Journal("barrier");
+  std::vector<BatchJob> Jobs;
+  for (int I = 0; I != 3; ++I) {
+    BatchJob J;
+    J.Id = "t" + std::to_string(I);
+    J.Source = Terminating;
+    J.Options.ValidateTranslation = false;
+    J.Options.Defines["SALT"] = static_cast<uint32_t>(I);
+    Jobs.push_back(std::move(J));
+  }
+
+  Supervisor Interrupt;
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  Opts.JournalPath = Journal.path();
+  Opts.Interrupt = &Interrupt;
+  Opts.CompletionBarrier = [&](const ProgramResult &) {
+    Interrupt.cancel(StopCause::Cancelled);
+  };
+  BatchResult First = runBatch(Jobs, Opts);
+  ASSERT_EQ(First.Programs[0].Status, JobStatus::Ok);
+  EXPECT_EQ(First.countStatus(JobStatus::Cancelled), 2u);
+  EXPECT_EQ(First.exitCode(), 3);
+
+  // The rerun resumes: the completed verdict replays from the journal,
+  // the cancelled jobs are attempted (and verified) now.
+  BatchOptions Resume;
+  Resume.JournalPath = Journal.path();
+  BatchResult Second = runBatch(Jobs, Resume);
+  EXPECT_EQ(Second.Programs[0].Status, JobStatus::SkippedFromJournal);
+  EXPECT_EQ(Second.Programs[1].Status, JobStatus::Ok);
+  EXPECT_EQ(Second.Programs[2].Status, JobStatus::Ok);
+  EXPECT_EQ(Second.exitCode(), 0);
+}
+
+/// The regression the post-quiesce re-scan closes: results served warm
+/// (store/cache hits) are definitive verdicts, but the inline journal
+/// write used to be skipped on the early-return hit paths. An interrupted
+/// warm run then lost them from the journal and re-fetched — or, after
+/// store eviction, re-verified — finished work on resume.
+TEST(Journal, WarmStoreHitsReachTheJournalDespiteInterrupt) {
+  ScratchFile Journal("warmhits");
+  MemoryStore Store;
+  std::vector<BatchJob> Jobs;
+  for (int I = 0; I != 3; ++I) {
+    BatchJob J;
+    J.Id = "t" + std::to_string(I);
+    J.Source = Terminating;
+    J.Options.ValidateTranslation = false;
+    J.Options.Defines["SALT"] = static_cast<uint32_t>(I);
+    Jobs.push_back(std::move(J));
+  }
+
+  // Warm the store (no journal yet).
+  BatchOptions Warm;
+  Warm.Store = &Store;
+  ASSERT_TRUE(runBatch(Jobs, Warm).allOk());
+  ASSERT_EQ(Store.size(), 3u);
+
+  // Warm run under a journal; the interrupt fires at the first
+  // completion barrier. Job 0 was served from the store — a definitive
+  // verdict that must be journaled even though no fresh verification
+  // ran and the hit path returned before the inline record.
+  Supervisor Interrupt;
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Store = &Store;
+  Opts.JournalPath = Journal.path();
+  Opts.Interrupt = &Interrupt;
+  Opts.CompletionBarrier = [&](const ProgramResult &) {
+    Interrupt.cancel(StopCause::Cancelled);
+  };
+  BatchResult First = runBatch(Jobs, Opts);
+  ASSERT_TRUE(First.Programs[0].StoreHit);
+  ASSERT_EQ(First.Programs[0].Status, JobStatus::Ok);
+  EXPECT_EQ(First.countStatus(JobStatus::Cancelled), 2u);
+
+  // Resume with the journal but WITHOUT the store (the eviction case:
+  // warm entries are not guaranteed to still be there). The journaled
+  // hit must replay as skipped, not re-verify.
+  BatchOptions Resume;
+  Resume.JournalPath = Journal.path();
+  BatchResult Second = runBatch(Jobs, Resume);
+  EXPECT_EQ(Second.Programs[0].Status, JobStatus::SkippedFromJournal);
+  EXPECT_EQ(Second.Programs[1].Status, JobStatus::Ok);
+  EXPECT_EQ(Second.Programs[2].Status, JobStatus::Ok);
+}
+
 TEST(Journal, BudgetStoppedJobsAreNeverRecorded) {
   ScratchFile Journal("quarantine");
   std::vector<BatchJob> Jobs{nonTerminatingJob("nonterm", 20'000)};

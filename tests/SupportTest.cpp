@@ -7,9 +7,17 @@
 
 #include "support/Diagnostics.h"
 #include "support/ExtNat.h"
+#include "support/Io.h"
+#include "support/Numeric.h"
 #include "support/SourceLoc.h"
 
 #include <gtest/gtest.h>
+
+#include <cstring>
+#include <fcntl.h>
+#include <string>
+#include <thread>
+#include <unistd.h>
 
 using namespace qcc;
 
@@ -161,6 +169,105 @@ TEST(Diagnostics, Rendering) {
   DE.clear();
   EXPECT_FALSE(DE.hasErrors());
   EXPECT_TRUE(DE.diagnostics().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Strict numeric-operand parsing (shared by the qcc and qccd CLIs)
+//===----------------------------------------------------------------------===//
+
+TEST(ParseUnsigned, AcceptsCleanIntegers) {
+  EXPECT_EQ(parseUnsigned("0"), 0u);
+  EXPECT_EQ(parseUnsigned("42"), 42u);
+  EXPECT_EQ(parseUnsigned("0x10"), 16u); // Base-0: hex and octal prefixes.
+  EXPECT_EQ(parseUnsigned("010"), 8u);
+  EXPECT_EQ(parseUnsigned("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseUnsigned, RejectsSignsWhereStrtoullWouldWrap) {
+  // Bare strtoull("-1") "succeeds" with 2^64-1 — the --jobs -1 trap.
+  EXPECT_FALSE(parseUnsigned("-1"));
+  EXPECT_FALSE(parseUnsigned("+1")); // Sign noise, even without wrap.
+  EXPECT_FALSE(parseUnsigned("-0"));
+}
+
+TEST(ParseUnsigned, RejectsWhitespaceAndTrailingGarbage) {
+  // strtoull skips leading whitespace (re-admitting a sign behind it)
+  // and reports trailing junk only through the end pointer.
+  EXPECT_FALSE(parseUnsigned(" 1"));
+  EXPECT_FALSE(parseUnsigned("\t1"));
+  EXPECT_FALSE(parseUnsigned(" -1"));
+  EXPECT_FALSE(parseUnsigned("1 "));
+  EXPECT_FALSE(parseUnsigned("12abc"));
+  EXPECT_FALSE(parseUnsigned("1.5"));
+  EXPECT_FALSE(parseUnsigned("0x"));
+}
+
+TEST(ParseUnsigned, RejectsEmptyAndNonNumeric) {
+  EXPECT_FALSE(parseUnsigned(""));
+  EXPECT_FALSE(parseUnsigned("abc"));
+  EXPECT_FALSE(parseUnsigned(nullptr));
+}
+
+TEST(ParseUnsigned, RejectsOverflow) {
+  EXPECT_FALSE(parseUnsigned("18446744073709551616")); // 2^64: ERANGE.
+  EXPECT_FALSE(parseUnsigned("99999999999999999999999999"));
+  EXPECT_FALSE(parseUnsigned("101", 100)); // The caller's ceiling.
+  EXPECT_EQ(parseUnsigned("100", 100), 100u);
+}
+
+//===----------------------------------------------------------------------===//
+// Full-transfer I/O helpers (EINTR / short-write discipline)
+//===----------------------------------------------------------------------===//
+
+TEST(Io, WriteFullAndReadFullRoundTripAPipe) {
+  int Fds[2];
+  ASSERT_EQ(pipe(Fds), 0);
+  const std::string Payload(1 << 16, 'q'); // Larger than the pipe buffer.
+  std::thread Writer([&] {
+    EXPECT_TRUE(io::writeFull(Fds[1], Payload.data(), Payload.size()));
+    close(Fds[1]);
+  });
+  std::string Got(Payload.size(), '\0');
+  // A pipe delivers this in many short reads; readFull must loop.
+  EXPECT_EQ(io::readFull(Fds[0], Got.data(), Got.size()),
+            static_cast<long>(Payload.size()));
+  EXPECT_EQ(Got, Payload);
+  Writer.join();
+  close(Fds[0]);
+}
+
+TEST(Io, ReadFullReportsEofShort) {
+  int Fds[2];
+  ASSERT_EQ(pipe(Fds), 0);
+  ASSERT_TRUE(io::writeFull(Fds[1], "abc", 3));
+  close(Fds[1]);
+  char Buf[8];
+  EXPECT_EQ(io::readFull(Fds[0], Buf, sizeof(Buf)), 3); // EOF mid-request.
+  EXPECT_EQ(io::readFull(Fds[0], Buf, sizeof(Buf)), 0); // EOF at boundary.
+  close(Fds[0]);
+}
+
+TEST(Io, ReadFullReportsErrors) {
+  char Buf[4];
+  EXPECT_EQ(io::readFull(-1, Buf, sizeof(Buf)), -1);
+  EXPECT_FALSE(io::writeFull(-1, Buf, sizeof(Buf)));
+}
+
+TEST(Io, ReadFileSlurpsBinaryContent) {
+  std::string Path = "/tmp/qcc-io-test-" + std::to_string(getpid());
+  std::string Payload("binary\0payload\nwith newlines\n", 29);
+  Payload.push_back('\0');
+  {
+    int Fd = open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(Fd, 0);
+    ASSERT_TRUE(io::writeFull(Fd, Payload.data(), Payload.size()));
+    close(Fd);
+  }
+  std::string Got;
+  EXPECT_TRUE(io::readFile(Path, Got));
+  EXPECT_EQ(Got, Payload);
+  unlink(Path.c_str());
+  EXPECT_FALSE(io::readFile(Path, Got)); // Gone now.
 }
 
 } // namespace

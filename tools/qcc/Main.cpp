@@ -21,12 +21,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "batch/Batch.h"
+#include "daemon/Client.h"
 #include "store/Store.h"
 #include "driver/Compiler.h"
 #include "fuzz/Fuzz.h"
+#include "support/Numeric.h"
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -102,6 +105,15 @@ void usage() {
       "  -D/--inline/--tail-calls/--no-opt/--no-validate apply to every\n"
       "  program in the batch\n"
       "\n"
+      "  --connect <socket>  verify the batch through a running qccd\n"
+      "                   daemon (see qccd --help) instead of in-process:\n"
+      "                   jobs go over the Unix-domain socket at <socket>,\n"
+      "                   verdicts and per-pass metrics come back framed;\n"
+      "                   a warm daemon serves unchanged jobs from its\n"
+      "                   store without recompiling. --deadline-ms and\n"
+      "                   --memory-budget-mb travel with each job (the\n"
+      "                   daemon clamps them to its own caps)\n"
+      "\n"
       "  batch exit codes: 0 all verified; 1 at least one verification\n"
       "  failure; 2 usage error; 3 at least one job quarantined or\n"
       "  cancelled (no verdict reached - not a refutation)\n"
@@ -117,22 +129,19 @@ void usage() {
       "  --jobs N         also applies to the fuzz batch\n");
 }
 
-/// Parses a numeric option operand. Rejects (with nullopt and a message
-/// on stderr) anything but a clean non-negative integer no larger than
-/// \p Max — the caller exits 2, like every other usage error.
+/// Parses a numeric option operand with the strict shared parser
+/// (support/Numeric.h): no sign, no leading whitespace, no trailing
+/// garbage, no overflow. Rejection prints on stderr and the caller exits
+/// 2, like every other usage error. qccd shares the same parser, so the
+/// two command lines cannot drift in what they accept.
 std::optional<uint64_t> parseCount(const char *Flag, const char *Val,
                                    uint64_t Max) {
-  char *End = nullptr;
-  errno = 0;
-  unsigned long long V = strtoull(Val, &End, 0);
-  if (Val[0] == '-' || End == Val || *End != '\0' || errno == ERANGE ||
-      V > Max) {
+  std::optional<uint64_t> V = parseUnsigned(Val, Max);
+  if (!V)
     fprintf(stderr,
             "qcc: %s expects a non-negative number no larger than %llu, "
             "got '%s'\n",
             Flag, static_cast<unsigned long long>(Max), Val);
-    return std::nullopt;
-  }
   return V;
 }
 
@@ -149,10 +158,13 @@ struct BatchCliOptions {
   bool StoreVerify = false;
 };
 
-/// Runs batch mode: collect jobs, fan out, print a per-program table.
-int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
-                 const driver::CompilerOptions &Shared) {
-  std::vector<batch::BatchJob> BatchJobs;
+/// Collects the jobs of one --batch run: the built-in corpus, or every
+/// .c file under a directory, in deterministic order. Shared by the
+/// local engine and --connect mode, so both verify the same job list.
+/// False after a usage diagnostic (caller exits 2).
+bool collectBatchJobs(const std::string &BatchArg,
+                      const driver::CompilerOptions &Shared,
+                      std::vector<batch::BatchJob> &BatchJobs) {
   if (BatchArg == "corpus") {
     BatchJobs = batch::corpusJobs(Shared.ValidateTranslation);
     for (batch::BatchJob &J : BatchJobs) {
@@ -161,34 +173,168 @@ int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
       J.Options.Inline = Shared.Inline;
       J.Options.TailCalls = Shared.TailCalls;
     }
-  } else {
-    std::error_code Ec;
-    std::vector<std::string> Paths;
-    for (const auto &Entry :
-         std::filesystem::directory_iterator(BatchArg, Ec))
-      if (Entry.is_regular_file() && Entry.path().extension() == ".c")
-        Paths.push_back(Entry.path().string());
-    if (Ec) {
-      fprintf(stderr, "qcc: cannot read directory '%s': %s\n",
-              BatchArg.c_str(), Ec.message().c_str());
-      return 2;
-    }
-    std::sort(Paths.begin(), Paths.end()); // Deterministic job order.
-    for (const std::string &P : Paths) {
-      std::ifstream In(P);
-      if (!In) {
-        fprintf(stderr, "qcc: cannot open '%s'\n", P.c_str());
-        return 2;
-      }
-      std::stringstream Buffer;
-      Buffer << In.rdbuf();
-      BatchJobs.push_back({P, Buffer.str(), Shared});
-    }
-    if (BatchJobs.empty()) {
-      fprintf(stderr, "qcc: no .c files under '%s'\n", BatchArg.c_str());
-      return 2;
-    }
+    return true;
   }
+  std::error_code Ec;
+  std::vector<std::string> Paths;
+  for (const auto &Entry : std::filesystem::directory_iterator(BatchArg, Ec))
+    if (Entry.is_regular_file() && Entry.path().extension() == ".c")
+      Paths.push_back(Entry.path().string());
+  if (Ec) {
+    fprintf(stderr, "qcc: cannot read directory '%s': %s\n",
+            BatchArg.c_str(), Ec.message().c_str());
+    return false;
+  }
+  std::sort(Paths.begin(), Paths.end()); // Deterministic job order.
+  for (const std::string &P : Paths) {
+    std::ifstream In(P);
+    if (!In) {
+      fprintf(stderr, "qcc: cannot open '%s'\n", P.c_str());
+      return false;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    BatchJobs.push_back({P, Buffer.str(), Shared});
+  }
+  if (BatchJobs.empty()) {
+    fprintf(stderr, "qcc: no .c files under '%s'\n", BatchArg.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Prints the per-program table, totals, status counts and the optional
+/// JSON metrics file — the output contract both the local engine and
+/// --connect mode share (what makes the two modes comparable byte for
+/// byte, modulo timings). Returns the batch exit code, or 2 when the
+/// metrics file cannot be written.
+int finishBatchReport(const batch::BatchResult &R,
+                      const BatchCliOptions &Cli) {
+  printf("%-28s %-6s %-11s %10s %10s %s\n", "program", "ok", "status",
+         "bound(main)", "t1-stack", "time");
+  for (const batch::ProgramResult &P : R.Programs) {
+    std::string MainBound = "-";
+    for (const batch::FunctionReport &F : P.Bounds)
+      if (F.Function == "main" && F.ConcreteBytes)
+        MainBound = std::to_string(*F.ConcreteBytes);
+    std::string T1 =
+        P.Theorem1Checked
+            ? std::to_string(P.Theorem1StackBytes) + (P.Theorem1Ok ? ""
+                                                                   : " FAIL")
+            : "-";
+    std::string Status = batch::jobStatusName(P.Status);
+    if (P.Stop != StopCause::None)
+      Status += std::string(" (") + stopCauseName(P.Stop) + ")";
+    printf("%-28s %-6s %-11s %10s %10s %llu us%s\n", P.Id.c_str(),
+           P.Ok ? "yes" : "NO", Status.c_str(), MainBound.c_str(),
+           T1.c_str(),
+           static_cast<unsigned long long>(P.Metrics.TotalMicros),
+           P.StoreHit ? " (store)" : P.CacheHit ? " (cached)" : "");
+    if (!P.Ok && !P.Diagnostics.empty())
+      fprintf(stderr, "%s: %s", P.Id.c_str(), P.Diagnostics.c_str());
+  }
+  size_t NumOk = 0;
+  for (const batch::ProgramResult &P : R.Programs)
+    NumOk += P.Ok;
+  printf("\n%zu/%zu ok, %u jobs, %llu us wall, cache %llu/%llu "
+         "hits/misses\n",
+         NumOk, R.Programs.size(), R.Jobs,
+         static_cast<unsigned long long>(R.WallMicros),
+         static_cast<unsigned long long>(R.Cache.Hits),
+         static_cast<unsigned long long>(R.Cache.Misses));
+  if (unsigned Q = R.countStatus(batch::JobStatus::Quarantined))
+    printf("%u quarantined (budget exhausted on every attempt)\n", Q);
+  if (unsigned C = R.countStatus(batch::JobStatus::Cancelled))
+    printf("%u cancelled (interrupt)\n", C);
+  if (unsigned S = R.countStatus(batch::JobStatus::SkippedFromJournal))
+    printf("%u skipped (already in journal '%s')\n", S,
+           Cli.JournalPath.c_str());
+  if (GInterrupt.stopRequested())
+    printf("interrupted: in-flight jobs drained; journal and metrics "
+           "flushed\n");
+
+  if (!Cli.MetricsOut.empty()) {
+    std::ofstream Out(Cli.MetricsOut);
+    if (!Out) {
+      fprintf(stderr, "qcc: cannot write '%s'\n", Cli.MetricsOut.c_str());
+      return 2;
+    }
+    Out << batch::metricsJson(R) << '\n';
+  }
+  return R.exitCode();
+}
+
+/// --connect mode: the same job list, verified by a qccd daemon over its
+/// Unix-domain socket instead of in-process. One connection, jobs
+/// submitted in order; ^C stops submitting and reports the rest as
+/// cancelled (the daemon's own supervision drains the in-flight job).
+int runConnectMode(const std::string &BatchArg, const std::string &Socket,
+                   const BatchCliOptions &Cli,
+                   const driver::CompilerOptions &Shared) {
+  std::vector<batch::BatchJob> BatchJobs;
+  if (!collectBatchJobs(BatchArg, Shared, BatchJobs))
+    return 2;
+
+  daemon::DaemonClient Client;
+  if (!Client.connect(Socket)) {
+    fprintf(stderr, "qcc: %s\n", Client.error().c_str());
+    return 2;
+  }
+  installInterruptHandler();
+
+  batch::BatchResult R;
+  R.Programs.resize(BatchJobs.size());
+  R.Jobs = 1;
+  auto Start = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != BatchJobs.size(); ++I) {
+    batch::ProgramResult &Slot = R.Programs[I];
+    if (GInterrupt.stopRequested()) {
+      Slot.Id = BatchJobs[I].Id;
+      Slot.Status = batch::JobStatus::Cancelled;
+      Slot.Stop = StopCause::Cancelled;
+      Slot.Diagnostics = "cancelled before submission";
+      continue;
+    }
+    daemon::JobRequest Req;
+    Req.Job = BatchJobs[I];
+    Req.CheckTheorem1 = true;
+    Req.DeadlineMillis = Cli.DeadlineMs;
+    Req.MemoryBudgetBytes = Cli.MemoryBudgetMb * (1ull << 20);
+    daemon::ClientOutcome Outcome = Client.verify(Req);
+    if (!Outcome.HaveVerdict) {
+      fprintf(stderr, "qcc: %s: daemon error: %s\n", BatchJobs[I].Id.c_str(),
+              Outcome.Error.c_str());
+      Slot.Id = BatchJobs[I].Id;
+      Slot.Status = batch::JobStatus::Quarantined;
+      Slot.Diagnostics = "daemon error: " + Outcome.Error;
+      if (!Client.connected())
+        // The conversation is dead (protocol error or daemon gone);
+        // remaining jobs cannot be served.
+        for (size_t J = I + 1; J != BatchJobs.size(); ++J) {
+          R.Programs[J].Id = BatchJobs[J].Id;
+          R.Programs[J].Status = batch::JobStatus::Quarantined;
+          R.Programs[J].Diagnostics = "daemon connection lost";
+        }
+      if (!Client.connected())
+        break;
+      continue;
+    }
+    Slot = std::move(Outcome.Result);
+    Slot.Id = BatchJobs[I].Id; // The daemon echoes it; pin it anyway.
+  }
+  auto End = std::chrono::steady_clock::now();
+  R.WallMicros =
+      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+          .count();
+  return finishBatchReport(R, Cli);
+}
+
+/// Runs batch mode: collect jobs, fan out, print a per-program table.
+int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
+                 const driver::CompilerOptions &Shared) {
+  std::vector<batch::BatchJob> BatchJobs;
+  if (!collectBatchJobs(BatchArg, Shared, BatchJobs))
+    return 2;
 
   installInterruptHandler();
   std::unique_ptr<store::VerificationStore> Store;
@@ -216,39 +362,7 @@ int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
   Opts.Interrupt = &GInterrupt;
   batch::BatchResult R = batch::runBatch(BatchJobs, Opts);
 
-  printf("%-28s %-6s %-11s %10s %10s %s\n", "program", "ok", "status",
-         "bound(main)", "t1-stack", "time");
-  for (const batch::ProgramResult &P : R.Programs) {
-    std::string MainBound = "-";
-    for (const batch::FunctionReport &F : P.Bounds)
-      if (F.Function == "main" && F.ConcreteBytes)
-        MainBound = std::to_string(*F.ConcreteBytes);
-    std::string T1 =
-        P.Theorem1Checked
-            ? std::to_string(P.Theorem1StackBytes) + (P.Theorem1Ok
-                                                          ? ""
-                                                          : " FAIL")
-            : "-";
-    std::string Status = batch::jobStatusName(P.Status);
-    if (P.Stop != StopCause::None)
-      Status += std::string(" (") + stopCauseName(P.Stop) + ")";
-    printf("%-28s %-6s %-11s %10s %10s %llu us%s\n", P.Id.c_str(),
-           P.Ok ? "yes" : "NO", Status.c_str(), MainBound.c_str(),
-           T1.c_str(),
-           static_cast<unsigned long long>(P.Metrics.TotalMicros),
-           P.StoreHit ? " (store)" : P.CacheHit ? " (cached)" : "");
-    if (!P.Ok && !P.Diagnostics.empty())
-      fprintf(stderr, "%s: %s", P.Id.c_str(), P.Diagnostics.c_str());
-  }
-  size_t NumOk = 0;
-  for (const batch::ProgramResult &P : R.Programs)
-    NumOk += P.Ok;
-  printf("\n%zu/%zu ok, %u jobs, %llu us wall, cache %llu/%llu "
-         "hits/misses\n",
-         NumOk, R.Programs.size(), R.Jobs,
-         static_cast<unsigned long long>(R.WallMicros),
-         static_cast<unsigned long long>(R.Cache.Hits),
-         static_cast<unsigned long long>(R.Cache.Misses));
+  int Code = finishBatchReport(R, Cli);
   if (Store) {
     store::StoreStats SS = Store->stats();
     printf("store '%s': %llu hits, %llu misses, %llu writes, %llu "
@@ -265,26 +379,7 @@ int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
                      .c_str()
                : "");
   }
-  if (unsigned Q = R.countStatus(batch::JobStatus::Quarantined))
-    printf("%u quarantined (budget exhausted on every attempt)\n", Q);
-  if (unsigned C = R.countStatus(batch::JobStatus::Cancelled))
-    printf("%u cancelled (interrupt)\n", C);
-  if (unsigned S = R.countStatus(batch::JobStatus::SkippedFromJournal))
-    printf("%u skipped (already in journal '%s')\n", S,
-           Cli.JournalPath.c_str());
-  if (GInterrupt.stopRequested())
-    printf("interrupted: in-flight jobs drained; journal and metrics "
-           "flushed\n");
-
-  if (!Cli.MetricsOut.empty()) {
-    std::ofstream Out(Cli.MetricsOut);
-    if (!Out) {
-      fprintf(stderr, "qcc: cannot write '%s'\n", Cli.MetricsOut.c_str());
-      return 2;
-    }
-    Out << batch::metricsJson(R) << '\n';
-  }
-  return R.exitCode();
+  return Code;
 }
 
 } // namespace
@@ -299,6 +394,7 @@ int main(int Argc, char **Argv) {
   std::optional<uint64_t> FuzzCount;
   uint64_t FuzzSeed = 1;
   std::string BatchArg;
+  std::string ConnectSocket;
   BatchCliOptions Cli;
 
   // Applies one "NAME=VALUE" define, validating both halves.
@@ -368,6 +464,12 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       BatchArg = Argv[++I];
+    } else if (Arg == "--connect") {
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "qcc: --connect is missing its socket operand\n");
+        return 2;
+      }
+      ConnectSocket = Argv[++I];
     } else if (Arg == "--jobs") {
       if (I + 1 >= Argc) {
         fprintf(stderr, "qcc: --jobs is missing its thread count\n");
@@ -490,7 +592,14 @@ int main(int Argc, char **Argv) {
       fprintf(stderr, "qcc: --batch takes a directory, not a file\n");
       return 2;
     }
+    if (!ConnectSocket.empty())
+      return runConnectMode(BatchArg, ConnectSocket, Cli, Options);
     return runBatchMode(BatchArg, Cli, Options);
+  }
+  if (!ConnectSocket.empty()) {
+    fprintf(stderr, "qcc: --connect needs --batch (the job list to "
+                    "submit)\n");
+    return 2;
   }
   if (Path.empty()) {
     usage();
