@@ -168,6 +168,10 @@ struct WorkloadResult {
   double RunStreamMs = 0, CheckStreamMs = 0;
   double RunRecordMs = 0, CheckMatMs = 0;
   long StreamKb = 0, MatKb = 0;
+  /// False when VmHWM could not be read (non-Linux): the phase deltas are
+  /// meaningless zeros, and the memory numbers are reported as absent
+  /// (JSON null) instead of a fabricated "0.00x ratio".
+  bool RssSampled = false;
   bool Ok = false, Agree = false;
 
   double checkSpeedup() const { return CheckMatMs / std::max(CheckStreamMs, 1e-6); }
@@ -253,6 +257,7 @@ bool benchWorkload(const char *Name, const char *Source, WorkloadResult &Out) {
   Out.CheckMatMs = CheckMat;
   Out.StreamKb = Hwm1 - Hwm0;
   Out.MatKb = Hwm2 - Hwm1;
+  Out.RssSampled = Hwm0 > 0 && Hwm1 > 0 && Hwm2 > 0;
   Out.Ok = StreamOk && MatOk;
   Out.Agree = Agree;
   return true;
@@ -267,10 +272,18 @@ void printWorkload(const WorkloadResult &W) {
          W.RunRecordMs);
   printf("%-34s %9.2fms %9.2fms\n", "validate 4 pass pairs", W.CheckStreamMs,
          W.CheckMatMs);
-  printf("%-34s %9ldkB %9ldkB\n", "peak-RSS growth (phase delta)", W.StreamKb,
-         W.MatKb);
-  printf("check speedup %.1fx, end-to-end %.2fx, peak-memory ratio %.1fx\n",
-         W.checkSpeedup(), W.endToEndSpeedup(), W.memoryRatio());
+  if (W.RssSampled)
+    printf("%-34s %9ldkB %9ldkB\n", "peak-RSS growth (phase delta)",
+           W.StreamKb, W.MatKb);
+  else
+    printf("%-34s %10s %10s\n", "peak-RSS growth (phase delta)", "n/a",
+           "n/a");
+  printf("check speedup %.1fx, end-to-end %.2fx", W.checkSpeedup(),
+         W.endToEndSpeedup());
+  if (W.RssSampled)
+    printf(", peak-memory ratio %.1fx\n", W.memoryRatio());
+  else
+    printf(" (VmHWM unavailable: no memory ratio)\n");
   printf("verdicts: %s, modes %s\n\n", W.Ok ? "all passes certified" : "FAIL",
          W.Agree ? "agree" : "DISAGREE");
 }
@@ -285,18 +298,28 @@ void emitWorkloadJson(FILE *J, const WorkloadResult &W, bool Last) {
           "      \"check_stream_ms\": %.3f,\n"
           "      \"check_materialized_ms\": %.3f,\n"
           "      \"check_speedup\": %.2f,\n"
-          "      \"end_to_end_speedup\": %.3f,\n"
-          "      \"peak_rss_stream_kb\": %ld,\n"
-          "      \"peak_rss_materialized_kb\": %ld,\n"
-          "      \"peak_memory_ratio\": %.2f,\n"
+          "      \"end_to_end_speedup\": %.3f,\n",
+          W.Name.c_str(), static_cast<unsigned long long>(W.EventsPerLevel),
+          W.RunStreamMs, W.RunRecordMs, W.CheckStreamMs, W.CheckMatMs,
+          W.checkSpeedup(), W.endToEndSpeedup());
+  // null, not 0: a reader averaging ratios across machines must be able
+  // to tell "not measured" from "measured no reduction".
+  if (W.RssSampled)
+    fprintf(J,
+            "      \"peak_rss_stream_kb\": %ld,\n"
+            "      \"peak_rss_materialized_kb\": %ld,\n"
+            "      \"peak_memory_ratio\": %.2f,\n",
+            W.StreamKb, W.MatKb, W.memoryRatio());
+  else
+    fprintf(J, "      \"peak_rss_stream_kb\": null,\n"
+               "      \"peak_rss_materialized_kb\": null,\n"
+               "      \"peak_memory_ratio\": null,\n");
+  fprintf(J,
           "      \"all_passes_certified\": %s,\n"
           "      \"verdicts_agree\": %s\n"
           "    }%s\n",
-          W.Name.c_str(), static_cast<unsigned long long>(W.EventsPerLevel),
-          W.RunStreamMs, W.RunRecordMs, W.CheckStreamMs, W.CheckMatMs,
-          W.checkSpeedup(), W.endToEndSpeedup(), W.StreamKb, W.MatKb,
-          W.memoryRatio(), W.Ok ? "true" : "false",
-          W.Agree ? "true" : "false", Last ? "" : ",");
+          W.Ok ? "true" : "false", W.Agree ? "true" : "false",
+          Last ? "" : ",");
 }
 
 } // namespace
@@ -318,9 +341,12 @@ int main(int argc, char **argv) {
   printWorkload(Deep);
 
   bool Ok = Wide.Ok && Wide.Agree && Deep.Ok && Deep.Agree;
-  printf("headline: %.1fx check speedup / %.2fx end-to-end (deep), "
-         "%.1fx peak-memory reduction (wide)\n",
-         Deep.checkSpeedup(), Deep.endToEndSpeedup(), Wide.memoryRatio());
+  printf("headline: %.1fx check speedup / %.2fx end-to-end (deep)",
+         Deep.checkSpeedup(), Deep.endToEndSpeedup());
+  if (Wide.RssSampled)
+    printf(", %.1fx peak-memory reduction (wide)\n", Wide.memoryRatio());
+  else
+    printf(" (VmHWM unavailable: no memory headline)\n");
 
   if (FILE *J = fopen(JsonPath, "w")) {
     fprintf(J,
@@ -330,12 +356,16 @@ int main(int argc, char **argv) {
             "  \"reps\": %d,\n"
             "  \"falsifier_samples\": 64,\n"
             "  \"check_speedup\": %.2f,\n"
-            "  \"end_to_end_speedup\": %.3f,\n"
-            "  \"peak_memory_ratio\": %.2f,\n"
+            "  \"end_to_end_speedup\": %.3f,\n",
+            Reps, Deep.checkSpeedup(), Deep.endToEndSpeedup());
+    if (Wide.RssSampled)
+      fprintf(J, "  \"peak_memory_ratio\": %.2f,\n", Wide.memoryRatio());
+    else
+      fprintf(J, "  \"peak_memory_ratio\": null,\n");
+    fprintf(J,
             "  \"all_passes_certified\": %s,\n"
             "  \"workloads\": [\n",
-            Reps, Deep.checkSpeedup(), Deep.endToEndSpeedup(),
-            Wide.memoryRatio(), Ok ? "true" : "false");
+            Ok ? "true" : "false");
     emitWorkloadJson(J, Wide, false);
     emitWorkloadJson(J, Deep, true);
     fprintf(J, "  ]\n}\n");

@@ -21,7 +21,8 @@ BoundExpr AnalysisResult::callBound(const std::string &Function) const {
 AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
                                              DiagnosticEngine &Diags,
                                              FunctionContext SeededSpecs,
-                                             Supervisor *Sup) {
+                                             Supervisor *Sup,
+                                             SpecCache *Cache) {
   AnalysisResult Result;
   Result.Gamma = std::move(SeededSpecs);
 
@@ -63,6 +64,21 @@ AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
     if (Blocked)
       continue;
 
+    // A cache hit stands in for derive-and-check wholesale: the hook
+    // guarantees the bound was checker-accepted for this exact body under
+    // these exact callee specifications, so accepting it is the same
+    // trust step as accepting a seeded spec — except the derivation is
+    // still carried along for proof-artifact emission.
+    if (Cache) {
+      if (std::optional<FunctionBound> FB =
+              Cache->lookup(Name, *F, Result.Gamma)) {
+        Result.Gamma[Name] = FB->Spec;
+        Result.Bounds.emplace(Name, std::move(*FB));
+        Result.ReusedFunctions.push_back(Name);
+        continue;
+      }
+    }
+
     DerivationBuilder Builder(P, Result.Gamma, Opt);
 
     // Pass 1: the peak requirement of the body (nothing demanded after).
@@ -101,6 +117,8 @@ AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
       continue;
     }
 
+    if (Cache)
+      Cache->fresh(Name, *FB);
     Result.Gamma[Name] = FB->Spec;
     Result.Bounds.emplace(Name, std::move(*FB));
   }

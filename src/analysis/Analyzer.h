@@ -38,6 +38,35 @@
 namespace qcc {
 namespace analysis {
 
+/// Hook letting a caller serve a function's already-checked bound from a
+/// cache instead of re-deriving and re-checking it. The incremental
+/// engine implements this over its function-level keys: lookup must only
+/// return a bound that was accepted by the proof checker for a function
+/// whose body, callee specifications, and analysis options are unchanged
+/// — the analyzer trusts the hit exactly as it trusts a seeded spec.
+/// The analyzer's walk (topological order, recursion and blocked-callee
+/// reporting) runs identically either way, so diagnostics and the set of
+/// analyzed functions are bit-identical to an uncached run.
+class SpecCache {
+public:
+  virtual ~SpecCache() = default;
+
+  /// A checked bound for \p Function, whose current Clight definition is
+  /// \p F, or nullopt to analyze it freshly. \p Gamma is the evolving
+  /// context at this point of the callee-first walk — it already holds
+  /// the specifications of every callee of \p Function, which is exactly
+  /// what a content key must cover for reuse to be sound. Any derivation
+  /// returned must reference statements of \p F's (current) body only.
+  virtual std::optional<logic::FunctionBound>
+  lookup(const std::string &Function, const clight::Function &F,
+         const logic::FunctionContext &Gamma) = 0;
+
+  /// Called after the proof checker accepted a freshly derived bound, so
+  /// the cache can record it for the next run.
+  virtual void fresh(const std::string &Function,
+                     const logic::FunctionBound &FB) = 0;
+};
+
 /// The outcome of one analyzer run.
 struct AnalysisResult {
   /// Specifications for every analyzed function (seeded specs included).
@@ -47,6 +76,9 @@ struct AnalysisResult {
   /// Functions skipped because they participate in recursion and had no
   /// seeded specification.
   std::vector<std::string> SkippedRecursive;
+  /// Functions whose checked bound was served by the SpecCache hook
+  /// (their entries in Bounds carry the cached derivation).
+  std::vector<std::string> ReusedFunctions;
 
   /// The verified *call bound* of \p Function: M(f) + B_f, the stack
   /// needed to call it (what Table 1 reports). Null when unknown.
@@ -63,10 +95,14 @@ struct AnalysisResult {
 /// \p Sup, when given, is polled between functions and inside the proof
 /// checker; a stopped analysis reports a "stopped" diagnostic and returns
 /// the bounds completed so far, claiming nothing about the rest.
+///
+/// \p Cache, when given, may serve checked bounds for unchanged functions
+/// (see SpecCache); the walk itself always runs in full.
 AnalysisResult analyzeProgram(const clight::Program &P,
                               DiagnosticEngine &Diags,
                               logic::FunctionContext SeededSpecs = {},
-                              Supervisor *Sup = nullptr);
+                              Supervisor *Sup = nullptr,
+                              SpecCache *Cache = nullptr);
 
 } // namespace analysis
 } // namespace qcc

@@ -69,6 +69,23 @@ CallGraph::CallGraph(const cl::Program &P) {
     if (Reaches(F, F))
       Recursive.insert(F);
 
+  // Group the recursive functions into strongly connected components by
+  // mutual reachability. Iterating the (ordered) Recursive set makes each
+  // component surface at its smallest member, so the component order is
+  // deterministic across runs and declaration orders.
+  std::set<std::string> Assigned;
+  for (const std::string &F : Recursive) {
+    if (Assigned.count(F))
+      continue;
+    std::set<std::string> Comp{F};
+    for (const std::string &G : Recursive)
+      if (G != F && !Assigned.count(G) && Reaches(F, G) && Reaches(G, F))
+        Comp.insert(G);
+    for (const std::string &M : Comp)
+      Assigned.insert(M);
+    Components.push_back(std::move(Comp));
+  }
+
   // Callee-first topological order via post-order DFS (cycles are cut at
   // recursive back edges; order among cycle members is name order, which
   // the map iteration already provides).

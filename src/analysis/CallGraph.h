@@ -50,10 +50,21 @@ public:
   /// in name order, so the analyzer can report them deterministically.
   const std::vector<std::string> &topologicalOrder() const { return Topo; }
 
+  /// The recursive strongly connected components: each set groups the
+  /// functions of one cycle family (mutually reachable recursive
+  /// functions). Components are disjoint, cover recursiveFunctions()
+  /// exactly, and are ordered by their (name-)smallest member — the
+  /// incremental engine invalidates a whole component as a unit, since
+  /// any member's bound can depend on every other member's body.
+  const std::vector<std::set<std::string>> &recursiveComponents() const {
+    return Components;
+  }
+
 private:
   std::map<std::string, std::set<std::string>> Edges;
   std::set<std::string> Recursive;
   std::vector<std::string> Topo;
+  std::vector<std::set<std::string>> Components;
   std::set<std::string> EmptySet;
 };
 

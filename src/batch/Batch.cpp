@@ -385,9 +385,12 @@ ProgramResult qcc::batch::runSupervisedJob(const BatchJob &J,
       }
       BatchJob A = J;
       A.Options.ValidationFuel = Fuel;
-      ProgramResult R = verifyOne(A, Options.CheckTheorem1, &Sup,
-                                  /*KeepProofArtifacts=*/Options.Store !=
-                                      nullptr);
+      bool KeepProofs = Options.Store != nullptr;
+      ProgramResult R =
+          Options.Incremental
+              ? Options.Incremental->verify(A, Options.CheckTheorem1, &Sup,
+                                            KeepProofs)
+              : verifyOne(A, Options.CheckTheorem1, &Sup, KeepProofs);
       if (Dog)
         Dog->unwatch(&Sup);
       LastAttemptCharge = Sup.chargedBytes();
@@ -675,6 +678,25 @@ std::string qcc::batch::metricsJson(const BatchResult &R,
       jsonKey("passes", Out);
       jsonPairs("us", P.Metrics.PassMicros, Out);
       Out += ',';
+      // How the verdict was produced, not what it is: Full-detail only,
+      // so warm and cold runs stay byte-identical at Deterministic.
+      jsonKey("incremental", Out);
+      Out += "{\"funcs_reused\":" + std::to_string(P.Metrics.FuncsReused) +
+             ",\"funcs_reverified\":" +
+             std::to_string(P.Metrics.FuncsReVerified) +
+             ",\"funcs_invalidated\":" +
+             std::to_string(P.Metrics.FuncsInvalidated) +
+             ",\"interned_bounds\":" +
+             std::to_string(P.Metrics.InternedBounds) +
+             ",\"arena_high_water\":" +
+             std::to_string(P.Metrics.ArenaHighWater) +
+             ",\"reverified_functions\":[";
+      for (size_t F = 0; F != P.Metrics.ReVerifiedFunctions.size(); ++F) {
+        if (F)
+          Out += ',';
+        jsonStr(P.Metrics.ReVerifiedFunctions[F], Out);
+      }
+      Out += "]},";
     }
     jsonKey("refinement_events", Out);
     jsonPairs("events", P.Metrics.ReplayedEvents, Out);

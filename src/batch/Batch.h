@@ -79,6 +79,20 @@ struct ProgramMetrics {
   std::vector<std::pair<std::string, uint64_t>> ReplayedEvents;
   uint64_t ProofNodes = 0;
   uint64_t TotalMicros = 0;
+  /// Incremental-engine counters, all zero when the job ran through the
+  /// whole-file path. Like the timing fields, these describe how the
+  /// verdict was produced, not what it is: metricsJson emits them only at
+  /// Full detail, so a warm incremental run stays byte-identical to a
+  /// cold run under JsonDetail::Deterministic.
+  uint64_t FuncsReused = 0;       ///< Served from the function cache/store.
+  uint64_t FuncsReVerified = 0;   ///< Derived and checked fresh this run.
+  uint64_t FuncsInvalidated = 0;  ///< Previously-keyed functions whose key
+                                  ///< changed (edited or caller-affected).
+  uint64_t InternedBounds = 0;    ///< logic::internStats() table size.
+  uint64_t ArenaHighWater = 0;    ///< Process-wide arena high water, bytes.
+  /// The exact set of functions re-verified this run, sorted by name
+  /// (what the mutation regression tests assert on).
+  std::vector<std::string> ReVerifiedFunctions;
 };
 
 /// Everything the engine reports for one job.
@@ -188,6 +202,22 @@ public:
 /// seeded specifications, and whether Theorem 1 is checked.
 JobKey jobKey(const BatchJob &J, bool CheckTheorem1);
 
+/// A function-granular verification engine the batch loop can dispatch
+/// to in place of \c verifyOne. Implemented by incremental::Engine: the
+/// whole-file JobKey caches above still run first (they are cheaper than
+/// any per-function work), and this engine handles the misses — a warm
+/// edit re-verifies only the edited function and its transitive callers.
+/// The contract is bit-identity: for any job, verify() must produce the
+/// same verdict, bounds, diagnostics, proof blob, and deterministic
+/// metrics as verifyOne(Job, CheckTheorem1, Sup, KeepProofArtifacts);
+/// only timing fields and the incremental counters may differ.
+class IncrementalEngine {
+public:
+  virtual ~IncrementalEngine() = default;
+  virtual ProgramResult verify(const BatchJob &Job, bool CheckTheorem1,
+                               Supervisor *Sup, bool KeepProofArtifacts) = 0;
+};
+
 /// Engine configuration.
 struct BatchOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
@@ -218,6 +248,10 @@ struct BatchOptions {
   /// "<status> <jobKey>" lines; a rerun with the same journal skips jobs
   /// it already finds there. Only definitive verdicts are journaled.
   std::string JournalPath;
+  /// Optional function-granular engine (caller-owned; thread-safe). When
+  /// set, fresh verification attempts run through it instead of
+  /// verifyOne, reusing per-function work across jobs and runs.
+  IncrementalEngine *Incremental = nullptr;
   /// Batch-wide cancel token (the CLI's SIGINT handler cancels it).
   /// Every per-job supervisor is parented to it, so one cancel drains
   /// in-flight jobs at their next poll point.

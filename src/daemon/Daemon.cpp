@@ -9,6 +9,7 @@
 
 #include "batch/ThreadPool.h"
 #include "batch/Watchdog.h"
+#include "incremental/Incremental.h"
 #include "store/Store.h"
 #include "support/Io.h"
 
@@ -41,6 +42,11 @@ struct Daemon::Connection {
   /// Supervisor-charged bytes across all of this client's jobs, billed
   /// against DaemonOptions::ClientBudgetBytes.
   uint64_t BilledBytes = 0;
+  /// Per-connection incremental counters (accumulated from every job's
+  /// metrics; zero when the engine is disabled or jobs were cache hits).
+  uint64_t FuncsReused = 0;
+  uint64_t FuncsReVerified = 0;
+  uint64_t FuncsInvalidated = 0;
   std::thread Thread;
   std::atomic<bool> Finished{false};
 
@@ -78,6 +84,13 @@ Daemon::Daemon(const DaemonOptions &O) : Opts(O) {
       Error = "cannot open store: " + StoreError;
       return;
     }
+  }
+
+  if (Opts.Incremental) {
+    incremental::EngineOptions EO;
+    if (!Opts.StoreDir.empty())
+      EO.FuncStoreDir = Opts.StoreDir + "/funcs";
+    Inc = std::make_unique<incremental::Engine>(std::move(EO));
   }
 
   int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -320,6 +333,7 @@ bool Daemon::handleSubmit(Connection &Conn, const std::string &Payload) {
        Req.MemoryBudgetBytes < Opts.MemoryBudgetBytes))
     JobOpts.MemoryBudgetBytes = Req.MemoryBudgetBytes;
   JobOpts.Interrupt = &Conn.Client;
+  JobOpts.Incremental = Inc.get();
 
   // A client-requested deadline needs the watchdog even when the server
   // itself runs without one.
@@ -363,12 +377,22 @@ bool Daemon::handleSubmit(Connection &Conn, const std::string &Payload) {
     ++Counters.BudgetCancels;
   }
 
+  // Per-connection incremental accounting, rolled up into the daemon
+  // stats alongside the job count (cache/store hits contribute zeros:
+  // their verdicts were never re-derived).
+  Conn.FuncsReused += Result.Metrics.FuncsReused;
+  Conn.FuncsReVerified += Result.Metrics.FuncsReVerified;
+  Conn.FuncsInvalidated += Result.Metrics.FuncsInvalidated;
+
   // Count the job before streaming its verdict: a client that has the
   // verdict in hand must already see it in stats(), whatever this
   // connection thread does next.
   {
     std::lock_guard<std::mutex> G(StatsM);
     ++Counters.JobsServed;
+    Counters.FuncsReused += Result.Metrics.FuncsReused;
+    Counters.FuncsReVerified += Result.Metrics.FuncsReVerified;
+    Counters.FuncsInvalidated += Result.Metrics.FuncsInvalidated;
   }
 
   // Stream per-pass status frames, then the verdict. Send failures mean

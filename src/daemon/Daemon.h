@@ -53,6 +53,9 @@ class WorkStealingPool;
 namespace store {
 class VerificationStore;
 } // namespace store
+namespace incremental {
+class Engine;
+} // namespace incremental
 
 namespace daemon {
 
@@ -86,6 +89,12 @@ struct DaemonOptions {
   uint64_t StoreBudgetBytes = 0;
   /// Re-check proofs on every store load before serving them.
   bool StoreVerify = false;
+  /// Serve warm edits through the function-granular incremental engine
+  /// (incremental::Engine): whole-file cache misses re-verify only the
+  /// functions whose keys changed, sharing per-function work across every
+  /// connection. With a StoreDir, function records and per-TU manifests
+  /// persist under `<StoreDir>/funcs`.
+  bool Incremental = true;
 };
 
 /// Aggregate counters, readable while the daemon runs (for tests and for
@@ -95,6 +104,11 @@ struct DaemonStats {
   uint64_t JobsServed = 0;      ///< Verdict frames sent.
   uint64_t ProtocolErrors = 0;  ///< Malformed frames answered with Error.
   uint64_t BudgetCancels = 0;   ///< Connections cancelled for fair-share.
+  // Incremental-engine roll-ups across every connection (zero when the
+  // engine is disabled); the same counters accumulate per connection.
+  uint64_t FuncsReused = 0;     ///< Checked bounds served from key hits.
+  uint64_t FuncsReVerified = 0; ///< Bounds derived and checked fresh.
+  uint64_t FuncsInvalidated = 0;///< Manifest entries whose key changed.
 };
 
 /// The daemon. Construct, check valid(), then serve() until another
@@ -147,6 +161,7 @@ private:
   // Warm state shared by every connection.
   batch::ResultCache Cache;
   std::unique_ptr<store::VerificationStore> Store;
+  std::unique_ptr<incremental::Engine> Inc; ///< Null when disabled.
   std::unique_ptr<batch::WorkStealingPool> Pool;
   std::unique_ptr<batch::Watchdog> Dog;
 

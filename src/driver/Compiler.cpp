@@ -107,10 +107,9 @@ qcc::driver::parseOnly(const std::string &Source, DiagnosticEngine &Diags,
   return frontend::parseProgram(Source, Diags, Options.Defines);
 }
 
-std::optional<Compilation> qcc::driver::compile(const std::string &Source,
-                                                DiagnosticEngine &Diags,
-                                                CompilerOptions Options,
-                                                PassStats *Stats) {
+std::optional<Compilation>
+qcc::driver::lowerPipeline(const std::string &Source, DiagnosticEngine &Diags,
+                           const CompilerOptions &Options, PassStats *Stats) {
   std::optional<clight::Program> CL;
   {
     StageTimer T(Stats, "parse");
@@ -202,8 +201,22 @@ std::optional<Compilation> qcc::driver::compile(const std::string &Source,
 
   if (Stopped())
     return std::nullopt;
+  return C;
+}
 
-  if (Options.ValidateTranslation) {
+bool qcc::driver::validateTranslation(const Compilation &C,
+                                      DiagnosticEngine &Diags,
+                                      const CompilerOptions &Options,
+                                      PassStats *Stats) {
+  auto Stopped = [&Options, &Diags] {
+    Supervisor *S = Options.Supervision;
+    if (!S || !S->stopRequested())
+      return false;
+    Diags.error(SourceLoc(), std::string("compilation stopped: ") +
+                                 stopCauseName(S->cause()));
+    return true;
+  };
+  {
     StageTimer T(Stats, "validate");
     Supervisor *Sup = Options.Supervision;
     // Each level streams its events into a RefinementAccumulator; nothing
@@ -271,10 +284,26 @@ std::optional<Compilation> qcc::driver::compile(const std::string &Source,
     // Report a stop before a failure: a stopped run withholds its
     // verdict, and validatePair suppressed its own diagnostics above.
     if (Stopped())
-      return std::nullopt;
+      return false;
     if (!Ok)
-      return std::nullopt;
+      return false;
   }
+  return true;
+}
+
+std::optional<Compilation> qcc::driver::compile(const std::string &Source,
+                                                DiagnosticEngine &Diags,
+                                                CompilerOptions Options,
+                                                PassStats *Stats) {
+  std::optional<Compilation> Lowered =
+      lowerPipeline(Source, Diags, Options, Stats);
+  if (!Lowered)
+    return std::nullopt;
+  Compilation C = std::move(*Lowered);
+
+  if (Options.ValidateTranslation &&
+      !validateTranslation(C, Diags, Options, Stats))
+    return std::nullopt;
 
   if (Options.AnalyzeBounds) {
     StageTimer T(Stats, "analyze");

@@ -138,6 +138,25 @@ std::optional<Compilation> compile(const std::string &Source,
                                    CompilerOptions Options,
                                    PassStats *Stats);
 
+/// The lowering half of \c compile: frontend plus every lowering pass and
+/// its boundary validation, producing the assembled program and the cost
+/// metric — but no translation validation and no bound analysis. The
+/// incremental engine runs this fresh on every job (it is cheap and keeps
+/// the metric correct by construction) and decides separately, from its
+/// function-level keys, whether the expensive phases below need to run.
+std::optional<Compilation> lowerPipeline(const std::string &Source,
+                                         DiagnosticEngine &Diags,
+                                         const CompilerOptions &Options,
+                                         PassStats *Stats = nullptr);
+
+/// The translation-validation half of \c compile: replays all five levels
+/// of \p C and checks quantitative refinement across each adjacent pair.
+/// Returns false on a validation failure *or* a supervision stop; both
+/// are reported through \p Diags exactly as \c compile reports them.
+bool validateTranslation(const Compilation &C, DiagnosticEngine &Diags,
+                         const CompilerOptions &Options,
+                         PassStats *Stats = nullptr);
+
 /// Parses \p Source exactly as a full compilation would (frontend plus
 /// \p Options.Defines), with no lowering, validation, or analysis. The
 /// persistent store's `--store-verify` re-check uses it to re-attach

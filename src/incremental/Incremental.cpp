@@ -1,0 +1,687 @@
+//===- incremental/Incremental.cpp - Function-granular verification ------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "incremental/Incremental.h"
+
+#include "analysis/CallGraph.h"
+#include "store/Serialize.h"
+#include "support/Arena.h"
+#include "support/Hash.h"
+
+#include <chrono>
+#include <set>
+
+using namespace qcc;
+using namespace qcc::incremental;
+
+//===----------------------------------------------------------------------===//
+// Content hashing (bodies, environments, replay keys)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The canonical rendering the whole-TU store also keys specs by: bound
+/// expressions are immutable trees with a stable printer, so equal
+/// renderings mean equal specifications.
+std::string specText(const logic::FunctionSpec &S) {
+  std::string Out = S.Pre->str() + " -> " + S.Post->str();
+  for (const logic::Cmp &C : S.ResultFacts)
+    Out += " ; " + C.str();
+  return Out;
+}
+
+/// Expressions are shallow (no statement nesting); recursion is fine.
+/// Source locations are deliberately excluded everywhere: moving or
+/// reformatting a function must not invalidate it.
+void hashExpr(Hash128 &H, const clight::Expr *E) {
+  if (!E) {
+    H.u64(0);
+    return;
+  }
+  H.u64(1 + static_cast<uint64_t>(E->Kind));
+  switch (E->Kind) {
+  case clight::ExprKind::IntConst:
+    H.u64(E->IntValue);
+    break;
+  case clight::ExprKind::LocalRead:
+  case clight::ExprKind::GlobalRead:
+    H.str(E->Name);
+    break;
+  case clight::ExprKind::ArrayRead:
+    H.str(E->Name);
+    hashExpr(H, E->Lhs.get());
+    break;
+  case clight::ExprKind::Unary:
+    H.u64(static_cast<uint64_t>(E->UOp));
+    hashExpr(H, E->Lhs.get());
+    break;
+  case clight::ExprKind::Binary:
+    H.u64(static_cast<uint64_t>(E->BOp));
+    hashExpr(H, E->Lhs.get());
+    hashExpr(H, E->Rhs.get());
+    break;
+  case clight::ExprKind::Cond:
+    hashExpr(H, E->Lhs.get());
+    hashExpr(H, E->Rhs.get());
+    hashExpr(H, E->Third.get());
+    break;
+  }
+}
+
+void hashLValue(Hash128 &H, const clight::LValue &LV) {
+  H.u64(static_cast<uint64_t>(LV.K));
+  H.str(LV.Name);
+  hashExpr(H, LV.Index.get());
+}
+
+/// Statements can nest arbitrarily deep (long Seq chains), so the walk is
+/// iterative with an arena-backed work list — this is the engine's hot
+/// path, run for every function of every job.
+void hashStmt(Hash128 &H, const clight::Stmt *Root, Arena &A) {
+  struct Work {
+    const clight::Stmt *S;
+    Work *Next;
+  };
+  auto Push = [&A](Work *Top, const clight::Stmt *S) {
+    Work *W = static_cast<Work *>(A.alloc(sizeof(Work), alignof(Work)));
+    W->S = S;
+    W->Next = Top;
+    return W;
+  };
+  Work *Top = Push(nullptr, Root);
+  while (Top) {
+    const clight::Stmt *S = Top->S;
+    Top = Top->Next;
+    if (!S) {
+      H.u64(0);
+      continue;
+    }
+    H.u64(0x100 + static_cast<uint64_t>(S->Kind));
+    H.boolean(S->HasDest);
+    if (S->HasDest)
+      hashLValue(H, S->Dest);
+    hashExpr(H, S->Value.get());
+    H.boolean(S->HasValue);
+    H.str(S->Callee);
+    H.u64(S->Args.size());
+    for (const clight::ExprPtr &Arg : S->Args)
+      hashExpr(H, Arg.get());
+    // Null children are hashed as markers, so the (kind, child-presence)
+    // stream is injective on tree shape. Second pushed first: preorder.
+    Top = Push(Top, S->Second.get());
+    Top = Push(Top, S->First.get());
+  }
+}
+
+/// Everything of one function the analyzer can observe besides Gamma:
+/// parameters (bounds may be parametric over them), locals, signedness,
+/// the return convention, and the body.
+void hashFunction(Hash128 &H, const clight::Function &F, Arena &A) {
+  H.u64(F.Params.size());
+  for (const std::string &P : F.Params)
+    H.str(P);
+  H.u64(F.Locals.size());
+  for (const std::string &L : F.Locals)
+    H.str(L);
+  H.u64(F.VarSigns.size());
+  for (const auto &[Name, Sign] : F.VarSigns)
+    H.str(Name).u64(static_cast<uint64_t>(Sign));
+  H.boolean(F.ReturnsValue);
+  hashStmt(H, F.Body.get(), A);
+}
+
+/// The TU-level facts a *derivation* can depend on beyond the function's
+/// own body and its callees' specs: globals (array sizes, signedness,
+/// initializers), externals, the entry point, the defines that shaped the
+/// parse, and every seeded specification. Compiler flags are excluded —
+/// the analyzer reads only Clight, so a fuel or optimization change must
+/// not invalidate checked bounds (retries at reduced fuel still reuse).
+Hash128 analysisEnvHash(const clight::Program &P,
+                        const driver::CompilerOptions &O) {
+  Hash128 H;
+  H.u64(O.Defines.size());
+  for (const auto &[Name, Value] : O.Defines)
+    H.str(Name).u64(Value);
+  H.u64(P.Globals.size());
+  for (const clight::GlobalVar &G : P.Globals) {
+    H.str(G.Name).boolean(G.IsArray).u64(G.Size);
+    H.u64(static_cast<uint64_t>(G.Sign));
+    H.u64(G.Init.size());
+    for (uint32_t V : G.Init)
+      H.u64(V);
+  }
+  H.u64(P.Externals.size());
+  for (const clight::ExternalDecl &E : P.Externals)
+    H.str(E.Name).u64(E.Arity).boolean(E.HasResult);
+  H.str(P.EntryPoint);
+  H.u64(O.SeededSpecs.size());
+  for (const auto &[F, Spec] : O.SeededSpecs)
+    H.str(F).str(specText(Spec));
+  return H;
+}
+
+/// The whole-program replay environment: everything that can influence
+/// the five-level traces or the Theorem-1 run — all lowering flags and
+/// fuel on top of the analysis environment (minus seeded specs, whose
+/// only run-time influence, the Theorem-1 stack size, is guarded by
+/// explicit equality on the cached entry).
+Hash128 replayEnvHash(const clight::Program &P,
+                      const driver::CompilerOptions &O) {
+  Hash128 H;
+  H.u64(O.Defines.size());
+  for (const auto &[Name, Value] : O.Defines)
+    H.str(Name).u64(Value);
+  H.boolean(O.Optimize)
+      .boolean(O.TailCalls)
+      .boolean(O.ValidateTranslation)
+      .boolean(O.AnalyzeBounds)
+      .u64(O.ValidationFuel);
+  H.u64(P.Globals.size());
+  for (const clight::GlobalVar &G : P.Globals) {
+    H.str(G.Name).boolean(G.IsArray).u64(G.Size);
+    H.u64(static_cast<uint64_t>(G.Sign));
+    H.u64(G.Init.size());
+    for (uint32_t V : G.Init)
+      H.u64(V);
+  }
+  H.u64(P.Externals.size());
+  for (const clight::ExternalDecl &E : P.Externals)
+    H.str(E.Name).u64(E.Arity).boolean(E.HasResult);
+  H.str(P.EntryPoint);
+  return H;
+}
+
+/// The functions whose code can execute: the entry point's transitive
+/// callee closure. Execution traces at every level — and therefore the
+/// refinement-replay and Theorem-1 outcomes — depend only on this set,
+/// which is what lets an edit to an unreachable helper keep the cached
+/// whole-program results. Conservative fallback: no entry function, all
+/// functions count.
+std::set<std::string> reachableSet(const clight::Program &P,
+                                   const analysis::CallGraph &CG) {
+  std::set<std::string> Seen;
+  if (!P.findFunction(P.EntryPoint)) {
+    for (const clight::Function &F : P.Functions)
+      Seen.insert(F.Name);
+    return Seen;
+  }
+  std::vector<std::string> Work{P.EntryPoint};
+  Seen.insert(P.EntryPoint);
+  while (!Work.empty()) {
+    std::string N = std::move(Work.back());
+    Work.pop_back();
+    for (const std::string &C : CG.callees(N))
+      if (Seen.insert(C).second)
+        Work.push_back(C);
+  }
+  return Seen;
+}
+
+uint64_t microsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The replay entry
+//===----------------------------------------------------------------------===//
+
+/// One cached whole-program outcome: the translation-validation verdict
+/// with its exact diagnostics and replay-event counts, and (when a run
+/// got that far definitively) the Theorem-1 outcome. Only definitive
+/// results are ever stored — a budget-stopped phase re-runs fresh.
+struct Engine::ReplayEntry {
+  bool ValidationRan = false; ///< Validation verdict populated.
+  bool ValidationOk = false;
+  /// The diagnostics validation emitted, replayed verbatim (structured,
+  /// so re-emission renders byte-identically to the cold run).
+  std::vector<Diagnostic> ValidationDiags;
+  std::vector<std::pair<std::string, uint64_t>> Events;
+  bool HasT1 = false; ///< Theorem-1 outcome populated.
+  uint32_t T1StackBytes = 0;
+  bool T1Ok = false;
+  std::string T1Error;
+};
+
+//===----------------------------------------------------------------------===//
+// The per-job SpecCache implementation
+//===----------------------------------------------------------------------===//
+
+namespace qcc {
+namespace incremental {
+
+/// The analyzer-facing cache for one job: computes each function's key at
+/// lookup time (when Gamma already holds its callees' specs), serves
+/// records from the engine, and serializes freshly checked bounds back.
+/// Job-local and single-threaded (one analyzer walk); the engine behind
+/// it is shared and locked.
+class JobSpecCache : public analysis::SpecCache {
+public:
+  JobSpecCache(Engine &E, const analysis::CallGraph &CG,
+               const std::map<std::string, std::pair<uint64_t, uint64_t>> &BH,
+               uint64_t EnvPrimary, uint64_t EnvVerify)
+      : E(E), CG(CG), BodyHashes(BH), EnvPrimary(EnvPrimary),
+        EnvVerify(EnvVerify) {}
+
+  std::optional<logic::FunctionBound>
+  lookup(const std::string &Name, const clight::Function &F,
+         const logic::FunctionContext &Gamma) override {
+    Hash128 H;
+    H.u64(EnvPrimary).u64(EnvVerify);
+    auto BIt = BodyHashes.find(Name);
+    if (BIt == BodyHashes.end())
+      return std::nullopt;
+    H.u64(BIt->second.first).u64(BIt->second.second);
+    // The callee-spec component: the only Gamma entries the derivation of
+    // this function can mention. Rendered, not hashed structurally, so an
+    // arithmetic edit in a callee that re-derives the *same* spec leaves
+    // this function's key unchanged — the early-cutoff property.
+    for (const std::string &Callee : CG.callees(Name)) {
+      H.str(Callee);
+      auto GIt = Gamma.find(Callee);
+      H.str(GIt == Gamma.end() ? std::string("<none>")
+                               : specText(GIt->second));
+    }
+    store::FuncKey Key{H.primary(), H.verify()};
+    Keys[Name] = Key;
+    Bodies[Name] = &F;
+    std::optional<std::string> Record = E.fetchRecord(Key);
+    if (!Record)
+      return std::nullopt;
+    // Equal body hash implies an identical statement preorder, so the
+    // stored indices re-attach against the current parse. Any decode
+    // failure (foreign bytes, depth bomb) degrades to a fresh analysis.
+    std::vector<const clight::Stmt *> Stmts =
+        store::preorderStatements(F.Body.get());
+    store::ByteReader R(*Record);
+    logic::FunctionSpec Spec;
+    logic::DerivationPtr D;
+    if (!store::readSpec(R, Spec) || !store::readDerivation(R, D, &Stmts) ||
+        !R.done() || !D)
+      return std::nullopt;
+    logic::FunctionBound FB;
+    FB.Function = Name;
+    FB.Spec = std::move(Spec);
+    FB.Body = std::move(D);
+    return FB;
+  }
+
+  void fresh(const std::string &Name,
+             const logic::FunctionBound &FB) override {
+    auto KIt = Keys.find(Name);
+    auto BIt = Bodies.find(Name);
+    if (KIt == Keys.end() || BIt == Bodies.end() || !FB.Body)
+      return; // fresh() without a preceding lookup: nothing to key by.
+    std::vector<const clight::Stmt *> Stmts =
+        store::preorderStatements(BIt->second->Body.get());
+    std::map<const clight::Stmt *, uint32_t> Index;
+    for (uint32_t I = 0; I != Stmts.size(); ++I)
+      Index[Stmts[I]] = I;
+    store::ByteWriter W;
+    store::writeSpec(W, FB.Spec);
+    if (!store::writeDerivation(W, *FB.Body, Index))
+      return;
+    E.putRecord(KIt->second, W.take());
+  }
+
+  /// Every key computed this job (analyzed candidates), for the manifest.
+  const std::map<std::string, store::FuncKey> &keys() const { return Keys; }
+
+private:
+  Engine &E;
+  const analysis::CallGraph &CG;
+  const std::map<std::string, std::pair<uint64_t, uint64_t>> &BodyHashes;
+  uint64_t EnvPrimary, EnvVerify;
+  std::map<std::string, store::FuncKey> Keys;
+  std::map<std::string, const clight::Function *> Bodies;
+};
+
+} // namespace incremental
+} // namespace qcc
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+Engine::Engine(EngineOptions Options) : Opts(std::move(Options)) {
+  if (!Opts.FuncStoreDir.empty()) {
+    Disk = std::make_unique<store::FuncStore>(Opts.FuncStoreDir);
+    if (!Disk->valid())
+      Disk.reset(); // degrade to in-process caching, never fail the job
+  }
+}
+
+Engine::~Engine() = default;
+
+std::optional<std::string> Engine::fetchRecord(const store::FuncKey &Key) {
+  {
+    std::lock_guard<std::mutex> G(M);
+    auto It = FuncCache.find(Key);
+    if (It != FuncCache.end())
+      return It->second;
+  }
+  if (!Disk)
+    return std::nullopt;
+  std::optional<std::string> Record = Disk->fetchFunc(Key);
+  if (Record) {
+    std::lock_guard<std::mutex> G(M);
+    if (FuncCache.size() >= Opts.MaxCachedFunctions)
+      FuncCache.clear(); // coarse, rare; disk refills on re-miss
+    FuncCache.emplace(Key, *Record);
+  }
+  return Record;
+}
+
+void Engine::putRecord(const store::FuncKey &Key, const std::string &Record) {
+  {
+    std::lock_guard<std::mutex> G(M);
+    if (FuncCache.size() >= Opts.MaxCachedFunctions)
+      FuncCache.clear();
+    FuncCache[Key] = Record;
+  }
+  if (Disk)
+    Disk->putFunc(Key, Record);
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> G(M);
+  return Counters;
+}
+
+store::FuncStoreStats Engine::storeStats() const {
+  return Disk ? Disk->stats() : store::FuncStoreStats{};
+}
+
+void Engine::clearMemory() {
+  std::lock_guard<std::mutex> G(M);
+  FuncCache.clear();
+  ReplayCache.clear();
+  PrevManifests.clear();
+}
+
+batch::ProgramResult Engine::verify(const batch::BatchJob &Job,
+                                    bool CheckTheorem1, Supervisor *Sup,
+                                    bool KeepProofArtifacts) {
+  // Jobs the per-function keys cannot describe soundly take the
+  // whole-file path: RTL inlining splices callee bodies across function
+  // boundaries (a callee edit changes the *caller's* compiled code
+  // without changing the caller's Clight), and fault hooks mutate IR
+  // behind the parse.
+  if (Job.Options.Inline || Job.Options.FaultHook) {
+    {
+      std::lock_guard<std::mutex> G(M);
+      ++Counters.FallbackJobs;
+    }
+    return batch::verifyOne(Job, CheckTheorem1, Sup, KeepProofArtifacts);
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  batch::ProgramResult R;
+  R.Id = Job.Id;
+  {
+    std::lock_guard<std::mutex> G(M);
+    ++Counters.Jobs;
+  }
+
+  DiagnosticEngine Diags;
+  driver::PassStats Stats;
+  driver::CompilerOptions Opt = Job.Options;
+  Opt.Supervision = Sup;
+  Arena Scratch; // per-job scratch; high water is tracked process-wide
+
+  auto Finalize = [&] {
+    R.Status = R.Stop == StopCause::None
+                   ? (R.Ok ? batch::JobStatus::Ok : batch::JobStatus::Failed)
+                   : (R.Stop == StopCause::Cancelled
+                          ? batch::JobStatus::Cancelled
+                          : batch::JobStatus::Quarantined);
+    R.Diagnostics = Diags.str();
+    R.Metrics.PassMicros = std::move(Stats.PassMicros);
+    R.Metrics.ReplayedEvents = std::move(Stats.ReplayedEvents);
+    R.Metrics.ProofNodes = Stats.ProofNodes;
+    logic::InternStats IS = logic::internStats();
+    R.Metrics.InternedBounds = IS.BoundNodes + IS.TermNodes;
+    R.Metrics.ArenaHighWater = arenaHighWater();
+    R.Metrics.TotalMicros = microsSince(Start);
+  };
+
+  // Lowering runs fresh on every job: it is the cheap half of the
+  // pipeline, and re-deriving the cost metric from the actual Mach
+  // frames keeps every reused bound grounded in this binary, not a
+  // remembered one.
+  std::optional<driver::Compilation> Lowered =
+      driver::lowerPipeline(Job.Source, Diags, Opt, &Stats);
+  if (!Lowered) {
+    if (Sup && Sup->stopRequested())
+      R.Stop = Sup->cause();
+    Finalize();
+    return R;
+  }
+  driver::Compilation C = std::move(*Lowered);
+
+  analysis::CallGraph CG(C.Clight);
+  std::map<std::string, std::pair<uint64_t, uint64_t>> BodyHashes;
+  for (const clight::Function &F : C.Clight.Functions) {
+    Hash128 H;
+    hashFunction(H, F, Scratch);
+    Scratch.reset();
+    BodyHashes[F.Name] = {H.primary(), H.verify()};
+  }
+  Hash128 AEnv = analysisEnvHash(C.Clight, Opt);
+
+  // The whole-program replay key: environment + the bodies of every
+  // reachable function.
+  Hash128 RH = replayEnvHash(C.Clight, Opt);
+  RH.boolean(CheckTheorem1);
+  for (const std::string &N : reachableSet(C.Clight, CG)) {
+    RH.str(N);
+    auto It = BodyHashes.find(N);
+    if (It != BodyHashes.end())
+      RH.u64(It->second.first).u64(It->second.second);
+  }
+  std::pair<uint64_t, uint64_t> RKey{RH.primary(), RH.verify()};
+
+  std::shared_ptr<ReplayEntry> Hit;
+  {
+    std::lock_guard<std::mutex> G(M);
+    auto It = ReplayCache.find(RKey);
+    if (It != ReplayCache.end())
+      Hit = It->second;
+    ++(Hit ? Counters.ReplayHits : Counters.ReplayMisses);
+  }
+  std::shared_ptr<ReplayEntry> Fresh; // entry (re)inserted at the end
+  auto Insert = [&] {
+    if (!Fresh)
+      return;
+    std::lock_guard<std::mutex> G(M);
+    if (ReplayCache.size() >= Opts.MaxReplayEntries)
+      ReplayCache.clear();
+    ReplayCache[RKey] = Fresh;
+  };
+
+  bool ValidationFailed = false;
+  if (Opt.ValidateTranslation) {
+    if (Hit && Hit->ValidationRan) {
+      Stats.PassMicros.emplace_back("validate", 0);
+      Stats.ReplayedEvents = Hit->Events;
+      for (const Diagnostic &D : Hit->ValidationDiags) {
+        switch (D.Kind) {
+        case DiagKind::Error:
+          Diags.error(D.Loc, D.Message);
+          break;
+        case DiagKind::Warning:
+          Diags.warning(D.Loc, D.Message);
+          break;
+        case DiagKind::Note:
+          Diags.note(D.Loc, D.Message);
+          break;
+        }
+      }
+      ValidationFailed = !Hit->ValidationOk;
+    } else {
+      DiagnosticEngine VDiags;
+      bool Ok = driver::validateTranslation(C, VDiags, Opt, &Stats);
+      Diags.append(VDiags);
+      bool Stopped = Sup && Sup->stopRequested();
+      if (!Stopped) {
+        // Definitive (pass or refute) — cacheable either way.
+        Fresh = std::make_shared<ReplayEntry>();
+        if (Hit)
+          *Fresh = *Hit; // keep a T1 part a prior run may have left
+        Fresh->ValidationRan = true;
+        Fresh->ValidationOk = Ok;
+        Fresh->ValidationDiags = VDiags.diagnostics();
+        Fresh->Events = Stats.ReplayedEvents;
+      }
+      if (!Ok && Stopped) {
+        R.Stop = Sup->cause();
+        Finalize();
+        return R;
+      }
+      ValidationFailed = !Ok;
+    }
+  }
+  if (ValidationFailed) {
+    // Mirrors the cold driver: a failed validation withholds bounds,
+    // analysis, and Theorem 1 entirely.
+    Insert();
+    Finalize();
+    return R;
+  }
+
+  JobSpecCache SC(*this, CG, BodyHashes, AEnv.primary(), AEnv.verify());
+  if (Opt.AnalyzeBounds) {
+    auto T0 = std::chrono::steady_clock::now();
+    C.Bounds = analysis::analyzeProgram(C.Clight, Diags,
+                                        std::move(Opt.SeededSpecs), Sup, &SC);
+    Stats.PassMicros.emplace_back("analyze", microsSince(T0));
+    // Proof-node accounting covers reused bounds too: decoding preserves
+    // derivation size, so warm and cold counts agree.
+    for (const auto &[F, FB] : C.Bounds.Bounds)
+      Stats.ProofNodes += FB.Body->size();
+    if (Sup && Sup->stopRequested()) {
+      R.Stop = Sup->cause();
+      Insert();
+      Finalize();
+      return R;
+    }
+
+    // Incremental bookkeeping: the manifest of this TU (keys every
+    // checked function verified under) vs. the previous run's.
+    uint64_t TuHash = Hash128().str(Job.Id).primary();
+    store::TuManifest Current;
+    for (const auto &[Name, FB] : C.Bounds.Bounds) {
+      auto KIt = SC.keys().find(Name);
+      if (KIt != SC.keys().end())
+        Current.emplace(Name, KIt->second);
+    }
+    std::set<std::string> Reused(C.Bounds.ReusedFunctions.begin(),
+                                 C.Bounds.ReusedFunctions.end());
+    for (const auto &[Name, FB] : C.Bounds.Bounds)
+      if (!Reused.count(Name))
+        R.Metrics.ReVerifiedFunctions.push_back(Name); // map order: sorted
+    R.Metrics.FuncsReused = Reused.size();
+    R.Metrics.FuncsReVerified = R.Metrics.ReVerifiedFunctions.size();
+    {
+      std::lock_guard<std::mutex> G(M);
+      auto PIt = PrevManifests.find(TuHash);
+      if (PIt == PrevManifests.end() && Disk) {
+        // First sight of this TU in-process: a manifest a previous
+        // process left behind seeds cross-run invalidation counting.
+        if (std::optional<store::TuManifest> Prev =
+                Disk->fetchManifest(TuHash))
+          PIt = PrevManifests.emplace(TuHash, std::move(*Prev)).first;
+      }
+      if (PIt != PrevManifests.end())
+        for (const auto &[Name, Key] : PIt->second) {
+          auto CIt = Current.find(Name);
+          if (CIt == Current.end() || CIt->second != Key)
+            ++R.Metrics.FuncsInvalidated;
+        }
+      PrevManifests[TuHash] = Current;
+      Counters.FuncsReused += R.Metrics.FuncsReused;
+      Counters.FuncsReVerified += R.Metrics.FuncsReVerified;
+      Counters.FuncsInvalidated += R.Metrics.FuncsInvalidated;
+    }
+    if (Disk)
+      Disk->putManifest(TuHash, Current);
+  }
+
+  R.Ok = true;
+  for (const auto &[F, Spec] : C.Bounds.Gamma) {
+    batch::FunctionReport FR;
+    FR.Function = F;
+    if (logic::BoundExpr B = C.Bounds.callBound(F))
+      FR.SymbolicBound = B->str();
+    FR.ConcreteBytes = driver::concreteCallBound(C, F);
+    R.Bounds.push_back(std::move(FR));
+  }
+  R.SkippedRecursive = C.Bounds.SkippedRecursive;
+  if (KeepProofArtifacts)
+    // Reused derivations were re-attached to this parse, so the encoder
+    // sees exactly what a cold analysis would have built: the blob is
+    // byte-identical.
+    R.ProofBlob = store::encodeProofs(C.Bounds.Gamma, C.Bounds.Bounds,
+                                      C.Clight);
+
+  if (CheckTheorem1) {
+    auto MainBound = driver::concreteCallBound(C, "main");
+    if (MainBound && *MainBound >= 4) {
+      R.Theorem1Checked = true;
+      R.Theorem1StackBytes = static_cast<uint32_t>(*MainBound - 4);
+      // Belt and braces on the cached run: serve it only when the stack
+      // size it executed at equals the freshly derived bound's.
+      if (Hit && Hit->HasT1 && Hit->T1StackBytes == R.Theorem1StackBytes) {
+        R.Theorem1Ok = Hit->T1Ok;
+        if (!Hit->T1Ok) {
+          R.Ok = false;
+          Diags.error(SourceLoc(),
+                      "Theorem 1 violated at stack size " +
+                          std::to_string(R.Theorem1StackBytes) + ": " +
+                          Hit->T1Error);
+        }
+      } else {
+        measure::Measurement Meas = driver::runWithStackSize(
+            C, R.Theorem1StackBytes, Opt.ValidationFuel * 10, Sup);
+        R.Theorem1Ok = Meas.Ok;
+        if (!Meas.Ok) {
+          R.Ok = false;
+          if (Meas.Stop != StopCause::None) {
+            R.Stop = Meas.Stop;
+            Diags.error(SourceLoc(),
+                        std::string("Theorem 1 check stopped: ") +
+                            stopCauseName(Meas.Stop));
+          } else {
+            Diags.error(SourceLoc(),
+                        "Theorem 1 violated at stack size " +
+                            std::to_string(R.Theorem1StackBytes) + ": " +
+                            Meas.Error);
+          }
+        }
+        if (Meas.Ok || Meas.Stop == StopCause::None) {
+          // Definitive: record (or augment) the entry's Theorem-1 part.
+          if (!Fresh) {
+            Fresh = std::make_shared<ReplayEntry>();
+            if (Hit)
+              *Fresh = *Hit;
+          }
+          Fresh->HasT1 = true;
+          Fresh->T1StackBytes = R.Theorem1StackBytes;
+          Fresh->T1Ok = Meas.Ok;
+          Fresh->T1Error = Meas.Ok ? std::string() : Meas.Error;
+        }
+      }
+    }
+  }
+
+  Insert();
+  Finalize();
+  return R;
+}

@@ -1,0 +1,153 @@
+//===- incremental/Incremental.h - Function-granular verification -*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental verification engine: analysis, proof construction,
+/// proof checking, and refinement replay keyed *per function* instead of
+/// per translation unit, so a warm edit re-verifies only the edited
+/// function and its transitive callers.
+///
+/// Keys and the invalidation graph
+/// -------------------------------
+/// Every function f gets a FuncKey: a dual 64-bit content hash over
+///
+///   * the TU environment (compiler flags, globals, externals, entry
+///     point, seeded specifications),
+///   * f's normalized Clight body (source locations excluded — moving a
+///     function does not invalidate it),
+///   * the *specifications* of f's direct callees, rendered canonically.
+///
+/// The third component is what makes reuse sound and the invalidation
+/// graph implicit. The quantitative judgement {P} f {Q} depends on
+/// exactly: f's body and the specs Gamma assigns f's callees (the
+/// analyzer's DerivationBuilder consults nothing else). Since the
+/// analyzer walks in callee-first topological order (analysis::CallGraph)
+/// and B_f counts callee frames only — f's own frame M(f) is added *by
+/// callers* through the CallBalanced rule — an edit to f's arithmetic
+/// changes f's key but leaves f's derived spec equal, so every caller's
+/// key re-computes identically and the invalidation stops at f (early
+/// cutoff). An edit that changes f's spec (adding a call, deepening the
+/// chain) changes each transitive caller's key in turn, which is
+/// precisely "the edited function and its transitive callers re-verify".
+/// Recursive functions are never analyzed automatically (they are seeded
+/// or skipped), so a recursive SCC invalidates as a unit through its
+/// members' shared seeded-spec hash; CallGraph::recursiveComponents()
+/// names those units.
+///
+/// What a hit serves
+/// -----------------
+/// A FuncKey hit returns the serialized FunctionBound (spec + full
+/// derivation, store/Serialize.h external form, statements as preorder
+/// indices) written when the proof checker accepted that bound. The
+/// derivation is re-attached to the *current* parse — the body hash
+/// guarantees an identical statement preorder — so proof-artifact
+/// emission (encodeProofs) and proof-node counts are bit-identical to a
+/// cold run. Hits come from an in-process map first, then from the
+/// persistent function store (store/FuncStore.h); per-TU manifests there
+/// seed cross-process invalidation counting.
+///
+/// Whole-program phases (refinement replay, Theorem 1) cache under a
+/// replay key covering the bodies of the *reachable-from-entry* function
+/// set: execution traces at all five levels depend only on code that can
+/// run, so an edit to an unreachable helper keeps the replay and
+/// Theorem-1 outcomes. The Theorem-1 hit is additionally guarded by
+/// stack-byte equality with the freshly computed bound.
+///
+/// The contract with the batch engine (batch::IncrementalEngine) is
+/// bit-identity: verdicts, bounds, diagnostics, proof blobs, and
+/// deterministic metrics equal verifyOne's for every job; only timings
+/// and the incremental counters differ. Jobs the engine cannot key
+/// soundly (RTL inlining splices callee bodies across function
+/// boundaries; fault hooks corrupt IR behind the parse) fall back to
+/// verifyOne wholesale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_INCREMENTAL_INCREMENTAL_H
+#define QCC_INCREMENTAL_INCREMENTAL_H
+
+#include "batch/Batch.h"
+#include "store/FuncStore.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace qcc {
+namespace incremental {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Directory for the persistent function store (records + per-TU
+  /// manifests). Empty: in-process caching only.
+  std::string FuncStoreDir;
+  /// In-process per-function record cap; the map is cleared wholesale
+  /// when full (records are tiny; re-misses refill from disk).
+  size_t MaxCachedFunctions = 16384;
+  /// In-process replay-entry cap, same coarse policy.
+  size_t MaxReplayEntries = 4096;
+};
+
+/// Cumulative engine counters (across all jobs served).
+struct EngineStats {
+  uint64_t Jobs = 0;            ///< verify() calls served incrementally.
+  uint64_t FallbackJobs = 0;    ///< Dispatched to verifyOne (inline/hooks).
+  uint64_t FuncsReused = 0;     ///< Checked bounds served from a key hit.
+  uint64_t FuncsReVerified = 0; ///< Bounds derived and checked fresh.
+  uint64_t FuncsInvalidated = 0;///< Manifest entries whose key changed.
+  uint64_t ReplayHits = 0;      ///< Whole-program replay/T1 cache hits.
+  uint64_t ReplayMisses = 0;
+};
+
+/// The function-granular engine. Thread-safe: one instance may serve
+/// every worker of a batch run or daemon concurrently.
+class Engine : public batch::IncrementalEngine {
+public:
+  explicit Engine(EngineOptions Options = {});
+  ~Engine() override;
+
+  batch::ProgramResult verify(const batch::BatchJob &Job, bool CheckTheorem1,
+                              Supervisor *Sup,
+                              bool KeepProofArtifacts) override;
+
+  EngineStats stats() const;
+
+  /// Counters of the persistent function store; zeros when none is open.
+  store::FuncStoreStats storeStats() const;
+
+  /// Drops every in-process cache (not the on-disk store). Tests use it
+  /// to separate in-memory from cross-process reuse.
+  void clearMemory();
+
+private:
+  friend class JobSpecCache;
+
+  struct ReplayEntry;
+
+  /// In-process record lookup, falling through to the function store.
+  std::optional<std::string> fetchRecord(const store::FuncKey &Key);
+  void putRecord(const store::FuncKey &Key, const std::string &Record);
+
+  EngineOptions Opts;
+  std::unique_ptr<store::FuncStore> Disk; ///< Null without FuncStoreDir.
+
+  mutable std::mutex M;
+  std::map<store::FuncKey, std::string> FuncCache;
+  std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<ReplayEntry>>
+      ReplayCache;
+  /// Last-run manifest per TU (hash of job id), seeded from the on-disk
+  /// manifest on first sight; diffed to count invalidations.
+  std::map<uint64_t, store::TuManifest> PrevManifests;
+  EngineStats Counters;
+};
+
+} // namespace incremental
+} // namespace qcc
+
+#endif // QCC_INCREMENTAL_INCREMENTAL_H

@@ -7,12 +7,152 @@
 
 #include "logic/Bound.h"
 
+#include <atomic>
 #include <cassert>
 #include <limits>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 using namespace qcc;
 using namespace qcc::logic;
+
+//===----------------------------------------------------------------------===//
+// Interning tables
+//===----------------------------------------------------------------------===//
+//
+// Process-wide hash-consing for IntTermNode and BoundExprNode. Equality
+// and hashing are *shallow*: kind plus scalar payload plus the pointer
+// identity of children. Because the factories are the only construction
+// path for analyzer-built terms, children are interned before parents,
+// so shallow identity composes into full structural sharing bottom-up.
+// Nodes from other construction paths (the store's decoder keeps its
+// structural builders untouched — re-normalizing decoded trees through
+// the folding factories would change stored golden fixtures) simply miss
+// the table; every consumer already falls back to structural comparison.
+//
+// Read-mostly: lookups take a shared lock, insertion upgrades with a
+// double-check. The table holds owning references, so interned nodes
+// live for the process; a size cap bounds that footprint, after which
+// construction degrades to plain allocation.
+
+namespace {
+
+constexpr size_t MaxInternedNodes = size_t(1) << 20;
+
+uint64_t mixHash(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  return H;
+}
+
+uint64_t hashExtNat(const ExtNat &V) {
+  return V.isInfinite() ? ~uint64_t(0) : V.finiteValue();
+}
+
+uint64_t shallowHash(const IntTermNode &N) {
+  uint64_t H = static_cast<uint64_t>(N.K);
+  H = mixHash(H, static_cast<uint64_t>(N.Value));
+  H = mixHash(H, std::hash<std::string>{}(N.Name));
+  H = mixHash(H, static_cast<uint64_t>(N.Sign));
+  H = mixHash(H, reinterpret_cast<uintptr_t>(N.Lhs.get()));
+  H = mixHash(H, reinterpret_cast<uintptr_t>(N.Rhs.get()));
+  return H;
+}
+
+bool shallowEqual(const IntTermNode &A, const IntTermNode &B) {
+  return A.K == B.K && A.Value == B.Value && A.Name == B.Name &&
+         A.Sign == B.Sign && A.Lhs.get() == B.Lhs.get() &&
+         A.Rhs.get() == B.Rhs.get();
+}
+
+uint64_t shallowHash(const BoundExprNode &N) {
+  uint64_t H = static_cast<uint64_t>(N.K);
+  H = mixHash(H, hashExtNat(N.Value));
+  H = mixHash(H, std::hash<std::string>{}(N.Func));
+  H = mixHash(H, N.Factor);
+  H = mixHash(H, reinterpret_cast<uintptr_t>(N.Term.get()));
+  if (N.Condition) {
+    H = mixHash(H, static_cast<uint64_t>(N.Condition->Rel) + 1);
+    H = mixHash(H, reinterpret_cast<uintptr_t>(N.Condition->Lhs.get()));
+    H = mixHash(H, reinterpret_cast<uintptr_t>(N.Condition->Rhs.get()));
+  }
+  H = mixHash(H, reinterpret_cast<uintptr_t>(N.Lhs.get()));
+  H = mixHash(H, reinterpret_cast<uintptr_t>(N.Rhs.get()));
+  return H;
+}
+
+bool shallowEqual(const BoundExprNode &A, const BoundExprNode &B) {
+  if (A.K != B.K || !(A.Value == B.Value) || A.Func != B.Func ||
+      A.Factor != B.Factor || A.Term.get() != B.Term.get() ||
+      A.Lhs.get() != B.Lhs.get() || A.Rhs.get() != B.Rhs.get())
+    return false;
+  if (A.Condition.has_value() != B.Condition.has_value())
+    return false;
+  if (A.Condition)
+    return A.Condition->Rel == B.Condition->Rel &&
+           A.Condition->Lhs.get() == B.Condition->Lhs.get() &&
+           A.Condition->Rhs.get() == B.Condition->Rhs.get();
+  return true;
+}
+
+template <typename NodeT> struct Interner {
+  using Ptr = std::shared_ptr<const NodeT>;
+  std::shared_mutex Mu;
+  std::unordered_multimap<uint64_t, Ptr> Table;
+  std::atomic<uint64_t> Hits{0};
+
+  Ptr intern(NodeT N) {
+    uint64_t H = shallowHash(N);
+    {
+      std::shared_lock<std::shared_mutex> Lock(Mu);
+      auto Range = Table.equal_range(H);
+      for (auto It = Range.first; It != Range.second; ++It)
+        if (shallowEqual(*It->second, N)) {
+          Hits.fetch_add(1, std::memory_order_relaxed);
+          return It->second;
+        }
+    }
+    std::unique_lock<std::shared_mutex> Lock(Mu);
+    auto Range = Table.equal_range(H);
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (shallowEqual(*It->second, N)) {
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        return It->second;
+      }
+    Ptr P = std::make_shared<const NodeT>(std::move(N));
+    if (Table.size() < MaxInternedNodes)
+      Table.emplace(H, P);
+    return P;
+  }
+
+  uint64_t size() {
+    std::shared_lock<std::shared_mutex> Lock(Mu);
+    return Table.size();
+  }
+};
+
+Interner<IntTermNode> &termInterner() {
+  static Interner<IntTermNode> I;
+  return I;
+}
+
+Interner<BoundExprNode> &boundInterner() {
+  static Interner<BoundExprNode> I;
+  return I;
+}
+
+IntTerm internTerm(IntTermNode N) { return termInterner().intern(std::move(N)); }
+
+} // namespace
+
+InternStats qcc::logic::internStats() {
+  InternStats S;
+  S.TermNodes = termInterner().size();
+  S.BoundNodes = boundInterner().size();
+  S.TermHits = termInterner().Hits.load(std::memory_order_relaxed);
+  S.BoundHits = boundInterner().Hits.load(std::memory_order_relaxed);
+  return S;
+}
 
 //===----------------------------------------------------------------------===//
 // Integer terms
@@ -117,18 +257,18 @@ uint32_t ceilLog2Wide(Wide V) {
 } // namespace
 
 IntTerm IntTermNode::constant(int64_t V) {
-  auto N = std::make_shared<IntTermNode>();
-  N->K = Kind::Const;
-  N->Value = V;
-  return N;
+  IntTermNode N;
+  N.K = Kind::Const;
+  N.Value = V;
+  return internTerm(std::move(N));
 }
 
 IntTerm IntTermNode::var(std::string Name, VarSign Sign) {
-  auto N = std::make_shared<IntTermNode>();
-  N->K = Kind::Var;
-  N->Name = std::move(Name);
-  N->Sign = Sign;
-  return N;
+  IntTermNode N;
+  N.K = Kind::Var;
+  N.Name = std::move(Name);
+  N.Sign = Sign;
+  return internTerm(std::move(N));
 }
 
 IntTerm IntTermNode::add(IntTerm L, IntTerm R) {
@@ -137,44 +277,44 @@ IntTerm IntTermNode::add(IntTerm L, IntTerm R) {
   if (int64_t V; L->K == Kind::Const && R->K == Kind::Const &&
                  checkedAdd(L->Value, R->Value, V))
     return constant(V);
-  auto N = std::make_shared<IntTermNode>();
-  N->K = Kind::Add;
-  N->Lhs = std::move(L);
-  N->Rhs = std::move(R);
-  return N;
+  IntTermNode N;
+  N.K = Kind::Add;
+  N.Lhs = std::move(L);
+  N.Rhs = std::move(R);
+  return internTerm(std::move(N));
 }
 
 IntTerm IntTermNode::sub(IntTerm L, IntTerm R) {
   if (int64_t V; L->K == Kind::Const && R->K == Kind::Const &&
                  checkedSub(L->Value, R->Value, V))
     return constant(V);
-  auto N = std::make_shared<IntTermNode>();
-  N->K = Kind::Sub;
-  N->Lhs = std::move(L);
-  N->Rhs = std::move(R);
-  return N;
+  IntTermNode N;
+  N.K = Kind::Sub;
+  N.Lhs = std::move(L);
+  N.Rhs = std::move(R);
+  return internTerm(std::move(N));
 }
 
 IntTerm IntTermNode::mul(IntTerm L, IntTerm R) {
   if (int64_t V; L->K == Kind::Const && R->K == Kind::Const &&
                  checkedMul(L->Value, R->Value, V))
     return constant(V);
-  auto N = std::make_shared<IntTermNode>();
-  N->K = Kind::Mul;
-  N->Lhs = std::move(L);
-  N->Rhs = std::move(R);
-  return N;
+  IntTermNode N;
+  N.K = Kind::Mul;
+  N.Lhs = std::move(L);
+  N.Rhs = std::move(R);
+  return internTerm(std::move(N));
 }
 
 IntTerm IntTermNode::divC(IntTerm L, int64_t Divisor) {
   assert(Divisor > 0 && "divC needs a positive constant divisor");
   if (L->K == Kind::Const)
     return constant(L->Value / Divisor);
-  auto N = std::make_shared<IntTermNode>();
-  N->K = Kind::DivC;
-  N->Lhs = std::move(L);
-  N->Value = Divisor;
-  return N;
+  IntTermNode N;
+  N.K = Kind::DivC;
+  N.Lhs = std::move(L);
+  N.Value = Divisor;
+  return internTerm(std::move(N));
 }
 
 std::string IntTermNode::str() const {
@@ -272,7 +412,7 @@ std::optional<bool> qcc::logic::evalCmp(const Cmp &C, const VarEnv &Env) {
 //===----------------------------------------------------------------------===//
 
 static BoundExpr makeNode(BoundExprNode N) {
-  return std::make_shared<BoundExprNode>(std::move(N));
+  return boundInterner().intern(std::move(N));
 }
 
 BoundExpr qcc::logic::bConst(ExtNat V) {

@@ -188,6 +188,27 @@ BoundExpr substBoundAll(const BoundExpr &E,
 /// True if the two expressions are structurally identical.
 bool structurallyEqual(const BoundExpr &A, const BoundExpr &B);
 
+//===----------------------------------------------------------------------===//
+// Interning
+//===----------------------------------------------------------------------===//
+
+/// Counters for the process-wide hash-consing tables behind the factory
+/// functions (the events::SymbolTable idiom applied to bound terms).
+/// Structurally identical trees built through the factories share one
+/// node, so the pointer fast paths in structurallyEqual / termEqual hit
+/// and evalBound's memo is identity-keyed by construction. Interning is
+/// best-effort and never correctness-bearing: nodes built by other means
+/// (e.g. the store's decoder) still compare structurally.
+struct InternStats {
+  uint64_t BoundNodes = 0; ///< Live interned bound-expression nodes.
+  uint64_t TermNodes = 0;  ///< Live interned integer-term nodes.
+  uint64_t BoundHits = 0;  ///< Factory calls served from the table.
+  uint64_t TermHits = 0;
+};
+
+/// Snapshots the interning counters (thread-safe).
+InternStats internStats();
+
 } // namespace logic
 } // namespace qcc
 

@@ -1,0 +1,221 @@
+//===- store/FuncStore.cpp - Function-granular persistent records ---------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/FuncStore.h"
+
+#include "store/Serialize.h"
+#include "support/Hash.h"
+#include "support/Io.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+using namespace qcc;
+using namespace qcc::store;
+
+namespace {
+
+constexpr char FuncMagic[] = "QCCFSTOR";
+constexpr char ManiMagic[] = "QCCFMANI";
+constexpr uint32_t FormatVersion = 1;
+// 8 magic bytes + version + reserved + checksum + payload size.
+constexpr size_t HeaderSize = 8 + 4 + 4 + 8 + 8;
+
+std::atomic<uint64_t> TmpSeq{0};
+
+/// Header + checksummed payload, same envelope as the TU-level store.
+std::string encodeFile(const char *Magic, const std::string &Payload) {
+  ByteWriter H;
+  for (size_t I = 0; I != 8; ++I)
+    H.u8(static_cast<uint8_t>(Magic[I]));
+  H.u32(FormatVersion);
+  H.u32(0); // reserved
+  H.u64(Fnv1a64().bytes(Payload.data(), Payload.size()).digest());
+  H.u64(Payload.size());
+  std::string Out = H.take();
+  Out += Payload;
+  return Out;
+}
+
+/// The payload of \p Bytes, or nullopt on any structural damage.
+std::optional<std::string> decodeFile(const char *Magic,
+                                      const std::string &Bytes) {
+  if (Bytes.size() < HeaderSize)
+    return std::nullopt;
+  ByteReader H(Bytes.data(), HeaderSize);
+  for (size_t I = 0; I != 8; ++I) {
+    uint8_t B;
+    if (!H.u8(B) || B != static_cast<uint8_t>(Magic[I]))
+      return std::nullopt;
+  }
+  uint32_t Version, Reserved;
+  uint64_t Checksum, Size;
+  if (!H.u32(Version) || Version != FormatVersion || !H.u32(Reserved) ||
+      Reserved != 0 || !H.u64(Checksum) || !H.u64(Size))
+    return std::nullopt;
+  if (Size != Bytes.size() - HeaderSize)
+    return std::nullopt;
+  const char *Payload = Bytes.data() + HeaderSize;
+  if (Fnv1a64().bytes(Payload, static_cast<size_t>(Size)).digest() != Checksum)
+    return std::nullopt;
+  return std::string(Payload, static_cast<size_t>(Size));
+}
+
+} // namespace
+
+FuncStore::FuncStore(std::string D) : Dir(std::move(D)) {
+  std::error_code EC;
+  fs::create_directories(fs::path(Dir) / "funcs", EC);
+  if (!EC)
+    fs::create_directories(fs::path(Dir) / "tus", EC);
+  if (EC) {
+    Error = "cannot create function store '" + Dir + "': " + EC.message();
+    return;
+  }
+  Valid = true;
+}
+
+std::string FuncStore::funcPath(const FuncKey &Key) const {
+  char Buf[64];
+  std::snprintf(Buf, sizeof Buf, "%016llx-%016llx.qfn",
+                static_cast<unsigned long long>(Key.Primary),
+                static_cast<unsigned long long>(Key.Verify));
+  return (fs::path(Dir) / "funcs" / Buf).string();
+}
+
+std::string FuncStore::tuPath(uint64_t TuHash) const {
+  char Buf[32];
+  std::snprintf(Buf, sizeof Buf, "%016llx.qtu",
+                static_cast<unsigned long long>(TuHash));
+  return (fs::path(Dir) / "tus" / Buf).string();
+}
+
+std::optional<std::string> FuncStore::readChecked(const std::string &Path,
+                                                  const char *Magic) {
+  std::string Bytes;
+  if (!io::readFile(Path, Bytes))
+    return std::nullopt; // plain miss, not corruption
+  std::optional<std::string> Payload = decodeFile(Magic, Bytes);
+  if (!Payload) {
+    // A damaged file must not stay servable; removal degrades to a miss.
+    std::error_code EC;
+    fs::remove(Path, EC);
+    std::lock_guard<std::mutex> G(M);
+    ++Counters.Corrupt;
+  }
+  return Payload;
+}
+
+bool FuncStore::writeAtomic(const std::string &Path, const std::string &Bytes) {
+  std::string Tmp =
+      (fs::path(Dir) / (".tmp-" + std::to_string(::getpid()) + "-" +
+                        std::to_string(TmpSeq.fetch_add(1))))
+          .string();
+  bool Written = false;
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (Fd >= 0) {
+    Written = io::writeFull(Fd, Bytes.data(), Bytes.size()) &&
+              io::fsyncFull(Fd);
+    ::close(Fd);
+  }
+  std::error_code EC;
+  if (Written) {
+    fs::rename(Tmp, Path, EC);
+    Written = !EC;
+  }
+  if (!Written)
+    fs::remove(Tmp, EC);
+  return Written;
+}
+
+std::optional<std::string> FuncStore::fetchFunc(const FuncKey &Key) {
+  if (!Valid)
+    return std::nullopt;
+  {
+    std::lock_guard<std::mutex> G(M);
+    ++Counters.Fetches;
+  }
+  std::optional<std::string> Payload = readChecked(funcPath(Key), FuncMagic);
+  if (!Payload)
+    return std::nullopt;
+  // The embedded key guards against an intact record under the wrong name.
+  ByteReader R(Payload->data(), Payload->size());
+  FuncKey Stored;
+  std::string Record;
+  if (!R.u64(Stored.Primary) || !R.u64(Stored.Verify) || !(Stored == Key) ||
+      !R.str(Record) || !R.done()) {
+    std::error_code EC;
+    fs::remove(funcPath(Key), EC);
+    std::lock_guard<std::mutex> G(M);
+    ++Counters.Corrupt;
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> G(M);
+  ++Counters.Hits;
+  return Record;
+}
+
+void FuncStore::putFunc(const FuncKey &Key, const std::string &Record) {
+  if (!Valid)
+    return;
+  ByteWriter P;
+  P.u64(Key.Primary);
+  P.u64(Key.Verify);
+  P.str(Record);
+  if (writeAtomic(funcPath(Key), encodeFile(FuncMagic, P.take()))) {
+    std::lock_guard<std::mutex> G(M);
+    ++Counters.Puts;
+  }
+}
+
+std::optional<TuManifest> FuncStore::fetchManifest(uint64_t TuHash) {
+  if (!Valid)
+    return std::nullopt;
+  std::optional<std::string> Payload = readChecked(tuPath(TuHash), ManiMagic);
+  if (!Payload)
+    return std::nullopt;
+  ByteReader R(Payload->data(), Payload->size());
+  uint64_t Stored, N;
+  if (!R.u64(Stored) || Stored != TuHash || !R.u64(N) || N > R.remaining())
+    return std::nullopt;
+  TuManifest Out;
+  for (uint64_t I = 0; I != N; ++I) {
+    std::string Name;
+    FuncKey K;
+    if (!R.str(Name) || !R.u64(K.Primary) || !R.u64(K.Verify))
+      return std::nullopt;
+    Out.emplace(std::move(Name), K);
+  }
+  if (!R.done())
+    return std::nullopt;
+  return Out;
+}
+
+void FuncStore::putManifest(uint64_t TuHash, const TuManifest &Manifest) {
+  if (!Valid)
+    return;
+  ByteWriter P;
+  P.u64(TuHash);
+  P.u64(Manifest.size());
+  for (const auto &[Name, Key] : Manifest) {
+    P.str(Name);
+    P.u64(Key.Primary);
+    P.u64(Key.Verify);
+  }
+  writeAtomic(tuPath(TuHash), encodeFile(ManiMagic, P.take()));
+}
+
+FuncStoreStats FuncStore::stats() const {
+  std::lock_guard<std::mutex> G(M);
+  return Counters;
+}

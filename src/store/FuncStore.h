@@ -1,0 +1,111 @@
+//===- store/FuncStore.h - Function-granular persistent records -*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The function-granular extension of the persistent verification store:
+/// content-addressed records holding one function's checked specification
+/// and derivation, plus a per-translation-unit manifest mapping function
+/// names to the keys the last completed run verified them under.
+///
+/// The incremental engine (src/incremental) is the only writer. Records
+/// are keyed by the engine's FuncKey — a dual 64-bit content hash over
+/// the function's normalized body, its callees' specification facts, and
+/// the TU environment — so a warm process can reuse a checked bound a
+/// previous process derived, and a manifest diff tells the engine exactly
+/// which functions a cross-process edit invalidated.
+///
+/// Discipline inherited from store/Store.cpp: magic + version + embedded
+/// key + FNV-1a checksum per file, atomic tmp+rename writes, and total
+/// decoding — a truncated, bit-flipped, or foreign file degrades to a
+/// miss, never a crash and never a wrong record (the embedded key is
+/// re-verified against the requested key on every fetch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_STORE_FUNCSTORE_H
+#define QCC_STORE_FUNCSTORE_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace qcc {
+namespace store {
+
+/// The content key of one function-level record (same dual-digest
+/// discipline as batch::JobKey: Primary buckets, Verify guards).
+struct FuncKey {
+  uint64_t Primary = 0;
+  uint64_t Verify = 0;
+
+  bool operator==(const FuncKey &O) const {
+    return Primary == O.Primary && Verify == O.Verify;
+  }
+  bool operator!=(const FuncKey &O) const { return !(*this == O); }
+  bool operator<(const FuncKey &O) const {
+    return Primary != O.Primary ? Primary < O.Primary : Verify < O.Verify;
+  }
+};
+
+/// Counters, readable concurrently.
+struct FuncStoreStats {
+  uint64_t Fetches = 0;
+  uint64_t Hits = 0;
+  uint64_t Corrupt = 0; ///< Files quarantined as misses.
+  uint64_t Puts = 0;
+};
+
+/// A per-TU manifest: function name -> the key it was last verified under.
+using TuManifest = std::map<std::string, FuncKey>;
+
+/// The on-disk function store. Thread-safe; concurrent processes are
+/// safe through atomic renames (last writer wins — records are
+/// content-addressed, so both writers carry identical payloads).
+class FuncStore {
+public:
+  /// Opens (creating if needed) \p Dir with `funcs/` and `tus/` below it.
+  explicit FuncStore(std::string Dir);
+
+  /// False when the directories could not be created.
+  bool valid() const { return Valid; }
+  const std::string &error() const { return Error; }
+
+  /// The serialized record stored under \p Key, or nullopt on miss or
+  /// corruption (checksum, magic, version, or embedded-key mismatch).
+  std::optional<std::string> fetchFunc(const FuncKey &Key);
+
+  /// Persists \p Record under \p Key. Failures are counted, not fatal.
+  void putFunc(const FuncKey &Key, const std::string &Record);
+
+  /// The manifest last written for translation unit \p TuHash.
+  std::optional<TuManifest> fetchManifest(uint64_t TuHash);
+
+  /// Atomically replaces the manifest for \p TuHash.
+  void putManifest(uint64_t TuHash, const TuManifest &M);
+
+  FuncStoreStats stats() const;
+
+private:
+  std::string funcPath(const FuncKey &Key) const;
+  std::string tuPath(uint64_t TuHash) const;
+  std::optional<std::string> readChecked(const std::string &Path,
+                                         const char *Magic);
+  bool writeAtomic(const std::string &Path, const std::string &Bytes);
+
+  std::string Dir;
+  bool Valid = false;
+  std::string Error;
+  mutable std::mutex M;
+  FuncStoreStats Counters;
+};
+
+} // namespace store
+} // namespace qcc
+
+#endif // QCC_STORE_FUNCSTORE_H

@@ -1,0 +1,167 @@
+//===- support/Arena.h - Chunked bump allocator for hot paths -------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator for the per-job re-verify hot path. The
+/// incremental engine allocates scratch structures (key buffers, hash
+/// work lists, serialized record staging) out of an Arena and resets it
+/// between jobs, so a warm edit does no unbounded heap churn: after the
+/// first job on a thread the arena's chunks are hot and reused in place.
+///
+/// Not thread-safe; each user owns its arena. The process-wide
+/// high-water mark (the largest total footprint any arena reached) is a
+/// relaxed atomic so the metrics layer can report it from any thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_SUPPORT_ARENA_H
+#define QCC_SUPPORT_ARENA_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace qcc {
+
+namespace detail {
+/// Largest total arena footprint (bytes) observed process-wide.
+inline std::atomic<uint64_t> ArenaHighWater{0};
+} // namespace detail
+
+/// Returns the process-wide arena high-water mark in bytes.
+inline uint64_t arenaHighWater() {
+  return detail::ArenaHighWater.load(std::memory_order_relaxed);
+}
+
+class Arena {
+public:
+  static constexpr size_t DefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(size_t ChunkBytes = DefaultChunkBytes)
+      : ChunkBytes(ChunkBytes) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates Size bytes aligned to Align. Never returns null; falls
+  /// back to a dedicated chunk for oversized requests.
+  void *alloc(size_t Size, size_t Align = alignof(std::max_align_t)) {
+    if (Size == 0)
+      Size = 1;
+    if (Cur) {
+      uintptr_t P = reinterpret_cast<uintptr_t>(Cur->Data.get()) + Cur->Used;
+      uintptr_t Aligned = (P + Align - 1) & ~(uintptr_t(Align) - 1);
+      size_t Need = (Aligned - P) + Size;
+      if (Cur->Used + Need <= Cur->Cap) {
+        Cur->Used += Need;
+        return reinterpret_cast<void *>(Aligned);
+      }
+    }
+    return allocSlow(Size, Align);
+  }
+
+  /// Typed allocation of N default-constructible objects. Only for
+  /// trivially-destructible T: reset() never runs destructors.
+  template <typename T> T *allocArray(size_t N) {
+    static_assert(std::is_trivially_destructible<T>::value,
+                  "arena memory is reclaimed without running destructors");
+    T *P = static_cast<T *>(alloc(N * sizeof(T), alignof(T)));
+    for (size_t I = 0; I < N; ++I)
+      new (P + I) T();
+    return P;
+  }
+
+  /// Copies a byte span into the arena.
+  void *copy(const void *Src, size_t Size,
+             size_t Align = alignof(std::max_align_t)) {
+    void *Dst = alloc(Size, Align);
+    std::memcpy(Dst, Src, Size);
+    return Dst;
+  }
+
+  /// Rewinds all chunks without releasing them: the next job reuses the
+  /// same memory. Oversized one-off chunks (rare) are released so a
+  /// single huge job does not pin its footprint forever.
+  void reset() {
+    size_t Kept = 0;
+    for (size_t I = 0; I < Chunks.size(); ++I) {
+      Chunks[I].Used = 0;
+      if (Chunks[I].Cap <= ChunkBytes)
+        Chunks[Kept++] = std::move(Chunks[I]);
+      else
+        Footprint -= Chunks[I].Cap;
+    }
+    Chunks.resize(Kept);
+    Cur = Chunks.empty() ? nullptr : &Chunks.front();
+    NextChunk = 0;
+  }
+
+  /// Total bytes currently reserved by this arena (all chunks).
+  size_t footprint() const { return Footprint; }
+
+  /// Bytes handed out since the last reset.
+  size_t used() const {
+    size_t U = 0;
+    for (const auto &C : Chunks)
+      U += C.Used;
+    return U;
+  }
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> Data;
+    size_t Cap = 0;
+    size_t Used = 0;
+  };
+
+  void *allocSlow(size_t Size, size_t Align) {
+    // After a reset, walk previously-reserved chunks before growing.
+    while (NextChunk < Chunks.size()) {
+      Chunk &C = Chunks[NextChunk];
+      if (C.Used == 0 && C.Cap >= Size + Align) {
+        Cur = &C;
+        ++NextChunk;
+        return alloc(Size, Align);
+      }
+      ++NextChunk;
+    }
+    size_t Cap = ChunkBytes;
+    if (Size + Align > Cap)
+      Cap = Size + Align;
+    Chunk C;
+    C.Data = std::make_unique<char[]>(Cap);
+    C.Cap = Cap;
+    Footprint += Cap;
+    Chunks.push_back(std::move(C));
+    NextChunk = Chunks.size();
+    Cur = &Chunks.back();
+    // Racing arenas may interleave; max-CAS keeps the mark monotone.
+    uint64_t Mark = Footprint;
+    uint64_t Prev = detail::ArenaHighWater.load(std::memory_order_relaxed);
+    while (Prev < Mark && !detail::ArenaHighWater.compare_exchange_weak(
+                              Prev, Mark, std::memory_order_relaxed))
+      ;
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur->Data.get());
+    uintptr_t Aligned = (P + Align - 1) & ~(uintptr_t(Align) - 1);
+    Cur->Used = (Aligned - P) + Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  size_t ChunkBytes;
+  size_t Footprint = 0;
+  size_t NextChunk = 0;
+  std::vector<Chunk> Chunks;
+  Chunk *Cur = nullptr;
+};
+
+} // namespace qcc
+
+#endif // QCC_SUPPORT_ARENA_H

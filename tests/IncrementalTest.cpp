@@ -1,0 +1,534 @@
+//===- tests/IncrementalTest.cpp - Function-granular verification ---------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental engine's regression suite: call-graph key stability
+/// (topological order, recursive-SCC grouping), the exact re-verification
+/// set under single-function mutations, bit-identity of warm results with
+/// the whole-file path, the persistent function store's round trips and
+/// corruption handling, and an oversubscribed shared-engine stress that
+/// races the interned Bound table and the arenas for the TSan slice.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "batch/Batch.h"
+#include "frontend/Frontend.h"
+#include "incremental/Incremental.h"
+#include "logic/Bound.h"
+#include "store/FuncStore.h"
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace qcc;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+clight::Program mustParse(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = frontend::parseProgram(Src, D);
+  EXPECT_TRUE(P) << D.str();
+  return P ? std::move(*P) : clight::Program{};
+}
+
+/// A fresh directory under the system temp root, removed on destruction.
+struct TempDir {
+  fs::path Path;
+  TempDir() {
+    static std::atomic<unsigned> Seq{0};
+    Path = fs::temp_directory_path() /
+           ("qcc-inc-test-" + std::to_string(getpid()) + "-" +
+            std::to_string(Seq.fetch_add(1)));
+    fs::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    fs::remove_all(Path, Ec);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+batch::BatchJob job(const std::string &Id, const std::string &Source) {
+  batch::BatchJob J;
+  J.Id = Id;
+  J.Source = Source;
+  return J;
+}
+
+/// The bit-identity contract (batch::IncrementalEngine): everything but
+/// timings and the incremental counters must match the whole-file path.
+void expectSameVerdict(const batch::ProgramResult &A,
+                       const batch::ProgramResult &B) {
+  EXPECT_EQ(A.Id, B.Id);
+  EXPECT_EQ(A.Ok, B.Ok);
+  EXPECT_EQ(A.Status, B.Status);
+  EXPECT_EQ(A.Stop, B.Stop);
+  EXPECT_EQ(A.Diagnostics, B.Diagnostics);
+  EXPECT_EQ(A.SkippedRecursive, B.SkippedRecursive);
+  EXPECT_EQ(A.Theorem1Checked, B.Theorem1Checked);
+  EXPECT_EQ(A.Theorem1Ok, B.Theorem1Ok);
+  EXPECT_EQ(A.Theorem1StackBytes, B.Theorem1StackBytes);
+  EXPECT_EQ(A.ProofBlob, B.ProofBlob);
+  EXPECT_EQ(A.Metrics.ProofNodes, B.Metrics.ProofNodes);
+  EXPECT_EQ(A.Metrics.ReplayedEvents, B.Metrics.ReplayedEvents);
+  ASSERT_EQ(A.Bounds.size(), B.Bounds.size());
+  for (size_t I = 0; I != A.Bounds.size(); ++I) {
+    EXPECT_EQ(A.Bounds[I].Function, B.Bounds[I].Function);
+    EXPECT_EQ(A.Bounds[I].SymbolicBound, B.Bounds[I].SymbolicBound);
+    EXPECT_EQ(A.Bounds[I].ConcreteBytes, B.Bounds[I].ConcreteBytes);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Call-graph keys: topological-order stability, recursive-SCC grouping
+//===----------------------------------------------------------------------===//
+
+const char *DiamondSrc = R"(
+u32 h(u32 n) { return n + 1u; }
+u32 g(u32 n) { return h(n); }
+u32 f(u32 n) { return g(n) + h(n); }
+int main() { return (int)(f(3u) & 0xffu); }
+)";
+
+TEST(CallGraphIncremental, TopoOrderStableAcrossRebuilds) {
+  clight::Program P1 = mustParse(DiamondSrc);
+  clight::Program P2 = mustParse(DiamondSrc);
+  analysis::CallGraph A(P1), B(P2);
+  // The order the incremental keys are computed in must not wobble
+  // between parses of the same program, or keys would be rebuilt against
+  // different evolving contexts from run to run.
+  EXPECT_EQ(A.topologicalOrder(), B.topologicalOrder());
+
+  // And it is callee-first: every callee precedes its caller, so when a
+  // function's key is computed, every callee's spec is already in Gamma.
+  const auto &Topo = A.topologicalOrder();
+  auto Pos = [&Topo](const std::string &N) {
+    return std::find(Topo.begin(), Topo.end(), N) - Topo.begin();
+  };
+  for (const std::string &F : Topo)
+    for (const std::string &C : A.callees(F))
+      EXPECT_LT(Pos(C), Pos(F)) << C << " must precede " << F;
+}
+
+TEST(CallGraphIncremental, TopoOrderIgnoresDefinitionOrder) {
+  // The same call graph spelled with definitions permuted: key
+  // computation order depends on the graph, not the source layout.
+  clight::Program P1 = mustParse(DiamondSrc);
+  clight::Program P2 = mustParse(R"(
+int main() { return (int)(f(3u) & 0xffu); }
+u32 f(u32 n) { return g(n) + h(n); }
+u32 g(u32 n) { return h(n); }
+u32 h(u32 n) { return n + 1u; }
+)");
+  analysis::CallGraph A(P1), B(P2);
+  EXPECT_EQ(A.topologicalOrder(), B.topologicalOrder());
+}
+
+TEST(CallGraphIncremental, RecursiveComponentsGroupCycleFamilies) {
+  clight::Program P = mustParse(R"(
+u32 self(u32 n) { if (n == 0u) return 0u; return self(n - 1u); }
+u32 ping(u32 n) { if (n == 0u) return 0u; return pong(n - 1u); }
+u32 pong(u32 n) { return ping(n); }
+u32 plain(u32 n) { return n + 1u; }
+int main() { return (int)((self(2u) + ping(2u) + plain(2u)) & 0xffu); }
+)");
+  analysis::CallGraph CG(P);
+  // {ping, pong} is one cycle family, {self} another; plain and main are
+  // not recursive. Components are disjoint, cover recursiveFunctions()
+  // exactly, and are ordered by smallest member — the unit the engine
+  // invalidates together, since any member's bound can depend on every
+  // other member's body.
+  const auto &Comps = CG.recursiveComponents();
+  ASSERT_EQ(Comps.size(), 2u);
+  EXPECT_EQ(Comps[0], (std::set<std::string>{"ping", "pong"}));
+  EXPECT_EQ(Comps[1], (std::set<std::string>{"self"}));
+  std::set<std::string> Union;
+  for (const auto &C : Comps)
+    Union.insert(C.begin(), C.end());
+  EXPECT_EQ(Union, CG.recursiveFunctions());
+}
+
+//===----------------------------------------------------------------------===//
+// The persistent function store
+//===----------------------------------------------------------------------===//
+
+TEST(FuncStore, RoundTripAndMiss) {
+  TempDir Dir;
+  store::FuncStore FS(Dir.str());
+  ASSERT_TRUE(FS.valid()) << FS.error();
+
+  store::FuncKey K{0x1122334455667788ull, 0x99aabbccddeeff00ull};
+  EXPECT_FALSE(FS.fetchFunc(K));
+  FS.putFunc(K, "record-bytes");
+  auto Got = FS.fetchFunc(K);
+  ASSERT_TRUE(Got);
+  EXPECT_EQ(*Got, "record-bytes");
+  EXPECT_FALSE(FS.fetchFunc({K.Primary, K.Verify + 1}));
+
+  store::TuManifest Mani;
+  Mani["alpha"] = {1, 2};
+  Mani["beta"] = {3, 4};
+  EXPECT_FALSE(FS.fetchManifest(42));
+  FS.putManifest(42, Mani);
+  auto M = FS.fetchManifest(42);
+  ASSERT_TRUE(M);
+  EXPECT_EQ(*M, Mani);
+
+  store::FuncStoreStats S = FS.stats();
+  EXPECT_EQ(S.Puts, 1u); // Function records only; manifests are untracked.
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Corrupt, 0u);
+}
+
+TEST(FuncStore, CorruptionQuarantinesTheRecord) {
+  TempDir Dir;
+  store::FuncStore FS(Dir.str());
+  ASSERT_TRUE(FS.valid()) << FS.error();
+  store::FuncKey K{7, 9};
+  FS.putFunc(K, "precious");
+
+  // Flip one payload byte in the single record file on disk.
+  fs::path File;
+  for (const auto &E : fs::recursive_directory_iterator(Dir.Path))
+    if (E.is_regular_file())
+      File = E.path();
+  ASSERT_FALSE(File.empty());
+  {
+    std::fstream F(File, std::ios::in | std::ios::out | std::ios::binary);
+    F.seekp(-1, std::ios::end);
+    F.put('X');
+  }
+
+  EXPECT_FALSE(FS.fetchFunc(K)); // Checksum mismatch: a miss, not garbage.
+  EXPECT_EQ(FS.stats().Corrupt, 1u);
+  EXPECT_FALSE(fs::exists(File)); // Quarantined: removed, won't re-trip.
+}
+
+TEST(FuncStore, RenamedRecordRejectedByEmbeddedKey) {
+  TempDir Dir;
+  store::FuncStore FS(Dir.str());
+  ASSERT_TRUE(FS.valid()) << FS.error();
+  FS.putFunc({1, 2}, "for-key-1-2");
+
+  // Move the record where key {3,4} would live: the checksum still
+  // passes, but the embedded key does not match the request.
+  fs::path File;
+  for (const auto &E : fs::recursive_directory_iterator(Dir.Path))
+    if (E.is_regular_file())
+      File = E.path();
+  ASSERT_FALSE(File.empty());
+  char Name[64];
+  snprintf(Name, sizeof Name, "%016llx-%016llx.qfn", 3ull, 4ull);
+  fs::rename(File, File.parent_path() / Name);
+
+  EXPECT_FALSE(FS.fetchFunc({3, 4}));
+  EXPECT_EQ(FS.stats().Corrupt, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The engine: bit-identity with the whole-file path
+//===----------------------------------------------------------------------===//
+
+const char *ChainSrc = R"(
+u32 leaf(u32 n) { return n + 1u; }
+u32 mid(u32 n) { return leaf(n) + 2u; }
+int main() { return (int)(mid(5u) & 0xffu); }
+)";
+
+const char *RecursiveSrc = R"(
+u32 down(u32 n) { if (n == 0u) return 0u; return down(n - 1u) + 1u; }
+u32 plain(u32 n) { return n + 3u; }
+int main() { return (int)(plain(4u) & 0xffu); }
+)";
+
+TEST(IncrementalEngine, ColdRunMatchesVerifyOne) {
+  for (const char *Src : {ChainSrc, RecursiveSrc, DiamondSrc}) {
+    incremental::Engine Eng;
+    batch::BatchJob J = job("prog.c", Src);
+    batch::ProgramResult A = Eng.verify(J, true, nullptr, true);
+    batch::ProgramResult B = batch::verifyOne(J, true, nullptr, true);
+    expectSameVerdict(A, B);
+    EXPECT_TRUE(A.Ok);
+  }
+}
+
+TEST(IncrementalEngine, WarmRunBitIdenticalAndFullyReused) {
+  incremental::Engine Eng;
+  batch::BatchJob J = job("prog.c", ChainSrc);
+  batch::ProgramResult Cold = Eng.verify(J, true, nullptr, true);
+  batch::ProgramResult Warm = Eng.verify(J, true, nullptr, true);
+  expectSameVerdict(Cold, Warm);
+
+  EXPECT_EQ(Cold.Metrics.FuncsReVerified, 3u);
+  EXPECT_EQ(Cold.Metrics.FuncsReused, 0u);
+  EXPECT_EQ(Warm.Metrics.FuncsReused, 3u);
+  EXPECT_EQ(Warm.Metrics.FuncsReVerified, 0u);
+  EXPECT_TRUE(Warm.Metrics.ReVerifiedFunctions.empty());
+  EXPECT_EQ(Eng.stats().ReplayHits, 1u); // Validation + Theorem 1 served.
+}
+
+TEST(IncrementalEngine, FailedTheorem1StillBitIdenticalWhenWarm) {
+  // A diagnostics-bearing program (the skipped-recursive warning): the
+  // warm run must reproduce the rendered diagnostics byte for byte.
+  incremental::Engine Eng;
+  batch::BatchJob J = job("rec.c", R"(
+u32 down(u32 n) { if (n == 0u) return 0u; return down(n - 1u) + 1u; }
+int main() { return (int)(down(3u) & 0xffu); }
+)");
+  batch::ProgramResult Cold = Eng.verify(J, true, nullptr, true);
+  batch::ProgramResult Ref = batch::verifyOne(J, true, nullptr, true);
+  batch::ProgramResult Warm = Eng.verify(J, true, nullptr, true);
+  expectSameVerdict(Cold, Ref);
+  expectSameVerdict(Warm, Ref);
+  EXPECT_FALSE(Ref.Diagnostics.empty());
+}
+
+TEST(IncrementalEngine, InlineJobsFallBackWholesale) {
+  // RTL inlining splices callee bodies across function boundaries, so
+  // per-function keys are unsound there: the engine must dispatch to
+  // verifyOne, not key anything.
+  incremental::Engine Eng;
+  batch::BatchJob J = job("prog.c", ChainSrc);
+  J.Options.Inline = true;
+  batch::ProgramResult A = Eng.verify(J, true, nullptr, true);
+  batch::ProgramResult B = batch::verifyOne(J, true, nullptr, true);
+  expectSameVerdict(A, B);
+  EXPECT_EQ(Eng.stats().FallbackJobs, 1u);
+  EXPECT_EQ(Eng.stats().Jobs, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation tests: the exact re-verified set
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalEngine, SpecPreservingEditReverifiesOnlyTheEditedFunction) {
+  incremental::Engine Eng;
+  batch::ProgramResult Base = Eng.verify(job("prog.c", R"(
+u32 leaf(u32 n) { return n + 1u; }
+u32 mid(u32 n) { return leaf(n) + 2u; }
+int main() { return (int)(mid(5u) & 0xffu); }
+)"),
+                                         true, nullptr, true);
+  ASSERT_TRUE(Base.Ok);
+
+  // Edit leaf's arithmetic. Its body hash changes, but its derived spec
+  // (which counts callee frames only) does not — so mid's and main's keys
+  // recompute identically and the invalidation stops at leaf.
+  batch::ProgramResult Edited = Eng.verify(job("prog.c", R"(
+u32 leaf(u32 n) { return n + 7u; }
+u32 mid(u32 n) { return leaf(n) + 2u; }
+int main() { return (int)(mid(5u) & 0xffu); }
+)"),
+                                           true, nullptr, true);
+  ASSERT_TRUE(Edited.Ok);
+  EXPECT_EQ(Edited.Metrics.ReVerifiedFunctions,
+            (std::vector<std::string>{"leaf"}));
+  EXPECT_EQ(Edited.Metrics.FuncsReused, 2u);
+  EXPECT_EQ(Edited.Metrics.FuncsInvalidated, 1u);
+
+  // The edited program's verdict still matches its own whole-file run.
+  expectSameVerdict(Edited, batch::verifyOne(job("prog.c", R"(
+u32 leaf(u32 n) { return n + 7u; }
+u32 mid(u32 n) { return leaf(n) + 2u; }
+int main() { return (int)(mid(5u) & 0xffu); }
+)"),
+                                             true, nullptr, true));
+}
+
+TEST(IncrementalEngine, SpecChangingEditReverifiesTransitiveCallers) {
+  incremental::Engine Eng;
+  batch::ProgramResult Base = Eng.verify(job("prog.c", R"(
+u32 leaf_a(u32 n) { return n + 1u; }
+u32 leaf_b(u32 n) { return n + 2u; }
+u32 mid(u32 n) { return leaf_a(n); }
+int main() { return (int)(mid(5u) & 0xffu); }
+)"),
+                                         true, nullptr, true);
+  ASSERT_TRUE(Base.Ok);
+
+  // mid now also calls leaf_b: mid's spec changes, so main's key changes
+  // too — the edited function and its transitive callers, nothing else.
+  batch::ProgramResult Edited = Eng.verify(job("prog.c", R"(
+u32 leaf_a(u32 n) { return n + 1u; }
+u32 leaf_b(u32 n) { return n + 2u; }
+u32 mid(u32 n) { return leaf_a(n) + leaf_b(n); }
+int main() { return (int)(mid(5u) & 0xffu); }
+)"),
+                                           true, nullptr, true);
+  ASSERT_TRUE(Edited.Ok);
+  EXPECT_EQ(Edited.Metrics.ReVerifiedFunctions,
+            (std::vector<std::string>{"main", "mid"}));
+  EXPECT_EQ(Edited.Metrics.FuncsReused, 2u); // Both leaves.
+  EXPECT_EQ(Edited.Metrics.FuncsInvalidated, 2u);
+}
+
+TEST(IncrementalEngine, UnreachableHelperEditKeepsTheReplayResult) {
+  // Traces at all five levels depend only on code reachable from the
+  // entry point, so the replay/Theorem-1 cache survives an edit to a
+  // helper main never calls — only the helper itself re-verifies.
+  incremental::Engine Eng;
+  batch::ProgramResult Base = Eng.verify(job("prog.c", R"(
+u32 helper(u32 n) { return n + 1u; }
+u32 used(u32 n) { return n + 2u; }
+int main() { return (int)(used(5u) & 0xffu); }
+)"),
+                                         true, nullptr, true);
+  ASSERT_TRUE(Base.Ok);
+  EXPECT_EQ(Eng.stats().ReplayHits, 0u);
+
+  batch::ProgramResult Edited = Eng.verify(job("prog.c", R"(
+u32 helper(u32 n) { return n + 9u; }
+u32 used(u32 n) { return n + 2u; }
+int main() { return (int)(used(5u) & 0xffu); }
+)"),
+                                           true, nullptr, true);
+  ASSERT_TRUE(Edited.Ok);
+  EXPECT_EQ(Eng.stats().ReplayHits, 1u);
+  EXPECT_EQ(Edited.Metrics.ReVerifiedFunctions,
+            (std::vector<std::string>{"helper"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-process reuse through the function store
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalEngine, FunctionRecordsPersistAcrossEngines) {
+  TempDir Dir;
+  incremental::EngineOptions EO;
+  EO.FuncStoreDir = Dir.str();
+
+  batch::BatchJob J = job("prog.c", ChainSrc);
+  batch::ProgramResult Cold;
+  {
+    incremental::Engine First(EO);
+    Cold = First.verify(J, true, nullptr, true);
+    ASSERT_TRUE(Cold.Ok);
+    EXPECT_EQ(Cold.Metrics.FuncsReVerified, 3u);
+  }
+
+  // A fresh engine on the same directory models a new process: every
+  // function record and the TU manifest come back from disk.
+  incremental::Engine Second(EO);
+  batch::ProgramResult Warm = Second.verify(J, true, nullptr, true);
+  expectSameVerdict(Cold, Warm);
+  EXPECT_EQ(Warm.Metrics.FuncsReused, 3u);
+  EXPECT_EQ(Warm.Metrics.FuncsReVerified, 0u);
+  EXPECT_EQ(Warm.Metrics.FuncsInvalidated, 0u); // Manifest seeded from disk.
+  EXPECT_GE(Second.storeStats().Hits, 3u);
+}
+
+TEST(IncrementalEngine, ClearMemoryRefillsFromDisk) {
+  TempDir Dir;
+  incremental::EngineOptions EO;
+  EO.FuncStoreDir = Dir.str();
+  incremental::Engine Eng(EO);
+
+  batch::BatchJob J = job("prog.c", ChainSrc);
+  batch::ProgramResult Cold = Eng.verify(J, true, nullptr, true);
+  Eng.clearMemory();
+  batch::ProgramResult Warm = Eng.verify(J, true, nullptr, true);
+  expectSameVerdict(Cold, Warm);
+  EXPECT_EQ(Warm.Metrics.FuncsReused, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics surfacing
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalEngine, MetricsJsonDeterministicDetailUnchanged) {
+  std::vector<batch::BatchJob> Jobs = {job("a.c", ChainSrc),
+                                       job("b.c", DiamondSrc)};
+  batch::BatchOptions Plain;
+  Plain.Jobs = 1;
+  batch::BatchResult Ref = batch::runBatch(Jobs, Plain);
+
+  incremental::Engine Eng;
+  batch::BatchOptions Inc;
+  Inc.Jobs = 1;
+  Inc.Incremental = &Eng;
+  batch::BatchResult Got = batch::runBatch(Jobs, Inc);
+
+  // Deterministic detail ignores how the verdict was produced: the two
+  // reports are byte-identical. Full detail additionally carries the
+  // incremental counters.
+  EXPECT_EQ(batch::metricsJson(Ref, batch::JsonDetail::Deterministic),
+            batch::metricsJson(Got, batch::JsonDetail::Deterministic));
+  std::string Full = batch::metricsJson(Got, batch::JsonDetail::Full);
+  EXPECT_NE(Full.find("\"incremental\""), std::string::npos);
+  EXPECT_NE(Full.find("\"funcs_reused\""), std::string::npos);
+  EXPECT_NE(Full.find("\"interned_bounds\""), std::string::npos);
+  EXPECT_NE(Full.find("\"arena_high_water\""), std::string::npos);
+  EXPECT_EQ(batch::metricsJson(Ref, batch::JsonDetail::Deterministic)
+                .find("\"incremental\""),
+            std::string::npos);
+
+  // The counters the JSON carries are live: warm runs reuse, and the
+  // interning/arena gauges are non-zero once any bound was built.
+  EXPECT_GT(Got.Programs[0].Metrics.InternedBounds, 0u);
+  EXPECT_GT(Got.Programs[0].Metrics.ArenaHighWater, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Oversubscribed shared-engine stress (the TSan slice's target)
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalStress, SharedEngineOversubscribed) {
+  // Many more threads than cores hammer one engine with a mix of warm
+  // hits, cold misses, and concurrent Bound interning + arena traffic.
+  // Correctness here is bit-identity per source; the TSan configuration
+  // additionally proves the interned table and arenas race-free:
+  //   cmake -B build-tsan -S . -DQCC_SANITIZE=thread
+  //   ctest --test-dir build-tsan -L incremental
+  incremental::Engine Eng;
+  const std::vector<const char *> Sources = {ChainSrc, DiamondSrc,
+                                             RecursiveSrc};
+  std::vector<batch::ProgramResult> Reference;
+  for (const char *Src : Sources)
+    Reference.push_back(batch::verifyOne(job("p.c", Src), true, nullptr,
+                                         true));
+
+  unsigned Hw = std::thread::hardware_concurrency();
+  unsigned Threads = std::max(8u, 2 * (Hw ? Hw : 4));
+  std::atomic<unsigned> Mismatches{0};
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (unsigned I = 0; I != 3; ++I) {
+        size_t Pick = (T + I) % Sources.size();
+        batch::ProgramResult R =
+            Eng.verify(job("p.c", Sources[Pick]), true, nullptr, true);
+        const batch::ProgramResult &Ref = Reference[Pick];
+        if (R.Ok != Ref.Ok || R.ProofBlob != Ref.ProofBlob ||
+            R.Diagnostics != Ref.Diagnostics ||
+            R.Theorem1StackBytes != Ref.Theorem1StackBytes)
+          Mismatches.fetch_add(1);
+        // Extra interner traffic racing the verifies.
+        logic::BoundExpr B =
+            logic::bAdd(logic::bConst(T + I), logic::bMetric("m"));
+        if (!B)
+          Mismatches.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+  EXPECT_GT(logic::internStats().BoundNodes, 0u);
+  EXPECT_GT(arenaHighWater(), 0u);
+}
+
+} // namespace

@@ -22,6 +22,7 @@
 
 #include "batch/Batch.h"
 #include "daemon/Client.h"
+#include "incremental/Incremental.h"
 #include "store/Store.h"
 #include "driver/Compiler.h"
 #include "fuzz/Fuzz.h"
@@ -102,6 +103,12 @@ void usage() {
       "  --store-budget-mb N  LRU byte budget for --store (0 = unbounded)\n"
       "  --store-verify   re-check each loaded proof with the proof\n"
       "                   checker before trusting a store entry\n"
+      "  --incremental    function-granular verification: on a warm edit\n"
+      "                   only the edited function and its transitive\n"
+      "                   callers re-verify; unchanged functions' bounds\n"
+      "                   and derivations are served from per-function\n"
+      "                   keys (with --store they persist under\n"
+      "                   <dir>/funcs, so a fresh process stays warm)\n"
       "  -D/--inline/--tail-calls/--no-opt/--no-validate apply to every\n"
       "  program in the batch\n"
       "\n"
@@ -156,6 +163,7 @@ struct BatchCliOptions {
   std::string StoreDir;
   uint64_t StoreBudgetMb = 0;
   bool StoreVerify = false;
+  bool Incremental = false;
 };
 
 /// Collects the jobs of one --batch run: the built-in corpus, or every
@@ -351,10 +359,18 @@ int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
     }
   }
   batch::ResultCache Cache;
+  std::unique_ptr<incremental::Engine> Inc;
+  if (Cli.Incremental) {
+    incremental::EngineOptions EO;
+    if (!Cli.StoreDir.empty())
+      EO.FuncStoreDir = Cli.StoreDir + "/funcs";
+    Inc = std::make_unique<incremental::Engine>(std::move(EO));
+  }
   batch::BatchOptions Opts;
   Opts.Jobs = Cli.Jobs;
   Opts.Cache = &Cache;
   Opts.Store = Store.get();
+  Opts.Incremental = Inc.get();
   Opts.DeadlineMillis = Cli.DeadlineMs;
   Opts.MemoryBudgetBytes = Cli.MemoryBudgetMb * (1ull << 20);
   Opts.Retries = Cli.Retry;
@@ -363,6 +379,16 @@ int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
   batch::BatchResult R = batch::runBatch(BatchJobs, Opts);
 
   int Code = finishBatchReport(R, Cli);
+  if (Inc) {
+    incremental::EngineStats IS = Inc->stats();
+    printf("incremental: %llu functions reused, %llu re-verified, %llu "
+           "invalidated, %llu/%llu replay hits/misses\n",
+           static_cast<unsigned long long>(IS.FuncsReused),
+           static_cast<unsigned long long>(IS.FuncsReVerified),
+           static_cast<unsigned long long>(IS.FuncsInvalidated),
+           static_cast<unsigned long long>(IS.ReplayHits),
+           static_cast<unsigned long long>(IS.ReplayMisses));
+  }
   if (Store) {
     store::StoreStats SS = Store->stats();
     printf("store '%s': %llu hits, %llu misses, %llu writes, %llu "
@@ -529,6 +555,8 @@ int main(int Argc, char **Argv) {
       Cli.StoreBudgetMb = *V;
     } else if (Arg == "--store-verify") {
       Cli.StoreVerify = true;
+    } else if (Arg == "--incremental") {
+      Cli.Incremental = true;
     } else if (Arg == "--fuzz") {
       if (I + 1 >= Argc) {
         fprintf(stderr, "qcc: --fuzz is missing its program count\n");

@@ -57,6 +57,8 @@ void usage() {
       "                       (default 1)\n"
       "  --recv-timeout-ms N  per-frame receive timeout (default 0: none)\n"
       "  --max-frame-mb N     per-frame payload ceiling (default 64)\n"
+      "  --no-incremental     disable the function-granular incremental\n"
+      "                       engine (warm edits re-verify whole files)\n"
       "\n"
       "Client-requested budgets are clamped to the caps above; SIGINT or\n"
       "SIGTERM (or a client Shutdown frame) drains in-flight jobs and\n"
@@ -165,6 +167,8 @@ int main(int Argc, char **Argv) {
       if (!N)
         return 2;
       Opts.MaxFrameBytes = *N * (1ull << 20);
+    } else if (Arg == "--no-incremental") {
+      Opts.Incremental = false;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -207,6 +211,11 @@ int main(int Argc, char **Argv) {
          static_cast<unsigned long long>(S.JobsServed),
          static_cast<unsigned long long>(S.ProtocolErrors),
          static_cast<unsigned long long>(S.BudgetCancels));
+  printf("qccd: incremental: %llu functions reused, %llu re-verified, "
+         "%llu invalidated\n",
+         static_cast<unsigned long long>(S.FuncsReused),
+         static_cast<unsigned long long>(S.FuncsReVerified),
+         static_cast<unsigned long long>(S.FuncsInvalidated));
   GDaemon = nullptr;
   return 0;
 }
