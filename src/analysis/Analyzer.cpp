@@ -7,6 +7,8 @@
 
 #include "analysis/Analyzer.h"
 
+#include <chrono>
+
 using namespace qcc;
 using namespace qcc::analysis;
 using namespace qcc::logic;
@@ -16,6 +18,23 @@ BoundExpr AnalysisResult::callBound(const std::string &Function) const {
   if (It == Gamma.end())
     return nullptr;
   return bAdd(bMetric(Function), It->second.Pre);
+}
+
+uint64_t AnalysisResult::proofNodeCount() const {
+  uint64_t N = 0;
+  for (const DerivationForest::Root &R : Forest.roots())
+    N += R.End - R.Node;
+  for (const auto &[Name, RB] : Reused)
+    N += RB.ProofNodes;
+  return N;
+}
+
+std::map<std::string, const std::string *>
+AnalysisResult::reusedRecords() const {
+  std::map<std::string, const std::string *> Out;
+  for (const auto &[Name, RB] : Reused)
+    Out.emplace(Name, &RB.Record);
+  return Out;
 }
 
 AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
@@ -29,6 +48,12 @@ AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
   CallGraph CG(P);
   EntailOptions Opt;
   Opt.SymbolicOnly = true; // Auto derivations carry symbolic certificates.
+
+  // One entailment memo for the whole run: every query below runs under
+  // the same EntailOptions and with no assumptions, and interned bounds
+  // recur heavily across functions (callee pre/post expressions), so the
+  // builder's fixpoint probes and the checker's re-asks share answers.
+  EntailMemo Memo;
 
   for (const std::string &Name : CG.topologicalOrder()) {
     if (Sup && Sup->stopRequested())
@@ -70,16 +95,17 @@ AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
     // trust step as accepting a seeded spec — except the derivation is
     // still carried along for proof-artifact emission.
     if (Cache) {
-      if (std::optional<FunctionBound> FB =
+      if (std::optional<ReusedBound> RB =
               Cache->lookup(Name, *F, Result.Gamma)) {
-        Result.Gamma[Name] = FB->Spec;
-        Result.Bounds.emplace(Name, std::move(*FB));
+        Result.Gamma[Name] = RB->Spec;
         Result.ReusedFunctions.push_back(Name);
+        Result.Reused.emplace(Name, std::move(*RB));
         continue;
       }
     }
 
     DerivationBuilder Builder(P, Result.Gamma, Opt);
+    Builder.setMemo(&Memo);
 
     // Pass 1: the peak requirement of the body (nothing demanded after).
     PostCondition Q0{bZero(), bBottom(), bZero()};
@@ -101,11 +127,27 @@ AnalysisResult qcc::analysis::analyzeProgram(const clight::Program &P,
     }
 
     // Every automatic bound is validated by the proof checker before it
-    // is reported (the paper's derivation-generation guarantee).
-    ProofChecker Checker(P, Builder.context(), Opt);
+    // is reported (the paper's derivation-generation guarantee). The
+    // check runs on the flat form: the tree is flattened once here and
+    // the forest root doubles as the serialization source later, so a
+    // rejected bound must also retract its root.
+    uint32_t RootIdx = Result.Forest.addRoot(Name, FB->Spec, *FB->Body);
+    ProofChecker Checker(P, &Builder.context(), Opt);
     Checker.setSupervisor(Sup);
+    Checker.setMemo(&Memo);
     DiagnosticEngine CheckDiags;
-    if (!Checker.checkFunctionBound(*FB, CheckDiags)) {
+    auto CheckStart = std::chrono::steady_clock::now();
+    bool Accepted =
+        Checker.checkFunctionBound(Result.Forest, RootIdx, CheckDiags);
+    Result.ProofCheckMicros +=
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - CheckStart)
+            .count();
+    std::array<uint64_t, NumRules> Visited = Checker.ruleNodeCounts();
+    for (unsigned I = 0; I != NumRules; ++I)
+      Result.ProofRuleNodes[I] += Visited[I];
+    if (!Accepted) {
+      Result.Forest.popRoot();
       if (Checker.stopped()) {
         // The checker was halted mid-derivation: neither accept nor
         // reject the bound; the stop is reported once, below.

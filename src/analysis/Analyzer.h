@@ -29,14 +29,28 @@
 #include "analysis/CallGraph.h"
 #include "logic/Builder.h"
 #include "logic/Checker.h"
+#include "logic/Forest.h"
 #include "support/Diagnostics.h"
 
+#include <array>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace qcc {
 namespace analysis {
+
+/// A cache-served bound: the callee-visible specification, the
+/// derivation's node count (accounting parity with a fresh run), and the
+/// validated external-form record (writeSpec+writeDerivation bytes — the
+/// FuncStore record layout) that proof-artifact emission splices verbatim
+/// instead of re-encoding a rebuilt tree.
+struct ReusedBound {
+  logic::FunctionSpec Spec;
+  uint64_t ProofNodes = 0;
+  std::string Record;
+};
 
 /// Hook letting a caller serve a function's already-checked bound from a
 /// cache instead of re-deriving and re-checking it. The incremental
@@ -55,9 +69,10 @@ public:
   /// \p F, or nullopt to analyze it freshly. \p Gamma is the evolving
   /// context at this point of the callee-first walk — it already holds
   /// the specifications of every callee of \p Function, which is exactly
-  /// what a content key must cover for reuse to be sound. Any derivation
-  /// returned must reference statements of \p F's (current) body only.
-  virtual std::optional<logic::FunctionBound>
+  /// what a content key must cover for reuse to be sound. The returned
+  /// record's derivation must reference statements of \p F's (current)
+  /// body only (the cache validates this by decoding against \p F).
+  virtual std::optional<ReusedBound>
   lookup(const std::string &Function, const clight::Function &F,
          const logic::FunctionContext &Gamma) = 0;
 
@@ -71,18 +86,41 @@ public:
 struct AnalysisResult {
   /// Specifications for every analyzed function (seeded specs included).
   logic::FunctionContext Gamma;
-  /// Checked derivations, one per automatically analyzed function.
+  /// Checked derivations, one per *freshly* analyzed function (cache hits
+  /// live in Reused instead). The tree form the builder produced; kept
+  /// for interactive proof emission and the SpecCache admit hook.
   std::map<std::string, logic::FunctionBound> Bounds;
+  /// The same fresh derivations in flat form — one root per entry of
+  /// Bounds. This is what the proof checker walked and what the store
+  /// serializes from; the trees above are never re-encoded.
+  logic::DerivationForest Forest;
+  /// Cache-served bounds by function name: spec, node count, and the raw
+  /// external record for zero-copy re-serialization.
+  std::map<std::string, ReusedBound> Reused;
   /// Functions skipped because they participate in recursion and had no
   /// seeded specification.
   std::vector<std::string> SkippedRecursive;
-  /// Functions whose checked bound was served by the SpecCache hook
-  /// (their entries in Bounds carry the cached derivation).
+  /// Functions whose checked bound was served by the SpecCache hook, in
+  /// walk order (same names as Reused's keys).
   std::vector<std::string> ReusedFunctions;
+  /// Wall time spent inside the proof checker validating fresh bounds.
+  uint64_t ProofCheckMicros = 0;
+  /// Proof-checker node visits per rule (fresh bounds only), indexed by
+  /// static_cast<unsigned>(logic::Rule).
+  std::array<uint64_t, logic::NumRules> ProofRuleNodes{};
 
   /// The verified *call bound* of \p Function: M(f) + B_f, the stack
   /// needed to call it (what Table 1 reports). Null when unknown.
   logic::BoundExpr callBound(const std::string &Function) const;
+
+  /// Total derivation nodes across fresh forest roots and reused records
+  /// (equals the node count an uncached run would report).
+  uint64_t proofNodeCount() const;
+
+  /// Name-to-record-bytes view of Reused, shaped for
+  /// store::encodeProofsForest's splice path. Pointers into this result;
+  /// valid while it lives.
+  std::map<std::string, const std::string *> reusedRecords() const;
 };
 
 /// Runs the automatic analyzer over \p P.

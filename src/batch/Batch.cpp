@@ -131,6 +131,8 @@ ProgramResult qcc::batch::verifyOne(const BatchJob &Job, bool CheckTheorem1,
   R.Metrics.PassMicros = std::move(Stats.PassMicros);
   R.Metrics.ReplayedEvents = std::move(Stats.ReplayedEvents);
   R.Metrics.ProofNodes = Stats.ProofNodes;
+  R.Metrics.ProofCheckMicros = Stats.ProofCheckMicros;
+  R.Metrics.ProofRuleNodes = std::move(Stats.ProofRuleNodes);
 
   if (C) {
     R.Ok = true;
@@ -146,8 +148,10 @@ ProgramResult qcc::batch::verifyOne(const BatchJob &Job, bool CheckTheorem1,
     if (KeepProofArtifacts)
       // Serialize while the Clight program (whose statements the
       // derivations reference) is still alive; the blob outlives it.
-      R.ProofBlob =
-          store::encodeProofs(C->Bounds.Gamma, C->Bounds.Bounds, C->Clight);
+      // Straight from the flat form the checker walked — same bytes the
+      // tree encoder would emit, no pointer chase.
+      R.ProofBlob = store::encodeProofsForest(C->Bounds.Gamma,
+                                              C->Bounds.Forest, C->Clight);
 
     if (CheckTheorem1) {
       auto MainBound = driver::concreteCallBound(*C, "main");
@@ -677,6 +681,20 @@ std::string qcc::batch::metricsJson(const BatchResult &R,
       Out += std::to_string(P.Metrics.TotalMicros) + ",";
       jsonKey("passes", Out);
       jsonPairs("us", P.Metrics.PassMicros, Out);
+      Out += ',';
+      // The proof-check phase, split out of "analyze": how long the
+      // checker itself ran and what it walked, per rule.
+      jsonKey("proof_check_ms", Out);
+      {
+        char Ms[32];
+        std::snprintf(Ms, sizeof Ms, "%.3f",
+                      static_cast<double>(P.Metrics.ProofCheckMicros) /
+                          1000.0);
+        Out += Ms;
+      }
+      Out += ',';
+      jsonKey("proof_rule_nodes", Out);
+      jsonPairs("nodes", P.Metrics.ProofRuleNodes, Out);
       Out += ',';
       // How the verdict was produced, not what it is: Full-detail only,
       // so warm and cold runs stay byte-identical at Deterministic.

@@ -78,6 +78,13 @@ struct ProgramMetrics {
   std::vector<std::pair<std::string, uint64_t>> PassMicros;
   std::vector<std::pair<std::string, uint64_t>> ReplayedEvents;
   uint64_t ProofNodes = 0;
+  /// Time inside the proof checker validating fresh bounds. A timing
+  /// (warm runs check fewer functions), so Full-detail only — unlike
+  /// proof_nodes, which counts the artifact and stays deterministic.
+  uint64_t ProofCheckMicros = 0;
+  /// Proof-checker node visits per rule (fresh bounds only, nonzero
+  /// rules), Full-detail only for the same reason.
+  std::vector<std::pair<std::string, uint64_t>> ProofRuleNodes;
   uint64_t TotalMicros = 0;
   /// Incremental-engine counters, all zero when the job ran through the
   /// whole-file path. Like the timing fields, these describe how the

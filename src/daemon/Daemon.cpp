@@ -47,6 +47,8 @@ struct Daemon::Connection {
   uint64_t FuncsReused = 0;
   uint64_t FuncsReVerified = 0;
   uint64_t FuncsInvalidated = 0;
+  uint64_t ProofNodes = 0;
+  uint64_t ProofCheckMicros = 0;
   std::thread Thread;
   std::atomic<bool> Finished{false};
 
@@ -383,6 +385,8 @@ bool Daemon::handleSubmit(Connection &Conn, const std::string &Payload) {
   Conn.FuncsReused += Result.Metrics.FuncsReused;
   Conn.FuncsReVerified += Result.Metrics.FuncsReVerified;
   Conn.FuncsInvalidated += Result.Metrics.FuncsInvalidated;
+  Conn.ProofNodes += Result.Metrics.ProofNodes;
+  Conn.ProofCheckMicros += Result.Metrics.ProofCheckMicros;
 
   // Count the job before streaming its verdict: a client that has the
   // verdict in hand must already see it in stats(), whatever this
@@ -393,6 +397,8 @@ bool Daemon::handleSubmit(Connection &Conn, const std::string &Payload) {
     Counters.FuncsReused += Result.Metrics.FuncsReused;
     Counters.FuncsReVerified += Result.Metrics.FuncsReVerified;
     Counters.FuncsInvalidated += Result.Metrics.FuncsInvalidated;
+    Counters.ProofNodes += Result.Metrics.ProofNodes;
+    Counters.ProofCheckMicros += Result.Metrics.ProofCheckMicros;
   }
 
   // Stream per-pass status frames, then the verdict. Send failures mean

@@ -109,6 +109,8 @@ struct DaemonStats {
   uint64_t FuncsReused = 0;     ///< Checked bounds served from key hits.
   uint64_t FuncsReVerified = 0; ///< Bounds derived and checked fresh.
   uint64_t FuncsInvalidated = 0;///< Manifest entries whose key changed.
+  uint64_t ProofNodes = 0;      ///< Derivation nodes across served proofs.
+  uint64_t ProofCheckMicros = 0;///< Time inside the proof checker.
 };
 
 /// The daemon. Construct, check valid(), then serve() until another

@@ -311,9 +311,15 @@ std::optional<Compilation> qcc::driver::compile(const std::string &Source,
         analysis::analyzeProgram(C.Clight, Diags,
                                  std::move(Options.SeededSpecs),
                                  Options.Supervision);
-    if (Stats)
-      for (const auto &[F, FB] : C.Bounds.Bounds)
-        Stats->ProofNodes += FB.Body->size();
+    if (Stats) {
+      Stats->ProofNodes += C.Bounds.proofNodeCount();
+      Stats->ProofCheckMicros += C.Bounds.ProofCheckMicros;
+      for (unsigned I = 0; I != logic::NumRules; ++I)
+        if (C.Bounds.ProofRuleNodes[I])
+          Stats->ProofRuleNodes.emplace_back(
+              logic::ruleName(static_cast<logic::Rule>(I)),
+              C.Bounds.ProofRuleNodes[I]);
+    }
     if (Options.Supervision && Options.Supervision->stopRequested())
       return std::nullopt; // The analyzer reported the stop already.
   }

@@ -123,6 +123,12 @@ struct PassStats {
   /// Total derivation nodes the proof checker validated across every
   /// automatic bound.
   uint64_t ProofNodes = 0;
+  /// Wall time spent inside the proof checker validating fresh bounds
+  /// (already included in the "analyze" pass time).
+  uint64_t ProofCheckMicros = 0;
+  /// Proof-checker node visits per rule, nonzero rules only, in rule
+  /// declaration order.
+  std::vector<std::pair<std::string, uint64_t>> ProofRuleNodes;
 };
 
 /// Compiles \p Source end to end. Returns nullopt and reports through

@@ -205,13 +205,27 @@ MutationReport qcc::fuzz::mutateDerivations(uint64_t Seed, unsigned Count) {
       if (!Description)
         continue;
       ++Report.Tried;
+      // Both representations must reject: the store serves proofs in
+      // flat form without ever rebuilding the tree, so a mutant that
+      // slips past either checker is a soundness hole.
       ProofChecker Checker(C.Program, C.Gamma, {});
       DiagnosticEngine CD;
-      if (Checker.checkFunctionBound(Mutant, CD))
+      bool TreeAccepts = Checker.checkFunctionBound(Mutant, CD);
+      DerivationForest Fo;
+      uint32_t RootIdx =
+          Fo.addRoot(Mutant.Function, Mutant.Spec, *Mutant.Body);
+      ProofChecker ForestChecker(C.Program, C.Gamma, {});
+      DiagnosticEngine FD;
+      bool ForestAccepts = ForestChecker.checkFunctionBound(Fo, RootIdx, FD);
+      if (TreeAccepts || ForestAccepts)
         Report.Survivors.push_back(
-            "mutant ACCEPTED (soundness hole): seed " + std::to_string(Seed) +
-            " iteration " + std::to_string(I) + ", function '" +
-            Original.Function + "', " + *Description);
+            std::string("mutant ACCEPTED (soundness hole, ") +
+            (TreeAccepts && ForestAccepts ? "both checkers"
+             : TreeAccepts               ? "tree checker"
+                                         : "forest checker") +
+            "): seed " + std::to_string(Seed) + " iteration " +
+            std::to_string(I) + ", function '" + Original.Function + "', " +
+            *Description);
       else
         ++Report.Rejected;
       break;

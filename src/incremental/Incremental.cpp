@@ -270,7 +270,7 @@ public:
       : E(E), CG(CG), BodyHashes(BH), EnvPrimary(EnvPrimary),
         EnvVerify(EnvVerify) {}
 
-  std::optional<logic::FunctionBound>
+  std::optional<analysis::ReusedBound>
   lookup(const std::string &Name, const clight::Function &F,
          const logic::FunctionContext &Gamma) override {
     Hash128 H;
@@ -296,21 +296,26 @@ public:
     if (!Record)
       return std::nullopt;
     // Equal body hash implies an identical statement preorder, so the
-    // stored indices re-attach against the current parse. Any decode
-    // failure (foreign bytes, depth bomb) degrades to a fresh analysis.
+    // stored indices re-attach against the current parse. The record is
+    // validated by decoding straight into a scratch forest — no pointer
+    // tree is ever rebuilt on the warm path — and its raw bytes ride
+    // along for zero-copy proof-blob emission. Any decode failure
+    // (foreign bytes, depth bomb) degrades to a fresh analysis.
     std::vector<const clight::Stmt *> Stmts =
         store::preorderStatements(F.Body.get());
     store::ByteReader R(*Record);
     logic::FunctionSpec Spec;
-    logic::DerivationPtr D;
-    if (!store::readSpec(R, Spec) || !store::readDerivation(R, D, &Stmts) ||
-        !R.done() || !D)
+    if (!store::readSpec(R, Spec))
       return std::nullopt;
-    logic::FunctionBound FB;
-    FB.Function = Name;
-    FB.Spec = std::move(Spec);
-    FB.Body = std::move(D);
-    return FB;
+    logic::DerivationForest Scratch;
+    uint32_t Root;
+    if (!store::readDerivationForest(R, Scratch, Root, &Stmts) || !R.done())
+      return std::nullopt;
+    analysis::ReusedBound RB;
+    RB.Spec = std::move(Spec);
+    RB.ProofNodes = Scratch.numNodes();
+    RB.Record = std::move(*Record);
+    return RB;
   }
 
   void fresh(const std::string &Name,
@@ -446,6 +451,8 @@ batch::ProgramResult Engine::verify(const batch::BatchJob &Job,
     R.Metrics.PassMicros = std::move(Stats.PassMicros);
     R.Metrics.ReplayedEvents = std::move(Stats.ReplayedEvents);
     R.Metrics.ProofNodes = Stats.ProofNodes;
+    R.Metrics.ProofCheckMicros = Stats.ProofCheckMicros;
+    R.Metrics.ProofRuleNodes = std::move(Stats.ProofRuleNodes);
     logic::InternStats IS = logic::internStats();
     R.Metrics.InternedBounds = IS.BoundNodes + IS.TermNodes;
     R.Metrics.ArenaHighWater = arenaHighWater();
@@ -562,10 +569,15 @@ batch::ProgramResult Engine::verify(const batch::BatchJob &Job,
     C.Bounds = analysis::analyzeProgram(C.Clight, Diags,
                                         std::move(Opt.SeededSpecs), Sup, &SC);
     Stats.PassMicros.emplace_back("analyze", microsSince(T0));
-    // Proof-node accounting covers reused bounds too: decoding preserves
-    // derivation size, so warm and cold counts agree.
-    for (const auto &[F, FB] : C.Bounds.Bounds)
-      Stats.ProofNodes += FB.Body->size();
+    // Proof-node accounting covers reused bounds too: record decoding
+    // preserves derivation size, so warm and cold counts agree.
+    Stats.ProofNodes += C.Bounds.proofNodeCount();
+    Stats.ProofCheckMicros += C.Bounds.ProofCheckMicros;
+    for (unsigned I = 0; I != logic::NumRules; ++I)
+      if (C.Bounds.ProofRuleNodes[I])
+        Stats.ProofRuleNodes.emplace_back(
+            logic::ruleName(static_cast<logic::Rule>(I)),
+            C.Bounds.ProofRuleNodes[I]);
     if (Sup && Sup->stopRequested()) {
       R.Stop = Sup->cause();
       Insert();
@@ -577,17 +589,19 @@ batch::ProgramResult Engine::verify(const batch::BatchJob &Job,
     // checked function verified under) vs. the previous run's.
     uint64_t TuHash = Hash128().str(Job.Id).primary();
     store::TuManifest Current;
-    for (const auto &[Name, FB] : C.Bounds.Bounds) {
+    auto AddKey = [&](const std::string &Name) {
       auto KIt = SC.keys().find(Name);
       if (KIt != SC.keys().end())
         Current.emplace(Name, KIt->second);
-    }
-    std::set<std::string> Reused(C.Bounds.ReusedFunctions.begin(),
-                                 C.Bounds.ReusedFunctions.end());
+    };
     for (const auto &[Name, FB] : C.Bounds.Bounds)
-      if (!Reused.count(Name))
-        R.Metrics.ReVerifiedFunctions.push_back(Name); // map order: sorted
-    R.Metrics.FuncsReused = Reused.size();
+      AddKey(Name);
+    for (const auto &[Name, RB] : C.Bounds.Reused)
+      AddKey(Name);
+    // Fresh bounds are exactly Bounds now; cache hits live in Reused.
+    for (const auto &[Name, FB] : C.Bounds.Bounds)
+      R.Metrics.ReVerifiedFunctions.push_back(Name); // map order: sorted
+    R.Metrics.FuncsReused = C.Bounds.Reused.size();
     R.Metrics.FuncsReVerified = R.Metrics.ReVerifiedFunctions.size();
     {
       std::lock_guard<std::mutex> G(M);
@@ -624,12 +638,16 @@ batch::ProgramResult Engine::verify(const batch::BatchJob &Job,
     R.Bounds.push_back(std::move(FR));
   }
   R.SkippedRecursive = C.Bounds.SkippedRecursive;
-  if (KeepProofArtifacts)
-    // Reused derivations were re-attached to this parse, so the encoder
-    // sees exactly what a cold analysis would have built: the blob is
-    // byte-identical.
-    R.ProofBlob = store::encodeProofs(C.Bounds.Gamma, C.Bounds.Bounds,
-                                      C.Clight);
+  if (KeepProofArtifacts) {
+    // Fresh bounds serialize from the flat form the checker walked;
+    // reused records splice in as the exact bytes the store validated —
+    // the blob stays byte-identical to a cold analysis of the same
+    // program, with no tree rebuild on the warm path.
+    std::map<std::string, const std::string *> ReusedRecs =
+        C.Bounds.reusedRecords();
+    R.ProofBlob = store::encodeProofsForest(C.Bounds.Gamma, C.Bounds.Forest,
+                                            C.Clight, &ReusedRecs);
+  }
 
   if (CheckTheorem1) {
     auto MainBound = driver::concreteCallBound(C, "main");

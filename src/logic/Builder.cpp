@@ -136,7 +136,7 @@ DerivationPtr DerivationBuilder::buildLoop(const cl::Stmt *S, PostCondition Q,
       buildStmt(S->First.get(), BodyQ, F, Diags);
       return nullptr;
     }
-    if (entails(Invariant, Body->Pre, {}, Options)) {
+    if (entails(Invariant, Body->Pre, {}, Options, Memo)) {
       auto D = std::make_unique<Derivation>();
       D->R = Rule::Loop;
       D->S = S;
@@ -263,7 +263,7 @@ DerivationBuilder::buildFunctionBound(const std::string &Name,
   // parameters the body can assign need ghost names; the rest read their
   // entry values directly, keeping assertions connected to the current
   // state (which the path-sensitive rules can reason about).
-  std::set<std::string> Assigned = assignedLocals(*F->Body);
+  AssignedLocals Assigned = assignedLocals(*F->Body);
   std::map<std::string, IntTerm> ParamToGhost;
   for (const std::string &Param : F->Params) {
     if (!Assigned.count(Param))

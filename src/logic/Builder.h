@@ -68,6 +68,11 @@ public:
 
   const FunctionContext &context() const { return Gamma; }
 
+  /// Attaches an entailment memo shared with checkers running under the
+  /// same EntailOptions (the loop-invariant fixpoint re-asks the same
+  /// assumption-free queries the checker asks again afterwards).
+  void setMemo(EntailMemo *M) { Memo = M; }
+
 private:
   DerivationPtr buildLoop(const clight::Stmt *S, PostCondition Q,
                           const clight::Function &F, DiagnosticEngine &Diags);
@@ -77,6 +82,7 @@ private:
   const clight::Program &P;
   FunctionContext Gamma;
   EntailOptions Options;
+  EntailMemo *Memo = nullptr;
   std::map<std::string, BoundExpr> CallResultHints;
 };
 

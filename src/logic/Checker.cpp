@@ -13,24 +13,23 @@ using namespace qcc;
 using namespace qcc::logic;
 namespace cl = qcc::clight;
 
-bool ProofChecker::require(bool Cond, const Derivation &D,
-                           const std::string &Message,
+bool ProofChecker::require(bool Cond, const NodeView &V, const char *Message,
                            DiagnosticEngine &Diags) {
   if (!Cond)
-    Diags.error(D.S ? D.S->Loc : SourceLoc(),
-                std::string(ruleName(D.R)) + ": " + Message);
+    Diags.error(V.S ? V.S->Loc : SourceLoc(),
+                std::string(ruleName(V.R)) + ": " + Message);
   return Cond;
 }
 
 bool ProofChecker::requireEntails(const BoundExpr &Stronger,
                                   const BoundExpr &Weaker,
                                   const std::vector<Cmp> &Assumptions,
-                                  const Derivation &D, const std::string &What,
+                                  const NodeView &V, const char *What,
                                   DiagnosticEngine &Diags) {
-  EntailResult R = entails(Stronger, Weaker, Assumptions, Options);
+  EntailResult R = entails(Stronger, Weaker, Assumptions, Options, Memo);
   if (!R.Holds)
-    Diags.error(D.S ? D.S->Loc : SourceLoc(),
-                std::string(ruleName(D.R)) + ": " + What +
+    Diags.error(V.S ? V.S->Loc : SourceLoc(),
+                std::string(ruleName(V.R)) + ": " + What +
                     ": cannot establish " + Stronger->str() +
                     "  >=  " + Weaker->str() +
                     (R.Counterexample.empty() ? ""
@@ -38,11 +37,87 @@ bool ProofChecker::requireEntails(const BoundExpr &Stronger,
   return R.Holds;
 }
 
-/// True if \p Name occurs free in \p E.
+bool ProofChecker::requireEntails(const BoundExpr &Stronger,
+                                  const BoundExpr &Weaker, const NodeView &V,
+                                  const char *What, DiagnosticEngine &Diags) {
+  static const std::vector<Cmp> NoAssumptions;
+  return requireEntails(Stronger, Weaker, NoAssumptions, V, What, Diags);
+}
+
+/// True if \p Name occurs free in \p T.
+static bool termMentionsVar(const IntTerm &T, const std::string &Name) {
+  if (!T)
+    return false;
+  if (T->K == IntTermNode::Kind::Var)
+    return T->Name == Name;
+  return termMentionsVar(T->Lhs, Name) || termMentionsVar(T->Rhs, Name);
+}
+
+/// True if \p Name occurs free in \p E. Direct recursion with early
+/// exit — no variable-set materialization on this per-node path.
 static bool mentionsVar(const BoundExpr &E, const std::string &Name) {
-  std::set<std::string> Vars;
-  collectBoundVars(E, Vars);
-  return Vars.count(Name) != 0;
+  if (!E)
+    return false;
+  if (E->Term && termMentionsVar(E->Term, Name))
+    return true;
+  if (E->Condition && (termMentionsVar(E->Condition->Lhs, Name) ||
+                       termMentionsVar(E->Condition->Rhs, Name)))
+    return true;
+  return mentionsVar(E->Lhs, Name) || mentionsVar(E->Rhs, Name);
+}
+
+ProofChecker::NodeView ProofChecker::viewOf(const Derivation &D) {
+  NodeView V;
+  V.R = D.R;
+  V.S = D.S;
+  V.Pre = &D.Pre;
+  V.QSkip = &D.Post.OnSkip;
+  V.QBreak = &D.Post.OnBreak;
+  V.QReturn = &D.Post.OnReturn;
+  V.Frame = &D.FrameAmount;
+  V.Sup = &D.SupHint;
+  V.NumChildren = static_cast<uint32_t>(D.Children.size());
+  for (uint32_t I = 0; I != V.NumChildren && I != 2; ++I) {
+    const Derivation &C = *D.Children[I];
+    V.Kids[I] = {C.S, &C.Pre, &C.Post.OnSkip, &C.Post.OnBreak,
+                 &C.Post.OnReturn};
+  }
+  return V;
+}
+
+ProofChecker::NodeView ProofChecker::viewOf(const DerivationForest &Fo,
+                                            uint32_t I) {
+  NodeView V;
+  V.R = Fo.rule(I);
+  V.S = Fo.stmt(I);
+  V.Pre = &Fo.pre(I);
+  V.QSkip = &Fo.skipPost(I);
+  V.QBreak = &Fo.breakPost(I);
+  V.QReturn = &Fo.returnPost(I);
+  V.Frame = &Fo.frame(I);
+  V.Sup = &Fo.sup(I);
+  V.NumChildren = 0;
+  for (uint32_t C = I + 1; C < Fo.end(I); C = Fo.end(C)) {
+    if (V.NumChildren < 2)
+      V.Kids[V.NumChildren] = {Fo.stmt(C), &Fo.pre(C), &Fo.skipPost(C),
+                               &Fo.breakPost(C), &Fo.returnPost(C)};
+    ++V.NumChildren;
+  }
+  return V;
+}
+
+bool ProofChecker::pollSupervisor(const cl::Stmt *S,
+                                  DiagnosticEngine &Diags) {
+  if (!Sup)
+    return true;
+  Sup->charge(sizeof(Derivation));
+  if (!Sup->stopRequested())
+    return true;
+  if (!StopReported.exchange(true))
+    Diags.error(S ? S->Loc : SourceLoc(),
+                std::string("proof checking stopped: ") +
+                    stopCauseName(Sup->cause()));
+  return false;
 }
 
 bool ProofChecker::check(const Derivation &D, const cl::Function &F,
@@ -52,53 +127,67 @@ bool ProofChecker::check(const Derivation &D, const cl::Function &F,
   return Diags.errorCount() == Before;
 }
 
-bool ProofChecker::checkCall(const Derivation &D, const cl::Function &F,
+bool ProofChecker::check(const DerivationForest &Fo, uint32_t Node,
+                         const cl::Function &F, DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  walkSpan(Fo, Node, F, Diags);
+  return Diags.errorCount() == Before;
+}
+
+bool ProofChecker::checkCall(const NodeView &V, const cl::Function &F,
                              DiagnosticEngine &Diags) {
-  const cl::Stmt *S = D.S;
-  if (!require(S->Kind == cl::StmtKind::Call, D, "statement is not a call",
+  const cl::Stmt *S = V.S;
+  if (!require(S->Kind == cl::StmtKind::Call, V, "statement is not a call",
                Diags))
     return false;
 
   // The call result clobbers its destination, so the claimed skip-part
   // must not observe it — except under Q:CALL-HAVOC, which handles the
   // observation through ResultFacts.
-  if (D.R != Rule::CallHavoc && S->HasDest &&
+  if (V.R != Rule::CallHavoc && S->HasDest &&
       S->Dest.K == cl::LValue::Kind::Local &&
-      !require(!mentionsVar(D.Post.OnSkip, S->Dest.Name), D,
-               "postcondition mentions the call destination '" +
-                   S->Dest.Name + "'",
-               Diags))
-    return false;
+      mentionsVar(*V.QSkip, S->Dest.Name))
+    return require(false, V,
+                   "postcondition mentions the call destination '" +
+                       S->Dest.Name + "'",
+                   Diags);
 
   if (P.findExternal(S->Callee)) {
-    require(D.R == Rule::ExternalCall, D,
+    require(V.R == Rule::ExternalCall, V,
             "external call must use Q:EXT", Diags);
     // Externals cost nothing under stack metrics: {P} ext() {P}.
-    return requireEntails(D.Pre, D.Post.OnSkip, {}, D, "external frame",
-                          Diags);
+    return requireEntails(*V.Pre, *V.QSkip, V, "external frame", Diags);
   }
 
-  auto SpecIt = Gamma.find(S->Callee);
-  if (!require(SpecIt != Gamma.end(), D,
-               "no specification for callee '" + S->Callee + "' in Gamma",
-               Diags))
-    return false;
+  auto SpecIt = G->find(S->Callee);
+  if (SpecIt == G->end())
+    return require(false, V,
+                   "no specification for callee '" + S->Callee +
+                       "' in Gamma",
+                   Diags);
   const FunctionSpec &Spec = SpecIt->second;
   const cl::Function *Callee = P.findFunction(S->Callee);
-  if (!require(Callee != nullptr, D, "unknown callee", Diags))
+  if (!require(Callee != nullptr, V, "unknown callee", Diags))
     return false;
 
-  // Instantiate the spec's parameters with the argument terms.
+  // Instantiate the spec's parameters with the argument terms. The
+  // spec's variable set is only needed on the no-term-form path, so it
+  // is collected lazily.
   std::map<std::string, IntTerm> Sub;
-  std::set<std::string> SpecVars;
-  collectBoundVars(Spec.Pre, SpecVars);
-  collectBoundVars(Spec.Post, SpecVars);
+  std::optional<std::set<std::string>> SpecVars;
   for (size_t I = 0; I != Callee->Params.size() && I != S->Args.size(); ++I) {
     const std::string &Param = Callee->Params[I];
     if (auto T = convertExprToTerm(*S->Args[I], F)) {
       Sub[Param] = *T;
-    } else if (SpecVars.count(Param)) {
-      require(false, D,
+      continue;
+    }
+    if (!SpecVars) {
+      SpecVars.emplace();
+      collectBoundVars(Spec.Pre, *SpecVars);
+      collectBoundVars(Spec.Post, *SpecVars);
+    }
+    if (SpecVars->count(Param)) {
+      require(false, V,
               "argument for parameter '" + Param +
                   "' has no term form but the spec depends on it",
               Diags);
@@ -110,16 +199,16 @@ bool ProofChecker::checkCall(const Derivation &D, const cl::Function &F,
   BoundExpr CalleePost =
       bAdd(substBoundAll(Spec.Post, Sub), bMetric(S->Callee));
 
-  if (D.R == Rule::Call) {
+  if (V.R == Rule::Call) {
     // Primitive Q:CALL: {spec.Pre o args + M(f)} call {spec.Post o args +
     // M(f), bot, bot}.
-    return requireEntails(D.Pre, CalleePre, {}, D, "call precondition",
+    return requireEntails(*V.Pre, CalleePre, V, "call precondition",
                           Diags) &
-           requireEntails(CalleePost, D.Post.OnSkip, {}, D,
+           requireEntails(CalleePost, *V.QSkip, V,
                           "call postcondition", Diags);
   }
 
-  if (D.R == Rule::CallHavoc) {
+  if (V.R == Rule::CallHavoc) {
     // Q:CALL-HAVOC: the continuation R observes the result r := dest.
     // Soundness: let H be the result-free majorant. Q:CALL + Q:FRAME with
     // c = max(0, H - CalleePost) (state-independent because H and the
@@ -128,17 +217,17 @@ bool ProofChecker::checkCall(const Derivation &D, const cl::Function &F,
     // callee guarantees its ResultFacts about r, and H >= R under those
     // facts for *every* r (checked below by sampling r as a free
     // variable), Q:CONSEQ closes with post R.
-    if (!require(Spec.isBalanced(), D,
+    if (!require(Spec.isBalanced(), V,
                  "Q:CALL-HAVOC needs a balanced callee specification",
                  Diags) ||
-        !require(!Spec.ResultFacts.empty(), D,
+        !require(!Spec.ResultFacts.empty(), V,
                  "Q:CALL-HAVOC needs ResultFacts on the callee", Diags) ||
-        !require(D.SupHint != nullptr, D, "missing result-free majorant",
+        !require(*V.Sup != nullptr, V, "missing result-free majorant",
                  Diags) ||
-        !require(S->HasDest && S->Dest.K == cl::LValue::Kind::Local, D,
+        !require(S->HasDest && S->Dest.K == cl::LValue::Kind::Local, V,
                  "Q:CALL-HAVOC needs a local call destination", Diags))
       return false;
-    if (!require(!mentionsVar(D.SupHint, S->Dest.Name), D,
+    if (!require(!mentionsVar(*V.Sup, S->Dest.Name), V,
                  "the majorant must not observe the call result", Diags))
       return false;
     // Instantiate the facts: parameters by argument terms, $result by the
@@ -155,10 +244,10 @@ bool ProofChecker::checkCall(const Derivation &D, const cl::Function &F,
       Facts.push_back(Cmp{substIntTermAll(FactCmp.Lhs, FactSub),
                           FactCmp.Rel,
                           substIntTermAll(FactCmp.Rhs, FactSub)});
-    bool Ok = requireEntails(D.SupHint, D.Post.OnSkip, Facts, D,
+    bool Ok = requireEntails(*V.Sup, *V.QSkip, Facts, V,
                              "majorant vs continuation under ResultFacts",
                              Diags);
-    Ok &= requireEntails(D.Pre, bMax(CalleePre, D.SupHint), {}, D,
+    Ok &= requireEntails(*V.Pre, bMax(CalleePre, *V.Sup), V,
                          "havoc-call precondition", Diags);
     return Ok;
   }
@@ -168,205 +257,283 @@ bool ProofChecker::checkCall(const Derivation &D, const cl::Function &F,
   // state-independent amount c = max(0, R - CalleePost) (legitimate since
   // the spec is balanced, so CalleePre + c = max(CalleePre, R) pointwise)
   // gives {max(CalleePre, R)} call {CalleePost + c >= R}; Q:CONSEQ closes.
-  if (!require(Spec.isBalanced(), D,
+  if (!require(Spec.isBalanced(), V,
                "Q:CALL* needs a balanced callee specification", Diags))
     return false;
   // The frame amount must not depend on state the call can change: the
   // skip-part may only mention caller variables, which the callee cannot
   // write (no address-taken locals in the subset), except the destination
   // (checked above).
-  return requireEntails(D.Pre, bMax(CalleePre, D.Post.OnSkip), {}, D,
+  return requireEntails(*V.Pre, bMax(CalleePre, *V.QSkip), V,
                         "balanced-call precondition", Diags);
 }
 
-bool ProofChecker::checkNode(const Derivation &D, const cl::Function &F,
-                             DiagnosticEngine &Diags) {
-  if (Sup) {
-    Sup->charge(sizeof(Derivation));
-    if (Sup->stopRequested()) {
-      if (!StopReported) {
-        StopReported = true;
-        Diags.error(D.S ? D.S->Loc : SourceLoc(),
-                    std::string("proof checking stopped: ") +
-                        stopCauseName(Sup->cause()));
-      }
-      return false;
-    }
-  }
-  if (!require(D.S != nullptr, D, "derivation proves no statement", Diags))
+bool ProofChecker::checkNodeLocal(const NodeView &V, const cl::Function &F,
+                                  DiagnosticEngine &Diags, bool &Descend) {
+  Descend = false;
+  if (!require(V.S != nullptr, V, "derivation proves no statement", Diags))
     return false;
-  const cl::Stmt *S = D.S;
+  const cl::Stmt *S = V.S;
 
-  switch (D.R) {
+  switch (V.R) {
   case Rule::Skip:
-    return require(S->Kind == cl::StmtKind::Skip, D, "not a skip", Diags) &&
-           requireEntails(D.Pre, D.Post.OnSkip, {}, D, "skip part", Diags);
+    return require(S->Kind == cl::StmtKind::Skip, V, "not a skip", Diags) &&
+           requireEntails(*V.Pre, *V.QSkip, V, "skip part", Diags);
 
   case Rule::Break:
-    return require(S->Kind == cl::StmtKind::Break, D, "not a break", Diags) &&
-           requireEntails(D.Pre, D.Post.OnBreak, {}, D, "break part", Diags);
+    return require(S->Kind == cl::StmtKind::Break, V, "not a break", Diags) &&
+           requireEntails(*V.Pre, *V.QBreak, V, "break part", Diags);
 
   case Rule::Return:
-    return require(S->Kind == cl::StmtKind::Return, D, "not a return",
+    return require(S->Kind == cl::StmtKind::Return, V, "not a return",
                    Diags) &&
-           requireEntails(D.Pre, D.Post.OnReturn, {}, D, "return part",
+           requireEntails(*V.Pre, *V.QReturn, V, "return part",
                           Diags);
 
   case Rule::Assign: {
-    if (!require(S->Kind == cl::StmtKind::Assign, D, "not an assignment",
+    if (!require(S->Kind == cl::StmtKind::Assign, V, "not an assignment",
                  Diags))
       return false;
     if (S->Dest.K == cl::LValue::Kind::Local) {
       if (auto T = convertExprToTerm(*S->Value, F))
-        return requireEntails(D.Pre,
-                              substBound(D.Post.OnSkip, S->Dest.Name, *T), {},
-                              D, "substituted skip part", Diags);
+        return requireEntails(*V.Pre,
+                              substBound(*V.QSkip, S->Dest.Name, *T), {},
+                              V, "substituted skip part", Diags);
       // No faithful term for the right-hand side: sound only when the
       // postcondition does not observe the destination.
-      return require(!mentionsVar(D.Post.OnSkip, S->Dest.Name), D,
+      return require(!mentionsVar(*V.QSkip, S->Dest.Name), V,
                      "assignment to '" + S->Dest.Name +
                          "' has no term form but the postcondition "
                          "depends on it",
                      Diags) &&
-             requireEntails(D.Pre, D.Post.OnSkip, {}, D, "skip part", Diags);
+             requireEntails(*V.Pre, *V.QSkip, V, "skip part", Diags);
     }
     // Global or array store: assertions range over function-local
     // variables only, so the state the bound observes is unchanged.
-    return requireEntails(D.Pre, D.Post.OnSkip, {}, D, "skip part", Diags);
+    return requireEntails(*V.Pre, *V.QSkip, V, "skip part", Diags);
   }
 
   case Rule::Call:
   case Rule::CallBalanced:
   case Rule::CallHavoc:
   case Rule::ExternalCall:
-    return checkCall(D, F, Diags);
+    return checkCall(V, F, Diags);
 
   case Rule::Seq: {
-    if (!require(S->Kind == cl::StmtKind::Seq, D, "not a sequence", Diags) ||
-        !require(D.Children.size() == 2, D, "Q:SEQ needs two children",
+    if (!require(S->Kind == cl::StmtKind::Seq, V, "not a sequence", Diags) ||
+        !require(V.NumChildren == 2, V, "Q:SEQ needs two children",
                  Diags))
       return false;
-    const Derivation &D1 = *D.Children[0], &D2 = *D.Children[1];
-    bool Ok = require(D1.S == S->First.get() && D2.S == S->Second.get(), D,
+    Descend = true;
+    const NodeView::Child &D1 = V.Kids[0], &D2 = V.Kids[1];
+    bool Ok = require(D1.S == S->First.get() && D2.S == S->Second.get(), V,
                       "children prove the wrong statements", Diags);
-    Ok &= checkNode(D1, F, Diags);
-    Ok &= checkNode(D2, F, Diags);
-    Ok &= requireEntails(D.Pre, D1.Pre, {}, D, "precondition", Diags);
-    Ok &= requireEntails(D1.Post.OnSkip, D2.Pre, {}, D,
+    Ok &= requireEntails(*V.Pre, *D1.Pre, V, "precondition", Diags);
+    Ok &= requireEntails(*D1.QSkip, *D2.Pre, V,
                          "sequencing (S1 skip to S2 pre)", Diags);
-    Ok &= requireEntails(D2.Post.OnSkip, D.Post.OnSkip, {}, D, "skip part",
+    Ok &= requireEntails(*D2.QSkip, *V.QSkip, V, "skip part",
                          Diags);
-    Ok &= requireEntails(D1.Post.OnBreak, D.Post.OnBreak, {}, D,
+    Ok &= requireEntails(*D1.QBreak, *V.QBreak, V,
                          "S1 break part", Diags);
-    Ok &= requireEntails(D2.Post.OnBreak, D.Post.OnBreak, {}, D,
+    Ok &= requireEntails(*D2.QBreak, *V.QBreak, V,
                          "S2 break part", Diags);
-    Ok &= requireEntails(D1.Post.OnReturn, D.Post.OnReturn, {}, D,
+    Ok &= requireEntails(*D1.QReturn, *V.QReturn, V,
                          "S1 return part", Diags);
-    Ok &= requireEntails(D2.Post.OnReturn, D.Post.OnReturn, {}, D,
+    Ok &= requireEntails(*D2.QReturn, *V.QReturn, V,
                          "S2 return part", Diags);
     return Ok;
   }
 
   case Rule::If: {
-    if (!require(S->Kind == cl::StmtKind::If, D, "not a conditional",
+    if (!require(S->Kind == cl::StmtKind::If, V, "not a conditional",
                  Diags) ||
-        !require(D.Children.size() == 2, D, "Q:IF needs two children", Diags))
+        !require(V.NumChildren == 2, V, "Q:IF needs two children", Diags))
       return false;
-    const Derivation &DT = *D.Children[0], &DE = *D.Children[1];
-    bool Ok = require(DT.S == S->First.get() && DE.S == S->Second.get(), D,
+    Descend = true;
+    const NodeView::Child &DT = V.Kids[0], &DE = V.Kids[1];
+    bool Ok = require(DT.S == S->First.get() && DE.S == S->Second.get(), V,
                       "children prove the wrong statements", Diags);
-    Ok &= checkNode(DT, F, Diags);
-    Ok &= checkNode(DE, F, Diags);
     // Path sensitivity: the guard (when it has a comparison form) may be
-    // assumed on the respective side.
+    // assumed on the respective side. Only the sampled method ever reads
+    // assumptions, so symbolic-only checking skips converting the guard —
+    // same verdict, no term construction per If visit.
     std::vector<Cmp> ThenAssume, ElseAssume;
-    if (auto C = convertCondToCmp(*S->Value, F)) {
+    std::optional<Cmp> C;
+    if (!Options.SymbolicOnly && (C = convertCondToCmp(*S->Value, F))) {
       ThenAssume.push_back(*C);
       ElseAssume.push_back(negateCmp(*C));
     }
-    Ok &= requireEntails(D.Pre, DT.Pre, ThenAssume, D, "then precondition",
+    Ok &= requireEntails(*V.Pre, *DT.Pre, ThenAssume, V, "then precondition",
                          Diags);
-    Ok &= requireEntails(D.Pre, DE.Pre, ElseAssume, D, "else precondition",
+    Ok &= requireEntails(*V.Pre, *DE.Pre, ElseAssume, V, "else precondition",
                          Diags);
-    for (const Derivation *Child : {&DT, &DE}) {
-      Ok &= requireEntails(Child->Post.OnSkip, D.Post.OnSkip, {}, D,
+    for (const NodeView::Child *Child : {&DT, &DE}) {
+      Ok &= requireEntails(*Child->QSkip, *V.QSkip, V,
                            "skip part", Diags);
-      Ok &= requireEntails(Child->Post.OnBreak, D.Post.OnBreak, {}, D,
+      Ok &= requireEntails(*Child->QBreak, *V.QBreak, V,
                            "break part", Diags);
-      Ok &= requireEntails(Child->Post.OnReturn, D.Post.OnReturn, {}, D,
+      Ok &= requireEntails(*Child->QReturn, *V.QReturn, V,
                            "return part", Diags);
     }
     return Ok;
   }
 
   case Rule::Loop: {
-    if (!require(S->Kind == cl::StmtKind::Loop, D, "not a loop", Diags) ||
-        !require(D.Children.size() == 1, D, "Q:LOOP needs one child", Diags))
+    if (!require(S->Kind == cl::StmtKind::Loop, V, "not a loop", Diags) ||
+        !require(V.NumChildren == 1, V, "Q:LOOP needs one child", Diags))
       return false;
-    const Derivation &DB = *D.Children[0];
-    bool Ok = require(DB.S == S->First.get(), D,
+    Descend = true;
+    const NodeView::Child &DB = V.Kids[0];
+    bool Ok = require(DB.S == S->First.get(), V,
                       "child proves the wrong statement", Diags);
-    Ok &= checkNode(DB, F, Diags);
     // The invariant: entering the body and falling through re-establishes
     // the body's precondition.
-    Ok &= requireEntails(D.Pre, DB.Pre, {}, D, "loop entry", Diags);
-    Ok &= requireEntails(DB.Post.OnSkip, DB.Pre, {}, D,
+    Ok &= requireEntails(*V.Pre, *DB.Pre, V, "loop entry", Diags);
+    Ok &= requireEntails(*DB.QSkip, *DB.Pre, V,
                          "invariant preservation", Diags);
     // Break exits the loop normally; return propagates. The loop node's
     // own break part is unreachable (a break inside belongs to this loop).
-    Ok &= requireEntails(DB.Post.OnBreak, D.Post.OnSkip, {}, D,
+    Ok &= requireEntails(*DB.QBreak, *V.QSkip, V,
                          "break-to-skip", Diags);
-    Ok &= requireEntails(DB.Post.OnReturn, D.Post.OnReturn, {}, D,
+    Ok &= requireEntails(*DB.QReturn, *V.QReturn, V,
                          "return part", Diags);
     return Ok;
   }
 
   case Rule::Frame: {
-    if (!require(D.Children.size() == 1, D, "Q:FRAME needs one child",
+    if (!require(V.NumChildren == 1, V, "Q:FRAME needs one child",
                  Diags) ||
-        !require(D.FrameAmount != nullptr, D, "missing frame amount", Diags))
+        !require(*V.Frame != nullptr, V, "missing frame amount", Diags))
       return false;
-    const Derivation &DC = *D.Children[0];
-    bool Ok = require(DC.S == S, D, "child proves a different statement",
+    Descend = true;
+    const NodeView::Child &DC = V.Kids[0];
+    bool Ok = require(DC.S == S, V, "child proves a different statement",
                       Diags);
     // The framed-in potential must be state-independent (metric variables
     // and constants only), matching the paper's constant c.
     std::set<std::string> FrameVars;
-    collectBoundVars(D.FrameAmount, FrameVars);
-    Ok &= require(FrameVars.empty(), D,
+    collectBoundVars(*V.Frame, FrameVars);
+    Ok &= require(FrameVars.empty(), V,
                   "frame amount depends on program variables", Diags);
-    Ok &= checkNode(DC, F, Diags);
-    Ok &= requireEntails(D.Pre, bAdd(DC.Pre, D.FrameAmount), {}, D,
+    Ok &= requireEntails(*V.Pre, bAdd(*DC.Pre, *V.Frame), V,
                          "framed precondition", Diags);
-    Ok &= requireEntails(bAdd(DC.Post.OnSkip, D.FrameAmount), D.Post.OnSkip,
-                         {}, D, "framed skip part", Diags);
-    Ok &= requireEntails(bAdd(DC.Post.OnBreak, D.FrameAmount),
-                         D.Post.OnBreak, {}, D, "framed break part", Diags);
-    Ok &= requireEntails(bAdd(DC.Post.OnReturn, D.FrameAmount),
-                         D.Post.OnReturn, {}, D, "framed return part", Diags);
+    Ok &= requireEntails(bAdd(*DC.QSkip, *V.Frame), *V.QSkip,
+                         V, "framed skip part", Diags);
+    Ok &= requireEntails(bAdd(*DC.QBreak, *V.Frame),
+                         *V.QBreak, V, "framed break part", Diags);
+    Ok &= requireEntails(bAdd(*DC.QReturn, *V.Frame),
+                         *V.QReturn, V, "framed return part", Diags);
     return Ok;
   }
 
   case Rule::Conseq: {
-    if (!require(D.Children.size() == 1, D, "Q:CONSEQ needs one child",
+    if (!require(V.NumChildren == 1, V, "Q:CONSEQ needs one child",
                  Diags))
       return false;
-    const Derivation &DC = *D.Children[0];
-    bool Ok = require(DC.S == S, D, "child proves a different statement",
+    Descend = true;
+    const NodeView::Child &DC = V.Kids[0];
+    bool Ok = require(DC.S == S, V, "child proves a different statement",
                       Diags);
-    Ok &= checkNode(DC, F, Diags);
-    Ok &= requireEntails(D.Pre, DC.Pre, {}, D, "weakened precondition",
+    Ok &= requireEntails(*V.Pre, *DC.Pre, V, "weakened precondition",
                          Diags);
-    Ok &= requireEntails(DC.Post.OnSkip, D.Post.OnSkip, {}, D, "skip part",
+    Ok &= requireEntails(*DC.QSkip, *V.QSkip, V, "skip part",
                          Diags);
-    Ok &= requireEntails(DC.Post.OnBreak, D.Post.OnBreak, {}, D,
+    Ok &= requireEntails(*DC.QBreak, *V.QBreak, V,
                          "break part", Diags);
-    Ok &= requireEntails(DC.Post.OnReturn, D.Post.OnReturn, {}, D,
+    Ok &= requireEntails(*DC.QReturn, *V.QReturn, V,
                          "return part", Diags);
     return Ok;
   }
   }
-  return require(false, D, "unknown rule", Diags);
+  return require(false, V, "unknown rule", Diags);
+}
+
+bool ProofChecker::checkNode(const Derivation &D, const cl::Function &F,
+                             DiagnosticEngine &Diags) {
+  if (!pollSupervisor(D.S, Diags))
+    return false;
+  RuleNodes[static_cast<unsigned>(D.R)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  bool Descend = false;
+  bool Ok = checkNodeLocal(viewOf(D), F, Diags, Descend);
+  if (Descend)
+    for (const DerivationPtr &C : D.Children)
+      Ok &= checkNode(*C, F, Diags);
+  return Ok;
+}
+
+bool ProofChecker::walkSpan(const DerivationForest &Fo, uint32_t Node,
+                            const cl::Function &F, DiagnosticEngine &Diags) {
+  bool Ok = true;
+  uint32_t E = Fo.end(Node);
+  for (uint32_t I = Node; I < E;) {
+    if (!pollSupervisor(Fo.stmt(I), Diags))
+      return false;
+    RuleNodes[static_cast<unsigned>(Fo.rule(I))].fetch_add(
+        1, std::memory_order_relaxed);
+    bool Descend = false;
+    Ok &= checkNodeLocal(viewOf(Fo, I), F, Diags, Descend);
+    // Verdict parity with the tree recursion: advance into the span only
+    // where the tree checker would descend; a leaf rule or a structural
+    // failure skips the whole subtree (its nodes are neither charged nor
+    // diagnosed there either).
+    I = Descend ? I + 1 : Fo.end(I);
+  }
+  return Ok;
+}
+
+void ProofChecker::checkSpecInterface(const cl::Function &F,
+                                      const FunctionSpec &Spec,
+                                      const BoundExpr &BodyPre,
+                                      const BoundExpr &BodySkip,
+                                      const BoundExpr &BodyReturn,
+                                      DiagnosticEngine &Diags) {
+  // At entry the ghosts equal the parameters; substituting ghost -> param
+  // applies those equalities. Matching the builder, only parameters the
+  // body can assign carry ghosts — a function without parameters (or
+  // without assigned ones) has no ghosts, so the body scan and the two
+  // substitutions below are skipped outright.
+  std::map<std::string, IntTerm> GhostToParam, ParamToGhost;
+  if (!F.Params.empty()) {
+    AssignedLocals Assigned = assignedLocals(*F.Body);
+    for (const std::string &Param : F.Params) {
+      if (!Assigned.count(Param))
+        continue;
+      VarSign Sign = F.VarSigns.count(Param) &&
+                             F.VarSigns.at(Param) == cl::Signedness::Signed
+                         ? VarSign::Signed
+                         : VarSign::Unsigned;
+      GhostToParam[ghostName(Param)] = IntTermNode::var(Param, Sign);
+      ParamToGhost[Param] = IntTermNode::var(ghostName(Param), Sign);
+    }
+  }
+
+  BoundExpr BodyPreAtEntry =
+      GhostToParam.empty() ? BodyPre : substBoundAll(BodyPre, GhostToParam);
+  EntailResult PreOk =
+      entails(Spec.Pre, BodyPreAtEntry, {}, Options, Memo);
+  if (!PreOk.Holds)
+    Diags.error(F.Loc, "spec precondition " + Spec.Pre->str() +
+                           " does not cover the body's requirement " +
+                           BodyPreAtEntry->str() +
+                           (PreOk.Counterexample.empty()
+                                ? ""
+                                : " (" + PreOk.Counterexample + ")"));
+
+  // The spec's postcondition speaks about entry values (ghosts).
+  BoundExpr SpecPostGhost =
+      ParamToGhost.empty() ? Spec.Post : substBoundAll(Spec.Post, ParamToGhost);
+  EntailResult RetOk =
+      entails(BodyReturn, SpecPostGhost, {}, Options, Memo);
+  if (!RetOk.Holds)
+    Diags.error(F.Loc, "body return part " + BodyReturn->str() +
+                           " does not establish the spec postcondition " +
+                           SpecPostGhost->str());
+  EntailResult FallOk =
+      entails(BodySkip, SpecPostGhost, {}, Options, Memo);
+  if (!FallOk.Holds)
+    Diags.error(F.Loc, "body fall-through part does not establish the "
+                       "spec postcondition");
 }
 
 bool ProofChecker::checkFunctionBound(const FunctionBound &FB,
@@ -386,47 +553,29 @@ bool ProofChecker::checkFunctionBound(const FunctionBound &FB,
     return false;
   }
 
-  // At entry the ghosts equal the parameters; substituting ghost -> param
-  // applies those equalities. Matching the builder, only parameters the
-  // body can assign carry ghosts.
-  std::set<std::string> Assigned = assignedLocals(*F->Body);
-  std::map<std::string, IntTerm> GhostToParam, ParamToGhost;
-  for (const std::string &Param : F->Params) {
-    if (!Assigned.count(Param))
-      continue;
-    VarSign Sign = F->VarSigns.count(Param) &&
-                           F->VarSigns.at(Param) == cl::Signedness::Signed
-                       ? VarSign::Signed
-                       : VarSign::Unsigned;
-    GhostToParam[ghostName(Param)] = IntTermNode::var(Param, Sign);
-    ParamToGhost[Param] = IntTermNode::var(ghostName(Param), Sign);
+  checkSpecInterface(*F, FB.Spec, FB.Body->Pre, FB.Body->Post.OnSkip,
+                     FB.Body->Post.OnReturn, Diags);
+  checkNode(*FB.Body, *F, Diags);
+  return Diags.errorCount() == Before;
+}
+
+bool ProofChecker::checkFunctionBound(const DerivationForest &Fo,
+                                      uint32_t RootIdx,
+                                      DiagnosticEngine &Diags) {
+  const DerivationForest::Root &R = Fo.roots()[RootIdx];
+  unsigned Before = Diags.errorCount();
+  const cl::Function *F = P.findFunction(R.Function);
+  if (!F) {
+    Diags.error(SourceLoc(), "no function '" + R.Function + "'");
+    return false;
+  }
+  if (Fo.stmt(R.Node) != F->Body.get()) {
+    Diags.error(F->Loc, "body derivation proves the wrong statement");
+    return false;
   }
 
-  BoundExpr BodyPreAtEntry = substBoundAll(FB.Body->Pre, GhostToParam);
-  EntailResult PreOk =
-      entails(FB.Spec.Pre, BodyPreAtEntry, {}, Options);
-  if (!PreOk.Holds)
-    Diags.error(F->Loc, "spec precondition " + FB.Spec.Pre->str() +
-                            " does not cover the body's requirement " +
-                            BodyPreAtEntry->str() +
-                            (PreOk.Counterexample.empty()
-                                 ? ""
-                                 : " (" + PreOk.Counterexample + ")"));
-
-  // The spec's postcondition speaks about entry values (ghosts).
-  BoundExpr SpecPostGhost = substBoundAll(FB.Spec.Post, ParamToGhost);
-  EntailResult RetOk =
-      entails(FB.Body->Post.OnReturn, SpecPostGhost, {}, Options);
-  if (!RetOk.Holds)
-    Diags.error(F->Loc, "body return part " + FB.Body->Post.OnReturn->str() +
-                            " does not establish the spec postcondition " +
-                            SpecPostGhost->str());
-  EntailResult FallOk =
-      entails(FB.Body->Post.OnSkip, SpecPostGhost, {}, Options);
-  if (!FallOk.Holds)
-    Diags.error(F->Loc, "body fall-through part does not establish the "
-                        "spec postcondition");
-
-  checkNode(*FB.Body, *F, Diags);
+  checkSpecInterface(*F, R.Spec, Fo.pre(R.Node), Fo.skipPost(R.Node),
+                     Fo.returnPost(R.Node), Diags);
+  walkSpan(Fo, R.Node, *F, Diags);
   return Diags.errorCount() == Before;
 }

@@ -13,15 +13,33 @@
 /// check in symbolic-only entailment mode; interactively built derivations
 /// for recursive functions may rely on the sampled mode.
 ///
+/// Two representations, one verdict: derivations check either as trees
+/// (`Derivation`) or flat (`DerivationForest`, DESIGN.md §5h). The
+/// per-rule side conditions are shared — both paths assemble a `NodeView`
+/// per node — so the forest walk is verdict-bit-identical to the tree
+/// recursion by construction: it visits the same preorder sequence,
+/// skipping a node's span exactly where the tree checker would not
+/// descend (leaf rules, structural-arity failures).
+///
+/// Thread safety: one checker may validate distinct forest roots from
+/// several threads concurrently as long as each call gets its own
+/// DiagnosticEngine — the program, context and options are read-only, the
+/// per-rule counters are relaxed atomics, and the entailment memo locks
+/// internally.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef QCC_LOGIC_CHECKER_H
 #define QCC_LOGIC_CHECKER_H
 
 #include "logic/Entail.h"
+#include "logic/Forest.h"
 #include "logic/Logic.h"
 #include "support/Diagnostics.h"
 #include "support/Supervision.h"
+
+#include <array>
+#include <atomic>
 
 namespace qcc {
 namespace logic {
@@ -31,12 +49,26 @@ class ProofChecker {
 public:
   ProofChecker(const clight::Program &P, FunctionContext Gamma,
                EntailOptions Options = {})
-      : P(P), Gamma(std::move(Gamma)), Options(Options) {}
+      : P(P), GammaOwned(std::move(Gamma)), G(&GammaOwned),
+        Options(Options) {}
+
+  /// Non-owning context: \p Gamma must stay alive and unchanged for the
+  /// checker's lifetime. The analyzer's cold path constructs one checker
+  /// per function; borrowing the context instead of copying the whole
+  /// map each time is what keeps that O(functions), not O(functions^2).
+  ProofChecker(const clight::Program &P, const FunctionContext *Gamma,
+               EntailOptions Options = {})
+      : P(P), G(Gamma), Options(Options) {}
 
   /// Validates one derivation for a statement of function \p F. Reports
   /// each violated side condition to \p Diags; returns true when clean.
   bool check(const Derivation &D, const clight::Function &F,
              DiagnosticEngine &Diags);
+
+  /// Forest-native check of the span rooted at node \p Node. Same
+  /// verdict as check() on the tree form of that span.
+  bool check(const DerivationForest &Fo, uint32_t Node,
+             const clight::Function &F, DiagnosticEngine &Diags);
 
   /// Validates a complete function bound: the body derivation must prove
   /// the function's specification under Gamma (which must already contain
@@ -44,9 +76,14 @@ public:
   /// derivation-context treatment of recursion).
   bool checkFunctionBound(const FunctionBound &FB, DiagnosticEngine &Diags);
 
-  const FunctionContext &context() const { return Gamma; }
+  /// Forest-native function-bound check for Fo.roots()[RootIdx]. Same
+  /// verdict as checkFunctionBound on the tree form.
+  bool checkFunctionBound(const DerivationForest &Fo, uint32_t RootIdx,
+                          DiagnosticEngine &Diags);
 
-  /// Attaches a supervisor: checkNode polls it between rules and charges
+  const FunctionContext &context() const { return *G; }
+
+  /// Attaches a supervisor: checking polls it between rules and charges
   /// its memory budget per visited derivation node. When the supervisor
   /// stops the run, the checker reports a single "stopped" diagnostic and
   /// unwinds — it neither confirms nor refutes the derivation.
@@ -55,24 +92,85 @@ public:
   /// True when an attached supervisor halted checking before completion.
   bool stopped() const { return Sup && Sup->stopRequested(); }
 
+  /// Attaches an entailment memo. Must only ever be shared between
+  /// checkers (and builders) running with the same EntailOptions.
+  void setMemo(EntailMemo *M) { Memo = M; }
+
+  /// Snapshot of the per-rule visited-node counters (both forms count).
+  std::array<uint64_t, NumRules> ruleNodeCounts() const {
+    std::array<uint64_t, NumRules> Out;
+    for (unsigned I = 0; I != NumRules; ++I)
+      Out[I] = RuleNodes[I].load(std::memory_order_relaxed);
+    return Out;
+  }
+
 private:
-  bool require(bool Cond, const Derivation &D, const std::string &Message,
+  /// Everything the per-rule side conditions read from one node,
+  /// assembled either from a tree node or from forest lanes. Rules have
+  /// at most two children; views carry the true child count so arity
+  /// violations still reject.
+  struct NodeView {
+    Rule R;
+    const clight::Stmt *S;
+    const BoundExpr *Pre, *QSkip, *QBreak, *QReturn;
+    const BoundExpr *Frame, *Sup; ///< May point at a null expression.
+    uint32_t NumChildren;
+    struct Child {
+      const clight::Stmt *S;
+      const BoundExpr *Pre, *QSkip, *QBreak, *QReturn;
+    };
+    Child Kids[2];
+  };
+
+  static NodeView viewOf(const Derivation &D);
+  static NodeView viewOf(const DerivationForest &Fo, uint32_t I);
+
+  /// The hot-path message forms take C strings: checking a valid
+  /// derivation must not pay for the diagnostics it never emits, so no
+  /// std::string is materialized until a side condition actually fails.
+  bool require(bool Cond, const NodeView &V, const char *Message,
                DiagnosticEngine &Diags);
+  bool require(bool Cond, const NodeView &V, const std::string &Message,
+               DiagnosticEngine &Diags) {
+    return require(Cond, V, Message.c_str(), Diags);
+  }
   bool requireEntails(const BoundExpr &Stronger, const BoundExpr &Weaker,
-                      const std::vector<Cmp> &Assumptions,
-                      const Derivation &D, const std::string &What,
+                      const std::vector<Cmp> &Assumptions, const NodeView &V,
+                      const char *What, DiagnosticEngine &Diags);
+  /// Assumption-free form: no per-call empty-vector temporary.
+  bool requireEntails(const BoundExpr &Stronger, const BoundExpr &Weaker,
+                      const NodeView &V, const char *What,
                       DiagnosticEngine &Diags);
 
+  /// One node's local side conditions, no descent. Sets \p Descend when
+  /// the node's children must be visited (composite rule whose
+  /// structural requirements held).
+  bool checkNodeLocal(const NodeView &V, const clight::Function &F,
+                      DiagnosticEngine &Diags, bool &Descend);
+  bool checkCall(const NodeView &V, const clight::Function &F,
+                 DiagnosticEngine &Diags);
   bool checkNode(const Derivation &D, const clight::Function &F,
                  DiagnosticEngine &Diags);
-  bool checkCall(const Derivation &D, const clight::Function &F,
-                 DiagnosticEngine &Diags);
+  bool walkSpan(const DerivationForest &Fo, uint32_t Node,
+                const clight::Function &F, DiagnosticEngine &Diags);
+  /// The spec-vs-body interface checks shared by both
+  /// checkFunctionBound forms (ghost substitution + three entailments).
+  void checkSpecInterface(const clight::Function &F, const FunctionSpec &Spec,
+                          const BoundExpr &BodyPre, const BoundExpr &BodySkip,
+                          const BoundExpr &BodyReturn,
+                          DiagnosticEngine &Diags);
+  /// Charges the supervisor for one node; false once stopped (the first
+  /// stop reports a single diagnostic).
+  bool pollSupervisor(const clight::Stmt *S, DiagnosticEngine &Diags);
 
   const clight::Program &P;
-  FunctionContext Gamma;
+  FunctionContext GammaOwned;
+  const FunctionContext *G;
   EntailOptions Options;
   Supervisor *Sup = nullptr;
-  bool StopReported = false;
+  std::atomic<bool> StopReported{false};
+  EntailMemo *Memo = nullptr;
+  std::atomic<uint64_t> RuleNodes[NumRules] = {};
 };
 
 } // namespace logic

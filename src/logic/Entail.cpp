@@ -8,7 +8,10 @@
 #include "logic/Entail.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <memory>
+#include <mutex>
 #include <optional>
 
 using namespace qcc;
@@ -188,22 +191,160 @@ std::string envToString(const VarEnv &Env, const StackMetric &M) {
 // Driver
 //===----------------------------------------------------------------------===//
 
-EntailResult qcc::logic::entails(const BoundExpr &P, const BoundExpr &Q,
-                                 const std::vector<Cmp> &Assumptions,
-                                 const EntailOptions &Options) {
+namespace {
+
+/// Mixes two node addresses into a bucket index.
+inline size_t bucketOf(const void *P, const void *Q, size_t Mask) {
+  uintptr_t A = reinterpret_cast<uintptr_t>(P);
+  uintptr_t B = reinterpret_cast<uintptr_t>(Q);
+  return static_cast<size_t>((A >> 4) * 0x9e3779b97f4a7c15ull ^
+                             (B >> 4) * 0xff51afd7ed558ccdull) &
+         Mask;
+}
+
+/// An append-only hash table with lock-free reads: fixed bucket array of
+/// atomic chain heads, entries pushed at the head under a writer mutex
+/// and published with a release store. Entries are immutable once
+/// published and never erased, so a reader needs only the acquire load
+/// of the head — every node field it then reads was written before the
+/// publishing store. This is what makes a shared memo's hit path cost a
+/// hash and a pointer chase instead of a shared_mutex round trip.
+template <typename NodeT, size_t NumBuckets> struct AppendOnlyTable {
+  static_assert((NumBuckets & (NumBuckets - 1)) == 0,
+                "bucket count must be a power of two");
+  std::array<std::atomic<NodeT *>, NumBuckets> Heads{};
+  std::mutex WriteMu;
+  std::vector<std::unique_ptr<NodeT>> Owned; ///< Guarded by WriteMu.
+  std::atomic<size_t> Count{0};
+
+  template <typename MatchFn>
+  const NodeT *find(size_t Bucket, MatchFn Match) const {
+    for (const NodeT *N = Heads[Bucket].load(std::memory_order_acquire); N;
+         N = N->Next)
+      if (Match(*N))
+        return N;
+    return nullptr;
+  }
+
+  /// Publishes \p N into \p Bucket. Caller holds WriteMu and has already
+  /// re-checked for a concurrent insert of the same key.
+  NodeT *publish(size_t Bucket, std::unique_ptr<NodeT> N) {
+    NodeT *Raw = N.get();
+    Raw->Next = Heads[Bucket].load(std::memory_order_relaxed);
+    Owned.push_back(std::move(N));
+    Heads[Bucket].store(Raw, std::memory_order_release);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    return Raw;
+  }
+};
+
+} // namespace
+
+/// Normal forms are pure functions of the (immutable, usually interned)
+/// node, so one memo's queries share them: the repeated bounds of a
+/// derivation normalize once instead of once per entailment.
+struct EntailMemo::NormCache {
+  struct Node {
+    const BoundExprNode *Key;
+    MaxOfMonomials V;
+    BoundExpr Pin; ///< Keeps the keyed node alive.
+    Node *Next;
+  };
+  AppendOnlyTable<Node, 1024> Table;
+
+  /// The cached normal form of \p E, computing and caching on first use.
+  /// The returned pointer stays valid for the cache's lifetime (entries
+  /// are never erased).
+  const MaxOfMonomials *normalOf(const BoundExpr &E) {
+    size_t B = bucketOf(E.get(), nullptr, Table.Heads.size() - 1);
+    auto Match = [&](const Node &N) { return N.Key == E.get(); };
+    if (const Node *N = Table.find(B, Match))
+      return &N->V;
+    // Normalize outside the writer lock; on a race the first publisher
+    // wins and the duplicate work is discarded.
+    MaxOfMonomials V = normalize(E);
+    std::lock_guard<std::mutex> Lock(Table.WriteMu);
+    if (const Node *N = Table.find(B, Match))
+      return &N->V;
+    return &Table
+                .publish(B, std::make_unique<Node>(
+                                Node{E.get(), std::move(V), E, nullptr}))
+                ->V;
+  }
+};
+
+/// The verdict table proper: (P, Q) identity to EntailResult.
+struct EntailMemo::VerdictTable {
+  struct Node {
+    const BoundExprNode *P;
+    const BoundExprNode *Q;
+    EntailResult R;
+    BoundExpr PinP, PinQ; ///< Keep the keyed nodes alive.
+    Node *Next;
+  };
+  AppendOnlyTable<Node, 4096> Table;
+};
+
+EntailMemo::EntailMemo()
+    : Verdicts(std::make_unique<VerdictTable>()),
+      Norms(std::make_unique<NormCache>()) {}
+EntailMemo::~EntailMemo() = default;
+
+const EntailResult *EntailMemo::lookup(const BoundExpr &P,
+                                       const BoundExpr &Q) const {
+  auto &T = Verdicts->Table;
+  const VerdictTable::Node *N =
+      T.find(bucketOf(P.get(), Q.get(), T.Heads.size() - 1),
+             [&](const VerdictTable::Node &N) {
+               return N.P == P.get() && N.Q == Q.get();
+             });
+  if (!N) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return &N->R;
+}
+
+void EntailMemo::insert(const BoundExpr &P, const BoundExpr &Q,
+                        const EntailResult &R) {
+  auto &T = Verdicts->Table;
+  size_t B = bucketOf(P.get(), Q.get(), T.Heads.size() - 1);
+  auto Match = [&](const VerdictTable::Node &N) {
+    return N.P == P.get() && N.Q == Q.get();
+  };
+  std::lock_guard<std::mutex> Lock(T.WriteMu);
+  if (T.find(B, Match))
+    return; // First writer won; verdicts for one key agree.
+  T.publish(B, std::make_unique<VerdictTable::Node>(VerdictTable::Node{
+                   P.get(), Q.get(), R, P, Q, nullptr}));
+}
+
+size_t EntailMemo::size() const {
+  return Verdicts->Table.Count.load(std::memory_order_relaxed);
+}
+
+static EntailResult entailsImpl(const BoundExpr &P, const BoundExpr &Q,
+                                const std::vector<Cmp> &Assumptions,
+                                const EntailOptions &Options,
+                                EntailMemo::NormCache *Norms = nullptr) {
   // Method 1: syntactic.
   if (structurallyEqual(P, Q))
     return {true, EntailMethod::Syntactic, ""};
 
   // Method 2: symbolic tropical domination (assumption-free language).
-  if (MaxOfMonomials NP = normalize(P)) {
-    if (MaxOfMonomials NQ = normalize(Q)) {
-      if (dominatesSymbolically(*NP, *NQ))
-        return {true, EntailMethod::Symbolic, ""};
-      // P and Q are both variable-free: symbolic rejection here is NOT
-      // conclusive (domination is only sufficient), so fall through to
-      // sampling unless symbolic-only mode is on.
-    }
+  MaxOfMonomials LocalP;
+  const MaxOfMonomials &NP =
+      Norms ? *Norms->normalOf(P) : (LocalP = normalize(P));
+  if (NP) {
+    MaxOfMonomials LocalQ;
+    const MaxOfMonomials &NQ =
+        Norms ? *Norms->normalOf(Q) : (LocalQ = normalize(Q));
+    if (NQ && dominatesSymbolically(*NP, *NQ))
+      return {true, EntailMethod::Symbolic, ""};
+    // P and Q are both variable-free: symbolic rejection here is NOT
+    // conclusive (domination is only sufficient), so fall through to
+    // sampling unless symbolic-only mode is on.
   }
   // Q = bottom is only entailed by P = bottom.
   if (Q->K == BoundExprNode::Kind::Const && Q->Value.isInfinite())
@@ -332,4 +473,26 @@ EntailResult qcc::logic::entails(const BoundExpr &P, const BoundExpr &Q,
   }
 
   return {true, EntailMethod::Sampled, ""};
+}
+
+EntailResult qcc::logic::entails(const BoundExpr &P, const BoundExpr &Q,
+                                 const std::vector<Cmp> &Assumptions,
+                                 const EntailOptions &Options,
+                                 EntailMemo *Memo) {
+  if (!Memo)
+    return entailsImpl(P, Q, Assumptions, Options);
+  // Assumption-carrying queries depend on more than (P, Q); they bypass
+  // the verdict table — but not the normal-form cache, since the
+  // symbolic method never reads the assumptions. The exception is
+  // symbolic-only mode, where no method reads them either: there the
+  // verdict is a pure function of (P, Q) and the table serves every
+  // query. Everything the analyzer's symbolic-only runs emit outside
+  // the If rule's path-sensitive sides is assumption-free anyway.
+  if (!Assumptions.empty() && !Options.SymbolicOnly)
+    return entailsImpl(P, Q, Assumptions, Options, &Memo->norms());
+  if (const EntailResult *Cached = Memo->lookup(P, Q))
+    return *Cached;
+  EntailResult R = entailsImpl(P, Q, Assumptions, Options, &Memo->norms());
+  Memo->insert(P, Q, R);
+  return R;
 }

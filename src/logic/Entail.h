@@ -34,6 +34,8 @@
 
 #include "logic/Bound.h"
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,13 +65,68 @@ struct EntailOptions {
   bool SymbolicOnly = false;
 };
 
+/// A thread-safe memo table for assumption-free entailment queries,
+/// keyed on the identity of the two bound expressions. Bound nodes are
+/// interned process-wide and immutable, so pointer equality implies
+/// structural equality and a cached verdict stays valid forever; every
+/// inserted key is pinned alive by the memo, so the table itself is
+/// keyed on raw pointers and the hot lookup path touches no reference
+/// counts — and, because entries are never erased or overwritten (first
+/// writer wins; verdicts for one key agree), no locks either: lookups
+/// walk append-only bucket chains published with release stores, only
+/// writers serialize on a mutex. Entailment is a pure function of
+/// (P, Q, Options), so one memo
+/// must serve exactly one EntailOptions context (the checker and builder
+/// each keep theirs per run). Assumption-carrying queries (path-sensitive
+/// If sides) bypass the verdict table but still share the normal-form
+/// cache: the symbolic method ignores assumptions, and normalization is
+/// a pure function of the node. In symbolic-only mode no method reads
+/// assumptions at all, so there the table serves every query.
+class EntailMemo {
+public:
+  EntailMemo();
+  ~EntailMemo();
+  EntailMemo(const EntailMemo &) = delete;
+  EntailMemo &operator=(const EntailMemo &) = delete;
+
+  /// The cached verdict for (P, Q), or null. The pointer stays valid
+  /// for the memo's lifetime (entries are never erased).
+  const EntailResult *lookup(const BoundExpr &P, const BoundExpr &Q) const;
+
+  /// Caches a verdict (first writer wins; verdicts for one key agree).
+  void insert(const BoundExpr &P, const BoundExpr &Q, const EntailResult &R);
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  size_t size() const;
+
+  /// Cache of symbolic normal forms (max-of-monomials per bound node),
+  /// shared by every query through this memo. Opaque outside Entail.cpp.
+  struct NormCache;
+  NormCache &norms() const { return *Norms; }
+
+private:
+  /// The append-only verdict table; opaque outside Entail.cpp. Each
+  /// entry pins its two bounds alive, so raw-pointer keys stay valid
+  /// even for bounds constructed outside the interner.
+  struct VerdictTable;
+
+  std::unique_ptr<VerdictTable> Verdicts;
+  std::unique_ptr<NormCache> Norms;
+  mutable std::atomic<uint64_t> Hits{0};
+  mutable std::atomic<uint64_t> Misses{0};
+};
+
 /// Checks P >= Q pointwise over all metrics and environments.
 /// \p Assumptions restrict the environments considered (used by the If
 /// rule for path sensitivity); equality assumptions between two variables
 /// or a variable and a term are solved constructively during sampling.
+/// With \p Memo set, assumption-free queries are served from (and fill)
+/// the memo table.
 EntailResult entails(const BoundExpr &P, const BoundExpr &Q,
                      const std::vector<Cmp> &Assumptions = {},
-                     const EntailOptions &Options = {});
+                     const EntailOptions &Options = {},
+                     EntailMemo *Memo = nullptr);
 
 } // namespace logic
 } // namespace qcc

@@ -1,0 +1,141 @@
+//===- logic/Forest.cpp - Flat preorder derivation storage ----------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Forest.h"
+
+using namespace qcc;
+using namespace qcc::logic;
+
+void DerivationForest::grow(uint32_t MinCap) {
+  uint32_t NewCap = Cap ? Cap : 64;
+  while (NewCap < MinCap)
+    NewCap *= 2;
+  // Bump-allocate fresh lanes and copy; the arena reclaims nothing until
+  // the forest dies, so doubling keeps total waste under one extra copy.
+  auto *NewRules = A->allocArray<uint8_t>(NewCap);
+  auto *NewStmts = A->allocArray<const clight::Stmt *>(NewCap);
+  auto *NewPre = A->allocArray<uint32_t>(NewCap);
+  auto *NewSkip = A->allocArray<uint32_t>(NewCap);
+  auto *NewBreak = A->allocArray<uint32_t>(NewCap);
+  auto *NewReturn = A->allocArray<uint32_t>(NewCap);
+  auto *NewFrame = A->allocArray<uint32_t>(NewCap);
+  auto *NewSup = A->allocArray<uint32_t>(NewCap);
+  auto *NewEnds = A->allocArray<uint32_t>(NewCap);
+  if (N) {
+    std::memcpy(NewRules, Rules, N * sizeof(uint8_t));
+    std::memcpy(NewStmts, Stmts, N * sizeof(const clight::Stmt *));
+    std::memcpy(NewPre, PreIds, N * sizeof(uint32_t));
+    std::memcpy(NewSkip, SkipIds, N * sizeof(uint32_t));
+    std::memcpy(NewBreak, BreakIds, N * sizeof(uint32_t));
+    std::memcpy(NewReturn, ReturnIds, N * sizeof(uint32_t));
+    std::memcpy(NewFrame, FrameIds, N * sizeof(uint32_t));
+    std::memcpy(NewSup, SupIds, N * sizeof(uint32_t));
+    std::memcpy(NewEnds, Ends, N * sizeof(uint32_t));
+  }
+  Rules = NewRules;
+  Stmts = NewStmts;
+  PreIds = NewPre;
+  SkipIds = NewSkip;
+  BreakIds = NewBreak;
+  ReturnIds = NewReturn;
+  FrameIds = NewFrame;
+  SupIds = NewSup;
+  Ends = NewEnds;
+  Cap = NewCap;
+}
+
+void DerivationForest::reserve(uint32_t MinCap) {
+  if (MinCap > Cap)
+    grow(MinCap);
+}
+
+uint32_t DerivationForest::internBound(const BoundExpr &B) {
+  if (!B)
+    return NoBound;
+  auto [It, Inserted] =
+      TableIds.emplace(B.get(), static_cast<uint32_t>(Table.size()));
+  if (Inserted)
+    Table.push_back(B);
+  return It->second;
+}
+
+uint32_t DerivationForest::pushNode(Rule R, const clight::Stmt *S,
+                                    uint32_t Pre, uint32_t Skip,
+                                    uint32_t Break, uint32_t Return,
+                                    uint32_t Frame, uint32_t Sup) {
+  if (N == Cap)
+    grow(N + 1);
+  uint32_t I = N++;
+  Rules[I] = static_cast<uint8_t>(R);
+  Stmts[I] = S;
+  PreIds[I] = Pre;
+  SkipIds[I] = Skip;
+  BreakIds[I] = Break;
+  ReturnIds[I] = Return;
+  FrameIds[I] = Frame;
+  SupIds[I] = Sup;
+  Ends[I] = I + 1; // Leaf until sealed wider.
+  return I;
+}
+
+uint32_t DerivationForest::addRoot(const std::string &Function,
+                                   const FunctionSpec &Spec,
+                                   const Derivation &Body) {
+  reserve(N + static_cast<uint32_t>(Body.size()));
+  uint32_t Start = N;
+  // Explicit-stack preorder append; spans are sealed on the way out, so
+  // depth costs stack frames nowhere.
+  struct WorkItem {
+    const Derivation *D;
+    uint32_t Index;
+    size_t NextChild;
+  };
+  std::vector<WorkItem> Stack;
+  auto Append = [&](const Derivation &D) {
+    return pushNode(D.R, D.S, internBound(D.Pre), internBound(D.Post.OnSkip),
+                    internBound(D.Post.OnBreak),
+                    internBound(D.Post.OnReturn), internBound(D.FrameAmount),
+                    internBound(D.SupHint));
+  };
+  Stack.push_back({&Body, Append(Body), 0});
+  while (!Stack.empty()) {
+    WorkItem &Top = Stack.back();
+    if (Top.NextChild < Top.D->Children.size()) {
+      const Derivation *C = Top.D->Children[Top.NextChild++].get();
+      Stack.push_back({C, Append(*C), 0});
+    } else {
+      sealNode(Top.Index);
+      Stack.pop_back();
+    }
+  }
+  return addRootRecord(Function, Spec, Start);
+}
+
+DerivationPtr DerivationForest::toTree(uint32_t I) const {
+  uint32_t E = Ends[I];
+  // Build bottom-up right-to-left: by the time a node is built, every
+  // node in its span already is, so children move straight in.
+  std::vector<DerivationPtr> Built(E - I);
+  for (uint32_t J = E; J-- > I;) {
+    auto D = std::make_unique<Derivation>();
+    D->R = rule(J);
+    D->S = Stmts[J];
+    D->Pre = pre(J);
+    D->Post = {skipPost(J), breakPost(J), returnPost(J)};
+    D->FrameAmount = frame(J);
+    D->SupHint = sup(J);
+    for (uint32_t C = J + 1; C < Ends[J]; C = Ends[C])
+      D->Children.push_back(std::move(Built[C - I]));
+    Built[J - I] = std::move(D);
+  }
+  return std::move(Built[0]);
+}
+
+FunctionBound DerivationForest::toFunctionBound(uint32_t RootIdx) const {
+  const Root &R = Roots[RootIdx];
+  return FunctionBound{R.Function, R.Spec, toTree(R.Node)};
+}

@@ -1,0 +1,209 @@
+//===- logic/Forest.h - Flat preorder derivation storage --------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A `DerivationForest` stores whole derivations (one root per checked
+/// function) as preorder-flattened struct-of-arrays nodes instead of the
+/// pointer-chased `Derivation` tree: per node a rule tag, the proved
+/// statement, interned ids into a per-forest bound table for
+/// Pre/Post/Frame/SupHint, and the exclusive end of the node's subtree
+/// span. All node lanes are bump-allocated from a `support/Arena`, so a
+/// proof-checking walk touches a handful of contiguous arrays rather than
+/// one heap node per rule application.
+///
+/// Invariants the rest of the system leans on:
+///
+///   * Node `I`'s children are exactly the chain `C = I+1; C = end(C)`
+///     while `C < end(I)` — preorder spans nest, never interleave.
+///   * A node's flat index minus its root's first index equals its
+///     preorder index in the tree form, so `Derivation::nodeAt` positions
+///     (mutation testing, error replay) carry over unchanged.
+///   * Conversion to and from the tree form is lossless: bounds are
+///     shared (they are immutable), statements are kept as pointers, and
+///     `toTree(addRoot(D)) == D` node for node.
+///
+/// The bound table deduplicates by canonical pointer: bound expressions
+/// are interned process-wide (logic/Bound.cpp), so structurally equal
+/// bounds normally share one table slot, which is what makes the
+/// checker's entailment memo (keyed on bound identity) effective across
+/// functions and across store round trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_LOGIC_FOREST_H
+#define QCC_LOGIC_FOREST_H
+
+#include "logic/Logic.h"
+#include "support/Arena.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace qcc {
+namespace logic {
+
+class DerivationForest {
+public:
+  /// Bound-table id of an absent bound (FrameAmount/SupHint are optional).
+  static constexpr uint32_t NoBound = 0xffffffffu;
+
+  /// One checked function: its name, spec, and body subtree.
+  struct Root {
+    std::string Function;
+    FunctionSpec Spec;
+    uint32_t Node; ///< First node of the body derivation.
+    uint32_t End;  ///< Exclusive end of the body's span.
+  };
+
+  DerivationForest() : A(std::make_unique<Arena>()) {}
+  DerivationForest(DerivationForest &&O) noexcept { *this = std::move(O); }
+  DerivationForest &operator=(DerivationForest &&O) noexcept {
+    if (this != &O) {
+      A = std::move(O.A);
+      Rules = O.Rules;
+      Stmts = O.Stmts;
+      PreIds = O.PreIds;
+      SkipIds = O.SkipIds;
+      BreakIds = O.BreakIds;
+      ReturnIds = O.ReturnIds;
+      FrameIds = O.FrameIds;
+      SupIds = O.SupIds;
+      Ends = O.Ends;
+      N = O.N;
+      Cap = O.Cap;
+      Table = std::move(O.Table);
+      TableIds = std::move(O.TableIds);
+      Roots = std::move(O.Roots);
+      // Leave the source empty (and arena-less: it grows a new one on
+      // first use via the reserve path), not dangling.
+      O.Rules = nullptr;
+      O.Stmts = nullptr;
+      O.PreIds = O.SkipIds = O.BreakIds = O.ReturnIds = nullptr;
+      O.FrameIds = O.SupIds = O.Ends = nullptr;
+      O.N = O.Cap = 0;
+      O.A = std::make_unique<Arena>();
+      O.Table.clear();
+      O.TableIds.clear();
+      O.Roots.clear();
+    }
+    return *this;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Reading
+  //===--------------------------------------------------------------------===//
+
+  uint32_t numNodes() const { return N; }
+  Rule rule(uint32_t I) const { return static_cast<Rule>(Rules[I]); }
+  const clight::Stmt *stmt(uint32_t I) const { return Stmts[I]; }
+  /// Exclusive end of node \p I's subtree span.
+  uint32_t end(uint32_t I) const { return Ends[I]; }
+
+  uint32_t preId(uint32_t I) const { return PreIds[I]; }
+  uint32_t skipId(uint32_t I) const { return SkipIds[I]; }
+  uint32_t breakId(uint32_t I) const { return BreakIds[I]; }
+  uint32_t returnId(uint32_t I) const { return ReturnIds[I]; }
+  uint32_t frameId(uint32_t I) const { return FrameIds[I]; }
+  uint32_t supId(uint32_t I) const { return SupIds[I]; }
+
+  /// The bound for table id \p Id; the shared null expression for NoBound.
+  const BoundExpr &bound(uint32_t Id) const {
+    return Id == NoBound ? Null : Table[Id];
+  }
+  const BoundExpr &pre(uint32_t I) const { return bound(PreIds[I]); }
+  const BoundExpr &skipPost(uint32_t I) const { return bound(SkipIds[I]); }
+  const BoundExpr &breakPost(uint32_t I) const { return bound(BreakIds[I]); }
+  const BoundExpr &returnPost(uint32_t I) const { return bound(ReturnIds[I]); }
+  const BoundExpr &frame(uint32_t I) const { return bound(FrameIds[I]); }
+  const BoundExpr &sup(uint32_t I) const { return bound(SupIds[I]); }
+
+  /// Number of direct children of node \p I (walks the child chain).
+  uint32_t childCount(uint32_t I) const {
+    uint32_t Count = 0;
+    for (uint32_t C = I + 1; C < Ends[I]; C = Ends[C])
+      ++Count;
+    return Count;
+  }
+
+  const std::vector<Root> &roots() const { return Roots; }
+  size_t boundTableSize() const { return Table.size(); }
+
+  //===--------------------------------------------------------------------===//
+  // Building
+  //===--------------------------------------------------------------------===//
+
+  /// Interns \p B into the bound table; NoBound for a null expression.
+  uint32_t internBound(const BoundExpr &B);
+
+  /// Appends a node with an unsealed span. Nodes must be appended in
+  /// preorder; call sealNode once the node's whole subtree is in.
+  uint32_t pushNode(Rule R, const clight::Stmt *S, uint32_t Pre,
+                    uint32_t Skip, uint32_t Break, uint32_t Return,
+                    uint32_t Frame, uint32_t Sup);
+
+  /// Seals node \p I's span at the current node count.
+  void sealNode(uint32_t I) { Ends[I] = N; }
+
+  /// Records a root over an already-built (and sealed) span.
+  uint32_t addRootRecord(std::string Function, FunctionSpec Spec,
+                         uint32_t Node) {
+    Roots.push_back({std::move(Function), std::move(Spec), Node, Ends[Node]});
+    return static_cast<uint32_t>(Roots.size() - 1);
+  }
+
+  /// Flattens \p Body (iteratively) and records it as a root for
+  /// \p Function. Returns the root's index into roots().
+  uint32_t addRoot(const std::string &Function, const FunctionSpec &Spec,
+                   const Derivation &Body);
+
+  /// Drops the most recently added root (a bound the checker rejected or
+  /// was stopped on). Its span stays allocated but unreferenced; no walk
+  /// starts from a dead span.
+  void popRoot() { Roots.pop_back(); }
+
+  /// Grows the node lanes to hold at least \p Cap nodes.
+  void reserve(uint32_t Cap);
+
+  //===--------------------------------------------------------------------===//
+  // Conversion back to trees
+  //===--------------------------------------------------------------------===//
+
+  /// Rebuilds the tree form of the subtree rooted at node \p I.
+  DerivationPtr toTree(uint32_t I) const;
+
+  /// Rebuilds the FunctionBound for roots()[RootIdx].
+  FunctionBound toFunctionBound(uint32_t RootIdx) const;
+
+private:
+  void grow(uint32_t MinCap);
+
+  std::unique_ptr<Arena> A;
+  // Node lanes (struct-of-arrays), arena-backed, one capacity for all.
+  uint8_t *Rules = nullptr;
+  const clight::Stmt **Stmts = nullptr;
+  uint32_t *PreIds = nullptr;
+  uint32_t *SkipIds = nullptr;
+  uint32_t *BreakIds = nullptr;
+  uint32_t *ReturnIds = nullptr;
+  uint32_t *FrameIds = nullptr;
+  uint32_t *SupIds = nullptr;
+  uint32_t *Ends = nullptr;
+  uint32_t N = 0;
+  uint32_t Cap = 0;
+
+  std::vector<BoundExpr> Table;
+  std::unordered_map<const BoundExprNode *, uint32_t> TableIds;
+  BoundExpr Null; ///< Returned for NoBound ids.
+
+  std::vector<Root> Roots;
+};
+
+} // namespace logic
+} // namespace qcc
+
+#endif // QCC_LOGIC_FOREST_H

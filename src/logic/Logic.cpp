@@ -29,8 +29,8 @@ const char *qcc::logic::ruleName(Rule R) {
   return "<bad rule>";
 }
 
-std::set<std::string> qcc::logic::assignedLocals(const clight::Stmt &S) {
-  std::set<std::string> Out;
+AssignedLocals qcc::logic::assignedLocals(const clight::Stmt &S) {
+  AssignedLocals Out;
   std::vector<const clight::Stmt *> Work{&S};
   while (!Work.empty()) {
     const clight::Stmt *Cur = Work.back();
@@ -50,19 +50,34 @@ std::string PostCondition::str() const {
          OnReturn->str() + ")";
 }
 
+// Explicit-stack preorder walk: fuzz-generated derivations nest as deep
+// as the parser's statement limit permits, and a recursive renderer can
+// exhaust the host stack long before the logic itself would object.
 std::string Derivation::str(unsigned Indent) const {
-  std::string Pad(Indent * 2, ' ');
-  std::string Out = Pad + ruleName(R) + ": {" + Pre->str() + "} ... {" +
-                    Post.str() + "}\n";
-  for (const DerivationPtr &C : Children)
-    Out += C->str(Indent + 1);
+  std::string Out;
+  std::vector<std::pair<const Derivation *, unsigned>> Work{{this, Indent}};
+  while (!Work.empty()) {
+    auto [D, Depth] = Work.back();
+    Work.pop_back();
+    Out.append(Depth * 2, ' ');
+    Out += ruleName(D->R);
+    Out += ": {" + D->Pre->str() + "} ... {" + D->Post.str() + "}\n";
+    for (size_t I = D->Children.size(); I > 0; --I)
+      Work.push_back({D->Children[I - 1].get(), Depth + 1});
+  }
   return Out;
 }
 
 size_t Derivation::size() const {
-  size_t N = 1;
-  for (const DerivationPtr &C : Children)
-    N += C->size();
+  size_t N = 0;
+  std::vector<const Derivation *> Work{this};
+  while (!Work.empty()) {
+    const Derivation *D = Work.back();
+    Work.pop_back();
+    ++N;
+    for (const DerivationPtr &C : D->Children)
+      Work.push_back(C.get());
+  }
   return N;
 }
 

@@ -43,11 +43,13 @@
 #define QCC_LOGIC_LOGIC_H
 
 #include "clight/Clight.h"
+#include "events/SymbolTable.h"
 #include "logic/Bound.h"
+#include "support/SmallVector.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -103,11 +105,46 @@ inline std::string ghostName(const std::string &Param) { return Param + "'"; }
 /// The variable naming the return value inside a spec's ResultFacts.
 inline const char *resultVarName() { return "$result"; }
 
+/// The set of local variables a statement may assign, kept as a sorted
+/// small-vector of interned symbol ids. Function bodies assign a handful
+/// of locals, so the ids normally live inline; membership is a binary
+/// search with no string compares after the one intern per query.
+class AssignedLocals {
+public:
+  /// Adds a name (deduplicated, kept sorted).
+  void insert(const std::string &Name) {
+    SymId Id = SymbolTable::global().intern(Name);
+    auto It = std::lower_bound(Ids.begin(), Ids.end(), Id);
+    if (It == Ids.end() || *It != Id) {
+      // Keep sorted order with a shift; the vector is tiny.
+      size_t Pos = static_cast<size_t>(It - Ids.begin());
+      Ids.push_back(Id);
+      for (size_t I = Ids.size() - 1; I > Pos; --I)
+        Ids[I] = Ids[I - 1];
+      Ids[Pos] = Id;
+    }
+  }
+
+  /// Membership, std::set-style: 1 if present, 0 otherwise.
+  size_t count(const std::string &Name) const {
+    SymId Id = SymbolTable::global().intern(Name);
+    return std::binary_search(Ids.begin(), Ids.end(), Id) ? 1 : 0;
+  }
+
+  size_t size() const { return Ids.size(); }
+  bool empty() const { return Ids.empty(); }
+  const SymId *begin() const { return Ids.begin(); }
+  const SymId *end() const { return Ids.end(); }
+
+private:
+  support::SmallVector<SymId, 8> Ids;
+};
+
 /// The local variables (including parameters) that \p S may assign —
 /// directly or as a call destination. Parameters *not* in this set keep
 /// their entry values throughout the body, so their ghosts are
 /// unnecessary (builder and checker both rely on this).
-std::set<std::string> assignedLocals(const clight::Stmt &S);
+AssignedLocals assignedLocals(const clight::Stmt &S);
 
 /// Rules of the logic (Figure 4 plus the admissible CallBalanced).
 enum class Rule : uint8_t {
@@ -128,6 +165,9 @@ enum class Rule : uint8_t {
   Frame,
   Conseq
 };
+
+/// Number of rules (for per-rule counters indexed by the enum value).
+inline constexpr unsigned NumRules = static_cast<unsigned>(Rule::Conseq) + 1;
 
 const char *ruleName(Rule R);
 

@@ -389,6 +389,107 @@ bool qcc::store::readDerivation(ByteReader &R, DerivationPtr &D,
   return true;
 }
 
+bool qcc::store::writeDerivationForest(
+    ByteWriter &W, const logic::DerivationForest &Fo, uint32_t Node,
+    const std::map<const clight::Stmt *, uint32_t> &Index) {
+  // Preorder spans serialize as a linear scan: the tree writer visits
+  // nodes in exactly this order, so emitting each node's header followed
+  // by its direct-child count reproduces the recursive encoding byte for
+  // byte without touching any pointers.
+  for (uint32_t I = Node, E = Fo.end(Node); I != E; ++I) {
+    W.u8(static_cast<uint8_t>(Fo.rule(I)));
+    uint32_t StmtIdx = NoStmt;
+    if (const clight::Stmt *S = Fo.stmt(I)) {
+      auto It = Index.find(S);
+      if (It == Index.end())
+        return false; // Proves a statement outside its function's body.
+      StmtIdx = It->second;
+    }
+    W.u32(StmtIdx);
+    writeBound(W, Fo.pre(I));
+    writeBound(W, Fo.skipPost(I));
+    writeBound(W, Fo.breakPost(I));
+    writeBound(W, Fo.returnPost(I));
+    bool HasFrame = Fo.frameId(I) != logic::DerivationForest::NoBound;
+    W.boolean(HasFrame);
+    if (HasFrame)
+      writeBound(W, Fo.frame(I));
+    bool HasSup = Fo.supId(I) != logic::DerivationForest::NoBound;
+    W.boolean(HasSup);
+    if (HasSup)
+      writeBound(W, Fo.sup(I));
+    W.u64(Fo.childCount(I));
+  }
+  return true;
+}
+
+bool qcc::store::readDerivationForest(
+    ByteReader &R, logic::DerivationForest &Fo, uint32_t &RootOut,
+    const std::vector<const clight::Stmt *> *Stmts) {
+  // One open ancestor per stack slot; a node is sealed when its last
+  // child's subtree completes. The stack depth mirrors the recursion
+  // depth of readDerivation, so the same MaxDecodeDepth cap applies.
+  struct Open {
+    uint32_t Index;
+    uint64_t Remaining;
+  };
+  std::vector<Open> Stack;
+  RootOut = Fo.numNodes();
+  for (;;) {
+    if (Stack.size() > MaxDecodeDepth)
+      return R.fail();
+    uint8_t Rule;
+    uint32_t StmtIdx;
+    if (!R.u8(Rule) || Rule > static_cast<uint8_t>(logic::Rule::Conseq))
+      return R.fail();
+    if (!R.u32(StmtIdx))
+      return false;
+    const clight::Stmt *S = nullptr;
+    if (Stmts && StmtIdx != NoStmt) {
+      if (StmtIdx >= Stmts->size())
+        return R.fail();
+      S = (*Stmts)[StmtIdx];
+    }
+    unsigned Depth = static_cast<unsigned>(Stack.size()) + 1;
+    logic::BoundExpr Pre, Skip, Break, Return, Frame, Sup;
+    if (!readBound(R, Pre, Depth) || !readBound(R, Skip, Depth) ||
+        !readBound(R, Break, Depth) || !readBound(R, Return, Depth))
+      return false;
+    bool Present;
+    if (!R.boolean(Present))
+      return false;
+    if (Present && !readBound(R, Frame, Depth))
+      return false;
+    if (!R.boolean(Present))
+      return false;
+    if (Present && !readBound(R, Sup, Depth))
+      return false;
+    uint64_t Children;
+    // Each serialized child occupies well over one byte; a count exceeding
+    // the bytes left is corruption, rejected before any allocation.
+    if (!R.u64(Children) || Children > R.remaining())
+      return R.fail();
+    uint32_t I = Fo.pushNode(static_cast<logic::Rule>(Rule), S,
+                             Fo.internBound(Pre), Fo.internBound(Skip),
+                             Fo.internBound(Break), Fo.internBound(Return),
+                             Fo.internBound(Frame), Fo.internBound(Sup));
+    if (Children != 0) {
+      Stack.push_back({I, Children});
+      continue;
+    }
+    // Leaf complete: unwind every ancestor this finishes.
+    while (!Stack.empty()) {
+      Open &Top = Stack.back();
+      if (--Top.Remaining != 0)
+        break;
+      Fo.sealNode(Top.Index);
+      Stack.pop_back();
+    }
+    if (Stack.empty())
+      return true;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Proof artifacts
 //===----------------------------------------------------------------------===//
@@ -415,6 +516,80 @@ std::string qcc::store::encodeProofs(
       return {}; // Unindexable proof: persist nothing, not half a proof.
   }
   return W.take();
+}
+
+std::string qcc::store::encodeProofsForest(
+    const FunctionContext &Gamma, const logic::DerivationForest &Fo,
+    const clight::Program &P,
+    const std::map<std::string, const std::string *> *Reused) {
+  ByteWriter W;
+  writeContext(W, Gamma);
+  // Fresh roots and reused raw records merge in name order so the blob is
+  // byte-identical to encodeProofs over the union (whose map sorts keys).
+  std::map<std::string, uint32_t> Fresh;
+  for (uint32_t RI = 0; RI != Fo.roots().size(); ++RI)
+    Fresh.emplace(Fo.roots()[RI].Function, RI);
+  static const std::map<std::string, const std::string *> NoReuse;
+  const std::map<std::string, const std::string *> &Re =
+      Reused ? *Reused : NoReuse;
+  W.u64(Fresh.size() + Re.size());
+  auto FI = Fresh.begin();
+  auto RJ = Re.begin();
+  while (FI != Fresh.end() || RJ != Re.end()) {
+    bool TakeFresh =
+        RJ == Re.end() || (FI != Fresh.end() && FI->first < RJ->first);
+    if (TakeFresh) {
+      const logic::DerivationForest::Root &Root = Fo.roots()[FI->second];
+      W.str(Root.Function);
+      writeSpec(W, Root.Spec);
+      const clight::Function *F = P.findFunction(Root.Function);
+      std::map<const clight::Stmt *, uint32_t> Index;
+      if (F) {
+        std::vector<const clight::Stmt *> Stmts =
+            preorderStatements(F->Body.get());
+        for (size_t I = 0; I != Stmts.size(); ++I)
+          Index.emplace(Stmts[I], static_cast<uint32_t>(I));
+      }
+      if (!writeDerivationForest(W, Fo, Root.Node, Index))
+        return {}; // Unindexable proof: persist nothing, not half a proof.
+      ++FI;
+    } else {
+      // A FuncStore record is writeSpec+writeDerivation back to back —
+      // exactly what follows the name here, so it splices verbatim.
+      W.str(RJ->first);
+      W.raw(*RJ->second);
+      ++RJ;
+    }
+  }
+  return W.take();
+}
+
+bool qcc::store::decodeProofsForest(const std::string &Blob,
+                                    const clight::Program *P,
+                                    ProofForest &Out) {
+  ByteReader R(Blob);
+  if (!readContext(R, Out.Gamma))
+    return false;
+  uint64_t Count;
+  if (!R.u64(Count) || Count > R.remaining())
+    return false;
+  for (uint64_t I = 0; I != Count; ++I) {
+    std::string Name;
+    logic::FunctionSpec Spec;
+    if (!R.str(Name) || !readSpec(R, Spec))
+      return false;
+    std::vector<const clight::Stmt *> Stmts;
+    const clight::Function *F = P ? P->findFunction(Name) : nullptr;
+    if (P && !F)
+      return false; // Blob names a function the program does not have.
+    if (F)
+      Stmts = preorderStatements(F->Body.get());
+    uint32_t Root;
+    if (!readDerivationForest(R, Out.Forest, Root, F ? &Stmts : nullptr))
+      return false;
+    Out.Forest.addRootRecord(std::move(Name), std::move(Spec), Root);
+  }
+  return R.done(); // Trailing bytes are corruption, not padding.
 }
 
 bool qcc::store::decodeProofs(const std::string &Blob,

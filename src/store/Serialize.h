@@ -33,6 +33,7 @@
 #define QCC_STORE_SERIALIZE_H
 
 #include "clight/Clight.h"
+#include "logic/Forest.h"
 #include "logic/Logic.h"
 
 #include <cstdint>
@@ -67,6 +68,9 @@ public:
     u64(S.size());
     Buf.append(S);
   }
+  /// Un-prefixed raw bytes: splices a pre-encoded record verbatim. The
+  /// caller owns the invariant that \p S is well-formed external form.
+  void raw(const std::string &S) { Buf.append(S); }
 
   const std::string &bytes() const { return Buf; }
   std::string take() { return std::move(Buf); }
@@ -190,6 +194,22 @@ bool readDerivation(ByteReader &R, logic::DerivationPtr &D,
                     const std::vector<const clight::Stmt *> *Stmts,
                     unsigned Depth = 0);
 
+/// Serializes the subtree rooted at forest node \p Node. Emits exactly the
+/// bytes writeDerivation emits for the equivalent tree — the external
+/// format has one derivation encoding, whichever in-memory form feeds it.
+bool writeDerivationForest(
+    ByteWriter &W, const logic::DerivationForest &Fo, uint32_t Node,
+    const std::map<const clight::Stmt *, uint32_t> &Index);
+
+/// Decodes one serialized derivation directly into \p Fo (no intermediate
+/// tree), appending its nodes in preorder; \p RootOut receives the first
+/// node's index. Statement indices re-attach against \p Stmts as in
+/// readDerivation. On failure the forest may hold a partial span — callers
+/// discard the whole forest when any record fails to decode.
+bool readDerivationForest(ByteReader &R, logic::DerivationForest &Fo,
+                          uint32_t &RootOut,
+                          const std::vector<const clight::Stmt *> *Stmts);
+
 //===----------------------------------------------------------------------===//
 // Proof artifacts: everything the analyzer proved for one program
 //===----------------------------------------------------------------------===//
@@ -214,6 +234,28 @@ std::string encodeProofs(const logic::FunctionContext &Gamma,
 /// re-attached (ready for ProofChecker); without, they stay null.
 bool decodeProofs(const std::string &Blob, const clight::Program *P,
                   ProofArtifacts &Out);
+
+/// The flat-form twin of ProofArtifacts: the context plus one forest with
+/// one root per proved bound (roots in blob order, i.e. sorted by name).
+struct ProofForest {
+  logic::FunctionContext Gamma;
+  logic::DerivationForest Forest;
+};
+
+/// Encodes a proof blob byte-identical to encodeProofs, straight from the
+/// flat form. \p Reused optionally maps function names to pre-validated
+/// raw records (writeSpec+writeDerivation bytes, the FuncStore record
+/// layout) spliced verbatim — the warm path's zero-copy re-serve. Fresh
+/// roots and reused records are merged in name order.
+std::string encodeProofsForest(
+    const logic::FunctionContext &Gamma, const logic::DerivationForest &Forest,
+    const clight::Program &P,
+    const std::map<std::string, const std::string *> *Reused = nullptr);
+
+/// Decodes a proof blob directly into flat form — the `--store-verify`
+/// and warm-daemon path, which never needs the pointer tree.
+bool decodeProofsForest(const std::string &Blob, const clight::Program *P,
+                        ProofForest &Out);
 
 } // namespace store
 } // namespace qcc

@@ -372,8 +372,10 @@ bool VerificationStore::verifyEntryProofs(const batch::BatchJob &Job,
       driver::parseOnly(Job.Source, ParseDiags, Job.Options);
   if (!P)
     return false;
-  ProofArtifacts PA;
-  if (!decodeProofs(R.ProofBlob, &*P, PA))
+  // Decode straight into the flat form: store verification re-checks
+  // every derivation anyway, and the forest walk needs no pointer tree.
+  ProofForest PF;
+  if (!decodeProofsForest(R.ProofBlob, &*P, PF))
     return false;
   // Root the loaded context in trust: every spec in Gamma must be either
   // the job's own seeded specification (part of the content key, so the
@@ -386,7 +388,7 @@ bool VerificationStore::verifyEntryProofs(const batch::BatchJob &Job,
       Out += " ; " + C.str();
     return Out;
   };
-  for (const auto &[Name, Spec] : PA.Gamma) {
+  for (const auto &[Name, Spec] : PF.Gamma) {
     auto Seeded = Job.Options.SeededSpecs.find(Name);
     if (Seeded != Job.Options.SeededSpecs.end()) {
       if (SpecText(Seeded->second) != SpecText(Spec))
@@ -394,16 +396,16 @@ bool VerificationStore::verifyEntryProofs(const batch::BatchJob &Job,
       continue;
     }
     bool Proved = false;
-    for (const logic::FunctionBound &FB : PA.Bounds)
-      Proved |= FB.Function == Name && SpecText(FB.Spec) == SpecText(Spec);
+    for (const logic::DerivationForest::Root &Root : PF.Forest.roots())
+      Proved |= Root.Function == Name && SpecText(Root.Spec) == SpecText(Spec);
     if (!Proved)
       return false;
   }
   // Every bound the verdict reports must be the call bound of a (now
   // trust-rooted) Gamma spec — the proofs must actually cover the claims.
   for (const batch::FunctionReport &FR : R.Bounds) {
-    auto It = PA.Gamma.find(FR.Function);
-    if (It == PA.Gamma.end())
+    auto It = PF.Gamma.find(FR.Function);
+    if (It == PF.Gamma.end())
       return false;
     if (!FR.SymbolicBound.empty() &&
         logic::bAdd(logic::bMetric(FR.Function), It->second.Pre)->str() !=
@@ -412,11 +414,13 @@ bool VerificationStore::verifyEntryProofs(const batch::BatchJob &Job,
   }
   logic::EntailOptions EO;
   EO.SymbolicOnly = true; // match the analyzer: fully symbolic certificates
-  logic::ProofChecker Checker(*P, PA.Gamma, EO);
+  logic::EntailMemo Memo;
+  logic::ProofChecker Checker(*P, &PF.Gamma, EO);
   Checker.setSupervisor(Sup);
-  for (const logic::FunctionBound &FB : PA.Bounds) {
+  Checker.setMemo(&Memo);
+  for (uint32_t RI = 0; RI != PF.Forest.roots().size(); ++RI) {
     DiagnosticEngine CheckDiags;
-    if (!Checker.checkFunctionBound(FB, CheckDiags))
+    if (!Checker.checkFunctionBound(PF.Forest, RI, CheckDiags))
       return false;
   }
   return !(Sup && Sup->stopRequested());

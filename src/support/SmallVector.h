@@ -1,0 +1,153 @@
+//===- support/SmallVector.h - Inline-storage vector ------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with inline storage for the common small case. The per-function
+/// cold path builds many short-lived sets (assigned locals, ghost
+/// parameters) whose typical cardinality is a handful; keeping them in the
+/// object itself avoids one heap round trip per function per compilation.
+///
+/// Deliberately minimal: trivially copyable element types only (ids,
+/// pointers, PODs), no erase/insert in the middle. That restriction keeps
+/// the grow path a memcpy and the destructor a single conditional free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_SUPPORT_SMALLVECTOR_H
+#define QCC_SUPPORT_SMALLVECTOR_H
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace qcc {
+namespace support {
+
+template <typename T, unsigned InlineN> class SmallVector {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "SmallVector holds trivially copyable elements only");
+  static_assert(InlineN > 0, "inline capacity must be positive");
+
+public:
+  SmallVector() = default;
+  SmallVector(const SmallVector &O) { append(O.Data, O.Size); }
+  SmallVector(SmallVector &&O) noexcept {
+    if (O.onHeap()) {
+      Data = O.Data;
+      Cap = O.Cap;
+      Size = O.Size;
+      O.Data = reinterpret_cast<T *>(O.Inline);
+      O.Cap = InlineN;
+      O.Size = 0;
+    } else {
+      append(O.Data, O.Size);
+      O.Size = 0;
+    }
+  }
+  SmallVector &operator=(const SmallVector &O) {
+    if (this != &O) {
+      Size = 0;
+      append(O.Data, O.Size);
+    }
+    return *this;
+  }
+  SmallVector &operator=(SmallVector &&O) noexcept {
+    if (this != &O) {
+      if (onHeap())
+        std::free(Data);
+      Data = reinterpret_cast<T *>(Inline);
+      Cap = InlineN;
+      Size = 0;
+      if (O.onHeap()) {
+        Data = O.Data;
+        Cap = O.Cap;
+        Size = O.Size;
+        O.Data = reinterpret_cast<T *>(O.Inline);
+        O.Cap = InlineN;
+        O.Size = 0;
+      } else {
+        append(O.Data, O.Size);
+        O.Size = 0;
+      }
+    }
+    return *this;
+  }
+  ~SmallVector() {
+    if (onHeap())
+      std::free(Data);
+  }
+
+  void push_back(const T &V) {
+    if (Size == Cap)
+      grow(Cap * 2);
+    Data[Size++] = V;
+  }
+
+  void append(const T *Src, size_t N) {
+    if (Size + N > Cap) {
+      size_t NewCap = Cap;
+      while (NewCap < Size + N)
+        NewCap *= 2;
+      grow(NewCap);
+    }
+    if (N)
+      std::memcpy(Data + Size, Src, N * sizeof(T));
+    Size += N;
+  }
+
+  void clear() { Size = 0; }
+  void pop_back() { --Size; }
+  void resize(size_t N) {
+    if (N > Cap) {
+      size_t NewCap = Cap;
+      while (NewCap < N)
+        NewCap *= 2;
+      grow(NewCap);
+    }
+    if (N > Size)
+      std::memset(reinterpret_cast<char *>(Data + Size), 0,
+                  (N - Size) * sizeof(T));
+    Size = N;
+  }
+
+  T *begin() { return Data; }
+  T *end() { return Data + Size; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Size; }
+  T &operator[](size_t I) { return Data[I]; }
+  const T &operator[](size_t I) const { return Data[I]; }
+  T &back() { return Data[Size - 1]; }
+  const T &back() const { return Data[Size - 1]; }
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+private:
+  bool onHeap() const { return Data != reinterpret_cast<const T *>(Inline); }
+
+  void grow(size_t NewCap) {
+    T *NewData = static_cast<T *>(std::malloc(NewCap * sizeof(T)));
+    if (!NewData)
+      throw std::bad_alloc();
+    if (Size)
+      std::memcpy(NewData, Data, Size * sizeof(T));
+    if (onHeap())
+      std::free(Data);
+    Data = NewData;
+    Cap = NewCap;
+  }
+
+  alignas(T) char Inline[InlineN * sizeof(T)];
+  T *Data = reinterpret_cast<T *>(Inline);
+  size_t Cap = InlineN;
+  size_t Size = 0;
+};
+
+} // namespace support
+} // namespace qcc
+
+#endif // QCC_SUPPORT_SMALLVECTOR_H

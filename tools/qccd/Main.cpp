@@ -216,6 +216,10 @@ int main(int Argc, char **Argv) {
          static_cast<unsigned long long>(S.FuncsReused),
          static_cast<unsigned long long>(S.FuncsReVerified),
          static_cast<unsigned long long>(S.FuncsInvalidated));
+  printf("qccd: proofs: %llu derivation nodes, %llu.%03llu ms checking\n",
+         static_cast<unsigned long long>(S.ProofNodes),
+         static_cast<unsigned long long>(S.ProofCheckMicros / 1000),
+         static_cast<unsigned long long>(S.ProofCheckMicros % 1000));
   GDaemon = nullptr;
   return 0;
 }
