@@ -7,6 +7,8 @@
 
 #include "batch/ThreadPool.h"
 
+#include "support/FailPoint.h"
+
 using namespace qcc;
 using namespace qcc::batch;
 
@@ -103,6 +105,11 @@ void WorkStealingPool::workerLoop(unsigned Me) {
 }
 
 void WorkStealingPool::submit(std::function<void()> Task) {
+  // "pool.submit": delay models a saturated queue (admission tests lean
+  // on it to hold a job in flight deterministically); crash models a
+  // process dying with work queued. Err/Short are meaningless for an
+  // in-memory enqueue and are ignored — the task is always queued.
+  (void)failpoint::fire("pool.submit");
   {
     std::lock_guard<std::mutex> G(BatchM);
     Tasks.push_back(std::move(Task));

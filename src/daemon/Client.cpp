@@ -7,14 +7,51 @@
 
 #include "daemon/Client.h"
 
+#include "support/FailPoint.h"
+
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 using namespace qcc;
 using namespace qcc::daemon;
+
+namespace {
+
+uint64_t splitmix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+void sleepMillis(uint64_t Millis) {
+  if (Millis)
+    std::this_thread::sleep_for(std::chrono::milliseconds(Millis));
+}
+
+} // namespace
+
+uint64_t qcc::daemon::backoffMillis(const RetryPolicy &P, unsigned Attempt,
+                                    uint64_t &RngState) {
+  // Exponential with full jitter over the top half: delay/2 fixed plus a
+  // uniform draw over the rest. Deterministic per seed, decorrelated per
+  // client — a restart does not get a synchronized reconnect stampede.
+  uint64_t Delay = P.BaseDelayMillis;
+  for (unsigned I = 0; I != Attempt && Delay < P.MaxDelayMillis; ++I)
+    Delay *= 2;
+  Delay = std::min(Delay, P.MaxDelayMillis);
+  if (Delay <= 1)
+    return Delay;
+  uint64_t Half = Delay / 2;
+  return Half + splitmix64(RngState) % (Delay - Half + 1);
+}
 
 DaemonClient::~DaemonClient() { disconnect(); }
 
@@ -27,6 +64,13 @@ void DaemonClient::disconnect() {
 
 bool DaemonClient::connect(const std::string &SocketPath) {
   disconnect();
+  // "client.connect": an injected error stands in for a daemon that is
+  // down or still binding its socket.
+  if (auto FA = failpoint::fire("client.connect")) {
+    (void)FA;
+    Err = "connect " + SocketPath + ": " + std::strerror(errno);
+    return false;
+  }
   sockaddr_un Addr;
   std::memset(&Addr, 0, sizeof(Addr));
   Addr.sun_family = AF_UNIX;
@@ -50,14 +94,30 @@ bool DaemonClient::connect(const std::string &SocketPath) {
   return true;
 }
 
+bool DaemonClient::connectWithRetry(const std::string &SocketPath,
+                                    const RetryPolicy &P) {
+  if (RngState == 0)
+    RngState = P.JitterSeed ? P.JitterSeed : 1;
+  unsigned Attempts = std::max(1u, P.ConnectAttempts);
+  for (unsigned A = 0; A != Attempts; ++A) {
+    if (A != 0)
+      sleepMillis(backoffMillis(P, A - 1, RngState));
+    if (connect(SocketPath))
+      return true;
+  }
+  return false;
+}
+
 ClientOutcome DaemonClient::verify(const JobRequest &Req) {
   ClientOutcome Out;
   if (Fd < 0) {
     Out.Error = "not connected";
+    Out.Transport = true;
     return Out;
   }
   if (!sendFrame(Fd, MsgType::Submit, encodeJobRequest(Req))) {
     Out.Error = "send failed: daemon gone";
+    Out.Transport = true;
     disconnect();
     return Out;
   }
@@ -68,6 +128,7 @@ ClientOutcome DaemonClient::verify(const JobRequest &Req) {
     FrameStatus S = readFrame(Fd, F);
     if (S != FrameStatus::Ok) {
       Out.Error = std::string("protocol: ") + frameStatusName(S);
+      Out.Transport = true;
       disconnect();
       return Out;
     }
@@ -76,6 +137,7 @@ ClientOutcome DaemonClient::verify(const JobRequest &Req) {
       PassStatus P;
       if (!decodePassStatus(F.Payload, P)) {
         Out.Error = "malformed status frame";
+        Out.Transport = true;
         disconnect();
         return Out;
       }
@@ -85,10 +147,24 @@ ClientOutcome DaemonClient::verify(const JobRequest &Req) {
     case MsgType::Verdict:
       if (!decodeVerdict(F.Payload, Out.Result)) {
         Out.Error = "malformed verdict frame";
+        Out.Transport = true;
         disconnect();
         return Out;
       }
       Out.HaveVerdict = true;
+      return Out;
+    case MsgType::Busy:
+      // An admission shed, not an error: the connection is intact and
+      // the server wants this job again after a backoff.
+      Out.Busy = true;
+      Out.Error = "busy: " + F.Payload;
+      return Out;
+    case MsgType::Bye:
+      // Clean close (drain or idle timeout): nothing further will be
+      // served on this connection.
+      Out.ServerClosing = true;
+      Out.Error = "server closing: " + F.Payload;
+      disconnect();
       return Out;
     case MsgType::Error:
       Out.Error = F.Payload;
@@ -98,9 +174,51 @@ ClientOutcome DaemonClient::verify(const JobRequest &Req) {
     default:
       Out.Error = "unexpected frame type " +
                   std::to_string(static_cast<uint32_t>(F.Type));
+      Out.Transport = true;
       disconnect();
       return Out;
     }
+  }
+}
+
+ClientOutcome DaemonClient::verifyWithRetry(const JobRequest &Req,
+                                            const std::string &SocketPath,
+                                            const RetryPolicy &P) {
+  if (RngState == 0)
+    RngState = P.JitterSeed ? P.JitterSeed : 1;
+  unsigned BusyLeft = P.BusyRetries;
+  unsigned TransportLeft = P.TransportRetries;
+  unsigned Attempt = 0;
+  for (;;) {
+    if (!connected() && !connectWithRetry(SocketPath, P)) {
+      ClientOutcome Out;
+      Out.Error = Err.empty() ? "daemon unreachable" : Err;
+      Out.Transport = true;
+      return Out;
+    }
+    ClientOutcome Out = verify(Req);
+    if (Out.HaveVerdict)
+      return Out;
+    if (Out.Busy) {
+      if (BusyLeft == 0)
+        return Out;
+      --BusyLeft;
+      sleepMillis(backoffMillis(P, Attempt++, RngState));
+      continue;
+    }
+    if (Out.Transport || Out.ServerClosing) {
+      // Torn frame, vanished or draining daemon: reconnect and resubmit.
+      // Verdicts are content-keyed, so a job whose verdict was lost in
+      // flight re-serves warm — the resubmit is idempotent.
+      if (TransportLeft == 0)
+        return Out;
+      --TransportLeft;
+      sleepMillis(backoffMillis(P, Attempt++, RngState));
+      continue;
+    }
+    // A deliberate server Error frame (malformed request, budget cancel):
+    // retrying the same bytes would only repeat it.
+    return Out;
   }
 }
 

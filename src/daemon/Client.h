@@ -32,7 +32,39 @@ struct ClientOutcome {
   batch::ProgramResult Result;
   std::vector<PassStatus> Passes; ///< Status frames, in arrival order.
   std::string Error;
+  /// The server shed this submit with a Busy frame: the connection is
+  /// intact; retry the same job after a backoff.
+  bool Busy = false;
+  /// The server said Bye (draining or idle timeout): the connection is
+  /// closed; reconnect — possibly to a restarted daemon — before
+  /// retrying.
+  bool ServerClosing = false;
+  /// The byte stream itself failed (torn frame, vanished peer, send
+  /// error): the connection was dropped; reconnect-and-resubmit is the
+  /// right retry. Distinct from a deliberate server Error frame, which
+  /// would only repeat.
+  bool Transport = false;
 };
+
+/// Bounded-retry policy for verifyWithRetry / connectWithRetry:
+/// exponential backoff with deterministic jitter. Every delay is
+/// `min(Max, Base << attempt)` halved-plus-jittered, so a fleet of
+/// clients bounced by the same restart does not reconnect in lockstep.
+struct RetryPolicy {
+  unsigned ConnectAttempts = 4;  ///< connect() tries per (re)connection.
+  unsigned BusyRetries = 8;      ///< Busy sheds tolerated per job.
+  unsigned TransportRetries = 2; ///< reconnect+resubmit after torn
+                                 ///< frames, Bye, or a vanished daemon.
+  uint64_t BaseDelayMillis = 25;
+  uint64_t MaxDelayMillis = 1000;
+  uint64_t JitterSeed = 1; ///< Seeds the jitter stream (deterministic).
+};
+
+/// The backoff delay for 0-based \p Attempt under \p P, with jitter
+/// drawn from \p RngState (splitmix64, advanced per call). Exposed so
+/// tests can pin the schedule.
+uint64_t backoffMillis(const RetryPolicy &P, unsigned Attempt,
+                       uint64_t &RngState);
 
 /// One connection to a qccd daemon. Not thread-safe: one conversation
 /// per connection (open several clients for parallelism — that is the
@@ -55,6 +87,19 @@ public:
   /// Submits one job and blocks until its verdict (or an error).
   ClientOutcome verify(const JobRequest &Req);
 
+  /// connect() with bounded retry and backoff: a daemon mid-restart is
+  /// reachable a moment later. False when every attempt failed.
+  bool connectWithRetry(const std::string &SocketPath, const RetryPolicy &P);
+
+  /// verify() hardened for an unreliable daemon: retries after Busy
+  /// sheds (connection intact, backoff first), reconnects and resubmits
+  /// after torn frames, Bye, or a crashed daemon — all within the
+  /// policy's bounds. Returns the last outcome when every retry is
+  /// exhausted; content-keyed verdicts make the resubmits idempotent.
+  ClientOutcome verifyWithRetry(const JobRequest &Req,
+                                const std::string &SocketPath,
+                                const RetryPolicy &P);
+
   /// Liveness round-trip.
   bool ping();
 
@@ -64,6 +109,7 @@ public:
 private:
   int Fd = -1;
   std::string Err;
+  uint64_t RngState = 0; ///< Jitter stream; seeded on first retry use.
 };
 
 } // namespace daemon

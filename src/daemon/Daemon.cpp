@@ -11,12 +11,15 @@
 #include "batch/Watchdog.h"
 #include "incremental/Incremental.h"
 #include "store/Store.h"
+#include "support/FailPoint.h"
 #include "support/Io.h"
 
 #include <algorithm>
 #include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -150,8 +153,23 @@ void Daemon::requestShutdown() {
   // signal handler. The cancel drains every in-flight job through the
   // supervision tree; the pipe wakes serve(), which does the lock-taking
   // part of the drain (socket shutdown, thread joins).
+  Draining.store(true, std::memory_order_release);
   ShutdownRequested.store(true, std::memory_order_release);
   Root.cancel(StopCause::Cancelled);
+  if (WakePipe[1] >= 0) {
+    char B = 1;
+    (void)!::write(WakePipe[1], &B, 1);
+  }
+}
+
+void Daemon::requestDrain() {
+  // The graceful half of requestShutdown: the accept loop stops, the
+  // connection sockets' read sides close (reapConnections), but the root
+  // supervisor is NOT cancelled — every admitted job runs to its verdict,
+  // is journaled, and its client gets the verdict plus a clean Bye. Same
+  // async-signal-safety budget: atomics and one pipe write.
+  Draining.store(true, std::memory_order_release);
+  ShutdownRequested.store(true, std::memory_order_release);
   if (WakePipe[1] >= 0) {
     char B = 1;
     (void)!::write(WakePipe[1], &B, 1);
@@ -168,7 +186,11 @@ void Daemon::reapConnections(bool JoinAll) {
     if (ShutdownRequested.load(std::memory_order_acquire))
       for (std::unique_ptr<Connection> &C : Connections)
         if (!C->Finished.load(std::memory_order_acquire))
-          ::shutdown(C->Fd, SHUT_RDWR); // Unblocks a blocked readFrame.
+          // Read side only: a blocked readFrame unblocks (EOF), but the
+          // write side stays open so the connection thread can still
+          // deliver an in-flight verdict and the clean Bye frame the
+          // drain contract promises.
+          ::shutdown(C->Fd, SHUT_RD);
     auto Mid = std::stable_partition(
         Connections.begin(), Connections.end(),
         [JoinAll](const std::unique_ptr<Connection> &C) {
@@ -194,6 +216,13 @@ DaemonStats Daemon::stats() const {
 void Daemon::serve() {
   if (!valid())
     return;
+  // Capped exponential backoff for transient accept() failures. A file-
+  // descriptor famine (EMFILE/ENFILE: this process or the host is out of
+  // fds, usually because clients outnumber what ulimit allows) is not
+  // fatal and not busy-waitable: retrying instantly spins the CPU while
+  // holding the very fds that caused the famine. Sleep 1ms, doubling to a
+  // 100ms cap, and reset on the next successful accept.
+  uint64_t BackoffMillis = 0;
   while (!ShutdownRequested.load(std::memory_order_acquire)) {
     pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
     int N = ::poll(Fds, 2, -1);
@@ -206,13 +235,65 @@ void Daemon::serve() {
       break;
     if (!(Fds[0].revents & POLLIN))
       continue;
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
-    if (Fd < 0)
+    int Fd;
+    // "daemon.accept": injected errors take the place of the accept()
+    // call itself; the pending connection stays queued and is picked up
+    // once the fault window passes — exactly how a transient famine
+    // behaves.
+    if (auto FA = failpoint::fire("daemon.accept")) {
+      errno = FA.K == failpoint::Kind::Err ? FA.Errno : ECONNABORTED;
+      Fd = -1;
+    } else {
+      Fd = ::accept(ListenFd, nullptr, nullptr);
+    }
+    if (Fd < 0) {
+      int E = errno;
+      if (E == EMFILE || E == ENFILE || E == ENOBUFS || E == ENOMEM) {
+        {
+          std::lock_guard<std::mutex> G(StatsM);
+          ++Counters.AcceptRetries;
+        }
+        BackoffMillis = BackoffMillis ? std::min<uint64_t>(BackoffMillis * 2,
+                                                           100)
+                                      : 1;
+        // Sleep on the wake pipe, not the clock: shutdown interrupts the
+        // backoff the same way it interrupts the main poll.
+        pollfd Wake = {WakePipe[0], POLLIN, 0};
+        ::poll(&Wake, 1, static_cast<int>(BackoffMillis));
+        continue;
+      }
+      if (E == EINTR || E == ECONNABORTED) {
+        // The connection died between poll and accept (or a signal
+        // landed): nothing to back off from, take the next one.
+        std::lock_guard<std::mutex> G(StatsM);
+        ++Counters.AcceptRetries;
+      }
       continue;
+    }
+    BackoffMillis = 0;
 
     // Reap finished connections so a long-lived daemon's vector does not
     // grow with every client that ever connected.
     reapConnections(/*JoinAll=*/false);
+
+    // Connection-count shed: over the cap, the newcomer gets an explicit
+    // Busy (retry with backoff) instead of a thread and a silent queue.
+    if (Opts.MaxConnections) {
+      size_t Live;
+      {
+        std::lock_guard<std::mutex> G(ConnM);
+        Live = Connections.size();
+      }
+      if (Live >= Opts.MaxConnections) {
+        {
+          std::lock_guard<std::mutex> G(StatsM);
+          ++Counters.ConnectionsShed;
+        }
+        sendFrame(Fd, MsgType::Busy, "connection limit reached");
+        ::close(Fd);
+        continue;
+      }
+    }
 
     Connection *Conn;
     {
@@ -251,12 +332,34 @@ static void setRecvTimeout(int Fd, uint64_t Millis) {
 
 void Daemon::handleConnection(Connection &Conn) {
   int Fd = Conn.Fd;
-  setRecvTimeout(Fd, Opts.RecvTimeoutMillis);
+  // One socket timeout serves both guards: the idle timeout (between
+  // frames) when configured, else the per-frame receive timeout. The
+  // frame reader classifies which one fired — a timeout before the first
+  // header byte is an idle peer, one inside a frame is a torn peer.
+  uint64_t Timeout = Opts.RecvTimeoutMillis;
+  if (Opts.IdleTimeoutMillis &&
+      (Timeout == 0 || Opts.IdleTimeoutMillis < Timeout))
+    Timeout = Opts.IdleTimeoutMillis;
+  setRecvTimeout(Fd, Timeout);
   for (;;) {
     Frame F;
     FrameStatus S = readFrame(Fd, F, Opts.MaxFrameBytes);
-    if (S == FrameStatus::Eof)
-      return; // Clean goodbye on a frame boundary.
+    if (S == FrameStatus::Eof) {
+      // Clean goodbye on a frame boundary. During a drain the goodbye is
+      // ours to say: the read side was shut down under the client, who
+      // still deserves a clean close frame before the socket dies.
+      if (draining())
+        sendFrame(Fd, MsgType::Bye, "draining");
+      return;
+    }
+    if (S == FrameStatus::IdleTimeout && Opts.IdleTimeoutMillis) {
+      {
+        std::lock_guard<std::mutex> G(StatsM);
+        ++Counters.IdleDisconnects;
+      }
+      sendFrame(Fd, MsgType::Bye, "idle timeout");
+      return;
+    }
     if (S != FrameStatus::Ok) {
       // The stream is out of sync (or the peer died mid-frame): report
       // what we saw — best-effort; the peer may already be gone — and
@@ -317,6 +420,29 @@ bool Daemon::handleSubmit(Connection &Conn, const std::string &Payload) {
                   stopCauseName(Conn.Client.cause()));
     return false;
   }
+  if (draining()) {
+    // Drain admits nothing new; jobs already in flight finish. The Bye
+    // tells the client to reconnect (to the restarted daemon) or fall
+    // back to local verification — not to retry here.
+    sendFrame(Conn.Fd, MsgType::Bye, "draining");
+    return false;
+  }
+  // Bounded admission: an atomic reserve-then-check, so concurrent
+  // submits cannot all squeeze past the bound. A shed submit costs the
+  // client one Busy round-trip, not a blind wait behind an unbounded
+  // queue — and the connection survives to retry.
+  uint64_t Reserved = ActiveJobs.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (Opts.MaxActiveJobs && Reserved > Opts.MaxActiveJobs) {
+    ActiveJobs.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> G(StatsM);
+      ++Counters.JobsShed;
+    }
+    return sendFrame(Conn.Fd, MsgType::Busy,
+                     "server at capacity: " +
+                         std::to_string(Opts.MaxActiveJobs) +
+                         " jobs in flight");
+  }
 
   // Budgets clamp: the client's request can only tighten the server's
   // per-job caps, never exceed them. Zero means "server default".
@@ -365,6 +491,14 @@ bool Daemon::handleSubmit(Connection &Conn, const std::string &Payload) {
     std::unique_lock<std::mutex> L(DoneM);
     DoneCv.wait(L, [&] { return Done; });
   }
+  ActiveJobs.fetch_sub(1, std::memory_order_acq_rel);
+
+  // Every definitive verdict is journaled as it completes (idempotent,
+  // flushed per line): a graceful drain therefore leaves a journal that
+  // names exactly the in-flight work that finished, and a warm restart
+  // (or a local --batch --journal run) resumes from it.
+  if (Result.Status == JobStatus::Ok || Result.Status == JobStatus::Failed)
+    journalVerdict(jobKey(Req.Job, Req.CheckTheorem1), Result.Ok);
 
   // Fair-share accounting: bill the client for everything its job made
   // the server allocate (all attempts plus store I/O). Crossing the
@@ -410,4 +544,28 @@ bool Daemon::handleSubmit(Connection &Conn, const std::string &Payload) {
   if (!sendFrame(Conn.Fd, MsgType::Verdict, encodeVerdict(Result)))
     return false;
   return true;
+}
+
+void Daemon::journalVerdict(const batch::JobKey &Key, bool Ok) {
+  if (Opts.JournalPath.empty())
+    return;
+  std::lock_guard<std::mutex> G(JournalM);
+  for (const batch::JobKey &K : Journaled)
+    if (K == Key)
+      return;
+  // Batch-journal line format ("ok <primary><verify>\n", 32 hex digits):
+  // the same file resumes either a restarted daemon's clients or a local
+  // `qcc --batch --journal` run.
+  std::ofstream Out(Opts.JournalPath, std::ios::app);
+  if (!Out)
+    return;
+  char Line[48];
+  std::snprintf(Line, sizeof Line, " %016llx%016llx\n",
+                static_cast<unsigned long long>(Key.Primary),
+                static_cast<unsigned long long>(Key.Verify));
+  Out << (Ok ? "ok" : "failed") << Line;
+  Out.flush();
+  Journaled.push_back(Key);
+  std::lock_guard<std::mutex> SG(StatsM);
+  ++Counters.JobsJournaled;
 }

@@ -83,6 +83,26 @@ struct DaemonOptions {
   /// Receive timeout per frame read in milliseconds (0 = none): an idle
   /// or wedged client cannot pin its connection thread forever.
   uint64_t RecvTimeoutMillis = 0;
+  /// Idle timeout in milliseconds (0 = none): a connection that sends no
+  /// frame for this long gets a clean Bye and is closed. Distinct from
+  /// RecvTimeoutMillis, which guards *mid-frame* stalls (a torn peer);
+  /// idling between frames is legal behaviour that merely holds a
+  /// connection slot.
+  uint64_t IdleTimeoutMillis = 0;
+  /// Bounded admission: at most this many Submit jobs in flight across
+  /// all connections (0 = unlimited). A submit over the bound is shed
+  /// with an explicit Busy reply — the connection survives and the
+  /// client retries with backoff — instead of queueing unboundedly on
+  /// the pool while its client waits blind.
+  uint64_t MaxActiveJobs = 0;
+  /// Bounded connection count (0 = unlimited): an accept over the bound
+  /// is answered with Busy and closed immediately.
+  uint64_t MaxConnections = 0;
+  /// Append each definitive verdict served (batch-journal line format)
+  /// to this file, flushed per line. Under a graceful drain the journal
+  /// therefore captures every in-flight job as it completes; a warm
+  /// restart — or a local `qcc --batch --journal` run — resumes from it.
+  std::string JournalPath;
   /// Persistent store directory (empty = no store: cache only).
   std::string StoreDir;
   /// Store LRU budget in bytes (0 = unlimited).
@@ -104,6 +124,11 @@ struct DaemonStats {
   uint64_t JobsServed = 0;      ///< Verdict frames sent.
   uint64_t ProtocolErrors = 0;  ///< Malformed frames answered with Error.
   uint64_t BudgetCancels = 0;   ///< Connections cancelled for fair-share.
+  uint64_t JobsShed = 0;        ///< Submits refused with Busy (admission).
+  uint64_t ConnectionsShed = 0; ///< Accepts refused with Busy (capacity).
+  uint64_t AcceptRetries = 0;   ///< Transient accept() failures survived.
+  uint64_t IdleDisconnects = 0; ///< Connections closed by idle timeout.
+  uint64_t JobsJournaled = 0;   ///< Verdict lines appended to the journal.
   // Incremental-engine roll-ups across every connection (zero when the
   // engine is disabled); the same counters accumulate per connection.
   uint64_t FuncsReused = 0;     ///< Checked bounds served from key hits.
@@ -140,6 +165,18 @@ public:
   /// (socket shutdown + thread joins) when it wakes.
   void requestShutdown();
 
+  /// Graceful drain (SIGTERM): stop accepting, let every in-flight job
+  /// run to its verdict (journaled when a JournalPath is set), send each
+  /// client a clean Bye frame, then return from serve(). Unlike
+  /// requestShutdown, the root supervisor is *not* cancelled — committed
+  /// work finishes. Async-signal-safe.
+  void requestDrain();
+
+  /// True once requestDrain (or requestShutdown) was called.
+  bool draining() const {
+    return Draining.load(std::memory_order_acquire);
+  }
+
   DaemonStats stats() const;
 
   /// The root supervision token (tests parent probes to it).
@@ -152,6 +189,9 @@ private:
   /// Shuts down every live connection socket and joins exited threads;
   /// with \p JoinAll, joins every thread (the serve()-exit drain).
   void reapConnections(bool JoinAll);
+  /// Appends one definitive verdict to the journal (no-op without a
+  /// JournalPath). Batch-journal line format, flushed per line.
+  void journalVerdict(const batch::JobKey &Key, bool Ok);
 
   DaemonOptions Opts;
   std::string Error;
@@ -159,6 +199,10 @@ private:
   int WakePipe[2] = {-1, -1}; ///< Self-pipe: shutdown interrupts poll().
   Supervisor Root;
   std::atomic<bool> ShutdownRequested{false};
+  std::atomic<bool> Draining{false};
+  /// Jobs admitted and not yet completed, across all connections: the
+  /// admission bound (MaxActiveJobs) checks against this.
+  std::atomic<uint64_t> ActiveJobs{0};
 
   // Warm state shared by every connection.
   batch::ResultCache Cache;
@@ -172,6 +216,11 @@ private:
 
   mutable std::mutex ConnM;
   std::vector<std::unique_ptr<Connection>> Connections;
+
+  mutable std::mutex JournalM;
+  /// Keys already journaled (idempotence: a verdict served twice — warm
+  /// hits — appends once).
+  std::vector<batch::JobKey> Journaled;
 };
 
 } // namespace daemon

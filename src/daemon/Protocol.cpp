@@ -8,9 +8,11 @@
 #include "daemon/Protocol.h"
 
 #include "store/Store.h"
+#include "support/FailPoint.h"
 #include "support/Hash.h"
 #include "support/Io.h"
 
+#include <cerrno>
 #include <cstring>
 
 using namespace qcc;
@@ -34,6 +36,8 @@ const char *qcc::daemon::frameStatusName(FrameStatus S) {
     return "bad-checksum";
   case FrameStatus::IoError:
     return "io-error";
+  case FrameStatus::IdleTimeout:
+    return "idle-timeout";
   }
   return "?";
 }
@@ -56,13 +60,25 @@ std::string qcc::daemon::encodeFrame(MsgType Type, const std::string &Payload) {
 }
 
 FrameStatus qcc::daemon::readFrame(int Fd, Frame &Out, uint64_t MaxPayload) {
+  // "daemon.read": injected faults surface exactly like a failing or
+  // torn peer — IoError for Err, Truncated for Short.
+  if (auto FA = failpoint::fire("daemon.read"))
+    return FA.K == failpoint::Kind::Err ? FrameStatus::IoError
+                                        : FrameStatus::Truncated;
+  // The first byte is read by itself so a receive timeout *between*
+  // frames (an idle peer) is distinguishable from one *inside* a frame
+  // (a wedged or torn peer): idle earns a clean Bye, torn a disconnect.
   char Header[FrameHeaderSize];
-  long Got = io::readFull(Fd, Header, sizeof(Header));
+  long Got = io::readFull(Fd, Header, 1);
   if (Got < 0)
-    return FrameStatus::IoError;
+    return errno == EAGAIN || errno == EWOULDBLOCK ? FrameStatus::IdleTimeout
+                                                   : FrameStatus::IoError;
   if (Got == 0)
     return FrameStatus::Eof;
-  if (static_cast<size_t>(Got) != sizeof(Header))
+  Got = io::readFull(Fd, Header + 1, sizeof(Header) - 1);
+  if (Got < 0)
+    return FrameStatus::IoError;
+  if (static_cast<size_t>(Got) != sizeof(Header) - 1)
     return FrameStatus::Truncated;
 
   // Validation order mirrors the store's entry loader: identity first
@@ -106,7 +122,13 @@ FrameStatus qcc::daemon::readFrame(int Fd, Frame &Out, uint64_t MaxPayload) {
 
 bool qcc::daemon::sendFrame(int Fd, MsgType Type, const std::string &Payload) {
   std::string Wire = encodeFrame(Type, Payload);
-  return io::sendFull(Fd, Wire.data(), Wire.size());
+  // "daemon.write": Short really puts half a frame on the wire — the
+  // peer sees a truncated stream, exactly what a crash mid-send leaves.
+  auto FA = failpoint::fire("daemon.write");
+  if (FA.K == failpoint::Kind::Err)
+    return false;
+  size_t Len = FA.K == failpoint::Kind::Short ? Wire.size() / 2 : Wire.size();
+  return io::sendFull(Fd, Wire.data(), Len) && Len == Wire.size();
 }
 
 //===----------------------------------------------------------------------===//

@@ -66,6 +66,11 @@ enum class MsgType : uint32_t {
   Ping = 5,     ///< C -> S: liveness probe (empty payload).
   Pong = 6,     ///< S -> C: Ping reply (empty payload).
   Shutdown = 7, ///< C -> S: drain and exit (empty payload).
+  Busy = 8,     ///< S -> C: submit shed under overload (string reason).
+                ///< The connection stays open; retry with backoff.
+  Bye = 9,      ///< S -> C: clean close (string reason: drain, idle
+                ///< timeout). Nothing further will be served here;
+                ///< reconnect — possibly after the daemon restarts.
 };
 
 /// Why reading a frame off a descriptor stopped.
@@ -77,7 +82,9 @@ enum class FrameStatus : uint8_t {
   BadVersion,  ///< Version skew; no compatibility negotiation at v1.
   Oversize,    ///< Declared payload exceeds the configured ceiling.
   BadChecksum, ///< Payload bytes do not match the declared FNV-1a.
-  IoError,     ///< read() failed (including a receive timeout).
+  IoError,     ///< read() failed (including a mid-frame receive timeout).
+  IdleTimeout, ///< Receive timeout before the frame's first byte: the
+               ///< peer is idle, not torn — a clean Bye is appropriate.
 };
 
 /// Display name of \p S ("ok", "eof", "bad-magic", ...).

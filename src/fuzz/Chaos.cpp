@@ -1,0 +1,347 @@
+//===- fuzz/Chaos.cpp - Crash-recovery chaos harness ----------------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Chaos.h"
+
+#include "batch/Batch.h"
+#include "store/Store.h"
+#include "support/FailPoint.h"
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace qcc;
+using namespace qcc::fuzz;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// One scenario family: the failpoint spec the child writer arms, and
+/// whether the parent fells it with a timed SIGKILL instead of (or on
+/// top of) a crash action.
+struct Shape {
+  const char *Name;
+  const char *Spec; ///< QCC_FAILPOINTS grammar; "" = no failpoints.
+  bool Kill;        ///< Parent SIGKILLs the child at a seeded moment.
+};
+
+/// The scenario matrix. Crash shapes target each commit boundary of the
+/// store's temp+fsync+rename protocol at varying hit counts (so with
+/// three puts per child, the crash lands before, between, and after
+/// commits — and sometimes not at all, which is a valid fault-free
+/// run). Error/short shapes must be absorbed: the put fails, the child
+/// exits cleanly. Kill shapes race a raw SIGKILL against a writer loop,
+/// with delay failpoints widening the windows at each boundary.
+/// Deliberately absent: "io.read"/"store.read" faults, which would make
+/// the child's own recovery scan quarantine healthy entries and break
+/// the warm-store invariant the parent asserts.
+const Shape Shapes[] = {
+    {"crash-write-1", "store.write=crash@1", false},
+    {"crash-write-2", "store.write=crash@2", false},
+    {"crash-write-3", "store.write=crash@3", false},
+    {"crash-write-4", "store.write=crash@4", false},
+    {"crash-fsync-1", "store.fsync=crash@1", false},
+    {"crash-fsync-2", "store.fsync=crash@2", false},
+    {"crash-fsync-3", "store.fsync=crash@3", false},
+    {"crash-rename-1", "store.rename=crash@1", false},
+    {"crash-rename-2", "store.rename=crash@2", false},
+    {"crash-rename-3", "store.rename=crash@3", false},
+    {"crash-iowrite-2", "io.write=crash@2", false},
+    {"crash-iofsync-1", "io.fsync=crash@1", false},
+    {"crash-prob", "store.write=crash@p0.4", false},
+    {"err-write-1", "store.write=err@1", false},
+    {"err-write-enospc", "store.write=err:enospc@2", false},
+    {"short-write-1", "store.write=short@1", false},
+    {"short-write-2", "store.write=short@2", false},
+    {"err-fsync-1", "store.fsync=err@1", false},
+    {"err-rename-2", "store.rename=err@2", false},
+    {"err-iowrite", "io.write=err:eio@1", false},
+    {"short-iowrite", "io.write=short@3", false},
+    {"err-iofsync", "io.fsync=err@2", false},
+    {"short-prob", "store.write=short@p0.5", false},
+    {"err-prob", "store.fsync=err@p0.3", false},
+    {"kill-plain", "", true},
+    {"kill-slow-fsync", "store.fsync=delay:3", true},
+    {"kill-slow-write", "store.write=delay:2@p0.7", true},
+    {"kill-slow-rename", "store.rename=delay:2", true},
+    {"kill-slow-flock", "store.flock=delay:2", true},
+};
+constexpr size_t NumShapes = sizeof(Shapes) / sizeof(Shapes[0]);
+
+uint64_t splitmix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+/// Three tiny programs that verify definitively: the material every
+/// scenario's store traffics in. Small keeps 200+ scenarios fast; three
+/// keeps hit-count triggers meaningful (the crash can land before,
+/// between, or after the child's puts).
+constexpr size_t NumJobs = 3;
+
+const char *chaosSource(size_t I) {
+  static const char *Srcs[NumJobs] = {
+      "int main() { return 0; }\n",
+
+      "unsigned int f(unsigned int n) { return n + 7u; }\n"
+      "int main() { return (int)(f(5u) & 0xffu); }\n",
+
+      "unsigned int g[4];\n"
+      "unsigned int fill(unsigned int s) {\n"
+      "  unsigned int i;\n"
+      "  for (i = 0u; i < 4u; i++) g[i] = s + i;\n"
+      "  return g[3];\n"
+      "}\n"
+      "int main() { return (int)(fill(2u) & 0x7fu); }\n",
+  };
+  return Srcs[I];
+}
+
+/// The fault-free reference material: jobs, keys, results, and the
+/// byte-exact entry image each key must serve (or miss) forever.
+struct Reference {
+  batch::BatchJob Jobs[NumJobs];
+  batch::JobKey Keys[NumJobs];
+  batch::ProgramResult Results[NumJobs];
+  std::string Images[NumJobs];
+  bool Ok = true;
+};
+
+Reference buildReference() {
+  Reference Ref;
+  batch::BatchOptions BO;
+  for (size_t I = 0; I != NumJobs; ++I) {
+    Ref.Jobs[I].Id = "chaos-" + std::to_string(I);
+    Ref.Jobs[I].Source = chaosSource(I);
+    Ref.Keys[I] = batch::jobKey(Ref.Jobs[I], BO.CheckTheorem1);
+    Ref.Results[I] =
+        batch::runSupervisedJob(Ref.Jobs[I], BO, /*Dog=*/nullptr);
+    if (Ref.Results[I].Status != batch::JobStatus::Ok &&
+        Ref.Results[I].Status != batch::JobStatus::Failed)
+      Ref.Ok = false; // Only definitive verdicts are storable.
+    Ref.Images[I] =
+        store::VerificationStore::encodeEntry(Ref.Keys[I], Ref.Results[I]);
+  }
+  return Ref;
+}
+
+/// The child writer: arm the scenario's failpoints (per-process, so the
+/// parent stays unarmed), open the store, and put every key — once for
+/// crash/fault shapes, forever for kill shapes (the parent ends those).
+/// Exits only through _exit: a forked gtest/fuzz child must not run
+/// atexit handlers or flush shared stdio buffers.
+[[noreturn]] void childWriter(const Shape &S, uint64_t Seed,
+                              const store::StoreOptions &SO,
+                              const Reference &Ref) {
+  if (S.Spec[0]) {
+    std::string Error;
+    if (!failpoint::Registry::instance().configure(S.Spec, Seed, &Error))
+      ::_exit(3);
+  }
+  auto St = store::VerificationStore::open(SO);
+  if (!St)
+    ::_exit(4);
+  size_t Start = static_cast<size_t>(Seed % NumJobs);
+  do {
+    for (size_t I = 0; I != NumJobs; ++I) {
+      size_t K = (Start + I) % NumJobs;
+      St->put(Ref.Keys[K], Ref.Results[K], nullptr);
+    }
+  } while (S.Kill);
+  ::_exit(0);
+}
+
+/// Temp-file litter under \p Dir (what a crashed writer leaves behind;
+/// reopening must sweep it).
+uint64_t countTmpFiles(const std::string &Dir) {
+  uint64_t N = 0;
+  std::error_code EC;
+  for (fs::directory_iterator It(Dir, EC), End; !EC && It != End;
+       It.increment(EC))
+    if (It->path().filename().string().rfind(".tmp-", 0) == 0)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+std::string ChaosReport::str() const {
+  std::string S;
+  if (Interrupted)
+    S += "chaos: INTERRUPTED - partial campaign report\n";
+  S += "chaos: " + std::to_string(Ran) + " scenarios (" +
+       std::to_string(CrashedChildren) + " crashed, " +
+       std::to_string(KilledChildren) + " killed, " +
+       std::to_string(SurvivedChildren) + " absorbed), " +
+       std::to_string(TornTmps) + " torn temp files swept, " +
+       std::to_string(Quarantined) + " entries quarantined\n";
+  if (ok()) {
+    S += "chaos: no invariant violations\n";
+  } else {
+    S += "chaos: " + std::to_string(Violations.size()) + " VIOLATION" +
+         (Violations.size() == 1 ? "" : "S") + ":\n";
+    for (const std::string &V : Violations)
+      S += "  " + V + "\n";
+  }
+  return S;
+}
+
+ChaosReport qcc::fuzz::runStoreChaos(const ChaosOptions &Options) {
+  ChaosReport Report;
+  auto Stopped = [&Options] {
+    return Options.Interrupt && Options.Interrupt->stopRequested();
+  };
+
+  if (Options.ScratchDir.empty()) {
+    Report.Violations.push_back("chaos harness: ScratchDir is required");
+    return Report;
+  }
+  std::error_code EC;
+  fs::create_directories(Options.ScratchDir, EC);
+  if (EC) {
+    Report.Violations.push_back("chaos harness: cannot create scratch dir " +
+                                Options.ScratchDir + ": " + EC.message());
+    return Report;
+  }
+
+  Reference Ref = buildReference();
+  if (!Ref.Ok) {
+    Report.Violations.push_back(
+        "chaos harness: reference jobs did not verify definitively");
+    return Report;
+  }
+
+  for (uint64_t N = 0; N != Options.Scenarios; ++N) {
+    if (Stopped()) {
+      Report.Interrupted = true;
+      break;
+    }
+    uint64_t Seed = Options.Seed * 0x9e3779b97f4a7c15ull + N;
+    uint64_t Rng = Seed;
+    const Shape &S = Shapes[N % NumShapes];
+    // Even scenarios crash into a pre-populated (warm) store, where the
+    // invariant is strictly stronger: atomic rename means a dying
+    // writer can never damage the committed entry it was replacing, so
+    // every key must still *hit*, bit-identically.
+    bool Warm = (N % 2) == 0;
+    std::string Tag = std::string(S.Name) + (Warm ? "/warm" : "/cold") +
+                      " seed " + std::to_string(Seed);
+
+    fs::path Dir = fs::path(Options.ScratchDir) / ("s" + std::to_string(N));
+    fs::remove_all(Dir, EC);
+    store::StoreOptions SO;
+    SO.Dir = Dir.string();
+
+    if (Warm) {
+      auto St = store::VerificationStore::open(SO);
+      if (!St) {
+        Report.Violations.push_back(Tag + ": cannot pre-populate store");
+        continue;
+      }
+      for (size_t I = 0; I != NumJobs; ++I)
+        St->put(Ref.Keys[I], Ref.Results[I], nullptr);
+    }
+
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      Report.Violations.push_back(Tag + ": fork failed");
+      break;
+    }
+    if (Pid == 0)
+      childWriter(S, Seed, SO, Ref); // _exits; never returns.
+
+    if (S.Kill) {
+      // A seeded 0..7ms fuse: early kills land mid-open, late ones land
+      // mid-put — and the delay failpoints stretch each boundary.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(splitmix64(Rng) % 8));
+      ::kill(Pid, SIGKILL);
+    }
+    int Status = 0;
+    if (::waitpid(Pid, &Status, 0) != Pid) {
+      Report.Violations.push_back(Tag + ": waitpid failed");
+      continue;
+    }
+    if (WIFSIGNALED(Status) && WTERMSIG(Status) == SIGKILL && S.Kill) {
+      ++Report.KilledChildren;
+    } else if (WIFEXITED(Status) &&
+               WEXITSTATUS(Status) == failpoint::CrashExitCode) {
+      ++Report.CrashedChildren;
+    } else if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
+      ++Report.SurvivedChildren;
+    } else {
+      // A real crash (SIGSEGV/SIGABRT), or the child could not even set
+      // up: either way the no-crash contract is broken.
+      Report.Violations.push_back(
+          Tag + ": writer died unexpectedly (" +
+          (WIFSIGNALED(Status)
+               ? "signal " + std::to_string(WTERMSIG(Status))
+               : "exit " + std::to_string(WEXITSTATUS(Status))) +
+          ")");
+      continue;
+    }
+
+    // Recovery. Count the litter first: reopening must sweep it.
+    Report.TornTmps += countTmpFiles(SO.Dir);
+    std::string Error;
+    auto St = store::VerificationStore::open(SO, &Error);
+    if (!St) {
+      Report.Violations.push_back(Tag + ": reopen failed: " + Error);
+      continue;
+    }
+    Report.Quarantined += St->stats().Quarantined;
+    if (countTmpFiles(SO.Dir) != 0)
+      Report.Violations.push_back(Tag + ": temp litter survived reopen");
+
+    // No torn reads, ever: each key misses or serves the reference
+    // image bit for bit. A warm store must not even miss.
+    for (size_t I = 0; I != NumJobs; ++I) {
+      auto R = St->fetch(Ref.Keys[I], Ref.Jobs[I], nullptr);
+      if (!R) {
+        if (Warm)
+          Report.Violations.push_back(
+              Tag + ": committed entry " + std::to_string(I) +
+              " lost (warm store must stay warm)");
+        continue;
+      }
+      if (store::VerificationStore::encodeEntry(Ref.Keys[I], *R) !=
+          Ref.Images[I])
+        Report.Violations.push_back(Tag + ": CORRUPTION ESCAPE - entry " +
+                                    std::to_string(I) +
+                                    " re-encodes differently");
+    }
+
+    // And the store is still fully functional: a clean put/fetch round
+    // of every key serves bit-identical images.
+    for (size_t I = 0; I != NumJobs; ++I)
+      St->put(Ref.Keys[I], Ref.Results[I], nullptr);
+    for (size_t I = 0; I != NumJobs; ++I) {
+      auto R = St->fetch(Ref.Keys[I], Ref.Jobs[I], nullptr);
+      if (!R || store::VerificationStore::encodeEntry(Ref.Keys[I], *R) !=
+                    Ref.Images[I]) {
+        Report.Violations.push_back(
+            Tag + ": store wedged after recovery (entry " +
+            std::to_string(I) + ")");
+        break;
+      }
+    }
+
+    ++Report.Ran;
+    if (Report.Violations.empty())
+      fs::remove_all(Dir, EC); // Keep failing scenarios for inspection.
+  }
+  Report.Interrupted = Report.Interrupted || Stopped();
+  return Report;
+}

@@ -1,0 +1,86 @@
+//===- fuzz/Chaos.h - Crash-recovery chaos harness --------------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crash-recovery chaos harness: seeded fork-based scenarios that
+/// kill store writers mid-operation — with failpoint crashes at each
+/// commit boundary (support/FailPoint.h) and with raw SIGKILL at seeded
+/// moments — then reopen the store and assert the recovery invariants:
+///
+///   * reopening never fails and never crashes: damage is quarantined
+///     (or swept, for temp-file litter), counted, and reported as misses;
+///   * no committed entry is ever torn: every fetch either misses or
+///     re-encodes bit-identical to the fault-free reference image;
+///   * a store that was warm before the crash stays warm: atomic
+///     rename means a dying writer cannot damage the entry it was
+///     replacing;
+///   * the store remains fully writable afterwards: a clean put/fetch
+///     round of every key must serve bit-identical images.
+///
+/// Each scenario runs in a forked child (the failpoint registry is
+/// per-process, so the parent harness stays unarmed), which makes the
+/// harness safe to embed in `qcc --fuzz` (campaign 4) and in the
+/// `chaos`-labeled ctest slice. Scenarios are pure functions of
+/// (Seed, index): every violation line names the shape and seed that
+/// replay it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_FUZZ_CHAOS_H
+#define QCC_FUZZ_CHAOS_H
+
+#include "support/Supervision.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace fuzz {
+
+/// Configuration of one chaos campaign.
+struct ChaosOptions {
+  uint64_t Seed = 1;
+  /// Seeded crash/fault scenarios to run (the acceptance floor is 200).
+  uint64_t Scenarios = 200;
+  /// Directory the per-scenario stores live beneath (required; created
+  /// when missing, scenario subdirectories are removed as they pass).
+  std::string ScratchDir;
+  /// Campaign-wide cancel token; a cancelled campaign stops between
+  /// scenarios and marks the report Interrupted.
+  Supervisor *Interrupt = nullptr;
+};
+
+/// Everything one chaos campaign observed.
+struct ChaosReport {
+  uint64_t Ran = 0;             ///< Scenarios executed to completion.
+  uint64_t CrashedChildren = 0; ///< Writers felled by a crash failpoint.
+  uint64_t KilledChildren = 0;  ///< Writers felled by a timed SIGKILL.
+  uint64_t SurvivedChildren = 0; ///< Writers that absorbed their faults.
+  uint64_t TornTmps = 0;   ///< Temp-file litter found before recovery.
+  uint64_t Quarantined = 0; ///< Damaged entries quarantined on reopen.
+  /// Invariant violations, each naming the scenario shape and seed that
+  /// replay it. Empty is the whole point.
+  std::vector<std::string> Violations;
+  bool Interrupted = false;
+
+  bool ok() const { return Violations.empty(); }
+
+  /// Human-readable summary.
+  std::string str() const;
+};
+
+/// Runs the store-writer chaos campaign. Deterministic in \p Options
+/// modulo scheduling (SIGKILL timing races are the point; the recovery
+/// invariants hold for every interleaving). Must be called from a
+/// moment when the process has no other live threads (it forks).
+ChaosReport runStoreChaos(const ChaosOptions &Options);
+
+} // namespace fuzz
+} // namespace qcc
+
+#endif // QCC_FUZZ_CHAOS_H

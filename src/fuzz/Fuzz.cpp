@@ -9,9 +9,14 @@
 
 #include "batch/Batch.h"
 #include "driver/Compiler.h"
+#include "fuzz/Chaos.h"
 #include "fuzz/FaultInject.h"
 #include "fuzz/Generator.h"
 #include "fuzz/Mutator.h"
+
+#include <filesystem>
+
+#include <unistd.h>
 
 using namespace qcc;
 using namespace qcc::fuzz;
@@ -75,6 +80,10 @@ std::string FuzzReport::str() const {
                   std::to_string(MutantsTried) + " mutants rejected, " +
                   std::to_string(FaultsRejected) + "/" +
                   std::to_string(FaultsTried) + " faults rejected\n";
+  if (ChaosRan)
+    S += "fuzz: " + std::to_string(ChaosRan) + " chaos scenarios (" +
+         std::to_string(ChaosCrashes) + " writers crashed/killed, " +
+         std::to_string(ChaosQuarantined) + " entries quarantined)\n";
   if (ok()) {
     S += "fuzz: no invariant violations\n";
   } else {
@@ -168,6 +177,35 @@ FuzzReport qcc::fuzz::runFuzz(const FuzzOptions &Options) {
         ++Report.FaultsRejected;
       else
         Report.Violations.push_back(V);
+    }
+  }
+
+  // Campaign 4: crash-recovery chaos against the persistent store. Runs
+  // last, when the batch pool's threads have all joined — the harness
+  // forks. The scratch directory is per-process so parallel harnesses
+  // (ctest -j) never share scenario stores.
+  if (Options.FailPointRuns && !Stopped()) {
+    ChaosOptions CO;
+    CO.Seed = Options.Seed;
+    CO.Scenarios = Options.FailPointRuns;
+    CO.Interrupt = Options.Interrupt;
+    CO.ScratchDir =
+        !Options.ChaosDir.empty()
+            ? Options.ChaosDir
+            : (std::filesystem::temp_directory_path() /
+               ("qcc-fuzz-chaos-" + std::to_string(::getpid())))
+                  .string();
+    ChaosReport CR = runStoreChaos(CO);
+    Report.ChaosRan = CR.Ran;
+    Report.ChaosCrashes = CR.CrashedChildren + CR.KilledChildren;
+    Report.ChaosQuarantined = CR.Quarantined;
+    for (const std::string &V : CR.Violations)
+      Report.Violations.push_back("chaos " + V);
+    if (Options.ChaosDir.empty() && CR.ok()) {
+      // Clean runs leave nothing behind; failing scenarios keep their
+      // store directories for inspection (the report names the seeds).
+      std::error_code EC;
+      std::filesystem::remove_all(CO.ScratchDir, EC);
     }
   }
 

@@ -50,6 +50,16 @@ struct FuzzOptions {
   /// Every fourth generated source is adversarial (cycling through the
   /// AdversarialKind families) instead of grammar-random.
   bool Adversarial = true;
+  /// Campaign 4: seeded crash-recovery chaos scenarios against the
+  /// persistent store (fuzz/Chaos.h) — forked writers felled by
+  /// failpoint crashes and timed SIGKILLs, with recovery asserted
+  /// bit-identical to the fault-free run. 0 skips the campaign (the
+  /// CLI runs 200). Forks: only safe when the caller has no other live
+  /// threads at campaign time (the earlier campaigns join theirs).
+  uint64_t FailPointRuns = 0;
+  /// Scratch directory for campaign 4's per-scenario stores; empty
+  /// derives one under the system temp directory.
+  std::string ChaosDir;
   /// Campaign-wide cancel token (the CLI's SIGINT handler cancels it).
   /// A cancelled harness stops between campaigns and jobs, marks the
   /// report Interrupted, and still returns everything observed so far.
@@ -65,6 +75,9 @@ struct FuzzReport {
   unsigned MutantsRejected = 0;
   unsigned FaultsTried = 0;
   unsigned FaultsRejected = 0;
+  uint64_t ChaosRan = 0;     ///< Campaign 4 scenarios executed.
+  uint64_t ChaosCrashes = 0; ///< Writers crashed or killed mid-commit.
+  uint64_t ChaosQuarantined = 0; ///< Damage quarantined on recovery.
   /// Invariant violations, each with its seed for replay. Crashes do not
   /// appear here — a crash kills the process, which is the point.
   std::vector<std::string> Violations;

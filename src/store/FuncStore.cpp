@@ -8,6 +8,7 @@
 #include "store/FuncStore.h"
 
 #include "store/Serialize.h"
+#include "support/FailPoint.h"
 #include "support/Hash.h"
 #include "support/Io.h"
 
@@ -103,7 +104,8 @@ std::string FuncStore::tuPath(uint64_t TuHash) const {
 std::optional<std::string> FuncStore::readChecked(const std::string &Path,
                                                   const char *Magic) {
   std::string Bytes;
-  if (!io::readFile(Path, Bytes))
+  // "funcstore.read": any injected fault degrades to a plain miss.
+  if (failpoint::fire("funcstore.read") || !io::readFile(Path, Bytes))
     return std::nullopt; // plain miss, not corruption
   std::optional<std::string> Payload = decodeFile(Magic, Bytes);
   if (!Payload) {
@@ -124,8 +126,15 @@ bool FuncStore::writeAtomic(const std::string &Path, const std::string &Bytes) {
   bool Written = false;
   int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (Fd >= 0) {
-    Written = io::writeFull(Fd, Bytes.data(), Bytes.size()) &&
-              io::fsyncFull(Fd);
+    // "funcstore.write": same boundary semantics as the TU store's
+    // "store.write" — crash leaves an empty tmp, Short a torn one, Err
+    // a failed (and cleaned-up) put.
+    auto FA = failpoint::fire("funcstore.write");
+    size_t WriteLen =
+        FA.K == failpoint::Kind::Short ? Bytes.size() / 2 : Bytes.size();
+    Written = FA.K != failpoint::Kind::Err &&
+              io::writeFull(Fd, Bytes.data(), WriteLen) &&
+              WriteLen == Bytes.size() && io::fsyncFull(Fd);
     ::close(Fd);
   }
   std::error_code EC;

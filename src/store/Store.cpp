@@ -9,6 +9,7 @@
 
 #include "driver/Compiler.h"
 #include "logic/Checker.h"
+#include "support/FailPoint.h"
 #include "support/Hash.h"
 #include "support/Io.h"
 
@@ -194,6 +195,29 @@ std::string VerificationStore::entryName(const batch::JobKey &Key) {
   return Buf;
 }
 
+bool VerificationStore::isTruncatedEntry(const std::string &Bytes) {
+  // Anything shorter than a header is truncation by definition: a crash
+  // between open and the first full write, or a torn copy.
+  if (Bytes.size() < HeaderSize)
+    return true;
+  // With a whole header present, classify as truncation only when the
+  // header itself is plausible (magic + version) but promises more
+  // payload than the file holds. Bad magic/version is corruption, not
+  // truncation — a different failure shape, counted separately.
+  ByteReader H(Bytes.data(), HeaderSize);
+  for (char C : Magic) {
+    uint8_t B;
+    if (!H.u8(B) || B != static_cast<uint8_t>(C))
+      return false;
+  }
+  uint32_t Version, Reserved;
+  uint64_t Checksum, Size;
+  if (!H.u32(Version) || Version != FormatVersion || !H.u32(Reserved) ||
+      !H.u64(Checksum) || !H.u64(Size))
+    return false;
+  return Size > Bytes.size() - HeaderSize;
+}
+
 //===----------------------------------------------------------------------===//
 // Directory plumbing
 //===----------------------------------------------------------------------===//
@@ -206,6 +230,12 @@ namespace {
 class DirLock {
 public:
   DirLock(int Fd, bool Exclusive) : Fd(Fd) {
+    // "store.flock": delay here models lock contention; crash models a
+    // writer dying at (or while holding) the lock — flock releases on
+    // process death, so recovery must need no lock-file surgery. Err and
+    // Short are ignored: skipping the lock would break the protocol the
+    // fault is supposed to *test*.
+    (void)failpoint::fire("store.flock");
     if (Fd >= 0)
       while (::flock(Fd, Exclusive ? LOCK_EX : LOCK_SH) != 0 &&
              errno == EINTR) {
@@ -286,7 +316,8 @@ std::string VerificationStore::entryPath(const batch::JobKey &Key) const {
   return (fs::path(Dir) / entryName(Key)).string();
 }
 
-void VerificationStore::quarantineLocked(const std::string &Path) {
+void VerificationStore::quarantineLocked(const std::string &Path,
+                                         bool Truncated) {
   std::error_code EC;
   fs::path Dest = fs::path(Dir) / "quarantine" / fs::path(Path).filename();
   fs::rename(Path, Dest, EC);
@@ -294,6 +325,8 @@ void VerificationStore::quarantineLocked(const std::string &Path) {
     fs::remove(Path, EC); // a bad entry must not stay servable
   std::lock_guard<std::mutex> G(StatsMutex);
   ++Counters.Quarantined;
+  if (Truncated)
+    ++Counters.Truncated;
 }
 
 void VerificationStore::evictLocked() {
@@ -350,9 +383,12 @@ void VerificationStore::scanAndQuarantine() {
     std::string Bytes;
     batch::JobKey Key;
     batch::ProgramResult R;
+    // Each damaged entry quarantines by itself; the reload as a whole
+    // always succeeds — zero-length files, partial headers, and every
+    // other truncation shape a crash can leave are data, not errors.
     if (!readFile(E.path().string(), Bytes) || !decodeEntry(Bytes, Key, R) ||
         entryName(Key) != E.path().filename().string())
-      quarantineLocked(E.path().string());
+      quarantineLocked(E.path().string(), isTruncatedEntry(Bytes));
   }
 }
 
@@ -435,7 +471,9 @@ VerificationStore::fetch(const batch::JobKey &Key, const batch::BatchJob &Job,
   {
     std::lock_guard<std::mutex> G(IoMutex);
     DirLock L(LockFd, /*Exclusive=*/false);
-    Present = readFile(Path, Bytes);
+    // "store.read": any injected fault degrades the lookup to a miss —
+    // the same contract a real read error gets.
+    Present = !failpoint::fire("store.read") && readFile(Path, Bytes);
   }
   if (!Present) {
     std::lock_guard<std::mutex> G(StatsMutex);
@@ -465,7 +503,7 @@ VerificationStore::fetch(const batch::JobKey &Key, const batch::BatchJob &Job,
   if (!Good) {
     std::lock_guard<std::mutex> G(IoMutex);
     DirLock L(LockFd, /*Exclusive=*/true);
-    quarantineLocked(Path);
+    quarantineLocked(Path, isTruncatedEntry(Bytes));
     std::lock_guard<std::mutex> G2(StatsMutex);
     ++Counters.Misses;
     return nullptr;
@@ -522,18 +560,33 @@ void VerificationStore::put(const batch::JobKey &Key,
   bool Written = false;
   int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (Fd >= 0) {
+    // Failpoints at each commit boundary: "store.write" fires after the
+    // tmp file exists but before any byte lands (crash → empty tmp),
+    // "store.fsync" between write and the durability barrier (crash →
+    // complete but maybe-unsynced tmp), "store.rename" before the
+    // rename (crash → durable tmp that never became visible). Short at
+    // store.write truncates the tmp to half — the torn-write shape.
+    auto FA = failpoint::fire("store.write");
+    size_t WriteLen =
+        FA.K == failpoint::Kind::Short ? Bytes.size() / 2 : Bytes.size();
     // Full-transfer write and EINTR-proof fsync (support/Io.h): a signal
     // during the put cannot leave a truncated temp file behind. fsync
     // before rename: the entry must be durable before it becomes
     // visible, or a crash could commit a torn file under a valid name.
-    Written = io::writeFull(Fd, Bytes.data(), Bytes.size()) &&
-              io::fsyncFull(Fd);
+    Written = FA.K != failpoint::Kind::Err &&
+              io::writeFull(Fd, Bytes.data(), WriteLen) &&
+              WriteLen == Bytes.size() &&
+              !failpoint::fire("store.fsync") && io::fsyncFull(Fd);
     ::close(Fd);
   }
   std::error_code EC;
   if (Written) {
-    fs::rename(Tmp, entryPath(Key), EC);
-    Written = !EC;
+    if (failpoint::fire("store.rename")) {
+      Written = false;
+    } else {
+      fs::rename(Tmp, entryPath(Key), EC);
+      Written = !EC;
+    }
   }
   if (!Written) {
     fs::remove(Tmp, EC);

@@ -76,6 +76,11 @@ struct StoreStats {
   uint64_t EvictedBytes = 0;
   /// Corrupt entries moved to quarantine/ (open-scan or lookup).
   uint64_t Quarantined = 0;
+  /// The subset of quarantines whose shape is truncation — zero-length
+  /// files, partial headers, or payloads shorter than the header's
+  /// declared size: what a crash between open and write, or a torn
+  /// copy, leaves behind. Counted on top of Quarantined.
+  uint64_t Truncated = 0;
   /// Entries whose proofs re-checked clean under VerifyProofsOnLoad.
   uint64_t VerifiedProofs = 0;
   /// Entries rejected because their loaded proofs failed re-checking.
@@ -160,12 +165,18 @@ public:
   /// The entry file name for \p Key: "<primary>-<verify>.qcs" in hex.
   static std::string entryName(const batch::JobKey &Key);
 
+  /// True iff \p Bytes look like a *truncated* entry image (empty file,
+  /// partial header, or payload shorter than the header's declared size)
+  /// as opposed to some other corruption. Used to classify quarantines.
+  static bool isTruncatedEntry(const std::string &Bytes);
+
 private:
   VerificationStore(StoreOptions O, int LockFd);
 
   std::string entryPath(const batch::JobKey &Key) const;
   /// Moves a damaged entry into quarantine/ (EX lock held by caller).
-  void quarantineLocked(const std::string &Path);
+  /// \p Truncated additionally bumps the truncation-shape counter.
+  void quarantineLocked(const std::string &Path, bool Truncated = false);
   /// Enforces the byte budget, oldest mtime first (EX lock held).
   void evictLocked();
   void scanAndQuarantine();

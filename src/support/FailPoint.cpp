@@ -1,0 +1,283 @@
+//===- support/FailPoint.cpp - Deterministic fault injection --------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FailPoint.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include <unistd.h>
+
+namespace qcc {
+namespace failpoint {
+
+namespace {
+
+uint64_t splitmix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// err:<name> operands. A short allowlist keeps specs portable and the
+/// parser total; eio is the default.
+bool lookupErrno(const std::string &Name, int &Out) {
+  static const struct {
+    const char *Name;
+    int Value;
+  } Table[] = {
+      {"eio", EIO},       {"enospc", ENOSPC},
+      {"emfile", EMFILE}, {"enfile", ENFILE},
+      {"eintr", EINTR},   {"econnaborted", ECONNABORTED},
+      {"epipe", EPIPE},   {"eagain", EAGAIN},
+      {"enomem", ENOMEM},
+  };
+  for (const auto &E : Table)
+    if (Name == E.Name) {
+      Out = E.Value;
+      return true;
+    }
+  return false;
+}
+
+enum class ActKind : uint8_t { Err, Short, Delay, Crash, Off };
+enum class TrigKind : uint8_t { Always, Range, Prob };
+
+struct Site {
+  ActKind Act = ActKind::Off;
+  int Errno = EIO;
+  uint64_t DelayMillis = 10;
+  TrigKind Trig = TrigKind::Always;
+  uint64_t Lo = 1, Hi = ~0ull; // Range, inclusive, 1-based hit numbers
+  double P = 1.0;              // Prob
+  uint64_t RngState = 0;       // Prob: per-site deterministic stream
+  uint64_t Hits = 0;
+};
+
+} // namespace
+
+struct Registry::Impl {
+  mutable std::mutex M;
+  std::unordered_map<std::string, Site> Sites;
+  // Hit counts survive for disarmed sites too, so tests can assert "the
+  // code path passed this site N times" without arming anything there.
+  std::unordered_map<std::string, uint64_t> Hits;
+};
+
+Registry::Registry() : I(new Impl) {
+  if (const char *Spec = std::getenv("QCC_FAILPOINTS")) {
+    uint64_t Seed = 0;
+    if (const char *S = std::getenv("QCC_FAILPOINTS_SEED"))
+      Seed = std::strtoull(S, nullptr, 10);
+    std::string Error;
+    if (!configure(Spec, Seed, &Error)) {
+      // A typo'd spec must not silently run fault-free: that would turn
+      // a chaos run into a vacuous pass. Die loudly.
+      fprintf(stderr, "qcc: bad QCC_FAILPOINTS: %s\n", Error.c_str());
+      ::_exit(2);
+    }
+  }
+}
+
+Registry &Registry::instance() {
+  static Registry *R = new Registry; // leaked: usable during exit paths
+  return *R;
+}
+
+bool Registry::configure(const std::string &Spec, uint64_t Seed,
+                         std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+
+  std::unordered_map<std::string, Site> Parsed;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(';', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Entry = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Entry.empty())
+      continue;
+
+    size_t Eq = Entry.find('=');
+    if (Eq == std::string::npos || Eq == 0)
+      return Fail("entry '" + Entry + "': expected site=action[@trigger]");
+    std::string Name = Entry.substr(0, Eq);
+    std::string Rest = Entry.substr(Eq + 1);
+
+    std::string ActionStr = Rest, TriggerStr;
+    if (size_t At = Rest.find('@'); At != std::string::npos) {
+      ActionStr = Rest.substr(0, At);
+      TriggerStr = Rest.substr(At + 1);
+      if (TriggerStr.empty())
+        return Fail("entry '" + Entry + "': empty trigger after '@'");
+    }
+
+    Site S;
+    std::string Operand;
+    if (size_t Colon = ActionStr.find(':'); Colon != std::string::npos) {
+      Operand = ActionStr.substr(Colon + 1);
+      ActionStr = ActionStr.substr(0, Colon);
+    }
+    if (ActionStr == "err") {
+      S.Act = ActKind::Err;
+      if (!Operand.empty() && !lookupErrno(Operand, S.Errno))
+        return Fail("entry '" + Entry + "': unknown errno name '" + Operand +
+                    "'");
+    } else if (ActionStr == "short") {
+      S.Act = ActKind::Short;
+      if (!Operand.empty())
+        return Fail("entry '" + Entry + "': 'short' takes no operand");
+    } else if (ActionStr == "delay") {
+      S.Act = ActKind::Delay;
+      if (!Operand.empty()) {
+        char *EndP = nullptr;
+        S.DelayMillis = std::strtoull(Operand.c_str(), &EndP, 10);
+        if (!EndP || *EndP != '\0')
+          return Fail("entry '" + Entry + "': bad delay millis '" + Operand +
+                      "'");
+      }
+    } else if (ActionStr == "crash") {
+      S.Act = ActKind::Crash;
+      if (!Operand.empty())
+        return Fail("entry '" + Entry + "': 'crash' takes no operand");
+    } else if (ActionStr == "off") {
+      continue; // parse the trigger-free form and drop the site
+    } else {
+      return Fail("entry '" + Entry + "': unknown action '" + ActionStr +
+                  "'");
+    }
+
+    if (!TriggerStr.empty()) {
+      if (TriggerStr[0] == 'p') {
+        char *EndP = nullptr;
+        S.P = std::strtod(TriggerStr.c_str() + 1, &EndP);
+        if (!EndP || *EndP != '\0' || S.P < 0.0 || S.P > 1.0)
+          return Fail("entry '" + Entry + "': bad probability '" + TriggerStr +
+                      "'");
+        S.Trig = TrigKind::Prob;
+      } else {
+        char *EndP = nullptr;
+        uint64_t Lo = std::strtoull(TriggerStr.c_str(), &EndP, 10);
+        if (!EndP || EndP == TriggerStr.c_str() || Lo == 0)
+          return Fail("entry '" + Entry + "': bad trigger '" + TriggerStr +
+                      "' (hit numbers are 1-based)");
+        uint64_t Hi = Lo;
+        if (EndP[0] == '.' && EndP[1] == '.') {
+          char *EndP2 = nullptr;
+          Hi = std::strtoull(EndP + 2, &EndP2, 10);
+          if (!EndP2 || *EndP2 != '\0' || Hi < Lo)
+            return Fail("entry '" + Entry + "': bad trigger range '" +
+                        TriggerStr + "'");
+        } else if (*EndP != '\0') {
+          return Fail("entry '" + Entry + "': bad trigger '" + TriggerStr +
+                      "'");
+        }
+        S.Trig = TrigKind::Range;
+        S.Lo = Lo;
+        S.Hi = Hi;
+      }
+    }
+
+    S.RngState = Seed ^ fnv1a(Name);
+    Parsed[Name] = S;
+  }
+
+  std::lock_guard<std::mutex> L(I->M);
+  I->Sites = std::move(Parsed);
+  I->Hits.clear();
+  ArmedSites.store(I->Sites.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> L(I->M);
+  I->Sites.clear();
+  I->Hits.clear();
+  ArmedSites.store(0, std::memory_order_relaxed);
+}
+
+Action Registry::evaluate(const char *SiteName) {
+  ActKind Act;
+  int Err;
+  uint64_t DelayMillis;
+  {
+    std::lock_guard<std::mutex> L(I->M);
+    ++I->Hits[SiteName];
+    auto It = I->Sites.find(SiteName);
+    if (It == I->Sites.end())
+      return {};
+    Site &S = It->second;
+    uint64_t Hit = ++S.Hits;
+    switch (S.Trig) {
+    case TrigKind::Always:
+      break;
+    case TrigKind::Range:
+      if (Hit < S.Lo || Hit > S.Hi)
+        return {};
+      break;
+    case TrigKind::Prob: {
+      // Draw in [0,1) from the site's seeded stream; deterministic
+      // given (seed, site, hit index) as long as hits arrive in a
+      // deterministic order (single-threaded scenarios do).
+      double Draw = static_cast<double>(splitmix64(S.RngState) >> 11) *
+                    (1.0 / 9007199254740992.0);
+      if (Draw >= S.P)
+        return {};
+      break;
+    }
+    }
+    Act = S.Act;
+    Err = S.Errno;
+    DelayMillis = S.DelayMillis;
+  }
+
+  switch (Act) {
+  case ActKind::Err:
+    errno = Err;
+    return {Kind::Err, Err};
+  case ActKind::Short:
+    return {Kind::Short, 0};
+  case ActKind::Delay:
+    std::this_thread::sleep_for(std::chrono::milliseconds(DelayMillis));
+    return {};
+  case ActKind::Crash:
+    // The whole point: no flushes, no destructors, no cleanup — the
+    // process vanishes exactly as under SIGKILL or a power cut.
+    ::_exit(CrashExitCode);
+  case ActKind::Off:
+    break;
+  }
+  return {};
+}
+
+uint64_t Registry::hits(const std::string &SiteName) const {
+  std::lock_guard<std::mutex> L(I->M);
+  auto It = I->Hits.find(SiteName);
+  return It == I->Hits.end() ? 0 : It->second;
+}
+
+} // namespace failpoint
+} // namespace qcc

@@ -1,0 +1,145 @@
+//===- support/FailPoint.h - Deterministic fault injection ------*- C++-*-===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named fault-injection sites ("failpoints") threaded through every I/O
+/// and resource edge of the system: the support/Io transfer loops, the
+/// store's tmp+fsync+rename commit path and flock protocol, the FuncStore
+/// manifests, the daemon's accept loop and frame codec, pool task
+/// submission, and the client's connect path. A site is a compiled-in
+/// `failpoint::fire("store.fsync")` call that is free when nothing is
+/// armed (one relaxed atomic load) and that consults a process-global
+/// spec when something is.
+///
+/// Specs arm sites from the environment (`QCC_FAILPOINTS`) or
+/// programmatically (tests, the chaos harness):
+///
+///   spec    := entry (';' entry)*
+///   entry   := site '=' action ('@' trigger)?
+///   action  := 'err' (':' errname)?    fail the operation (errno set)
+///            | 'short'                 stop the transfer halfway
+///            | 'delay' (':' millis)?   sleep before proceeding
+///            | 'crash'                 _exit(137), simulating kill -9
+///            | 'off'                   disarm the site
+///   trigger := count                   fire on exactly the Nth hit (1-based)
+///            | count '..' count        fire on hits N through M inclusive
+///            | 'p' float               fire with probability p (seeded,
+///                                      deterministic; see QCC_FAILPOINTS_SEED)
+///                                      (default: fire on every hit)
+///   errname := 'eio' | 'enospc' | 'emfile' | 'enfile' | 'eintr'
+///            | 'econnaborted' | 'epipe' | 'eagain' | 'enomem'
+///
+///   QCC_FAILPOINTS="store.fsync=err@3;daemon.write=short@p0.1"
+///
+/// Injection is deterministic: the probabilistic trigger draws from a
+/// per-site splitmix64 stream seeded from QCC_FAILPOINTS_SEED (or
+/// configure()'s seed) xor the site-name hash, so a (spec, seed) pair
+/// replays the same faults on every run — the chaos harness depends on
+/// this to shrink and to re-run scenarios.
+///
+/// `crash` calls _exit inside fire(): no atexit handlers, no stream
+/// flushes, no destructors — the closest portable stand-in for SIGKILL
+/// mid-operation. Sites on the store's write path fire *before* the
+/// matching syscall, so a crash leaves exactly the torn state a real
+/// power cut could: empty tmp files, half-written tmp files, completed
+/// tmp files that were never renamed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCC_SUPPORT_FAILPOINT_H
+#define QCC_SUPPORT_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcc {
+namespace failpoint {
+
+/// What a fired site tells its caller to do. Delay and crash are applied
+/// inside fire() itself; Err and Short are returned for the call site to
+/// honour (only it knows what "fail" and "half the transfer" mean).
+enum class Kind : uint8_t {
+  None,  ///< proceed normally
+  Err,   ///< fail the operation with `Errno`
+  Short, ///< perform roughly half the transfer, then report failure/EOF
+};
+
+struct Action {
+  Kind K = Kind::None;
+  int Errno = 0; // valid when K == Err
+  explicit operator bool() const { return K != Kind::None; }
+};
+
+/// The process-global failpoint registry. All members are thread-safe.
+class Registry {
+public:
+  /// The singleton. First use loads QCC_FAILPOINTS / QCC_FAILPOINTS_SEED
+  /// from the environment, so exec'd children configured via env need no
+  /// code changes.
+  static Registry &instance();
+
+  /// Parses \p Spec (grammar above) and replaces the armed-site table.
+  /// An empty spec clears everything. On a grammar error returns false,
+  /// arms nothing, and describes the problem in *Error.
+  bool configure(const std::string &Spec, uint64_t Seed = 0,
+                 std::string *Error = nullptr);
+
+  /// Disarms every site.
+  void clear();
+
+  /// True iff any site is armed — the fast-path check fire() inlines.
+  bool armed() const { return ArmedSites.load(std::memory_order_relaxed) != 0; }
+
+  /// Evaluates one hit of \p Site. Applies delay (sleeps) and crash
+  /// (_exit(137)) internally; returns Err/Short for the caller.
+  Action evaluate(const char *Site);
+
+  /// Total hits observed at \p Site since the last configure/clear,
+  /// armed or not matching. For tests and the chaos harness.
+  uint64_t hits(const std::string &Site) const;
+
+private:
+  Registry();
+
+  std::atomic<uint64_t> ArmedSites{0};
+  struct Impl;
+  Impl *I; // leaked singleton state; never destroyed
+};
+
+/// The one call injected at a site. Free when nothing is armed.
+inline Action fire(const char *Site) {
+  Registry &R = Registry::instance();
+  if (!R.armed())
+    return {};
+  return R.evaluate(Site);
+}
+
+/// RAII spec installer for tests: configures on construction, clears on
+/// destruction. Aborts the test (via the returned Ok flag) rather than
+/// silently running without faults if the spec fails to parse.
+class ScopedSpec {
+public:
+  explicit ScopedSpec(const std::string &Spec, uint64_t Seed = 0) {
+    Ok = Registry::instance().configure(Spec, Seed, &Error);
+  }
+  ~ScopedSpec() { Registry::instance().clear(); }
+  ScopedSpec(const ScopedSpec &) = delete;
+  ScopedSpec &operator=(const ScopedSpec &) = delete;
+
+  bool Ok = false;
+  std::string Error;
+};
+
+/// The exit code `crash` dies with: 128+9, the shell's code for SIGKILL.
+constexpr int CrashExitCode = 137;
+
+} // namespace failpoint
+} // namespace qcc
+
+#endif // QCC_SUPPORT_FAILPOINT_H

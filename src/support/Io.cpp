@@ -7,6 +7,8 @@
 
 #include "support/Io.h"
 
+#include "support/FailPoint.h"
+
 #include <cerrno>
 
 #include <fcntl.h>
@@ -17,11 +19,25 @@
 namespace qcc {
 namespace io {
 
+// Failpoint semantics in the transfer loops ("io.read", "io.write",
+// "io.send", "io.fsync"): Err fails the whole transfer with the injected
+// errno; Short truncates the transfer to half its length and then behaves
+// exactly as the real syscall would — a failed write (some bytes really
+// moved, then an error) or an early EOF on read. Both leave the fd's
+// actual state consistent with what the caller is told, so torn-write
+// scenarios built on these are honest about what reached the kernel.
+
 bool writeFull(int Fd, const void *Data, size_t Len) {
+  size_t Limit = Len;
+  if (auto A = failpoint::fire("io.write")) {
+    if (A.K == failpoint::Kind::Err)
+      return false;
+    Limit = Len / 2; // Short: half really lands, then the error
+  }
   const char *P = static_cast<const char *>(Data);
   size_t Off = 0;
-  while (Off < Len) {
-    ssize_t N = ::write(Fd, P + Off, Len - Off);
+  while (Off < Limit) {
+    ssize_t N = ::write(Fd, P + Off, Limit - Off);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -29,14 +45,24 @@ bool writeFull(int Fd, const void *Data, size_t Len) {
     }
     Off += static_cast<size_t>(N);
   }
+  if (Limit != Len) {
+    errno = EIO;
+    return false;
+  }
   return true;
 }
 
 long readFull(int Fd, void *Data, size_t Len) {
+  size_t Limit = Len;
+  if (auto A = failpoint::fire("io.read")) {
+    if (A.K == failpoint::Kind::Err)
+      return -1;
+    Limit = Len / 2; // Short: the stream "ends" halfway
+  }
   char *P = static_cast<char *>(Data);
   size_t Off = 0;
-  while (Off < Len) {
-    ssize_t N = ::read(Fd, P + Off, Len - Off);
+  while (Off < Limit) {
+    ssize_t N = ::read(Fd, P + Off, Limit - Off);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -50,10 +76,16 @@ long readFull(int Fd, void *Data, size_t Len) {
 }
 
 bool sendFull(int Fd, const void *Data, size_t Len) {
+  size_t Limit = Len;
+  if (auto A = failpoint::fire("io.send")) {
+    if (A.K == failpoint::Kind::Err)
+      return false;
+    Limit = Len / 2;
+  }
   const char *P = static_cast<const char *>(Data);
   size_t Off = 0;
-  while (Off < Len) {
-    ssize_t N = ::send(Fd, P + Off, Len - Off, MSG_NOSIGNAL);
+  while (Off < Limit) {
+    ssize_t N = ::send(Fd, P + Off, Limit - Off, MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -61,10 +93,18 @@ bool sendFull(int Fd, const void *Data, size_t Len) {
     }
     Off += static_cast<size_t>(N);
   }
+  if (Limit != Len) {
+    errno = EPIPE;
+    return false;
+  }
   return true;
 }
 
 bool fsyncFull(int Fd) {
+  if (auto A = failpoint::fire("io.fsync")) {
+    (void)A;
+    return false; // Err and Short both mean "the barrier failed"
+  }
   while (::fsync(Fd) != 0) {
     if (errno != EINTR)
       return false;

@@ -1,0 +1,391 @@
+//===- tests/ChaosTest.cpp - Crash-recovery chaos, end to end -------------===//
+//
+// Part of qcc, a reproduction of "End-to-End Verification of Stack-Space
+// Bounds for C Programs" (PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crash-only contract, exercised against real processes:
+///
+///   * the store chaos harness (fuzz/Chaos.h): 200 seeded scenarios of
+///     writers felled by failpoint crashes and timed SIGKILLs, every
+///     recovery quarantine-or-serve with bit-identical images;
+///   * a real qccd killed mid-service (a crash failpoint in its frame
+///     writer) and restarted on the same socket and store: the client
+///     rides through with the same verdict, served warm from the store
+///     the dying daemon committed;
+///   * SIGTERM graceful drain: the in-flight job finishes, its verdict
+///     is journaled, the daemon exits 0, and a warm restart serves the
+///     same job from the store without re-verifying anything;
+///   * `qcc --connect` against a daemon that is not there: bounded
+///     retries, then local verification with exit code 0.
+///
+/// The daemon scenarios fork+exec the real qccd/qcc binaries (paths
+/// injected by CMake), so the failpoint registry, signal handlers, and
+/// socket lifecycle are the shipped ones — and so the forked children
+/// are exec'd, which keeps the suite sound under ThreadSanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "batch/Batch.h"
+#include "daemon/Client.h"
+#include "daemon/Protocol.h"
+#include "fuzz/Chaos.h"
+#include "store/Store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace qcc;
+using namespace qcc::batch;
+using namespace qcc::daemon;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fixtures and helpers
+//===----------------------------------------------------------------------===//
+
+/// Scoped scratch directory; removed with everything in it on exit.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    std::string Template =
+        (fs::temp_directory_path() / "qcc-chaos-XXXXXX").string();
+    std::vector<char> Buf(Template.begin(), Template.end());
+    Buf.push_back('\0');
+    Path = mkdtemp(Buf.data());
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string sub(const std::string &Name) const {
+    return (fs::path(Path) / Name).string();
+  }
+};
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+void spill(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  ASSERT_TRUE(Out.good()) << Path;
+}
+
+const char *ChaosProgram = R"(
+typedef unsigned int u32;
+u32 g[8];
+u32 leaf(u32 x) { return x * 5 + 2; }
+u32 mid(u32 x) {
+  u32 i, acc;
+  acc = 0;
+  for (i = 0; i < 4; i++) acc = acc + leaf(x + i);
+  return acc;
+}
+int main() {
+  u32 i;
+  for (i = 0; i < 8; i++) g[i & 7] = mid(i);
+  return (int)(g[5] & 0xff);
+}
+)";
+
+JobRequest chaosRequest() {
+  JobRequest Req;
+  Req.Job = BatchJob{"chaos.c", ChaosProgram, {}};
+  Req.CheckTheorem1 = true;
+  return Req;
+}
+
+/// The verdict, stripped of how it was produced: serving flags, proof
+/// freight (wire verdicts never carry it), and wall-clock metrics. Two
+/// runs of the same job must agree on this image bit for bit.
+std::string coreVerdictImage(const JobKey &Key, ProgramResult R) {
+  R.CacheHit = false;
+  R.StoreHit = false;
+  R.ProofBlob.clear();
+  R.Metrics = ProgramMetrics{};
+  R.Retries = 0;
+  return store::VerificationStore::encodeEntry(Key, R);
+}
+
+/// The verdict with everything the wire carries, serving flags aside:
+/// a store-served verdict must reproduce the original run's metrics
+/// byte for byte (they were persisted with the entry).
+std::string wireVerdictImage(const JobKey &Key, ProgramResult R) {
+  R.CacheHit = false;
+  R.StoreHit = false;
+  R.ProofBlob.clear();
+  return store::VerificationStore::encodeEntry(Key, R);
+}
+
+/// Fork+exec a tool with optional QCC_FAILPOINTS and captured streams.
+/// The child execs immediately, so this is safe under TSan and leaves
+/// no registry state in the test process.
+pid_t spawnTool(const char *Binary, const std::vector<std::string> &Args,
+                const std::string &FailPoints, const std::string &StdoutPath,
+                const std::string &StderrPath = std::string()) {
+  pid_t P = ::fork();
+  if (P != 0)
+    return P;
+  auto Redirect = [](const std::string &Path, int To) {
+    if (Path.empty())
+      return;
+    int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (Fd >= 0) {
+      ::dup2(Fd, To);
+      ::close(Fd);
+    }
+  };
+  Redirect(StdoutPath, STDOUT_FILENO);
+  Redirect(StderrPath, STDERR_FILENO);
+  if (FailPoints.empty())
+    ::unsetenv("QCC_FAILPOINTS");
+  else
+    ::setenv("QCC_FAILPOINTS", FailPoints.c_str(), 1);
+  std::vector<char *> Argv;
+  Argv.push_back(const_cast<char *>(Binary));
+  for (const std::string &A : Args)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+  ::execv(Binary, Argv.data());
+  ::_exit(127);
+}
+
+/// waitpid, decoded: exit status, or 1000+signal for a signalled death.
+int awaitExit(pid_t P) {
+  int Status = 0;
+  if (::waitpid(P, &Status, 0) != P)
+    return -1;
+  if (WIFEXITED(Status))
+    return WEXITSTATUS(Status);
+  if (WIFSIGNALED(Status))
+    return 1000 + WTERMSIG(Status);
+  return -1;
+}
+
+RetryPolicy testPolicy() {
+  RetryPolicy P;
+  P.ConnectAttempts = 10; // generous: covers daemon startup
+  P.BaseDelayMillis = 25;
+  P.MaxDelayMillis = 500;
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// The store chaos harness: 200 seeded crash/kill scenarios
+//===----------------------------------------------------------------------===//
+
+TEST(StoreChaos, TwoHundredSeededScenariosRecoverCleanly) {
+  TempDir Tmp;
+  fuzz::ChaosOptions CO;
+  CO.Seed = 7;
+  CO.Scenarios = 200;
+  CO.ScratchDir = Tmp.sub("scenarios");
+  fuzz::ChaosReport CR = fuzz::runStoreChaos(CO);
+  EXPECT_TRUE(CR.ok()) << CR.str();
+  EXPECT_EQ(CR.Ran, 200u);
+  EXPECT_EQ(CR.CrashedChildren + CR.KilledChildren + CR.SurvivedChildren,
+            CR.Ran);
+  // The campaign must actually fell writers — a chaos run where nothing
+  // dies is a vacuous pass.
+  EXPECT_GT(CR.CrashedChildren, 0u);
+  EXPECT_GT(CR.KilledChildren, 0u);
+  // Clean scenarios clean up after themselves.
+  EXPECT_FALSE(fs::exists(CO.ScratchDir) &&
+               !fs::is_empty(CO.ScratchDir));
+}
+
+TEST(StoreChaos, ReplaysAreDeterministicPerSeed) {
+  // Failpoint-crash scenarios are pure functions of (seed, index); two
+  // runs of the same seed must fell the same writers the same way. (The
+  // SIGKILL shapes race by design, so compare the crash counter only.)
+  TempDir Tmp;
+  fuzz::ChaosOptions CO;
+  CO.Seed = 11;
+  CO.Scenarios = 40;
+  CO.ScratchDir = Tmp.sub("a");
+  fuzz::ChaosReport A = fuzz::runStoreChaos(CO);
+  CO.ScratchDir = Tmp.sub("b");
+  fuzz::ChaosReport B = fuzz::runStoreChaos(CO);
+  EXPECT_TRUE(A.ok()) << A.str();
+  EXPECT_TRUE(B.ok()) << B.str();
+  EXPECT_EQ(A.Ran, B.Ran);
+  EXPECT_EQ(A.CrashedChildren, B.CrashedChildren);
+}
+
+//===----------------------------------------------------------------------===//
+// qccd felled mid-service and restarted on the same socket + store
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonChaos, CrashMidFrameThenWarmRestartServesTheSameVerdict) {
+  TempDir Tmp;
+  std::string Socket = Tmp.sub("d.sock");
+  std::string StoreDir = Tmp.sub("store");
+  JobRequest Req = chaosRequest();
+  JobKey Key = jobKey(Req.Job, Req.CheckTheorem1);
+
+  // Daemon 1 crashes (failpoint `crash`: _exit(137), no flushes) while
+  // writing its second frame — after the verdict was computed and
+  // committed to the store, mid-way through telling the client.
+  std::string D1Out = Tmp.sub("d1.out");
+  pid_t D1 = spawnTool(QCC_QCCD_PATH,
+                       {"--socket", Socket, "--store", StoreDir, "--jobs",
+                        "1"},
+                       "daemon.write=crash@2", D1Out);
+  ASSERT_GT(D1, 0);
+  DaemonClient C1;
+  ASSERT_TRUE(C1.connectWithRetry(Socket, testPolicy())) << C1.error();
+  ClientOutcome O1 = C1.verify(Req);
+  EXPECT_FALSE(O1.HaveVerdict);
+  EXPECT_TRUE(O1.Transport) << O1.Error;
+  C1.disconnect();
+  EXPECT_EQ(awaitExit(D1), 137) << "daemon 1 should die by crash failpoint";
+
+  // Daemon 2, same socket, same store, no faults: the crashed daemon's
+  // committed entry survives and the client's retry loop rides through
+  // to a warm, bit-identical verdict.
+  std::string D2Out = Tmp.sub("d2.out");
+  pid_t D2 = spawnTool(QCC_QCCD_PATH,
+                       {"--socket", Socket, "--store", StoreDir, "--jobs",
+                        "1"},
+                       "", D2Out);
+  ASSERT_GT(D2, 0);
+  DaemonClient C2;
+  ClientOutcome O2 = C2.verifyWithRetry(Req, Socket, testPolicy());
+  ASSERT_TRUE(O2.HaveVerdict) << O2.Error;
+  EXPECT_TRUE(O2.Result.Ok) << O2.Result.Diagnostics;
+  EXPECT_TRUE(O2.Result.StoreHit)
+      << "the crashed daemon's store commit did not survive";
+  C2.disconnect();
+
+  // The warm verdict agrees bit for bit with a local reference run on
+  // everything a verdict means (the wire image differs only in its
+  // wall-clock pass timings, which coreVerdictImage strips).
+  ProgramResult Ref =
+      verifyOne(Req.Job, Req.CheckTheorem1, nullptr,
+                /*KeepProofArtifacts=*/false);
+  ASSERT_TRUE(Ref.Ok) << Ref.Diagnostics;
+  EXPECT_EQ(coreVerdictImage(Key, O2.Result), coreVerdictImage(Key, Ref));
+
+  ASSERT_EQ(::kill(D2, SIGTERM), 0);
+  EXPECT_EQ(awaitExit(D2), 0);
+}
+
+TEST(DaemonChaos, SigtermDrainJournalsTheVerdictAndWarmRestartReverifiesNothing) {
+  TempDir Tmp;
+  std::string Socket = Tmp.sub("d.sock");
+  std::string StoreDir = Tmp.sub("store");
+  std::string Journal = Tmp.sub("journal");
+  JobRequest Req = chaosRequest();
+  JobKey Key = jobKey(Req.Job, Req.CheckTheorem1);
+
+  // Daemon 1 holds the job at the pool boundary for 400ms, so SIGTERM
+  // provably lands while the job is in flight.
+  std::string D1Out = Tmp.sub("d1.out");
+  pid_t D1 = spawnTool(QCC_QCCD_PATH,
+                       {"--socket", Socket, "--store", StoreDir, "--jobs",
+                        "1", "--journal", Journal},
+                       "pool.submit=delay:400@1", D1Out);
+  ASSERT_GT(D1, 0);
+  DaemonClient C1;
+  ASSERT_TRUE(C1.connectWithRetry(Socket, testPolicy())) << C1.error();
+
+  ClientOutcome O1;
+  std::thread Submitter([&] { O1 = C1.verify(Req); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_EQ(::kill(D1, SIGTERM), 0);
+
+  // Graceful drain: the in-flight job finishes and its verdict is
+  // delivered through the half-closed connection before the daemon
+  // exits 0.
+  Submitter.join();
+  ASSERT_TRUE(O1.HaveVerdict) << O1.Error;
+  EXPECT_TRUE(O1.Result.Ok) << O1.Result.Diagnostics;
+  EXPECT_FALSE(O1.Result.StoreHit);
+  C1.disconnect();
+  EXPECT_EQ(awaitExit(D1), 0);
+
+  // The drain journaled exactly the in-flight verdict: "ok " plus the
+  // two 16-hex-digit key halves, one flushed line.
+  std::string JournalBytes = slurp(Journal);
+  ASSERT_EQ(JournalBytes.size(), 36u) << "'" << JournalBytes << "'";
+  EXPECT_EQ(JournalBytes.substr(0, 3), "ok ");
+  EXPECT_EQ(JournalBytes.back(), '\n');
+  EXPECT_EQ(JournalBytes.find_first_not_of("0123456789abcdef", 3), 35u);
+
+  // Warm restart on the drained store: the same job is served from the
+  // store — no re-verification — and the verdict (metrics included,
+  // they were persisted with the entry) is bit-identical.
+  std::string D2Out = Tmp.sub("d2.out");
+  pid_t D2 = spawnTool(QCC_QCCD_PATH,
+                       {"--socket", Socket, "--store", StoreDir, "--jobs",
+                        "1"},
+                       "", D2Out);
+  ASSERT_GT(D2, 0);
+  DaemonClient C2;
+  ClientOutcome O2 = C2.verifyWithRetry(Req, Socket, testPolicy());
+  ASSERT_TRUE(O2.HaveVerdict) << O2.Error;
+  EXPECT_TRUE(O2.Result.StoreHit) << "warm restart re-verified the job";
+  EXPECT_EQ(wireVerdictImage(Key, O2.Result),
+            wireVerdictImage(Key, O1.Result));
+  C2.disconnect();
+  ASSERT_EQ(::kill(D2, SIGTERM), 0);
+  EXPECT_EQ(awaitExit(D2), 0);
+
+  // The restarted daemon's own accounting agrees: one job served, and
+  // not one derivation node checked fresh.
+  std::string D2Log = slurp(D2Out);
+  EXPECT_NE(D2Log.find("1 jobs served"), std::string::npos) << D2Log;
+}
+
+//===----------------------------------------------------------------------===//
+// qcc --connect against a daemon that is not there: local fallback
+//===----------------------------------------------------------------------===//
+
+TEST(ClientChaos, QccFallsBackToLocalVerificationWhenTheDaemonIsDown) {
+  TempDir Tmp;
+  std::string BatchDir = Tmp.sub("batch");
+  fs::create_directories(BatchDir);
+  spill((fs::path(BatchDir) / "a.c").string(),
+        "typedef unsigned int u32;\n"
+        "u32 f(u32 x) { return x + 1; }\n"
+        "int main() { return (int)(f(41u) & 0xffu); }\n");
+  spill((fs::path(BatchDir) / "b.c").string(), ChaosProgram);
+
+  std::string Out = Tmp.sub("qcc.out");
+  std::string Err = Tmp.sub("qcc.err");
+  pid_t P = spawnTool(QCC_QCC_PATH,
+                      {"--batch", BatchDir, "--connect",
+                       Tmp.sub("no-such-daemon.sock"), "--jobs", "2"},
+                      "", Out, Err);
+  ASSERT_GT(P, 0);
+  // Exit 0: every job verified — locally, with the daemon unreachable.
+  EXPECT_EQ(awaitExit(P), 0) << slurp(Err);
+  std::string Stderr = slurp(Err);
+  EXPECT_NE(Stderr.find("daemon unreachable"), std::string::npos) << Stderr;
+  EXPECT_NE(Stderr.find("verifying locally"), std::string::npos) << Stderr;
+  EXPECT_FALSE(slurp(Out).empty());
+}
+
+} // namespace

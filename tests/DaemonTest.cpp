@@ -30,15 +30,18 @@
 
 #include "batch/ThreadPool.h"
 #include "store/Store.h"
+#include "support/FailPoint.h"
 #include "support/Io.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -529,6 +532,241 @@ TEST(Daemon, ShutdownDrainsConnectedClients) {
   // The connection was shut down server-side; the next exchange fails
   // cleanly instead of hanging.
   EXPECT_FALSE(C.ping());
+}
+
+//===----------------------------------------------------------------------===//
+// Overload resilience: accept backoff, admission shedding, idle
+// timeouts, graceful drain, client retry
+//===----------------------------------------------------------------------===//
+
+TEST(Resilience, AcceptLoopSurvivesEmfileWithBackoff) {
+  TempDir Dir;
+  DaemonOptions Opts;
+  Opts.SocketPath = Dir.sub("qccd.sock");
+  Opts.Jobs = 1;
+  // The first five accept() calls fail with EMFILE (fd exhaustion); the
+  // loop must back off and keep serving, not exit or spin.
+  failpoint::ScopedSpec Spec("daemon.accept=err:emfile@1..5");
+  ASSERT_TRUE(Spec.Ok) << Spec.Error;
+  LiveDaemon Live(Opts);
+
+  DaemonClient C;
+  ASSERT_TRUE(C.connectWithRetry(Opts.SocketPath, RetryPolicy{}))
+      << C.error();
+  EXPECT_TRUE(C.ping());
+  EXPECT_GE(Live.D.stats().AcceptRetries, 5u);
+}
+
+TEST(Resilience, AdmissionBoundShedsWithBusyAndRetrySucceeds) {
+  TempDir Dir;
+  DaemonOptions Opts;
+  Opts.SocketPath = Dir.sub("qccd.sock");
+  Opts.Jobs = 1;
+  Opts.MaxActiveJobs = 1;
+  LiveDaemon Live(Opts);
+
+  std::vector<BatchJob> Jobs = smallJobs();
+  // Park the first submit inside its admission slot: the delay fires
+  // after the job reserved ActiveJobs but before it reaches the pool,
+  // holding the daemon at capacity for a deterministic window.
+  failpoint::ScopedSpec Spec("pool.submit=delay:1500@1");
+  ASSERT_TRUE(Spec.Ok) << Spec.Error;
+
+  ClientOutcome SlowOut;
+  std::thread Slow([&] {
+    DaemonClient A;
+    if (A.connect(Opts.SocketPath))
+      SlowOut = A.verify(requestFor(Jobs[0]));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  DaemonClient B;
+  ASSERT_TRUE(B.connect(Opts.SocketPath)) << B.error();
+  ClientOutcome Shed = B.verify(requestFor(Jobs[1]));
+  EXPECT_FALSE(Shed.HaveVerdict);
+  EXPECT_TRUE(Shed.Busy) << Shed.Error;
+  EXPECT_NE(Shed.Error.find("capacity"), std::string::npos) << Shed.Error;
+  // The Busy shed left the connection intact: the same client retries
+  // with backoff and lands a verdict once the slot frees up.
+  ClientOutcome Retried =
+      B.verifyWithRetry(requestFor(Jobs[1]), Opts.SocketPath, RetryPolicy{});
+  EXPECT_TRUE(Retried.HaveVerdict) << Retried.Error;
+
+  Slow.join();
+  EXPECT_TRUE(SlowOut.HaveVerdict) << SlowOut.Error;
+  EXPECT_GE(Live.D.stats().JobsShed, 1u);
+}
+
+TEST(Resilience, ConnectionCapShedsWithBusy) {
+  TempDir Dir;
+  DaemonOptions Opts;
+  Opts.SocketPath = Dir.sub("qccd.sock");
+  Opts.Jobs = 1;
+  Opts.MaxConnections = 1;
+  LiveDaemon Live(Opts);
+
+  DaemonClient First;
+  ASSERT_TRUE(First.connect(Opts.SocketPath)) << First.error();
+  ASSERT_TRUE(First.ping()); // Fully admitted before the probe below.
+
+  int Fd = rawConnect(Opts.SocketPath);
+  Frame F;
+  ASSERT_EQ(readFrame(Fd, F), FrameStatus::Ok);
+  EXPECT_EQ(F.Type, MsgType::Busy);
+  EXPECT_NE(F.Payload.find("connection limit"), std::string::npos);
+  close(Fd);
+  EXPECT_GE(Live.D.stats().ConnectionsShed, 1u);
+  EXPECT_TRUE(First.ping()); // The admitted connection is untouched.
+}
+
+TEST(Resilience, IdleConnectionDrawsCleanByeFrame) {
+  TempDir Dir;
+  DaemonOptions Opts;
+  Opts.SocketPath = Dir.sub("qccd.sock");
+  Opts.Jobs = 1;
+  Opts.IdleTimeoutMillis = 100;
+  LiveDaemon Live(Opts);
+
+  int Fd = rawConnect(Opts.SocketPath);
+  // Send nothing. The server must close with a Bye frame, not an Error
+  // and not a silent drop.
+  Frame F;
+  EXPECT_EQ(readFrame(Fd, F), FrameStatus::Ok);
+  EXPECT_EQ(F.Type, MsgType::Bye);
+  EXPECT_NE(F.Payload.find("idle"), std::string::npos);
+  EXPECT_EQ(readFrame(Fd, F), FrameStatus::Eof);
+  close(Fd);
+
+  for (int Spin = 0; Spin != 200 && Live.D.stats().IdleDisconnects == 0;
+       ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(Live.D.stats().IdleDisconnects, 1u);
+  EXPECT_EQ(Live.D.stats().ProtocolErrors, 0u);
+  EXPECT_TRUE(serverAlive(Opts.SocketPath));
+}
+
+TEST(Resilience, DrainFinishesInFlightJobAndJournalsIt) {
+  TempDir Dir;
+  DaemonOptions Opts;
+  Opts.SocketPath = Dir.sub("qccd.sock");
+  Opts.Jobs = 1;
+  Opts.JournalPath = Dir.sub("journal");
+  LiveDaemon Live(Opts);
+
+  std::vector<BatchJob> Jobs = smallJobs();
+  // Park the job pre-pool so the drain request demonstrably lands while
+  // it is in flight.
+  failpoint::ScopedSpec Spec("pool.submit=delay:500@1");
+  ASSERT_TRUE(Spec.Ok) << Spec.Error;
+
+  ClientOutcome Out;
+  DaemonClient C;
+  ASSERT_TRUE(C.connect(Opts.SocketPath)) << C.error();
+  std::thread Submitter([&] { Out = C.verify(requestFor(Jobs[0])); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  Live.D.requestDrain();
+
+  // The graceful half of the contract: the in-flight job still gets its
+  // verdict — drain never cancels work already admitted.
+  Submitter.join();
+  EXPECT_TRUE(Out.HaveVerdict) << Out.Error;
+  EXPECT_TRUE(Out.Result.Ok);
+  Live.Server.join();
+  Live.Server = std::thread([] {});
+
+  // Its definitive verdict is journaled (batch-journal line format).
+  std::ifstream In(Opts.JournalPath);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(In, Line)));
+  EXPECT_EQ(Line.rfind("ok ", 0), 0u) << Line;
+  EXPECT_EQ(Line.size(), 3u + 32u) << Line; // "ok " + two 16-hex keys.
+  EXPECT_EQ(Live.D.stats().JobsJournaled, 1u);
+
+  // A post-drain exchange fails cleanly (Bye or a dropped connection),
+  // never hangs.
+  ClientOutcome After = C.verify(requestFor(Jobs[1]));
+  EXPECT_FALSE(After.HaveVerdict);
+  EXPECT_TRUE(After.ServerClosing || After.Transport) << After.Error;
+}
+
+TEST(Resilience, BackoffScheduleIsDeterministicAndBounded) {
+  RetryPolicy P;
+  P.BaseDelayMillis = 25;
+  P.MaxDelayMillis = 1000;
+  uint64_t RngA = 7, RngB = 7;
+  for (unsigned A = 0; A != 12; ++A) {
+    uint64_t D = backoffMillis(P, A, RngA);
+    uint64_t Cap = std::min<uint64_t>(P.MaxDelayMillis, 25ull << A);
+    EXPECT_LE(D, Cap) << A;
+    EXPECT_GE(D, Cap / 2) << A; // Jitter spans only the top half.
+    EXPECT_EQ(D, backoffMillis(P, A, RngB)) << A; // Same seed, same walk.
+  }
+  uint64_t RngC = 8; // A different seed decorrelates the schedule.
+  bool AnyDiffer = false;
+  uint64_t RngA2 = 7;
+  for (unsigned A = 2; A != 8; ++A)
+    AnyDiffer |= backoffMillis(P, A, RngA2) != backoffMillis(P, A, RngC);
+  EXPECT_TRUE(AnyDiffer);
+}
+
+TEST(Resilience, UnreachableDaemonFailsFastWithTransportOutcome) {
+  TempDir Dir;
+  RetryPolicy P;
+  P.ConnectAttempts = 2;
+  P.BaseDelayMillis = 1;
+  P.MaxDelayMillis = 2;
+  DaemonClient C;
+  ClientOutcome Out = C.verifyWithRetry(requestFor(smallJobs()[0]),
+                                        Dir.sub("no-such.sock"), P);
+  EXPECT_FALSE(Out.HaveVerdict);
+  EXPECT_TRUE(Out.Transport);
+  EXPECT_FALSE(Out.Error.empty());
+}
+
+TEST(Resilience, ClientReconnectsAcrossDaemonRestart) {
+  TempDir Dir;
+  DaemonOptions Opts;
+  Opts.SocketPath = Dir.sub("qccd.sock");
+  Opts.Jobs = 1;
+  std::vector<BatchJob> Jobs = smallJobs();
+
+  DaemonClient C;
+  {
+    LiveDaemon First(Opts);
+    ClientOutcome Out =
+        C.verifyWithRetry(requestFor(Jobs[0]), Opts.SocketPath, RetryPolicy{});
+    ASSERT_TRUE(Out.HaveVerdict) << Out.Error;
+  } // Shutdown: the client's connection dies with the daemon.
+
+  LiveDaemon Second(Opts);
+  // The stale connection surfaces as a transport error; verifyWithRetry
+  // reconnects to the restarted daemon and resubmits idempotently.
+  ClientOutcome Out =
+      C.verifyWithRetry(requestFor(Jobs[1]), Opts.SocketPath, RetryPolicy{});
+  EXPECT_TRUE(Out.HaveVerdict) << Out.Error;
+  EXPECT_TRUE(Out.Result.Ok);
+}
+
+TEST(Resilience, TornServerFrameIsRetriedToAVerdict) {
+  TempDir Dir;
+  DaemonOptions Opts;
+  Opts.SocketPath = Dir.sub("qccd.sock");
+  Opts.Jobs = 1;
+  LiveDaemon Live(Opts);
+
+  // The server's first reply frame is torn mid-wire (a real half-frame,
+  // then EPIPE semantics). The client must classify it as transport,
+  // reconnect, and land the verdict on the retry. Hit 2, not 1: client
+  // and server share this process's registry, and hit 1 is the client's
+  // own Submit send.
+  failpoint::ScopedSpec Spec("daemon.write=short@2");
+  ASSERT_TRUE(Spec.Ok) << Spec.Error;
+  DaemonClient C;
+  ClientOutcome Out = C.verifyWithRetry(requestFor(smallJobs()[0]),
+                                        Opts.SocketPath, RetryPolicy{});
+  EXPECT_TRUE(Out.HaveVerdict) << Out.Error;
+  EXPECT_TRUE(Out.Result.Ok);
 }
 
 //===----------------------------------------------------------------------===//

@@ -165,6 +165,24 @@ TEST(Harness, SmokeCampaign) {
   EXPECT_TRUE(R.ok()) << R.str();
 }
 
+// Campaign 4 (crash-recovery chaos) rides in the harness when
+// FailPointRuns > 0 — the CLI runs 200; a short run keeps the ctest
+// slice quick while still forking real failpoint-crashed writers. The
+// other campaigns are skipped so no worker threads are live at fork
+// time.
+TEST(Harness, FailPointCampaignRunsAndRecovers) {
+  FuzzOptions Options;
+  Options.Count = 0;
+  Options.Mutants = 0;
+  Options.Faults = false;
+  Options.FailPointRuns = 16;
+  Options.Seed = 3;
+  FuzzReport R = runFuzz(Options);
+  EXPECT_EQ(R.ChaosRan, 16u) << R.str();
+  EXPECT_GT(R.ChaosCrashes, 0u) << R.str();
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
 //===----------------------------------------------------------------------===//
 // Regression corpus
 //===----------------------------------------------------------------------===//

@@ -31,6 +31,7 @@
 #include "batch/Batch.h"
 #include "frontend/Frontend.h"
 #include "logic/Checker.h"
+#include "support/FailPoint.h"
 #include "support/Supervision.h"
 
 #include <gtest/gtest.h>
@@ -789,6 +790,208 @@ TEST(StoreCorruption, OpenScanQuarantinesResidentDamage) {
   EXPECT_EQ(Store->fetch(JobKey{7, 7}, smallJob(), nullptr), nullptr);
   // Recovery: the store keeps working after the purge.
   Store->put(Key, verifiedSmall(), nullptr);
+  EXPECT_NE(Store->fetch(Key, smallJob(), nullptr), nullptr);
+}
+
+TEST(StoreCorruption, IsTruncatedEntryClassifiesDamageShapes) {
+  const std::string Full =
+      VerificationStore::encodeEntry(smallKey(), verifiedSmall());
+  const size_t H = VerificationStore::HeaderSize;
+  ASSERT_GT(Full.size(), H);
+  // Truncation shapes: what a crash between open and write, or a torn
+  // copy, leaves behind.
+  EXPECT_TRUE(VerificationStore::isTruncatedEntry(std::string()));
+  EXPECT_TRUE(VerificationStore::isTruncatedEntry(Full.substr(0, 7)));
+  EXPECT_TRUE(VerificationStore::isTruncatedEntry(Full.substr(0, H - 1)));
+  EXPECT_TRUE(VerificationStore::isTruncatedEntry(Full.substr(0, H)));
+  EXPECT_TRUE(VerificationStore::isTruncatedEntry(
+      Full.substr(0, H + (Full.size() - H) / 2)));
+  EXPECT_TRUE(
+      VerificationStore::isTruncatedEntry(Full.substr(0, Full.size() - 1)));
+  // Full-length or over-length images are not truncation.
+  EXPECT_FALSE(VerificationStore::isTruncatedEntry(Full));
+  EXPECT_FALSE(VerificationStore::isTruncatedEntry(Full + "extra"));
+  // Bad magic or wrong version is corruption even when the file is also
+  // short: the header can't be trusted to declare a payload size.
+  std::string BadMagic = Full;
+  BadMagic[0] = 'X';
+  EXPECT_FALSE(VerificationStore::isTruncatedEntry(BadMagic));
+  EXPECT_FALSE(VerificationStore::isTruncatedEntry(BadMagic.substr(0, H)));
+  std::string WrongVersion = Full;
+  WrongVersion[8] = 9;
+  EXPECT_FALSE(VerificationStore::isTruncatedEntry(WrongVersion.substr(0, H)));
+}
+
+TEST(StoreCorruption, TruncationShapesBumpTheTruncatedCounter) {
+  TempDir Tmp;
+  StoreOptions SO;
+  SO.Dir = Tmp.sub("store");
+  auto Store = VerificationStore::open(SO);
+  ASSERT_NE(Store, nullptr);
+  JobKey Key = smallKey();
+  Store->put(Key, verifiedSmall(), nullptr);
+  std::string Path = entryOnDisk(SO.Dir, Key);
+  std::string Pristine = slurp(Path);
+  ASSERT_GT(Pristine.size(), VerificationStore::HeaderSize);
+
+  const CorruptionCase TruncationShapes[] = {
+      {"zero-length", [](const std::string &) { return std::string(); }},
+      {"sub-header", [](const std::string &B) { return B.substr(0, 7); }},
+      {"header-minus-one",
+       [](const std::string &B) {
+         return B.substr(0, VerificationStore::HeaderSize - 1);
+       }},
+      {"header-only",
+       [](const std::string &B) {
+         return B.substr(0, VerificationStore::HeaderSize);
+       }},
+      {"half-payload",
+       [](const std::string &B) {
+         size_t H = VerificationStore::HeaderSize;
+         return B.substr(0, H + (B.size() - H) / 2);
+       }},
+  };
+  uint64_t Seen = 0;
+  for (const CorruptionCase &C : TruncationShapes) {
+    spill(Path, C.Mutate(Pristine));
+    EXPECT_EQ(Store->fetch(Key, smallJob(), nullptr), nullptr) << C.Name;
+    EXPECT_FALSE(fs::exists(Path)) << C.Name << ": not quarantined";
+    ++Seen;
+    EXPECT_EQ(Store->stats().Quarantined, Seen) << C.Name;
+    EXPECT_EQ(Store->stats().Truncated, Seen) << C.Name;
+    Store->put(Key, verifiedSmall(), nullptr);
+    ASSERT_NE(Store->fetch(Key, smallJob(), nullptr), nullptr) << C.Name;
+  }
+  // Non-truncation corruption quarantines without touching the
+  // truncation counter: the two failure shapes stay distinguishable.
+  const CorruptionCase OtherShapes[] = {
+      {"bad-magic",
+       [](const std::string &B) {
+         std::string V = B;
+         V[0] = 'X';
+         return V;
+       }},
+      {"checksum-flip",
+       [](const std::string &B) {
+         std::string V = B;
+         V[17] = static_cast<char>(V[17] ^ 0xff);
+         return V;
+       }},
+  };
+  uint64_t Truncated = Store->stats().Truncated;
+  for (const CorruptionCase &C : OtherShapes) {
+    spill(Path, C.Mutate(Pristine));
+    EXPECT_EQ(Store->fetch(Key, smallJob(), nullptr), nullptr) << C.Name;
+    ++Seen;
+    EXPECT_EQ(Store->stats().Quarantined, Seen) << C.Name;
+    EXPECT_EQ(Store->stats().Truncated, Truncated) << C.Name;
+    Store->put(Key, verifiedSmall(), nullptr);
+  }
+}
+
+TEST(StoreCorruption, TruncationSweepQuarantinesEveryPrefix) {
+  TempDir Tmp;
+  StoreOptions SO;
+  SO.Dir = Tmp.sub("store");
+  auto Store = VerificationStore::open(SO);
+  ASSERT_NE(Store, nullptr);
+  JobKey Key = smallKey();
+  Store->put(Key, verifiedSmall(), nullptr);
+  std::string Path = entryOnDisk(SO.Dir, Key);
+  std::string Pristine = slurp(Path);
+  ASSERT_GT(Pristine.size(), VerificationStore::HeaderSize);
+  // The bit-flip sweep's companion: every prefix length across the
+  // header plus a stride over the payload must be a quarantining miss,
+  // never a crash or a served entry.
+  std::vector<size_t> Lengths;
+  for (size_t L = 0; L <= VerificationStore::HeaderSize; ++L)
+    Lengths.push_back(L);
+  for (size_t L = VerificationStore::HeaderSize + 17; L < Pristine.size();
+       L += 17)
+    Lengths.push_back(L);
+  uint64_t Seen = 0;
+  for (size_t L : Lengths) {
+    spill(Path, Pristine.substr(0, L));
+    EXPECT_EQ(Store->fetch(Key, smallJob(), nullptr), nullptr)
+        << "prefix of " << L << " bytes was served";
+    EXPECT_FALSE(fs::exists(Path)) << "prefix of " << L << " bytes";
+    ++Seen;
+    EXPECT_EQ(Store->stats().Truncated, Seen)
+        << "prefix of " << L << " bytes not counted as truncation";
+    Store->put(Key, verifiedSmall(), nullptr);
+  }
+  ASSERT_NE(Store->fetch(Key, smallJob(), nullptr), nullptr);
+}
+
+TEST(StoreCorruption, OpenScanCountsTruncationShapesSeparately) {
+  TempDir Tmp;
+  StoreOptions SO;
+  SO.Dir = Tmp.sub("store");
+  ProgramResult R = fullResult();
+  JobKey K1{1, 10}, K2{2, 20}, K3{3, 30};
+  {
+    auto Store = VerificationStore::open(SO);
+    ASSERT_NE(Store, nullptr);
+    Store->put(K1, R, nullptr);
+    Store->put(K2, R, nullptr);
+    Store->put(K3, R, nullptr);
+  }
+  // Two truncation shapes and one non-truncation corruption, then
+  // reopen as a fresh process: the scan quarantines all three but
+  // attributes only the truncations to the truncation counter.
+  std::string P1 = entryOnDisk(SO.Dir, K1);
+  std::string P2 = entryOnDisk(SO.Dir, K2);
+  std::string P3 = entryOnDisk(SO.Dir, K3);
+  std::string Bytes = slurp(P1);
+  spill(P1, std::string());                                   // zero-length
+  spill(P2, slurp(P2).substr(0, Bytes.size() / 2));           // torn payload
+  std::string BadMagic = slurp(P3);
+  BadMagic[0] = 'X';
+  spill(P3, BadMagic);
+  auto Store = VerificationStore::open(SO);
+  ASSERT_NE(Store, nullptr);
+  EXPECT_EQ(Store->stats().Quarantined, 3u);
+  EXPECT_EQ(Store->stats().Truncated, 2u);
+  EXPECT_EQ(Store->entryCount(), 0u);
+  // The store keeps working after the purge.
+  Store->put(K1, R, nullptr);
+  EXPECT_NE(Store->fetch(K1, smallJob(), nullptr), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Failpoints on the commit path: failures counted, store never dirtied
+//===----------------------------------------------------------------------===//
+
+TEST(StoreFailpoints, CommitBoundaryFaultsCountWriteFailures) {
+  TempDir Tmp;
+  StoreOptions SO;
+  SO.Dir = Tmp.sub("store");
+  auto Store = VerificationStore::open(SO);
+  ASSERT_NE(Store, nullptr);
+  JobKey Key = smallKey();
+  // One fault per commit boundary: the put must fail closed — counted,
+  // no committed entry, no temp-file litter — and the store must serve
+  // again the moment the fault clears.
+  const char *Specs[] = {
+      "store.write=err:enospc@1",
+      "store.write=short@1",
+      "store.fsync=err@1",
+      "store.rename=err@1",
+  };
+  uint64_t Failures = 0;
+  for (const char *Spec : Specs) {
+    failpoint::ScopedSpec FP(Spec);
+    ASSERT_TRUE(FP.Ok) << Spec << ": " << FP.Error;
+    Store->put(Key, verifiedSmall(), nullptr);
+    EXPECT_EQ(Store->stats().WriteFailures, ++Failures) << Spec;
+    EXPECT_EQ(Store->fetch(Key, smallJob(), nullptr), nullptr) << Spec;
+    for (const auto &E : fs::directory_iterator(SO.Dir))
+      EXPECT_NE(E.path().filename().string().substr(0, 5), ".tmp-")
+          << Spec << " left " << E.path();
+  }
+  EXPECT_EQ(Store->stats().Writes, 0u);
+  Store->put(Key, verifiedSmall(), nullptr);
+  EXPECT_EQ(Store->stats().Writes, 1u);
   EXPECT_NE(Store->fetch(Key, smallJob(), nullptr), nullptr);
 }
 

@@ -7,12 +7,15 @@
 
 #include "support/Diagnostics.h"
 #include "support/ExtNat.h"
+#include "support/FailPoint.h"
 #include "support/Io.h"
 #include "support/Numeric.h"
 #include "support/SourceLoc.h"
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <string>
@@ -268,6 +271,218 @@ TEST(Io, ReadFileSlurpsBinaryContent) {
   EXPECT_EQ(Got, Payload);
   unlink(Path.c_str());
   EXPECT_FALSE(io::readFile(Path, Got)); // Gone now.
+}
+
+//===----------------------------------------------------------------------===//
+// Failpoints: spec grammar, triggers, actions, and the Io integration
+//===----------------------------------------------------------------------===//
+
+TEST(FailPoint, GrammarRejectsMalformedSpecsWithoutArmingAnything) {
+  failpoint::Registry &R = failpoint::Registry::instance();
+  const char *Bad[] = {
+      "no-equals",             // missing '='
+      "=err",                  // empty site name
+      "site=bogus",            // unknown action
+      "site=err:ebadname",     // errno outside the allowlist
+      "site=short:5",          // short takes no operand
+      "site=crash:now",        // crash takes no operand
+      "site=delay:soon",       // non-numeric millis
+      "site=err@",             // empty trigger
+      "site=err@0",            // hit numbers are 1-based
+      "site=err@5..3",         // reversed range
+      "site=err@3..x",         // garbage range end
+      "site=err@threeish",     // garbage trigger
+      "site=err@p1.5",         // probability above 1
+      "site=err@p0.5x",        // trailing garbage after the float
+      "good=err;site=@broken", // one bad entry poisons the whole spec
+  };
+  for (const char *Spec : Bad) {
+    std::string Error;
+    EXPECT_FALSE(R.configure(Spec, 0, &Error)) << Spec;
+    EXPECT_FALSE(Error.empty()) << Spec;
+    EXPECT_FALSE(R.armed()) << Spec << ": a rejected spec must arm nothing";
+  }
+  R.clear();
+}
+
+TEST(FailPoint, GrammarAcceptsTheDocumentedForms) {
+  failpoint::Registry &R = failpoint::Registry::instance();
+  const char *Good[] = {
+      "",
+      "s=err",
+      "s=err:enospc",
+      "s=short@3",
+      "s=delay",
+      "s=delay:250@2..8",
+      "s=crash@p0.25",
+      "a=err@1;b=short@2..2;c=delay:1@p1.0",
+      "s=err;;t=short", // empty entries are skipped, not errors
+      "s=off",          // off parses and arms nothing
+  };
+  for (const char *Spec : Good) {
+    std::string Error;
+    EXPECT_TRUE(R.configure(Spec, 0, &Error)) << Spec << ": " << Error;
+  }
+  // "off" alone leaves the fast path disarmed.
+  ASSERT_TRUE(R.configure("s=off", 0, nullptr));
+  EXPECT_FALSE(R.armed());
+  R.clear();
+}
+
+TEST(FailPoint, NthHitAndRangeTriggersFireExactlyWhereSpecified) {
+  {
+    failpoint::ScopedSpec FP("t.site=err@3");
+    ASSERT_TRUE(FP.Ok) << FP.Error;
+    EXPECT_FALSE(failpoint::fire("t.site")); // hit 1
+    EXPECT_FALSE(failpoint::fire("t.site")); // hit 2
+    EXPECT_EQ(failpoint::fire("t.site").K, failpoint::Kind::Err); // hit 3
+    EXPECT_FALSE(failpoint::fire("t.site")); // hit 4: one-shot
+  }
+  {
+    failpoint::ScopedSpec FP("t.site=short@2..4");
+    ASSERT_TRUE(FP.Ok) << FP.Error;
+    EXPECT_FALSE(failpoint::fire("t.site"));
+    for (int Hit = 2; Hit <= 4; ++Hit)
+      EXPECT_EQ(failpoint::fire("t.site").K, failpoint::Kind::Short) << Hit;
+    EXPECT_FALSE(failpoint::fire("t.site"));
+  }
+  // configure() resets per-site hit counts: the same one-shot spec fires
+  // on its third hit again, not never.
+  {
+    failpoint::ScopedSpec FP("t.site=err@3");
+    ASSERT_TRUE(FP.Ok) << FP.Error;
+    EXPECT_FALSE(failpoint::fire("t.site"));
+    EXPECT_FALSE(failpoint::fire("t.site"));
+    EXPECT_EQ(failpoint::fire("t.site").K, failpoint::Kind::Err);
+  }
+}
+
+TEST(FailPoint, ProbabilisticTriggerIsSeededAndDeterministic) {
+  failpoint::Registry &R = failpoint::Registry::instance();
+  auto Pattern = [&R](uint64_t Seed) {
+    EXPECT_TRUE(R.configure("t.prob=err@p0.5", Seed, nullptr));
+    std::string Bits;
+    for (int Hit = 0; Hit != 64; ++Hit)
+      Bits.push_back(failpoint::fire("t.prob") ? '1' : '0');
+    return Bits;
+  };
+  std::string A = Pattern(42);
+  EXPECT_EQ(A, Pattern(42)) << "same (spec, seed) must replay identically";
+  // The stream really draws: neither all-fire nor never-fire at p=0.5.
+  EXPECT_NE(A.find('1'), std::string::npos);
+  EXPECT_NE(A.find('0'), std::string::npos);
+  // The degenerate probabilities are exact, not approximate.
+  ASSERT_TRUE(R.configure("t.prob=err@p0.0", 42, nullptr));
+  for (int Hit = 0; Hit != 32; ++Hit)
+    EXPECT_FALSE(failpoint::fire("t.prob"));
+  ASSERT_TRUE(R.configure("t.prob=err@p1.0", 42, nullptr));
+  for (int Hit = 0; Hit != 32; ++Hit)
+    EXPECT_TRUE(failpoint::fire("t.prob"));
+  R.clear();
+}
+
+TEST(FailPoint, ErrActionSetsTheInjectedErrno) {
+  failpoint::ScopedSpec FP("t.err=err:enospc");
+  ASSERT_TRUE(FP.Ok) << FP.Error;
+  errno = 0;
+  failpoint::Action A = failpoint::fire("t.err");
+  EXPECT_EQ(A.K, failpoint::Kind::Err);
+  EXPECT_EQ(A.Errno, ENOSPC);
+  EXPECT_EQ(errno, ENOSPC);
+}
+
+TEST(FailPoint, DelayActionSleepsThenProceeds) {
+  failpoint::ScopedSpec FP("t.delay=delay:50@1");
+  ASSERT_TRUE(FP.Ok) << FP.Error;
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(failpoint::fire("t.delay")); // sleeps, then proceeds
+  auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - Start);
+  EXPECT_GE(Elapsed.count(), 45);
+  EXPECT_FALSE(failpoint::fire("t.delay")); // one-shot: no second sleep
+}
+
+TEST(FailPoint, HitCountsAreObservableEvenForUnmatchedSites) {
+  failpoint::ScopedSpec FP("t.never=err@1000");
+  ASSERT_TRUE(FP.Ok) << FP.Error;
+  failpoint::Registry &R = failpoint::Registry::instance();
+  for (int Hit = 0; Hit != 3; ++Hit)
+    EXPECT_FALSE(failpoint::fire("t.never"));
+  EXPECT_FALSE(failpoint::fire("t.other")); // armed registry, other site
+  EXPECT_EQ(R.hits("t.never"), 3u);
+  EXPECT_EQ(R.hits("t.other"), 1u);
+  EXPECT_EQ(R.hits("t.untouched"), 0u);
+  R.clear();
+  EXPECT_EQ(R.hits("t.never"), 0u) << "clear() resets hit counts";
+}
+
+TEST(FailPoint, IoWriteErrFailsTheTransferAndRecoversWhenDisarmed) {
+  int Fds[2];
+  ASSERT_EQ(pipe(Fds), 0);
+  {
+    failpoint::ScopedSpec FP("io.write=err:eio@1");
+    ASSERT_TRUE(FP.Ok) << FP.Error;
+    errno = 0;
+    EXPECT_FALSE(io::writeFull(Fds[1], "payload", 7));
+    EXPECT_EQ(errno, EIO);
+  }
+  // Disarmed: the same fd carries the same bytes.
+  ASSERT_TRUE(io::writeFull(Fds[1], "payload", 7));
+  close(Fds[1]);
+  char Buf[8];
+  EXPECT_EQ(io::readFull(Fds[0], Buf, sizeof(Buf)), 7);
+  EXPECT_EQ(std::string(Buf, 7), "payload");
+  close(Fds[0]);
+}
+
+TEST(FailPoint, IoWriteShortLandsExactlyHalfThenFails) {
+  int Fds[2];
+  ASSERT_EQ(pipe(Fds), 0);
+  {
+    failpoint::ScopedSpec FP("io.write=short@1");
+    ASSERT_TRUE(FP.Ok) << FP.Error;
+    EXPECT_FALSE(io::writeFull(Fds[1], "12345678", 8));
+  }
+  close(Fds[1]);
+  // The torn write is honest: exactly half really reached the pipe.
+  char Buf[8];
+  EXPECT_EQ(io::readFull(Fds[0], Buf, sizeof(Buf)), 4);
+  EXPECT_EQ(std::string(Buf, 4), "1234");
+  close(Fds[0]);
+}
+
+TEST(FailPoint, IoReadFaultsTruncateOrFailTheRead) {
+  int Fds[2];
+  ASSERT_EQ(pipe(Fds), 0);
+  ASSERT_TRUE(io::writeFull(Fds[1], "12345678", 8));
+  close(Fds[1]);
+  char Buf[8];
+  {
+    failpoint::ScopedSpec FP("io.read=short@1");
+    ASSERT_TRUE(FP.Ok) << FP.Error;
+    EXPECT_EQ(io::readFull(Fds[0], Buf, sizeof(Buf)), 4); // stream "ends"
+  }
+  {
+    failpoint::ScopedSpec FP("io.read=err@1");
+    ASSERT_TRUE(FP.Ok) << FP.Error;
+    EXPECT_EQ(io::readFull(Fds[0], Buf, sizeof(Buf)), -1);
+  }
+  EXPECT_EQ(io::readFull(Fds[0], Buf, sizeof(Buf)), 4); // the rest survives
+  close(Fds[0]);
+}
+
+TEST(FailPoint, IoFsyncFaultFailsTheBarrier) {
+  std::string Path = "/tmp/qcc-failpoint-fsync-" + std::to_string(getpid());
+  int Fd = open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(Fd, 0);
+  {
+    failpoint::ScopedSpec FP("io.fsync=err@1");
+    ASSERT_TRUE(FP.Ok) << FP.Error;
+    EXPECT_FALSE(io::fsyncFull(Fd));
+  }
+  EXPECT_TRUE(io::fsyncFull(Fd));
+  close(Fd);
+  unlink(Path.c_str());
 }
 
 } // namespace

@@ -26,6 +26,7 @@
 #include "store/Store.h"
 #include "driver/Compiler.h"
 #include "fuzz/Fuzz.h"
+#include "support/FailPoint.h"
 #include "support/Numeric.h"
 
 #include <algorithm>
@@ -119,7 +120,11 @@ void usage() {
       "                   a warm daemon serves unchanged jobs from its\n"
       "                   store without recompiling. --deadline-ms and\n"
       "                   --memory-budget-mb travel with each job (the\n"
-      "                   daemon clamps them to its own caps)\n"
+      "                   daemon clamps them to its own caps). Busy sheds\n"
+      "                   and torn frames are retried with exponential\n"
+      "                   backoff; a daemon that stays unreachable makes\n"
+      "                   qcc verify the rest of the batch locally with\n"
+      "                   identical verdicts and exit codes\n"
       "\n"
       "  batch exit codes: 0 all verified; 1 at least one verification\n"
       "  failure; 2 usage error; 3 at least one job quarantined or\n"
@@ -128,9 +133,14 @@ void usage() {
       "fuzz mode (the no-crash / no-unsound-bound hardening harness):\n"
       "  --fuzz N         generate and verify N seeded programs (random\n"
       "                   and adversarial), forge derivation mutants the\n"
-      "                   proof checker must reject, and inject faults at\n"
-      "                   every pass boundary; any crash, silent failure,\n"
-      "                   or unsound bound is a violation\n"
+      "                   proof checker must reject, inject faults at\n"
+      "                   every pass boundary, and run 200 seeded\n"
+      "                   crash-recovery chaos scenarios against the\n"
+      "                   persistent store (failpoint crashes and timed\n"
+      "                   SIGKILLs of forked writers; recovery must be\n"
+      "                   bit-identical to a fault-free run); any crash,\n"
+      "                   silent failure, unsound bound, or corruption\n"
+      "                   escape is a violation\n"
       "  --seed S         base seed for --fuzz (default 1); a report line\n"
       "                   names the seed that replays it\n"
       "  --jobs N         also applies to the fuzz batch\n");
@@ -273,28 +283,41 @@ int finishBatchReport(const batch::BatchResult &R,
 }
 
 /// --connect mode: the same job list, verified by a qccd daemon over its
-/// Unix-domain socket instead of in-process. One connection, jobs
-/// submitted in order; ^C stops submitting and reports the rest as
-/// cancelled (the daemon's own supervision drains the in-flight job).
+/// Unix-domain socket instead of in-process. Jobs are submitted in order
+/// through verifyWithRetry, which absorbs Busy sheds (backoff, retry),
+/// torn frames, and daemon restarts (reconnect, resubmit — verdicts are
+/// content-keyed, so resubmits are idempotent). When the daemon stays
+/// unreachable past the retry budget, the remainder of the batch is
+/// verified in-process with the same supervision knobs: the verdicts are
+/// engine-identical and the exit-code taxonomy is preserved. ^C stops
+/// submitting and reports the rest as cancelled.
 int runConnectMode(const std::string &BatchArg, const std::string &Socket,
                    const BatchCliOptions &Cli,
                    const driver::CompilerOptions &Shared) {
   std::vector<batch::BatchJob> BatchJobs;
   if (!collectBatchJobs(BatchArg, Shared, BatchJobs))
     return 2;
-
-  daemon::DaemonClient Client;
-  if (!Client.connect(Socket)) {
-    fprintf(stderr, "qcc: %s\n", Client.error().c_str());
-    return 2;
-  }
   installInterruptHandler();
+
+  daemon::RetryPolicy Policy;
+  daemon::DaemonClient Client;
+  bool DaemonUsable = Client.connectWithRetry(Socket, Policy);
+  if (!DaemonUsable)
+    fprintf(stderr, "qcc: daemon unreachable (%s); verifying locally\n",
+            Client.error().c_str());
 
   batch::BatchResult R;
   R.Programs.resize(BatchJobs.size());
   R.Jobs = 1;
+  // First job the daemon did not serve; everything from here on runs in
+  // the local fallback engine below.
+  size_t FirstLocal = BatchJobs.size();
   auto Start = std::chrono::steady_clock::now();
   for (size_t I = 0; I != BatchJobs.size(); ++I) {
+    if (!DaemonUsable) {
+      FirstLocal = I;
+      break;
+    }
     batch::ProgramResult &Slot = R.Programs[I];
     if (GInterrupt.stopRequested()) {
       Slot.Id = BatchJobs[I].Id;
@@ -308,27 +331,48 @@ int runConnectMode(const std::string &BatchArg, const std::string &Socket,
     Req.CheckTheorem1 = true;
     Req.DeadlineMillis = Cli.DeadlineMs;
     Req.MemoryBudgetBytes = Cli.MemoryBudgetMb * (1ull << 20);
-    daemon::ClientOutcome Outcome = Client.verify(Req);
-    if (!Outcome.HaveVerdict) {
-      fprintf(stderr, "qcc: %s: daemon error: %s\n", BatchJobs[I].Id.c_str(),
-              Outcome.Error.c_str());
-      Slot.Id = BatchJobs[I].Id;
-      Slot.Status = batch::JobStatus::Quarantined;
-      Slot.Diagnostics = "daemon error: " + Outcome.Error;
-      if (!Client.connected())
-        // The conversation is dead (protocol error or daemon gone);
-        // remaining jobs cannot be served.
-        for (size_t J = I + 1; J != BatchJobs.size(); ++J) {
-          R.Programs[J].Id = BatchJobs[J].Id;
-          R.Programs[J].Status = batch::JobStatus::Quarantined;
-          R.Programs[J].Diagnostics = "daemon connection lost";
-        }
-      if (!Client.connected())
-        break;
+    daemon::ClientOutcome Outcome =
+        Client.verifyWithRetry(Req, Socket, Policy);
+    if (Outcome.HaveVerdict) {
+      Slot = std::move(Outcome.Result);
+      Slot.Id = BatchJobs[I].Id; // The daemon echoes it; pin it anyway.
       continue;
     }
-    Slot = std::move(Outcome.Result);
-    Slot.Id = BatchJobs[I].Id; // The daemon echoes it; pin it anyway.
+    if (Outcome.Busy || Outcome.Transport || Outcome.ServerClosing) {
+      // The retry budget is spent and the daemon is still shedding,
+      // draining, or gone: stop submitting and verify the rest locally.
+      fprintf(stderr,
+              "qcc: %s: no verdict from daemon after retries (%s); "
+              "falling back to local verification\n",
+              BatchJobs[I].Id.c_str(), Outcome.Error.c_str());
+      DaemonUsable = false;
+      FirstLocal = I;
+      break;
+    }
+    // A deliberate server Error frame (malformed request, a budget the
+    // daemon's caps cancelled): resubmitting the same bytes — remotely
+    // or locally — would only repeat it.
+    fprintf(stderr, "qcc: %s: daemon error: %s\n", BatchJobs[I].Id.c_str(),
+            Outcome.Error.c_str());
+    Slot.Id = BatchJobs[I].Id;
+    Slot.Status = batch::JobStatus::Quarantined;
+    Slot.Diagnostics = "daemon error: " + Outcome.Error;
+  }
+
+  if (FirstLocal != BatchJobs.size()) {
+    std::vector<batch::BatchJob> Rest(BatchJobs.begin() + FirstLocal,
+                                      BatchJobs.end());
+    batch::BatchOptions Opts;
+    Opts.Jobs = Cli.Jobs;
+    Opts.DeadlineMillis = Cli.DeadlineMs;
+    Opts.MemoryBudgetBytes = Cli.MemoryBudgetMb * (1ull << 20);
+    Opts.Retries = Cli.Retry;
+    Opts.Interrupt = &GInterrupt;
+    batch::BatchResult Local = batch::runBatch(Rest, Opts);
+    for (size_t J = 0; J != Local.Programs.size(); ++J)
+      R.Programs[FirstLocal + J] = std::move(Local.Programs[J]);
+    R.Jobs = Local.Jobs;
+    R.Cache = Local.Cache;
   }
   auto End = std::chrono::steady_clock::now();
   R.WallMicros =
@@ -411,6 +455,10 @@ int runBatchMode(const std::string &BatchArg, const BatchCliOptions &Cli,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Force the failpoint registry up front so a malformed QCC_FAILPOINTS
+  // is a startup error (exit 2) even on code paths that never reach an
+  // injection site — a bad spec must never yield a silently-clean run.
+  failpoint::Registry::instance();
   std::string Path;
   driver::CompilerOptions Options;
   bool EmitClight = false, EmitCminor = false, EmitRtl = false,
@@ -608,6 +656,9 @@ int main(int Argc, char **Argv) {
     FO.Seed = FuzzSeed;
     FO.Jobs = Cli.Jobs;
     FO.Interrupt = &GInterrupt;
+    // Campaign 4: seeded failpoint/crash-recovery chaos against the
+    // persistent store (the acceptance floor of 200 scenarios).
+    FO.FailPointRuns = 200;
     fuzz::FuzzReport Report = fuzz::runFuzz(FO);
     // On ^C this is the flushed partial campaign report.
     printf("%s", Report.str().c_str());

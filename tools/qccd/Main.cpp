@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "daemon/Daemon.h"
+#include "support/FailPoint.h"
 #include "support/Numeric.h"
 
 #include <csignal>
@@ -28,13 +29,21 @@ using namespace qcc;
 
 namespace {
 
-/// The running daemon, for the signal handlers. requestShutdown is
-/// atomics plus one pipe write: async-signal-safe.
+/// The running daemon, for the signal handlers. requestShutdown and
+/// requestDrain are atomics plus one pipe write: async-signal-safe.
 daemon::Daemon *GDaemon = nullptr;
 
-extern "C" void onSignal(int) {
+/// SIGINT: hard shutdown — cancel in-flight jobs and drain fast.
+extern "C" void onInterrupt(int) {
   if (GDaemon)
     GDaemon->requestShutdown();
+}
+
+/// SIGTERM: graceful drain — stop accepting, finish and journal every
+/// in-flight job, close each client with a clean Bye frame.
+extern "C" void onTerminate(int) {
+  if (GDaemon)
+    GDaemon->requestDrain();
 }
 
 void usage() {
@@ -56,13 +65,27 @@ void usage() {
       "  --retry N            budget-stop retries before quarantine\n"
       "                       (default 1)\n"
       "  --recv-timeout-ms N  per-frame receive timeout (default 0: none)\n"
+      "  --idle-timeout-ms N  close connections idle between frames for\n"
+      "                       N ms with a clean Bye frame (default 0:\n"
+      "                       never)\n"
+      "  --max-active-jobs N  bounded admission: shed submits over N\n"
+      "                       in-flight jobs with a Busy reply (default\n"
+      "                       256; 0 = unlimited)\n"
+      "  --max-connections N  shed accepted connections over N with a\n"
+      "                       Busy reply (default 0: unlimited)\n"
+      "  --journal F          append every definitive verdict to F\n"
+      "                       (batch-journal format); a graceful drain\n"
+      "                       journals its in-flight jobs there\n"
       "  --max-frame-mb N     per-frame payload ceiling (default 64)\n"
       "  --no-incremental     disable the function-granular incremental\n"
       "                       engine (warm edits re-verify whole files)\n"
       "\n"
-      "Client-requested budgets are clamped to the caps above; SIGINT or\n"
-      "SIGTERM (or a client Shutdown frame) drains in-flight jobs and\n"
-      "exits.\n");
+      "Client-requested budgets are clamped to the caps above. SIGINT (or\n"
+      "a client Shutdown frame) cancels and drains in-flight jobs;\n"
+      "SIGTERM drains gracefully: in-flight jobs finish, are journaled,\n"
+      "and every client gets its verdict plus a clean Bye frame.\n"
+      "QCC_FAILPOINTS (see README, \"Fault injection & resilience\")\n"
+      "arms deterministic fault-injection sites for chaos testing.\n");
 }
 
 /// The same strict parser qcc uses (support/Numeric.h): no sign, no
@@ -81,7 +104,14 @@ std::optional<uint64_t> parseCount(const char *Flag, const char *Val,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Force the failpoint registry up front so a malformed QCC_FAILPOINTS
+  // is a startup error (exit 2), not discovered at the first armed site.
+  failpoint::Registry::instance();
   daemon::DaemonOptions Opts;
+  // The service default is bounded admission (the library default stays
+  // unlimited for embedders): a daemon fronting a fleet must shed load
+  // explicitly, not queue blind.
+  Opts.MaxActiveJobs = 256;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Operand = [&](const char *Flag) -> const char * {
@@ -159,6 +189,35 @@ int main(int Argc, char **Argv) {
       if (!N)
         return 2;
       Opts.RecvTimeoutMillis = *N;
+    } else if (Arg == "--idle-timeout-ms") {
+      const char *V = Operand("--idle-timeout-ms");
+      if (!V)
+        return 2;
+      auto N = parseCount("--idle-timeout-ms", V, 86'400'000);
+      if (!N)
+        return 2;
+      Opts.IdleTimeoutMillis = *N;
+    } else if (Arg == "--max-active-jobs") {
+      const char *V = Operand("--max-active-jobs");
+      if (!V)
+        return 2;
+      auto N = parseCount("--max-active-jobs", V, 1 << 20);
+      if (!N)
+        return 2;
+      Opts.MaxActiveJobs = *N;
+    } else if (Arg == "--max-connections") {
+      const char *V = Operand("--max-connections");
+      if (!V)
+        return 2;
+      auto N = parseCount("--max-connections", V, 1 << 20);
+      if (!N)
+        return 2;
+      Opts.MaxConnections = *N;
+    } else if (Arg == "--journal") {
+      const char *V = Operand("--journal");
+      if (!V)
+        return 2;
+      Opts.JournalPath = V;
     } else if (Arg == "--max-frame-mb") {
       const char *V = Operand("--max-frame-mb");
       if (!V)
@@ -190,8 +249,8 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   GDaemon = &D;
-  std::signal(SIGINT, onSignal);
-  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onInterrupt);
+  std::signal(SIGTERM, onTerminate);
   // Dead clients surface as send errors, not process death.
   std::signal(SIGPIPE, SIG_IGN);
 
@@ -220,6 +279,13 @@ int main(int Argc, char **Argv) {
          static_cast<unsigned long long>(S.ProofNodes),
          static_cast<unsigned long long>(S.ProofCheckMicros / 1000),
          static_cast<unsigned long long>(S.ProofCheckMicros % 1000));
+  printf("qccd: resilience: %llu jobs shed, %llu connections shed, %llu "
+         "accept retries, %llu idle disconnects, %llu verdicts journaled\n",
+         static_cast<unsigned long long>(S.JobsShed),
+         static_cast<unsigned long long>(S.ConnectionsShed),
+         static_cast<unsigned long long>(S.AcceptRetries),
+         static_cast<unsigned long long>(S.IdleDisconnects),
+         static_cast<unsigned long long>(S.JobsJournaled));
   GDaemon = nullptr;
   return 0;
 }
